@@ -1,0 +1,45 @@
+"""Shared fixtures for the benchmark harness.
+
+The benchmark suite regenerates every table and figure of the paper's
+evaluation on a paper-calibrated synthetic corpus.  The expensive pipeline
+stages (generation, crawling, classification, policy analysis) run once per
+session; each benchmark then times the analysis step that produces its table
+or figure and asserts that the measured values reproduce the paper's *shape*
+(ordering, rough magnitudes, crossovers).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.suite import MeasurementSuite, SuiteConfig
+
+#: Scale of the benchmark corpus.  Increase for tighter estimates.
+BENCH_GPTS = 2500
+BENCH_SEED = 17
+
+
+@pytest.fixture(scope="session")
+def suite() -> MeasurementSuite:
+    """The shared, fully-run measurement suite used by every benchmark."""
+    suite = MeasurementSuite(config=SuiteConfig(n_gpts=BENCH_GPTS, seed=BENCH_SEED))
+    # Force the expensive stages so individual benchmarks time only their own
+    # analysis step.
+    suite.classification
+    suite.policy_report
+    return suite
+
+
+def assert_close(measured: float, paper: float, rel: float = 0.6, abs_tol: float = 0.05) -> None:
+    """Assert that a measured rate is in the same ballpark as the paper's.
+
+    The synthetic corpus is much smaller than the paper's 119K-GPT crawl, so
+    the check is deliberately loose: within ``rel`` relative error or
+    ``abs_tol`` absolute error.
+    """
+    if abs(measured - paper) <= abs_tol:
+        return
+    assert paper != 0, f"paper value is zero but measured {measured}"
+    assert abs(measured - paper) / abs(paper) <= rel, (
+        f"measured {measured:.4f} too far from paper {paper:.4f}"
+    )

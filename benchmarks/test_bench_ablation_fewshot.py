@@ -1,0 +1,36 @@
+"""Ablation — few-shot retrieval vs zero-shot classification (Section 3.2.3).
+
+The paper conditions the classifier with the top-5 most relevant labelled
+examples retrieved by embedding similarity.  This ablation measures how much
+that in-context learning contributes by re-running the classifier with the
+few-shot store disabled and comparing accuracies.
+"""
+
+from repro.classification.classifier import ClassifierConfig, DataCollectionClassifier
+from repro.classification.descriptions import sample_descriptions
+from repro.classification.evaluation import evaluate_predictions, gold_from_ground_truth
+
+
+def _evaluate(suite, use_fewshot: bool, descriptions):
+    classifier = DataCollectionClassifier(
+        taxonomy=suite.taxonomy,
+        llm=suite.llm,
+        fewshot_store=suite.fewshot_store,
+        config=ClassifierConfig(use_fewshot=use_fewshot, two_phase=True),
+    )
+    result = classifier.classify_many(descriptions)
+    gold = gold_from_ground_truth(descriptions, suite.ecosystem.ground_truth)
+    return evaluate_predictions(result.labels, gold)
+
+
+def test_bench_ablation_fewshot(benchmark, suite):
+    descriptions = sample_descriptions(suite.descriptions, min(250, len(suite.descriptions)), seed=5)
+
+    with_fewshot = benchmark(_evaluate, suite, True, descriptions)
+    without_fewshot = _evaluate(suite, False, descriptions)
+
+    assert with_fewshot.n_evaluated == without_fewshot.n_evaluated > 0
+    # Few-shot conditioning never hurts and typically helps on the hard
+    # (terse / paraphrased / multi-topic) descriptions.
+    assert with_fewshot.type_accuracy >= without_fewshot.type_accuracy - 0.02
+    assert with_fewshot.type_accuracy > 0.85

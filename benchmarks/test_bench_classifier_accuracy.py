@@ -1,0 +1,22 @@
+"""Benchmark E-S41 — Section 4.1.2: classification framework accuracy."""
+
+from benchmarks.conftest import assert_close
+from repro.experiments.paper_values import PAPER_VALUES
+
+
+def test_bench_classifier_accuracy(benchmark, suite):
+    evaluation = benchmark(suite.evaluate_classifier)
+    paper = PAPER_VALUES["classifier_accuracy"]
+
+    assert evaluation.n_evaluated > 200
+    # Paper: 92.83% category accuracy, 91.53% type accuracy.
+    assert_close(evaluation.category_accuracy, paper["category_accuracy"], rel=0.08)
+    assert_close(evaluation.type_accuracy, paper["type_accuracy"], rel=0.10)
+    assert evaluation.category_accuracy >= evaluation.type_accuracy - 1e-9
+
+    # Mistakes concentrate on empty, terse, or multi-topic descriptions
+    # (Section 4.1.2's mistake analysis).
+    if evaluation.mistakes.total_errors:
+        rates = evaluation.mistakes.rates()
+        hard_causes = rates["empty_description"] + rates["short_description"] + rates["multi_topic"]
+        assert hard_causes > 0.2

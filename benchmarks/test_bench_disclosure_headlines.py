@@ -1,0 +1,22 @@
+"""Benchmark E-S52 — Section 5.2: disclosure-consistency headline statistics."""
+
+from benchmarks.conftest import assert_close
+from repro.analysis.disclosure import analyze_disclosure
+from repro.experiments.paper_values import PAPER_VALUES
+from repro.policy.labels import ConsistencyLabel
+
+
+def test_bench_disclosure_headlines(benchmark, suite):
+    disclosure = benchmark(analyze_disclosure, suite.policy_report, suite.corpus)
+    paper = PAPER_VALUES["disclosure_headlines"]
+
+    overall = disclosure.overall_distribution()
+    # Disclosures for most collected data types are omitted.
+    assert overall[ConsistencyLabel.OMITTED] == max(overall.values())
+    assert overall[ConsistencyLabel.OMITTED] > 0.45
+    # Only a small share of Actions disclose their entire data collection
+    # (paper: 5.8%).
+    assert_close(disclosure.fully_consistent_share, paper["fully_consistent_action_share"],
+                 rel=1.5, abs_tol=0.06)
+    # Consistency barely correlates with how much data an Action collects.
+    assert abs(disclosure.spearman_consistency_vs_items() - paper["spearman_correlation"]) <= 0.55

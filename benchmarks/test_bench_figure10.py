@@ -1,0 +1,24 @@
+"""Benchmark E-F10 — Figure 10: disclosure consistency for prevalent data types."""
+
+from repro.analysis.disclosure import analyze_disclosure
+from repro.policy.labels import ConsistencyLabel
+
+
+def test_bench_figure10(benchmark, suite):
+    disclosure = benchmark(analyze_disclosure, suite.policy_report, suite.corpus)
+
+    rows = disclosure.prevalent_type_rows(min_occurrences=5)
+    assert rows, "prevalent data types must exist"
+    # Search query is the most frequently analyzed data type (paper: 736 of the
+    # disclosures, far ahead of every other type).
+    top_key, _, top_total = rows[0]
+    assert top_total >= rows[-1][2]
+    type_names = [key[1] for key, _, _ in rows]
+    assert "Search query" in type_names[:5]
+
+    # For most prevalent types, omission is the dominant label (Figure 10).
+    omitted_dominant = 0
+    for _, counts, total in rows:
+        if counts[ConsistencyLabel.OMITTED] / total > 0.5:
+            omitted_dominant += 1
+    assert omitted_dominant / len(rows) > 0.5

@@ -1,0 +1,24 @@
+"""Benchmark E-F11 — Figure 11: CDF of per-Action disclosure label mixes."""
+
+from repro.analysis.disclosure import analyze_disclosure
+from repro.policy.labels import ConsistencyLabel
+
+
+def test_bench_figure11(benchmark, suite):
+    disclosure = benchmark(analyze_disclosure, suite.policy_report, suite.corpus)
+
+    # Per-Action label fractions form valid CDFs for every label.
+    for label in ConsistencyLabel:
+        cdf = disclosure.label_fraction_cdf(label)
+        assert cdf, label
+        fractions = [y for _, y in cdf]
+        assert fractions == sorted(fractions)
+        assert fractions[-1] == 1.0
+
+    # Nearly all Actions have at least some inconsistent disclosures (the paper
+    # notes at least 10% of every Action's data collection is inconsistent).
+    fully_consistent = disclosure.fully_consistent_share
+    assert fully_consistent < 0.3
+
+    # Some Actions do disclose a meaningful share of their collection.
+    assert disclosure.majority_consistent_share > 0.02

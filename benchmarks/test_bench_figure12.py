@@ -1,0 +1,20 @@
+"""Benchmark E-F12 — Figure 12: disclosure consistency vs collected data items."""
+
+from repro.analysis.disclosure import analyze_disclosure
+from repro.experiments.paper_values import PAPER_VALUES
+
+
+def test_bench_figure12(benchmark, suite):
+    disclosure = benchmark(analyze_disclosure, suite.policy_report, suite.corpus)
+    paper = PAPER_VALUES["figure12"]
+
+    points = disclosure.consistency_vs_items
+    assert len(points) >= 30
+    # Consistency fractions are valid and counts positive.
+    assert all(count >= 1 and 0.0 <= fraction <= 1.0 for count, fraction in points)
+
+    # The correlation between the amount of data collected and disclosure
+    # consistency is weak (paper: Spearman ≈ 0.22).
+    correlation = disclosure.spearman_consistency_vs_items()
+    assert abs(correlation) <= 0.55
+    assert abs(correlation - paper["spearman_correlation"]) <= 0.55

@@ -1,0 +1,24 @@
+"""Benchmark E-F3 — Figure 3: taxonomy coverage of data-type descriptions."""
+
+from repro.analysis.coverage import analyze_coverage
+
+
+def test_bench_figure3(benchmark, suite):
+    coverage = benchmark(analyze_coverage, suite.classification)
+
+    # Every observed category covers at least a handful of distinct
+    # descriptions, and categories cover more than individual data types.
+    assert coverage.n_distinct_descriptions > 100
+    assert min(coverage.category_coverage.values()) >= 1
+    assert coverage.median_coverage("category") >= coverage.median_coverage("type")
+    # A majority of data types cover several distinct descriptions (paper:
+    # 53.1% of types cover 10+ on the full-size corpus; the synthetic corpus is
+    # smaller so the threshold scales down).
+    assert coverage.share_covering_at_least(3, level="type") > 0.3
+    # The taxonomy covers the overwhelming majority of descriptions (paper:
+    # 92.05% after refinement).
+    assert coverage.classified_share() > 0.85
+    # CDFs are well-formed.
+    for level in ("type", "category"):
+        cdf = coverage.coverage_cdf(level)
+        assert cdf[-1][1] == 1.0

@@ -1,0 +1,26 @@
+"""Benchmark E-F7 — Figure 7: distribution of data items per Action."""
+
+from benchmarks.conftest import assert_close
+from repro.analysis.collection import analyze_collection
+from repro.experiments.paper_values import PAPER_VALUES
+
+
+def test_bench_figure7(benchmark, suite):
+    collection = benchmark(
+        analyze_collection, suite.corpus, suite.classification, suite.party_index
+    )
+    paper = PAPER_VALUES["figure7"]
+
+    # Roughly half of Actions collect 5+ data items and a fifth collect 10+.
+    assert_close(collection.share_with_at_least(5), paper["share_actions_5_plus_items"], rel=0.35)
+    assert_close(collection.share_with_at_least(10), paper["share_actions_10_plus_items"], rel=0.6)
+    # Third-party Actions collect more data on average (paper: +6.03%).
+    assert collection.mean_items("third") > 0
+    assert collection.third_party_excess() > -0.05
+    # The CDFs are proper distribution functions.
+    for party in (None, "first", "third"):
+        cdf = collection.item_count_cdf(party)
+        if cdf:
+            fractions = [y for _, y in cdf]
+            assert fractions == sorted(fractions)
+            assert fractions[-1] == 1.0

@@ -1,0 +1,29 @@
+"""Benchmark E-F9 — Figure 9: disclosure consistency heat map by data category."""
+
+from repro.analysis.disclosure import analyze_disclosure
+from repro.policy.labels import ConsistencyLabel
+
+
+def test_bench_figure9(benchmark, suite):
+    disclosure = benchmark(analyze_disclosure, suite.policy_report, suite.corpus)
+
+    distributions = disclosure.category_distributions
+    assert len(distributions) >= 12
+
+    # Omission dominates in the vast majority of categories (every category in
+    # the paper's heat map has omitted >= 65%).
+    majority_omitted = [
+        distribution[ConsistencyLabel.OMITTED] > 0.5 for distribution in distributions.values()
+    ]
+    assert sum(majority_omitted) / len(majority_omitted) > 0.6
+
+    # Personal information is among the most clearly disclosed categories
+    # (paper: 25.4% clear, the highest of any category).
+    personal = distributions.get("Personal information")
+    if personal is not None:
+        overall_clear = disclosure.overall_distribution()[ConsistencyLabel.CLEAR]
+        assert personal[ConsistencyLabel.CLEAR] >= overall_clear * 0.8
+
+    # Every row is a probability distribution.
+    for distribution in distributions.values():
+        assert abs(sum(distribution.values()) - 1.0) < 1e-9

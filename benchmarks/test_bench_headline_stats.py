@@ -1,0 +1,26 @@
+"""Benchmark E-S42 — Section 4.2: headline data-collection statistics."""
+
+from benchmarks.conftest import assert_close
+from repro.analysis.prohibited import analyze_prohibited
+from repro.experiments.paper_values import PAPER_VALUES
+from repro.taxonomy.builtin import load_builtin_taxonomy
+
+
+def test_bench_headline_stats(benchmark, suite):
+    prohibited = benchmark(
+        analyze_prohibited, suite.corpus, suite.classification, load_builtin_taxonomy()
+    )
+    paper = PAPER_VALUES["headline_stats"]
+    collection = suite.collection
+
+    # ~half of Actions collect 5+ items; ~one fifth collect 10+ items.
+    assert_close(collection.share_with_at_least(5), paper["actions_5_plus_items"], rel=0.35)
+    assert_close(collection.share_with_at_least(10), paper["actions_10_plus_items"], rel=0.6)
+    # 9.1% of Action-embedding GPTs include Actions collecting prohibited
+    # security credentials.
+    assert_close(prohibited.offending_gpt_share, paper["prohibited_gpt_share"], rel=1.0, abs_tol=0.06)
+    assert prohibited.offending_actions
+    # Nearly half of Action-embedding GPTs collect the user's query.
+    query_row = collection.row_for("Query", "Search query")
+    assert query_row is not None
+    assert_close(query_row.gpt_share, paper["gpt_query_collection_share"], rel=0.5)

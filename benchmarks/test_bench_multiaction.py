@@ -1,0 +1,26 @@
+"""Benchmark E-S44 — Section 4.4.1: multi-Action GPTs."""
+
+from benchmarks.conftest import assert_close
+from repro.analysis.multiaction import analyze_multi_action
+from repro.experiments.paper_values import PAPER_VALUES
+
+
+def test_bench_multiaction(benchmark, suite):
+    multi = benchmark(analyze_multi_action, suite.corpus)
+    paper = PAPER_VALUES["multiaction"]
+
+    # 90.9% of Action-embedding GPTs integrate exactly one Action; the share
+    # falls off sharply for two, three, and four-plus Actions.
+    assert_close(multi.share_with_n_actions(1), paper["one_action"], rel=0.12)
+    assert multi.share_with_n_actions(1) > multi.share_with_n_actions(2)
+    assert multi.share_with_n_actions(2) >= multi.share_with_n_actions(3)
+    assert multi.share_with_at_least(2) < 0.25
+
+    # Among multi-Action GPTs, a slight majority contact additional domains
+    # (paper: 55.3%); the rest add endpoints on the same online service.
+    if multi.share_with_at_least(2) > 0:
+        assert 0.2 <= multi.cross_domain_share <= 1.0
+
+    # A noticeable fraction of Actions co-occur with other Actions (paper: 23.9%).
+    assert_close(multi.cooccurring_action_share, paper["cooccurring_action_share"],
+                 rel=1.0, abs_tol=0.15)

@@ -1,0 +1,25 @@
+"""Benchmark E-S51 — Section 5.1: policy corpus statistics and framework accuracy."""
+
+from benchmarks.conftest import assert_close
+from repro.policy.duplicates import analyze_policy_corpus
+from repro.experiments.paper_values import PAPER_VALUES
+
+
+def test_bench_policy_stats(benchmark, suite):
+    duplicates = benchmark(analyze_policy_corpus, suite.corpus)
+    paper = PAPER_VALUES["policy_stats"]
+
+    # Policy availability ≈ 94%.
+    assert_close(duplicates.availability, paper["availability"], rel=0.08)
+    # A large fraction of policies are exact duplicates of another Action's
+    # policy (paper: 38.56%), a small fraction are near-duplicate boilerplate
+    # (5.5%), and ~12% are shorter than 500 characters.
+    assert_close(duplicates.duplicate_share, paper["duplicate_share"], rel=0.6)
+    assert duplicates.near_duplicate_share <= 0.3
+    assert_close(duplicates.short_share, paper["short_policy_share"], rel=0.8, abs_tol=0.08)
+
+    # Framework accuracy ≈ 87% with recall well above precision (98.8% vs 86.6%).
+    evaluation = suite.evaluate_policy_framework()
+    assert_close(evaluation.accuracy, paper["framework_accuracy"], rel=0.1)
+    assert_close(evaluation.recall, paper["framework_recall"], rel=0.1)
+    assert evaluation.recall > evaluation.precision - 0.05

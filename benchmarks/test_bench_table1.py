@@ -1,0 +1,20 @@
+"""Benchmark E-T1 — Table 1: GPTs successfully crawled per store."""
+
+from benchmarks.conftest import assert_close
+from repro.analysis.crawlstats import analyze_crawl_stats
+from repro.experiments.paper_values import PAPER_VALUES
+
+
+def test_bench_table1(benchmark, suite):
+    stats = benchmark(analyze_crawl_stats, suite.corpus)
+    paper = PAPER_VALUES["table1"]
+
+    assert stats.total_unique_gpts == len(suite.corpus.gpts)
+    assert len(stats.per_store_counts) == paper["n_stores"]
+    sorted_counts = stats.sorted_store_counts()
+    # The largest index is the GitHub list, the official OpenAI store is small,
+    # and the size distribution is heavily skewed (paper: 85,377 vs 91).
+    assert sorted_counts[0][0] == paper["largest_store"]
+    assert sorted_counts[0][1] > 10 * sorted_counts[-1][1]
+    paper_ratio = paper["largest_store_count"] / paper["total_unique_gpts"]
+    assert_close(sorted_counts[0][1] / stats.total_unique_gpts, paper_ratio, rel=0.4)

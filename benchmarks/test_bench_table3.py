@@ -1,0 +1,23 @@
+"""Benchmark E-T3 — Table 3: tool usage in GPTs."""
+
+from benchmarks.conftest import assert_close
+from repro.analysis.tools import analyze_tool_usage
+from repro.experiments.paper_values import PAPER_VALUES
+
+
+def test_bench_table3(benchmark, suite):
+    tools = benchmark(analyze_tool_usage, suite.corpus, suite.party_index)
+    paper = PAPER_VALUES["table3"]
+
+    # Adoption ordering: browser > dalle > code interpreter > knowledge > actions.
+    assert tools.share("browser") > tools.share("dalle") > tools.share("code_interpreter")
+    assert tools.share("code_interpreter") > tools.share("knowledge") > tools.share("action")
+    assert_close(tools.share("browser"), paper["browser"], rel=0.1)
+    assert_close(tools.share("dalle"), paper["dalle"], rel=0.1)
+    assert_close(tools.share("code_interpreter"), paper["code_interpreter"], rel=0.15)
+    assert_close(tools.share("knowledge"), paper["knowledge"], rel=0.2)
+    assert_close(tools.share("action"), paper["actions"], rel=0.35)
+    assert_close(tools.any_tool_share, paper["any_tool"], rel=0.1)
+    # Third-party Actions dominate (paper: 82.9% vs 17.1%).
+    assert tools.third_party_action_share > tools.first_party_action_share
+    assert_close(tools.third_party_action_share, paper["third_party_actions"], rel=0.25)

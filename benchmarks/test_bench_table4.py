@@ -1,0 +1,30 @@
+"""Benchmark E-T4 — Table 4: data types collected by first-/third-party Actions."""
+
+from benchmarks.conftest import assert_close
+from repro.analysis.collection import analyze_collection
+from repro.experiments.paper_values import PAPER_VALUES
+
+
+def test_bench_table4(benchmark, suite):
+    collection = benchmark(
+        analyze_collection, suite.corpus, suite.classification, suite.party_index
+    )
+    paper = PAPER_VALUES["table4"]
+
+    # Breadth: the corpus exercises most of the 24 categories / 145 types.
+    assert collection.n_categories_observed() >= 18
+    assert collection.n_types_observed() >= 60
+
+    # Shape of the most-collected types: search queries lead, followed by URLs
+    # and user interaction data; email is the most common personal data type.
+    search = collection.row_for("Query", "Search query")
+    urls = collection.row_for("Web and network data", "URLs")
+    interaction = collection.row_for("App usage data", "User interaction data")
+    email = collection.row_for("Personal information", "Email address")
+    assert search is not None and urls is not None and interaction is not None
+    assert search.gpt_share > urls.gpt_share > 0
+    assert search.gpt_share > interaction.gpt_share
+    assert_close(search.gpt_share, paper["search_query_gpt_share"], rel=0.5)
+    assert_close(urls.gpt_share, paper["urls_gpt_share"], rel=0.6)
+    if email is not None:
+        assert email.gpt_share < search.gpt_share

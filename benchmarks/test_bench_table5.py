@@ -1,0 +1,24 @@
+"""Benchmark E-T5 — Table 5: prevalent third-party Actions."""
+
+from benchmarks.conftest import assert_close
+from repro.analysis.prevalence import analyze_prevalence
+from repro.experiments.paper_values import PAPER_VALUES
+
+
+def test_bench_table5(benchmark, suite):
+    prevalence = benchmark(
+        analyze_prevalence, suite.corpus, suite.classification, suite.party_index
+    )
+    paper = PAPER_VALUES["table5"]
+
+    assert prevalence.rows, "prevalent third-party Actions must exist"
+    names = " | ".join(row.name for row in prevalence.top(20))
+    # The paper's most widely embedded services show up in the top rows.
+    assert "webPilot" in names
+    assert "Zapier" in names or "AdIntelli" in names
+    webpilot = prevalence.row_by_name("webPilot")
+    assert webpilot is not None
+    assert_close(webpilot.gpt_share, paper["webpilot_share"], rel=0.8, abs_tol=0.03)
+    adintelli = prevalence.row_by_name("AdIntelli")
+    if adintelli is not None:
+        assert webpilot.gpt_share >= adintelli.gpt_share

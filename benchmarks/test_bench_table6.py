@@ -1,0 +1,21 @@
+"""Benchmark E-T6 — Table 6: content of duplicate privacy policies."""
+
+from repro.policy.duplicates import analyze_policy_corpus
+from repro.experiments.paper_values import PAPER_VALUES
+
+
+def test_bench_table6(benchmark, suite):
+    report = benchmark(analyze_policy_corpus, suite.corpus)
+    paper = PAPER_VALUES["table6"]
+
+    fractions = report.duplicate_content_fractions()
+    assert fractions, "duplicate policies must exist in the corpus"
+    # The two dominant explanations in the paper are external-service policies
+    # and empty policies; together they cover the majority of duplicates.
+    external = fractions.get("external_service", 0.0)
+    empty = fractions.get("empty", 0.0)
+    same_vendor = fractions.get("same_vendor", 0.0)
+    assert external + empty + same_vendor > 0.4
+    assert external > fractions.get("tracking_pixel", 0.0)
+    # All reported kinds come from Table 6's vocabulary.
+    assert set(fractions) <= set(paper) | {"other"}

@@ -1,0 +1,19 @@
+"""Benchmark E-T7 — Table 7: Actions with five or more consistent disclosures."""
+
+from benchmarks.conftest import assert_close
+from repro.analysis.disclosure import analyze_disclosure
+from repro.experiments.paper_values import PAPER_VALUES
+
+
+def test_bench_table7(benchmark, suite):
+    disclosure = benchmark(analyze_disclosure, suite.policy_report, suite.corpus)
+    paper = PAPER_VALUES["table7"]
+
+    # Only a small fraction of Actions disclose their entire data collection
+    # (paper: 5.8%); Actions with 5+ consistent disclosures form a short table.
+    assert_close(disclosure.fully_consistent_share, paper["fully_consistent_action_share"],
+                 rel=1.5, abs_tol=0.06)
+    rows = disclosure.top_consistent_actions(min_clear=5)
+    assert len(rows) <= max(1, disclosure.n_actions_analyzed // 3)
+    for row in rows:
+        assert row.clear + row.vague >= 5

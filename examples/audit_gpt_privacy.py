@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Audit individual GPTs for risky data collection — the paper's case studies.
+
+Section 4.2.2 and Figures 4–6 of the paper walk through GPTs whose Actions
+collect data they should not: a recipe assistant whose advertising Action
+captures the whole conversation (including health details), a task manager
+whose Action collects raw passwords, and an X-ray analysis GPT exfiltrating
+medical images.  This example reproduces that style of audit programmatically:
+it scans every Action-embedding GPT in a synthetic corpus and reports
+
+* collection of data types prohibited by platform policy (security credentials),
+* collection of sensitive data (health, finance, precise location), and
+* whether each offending Action's privacy policy discloses the collection.
+
+Run with:  python examples/audit_gpt_privacy.py
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.analysis.suite import MeasurementSuite, SuiteConfig
+from repro.policy.labels import ConsistencyLabel
+from repro.taxonomy.builtin import load_builtin_taxonomy
+
+SENSITIVE_CATEGORIES = ("Health information", "Finance information", "Security credentials")
+
+
+def main() -> None:
+    suite = MeasurementSuite(config=SuiteConfig(n_gpts=1500, seed=7))
+    taxonomy = load_builtin_taxonomy()
+    corpus = suite.corpus
+    classification = suite.classification
+    policy_report = suite.policy_report
+    collected_by_action = classification.action_data_types()
+    prohibited_types = {data_type.key for data_type in taxonomy.prohibited_types()}
+
+    findings: List[Tuple[str, str, str, List[str], str]] = []
+    for gpt in corpus.action_embedding_gpts():
+        for action in gpt.actions:
+            collected = collected_by_action.get(action.action_id, [])
+            risky = [
+                f"{category} / {data_type}"
+                for category, data_type in collected
+                if (category, data_type) in prohibited_types or category in SENSITIVE_CATEGORIES
+            ]
+            if not risky:
+                continue
+            analysis = policy_report.analyses.get(action.action_id)
+            if analysis is None or not analysis.policy_available:
+                disclosure = "policy unavailable"
+            else:
+                undisclosed = [
+                    result.data_type
+                    for result in analysis.results
+                    if f"{result.category} / {result.data_type}" in risky
+                    and result.final_label
+                    in (ConsistencyLabel.OMITTED, ConsistencyLabel.INCORRECT, ConsistencyLabel.AMBIGUOUS)
+                ]
+                disclosure = (
+                    "risky collection NOT disclosed: " + ", ".join(undisclosed)
+                    if undisclosed
+                    else "risky collection disclosed"
+                )
+            findings.append((gpt.name, gpt.gpt_id, action.title, risky, disclosure))
+
+    print(f"Audited {len(corpus.action_embedding_gpts())} Action-embedding GPTs")
+    print(f"GPT/Action pairs with prohibited or sensitive collection: {len(findings)}")
+    print()
+    for gpt_name, gpt_id, action_title, risky, disclosure in findings[:20]:
+        print(f"GPT   : {gpt_name}  ({gpt_id})")
+        print(f"Action: {action_title}")
+        print(f"  collects : {', '.join(risky)}")
+        print(f"  policy   : {disclosure}")
+        print()
+
+    # Summarize the platform-policy violations the paper highlights.
+    prohibited_gpts = suite.prohibited
+    print("Summary")
+    print(f"  GPTs embedding credential-collecting Actions: {prohibited_gpts.offending_gpt_share:.1%}")
+    print(f"  GPTs embedding health-data-collecting Actions: {prohibited_gpts.health_gpt_share:.1%}")
+
+
+if __name__ == "__main__":
+    main()

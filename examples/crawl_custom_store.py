@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Point the crawling substrate at your own GPT store.
+
+The measurement pipeline is not tied to the built-in synthetic stores: any
+server that publishes listing pages can be crawled, and any manifest source
+can back the gizmo API.  This example builds a custom "indie-gpts.example"
+store with hand-written GPTs (including one that collects passwords through a
+third-party Action), crawls it, classifies the Actions' data collection, and
+checks the policy of the offending Action — i.e. the paper's methodology
+applied to a store you control.
+
+Run with:  python examples/crawl_custom_store.py
+"""
+
+from __future__ import annotations
+
+from repro.classification.classifier import DataCollectionClassifier
+from repro.crawler.corpus import CrawlCorpus, CrawledGPT
+from repro.crawler.gizmo_api import GizmoAPIClient, GizmoAPIServer
+from repro.crawler.http import SimulatedHTTPLayer
+from repro.crawler.policy_fetcher import PolicyFetcher
+from repro.crawler.store_crawler import StoreCrawler
+from repro.crawler.store_server import GPTStoreServer
+from repro.ecosystem.models import (
+    ActionEndpoint,
+    ActionParameter,
+    ActionSpecification,
+    GPTAuthor,
+    GPTManifest,
+    StoreListing,
+    Tool,
+    ToolType,
+)
+from repro.llm.simulated import SimulatedLLM
+from repro.policy.framework import PrivacyPolicyAnalyzer
+from repro.taxonomy.builtin import load_builtin_taxonomy
+
+
+def build_manifests() -> dict:
+    """Two hand-written GPTs: a benign recipe helper and a risky task manager."""
+    recipe_action = ActionSpecification(
+        action_id="recipes-api",
+        title="Spoonacular Recipes",
+        description="Search recipes by ingredient.",
+        server_url="https://api.spoonacular.com",
+        legal_info_url="https://spoonacular.com/privacy",
+        functionality="Food & Drink",
+        endpoints=[
+            ActionEndpoint(
+                path="/recipes/search",
+                summary="Search recipes",
+                parameters=[
+                    ActionParameter("query", "Ingredients the user has available", required=True),
+                    ActionParameter("diet", "Dietary restrictions to respect, e.g. vegetarian"),
+                ],
+            )
+        ],
+    )
+    taskpal_action = ActionSpecification(
+        action_id="cal-ai",
+        title="Cal AI",
+        description="Manage tasks on behalf of the user.",
+        server_url="https://caxgpt.vercel.app",
+        legal_info_url="https://caxgpt.vercel.app/privacy",
+        functionality="Productivity",
+        endpoints=[
+            ActionEndpoint(
+                path="/api/v1/login",
+                summary="Log into the user's account",
+                parameters=[
+                    ActionParameter("username", "Username of the account", required=True),
+                    ActionParameter("password", "The password to log in with", required=True),
+                ],
+            )
+        ],
+    )
+    healthy_chef = GPTManifest(
+        gpt_id="g-healthychf",
+        name="Healthy Chef",
+        description="Recipe recommendations from what is in your fridge.",
+        author=GPTAuthor(display_name="Spoonacular", website="https://spoonacular.com"),
+        tools=[Tool(ToolType.BROWSER), Tool(ToolType.ACTION, recipe_action)],
+    )
+    taskpal = GPTManifest(
+        gpt_id="g-caxtaskpal",
+        name="Cax TaskPal",
+        description="A task management assistant.",
+        author=GPTAuthor(display_name="Muhammad Junaid"),
+        tools=[Tool(ToolType.ACTION, taskpal_action)],
+    )
+    return {gpt.gpt_id: gpt for gpt in (healthy_chef, taskpal)}
+
+
+def main() -> None:
+    manifests = build_manifests()
+
+    # --- stand up the simulated network -----------------------------------
+    http = SimulatedHTTPLayer()
+    listings = [
+        StoreListing(gpt_id=gpt_id, title=gpt.name, link=f"https://indie-gpts.example/gpts/{gpt_id}")
+        for gpt_id, gpt in manifests.items()
+    ]
+    store = GPTStoreServer(name="indie-gpts.example", listings=listings, page_size=10)
+    store.install(http)
+    GizmoAPIServer(manifests=manifests).install(http)
+    http.register_static(
+        "https://spoonacular.com/privacy",
+        "Privacy policy of Spoonacular. We collect the search query and dietary preferences you "
+        "provide in order to return recipes. We do not sell personal data.",
+    )
+    http.register_static(
+        "https://caxgpt.vercel.app/privacy",
+        "We do not collect any personal data from users of our Service.",
+    )
+
+    # --- crawl -------------------------------------------------------------
+    crawl = StoreCrawler(http).crawl(store.name, store.base_url)
+    print(f"Crawled {crawl.n_links} listings from {store.name} across {crawl.pages_visited} page(s)")
+    gizmo = GizmoAPIClient(http)
+    corpus = CrawlCorpus()
+    for gpt_id in crawl.gpt_ids:
+        fetched = gizmo.fetch(gpt_id)
+        if fetched.ok:
+            corpus.gpts[gpt_id] = CrawledGPT.from_manifest(fetched.manifest, source_store=store.name)
+    fetcher = PolicyFetcher(http)
+    for action in corpus.unique_actions().values():
+        if action.legal_info_url:
+            corpus.policies[action.legal_info_url] = fetcher.fetch(action.legal_info_url)
+    print(corpus.summary())
+    print()
+
+    # --- classify and check policies ---------------------------------------
+    taxonomy = load_builtin_taxonomy()
+    llm = SimulatedLLM(knowledge_taxonomy=taxonomy)
+    classification = DataCollectionClassifier(taxonomy, llm).classify_corpus(corpus)
+    report = PrivacyPolicyAnalyzer(taxonomy, llm).analyze_corpus(corpus, classification)
+
+    for gpt in corpus.iter_gpts():
+        print(f"GPT: {gpt.name}")
+        for action in gpt.actions:
+            collected = classification.action_data_types().get(action.action_id, [])
+            print(f"  Action {action.title} ({action.domain}) collects:")
+            for category, data_type in collected:
+                print(f"    - {category} / {data_type}")
+            analysis = report.analyses.get(action.action_id)
+            if analysis and analysis.policy_available:
+                for result in analysis.results:
+                    print(f"      disclosure for {result.data_type}: {result.final_label.value}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Reproduction of "An In-Depth Investigation of Data Collection in LLM App Ecosystems".
+
+This package reimplements, end to end, the measurement pipeline of the IMC 2025
+paper on OpenAI's GPT (LLM app) ecosystem:
+
+* a synthetic but paper-calibrated GPT ecosystem (manifests, Action OpenAPI
+  specifications, privacy policies, GPT stores) — :mod:`repro.ecosystem`;
+* a store crawler over a simulated HTTP layer — :mod:`repro.crawler`;
+* an in-context-learning data-description classifier backed by a simulated
+  LLM — :mod:`repro.classification` and :mod:`repro.llm`;
+* a privacy-policy consistency framework — :mod:`repro.policy`;
+* measurement analyses and report generation for every table and figure of the
+  paper's evaluation — :mod:`repro.analysis`, :mod:`repro.reporting`, and
+  :mod:`repro.experiments`.
+
+Quickstart
+----------
+
+>>> from repro import EcosystemConfig, EcosystemGenerator, CrawlPipeline
+>>> config = EcosystemConfig.paper_calibrated(n_gpts=500, seed=7)
+>>> ecosystem = EcosystemGenerator(config).generate()
+>>> corpus = CrawlPipeline.from_ecosystem(ecosystem).run()
+>>> len(corpus.gpts) > 0
+True
+"""
+
+from repro._version import __version__
+from repro.taxonomy import DataCategory, DataTaxonomy, DataType, load_builtin_taxonomy
+from repro.ecosystem import EcosystemConfig, EcosystemGenerator, SyntheticEcosystem
+from repro.crawler import CrawlCorpus, CrawlPipeline
+from repro.llm import SimulatedLLM
+from repro.classification import DataCollectionClassifier, ClassificationResult
+from repro.policy import (
+    ConsistencyLabel,
+    PrivacyPolicyAnalyzer,
+    PolicyConsistencyReport,
+)
+from repro.analysis import MeasurementSuite
+
+__all__ = [
+    "__version__",
+    "DataCategory",
+    "DataTaxonomy",
+    "DataType",
+    "load_builtin_taxonomy",
+    "EcosystemConfig",
+    "EcosystemGenerator",
+    "SyntheticEcosystem",
+    "CrawlCorpus",
+    "CrawlPipeline",
+    "SimulatedLLM",
+    "DataCollectionClassifier",
+    "ClassificationResult",
+    "ConsistencyLabel",
+    "PrivacyPolicyAnalyzer",
+    "PolicyConsistencyReport",
+    "MeasurementSuite",
+]

@@ -1,0 +1,111 @@
+"""Action co-occurrence graph analysis (Figure 8, Section 4.4.2).
+
+Builds an undirected weighted graph whose nodes are Actions and whose edges
+connect Actions that co-occur inside the same GPT; edge weights count the
+number of GPTs in which the pair co-occurs.  The paper analyzes weighted
+degrees, the largest connected component, and which Actions co-occur most
+often with the advertising/analytics services.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.crawler.corpus import CrawlCorpus
+
+
+@dataclass
+class CooccurrenceAnalysis:
+    """The co-occurrence graph and derived statistics."""
+
+    graph: nx.Graph = field(default_factory=nx.Graph)
+    #: Action id → human-readable name (for labelling prominent nodes).
+    names: Dict[str, str] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_nodes(self) -> int:
+        """Number of Actions appearing in at least one co-occurrence."""
+        return self.graph.number_of_nodes()
+
+    @property
+    def n_edges(self) -> int:
+        """Number of distinct co-occurring Action pairs."""
+        return self.graph.number_of_edges()
+
+    def weighted_degree(self, action_id: str) -> int:
+        """Weighted degree (sum of co-occurrence counts) of an Action."""
+        if action_id not in self.graph:
+            return 0
+        return int(self.graph.degree(action_id, weight="weight"))
+
+    def degree(self, action_id: str) -> int:
+        """Unweighted degree (number of distinct partners) of an Action."""
+        if action_id not in self.graph:
+            return 0
+        return int(self.graph.degree(action_id))
+
+    def top_by_weighted_degree(self, n: int = 10) -> List[Tuple[str, str, int]]:
+        """The ``n`` Actions with the highest weighted degree."""
+        ranked = sorted(
+            ((node, self.weighted_degree(node)) for node in self.graph.nodes),
+            key=lambda item: -item[1],
+        )
+        return [
+            (action_id, self.names.get(action_id, action_id), weight)
+            for action_id, weight in ranked[:n]
+        ]
+
+    def largest_component(self) -> nx.Graph:
+        """The largest connected component (the subgraph Figure 8 plots)."""
+        if self.graph.number_of_nodes() == 0:
+            return nx.Graph()
+        components = list(nx.connected_components(self.graph))
+        largest = max(components, key=len)
+        return self.graph.subgraph(largest).copy()
+
+    def cooccurrence_count(self, action_a: str, action_b: str) -> int:
+        """In how many GPTs two Actions co-occur."""
+        if self.graph.has_edge(action_a, action_b):
+            return int(self.graph[action_a][action_b]["weight"])
+        return 0
+
+    def partners_of(self, action_id: str) -> List[Tuple[str, str, int]]:
+        """Partners of an Action sorted by co-occurrence weight."""
+        if action_id not in self.graph:
+            return []
+        partners = [
+            (neighbor, self.names.get(neighbor, neighbor), int(self.graph[action_id][neighbor]["weight"]))
+            for neighbor in self.graph.neighbors(action_id)
+        ]
+        partners.sort(key=lambda item: -item[2])
+        return partners
+
+    def find_by_name(self, name: str) -> Optional[str]:
+        """Find an Action id by (case-insensitive) name substring."""
+        wanted = name.lower()
+        for action_id, action_name in self.names.items():
+            if wanted in action_name.lower():
+                return action_id
+        return None
+
+
+def analyze_cooccurrence(corpus: CrawlCorpus) -> CooccurrenceAnalysis:
+    """Build the Action co-occurrence graph for a corpus."""
+    analysis = CooccurrenceAnalysis()
+    for action_id, action in corpus.unique_actions().items():
+        analysis.names[action_id] = action.title
+    for gpt in corpus.action_embedding_gpts():
+        action_ids = sorted({action.action_id for action in gpt.actions})
+        if len(action_ids) < 2:
+            continue
+        for index, action_a in enumerate(action_ids):
+            for action_b in action_ids[index + 1:]:
+                if analysis.graph.has_edge(action_a, action_b):
+                    analysis.graph[action_a][action_b]["weight"] += 1
+                else:
+                    analysis.graph.add_edge(action_a, action_b, weight=1)
+    return analysis

@@ -1,0 +1,88 @@
+"""Taxonomy coverage analysis (Figure 3 and Section 4.1.2).
+
+Measures how many *distinct* data descriptions each taxonomy category and data
+type covers, and the fraction of descriptions that remain unclassified
+(``Other``).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.classification.results import ClassificationResult
+
+
+@dataclass
+class CoverageAnalysis:
+    """Distinct-description coverage per category and per data type."""
+
+    #: Category → number of distinct descriptions covered.
+    category_coverage: Dict[str, int] = field(default_factory=dict)
+    #: ``(category, type)`` → number of distinct descriptions covered.
+    type_coverage: Dict[Tuple[str, str], int] = field(default_factory=dict)
+    n_distinct_descriptions: int = 0
+    other_rate: float = 0.0
+
+    # ------------------------------------------------------------------
+    def coverage_cdf(self, level: str = "type") -> List[Tuple[int, float]]:
+        """Figure 3's CDF: fraction of categories/types covering ≤ N descriptions."""
+        if level == "type":
+            values = sorted(self.type_coverage.values())
+        elif level == "category":
+            values = sorted(self.category_coverage.values())
+        else:
+            raise ValueError("level must be 'type' or 'category'")
+        if not values:
+            return []
+        total = len(values)
+        points: List[Tuple[int, float]] = []
+        for threshold in sorted(set(values)):
+            points.append((threshold, sum(1 for value in values if value <= threshold) / total))
+        return points
+
+    def median_coverage(self, level: str = "type") -> float:
+        """Median number of distinct descriptions covered per category/type."""
+        values = (
+            list(self.type_coverage.values())
+            if level == "type"
+            else list(self.category_coverage.values())
+        )
+        return float(np.median(values)) if values else 0.0
+
+    def share_covering_at_least(self, threshold: int, level: str = "type") -> float:
+        """Fraction of categories/types covering at least ``threshold`` descriptions."""
+        values = (
+            list(self.type_coverage.values())
+            if level == "type"
+            else list(self.category_coverage.values())
+        )
+        if not values:
+            return 0.0
+        return sum(1 for value in values if value >= threshold) / len(values)
+
+    def classified_share(self) -> float:
+        """Fraction of descriptions mapped to the taxonomy (1 − other rate)."""
+        return 1.0 - self.other_rate
+
+
+def analyze_coverage(classification: ClassificationResult) -> CoverageAnalysis:
+    """Compute Figure 3 coverage statistics from a classification result."""
+    analysis = CoverageAnalysis()
+    distinct_by_type: Dict[Tuple[str, str], set] = {}
+    distinct_by_category: Dict[str, set] = {}
+    distinct_descriptions = set()
+    for label in classification.labels:
+        distinct_descriptions.add(label.text)
+        if label.is_other:
+            continue
+        distinct_by_type.setdefault(label.label, set()).add(label.text)
+        distinct_by_category.setdefault(label.category, set()).add(label.text)
+    analysis.n_distinct_descriptions = len(distinct_descriptions)
+    analysis.type_coverage = {key: len(texts) for key, texts in distinct_by_type.items()}
+    analysis.category_coverage = {key: len(texts) for key, texts in distinct_by_category.items()}
+    analysis.other_rate = classification.other_rate()
+    return analysis

@@ -1,0 +1,43 @@
+"""Crawl statistics (Table 1 and Section 4.1.1 crawl numbers)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.crawler.corpus import CrawlCorpus
+
+
+@dataclass
+class CrawlStatsAnalysis:
+    """Per-store and corpus-wide crawl statistics."""
+
+    per_store_counts: Dict[str, int] = field(default_factory=dict)
+    total_unique_gpts: int = 0
+    n_unique_actions: int = 0
+    n_action_gpts: int = 0
+    n_unresolved_identifiers: int = 0
+    policy_availability: float = 0.0
+
+    def sorted_store_counts(self) -> List[Tuple[str, int]]:
+        """Store counts sorted descending, as Table 1 presents them."""
+        return sorted(self.per_store_counts.items(), key=lambda item: (-item[1], item[0]))
+
+    @property
+    def action_gpt_share(self) -> float:
+        """Fraction of crawled GPTs that embed Actions."""
+        if not self.total_unique_gpts:
+            return 0.0
+        return self.n_action_gpts / self.total_unique_gpts
+
+
+def analyze_crawl_stats(corpus: CrawlCorpus) -> CrawlStatsAnalysis:
+    """Compute Table 1-style crawl statistics for a corpus."""
+    return CrawlStatsAnalysis(
+        per_store_counts=dict(corpus.store_counts),
+        total_unique_gpts=corpus.total_unique_gpts(),
+        n_unique_actions=corpus.n_unique_actions(),
+        n_action_gpts=len(corpus.action_embedding_gpts()),
+        n_unresolved_identifiers=len(corpus.unresolved_gpt_ids),
+        policy_availability=corpus.policy_availability(),
+    )

@@ -1,0 +1,184 @@
+"""Disclosure-consistency analysis (Figures 9–12, Table 7, Section 5.2).
+
+Aggregates the privacy-policy framework's output into:
+
+* per-category and per-data-type label distributions (Figures 9 and 10);
+* the per-Action CDF of label fractions (Figure 11);
+* per-Action consistency versus collected-item count with the Spearman
+  correlation the paper reports (Figure 12);
+* the Actions with five or more clearly disclosed data types (Table 7) and the
+  share of Actions whose whole data collection is consistent (Section 5.2.3).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy import stats as scipy_stats
+
+from repro.crawler.corpus import CrawlCorpus
+from repro.policy.framework import PolicyConsistencyReport
+from repro.policy.labels import ConsistencyLabel
+
+#: Label order used for rendering distributions.
+LABEL_ORDER: Tuple[ConsistencyLabel, ...] = (
+    ConsistencyLabel.CLEAR,
+    ConsistencyLabel.VAGUE,
+    ConsistencyLabel.AMBIGUOUS,
+    ConsistencyLabel.INCORRECT,
+    ConsistencyLabel.OMITTED,
+)
+
+
+@dataclass(frozen=True)
+class ConsistentActionRow:
+    """One row of Table 7 (Actions with many consistent disclosures)."""
+
+    action_id: str
+    name: str
+    clear: int
+    vague: int
+    total: int
+
+
+@dataclass
+class DisclosureAnalysis:
+    """Aggregated disclosure-consistency measurements."""
+
+    #: Category → label → fraction (rows of the Figure 9 heat map).
+    category_distributions: Dict[str, Dict[ConsistencyLabel, float]] = field(default_factory=dict)
+    #: ``(category, type)`` → label → count (Figure 10, for prevalent types).
+    type_label_counts: Dict[Tuple[str, str], Dict[ConsistencyLabel, int]] = field(default_factory=dict)
+    #: Per-Action fraction of each label (Figure 11).
+    action_label_fractions: Dict[str, Dict[ConsistencyLabel, float]] = field(default_factory=dict)
+    #: Per-Action (item count, consistency fraction) pairs (Figure 12).
+    consistency_vs_items: List[Tuple[int, float]] = field(default_factory=list)
+    #: Table 7 rows.
+    consistent_actions: List[ConsistentActionRow] = field(default_factory=list)
+    n_actions_analyzed: int = 0
+    fully_consistent_share: float = 0.0
+    majority_consistent_share: float = 0.0
+
+    # ------------------------------------------------------------------
+    def overall_distribution(self) -> Dict[ConsistencyLabel, float]:
+        """Corpus-wide fraction of each label."""
+        counts: Counter = Counter()
+        for label_counts in self.type_label_counts.values():
+            for label, count in label_counts.items():
+                counts[label] += count
+        total = sum(counts.values())
+        if not total:
+            return {label: 0.0 for label in LABEL_ORDER}
+        return {label: counts[label] / total for label in LABEL_ORDER}
+
+    def omitted_share(self, category: Optional[str] = None) -> float:
+        """Fraction of omitted disclosures overall or for one category."""
+        if category is None:
+            return self.overall_distribution()[ConsistencyLabel.OMITTED]
+        return self.category_distributions.get(category, {}).get(ConsistencyLabel.OMITTED, 0.0)
+
+    def prevalent_type_rows(
+        self, min_occurrences: int = 20
+    ) -> List[Tuple[Tuple[str, str], Dict[ConsistencyLabel, int], int]]:
+        """Figure 10 rows: data types with at least ``min_occurrences`` disclosures."""
+        rows = []
+        for key, counts in self.type_label_counts.items():
+            total = sum(counts.values())
+            if total >= min_occurrences:
+                rows.append((key, counts, total))
+        rows.sort(key=lambda row: -row[2])
+        return rows
+
+    def label_fraction_cdf(self, label: ConsistencyLabel) -> List[Tuple[float, float]]:
+        """Figure 11's CDF of per-Action fractions for one label."""
+        fractions = sorted(
+            fractions_by_label.get(label, 0.0)
+            for fractions_by_label in self.action_label_fractions.values()
+        )
+        if not fractions:
+            return []
+        total = len(fractions)
+        return [
+            (fraction, (index + 1) / total) for index, fraction in enumerate(fractions)
+        ]
+
+    def spearman_consistency_vs_items(self) -> float:
+        """Spearman correlation between item count and consistency (Figure 12)."""
+        if len(self.consistency_vs_items) < 3:
+            return 0.0
+        items = [count for count, _ in self.consistency_vs_items]
+        consistency = [fraction for _, fraction in self.consistency_vs_items]
+        if len(set(items)) < 2 or len(set(consistency)) < 2:
+            return 0.0
+        coefficient, _ = scipy_stats.spearmanr(items, consistency)
+        return float(coefficient) if not np.isnan(coefficient) else 0.0
+
+    def top_consistent_actions(self, min_clear: int = 5) -> List[ConsistentActionRow]:
+        """Table 7: Actions with at least ``min_clear`` consistent disclosures."""
+        return [
+            row for row in self.consistent_actions if (row.clear + row.vague) >= min_clear
+        ]
+
+
+def analyze_disclosure(
+    report: PolicyConsistencyReport,
+    corpus: Optional[CrawlCorpus] = None,
+) -> DisclosureAnalysis:
+    """Aggregate a policy-consistency report into the paper's disclosure metrics."""
+    analysis = DisclosureAnalysis()
+    action_names: Dict[str, str] = {}
+    if corpus is not None:
+        action_names = {
+            action_id: action.title for action_id, action in corpus.unique_actions().items()
+        }
+
+    category_counts: Dict[str, Counter] = {}
+    analyses = report.actions_with_policies()
+    analysis.n_actions_analyzed = len(analyses)
+    fully_consistent = 0
+    majority_consistent = 0
+
+    for action_analysis in analyses:
+        label_counter: Counter = Counter()
+        for result in action_analysis.results:
+            label_counter[result.final_label] += 1
+            category_counts.setdefault(result.category, Counter())[result.final_label] += 1
+            type_counts = analysis.type_label_counts.setdefault(
+                (result.category, result.data_type), {label: 0 for label in LABEL_ORDER}
+            )
+            type_counts[result.final_label] += 1
+        total = sum(label_counter.values())
+        if total:
+            analysis.action_label_fractions[action_analysis.action_id] = {
+                label: label_counter[label] / total for label in LABEL_ORDER
+            }
+            analysis.consistency_vs_items.append(
+                (action_analysis.n_types, action_analysis.consistency_fraction())
+            )
+            if action_analysis.is_fully_consistent():
+                fully_consistent += 1
+            if action_analysis.consistency_fraction() > 0.5:
+                majority_consistent += 1
+            analysis.consistent_actions.append(
+                ConsistentActionRow(
+                    action_id=action_analysis.action_id,
+                    name=action_names.get(action_analysis.action_id, action_analysis.action_id),
+                    clear=label_counter[ConsistencyLabel.CLEAR],
+                    vague=label_counter[ConsistencyLabel.VAGUE],
+                    total=total,
+                )
+            )
+
+    for category, counts in category_counts.items():
+        total = sum(counts.values())
+        analysis.category_distributions[category] = {
+            label: counts[label] / total for label in LABEL_ORDER
+        }
+    if analyses:
+        analysis.fully_consistent_share = fully_consistent / len(analyses)
+        analysis.majority_consistent_share = majority_consistent / len(analyses)
+    analysis.consistent_actions.sort(key=lambda row: -(row.clear + row.vague))
+    return analysis

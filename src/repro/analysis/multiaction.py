@@ -1,0 +1,79 @@
+"""Multi-Action GPT analysis (Section 4.4.1).
+
+Measures how many Actions each Action-embedding GPT integrates, whether the
+Actions of multi-Action GPTs span several domains (additional online services)
+or just additional endpoints of the same service, and how often Actions
+co-occur with other Actions across GPTs.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.crawler.corpus import CrawlCorpus
+from repro.web.psl import registrable_domain
+
+
+@dataclass
+class MultiActionAnalysis:
+    """Distribution of Actions per GPT and related multi-Action statistics."""
+
+    #: Number of Actions → number of GPTs with that many Actions.
+    action_count_distribution: Dict[int, int] = field(default_factory=dict)
+    n_action_gpts: int = 0
+    #: Among multi-Action GPTs, the share whose Actions contact >1 registrable domain.
+    cross_domain_share: float = 0.0
+    #: Share of Actions (appearing across GPTs) that co-occur with ≥1 other Action.
+    cooccurring_action_share: float = 0.0
+
+    def share_with_n_actions(self, n: int) -> float:
+        """Fraction of Action-embedding GPTs with exactly ``n`` Actions."""
+        if not self.n_action_gpts:
+            return 0.0
+        return self.action_count_distribution.get(n, 0) / self.n_action_gpts
+
+    def share_with_at_least(self, n: int) -> float:
+        """Fraction of Action-embedding GPTs with at least ``n`` Actions."""
+        if not self.n_action_gpts:
+            return 0.0
+        matching = sum(count for size, count in self.action_count_distribution.items() if size >= n)
+        return matching / self.n_action_gpts
+
+
+def analyze_multi_action(corpus: CrawlCorpus) -> MultiActionAnalysis:
+    """Compute Section 4.4.1 statistics for a corpus."""
+    analysis = MultiActionAnalysis()
+    action_gpts = corpus.action_embedding_gpts()
+    analysis.n_action_gpts = len(action_gpts)
+    if not action_gpts:
+        return analysis
+
+    distribution: Counter = Counter()
+    multi_total = 0
+    multi_cross_domain = 0
+    action_partners: Dict[str, set] = {}
+    for gpt in action_gpts:
+        action_ids = [action.action_id for action in gpt.actions]
+        distribution[len(action_ids)] += 1
+        domains = {
+            registrable_domain(action.domain) or action.domain
+            for action in gpt.actions
+            if action.domain
+        }
+        if len(action_ids) > 1:
+            multi_total += 1
+            if len(domains) > 1:
+                multi_cross_domain += 1
+        for action_id in action_ids:
+            partners = action_partners.setdefault(action_id, set())
+            partners.update(other for other in action_ids if other != action_id)
+
+    analysis.action_count_distribution = dict(distribution)
+    if multi_total:
+        analysis.cross_domain_share = multi_cross_domain / multi_total
+    if action_partners:
+        cooccurring = sum(1 for partners in action_partners.values() if partners)
+        analysis.cooccurring_action_share = cooccurring / len(action_partners)
+    return analysis

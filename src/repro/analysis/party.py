@@ -1,0 +1,77 @@
+"""First-/third-party attribution of Actions within GPTs.
+
+An Action embedded in a GPT is third-party when the registrable domain of its
+API server differs from the registrable domain of the GPT vendor (the author's
+declared website, falling back to the manifest's vendor domain) — Section
+4.1.1, footnote 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.crawler.corpus import CrawlCorpus, CrawledGPT
+from repro.web.thirdparty import ThirdPartyClassifier
+
+
+@dataclass
+class ActionPartyIndex:
+    """Attribution of every (GPT, Action) embedding and per-Action rollups."""
+
+    #: ``(gpt_id, action_id)`` → ``"first"`` or ``"third"``.
+    embedding_party: Dict[Tuple[str, str], str] = field(default_factory=dict)
+    #: Action id → party, rolled up across embeddings ("third" wins on mixes,
+    #: since an Action reused by unrelated GPTs is a third-party service).
+    action_party: Dict[str, str] = field(default_factory=dict)
+
+    def party_of_embedding(self, gpt_id: str, action_id: str) -> str:
+        """Party of one embedding (defaults to third when unknown)."""
+        return self.embedding_party.get((gpt_id, action_id), "third")
+
+    def party_of_action(self, action_id: str) -> str:
+        """Rolled-up party of an Action."""
+        return self.action_party.get(action_id, "third")
+
+    def actions_by_party(self) -> Tuple[List[str], List[str]]:
+        """Return ``(first_party_action_ids, third_party_action_ids)``."""
+        first = [action for action, party in self.action_party.items() if party == "first"]
+        third = [action for action, party in self.action_party.items() if party == "third"]
+        return first, third
+
+    def third_party_share(self) -> float:
+        """Fraction of Actions attributed to third parties."""
+        if not self.action_party:
+            return 0.0
+        third = sum(1 for party in self.action_party.values() if party == "third")
+        return third / len(self.action_party)
+
+
+def _vendor_url(gpt: CrawledGPT) -> Optional[str]:
+    if gpt.author_website:
+        return gpt.author_website
+    if gpt.vendor_domain:
+        return f"https://{gpt.vendor_domain}"
+    return None
+
+
+def build_party_index(
+    corpus: CrawlCorpus,
+    classifier: Optional[ThirdPartyClassifier] = None,
+) -> ActionPartyIndex:
+    """Attribute every Action embedding in a corpus to first or third party."""
+    classifier = classifier or ThirdPartyClassifier()
+    index = ActionPartyIndex()
+    counts: Dict[str, Dict[str, int]] = {}
+    for gpt in corpus.iter_gpts():
+        vendor = _vendor_url(gpt)
+        for action in gpt.actions:
+            third = classifier.is_third_party(action.server_url, vendor)
+            party = "third" if third else "first"
+            index.embedding_party[(gpt.gpt_id, action.action_id)] = party
+            counts.setdefault(action.action_id, {"first": 0, "third": 0})[party] += 1
+    for action_id, tally in counts.items():
+        # An Action that is first-party in every GPT embedding it is a
+        # first-party Action; any cross-vendor reuse makes it third-party.
+        index.action_party[action_id] = "first" if tally["third"] == 0 else "third"
+    return index

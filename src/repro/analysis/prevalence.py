@@ -1,0 +1,100 @@
+"""Prevalent third-party Action analysis (Table 5, Section 4.3).
+
+Identifies Actions embedded by many GPTs, together with their functionality,
+how many data types they collect, examples of the collected data, and the
+fraction of Action-embedding GPTs that embed them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.party import ActionPartyIndex, build_party_index
+from repro.classification.results import ClassificationResult
+from repro.crawler.corpus import CrawlCorpus
+
+
+@dataclass(frozen=True)
+class PrevalentActionRow:
+    """One row of Table 5."""
+
+    action_id: str
+    name: str
+    functionality: str
+    n_data_types: int
+    example_data_types: Tuple[str, ...]
+    gpt_share: float
+    n_gpts: int
+
+
+@dataclass
+class PrevalenceAnalysis:
+    """Third-party Actions ranked by the share of GPTs embedding them."""
+
+    rows: List[PrevalentActionRow] = field(default_factory=list)
+    n_action_gpts: int = 0
+
+    def top(self, n: int = 15) -> List[PrevalentActionRow]:
+        """The ``n`` most widely embedded third-party Actions."""
+        return self.rows[:n]
+
+    def row_by_name(self, name: str) -> Optional[PrevalentActionRow]:
+        """Find a row by (case-insensitive) Action name substring."""
+        wanted = name.lower()
+        for row in self.rows:
+            if wanted in row.name.lower():
+                return row
+        return None
+
+
+def analyze_prevalence(
+    corpus: CrawlCorpus,
+    classification: ClassificationResult,
+    party_index: Optional[ActionPartyIndex] = None,
+    min_gpts: int = 2,
+    third_party_only: bool = True,
+) -> PrevalenceAnalysis:
+    """Compute Table 5 from a classified corpus.
+
+    Only Actions embedded by at least ``min_gpts`` GPTs are reported; by
+    default only third-party Actions are listed (as in the paper).
+    """
+    party_index = party_index or build_party_index(corpus)
+    analysis = PrevalenceAnalysis()
+    action_gpts = corpus.action_embedding_gpts()
+    analysis.n_action_gpts = len(action_gpts)
+    if not action_gpts:
+        return analysis
+
+    embedding_counts: Dict[str, int] = {}
+    for gpt in action_gpts:
+        for action_id in {action.action_id for action in gpt.actions}:
+            embedding_counts[action_id] = embedding_counts.get(action_id, 0) + 1
+
+    collected_by_action = classification.action_data_types()
+    actions = corpus.unique_actions()
+    rows: List[PrevalentActionRow] = []
+    for action_id, count in embedding_counts.items():
+        if count < min_gpts:
+            continue
+        if third_party_only and party_index.party_of_action(action_id) != "third":
+            continue
+        action = actions.get(action_id)
+        if action is None:
+            continue
+        collected = collected_by_action.get(action_id, [])
+        rows.append(
+            PrevalentActionRow(
+                action_id=action_id,
+                name=action.title,
+                functionality=action.functionality or "Unknown",
+                n_data_types=len(collected),
+                example_data_types=tuple(data_type for _, data_type in collected[:3]),
+                gpt_share=count / len(action_gpts),
+                n_gpts=count,
+            )
+        )
+    rows.sort(key=lambda row: (-row.gpt_share, row.name))
+    analysis.rows = rows
+    return analysis

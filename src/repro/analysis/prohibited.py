@@ -1,0 +1,84 @@
+"""Prohibited-data collection analysis (Section 4.2.2).
+
+OpenAI's usage policies forbid collecting sensitive credentials such as API
+keys and passwords; the paper finds 9.1% of Action-embedding GPTs include
+Actions that collect security credentials.  This analysis flags every GPT and
+Action collecting prohibited or sensitive data types.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.classification.results import ClassificationResult
+from repro.crawler.corpus import CrawlCorpus
+from repro.taxonomy.builtin import PROHIBITED_CATEGORIES
+from repro.taxonomy.schema import DataTaxonomy
+
+
+@dataclass
+class ProhibitedDataAnalysis:
+    """Who collects data that platform policy prohibits."""
+
+    #: GPT ids embedding at least one Action that collects prohibited data.
+    offending_gpts: List[str] = field(default_factory=list)
+    #: Action ids collecting prohibited data and the offending types.
+    offending_actions: Dict[str, List[Tuple[str, str]]] = field(default_factory=dict)
+    #: GPT ids embedding Actions that collect health data (case study).
+    health_collecting_gpts: List[str] = field(default_factory=list)
+    n_action_gpts: int = 0
+
+    @property
+    def offending_gpt_share(self) -> float:
+        """Fraction of Action-embedding GPTs collecting prohibited data."""
+        if not self.n_action_gpts:
+            return 0.0
+        return len(self.offending_gpts) / self.n_action_gpts
+
+    @property
+    def health_gpt_share(self) -> float:
+        """Fraction of Action-embedding GPTs collecting health data."""
+        if not self.n_action_gpts:
+            return 0.0
+        return len(self.health_collecting_gpts) / self.n_action_gpts
+
+
+def analyze_prohibited(
+    corpus: CrawlCorpus,
+    classification: ClassificationResult,
+    taxonomy: Optional[DataTaxonomy] = None,
+    prohibited_categories: Tuple[str, ...] = PROHIBITED_CATEGORIES,
+) -> ProhibitedDataAnalysis:
+    """Find GPTs and Actions collecting prohibited (and health) data."""
+    analysis = ProhibitedDataAnalysis()
+    collected_by_action = classification.action_data_types()
+
+    prohibited_types: Set[Tuple[str, str]] = set()
+    if taxonomy is not None:
+        prohibited_types = {data_type.key for data_type in taxonomy.prohibited_types()}
+
+    def is_prohibited(key: Tuple[str, str]) -> bool:
+        if key in prohibited_types:
+            return True
+        return key[0] in prohibited_categories
+
+    for action_id, types in collected_by_action.items():
+        offending = [key for key in types if is_prohibited(key)]
+        if offending:
+            analysis.offending_actions[action_id] = offending
+
+    action_gpts = corpus.action_embedding_gpts()
+    analysis.n_action_gpts = len(action_gpts)
+    for gpt in action_gpts:
+        action_ids = {action.action_id for action in gpt.actions}
+        if action_ids & set(analysis.offending_actions):
+            analysis.offending_gpts.append(gpt.gpt_id)
+        collects_health = any(
+            key[0] == "Health information"
+            for action_id in action_ids
+            for key in collected_by_action.get(action_id, [])
+        )
+        if collects_health:
+            analysis.health_collecting_gpts.append(gpt.gpt_id)
+    return analysis

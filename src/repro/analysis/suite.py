@@ -1,0 +1,276 @@
+"""One-stop measurement suite.
+
+:class:`MeasurementSuite` runs the full measurement pipeline the paper
+describes — generate (or accept) an ecosystem, crawl it, build the few-shot
+seed set, classify every data description, analyze privacy policies — and
+exposes every analysis lazily from a single object.  Experiments, benchmarks,
+and examples all build on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.collection import CollectionAnalysis, analyze_collection
+from repro.analysis.cooccurrence import CooccurrenceAnalysis, analyze_cooccurrence
+from repro.analysis.coverage import CoverageAnalysis, analyze_coverage
+from repro.analysis.crawlstats import CrawlStatsAnalysis, analyze_crawl_stats
+from repro.analysis.disclosure import DisclosureAnalysis, analyze_disclosure
+from repro.analysis.multiaction import MultiActionAnalysis, analyze_multi_action
+from repro.analysis.party import ActionPartyIndex, build_party_index
+from repro.analysis.prevalence import PrevalenceAnalysis, analyze_prevalence
+from repro.analysis.prohibited import ProhibitedDataAnalysis, analyze_prohibited
+from repro.analysis.tools import ToolUsageAnalysis, analyze_tool_usage
+from repro.classification.classifier import ClassifierConfig, DataCollectionClassifier
+from repro.classification.descriptions import (
+    DataDescription,
+    extract_descriptions,
+    label_with_ground_truth,
+    sample_descriptions,
+)
+from repro.classification.evaluation import (
+    ClassifierEvaluation,
+    evaluate_predictions,
+    gold_from_ground_truth,
+)
+from repro.classification.results import ClassificationResult
+from repro.crawler.corpus import CrawlCorpus
+from repro.crawler.pipeline import CrawlPipeline
+from repro.ecosystem.config import EcosystemConfig
+from repro.ecosystem.generator import EcosystemGenerator
+from repro.ecosystem.models import SyntheticEcosystem
+from repro.llm.fewshot import FewShotStore
+from repro.llm.simulated import SimulatedLLM
+from repro.policy.duplicates import DuplicatePolicyReport, analyze_policy_corpus
+from repro.policy.evaluation import PolicyFrameworkEvaluation, evaluate_policy_framework
+from repro.policy.framework import PolicyConsistencyReport, PrivacyPolicyAnalyzer
+from repro.taxonomy.builtin import load_builtin_taxonomy
+from repro.taxonomy.schema import DataTaxonomy
+
+
+@dataclass
+class SuiteConfig:
+    """Configuration of a full measurement run."""
+
+    n_gpts: int = 2000
+    seed: int = 0
+    seed_example_count: int = 300
+    fewshot_k: int = 5
+    two_phase: bool = True
+    use_fewshot: bool = True
+    single_pass_policy: bool = False
+
+
+class MeasurementSuite:
+    """Runs and caches the full measurement pipeline."""
+
+    def __init__(
+        self,
+        config: Optional[SuiteConfig] = None,
+        ecosystem_config: Optional[EcosystemConfig] = None,
+        ecosystem: Optional[SyntheticEcosystem] = None,
+        taxonomy: Optional[DataTaxonomy] = None,
+        llm: Optional[SimulatedLLM] = None,
+    ) -> None:
+        self.config = config or SuiteConfig()
+        self.taxonomy = taxonomy or load_builtin_taxonomy()
+        self.ecosystem_config = ecosystem_config or EcosystemConfig.paper_calibrated(
+            n_gpts=self.config.n_gpts, seed=self.config.seed
+        )
+        self.llm = llm or SimulatedLLM(knowledge_taxonomy=self.taxonomy, seed=self.config.seed)
+        self._ecosystem = ecosystem
+        self._corpus: Optional[CrawlCorpus] = None
+        self._descriptions: Optional[List[DataDescription]] = None
+        self._fewshot_store: Optional[FewShotStore] = None
+        self._classification: Optional[ClassificationResult] = None
+        self._policy_report: Optional[PolicyConsistencyReport] = None
+        self._party_index: Optional[ActionPartyIndex] = None
+        self._cache: Dict[str, object] = {}
+
+    # ------------------------------------------------------------------
+    # Pipeline stages (lazy, cached)
+    # ------------------------------------------------------------------
+    @property
+    def ecosystem(self) -> SyntheticEcosystem:
+        """The synthetic ecosystem (generated on first access)."""
+        if self._ecosystem is None:
+            self._ecosystem = EcosystemGenerator(self.ecosystem_config, self.taxonomy).generate()
+        return self._ecosystem
+
+    @property
+    def corpus(self) -> CrawlCorpus:
+        """The crawled corpus."""
+        if self._corpus is None:
+            pipeline = CrawlPipeline.from_ecosystem(self.ecosystem, seed=self.config.seed)
+            self._corpus = pipeline.run()
+        return self._corpus
+
+    @property
+    def descriptions(self) -> List[DataDescription]:
+        """All data descriptions extracted from the corpus."""
+        if self._descriptions is None:
+            self._descriptions = extract_descriptions(self.corpus)
+        return self._descriptions
+
+    @property
+    def fewshot_store(self) -> FewShotStore:
+        """The labelled seed-example store (the paper's 1K manual labels)."""
+        if self._fewshot_store is None:
+            # Cap the seed set well below the corpus size: the paper labels 1K
+            # of ~40K descriptions, so the few-shot store must stay a small
+            # fraction of what gets classified or accuracy is trivially inflated.
+            cap = max(1, len(self.descriptions) // 3)
+            seed_sample = sample_descriptions(
+                self.descriptions,
+                min(self.config.seed_example_count, cap),
+                seed=self.config.seed,
+            )
+            examples = label_with_ground_truth(seed_sample, self.ecosystem.ground_truth)
+            self._fewshot_store = FewShotStore(examples, default_k=self.config.fewshot_k)
+        return self._fewshot_store
+
+    def build_classifier(self) -> DataCollectionClassifier:
+        """Construct the classifier with the suite's configuration."""
+        return DataCollectionClassifier(
+            taxonomy=self.taxonomy,
+            llm=self.llm,
+            fewshot_store=self.fewshot_store,
+            config=ClassifierConfig(
+                fewshot_k=self.config.fewshot_k,
+                two_phase=self.config.two_phase,
+                use_fewshot=self.config.use_fewshot,
+            ),
+        )
+
+    @property
+    def classification(self) -> ClassificationResult:
+        """Classification of every extracted data description."""
+        if self._classification is None:
+            self._classification = self.build_classifier().classify_many(self.descriptions)
+        return self._classification
+
+    @property
+    def policy_report(self) -> PolicyConsistencyReport:
+        """Privacy-policy consistency report for the whole corpus."""
+        if self._policy_report is None:
+            analyzer = PrivacyPolicyAnalyzer(
+                self.taxonomy, self.llm, single_pass=self.config.single_pass_policy
+            )
+            self._policy_report = analyzer.analyze_corpus(self.corpus, self.classification)
+        return self._policy_report
+
+    @property
+    def party_index(self) -> ActionPartyIndex:
+        """First-/third-party attribution of Actions."""
+        if self._party_index is None:
+            self._party_index = build_party_index(self.corpus)
+        return self._party_index
+
+    # ------------------------------------------------------------------
+    # Analyses (lazy, cached)
+    # ------------------------------------------------------------------
+    def _cached(self, key: str, builder) -> object:
+        if key not in self._cache:
+            self._cache[key] = builder()
+        return self._cache[key]
+
+    @property
+    def crawl_stats(self) -> CrawlStatsAnalysis:
+        """Table 1 crawl statistics."""
+        return self._cached("crawl_stats", lambda: analyze_crawl_stats(self.corpus))  # type: ignore[return-value]
+
+    @property
+    def tool_usage(self) -> ToolUsageAnalysis:
+        """Table 3 tool usage."""
+        return self._cached(
+            "tool_usage", lambda: analyze_tool_usage(self.corpus, self.party_index)
+        )  # type: ignore[return-value]
+
+    @property
+    def collection(self) -> CollectionAnalysis:
+        """Table 4 / Figure 7 collection trends."""
+        return self._cached(
+            "collection",
+            lambda: analyze_collection(self.corpus, self.classification, self.party_index),
+        )  # type: ignore[return-value]
+
+    @property
+    def coverage(self) -> CoverageAnalysis:
+        """Figure 3 taxonomy coverage."""
+        return self._cached("coverage", lambda: analyze_coverage(self.classification))  # type: ignore[return-value]
+
+    @property
+    def prohibited(self) -> ProhibitedDataAnalysis:
+        """Section 4.2.2 prohibited-data collection."""
+        return self._cached(
+            "prohibited",
+            lambda: analyze_prohibited(self.corpus, self.classification, self.taxonomy),
+        )  # type: ignore[return-value]
+
+    @property
+    def prevalence(self) -> PrevalenceAnalysis:
+        """Table 5 prevalent third-party Actions."""
+        return self._cached(
+            "prevalence",
+            lambda: analyze_prevalence(self.corpus, self.classification, self.party_index),
+        )  # type: ignore[return-value]
+
+    @property
+    def multi_action(self) -> MultiActionAnalysis:
+        """Section 4.4.1 multi-Action statistics."""
+        return self._cached("multi_action", lambda: analyze_multi_action(self.corpus))  # type: ignore[return-value]
+
+    @property
+    def cooccurrence(self) -> CooccurrenceAnalysis:
+        """Figure 8 co-occurrence graph."""
+        return self._cached("cooccurrence", lambda: analyze_cooccurrence(self.corpus))  # type: ignore[return-value]
+
+    @property
+    def disclosure(self) -> DisclosureAnalysis:
+        """Figures 9–12 / Table 7 disclosure consistency."""
+        return self._cached(
+            "disclosure", lambda: analyze_disclosure(self.policy_report, self.corpus)
+        )  # type: ignore[return-value]
+
+    @property
+    def policy_duplicates(self) -> DuplicatePolicyReport:
+        """Section 5.1.1 / Table 6 duplicate-policy statistics."""
+        return self._cached("policy_duplicates", lambda: analyze_policy_corpus(self.corpus))  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    # Evaluations against generator ground truth
+    # ------------------------------------------------------------------
+    def evaluate_classifier(self, sample_fraction: float = 1.0) -> ClassifierEvaluation:
+        """Score the classifier against generator ground truth."""
+        descriptions = self.descriptions
+        if 0.0 < sample_fraction < 1.0:
+            n = max(1, int(len(descriptions) * sample_fraction))
+            descriptions = sample_descriptions(descriptions, n, seed=self.config.seed + 1)
+        relevant = {description.key for description in descriptions}
+        predictions = [
+            label for label in self.classification.labels
+            if (label.action_id, label.parameter_name) in relevant
+        ]
+        gold = gold_from_ground_truth(descriptions, self.ecosystem.ground_truth)
+        return evaluate_predictions(predictions, gold)
+
+    def evaluate_policy_framework(self) -> PolicyFrameworkEvaluation:
+        """Score the policy framework against generator ground truth."""
+        return evaluate_policy_framework(self.policy_report, self.ecosystem.ground_truth)
+
+    # ------------------------------------------------------------------
+    def run_all(self) -> Dict[str, object]:
+        """Force every stage and analysis to run; return them keyed by name."""
+        return {
+            "crawl_stats": self.crawl_stats,
+            "tool_usage": self.tool_usage,
+            "collection": self.collection,
+            "coverage": self.coverage,
+            "prohibited": self.prohibited,
+            "prevalence": self.prevalence,
+            "multi_action": self.multi_action,
+            "cooccurrence": self.cooccurrence,
+            "disclosure": self.disclosure,
+            "policy_duplicates": self.policy_duplicates,
+        }

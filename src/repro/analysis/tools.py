@@ -1,0 +1,82 @@
+"""Tool usage analysis (Table 3).
+
+Measures built-in tool adoption across GPTs (Web Browser, DALL-E, Code
+Interpreter, Knowledge) plus Action adoption, and splits Actions into first-
+and third-party.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.analysis.party import ActionPartyIndex, build_party_index
+from repro.crawler.corpus import CrawlCorpus
+
+#: Manifest tool-type strings and the display names Table 3 uses.
+TOOL_DISPLAY_NAMES: Dict[str, str] = {
+    "browser": "Web Browser",
+    "dalle": "DALLE",
+    "code_interpreter": "Code Interpreter",
+    "knowledge": "Knowledge (Files)",
+    "action": "Actions",
+}
+
+
+@dataclass
+class ToolUsageAnalysis:
+    """Adoption of each tool across GPTs and the Action first/third split."""
+
+    n_gpts: int = 0
+    tool_shares: Dict[str, float] = field(default_factory=dict)
+    any_tool_share: float = 0.0
+    online_service_share: float = 0.0
+    first_party_action_share: float = 0.0
+    third_party_action_share: float = 0.0
+
+    def share(self, tool: str) -> float:
+        """Adoption share of one tool (by manifest key)."""
+        return self.tool_shares.get(tool, 0.0)
+
+
+def analyze_tool_usage(
+    corpus: CrawlCorpus,
+    party_index: Optional[ActionPartyIndex] = None,
+) -> ToolUsageAnalysis:
+    """Compute Table 3 for a corpus."""
+    party_index = party_index or build_party_index(corpus)
+    analysis = ToolUsageAnalysis(n_gpts=len(corpus.gpts))
+    if not corpus.gpts:
+        return analysis
+
+    counters = {key: 0 for key in TOOL_DISPLAY_NAMES}
+    any_tool = 0
+    online = 0
+    for gpt in corpus.iter_gpts():
+        has_any = False
+        uses_online = False
+        for key in ("browser", "dalle", "code_interpreter", "knowledge"):
+            if gpt.has_tool(key):
+                counters[key] += 1
+                has_any = True
+                if key == "browser":
+                    uses_online = True
+        if gpt.has_actions:
+            counters["action"] += 1
+            has_any = True
+            uses_online = True
+        if has_any:
+            any_tool += 1
+        if uses_online:
+            online += 1
+
+    analysis.tool_shares = {key: count / analysis.n_gpts for key, count in counters.items()}
+    analysis.any_tool_share = any_tool / analysis.n_gpts
+    analysis.online_service_share = online / analysis.n_gpts
+
+    first, third = party_index.actions_by_party()
+    total_actions = len(first) + len(third)
+    if total_actions:
+        analysis.first_party_action_share = len(first) / total_actions
+        analysis.third_party_action_share = len(third) / total_actions
+    return analysis

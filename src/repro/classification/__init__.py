@@ -1,0 +1,40 @@
+"""Data-collection classification framework (Section 3.2).
+
+The framework maps the natural-language data descriptions found in Action
+specifications onto the data taxonomy:
+
+* :mod:`repro.classification.descriptions` — extract data descriptions from a
+  crawled corpus and sample labelling/evaluation sets;
+* :mod:`repro.classification.classifier` — the in-context-learning classifier
+  (few-shot retrieval + two-phase category→type prediction via an LLM);
+* :mod:`repro.classification.results` — result containers;
+* :mod:`repro.classification.other_handler` — the semi-automated taxonomy
+  extension pass for descriptions labelled ``Other`` (Section 3.2.4);
+* :mod:`repro.classification.evaluation` — accuracy evaluation and mistake
+  analysis (Section 4.1.2).
+"""
+
+from repro.classification.descriptions import (
+    DataDescription,
+    extract_descriptions,
+    sample_descriptions,
+    label_with_ground_truth,
+)
+from repro.classification.results import ClassificationResult, DescriptionLabel
+from repro.classification.classifier import DataCollectionClassifier
+from repro.classification.other_handler import OtherDescriptionHandler
+from repro.classification.evaluation import ClassifierEvaluation, MistakeAnalysis, evaluate_classifier
+
+__all__ = [
+    "DataDescription",
+    "extract_descriptions",
+    "sample_descriptions",
+    "label_with_ground_truth",
+    "ClassificationResult",
+    "DescriptionLabel",
+    "DataCollectionClassifier",
+    "OtherDescriptionHandler",
+    "ClassifierEvaluation",
+    "MistakeAnalysis",
+    "evaluate_classifier",
+]

@@ -1,0 +1,242 @@
+"""The in-context-learning data-description classifier (Section 3.2.3).
+
+For every data description the classifier:
+
+1. retrieves the top-``k`` most relevant labelled examples from the few-shot
+   store by sentence-embedding similarity;
+2. renders the Code 3 classification prompt containing the taxonomy, the
+   retrieved examples, and the description;
+3. asks the LLM for the higher-level data category, then (second phase) for
+   the lower-level data type within that category;
+4. validates the answer against the taxonomy, falling back to ``Other`` for
+   anything the LLM invents.
+
+Setting ``two_phase=False`` collapses both phases into a single prompt (the
+ablation studied in ``benchmarks/test_bench_ablation_twophase.py``); setting
+``use_fewshot=False`` drops the retrieved examples (the zero-shot ablation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.classification.descriptions import DataDescription
+from repro.classification.results import ClassificationResult, DescriptionLabel
+from repro.crawler.corpus import CrawlCorpus
+from repro.llm import prompts
+from repro.llm.base import LLMClient
+from repro.llm.fewshot import FewShotExample, FewShotStore
+from repro.taxonomy.schema import DataTaxonomy, OTHER_CATEGORY, OTHER_TYPE
+
+
+@dataclass
+class ClassifierConfig:
+    """Tunable knobs of the classifier."""
+
+    fewshot_k: int = 5
+    two_phase: bool = True
+    use_fewshot: bool = True
+    batch_size: int = 8
+
+    def __post_init__(self) -> None:
+        if self.fewshot_k <= 0:
+            raise ValueError("fewshot_k must be positive")
+        if self.batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+
+
+class DataCollectionClassifier:
+    """Classifies Action data descriptions into the data taxonomy."""
+
+    def __init__(
+        self,
+        taxonomy: DataTaxonomy,
+        llm: LLMClient,
+        fewshot_store: Optional[FewShotStore] = None,
+        config: Optional[ClassifierConfig] = None,
+    ) -> None:
+        self.taxonomy = taxonomy
+        self.llm = llm
+        self.fewshot_store = fewshot_store or FewShotStore()
+        self.config = config or ClassifierConfig()
+
+    # ------------------------------------------------------------------
+    # Few-shot management
+    # ------------------------------------------------------------------
+    def add_examples(self, examples: Sequence[FewShotExample]) -> None:
+        """Add labelled examples to the few-shot store."""
+        for example in examples:
+            self.fewshot_store.add(example)
+
+    def _examples_payload(self, text: str) -> List[Dict[str, str]]:
+        if not self.config.use_fewshot or len(self.fewshot_store) == 0:
+            return []
+        retrieved = self.fewshot_store.retrieve(text, k=self.config.fewshot_k)
+        return [
+            {
+                "description": example.description,
+                "category": example.category,
+                "data_type": example.data_type,
+            }
+            for example in retrieved
+        ]
+
+    # ------------------------------------------------------------------
+    # Classification
+    # ------------------------------------------------------------------
+    def classify_text(self, text: str) -> Tuple[str, str]:
+        """Classify one free-text description to ``(category, type)``."""
+        examples = self._examples_payload(text)
+        entities = [{"name_and_description": text, "examples": []}]
+        if not self.config.two_phase:
+            return self._classify_single_phase(entities, examples)[0]
+        return self._classify_two_phase(entities, examples)[0]
+
+    def classify(self, description: DataDescription) -> DescriptionLabel:
+        """Classify one :class:`DataDescription`."""
+        category, data_type = self.classify_text(description.text)
+        return DescriptionLabel(
+            action_id=description.action_id,
+            parameter_name=description.parameter_name,
+            text=description.text,
+            category=category,
+            data_type=data_type,
+        )
+
+    def classify_many(self, descriptions: Sequence[DataDescription]) -> ClassificationResult:
+        """Classify a batch of descriptions (batched prompts)."""
+        result = ClassificationResult()
+        batch_size = self.config.batch_size
+        for start in range(0, len(descriptions), batch_size):
+            batch = descriptions[start:start + batch_size]
+            # Retrieval is per description; the batch shares the union of the
+            # retrieved examples, mirroring the dynamic few-shot selection of
+            # Section 3.2.3.
+            example_pool: List[Dict[str, str]] = []
+            seen = set()
+            for description in batch:
+                for example in self._examples_payload(description.text):
+                    key = example["description"]
+                    if key not in seen:
+                        seen.add(key)
+                        example_pool.append(example)
+            entities = [
+                {"name_and_description": description.text, "examples": []}
+                for description in batch
+            ]
+            if self.config.two_phase:
+                labels = self._classify_two_phase(entities, example_pool)
+            else:
+                labels = self._classify_single_phase(entities, example_pool)
+            for description, (category, data_type) in zip(batch, labels):
+                result.add(
+                    DescriptionLabel(
+                        action_id=description.action_id,
+                        parameter_name=description.parameter_name,
+                        text=description.text,
+                        category=category,
+                        data_type=data_type,
+                    )
+                )
+        return result
+
+    def classify_corpus(self, corpus: CrawlCorpus) -> ClassificationResult:
+        """Extract and classify every data description in a crawled corpus."""
+        from repro.classification.descriptions import extract_descriptions
+
+        return self.classify_many(extract_descriptions(corpus))
+
+    # ------------------------------------------------------------------
+    # Prompt round-trips
+    # ------------------------------------------------------------------
+    def _classify_single_phase(
+        self,
+        entities: List[Dict[str, object]],
+        examples: List[Dict[str, str]],
+    ) -> List[Tuple[str, str]]:
+        prompt = prompts.render_classification_prompt(
+            self.taxonomy, entities, examples, phase="full"
+        )
+        response = self.llm.complete_text("You are a data classification assistant.", prompt)
+        parsed = prompts.parse_json_response(response)
+        return self._validate(parsed, expected=len(entities))
+
+    def _classify_two_phase(
+        self,
+        entities: List[Dict[str, object]],
+        examples: List[Dict[str, str]],
+    ) -> List[Tuple[str, str]]:
+        # Phase 1: category.
+        category_prompt = prompts.render_classification_prompt(
+            self.taxonomy, entities, examples, phase="category"
+        )
+        category_response = prompts.parse_json_response(
+            self.llm.complete_text("You are a data classification assistant.", category_prompt)
+        )
+        categories = [
+            str(item.get("category", OTHER_CATEGORY))
+            for item in category_response.get("classifications", [])
+        ]
+        while len(categories) < len(entities):
+            categories.append(OTHER_CATEGORY)
+
+        # Phase 2: type within the predicted category (grouped per category).
+        results: List[Optional[Tuple[str, str]]] = [None] * len(entities)
+        by_category: Dict[str, List[int]] = {}
+        for index, category in enumerate(categories):
+            if not self.taxonomy.has_category(category) or category == OTHER_CATEGORY:
+                results[index] = (OTHER_CATEGORY, OTHER_TYPE)
+                continue
+            by_category.setdefault(category, []).append(index)
+
+        for category, indices in by_category.items():
+            type_prompt = prompts.render_classification_prompt(
+                self.taxonomy,
+                [entities[index] for index in indices],
+                examples,
+                phase="type",
+                category=category,
+            )
+            type_response = prompts.parse_json_response(
+                self.llm.complete_text("You are a data classification assistant.", type_prompt)
+            )
+            labels = self._validate(type_response, expected=len(indices), category_hint=category)
+            for index, label in zip(indices, labels):
+                results[index] = label
+
+        return [result if result is not None else (OTHER_CATEGORY, OTHER_TYPE) for result in results]
+
+    def _validate(
+        self,
+        parsed: Dict[str, object],
+        expected: int,
+        category_hint: Optional[str] = None,
+    ) -> List[Tuple[str, str]]:
+        """Validate LLM output against the taxonomy; unknown labels become Other."""
+        labels: List[Tuple[str, str]] = []
+        classifications = parsed.get("classifications", [])
+        if not isinstance(classifications, list):
+            classifications = []
+        for item in classifications:
+            category = str(item.get("category", OTHER_CATEGORY)) if isinstance(item, dict) else OTHER_CATEGORY
+            data_type = str(item.get("data_type", OTHER_TYPE)) if isinstance(item, dict) else OTHER_TYPE
+            if category_hint is not None:
+                category = category_hint
+            if category == OTHER_CATEGORY or data_type == OTHER_TYPE:
+                labels.append((OTHER_CATEGORY, OTHER_TYPE))
+                continue
+            resolved = self.taxonomy.get_type(category, data_type)
+            if resolved is None:
+                # The LLM may answer with a type from the wrong category; try to
+                # recover it by name before giving up.
+                fallback = self.taxonomy.find_type(data_type)
+                if fallback is not None:
+                    labels.append(fallback.key)
+                else:
+                    labels.append((OTHER_CATEGORY, OTHER_TYPE))
+            else:
+                labels.append(resolved.key)
+        while len(labels) < expected:
+            labels.append((OTHER_CATEGORY, OTHER_TYPE))
+        return labels[:expected]

@@ -1,0 +1,91 @@
+"""Extraction and sampling of Action data descriptions."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.crawler.corpus import CrawlCorpus
+from repro.ecosystem.models import GroundTruth
+from repro.llm.fewshot import FewShotExample
+from repro.taxonomy.schema import OTHER_CATEGORY, OTHER_TYPE
+
+
+@dataclass(frozen=True)
+class DataDescription:
+    """One natural-language data description extracted from an Action."""
+
+    action_id: str
+    parameter_name: str
+    text: str
+
+    @property
+    def key(self) -> Tuple[str, str]:
+        """Unique ``(action id, parameter name)`` key."""
+        return (self.action_id, self.parameter_name)
+
+
+def extract_descriptions(corpus: CrawlCorpus) -> List[DataDescription]:
+    """Extract every data description from every unique Action in a corpus.
+
+    Descriptions are taken per unique Action (not per GPT embedding), matching
+    the paper's unit of analysis for data collection.
+    """
+    descriptions: List[DataDescription] = []
+    for action in corpus.unique_actions().values():
+        for (name, _), text in zip(action.parameters, action.data_descriptions()):
+            descriptions.append(
+                DataDescription(action_id=action.action_id, parameter_name=name, text=text)
+            )
+    return descriptions
+
+
+def sample_descriptions(
+    descriptions: Sequence[DataDescription],
+    n: int,
+    seed: int = 0,
+) -> List[DataDescription]:
+    """Randomly sample ``n`` descriptions (without replacement)."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    rng = random.Random(seed)
+    if n >= len(descriptions):
+        return list(descriptions)
+    return rng.sample(list(descriptions), k=n)
+
+
+def label_with_ground_truth(
+    descriptions: Iterable[DataDescription],
+    ground_truth: GroundTruth,
+) -> List[FewShotExample]:
+    """Label sampled descriptions with the generator ground truth.
+
+    This plays the role of the paper's manual coding of the 1K seed set
+    (Section 3.2.2): the human coders are assumed to produce correct labels, so
+    the generator's ground truth stands in for their consensus.  Descriptions
+    without ground truth (e.g. dead parameters) are labelled ``Other``.
+    """
+    examples: List[FewShotExample] = []
+    for description in descriptions:
+        label = ground_truth.label_for(description.action_id, description.parameter_name)
+        if label is None:
+            category, data_type = OTHER_CATEGORY, OTHER_TYPE
+        else:
+            category, data_type = label
+        examples.append(
+            FewShotExample(
+                description=description.text, category=category, data_type=data_type
+            )
+        )
+    return examples
+
+
+def descriptions_by_action(
+    descriptions: Iterable[DataDescription],
+) -> Dict[str, List[DataDescription]]:
+    """Group descriptions by their Action id."""
+    grouped: Dict[str, List[DataDescription]] = {}
+    for description in descriptions:
+        grouped.setdefault(description.action_id, []).append(description)
+    return grouped

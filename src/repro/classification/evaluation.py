@@ -1,0 +1,165 @@
+"""Classifier accuracy evaluation and mistake analysis (Section 4.1.2).
+
+The paper evaluates its classifier on (i) the 1K manually labelled seed set
+and (ii) a 5% random sample reviewed by three human coders, reporting ≈91–93%
+accuracy for categories and data types.  Here the gold labels come either from
+the seed examples or from generator ground truth, and the same accuracy and
+mistake breakdowns are computed.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.classification.classifier import DataCollectionClassifier
+from repro.classification.descriptions import DataDescription
+from repro.classification.results import ClassificationResult, DescriptionLabel
+from repro.ecosystem.models import GroundTruth
+from repro.llm.fewshot import FewShotExample
+from repro.taxonomy.schema import OTHER_CATEGORY, OTHER_TYPE
+
+
+@dataclass
+class MistakeAnalysis:
+    """Breakdown of classification errors by their cause."""
+
+    total_errors: int = 0
+    empty_description_errors: int = 0
+    short_description_errors: int = 0
+    multi_topic_errors: int = 0
+    other_confusions: int = 0
+
+    def rates(self) -> Dict[str, float]:
+        """Each cause as a fraction of all errors."""
+        if self.total_errors == 0:
+            return {
+                "empty_description": 0.0,
+                "short_description": 0.0,
+                "multi_topic": 0.0,
+                "other_confusion": 0.0,
+            }
+        return {
+            "empty_description": self.empty_description_errors / self.total_errors,
+            "short_description": self.short_description_errors / self.total_errors,
+            "multi_topic": self.multi_topic_errors / self.total_errors,
+            "other_confusion": self.other_confusions / self.total_errors,
+        }
+
+
+@dataclass
+class ClassifierEvaluation:
+    """Accuracy of one classifier run against gold labels."""
+
+    n_evaluated: int
+    category_correct: int
+    type_correct: int
+    mistakes: MistakeAnalysis = field(default_factory=MistakeAnalysis)
+    confusion: Counter = field(default_factory=Counter)
+
+    @property
+    def category_accuracy(self) -> float:
+        """Fraction of descriptions with the correct category."""
+        return self.category_correct / self.n_evaluated if self.n_evaluated else 0.0
+
+    @property
+    def type_accuracy(self) -> float:
+        """Fraction of descriptions with the correct data type."""
+        return self.type_correct / self.n_evaluated if self.n_evaluated else 0.0
+
+    def summary(self) -> str:
+        """Human-readable accuracy summary."""
+        return (
+            f"category accuracy {self.category_accuracy:.2%}, "
+            f"type accuracy {self.type_accuracy:.2%} over {self.n_evaluated} descriptions"
+        )
+
+
+def _is_empty_like(text: str) -> bool:
+    stripped = text.strip().lower()
+    if ":" in stripped:
+        stripped = stripped.split(":", 1)[1].strip()
+    return stripped in ("", "null", "none", "n/a", "-")
+
+
+def evaluate_predictions(
+    predictions: Sequence[DescriptionLabel],
+    gold: Mapping[Tuple[str, str], Tuple[str, str]],
+) -> ClassifierEvaluation:
+    """Score predictions against gold ``(category, type)`` labels.
+
+    ``gold`` is keyed by ``(action id, parameter name)``.
+    """
+    n_evaluated = 0
+    category_correct = 0
+    type_correct = 0
+    mistakes = MistakeAnalysis()
+    confusion: Counter = Counter()
+    for prediction in predictions:
+        key = (prediction.action_id, prediction.parameter_name)
+        if key not in gold:
+            continue
+        gold_category, gold_type = gold[key]
+        n_evaluated += 1
+        if prediction.category == gold_category:
+            category_correct += 1
+        if prediction.category == gold_category and prediction.data_type == gold_type:
+            type_correct += 1
+        else:
+            mistakes.total_errors += 1
+            confusion[((gold_category, gold_type), prediction.label)] += 1
+            if _is_empty_like(prediction.text):
+                mistakes.empty_description_errors += 1
+            elif len(prediction.text.split()) <= 2:
+                mistakes.short_description_errors += 1
+            elif "otherwise" in prediction.text.lower() or ", or " in prediction.text.lower():
+                mistakes.multi_topic_errors += 1
+            elif prediction.is_other:
+                mistakes.other_confusions += 1
+    return ClassifierEvaluation(
+        n_evaluated=n_evaluated,
+        category_correct=category_correct,
+        type_correct=type_correct,
+        mistakes=mistakes,
+        confusion=confusion,
+    )
+
+
+def gold_from_examples(
+    descriptions: Sequence[DataDescription],
+    examples: Sequence[FewShotExample],
+) -> Dict[Tuple[str, str], Tuple[str, str]]:
+    """Build a gold-label mapping by aligning descriptions with labelled examples."""
+    gold: Dict[Tuple[str, str], Tuple[str, str]] = {}
+    by_text: Dict[str, Tuple[str, str]] = {
+        example.description: (example.category, example.data_type) for example in examples
+    }
+    for description in descriptions:
+        if description.text in by_text:
+            gold[description.key] = by_text[description.text]
+    return gold
+
+
+def gold_from_ground_truth(
+    descriptions: Sequence[DataDescription],
+    ground_truth: GroundTruth,
+) -> Dict[Tuple[str, str], Tuple[str, str]]:
+    """Build a gold-label mapping from generator ground truth."""
+    gold: Dict[Tuple[str, str], Tuple[str, str]] = {}
+    for description in descriptions:
+        label = ground_truth.label_for(description.action_id, description.parameter_name)
+        if label is not None:
+            gold[description.key] = label
+    return gold
+
+
+def evaluate_classifier(
+    classifier: DataCollectionClassifier,
+    descriptions: Sequence[DataDescription],
+    ground_truth: GroundTruth,
+) -> ClassifierEvaluation:
+    """Classify ``descriptions`` and score them against generator ground truth."""
+    result = classifier.classify_many(list(descriptions))
+    gold = gold_from_ground_truth(descriptions, ground_truth)
+    return evaluate_predictions(result.labels, gold)

@@ -1,0 +1,128 @@
+"""Handling of descriptions labelled ``Other`` (Section 3.2.4).
+
+After the first classification pass, a substantial fraction of descriptions is
+labelled ``Other``.  The handler asks a (stronger) LLM, via the Code 4 prompt,
+whether each unmatched description is already covered, deserves a new data
+type, should be combined with others, or should be deprecated; applies the
+accepted proposals to the taxonomy through
+:class:`~repro.taxonomy.refinement.TaxonomyRefiner`; and re-classifies the
+``Other`` descriptions against the extended taxonomy.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.classification.classifier import ClassifierConfig, DataCollectionClassifier
+from repro.classification.results import ClassificationResult, DescriptionLabel
+from repro.classification.descriptions import DataDescription
+from repro.llm import prompts
+from repro.llm.base import LLMClient
+from repro.llm.fewshot import FewShotStore
+from repro.taxonomy.refinement import (
+    RefinementAction,
+    RefinementDecision,
+    RefinementReport,
+    TaxonomyRefiner,
+)
+from repro.taxonomy.schema import DataTaxonomy, DataType
+
+
+def build_refinement_decider(
+    llm: LLMClient, taxonomy: DataTaxonomy
+) -> Callable[[str, int], RefinementDecision]:
+    """Build a :class:`TaxonomyRefiner` decider backed by the Code 4 prompt."""
+
+    def decider(description: str, amount: int) -> RefinementDecision:
+        prompt = prompts.render_refinement_prompt(
+            taxonomy,
+            [{"name_and_description": description, "amount_appears": amount}],
+        )
+        response = prompts.parse_json_response(
+            llm.complete_text("You are a data taxonomy expert.", prompt)
+        )
+        decisions = response.get("decisions", [])
+        if not decisions or not isinstance(decisions, list):
+            return RefinementDecision(description=description, action=RefinementAction.DEPRECATE)
+        entry = decisions[0] if isinstance(decisions[0], dict) else {}
+        action_name = str(entry.get("action", "Deprecate")).capitalize()
+        try:
+            action = RefinementAction(action_name)
+        except ValueError:
+            action = RefinementAction.DEPRECATE
+        return RefinementDecision(
+            description=description,
+            action=action,
+            category=str(entry.get("category", "")),
+            data_type=str(entry.get("data_type", "")),
+            type_description=str(entry.get("description", "")),
+        )
+
+    return decider
+
+
+@dataclass
+class OtherHandlingOutcome:
+    """Result of one ``Other``-handling pass."""
+
+    extended_taxonomy: DataTaxonomy
+    refinement_report: RefinementReport
+    reclassified: ClassificationResult
+    residual_other_rate: float
+
+
+class OtherDescriptionHandler:
+    """Runs the taxonomy-extension loop over ``Other``-labelled descriptions."""
+
+    def __init__(
+        self,
+        taxonomy: DataTaxonomy,
+        llm: LLMClient,
+        reviewer: Optional[Callable[[List[DataType]], List[DataType]]] = None,
+    ) -> None:
+        self.taxonomy = taxonomy
+        self.llm = llm
+        self.reviewer = reviewer
+
+    def handle(
+        self,
+        result: ClassificationResult,
+        fewshot_store: Optional[FewShotStore] = None,
+    ) -> OtherHandlingOutcome:
+        """Extend the taxonomy from ``Other`` descriptions and re-classify them."""
+        other_labels = result.other_descriptions()
+        descriptions = [label.text for label in other_labels]
+        decider = build_refinement_decider(self.llm, self.taxonomy)
+        refiner = TaxonomyRefiner(self.taxonomy, decider, reviewer=self.reviewer)
+        extended, report = refiner.refine(descriptions)
+
+        # Re-classify the previously unmatched descriptions against the
+        # extended taxonomy.
+        classifier = DataCollectionClassifier(
+            taxonomy=extended,
+            llm=self.llm,
+            fewshot_store=fewshot_store or FewShotStore(),
+            config=ClassifierConfig(two_phase=False),
+        )
+        to_reclassify = [
+            DataDescription(
+                action_id=label.action_id,
+                parameter_name=label.parameter_name,
+                text=label.text,
+            )
+            for label in other_labels
+        ]
+        reclassified = classifier.classify_many(to_reclassify)
+        residual = reclassified.other_rate() * (len(other_labels) / max(1, len(result)))
+        return OtherHandlingOutcome(
+            extended_taxonomy=extended,
+            refinement_report=report,
+            reclassified=reclassified,
+            residual_other_rate=residual,
+        )
+
+    def apply(self, result: ClassificationResult, outcome: OtherHandlingOutcome) -> ClassificationResult:
+        """Merge reclassified ``Other`` descriptions back into the full result."""
+        return result.merge(outcome.reclassified)

@@ -1,0 +1,105 @@
+"""Result containers for the classification framework."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.taxonomy.schema import OTHER_CATEGORY, OTHER_TYPE
+
+
+@dataclass(frozen=True)
+class DescriptionLabel:
+    """The predicted label for one data description."""
+
+    action_id: str
+    parameter_name: str
+    text: str
+    category: str
+    data_type: str
+
+    @property
+    def is_other(self) -> bool:
+        """Whether the description could not be mapped to the taxonomy."""
+        return self.category == OTHER_CATEGORY or self.data_type == OTHER_TYPE
+
+    @property
+    def label(self) -> Tuple[str, str]:
+        """The ``(category, data type)`` pair."""
+        return (self.category, self.data_type)
+
+
+@dataclass
+class ClassificationResult:
+    """All predictions of one classification run."""
+
+    labels: List[DescriptionLabel] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+    # ------------------------------------------------------------------
+    def add(self, label: DescriptionLabel) -> None:
+        """Append one prediction."""
+        self.labels.append(label)
+
+    def by_action(self) -> Dict[str, List[DescriptionLabel]]:
+        """Group predictions by Action id."""
+        grouped: Dict[str, List[DescriptionLabel]] = {}
+        for label in self.labels:
+            grouped.setdefault(label.action_id, []).append(label)
+        return grouped
+
+    def action_data_types(self, include_other: bool = False) -> Dict[str, List[Tuple[str, str]]]:
+        """Distinct ``(category, type)`` pairs collected by each Action."""
+        collected: Dict[str, List[Tuple[str, str]]] = {}
+        for label in self.labels:
+            if label.is_other and not include_other:
+                continue
+            bucket = collected.setdefault(label.action_id, [])
+            if label.label not in bucket:
+                bucket.append(label.label)
+        return collected
+
+    def other_rate(self) -> float:
+        """Fraction of descriptions labelled ``Other``."""
+        if not self.labels:
+            return 0.0
+        return sum(1 for label in self.labels if label.is_other) / len(self.labels)
+
+    def other_descriptions(self) -> List[DescriptionLabel]:
+        """The descriptions labelled ``Other`` (inputs to the refinement pass)."""
+        return [label for label in self.labels if label.is_other]
+
+    def type_counts(self) -> Counter:
+        """How many descriptions were assigned to each ``(category, type)``."""
+        return Counter(label.label for label in self.labels if not label.is_other)
+
+    def category_counts(self) -> Counter:
+        """How many descriptions were assigned to each category."""
+        return Counter(label.category for label in self.labels if not label.is_other)
+
+    def distinct_categories(self) -> Set[str]:
+        """Categories observed in the predictions (excluding ``Other``)."""
+        return {label.category for label in self.labels if not label.is_other}
+
+    def distinct_types(self) -> Set[Tuple[str, str]]:
+        """``(category, type)`` pairs observed in the predictions."""
+        return {label.label for label in self.labels if not label.is_other}
+
+    def lookup(self, action_id: str, parameter_name: str) -> Optional[DescriptionLabel]:
+        """Find the prediction for one specific parameter."""
+        for label in self.labels:
+            if label.action_id == action_id and label.parameter_name == parameter_name:
+                return label
+        return None
+
+    def merge(self, other: "ClassificationResult") -> "ClassificationResult":
+        """Combine two results (later predictions win for duplicate keys)."""
+        merged: Dict[Tuple[str, str], DescriptionLabel] = {
+            (label.action_id, label.parameter_name): label for label in self.labels
+        }
+        for label in other.labels:
+            merged[(label.action_id, label.parameter_name)] = label
+        return ClassificationResult(labels=list(merged.values()))

@@ -1,0 +1,164 @@
+"""Command-line interface.
+
+``python -m repro`` (or the ``repro-gpt`` console script) exposes the full
+measurement pipeline:
+
+* ``repro-gpt generate`` — generate a synthetic ecosystem and print a summary;
+* ``repro-gpt crawl`` — generate + crawl, printing crawl statistics (Table 1);
+* ``repro-gpt analyze`` — run the full pipeline and print the headline
+  measurements;
+* ``repro-gpt experiment <id>`` — run one experiment (``table4``,
+  ``figure9``, …) and print the paper-vs-measured comparison;
+* ``repro-gpt report`` — run every experiment and emit an EXPERIMENTS-style
+  markdown report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis.suite import MeasurementSuite, SuiteConfig
+from repro.ecosystem.config import EcosystemConfig
+from repro.ecosystem.generator import EcosystemGenerator
+from repro.experiments.registry import EXPERIMENTS, run_all_experiments, run_experiment
+from repro.reporting.markdown import format_table
+
+
+def _build_suite(args: argparse.Namespace) -> MeasurementSuite:
+    config = SuiteConfig(n_gpts=args.gpts, seed=args.seed)
+    return MeasurementSuite(config=config)
+
+
+def _format_value(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    config = EcosystemConfig.paper_calibrated(n_gpts=args.gpts, seed=args.seed)
+    ecosystem = EcosystemGenerator(config).generate()
+    print(ecosystem.summary())
+    print(f"Action-embedding GPTs: {len(ecosystem.action_gpts())}")
+    return 0
+
+
+def _cmd_crawl(args: argparse.Namespace) -> int:
+    suite = _build_suite(args)
+    stats = suite.crawl_stats
+    rows = [(store, count) for store, count in stats.sorted_store_counts()]
+    print(format_table(["Store", "GPTs crawled"], rows))
+    print(f"Total unique GPTs: {stats.total_unique_gpts}")
+    print(f"Unique Actions: {stats.n_unique_actions}")
+    print(f"Policy availability: {stats.policy_availability:.2%}")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    suite = _build_suite(args)
+    collection = suite.collection
+    prohibited = suite.prohibited
+    disclosure = suite.disclosure
+    print(suite.corpus.summary())
+    print(f"Data categories observed: {collection.n_categories_observed()}")
+    print(f"Data types observed: {collection.n_types_observed()}")
+    print(f"Actions collecting 5+ items: {collection.share_with_at_least(5):.1%}")
+    print(f"Actions collecting 10+ items: {collection.share_with_at_least(10):.1%}")
+    print(f"Third-party excess collection: {collection.third_party_excess():.2%}")
+    print(f"GPTs with prohibited-data Actions: {prohibited.offending_gpt_share:.1%}")
+    print(f"Fully consistent Actions: {disclosure.fully_consistent_share:.1%}")
+    print(f"Classifier: {suite.evaluate_classifier().summary()}")
+    print(f"Policy framework: {suite.evaluate_policy_framework().summary()}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    if args.experiment_id not in EXPERIMENTS:
+        print(f"unknown experiment {args.experiment_id!r}; known ids:", file=sys.stderr)
+        print(", ".join(sorted(EXPERIMENTS)), file=sys.stderr)
+        return 2
+    suite = _build_suite(args)
+    result = run_experiment(args.experiment_id, suite)
+    print(f"# {result.title}")
+    rows = [
+        (metric, _format_value(paper), _format_value(measured))
+        for metric, paper, measured in result.comparison_rows()
+    ]
+    if rows:
+        print(format_table(["Metric", "Paper", "Measured"], rows))
+    if result.artifact:
+        print()
+        print(result.artifact)
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from repro.io import save_corpus
+
+    suite = _build_suite(args)
+    classification = suite.classification if args.with_classification else None
+    target = save_corpus(suite.corpus, args.directory, classification=classification)
+    print(f"Wrote corpus ({len(suite.corpus.gpts)} GPTs, "
+          f"{suite.corpus.n_unique_actions()} Actions) to {target}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    suite = _build_suite(args)
+    results = run_all_experiments(suite)
+    for result in results:
+        print(f"## {result.title}")
+        rows = [
+            (metric, _format_value(paper), _format_value(measured))
+            for metric, paper, measured in result.comparison_rows()
+        ]
+        if rows:
+            print(format_table(["Metric", "Paper", "Measured"], rows))
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-gpt",
+        description="Reproduction of the IMC 2025 LLM-app data-collection measurement study.",
+    )
+    parser.add_argument("--gpts", type=int, default=2000, help="number of GPTs to generate")
+    parser.add_argument("--seed", type=int, default=0, help="random seed")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("generate", help="generate a synthetic ecosystem")
+    subparsers.add_parser("crawl", help="crawl the synthetic stores and print Table 1")
+    subparsers.add_parser("analyze", help="run the full pipeline and print headline stats")
+    experiment_parser = subparsers.add_parser("experiment", help="run one experiment by id")
+    experiment_parser.add_argument("experiment_id", help="e.g. table4, figure9")
+    subparsers.add_parser("report", help="run every experiment and print comparisons")
+    export_parser = subparsers.add_parser("export", help="crawl and write the corpus to disk")
+    export_parser.add_argument("directory", help="output directory for the dataset")
+    export_parser.add_argument(
+        "--with-classification", action="store_true",
+        help="also classify data descriptions and store the labels",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "generate": _cmd_generate,
+        "crawl": _cmd_crawl,
+        "analyze": _cmd_analyze,
+        "experiment": _cmd_experiment,
+        "report": _cmd_report,
+        "export": _cmd_export,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,41 @@
+"""Store crawling over a simulated HTTP layer.
+
+The paper crawls 13 GPT stores with per-store Selenium crawlers, resolves the
+extracted GPT identifiers against OpenAI's ``gizmos`` backend API, and
+downloads each Action's privacy policy (Section 3.1).  Offline, the same
+crawl logic runs against :class:`SimulatedHTTPLayer`: store servers publish
+paginated listing pages, the gizmo API serves manifests (or 404s for removed
+GPTs), and policy URLs serve the generated policy documents (or 5xx errors for
+the unavailable share).
+
+The output of a crawl is a :class:`CrawlCorpus` — the raw measurement corpus
+that every downstream analysis consumes.
+"""
+
+from repro.crawler.http import HTTPError, SimulatedHTTPLayer, SimulatedResponse
+from repro.crawler.store_server import GPTStoreServer, install_store_servers
+from repro.crawler.gizmo_api import GizmoAPIClient, GizmoAPIServer, GIZMO_API_PREFIX
+from repro.crawler.store_crawler import StoreCrawler, StoreCrawlResult
+from repro.crawler.policy_fetcher import PolicyFetcher, PolicyFetchResult
+from repro.crawler.corpus import CrawlCorpus, CrawledAction, CrawledGPT
+from repro.crawler.pipeline import CrawlPipeline, CrawlStatistics
+
+__all__ = [
+    "HTTPError",
+    "SimulatedHTTPLayer",
+    "SimulatedResponse",
+    "GPTStoreServer",
+    "install_store_servers",
+    "GizmoAPIClient",
+    "GizmoAPIServer",
+    "GIZMO_API_PREFIX",
+    "StoreCrawler",
+    "StoreCrawlResult",
+    "PolicyFetcher",
+    "PolicyFetchResult",
+    "CrawlCorpus",
+    "CrawledAction",
+    "CrawledGPT",
+    "CrawlPipeline",
+    "CrawlStatistics",
+]

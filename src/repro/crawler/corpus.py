@@ -1,0 +1,235 @@
+"""The crawled measurement corpus.
+
+A :class:`CrawlCorpus` contains only what a crawler could observe: manifest
+JSON documents (parsed into :class:`CrawledGPT` / :class:`CrawledAction`),
+fetched privacy-policy documents, and per-store crawl statistics.  It contains
+no generator ground truth, so every analysis that runs on it exercises the same
+inference steps the paper performs on live data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.crawler.policy_fetcher import PolicyFetchResult
+from repro.web.urls import url_host
+
+
+@dataclass
+class CrawledAction:
+    """An Action as reconstructed from a crawled GPT manifest."""
+
+    action_id: str
+    title: str
+    description: str
+    server_url: str
+    legal_info_url: Optional[str]
+    functionality: str
+    auth_type: str
+    #: ``(parameter name, parameter description)`` pairs across all endpoints.
+    parameters: List[Tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def domain(self) -> str:
+        """The API server host of the Action."""
+        return url_host(self.server_url)
+
+    def data_descriptions(self) -> List[str]:
+        """Combined name-and-description strings for every parameter.
+
+        Mirrors :meth:`repro.ecosystem.models.ActionParameter.name_and_description`
+        but works from the crawled representation.
+        """
+        descriptions: List[str] = []
+        for name, description in self.parameters:
+            text = (description or "").strip()
+            if not text or text.lower() in ("null", "none", "n/a", "-"):
+                descriptions.append(name)
+            else:
+                descriptions.append(f"{name}: {text}")
+        return descriptions
+
+    @classmethod
+    def from_manifest_tool(cls, tool: Mapping[str, object]) -> "CrawledAction":
+        """Parse an Action from a manifest ``tools`` entry."""
+        metadata = tool.get("metadata", {}) or {}
+        spec = tool.get("json_spec", {}) or {}
+        info = spec.get("info", {}) if isinstance(spec, Mapping) else {}
+        servers = spec.get("servers", []) if isinstance(spec, Mapping) else []
+        server_url = ""
+        if servers and isinstance(servers, list) and isinstance(servers[0], Mapping):
+            server_url = str(servers[0].get("url", ""))
+        parameters: List[Tuple[str, str]] = []
+        paths = spec.get("paths", {}) if isinstance(spec, Mapping) else {}
+        if isinstance(paths, Mapping):
+            for path_item in paths.values():
+                if not isinstance(path_item, Mapping):
+                    continue
+                for operation in path_item.values():
+                    if not isinstance(operation, Mapping):
+                        continue
+                    for parameter in operation.get("parameters", []) or []:
+                        if isinstance(parameter, Mapping):
+                            parameters.append(
+                                (
+                                    str(parameter.get("name", "")),
+                                    str(parameter.get("description", "")),
+                                )
+                            )
+        return cls(
+            action_id=str(tool.get("id", "")),
+            title=str(info.get("title", "")) if isinstance(info, Mapping) else "",
+            description=str(info.get("description", "")) if isinstance(info, Mapping) else "",
+            server_url=server_url,
+            legal_info_url=(
+                str(metadata.get("privacy_policy_url"))
+                if isinstance(metadata, Mapping) and metadata.get("privacy_policy_url")
+                else None
+            ),
+            functionality=(
+                str(metadata.get("functionality", "")) if isinstance(metadata, Mapping) else ""
+            ),
+            auth_type=(
+                str((metadata.get("auth") or {}).get("type", "none"))
+                if isinstance(metadata, Mapping) and isinstance(metadata.get("auth"), Mapping)
+                else "none"
+            ),
+            parameters=parameters,
+        )
+
+
+@dataclass
+class CrawledGPT:
+    """A GPT as reconstructed from its crawled manifest."""
+
+    gpt_id: str
+    name: str
+    description: str
+    author_name: str
+    author_website: Optional[str]
+    vendor_domain: Optional[str]
+    tags: List[str] = field(default_factory=list)
+    tool_types: List[str] = field(default_factory=list)
+    actions: List[CrawledAction] = field(default_factory=list)
+    n_files: int = 0
+    source_stores: List[str] = field(default_factory=list)
+
+    @property
+    def has_actions(self) -> bool:
+        """Whether the GPT embeds at least one Action."""
+        return bool(self.actions)
+
+    def has_tool(self, tool_type: str) -> bool:
+        """Whether the GPT enables a tool type (manifest ``type`` string)."""
+        return tool_type in self.tool_types
+
+    @classmethod
+    def from_manifest(
+        cls, manifest: Mapping[str, object], source_store: Optional[str] = None
+    ) -> "CrawledGPT":
+        """Parse a gizmo manifest JSON document."""
+        gizmo = manifest.get("gizmo", {}) or {}
+        display = gizmo.get("display", {}) if isinstance(gizmo, Mapping) else {}
+        author = gizmo.get("author", {}) if isinstance(gizmo, Mapping) else {}
+        tools = manifest.get("tools", []) or []
+        tool_types: List[str] = []
+        actions: List[CrawledAction] = []
+        for tool in tools:
+            if not isinstance(tool, Mapping):
+                continue
+            tool_type = str(tool.get("type", ""))
+            tool_types.append(tool_type)
+            if tool_type.startswith("action"):
+                actions.append(CrawledAction.from_manifest_tool(tool))
+        return cls(
+            gpt_id=str(gizmo.get("id", "")) if isinstance(gizmo, Mapping) else "",
+            name=str(display.get("name", "")) if isinstance(display, Mapping) else "",
+            description=(
+                str(display.get("description", "")) if isinstance(display, Mapping) else ""
+            ),
+            author_name=str(author.get("display_name", "")) if isinstance(author, Mapping) else "",
+            author_website=(
+                str(author.get("link_to")) if isinstance(author, Mapping) and author.get("link_to") else None
+            ),
+            vendor_domain=(
+                str(gizmo.get("vendor_domain"))
+                if isinstance(gizmo, Mapping) and gizmo.get("vendor_domain")
+                else None
+            ),
+            tags=[str(tag) for tag in (gizmo.get("tags", []) if isinstance(gizmo, Mapping) else [])],
+            tool_types=tool_types,
+            actions=actions,
+            n_files=len(manifest.get("files", []) or []),
+            source_stores=[source_store] if source_store else [],
+        )
+
+
+@dataclass
+class CrawlCorpus:
+    """Everything a crawl produced."""
+
+    gpts: Dict[str, CrawledGPT] = field(default_factory=dict)
+    policies: Dict[str, PolicyFetchResult] = field(default_factory=dict)
+    #: Store name → number of GPTs successfully crawled from that store.
+    store_counts: Dict[str, int] = field(default_factory=dict)
+    #: Store name → number of listing links collected from that store.
+    store_link_counts: Dict[str, int] = field(default_factory=dict)
+    #: GPT identifiers that failed to resolve on the gizmo API.
+    unresolved_gpt_ids: List[str] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.gpts)
+
+    def iter_gpts(self) -> Iterator[CrawledGPT]:
+        """Iterate over crawled GPTs."""
+        return iter(self.gpts.values())
+
+    def action_embedding_gpts(self) -> List[CrawledGPT]:
+        """GPTs that embed at least one Action."""
+        return [gpt for gpt in self.gpts.values() if gpt.has_actions]
+
+    def unique_actions(self) -> Dict[str, CrawledAction]:
+        """Distinct Actions across the corpus, keyed by action id."""
+        actions: Dict[str, CrawledAction] = {}
+        for gpt in self.gpts.values():
+            for action in gpt.actions:
+                actions.setdefault(action.action_id, action)
+        return actions
+
+    def n_unique_actions(self) -> int:
+        """Number of distinct Actions."""
+        return len(self.unique_actions())
+
+    def policy_text(self, url: Optional[str]) -> Optional[str]:
+        """The fetched text of a policy URL (``None`` when unavailable)."""
+        if not url:
+            return None
+        result = self.policies.get(url)
+        if result is None or not result.ok:
+            return None
+        return result.text
+
+    def policy_availability(self) -> float:
+        """Fraction of Actions with a ``legal_info_url`` whose policy was retrieved."""
+        total = 0
+        available = 0
+        for action in self.unique_actions().values():
+            if not action.legal_info_url:
+                continue
+            total += 1
+            if self.policy_text(action.legal_info_url) is not None:
+                available += 1
+        return available / total if total else 0.0
+
+    def total_unique_gpts(self) -> int:
+        """Number of unique GPTs successfully crawled."""
+        return len(self.gpts)
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"CrawlCorpus: {len(self.gpts)} GPTs from {len(self.store_counts)} stores, "
+            f"{self.n_unique_actions()} unique Actions, {len(self.policies)} policy URLs fetched"
+        )

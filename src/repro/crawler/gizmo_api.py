@@ -1,0 +1,90 @@
+"""The OpenAI ``gizmos`` backend API (server and client).
+
+The paper downloads GPT manifests by requesting
+``chat.openai.com/backend-api/gizmos/g-{identifier}``; identifiers that no
+longer resolve return HTTP 404 (Section 3.1).  The simulated server serves the
+generated manifests; the client resolves identifiers extracted from store
+listings and records failures.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.crawler.http import HTTPError, SimulatedHTTPLayer, SimulatedResponse
+from repro.ecosystem.models import GPTManifest
+
+#: URL prefix of the gizmo manifest API.
+GIZMO_API_PREFIX = "https://chat.openai.com/backend-api/gizmos/"
+
+_GPT_ID_RE = re.compile(r"(g-[A-Za-z0-9]{6,20})")
+
+
+@dataclass
+class GizmoAPIServer:
+    """Serves GPT manifests by identifier."""
+
+    manifests: Dict[str, GPTManifest]
+
+    def install(self, http: SimulatedHTTPLayer) -> None:
+        """Register the gizmo API route on the HTTP layer."""
+        http.register(GIZMO_API_PREFIX, self._handle)
+
+    def _handle(self, url: str) -> SimulatedResponse:
+        identifier = url[len(GIZMO_API_PREFIX):].split("?")[0].strip("/")
+        manifest = self.manifests.get(identifier)
+        if manifest is None or not manifest.is_public:
+            return SimulatedResponse(url=url, status=404, text=json.dumps({"detail": "not found"}))
+        return SimulatedResponse(
+            url=url,
+            status=200,
+            text=manifest.to_json(),
+            headers={"content-type": "application/json"},
+        )
+
+
+@dataclass
+class GizmoFetchResult:
+    """Result of resolving one GPT identifier against the gizmo API."""
+
+    gpt_id: str
+    status: int
+    manifest: Optional[Dict[str, object]] = None
+
+    @property
+    def ok(self) -> bool:
+        """Whether a manifest was returned."""
+        return self.manifest is not None
+
+
+class GizmoAPIClient:
+    """Client that resolves GPT identifiers to manifests."""
+
+    def __init__(self, http: SimulatedHTTPLayer) -> None:
+        self._http = http
+        self.failures: List[GizmoFetchResult] = []
+
+    @staticmethod
+    def extract_identifier(link: str) -> Optional[str]:
+        """Extract a GPT identifier from a store listing link."""
+        match = _GPT_ID_RE.search(link)
+        return match.group(1) if match else None
+
+    def fetch(self, gpt_id: str) -> GizmoFetchResult:
+        """Fetch the manifest for one GPT identifier."""
+        url = f"{GIZMO_API_PREFIX}{gpt_id}"
+        try:
+            response = self._http.get(url)
+        except HTTPError:
+            result = GizmoFetchResult(gpt_id=gpt_id, status=0)
+            self.failures.append(result)
+            return result
+        if not response.ok:
+            result = GizmoFetchResult(gpt_id=gpt_id, status=response.status)
+            self.failures.append(result)
+            return result
+        manifest = json.loads(response.text)
+        return GizmoFetchResult(gpt_id=gpt_id, status=response.status, manifest=manifest)

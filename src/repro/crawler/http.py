@@ -1,0 +1,123 @@
+"""A simulated HTTP layer.
+
+Servers register handlers for URL prefixes; clients issue ``get`` requests and
+receive :class:`SimulatedResponse` objects.  The layer also supports injected
+failures (per-URL status overrides and flaky-host error rates), which the
+pipeline uses to reproduce crawl-time failures such as unresponsive policy
+servers (Section 5.1.1) and removed GPTs (404 from the gizmo API).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.web.urls import parse_url
+
+
+class HTTPError(RuntimeError):
+    """Raised for transport-level failures (connection refused, timeouts)."""
+
+    def __init__(self, url: str, reason: str) -> None:
+        super().__init__(f"{reason}: {url}")
+        self.url = url
+        self.reason = reason
+
+
+@dataclass
+class SimulatedResponse:
+    """An HTTP response from the simulated network."""
+
+    url: str
+    status: int
+    text: str = ""
+    headers: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """Whether the response has a 2xx status."""
+        return 200 <= self.status < 300
+
+    def json(self) -> object:
+        """Parse the body as JSON."""
+        return json.loads(self.text)
+
+
+#: A handler receives the full URL and returns a response.
+Handler = Callable[[str], SimulatedResponse]
+
+
+class SimulatedHTTPLayer:
+    """An in-memory HTTP transport with prefix-routed handlers."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._handlers: List[Tuple[str, Handler]] = []
+        self._status_overrides: Dict[str, int] = {}
+        self._flaky_hosts: Dict[str, float] = {}
+        self._rng = random.Random(seed)
+        self.request_log: List[str] = []
+
+    # ------------------------------------------------------------------
+    # Server-side registration
+    # ------------------------------------------------------------------
+    def register(self, url_prefix: str, handler: Handler) -> None:
+        """Register a handler for all URLs starting with ``url_prefix``."""
+        self._handlers.append((url_prefix, handler))
+        # Longest prefixes win so that specific routes shadow generic ones.
+        self._handlers.sort(key=lambda item: len(item[0]), reverse=True)
+
+    def register_static(self, url: str, text: str, status: int = 200,
+                        content_type: str = "text/html") -> None:
+        """Register a static document at an exact URL."""
+
+        def handler(request_url: str) -> SimulatedResponse:
+            return SimulatedResponse(
+                url=request_url,
+                status=status,
+                text=text,
+                headers={"content-type": content_type},
+            )
+
+        self.register(url, handler)
+
+    def set_status_override(self, url: str, status: int) -> None:
+        """Force a specific status code for an exact URL (e.g. 500, 404)."""
+        self._status_overrides[url] = status
+
+    def set_flaky_host(self, host: str, failure_rate: float) -> None:
+        """Make a host fail (connection error) with the given probability."""
+        if not 0.0 <= failure_rate <= 1.0:
+            raise ValueError("failure_rate must be within [0, 1]")
+        self._flaky_hosts[host.lower()] = failure_rate
+
+    # ------------------------------------------------------------------
+    # Client side
+    # ------------------------------------------------------------------
+    def get(self, url: str) -> SimulatedResponse:
+        """Fetch a URL, raising :class:`HTTPError` for transport failures."""
+        self.request_log.append(url)
+        parsed = parse_url(url)
+        failure_rate = self._flaky_hosts.get(parsed.host)
+        if failure_rate and self._rng.random() < failure_rate:
+            raise HTTPError(url, "connection reset by peer")
+        if url in self._status_overrides:
+            return SimulatedResponse(url=url, status=self._status_overrides[url], text="")
+        for prefix, handler in self._handlers:
+            if url.startswith(prefix):
+                response = handler(url)
+                return response
+        return SimulatedResponse(url=url, status=404, text="Not Found")
+
+    def get_json(self, url: str) -> object:
+        """Fetch a URL and parse its JSON body (raises on non-2xx)."""
+        response = self.get(url)
+        if not response.ok:
+            raise HTTPError(url, f"HTTP {response.status}")
+        return response.json()
+
+    @property
+    def request_count(self) -> int:
+        """Number of requests issued so far."""
+        return len(self.request_log)

@@ -1,0 +1,133 @@
+"""End-to-end crawl pipeline.
+
+``CrawlPipeline.from_ecosystem`` wires a :class:`SyntheticEcosystem` into a
+simulated network — store servers, the gizmo manifest API, and the privacy
+policy documents — and :meth:`CrawlPipeline.run` then performs the same crawl
+the paper describes in Section 3.1:
+
+1. crawl every store's listing pages and extract GPT identifiers;
+2. de-duplicate identifiers across stores;
+3. resolve each identifier against the gizmo API (404s are recorded);
+4. parse manifests into :class:`~repro.crawler.corpus.CrawledGPT` records;
+5. fetch every Action's privacy policy (some fail with server errors).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.crawler.corpus import CrawlCorpus, CrawledGPT
+from repro.crawler.gizmo_api import GizmoAPIClient, GizmoAPIServer
+from repro.crawler.http import SimulatedHTTPLayer
+from repro.crawler.policy_fetcher import PolicyFetcher
+from repro.crawler.store_crawler import StoreCrawler
+from repro.crawler.store_server import GPTStoreServer, install_store_servers
+from repro.ecosystem.models import SyntheticEcosystem
+
+
+@dataclass
+class CrawlStatistics:
+    """Aggregate statistics about one crawl run."""
+
+    n_store_links: int = 0
+    n_unique_identifiers: int = 0
+    n_resolved: int = 0
+    n_unresolved: int = 0
+    n_policy_urls: int = 0
+    n_policy_failures: int = 0
+    n_http_requests: int = 0
+    per_store_counts: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def resolution_rate(self) -> float:
+        """Fraction of identifiers that resolved to a manifest."""
+        total = self.n_resolved + self.n_unresolved
+        return self.n_resolved / total if total else 0.0
+
+
+class CrawlPipeline:
+    """Runs the full store-crawl → manifest-resolve → policy-fetch pipeline."""
+
+    def __init__(
+        self,
+        http: SimulatedHTTPLayer,
+        store_servers: List[GPTStoreServer],
+        page_size: int = 50,
+    ) -> None:
+        self.http = http
+        self.store_servers = store_servers
+        self.page_size = page_size
+        self.statistics = CrawlStatistics()
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_ecosystem(
+        cls,
+        ecosystem: SyntheticEcosystem,
+        page_size: int = 50,
+        seed: int = 0,
+    ) -> "CrawlPipeline":
+        """Build a pipeline whose simulated network serves ``ecosystem``."""
+        http = SimulatedHTTPLayer(seed=seed)
+        store_servers = install_store_servers(http, ecosystem.store_listings, page_size=page_size)
+        GizmoAPIServer(manifests=ecosystem.gpts).install(http)
+
+        # Serve the generated policy documents; Actions whose policy the
+        # generator marked unavailable get a 500 (internal server error), the
+        # failure mode the paper reports in Section 5.1.1.
+        for url, document in ecosystem.policies.items():
+            content_type = "text/html" if document.kind != "tracking_pixel" else "image/gif"
+            http.register_static(url, document.text, content_type=content_type)
+        for action in ecosystem.actions.values():
+            if action.legal_info_url and action.legal_info_url not in ecosystem.policies:
+                http.set_status_override(action.legal_info_url, 500)
+        return cls(http=http, store_servers=store_servers, page_size=page_size)
+
+    # ------------------------------------------------------------------
+    def run(self) -> CrawlCorpus:
+        """Run the crawl and return the resulting corpus."""
+        corpus = CrawlCorpus()
+        crawler = StoreCrawler(self.http)
+        gizmo_client = GizmoAPIClient(self.http)
+
+        identifier_sources: Dict[str, List[str]] = {}
+        for server in self.store_servers:
+            result = crawler.crawl(server.name, server.base_url)
+            corpus.store_link_counts[server.name] = result.n_links
+            self.statistics.n_store_links += result.n_links
+            for identifier in result.gpt_ids:
+                identifier_sources.setdefault(identifier, []).append(server.name)
+
+        self.statistics.n_unique_identifiers = len(identifier_sources)
+
+        for identifier, stores in identifier_sources.items():
+            fetch = gizmo_client.fetch(identifier)
+            if not fetch.ok:
+                corpus.unresolved_gpt_ids.append(identifier)
+                self.statistics.n_unresolved += 1
+                continue
+            self.statistics.n_resolved += 1
+            gpt = CrawledGPT.from_manifest(fetch.manifest, source_store=stores[0])
+            gpt.source_stores = sorted(set(stores))
+            corpus.gpts[gpt.gpt_id] = gpt
+            for store in gpt.source_stores:
+                corpus.store_counts[store] = corpus.store_counts.get(store, 0) + 1
+
+        self._fetch_policies(corpus)
+        self.statistics.per_store_counts = dict(corpus.store_counts)
+        self.statistics.n_http_requests = self.http.request_count
+        return corpus
+
+    def _fetch_policies(self, corpus: CrawlCorpus) -> None:
+        fetcher = PolicyFetcher(self.http)
+        urls: Set[str] = set()
+        for action in corpus.unique_actions().values():
+            if action.legal_info_url:
+                urls.add(action.legal_info_url)
+        for url in sorted(urls):
+            result = fetcher.fetch(url)
+            corpus.policies[url] = result
+            if not result.ok:
+                self.statistics.n_policy_failures += 1
+        self.statistics.n_policy_urls = len(urls)

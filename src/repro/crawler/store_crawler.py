@@ -1,0 +1,100 @@
+"""Per-store GPT listing crawlers.
+
+Mirrors the paper's Selenium-based crawlers (Section 3.1): navigate through a
+store's paginated or lazily-expanded listing pages, collect every GPT link,
+and extract the GPT identifier from each link.  The crawler only depends on
+the HTML a store serves, so the same code would work against a live store with
+a real HTTP client.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import List, Optional, Set
+
+from repro.crawler.gizmo_api import GizmoAPIClient
+from repro.crawler.http import HTTPError, SimulatedHTTPLayer
+
+_LINK_RE = re.compile(r'<a[^>]*class="gpt-link"[^>]*href="([^"]+)"[^>]*>(.*?)</a>', re.DOTALL)
+_NEXT_RE = re.compile(r'<a[^>]*class="(?:next-page|load-more)"[^>]*href="([^"]+)"')
+
+
+@dataclass
+class StoreCrawlResult:
+    """The outcome of crawling one store."""
+
+    store_name: str
+    start_url: str
+    links: List[str] = field(default_factory=list)
+    gpt_ids: List[str] = field(default_factory=list)
+    pages_visited: int = 0
+    errors: List[str] = field(default_factory=list)
+
+    @property
+    def n_links(self) -> int:
+        """Number of GPT links collected."""
+        return len(self.links)
+
+    @property
+    def n_identifiers(self) -> int:
+        """Number of distinct GPT identifiers extracted."""
+        return len(set(self.gpt_ids))
+
+
+class StoreCrawler:
+    """Crawls one GPT store's listing pages.
+
+    Parameters
+    ----------
+    http:
+        The (simulated) HTTP transport.
+    max_pages:
+        Safety bound on pagination depth.
+    """
+
+    def __init__(self, http: SimulatedHTTPLayer, max_pages: int = 10_000) -> None:
+        if max_pages <= 0:
+            raise ValueError("max_pages must be positive")
+        self._http = http
+        self.max_pages = max_pages
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def parse_listing_page(page_html: str) -> List[str]:
+        """Extract GPT links from one listing page."""
+        return [match.group(1) for match in _LINK_RE.finditer(page_html)]
+
+    @staticmethod
+    def parse_next_link(page_html: str) -> Optional[str]:
+        """Extract the next-page / load-more link from a page, if present."""
+        match = _NEXT_RE.search(page_html)
+        return match.group(1) if match else None
+
+    # ------------------------------------------------------------------
+    def crawl(self, store_name: str, start_url: str) -> StoreCrawlResult:
+        """Crawl a store starting from its first listing page."""
+        result = StoreCrawlResult(store_name=store_name, start_url=start_url)
+        seen_urls: Set[str] = set()
+        url: Optional[str] = start_url
+        while url and result.pages_visited < self.max_pages:
+            if url in seen_urls:
+                break
+            seen_urls.add(url)
+            try:
+                response = self._http.get(url)
+            except HTTPError as exc:
+                result.errors.append(str(exc))
+                break
+            result.pages_visited += 1
+            if not response.ok:
+                result.errors.append(f"HTTP {response.status} for {url}")
+                break
+            links = self.parse_listing_page(response.text)
+            result.links.extend(links)
+            for link in links:
+                identifier = GizmoAPIClient.extract_identifier(link)
+                if identifier:
+                    result.gpt_ids.append(identifier)
+            url = self.parse_next_link(response.text)
+        return result

@@ -1,0 +1,59 @@
+"""Synthetic, paper-calibrated GPT app ecosystem.
+
+The paper measures 119,543 live GPTs and 4,592 Actions crawled from OpenAI's
+platform.  Offline, this subpackage generates a synthetic ecosystem whose
+artifacts use the same formats the paper describes (Appendix B): GPT manifests
+with ``display``/``tools``/``files``/``tags`` fields, Action OpenAPI
+specifications with natural-language parameter descriptions, and privacy-policy
+documents reachable from each Action's ``legal_info_url``.
+
+Generation is calibrated by :class:`EcosystemConfig` against the paper's
+published distributions (store sizes, tool adoption, per-data-type collection
+rates, Action prevalence, disclosure-consistency mixes, policy duplication
+rates).  The analysis pipeline never reads the generator's ground truth — it
+must recover the distributions from the raw artifacts, exercising the same
+crawl → extract → classify → policy-check path as the paper.
+"""
+
+from repro.ecosystem.models import (
+    ActionParameter,
+    ActionSpecification,
+    GPTAuthor,
+    GPTManifest,
+    GroundTruth,
+    PrivacyPolicyDocument,
+    StoreListing,
+    SyntheticEcosystem,
+    Tool,
+    ToolType,
+)
+from repro.ecosystem.config import EcosystemConfig, StoreConfig, DisclosureProfile
+from repro.ecosystem.generator import EcosystemGenerator
+from repro.ecosystem.phrasing import DescriptionPhraser, PhrasingStyle
+from repro.ecosystem.actions import PREVALENT_ACTIONS, PrevalentActionTemplate
+from repro.ecosystem.policies import PolicyGenerator, PolicyKind
+from repro.ecosystem.stores import STORE_CATALOG
+
+__all__ = [
+    "ActionParameter",
+    "ActionSpecification",
+    "GPTAuthor",
+    "GPTManifest",
+    "GroundTruth",
+    "PrivacyPolicyDocument",
+    "StoreListing",
+    "SyntheticEcosystem",
+    "Tool",
+    "ToolType",
+    "EcosystemConfig",
+    "StoreConfig",
+    "DisclosureProfile",
+    "EcosystemGenerator",
+    "DescriptionPhraser",
+    "PhrasingStyle",
+    "PREVALENT_ACTIONS",
+    "PrevalentActionTemplate",
+    "PolicyGenerator",
+    "PolicyKind",
+    "STORE_CATALOG",
+]

@@ -1,0 +1,459 @@
+"""Action specification synthesis.
+
+Two kinds of Actions are generated:
+
+* *Prevalent* third-party Actions — the real services listed in Table 5
+  (webPilot, Zapier, AdIntelli, Gapier, …) plus the case-study Actions from
+  Figures 4–6 (Adzedek, Cal AI, the X-Ray analysis service).  Each exists once
+  in the ecosystem and is embedded by many GPTs, which is what produces the
+  co-occurrence structure of Figure 8.
+* *Custom* Actions — per-GPT first- or third-party Actions whose collected
+  data types are sampled from the Table 4 calibration rates.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.ecosystem.config import EcosystemConfig
+from repro.ecosystem.models import ActionEndpoint, ActionParameter, ActionSpecification
+from repro.ecosystem.naming import NameFactory
+from repro.ecosystem.phrasing import DescriptionPhraser, PhrasedDescription
+from repro.taxonomy.schema import DataTaxonomy, DataType
+
+
+@dataclass(frozen=True)
+class PrevalentActionTemplate:
+    """A widely-deployed third-party Action (Table 5 row or case study)."""
+
+    name: str
+    functionality: str
+    domain: str
+    #: Fraction of Action-embedding GPTs that embed this Action.
+    target_share: float
+    #: Number of distinct data types the Action collects.
+    n_data_types: int
+    #: ``(category, data type)`` pairs the Action is known to collect.
+    seed_types: Tuple[Tuple[str, str], ...]
+    #: Whether the Action can dynamically load other Actions (Section 4.3.1).
+    dynamic_loader: bool = False
+    #: Whether this is an advertising / analytics service (Section 4.3.2).
+    tracking: bool = False
+
+
+#: Table 5 (plus case-study Actions from Figures 4–6 and Section 4.2.2).
+PREVALENT_ACTIONS: Tuple[PrevalentActionTemplate, ...] = (
+    PrevalentActionTemplate(
+        name="webPilot",
+        functionality="Productivity",
+        domain="api.webpilot.ai",
+        target_share=0.0606,
+        n_data_types=7,
+        seed_types=(
+            ("App usage data", "User interaction data"),
+            ("Web and network data", "Domain names"),
+            ("Web and network data", "URLs"),
+        ),
+    ),
+    PrevalentActionTemplate(
+        name="Zapier AI Actions for GPT (Dynamic)",
+        functionality="Productivity",
+        domain="actions.zapier.com",
+        target_share=0.0565,
+        n_data_types=5,
+        seed_types=(
+            ("App metadata", "Integrated applications"),
+            ("App usage data", "User interaction data"),
+            ("Identifier", "Resource IDs"),
+        ),
+        dynamic_loader=True,
+    ),
+    PrevalentActionTemplate(
+        name="AdIntelli",
+        functionality="Advertising & Marketing",
+        domain="ad.adintelli.ai",
+        target_share=0.035,
+        n_data_types=3,
+        seed_types=(
+            ("App metadata", "Name or version"),
+            ("Query", "Query filter"),
+            ("App metadata", "Function description"),
+        ),
+        tracking=True,
+    ),
+    PrevalentActionTemplate(
+        name="OpenAI Profile",
+        functionality="Communications",
+        domain="api.openai.com",
+        target_share=0.0193,
+        n_data_types=2,
+        seed_types=(
+            ("Message", "Text messages"),
+            ("Identifier", "Resource IDs"),
+        ),
+    ),
+    PrevalentActionTemplate(
+        name="Gapier: Powerful GPTs Actions API",
+        functionality="Productivity",
+        domain="api.gapier.com",
+        target_share=0.016,
+        n_data_types=14,
+        seed_types=(
+            ("Personal information", "Email address"),
+            ("Web and network data", "IP addresses"),
+            ("Location", "Country"),
+        ),
+        dynamic_loader=True,
+    ),
+    PrevalentActionTemplate(
+        name="Wix GPT Integration",
+        functionality="Web Hosting",
+        domain="www.wix.com",
+        target_share=0.0079,
+        n_data_types=8,
+        seed_types=(
+            ("Personal information", "Email address"),
+            ("Personal information", "Name"),
+            ("Message", "User feedback"),
+        ),
+    ),
+    PrevalentActionTemplate(
+        name="Abotify product information API",
+        functionality="Ecommerce & Shopping",
+        domain="abotify.com",
+        target_share=0.0076,
+        n_data_types=1,
+        seed_types=(("Query", "Search query"),),
+    ),
+    PrevalentActionTemplate(
+        name="GPT functions/actions",
+        functionality="Productivity",
+        domain="gptactions.dev",
+        target_share=0.0061,
+        n_data_types=7,
+        seed_types=(
+            ("App metadata", "Name or version"),
+            ("App usage data", "User interaction data"),
+            ("Security credentials", "API key"),
+        ),
+    ),
+    PrevalentActionTemplate(
+        name="Analytics to improve this assistant",
+        functionality="Research & Analysis",
+        domain="analytics.gptmetrics.io",
+        target_share=0.0054,
+        n_data_types=2,
+        seed_types=(("Query", "Search query"),),
+        tracking=True,
+    ),
+    PrevalentActionTemplate(
+        name="VoxScript",
+        functionality="Search Engines",
+        domain="voxscript.awt.icu",
+        target_share=0.0052,
+        n_data_types=10,
+        seed_types=(
+            ("Market data", "List of ticker symbols"),
+            ("Identifier", "Resource IDs"),
+            ("Web and network data", "URLs"),
+        ),
+    ),
+    PrevalentActionTemplate(
+        name="Get weather data",
+        functionality="Weather",
+        domain="weather.visualcrossing.com",
+        target_share=0.0047,
+        n_data_types=1,
+        seed_types=(("Location", "City"),),
+    ),
+    PrevalentActionTemplate(
+        name="ChatPrompt product info. API",
+        functionality="Prompt Engineering",
+        domain="api.chatprompt.com",
+        target_share=0.0043,
+        n_data_types=7,
+        seed_types=(
+            ("Web and network data", "Multimedia data"),
+            ("App usage data", "User interaction data"),
+            ("Time", "Time period"),
+        ),
+    ),
+    PrevalentActionTemplate(
+        name="Relevance AI Tools",
+        functionality="Business & Consumer Services",
+        domain="api.relevanceai.com",
+        target_share=0.0038,
+        n_data_types=11,
+        seed_types=(
+            ("E-commerce data", "Company information"),
+            ("E-commerce data", "Product details"),
+            ("Personal information", "Name"),
+        ),
+    ),
+    PrevalentActionTemplate(
+        name="SerpApi Search Service",
+        functionality="Search Engines",
+        domain="serpapi.com",
+        target_share=0.0027,
+        n_data_types=8,
+        seed_types=(
+            ("Location", "General location"),
+            ("Security credentials", "API key"),
+            ("Web and network data", "Domain names"),
+        ),
+    ),
+    PrevalentActionTemplate(
+        name="Swagger Petstore",
+        functionality="Pets & Animals",
+        domain="petstore.swagger.io",
+        target_share=0.002,
+        n_data_types=2,
+        seed_types=(
+            ("App usage data", "Current session setting"),
+            ("Identifier", "Resource IDs"),
+        ),
+    ),
+    # Case-study Actions (Figures 4–6, Section 4.2.2, Figure 8 labels).
+    PrevalentActionTemplate(
+        name="Adzedek",
+        functionality="Advertising & Marketing",
+        domain="api.adzedek.com",
+        target_share=0.012,
+        n_data_types=3,
+        seed_types=(
+            ("App usage data", "User interaction data"),
+            ("App metadata", "Name or version"),
+        ),
+        tracking=True,
+    ),
+    PrevalentActionTemplate(
+        name="Link Reader",
+        functionality="Productivity",
+        domain="linkreader.gochitchat.ai",
+        target_share=0.009,
+        n_data_types=4,
+        seed_types=(
+            ("Web and network data", "URLs"),
+            ("Web and network data", "Web page content"),
+        ),
+    ),
+    PrevalentActionTemplate(
+        name="Cal AI",
+        functionality="Productivity",
+        domain="caxgpt.vercel.app",
+        target_share=0.004,
+        n_data_types=4,
+        seed_types=(
+            ("Identifier", "User identifiers"),
+            ("Security credentials", "Password"),
+            ("Security credentials", "Access tokens"),
+        ),
+    ),
+    PrevalentActionTemplate(
+        name="X-Ray Analysis Service",
+        functionality="Health",
+        domain="khurdhulaharshavardhan-jhvvqrbzyq-uc.a.run.app",
+        target_share=0.002,
+        n_data_types=3,
+        seed_types=(
+            ("Health information", "Medical record"),
+            ("Web and network data", "Multimedia data"),
+        ),
+    ),
+)
+
+
+class ActionFactory:
+    """Builds Action specifications with calibrated data collection."""
+
+    def __init__(
+        self,
+        taxonomy: DataTaxonomy,
+        config: EcosystemConfig,
+        rng: random.Random,
+        names: NameFactory,
+        phraser: Optional[DescriptionPhraser] = None,
+    ) -> None:
+        self.taxonomy = taxonomy
+        self.config = config
+        self._rng = rng
+        self.names = names
+        self.phraser = phraser or DescriptionPhraser(
+            rng,
+            empty_rate=config.empty_description_rate,
+            multi_topic_rate=config.multi_topic_description_rate,
+            foreign_rate=config.foreign_language_rate,
+            terse_rate=config.terse_description_rate,
+        )
+        self._types = [
+            data_type for data_type in taxonomy.iter_types() if not data_type.is_other
+        ]
+        self._first_party_weights = self._build_weights(party_index=0)
+        self._third_party_weights = self._build_weights(party_index=1)
+
+    # ------------------------------------------------------------------
+    def _build_weights(self, party_index: int) -> List[float]:
+        weights: List[float] = []
+        for data_type in self._types:
+            rate = self.config.data_type_rates.get(data_type.key)
+            if rate is not None:
+                weights.append(max(rate[party_index], 0.01))
+            else:
+                weights.append(self.config.tail_type_rate)
+        return weights
+
+    def _sample_item_count(self, third_party: bool) -> int:
+        roll = self._rng.random()
+        cumulative = 0.0
+        low, high = 1, 3
+        for band_low, band_high, probability in self.config.item_count_bands:
+            cumulative += probability
+            if roll <= cumulative:
+                low, high = band_low, band_high
+                break
+        count = self._rng.randint(low, high)
+        if third_party:
+            scaled = count * self.config.third_party_item_multiplier
+            count = int(scaled) + (1 if self._rng.random() < (scaled - int(scaled)) else 0)
+        return max(1, min(count, len(self._types)))
+
+    def _sample_types(
+        self,
+        count: int,
+        third_party: bool,
+        seed_types: Sequence[Tuple[str, str]] = (),
+    ) -> List[DataType]:
+        chosen: List[DataType] = []
+        chosen_keys = set()
+        for category, type_name in seed_types:
+            data_type = self.taxonomy.get_type(category, type_name)
+            if data_type is not None and data_type.key not in chosen_keys:
+                chosen.append(data_type)
+                chosen_keys.add(data_type.key)
+        weights = self._third_party_weights if third_party else self._first_party_weights
+        available = list(range(len(self._types)))
+        guard = 0
+        while len(chosen) < count and guard < count * 50:
+            guard += 1
+            index = self._rng.choices(available, weights=[weights[i] for i in available], k=1)[0]
+            data_type = self._types[index]
+            if data_type.key in chosen_keys:
+                continue
+            chosen.append(data_type)
+            chosen_keys.add(data_type.key)
+        return chosen[:max(count, len(seed_types))]
+
+    # ------------------------------------------------------------------
+    def build_parameters(
+        self, data_types: Sequence[DataType]
+    ) -> Tuple[List[ActionParameter], Dict[str, Tuple[str, str]]]:
+        """Phrase parameters for the sampled data types.
+
+        Returns the parameters and a ground-truth mapping of parameter name to
+        the ``(category, type)`` it encodes.
+        """
+        parameters: List[ActionParameter] = []
+        labels: Dict[str, Tuple[str, str]] = {}
+        used_names = set()
+        for data_type in data_types:
+            phrased: PhrasedDescription = self.phraser.phrase(data_type, other_types=data_types)
+            name = phrased.parameter_name
+            suffix = 2
+            while name in used_names:
+                name = f"{phrased.parameter_name}_{suffix}"
+                suffix += 1
+            used_names.add(name)
+            parameters.append(
+                ActionParameter(
+                    name=name,
+                    description=phrased.description,
+                    required=self._rng.random() < 0.55,
+                    location=self._rng.choice(["query", "body", "query", "path"]),
+                )
+            )
+            labels[name] = data_type.key
+        return parameters, labels
+
+    def _endpoints_for(
+        self, functionality: str, parameters: List[ActionParameter]
+    ) -> List[ActionEndpoint]:
+        slug = functionality.lower().split()[0].strip("&")
+        n_endpoints = 1 if len(parameters) <= 3 else self._rng.randint(1, 3)
+        endpoints: List[ActionEndpoint] = []
+        per_endpoint = max(1, len(parameters) // n_endpoints)
+        for index in range(n_endpoints):
+            start = index * per_endpoint
+            end = len(parameters) if index == n_endpoints - 1 else (index + 1) * per_endpoint
+            chunk = parameters[start:end]
+            if not chunk:
+                continue
+            endpoints.append(
+                ActionEndpoint(
+                    path=f"/api/{slug}/{'search' if index == 0 else f'op{index}'}",
+                    method=self._rng.choice(["post", "get"]),
+                    summary=f"{functionality} operation {index + 1}",
+                    parameters=chunk,
+                )
+            )
+        return endpoints
+
+    # ------------------------------------------------------------------
+    def build_prevalent(
+        self, template: PrevalentActionTemplate
+    ) -> Tuple[ActionSpecification, Dict[str, Tuple[str, str]]]:
+        """Build the single shared specification for a prevalent Action."""
+        data_types = self._sample_types(
+            count=template.n_data_types,
+            third_party=True,
+            seed_types=template.seed_types,
+        )
+        parameters, labels = self.build_parameters(data_types)
+        specification = ActionSpecification(
+            action_id=self.names.action_id(),
+            title=template.name,
+            description=(
+                f"A plugin that provides {template.functionality.lower()} capabilities "
+                f"to GPTs via the {template.domain} API."
+            ),
+            server_url=f"https://{template.domain}",
+            legal_info_url=None,
+            functionality=template.functionality,
+            auth_type="service_http" if self._rng.random() < 0.4 else "none",
+            endpoints=self._endpoints_for(template.functionality, parameters),
+        )
+        return specification, labels
+
+    def build_custom(
+        self,
+        third_party: bool,
+        vendor_domain: str,
+        functionality: str,
+        topic: str,
+    ) -> Tuple[ActionSpecification, Dict[str, Tuple[str, str]]]:
+        """Build a bespoke Action for one GPT."""
+        count = self._sample_item_count(third_party)
+        data_types = self._sample_types(count=count, third_party=third_party)
+        parameters, labels = self.build_parameters(data_types)
+        if third_party:
+            service_vendor = self.names.vendor_name()
+            if self._rng.random() < 0.35:
+                domain = self.names.hosted_domain(service_vendor)
+            else:
+                domain = self.names.vendor_domain(service_vendor)
+            title = f"{service_vendor} {functionality} API"
+        else:
+            domain = vendor_domain
+            title = f"{topic.title()} API"
+        specification = ActionSpecification(
+            action_id=self.names.action_id(),
+            title=title,
+            description=f"An API that lets the GPT {topic} using {domain}.",
+            server_url=f"https://{domain}",
+            legal_info_url=None,
+            functionality=functionality,
+            auth_type=self._rng.choice(["none", "service_http", "oauth"]),
+            endpoints=self._endpoints_for(functionality, parameters),
+        )
+        return specification, labels

@@ -1,0 +1,348 @@
+"""Calibration configuration for the synthetic ecosystem generator.
+
+Every tunable rate in :class:`EcosystemConfig` is sourced from a table, figure,
+or statistic in the paper (references in the field comments).  The
+``paper_calibrated`` constructor returns a configuration that reproduces the
+paper's distributions at a configurable corpus scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class StoreConfig:
+    """One GPT store and the number of GPTs it successfully indexes (Table 1)."""
+
+    name: str
+    indexed_count: int
+    is_official: bool = False
+
+
+#: Table 1 — count of GPTs successfully crawled per store.
+PAPER_STORE_COUNTS: Tuple[Tuple[str, int], ...] = (
+    ("Casanpir GitHub GPT List", 85_377),
+    ("plugin.surf", 58_546),
+    ("assistanthunt.com", 2_024),
+    ("allgpts.co", 1_776),
+    ("topgpts.co", 929),
+    ("customgpts.info", 575),
+    ("gpt-collection.com", 485),
+    ("gptdirectory.co", 372),
+    ("meetups.ai", 276),
+    ("gptshunt.tech", 200),
+    ("OpenAI Store", 151),
+    ("botsbarn.com", 104),
+    ("cusomgptslist.com", 91),
+)
+
+#: Table 1 — total number of unique GPTs across all stores.
+PAPER_TOTAL_UNIQUE_GPTS = 119_543
+
+#: Table 3 — built-in tool adoption rates across GPTs.
+PAPER_TOOL_ADOPTION: Dict[str, float] = {
+    "browser": 0.923,
+    "dalle": 0.855,
+    "code_interpreter": 0.530,
+    "knowledge": 0.282,
+    "actions": 0.046,
+}
+
+#: Table 3 — share of Actions created by third parties.
+PAPER_THIRD_PARTY_ACTION_SHARE = 0.829
+
+#: Section 4.4.1 — number of Actions per Action-embedding GPT.
+PAPER_ACTIONS_PER_GPT: Dict[int, float] = {
+    1: 0.909,
+    2: 0.066,
+    3: 0.012,
+    # 4–10 Actions share the remaining 1.3% (split uniformly at sample time).
+    4: 0.013,
+}
+
+#: Section 4.4.1 — among multi-Action GPTs, share whose Actions span
+#: different domains (the rest are additional endpoints on the same domain).
+PAPER_MULTI_ACTION_CROSS_DOMAIN_SHARE = 0.553
+
+#: Table 4 — fraction of first-/third-party Actions collecting each data type.
+#: Keys are ``(category, data type)``; values are ``(first_party, third_party)``
+#: rates in percent.  These drive the per-type sampling weights.
+PAPER_DATA_TYPE_RATES: Dict[Tuple[str, str], Tuple[float, float]] = {
+    ("Query", "Search query"): (46.6, 30.9),
+    ("Query", "Generative prompt"): (2.5, 2.8),
+    ("Web and network data", "URLs"): (24.8, 20.4),
+    ("Web and network data", "Domain names"): (3.9, 2.9),
+    ("Web and network data", "IP addresses"): (2.7, 0.6),
+    ("Web and network data", "User-agent strings"): (0.1, 0.3),
+    ("Web and network data", "Web page content"): (0.1, 0.05),
+    ("Web and network data", "Cookies"): (0.1, 0.1),
+    ("App usage data", "User interaction data"): (20.0, 9.3),
+    ("App metadata", "Integrated applications"): (8.1, 0.1),
+    ("App metadata", "Function description"): (4.6, 0.8),
+    ("Personal information", "Email address"): (6.1, 5.0),
+    ("Personal information", "Name"): (3.4, 4.6),
+    ("Personal information", "Gender"): (0.5, 1.7),
+    ("Personal information", "Age"): (0.3, 1.1),
+    ("Personal information", "Birthday"): (0.4, 0.6),
+    ("Personal information", "Phone number"): (0.3, 0.5),
+    ("Personal information", "Work"): (0.2, 0.9),
+    ("Personal information", "Mailing address"): (0.1, 0.05),
+    ("Personal information", "Relationship"): (0.05, 0.1),
+    ("Security credentials", "API key"): (6.5, 1.8),
+    ("Security credentials", "Access tokens"): (1.9, 2.2),
+    ("Security credentials", "Password"): (0.6, 0.6),
+    ("Security credentials", "Cryptographic key"): (0.2, 0.1),
+    ("Security credentials", "Verification code"): (0.1, 0.1),
+    ("Identifier", "User identifiers"): (4.5, 5.4),
+    ("Identifier", "License plate number"): (0.1, 0.1),
+    ("Identifier", "Account identifiers"): (0.2, 0.05),
+    ("Identifier", "Vehicle identification number (VIN)"): (0.2, 0.05),
+    ("Identifier", "Device IDs"): (0.1, 0.05),
+    ("Message", "Text messages"): (4.1, 3.1),
+    ("Message", "Emails"): (3.2, 2.3),
+    ("Location", "GPS coordinates"): (2.2, 1.8),
+    ("Location", "Exact address"): (0.6, 0.9),
+    ("Time", "Timezone"): (0.7, 0.8),
+    ("Finance information", "Purchase history"): (0.1, 0.1),
+    ("Finance information", "Income information"): (0.1, 0.1),
+    ("Health information", "Medical record"): (0.05, 0.1),
+    ("Health information", "Fitness information"): (0.05, 0.1),
+    ("Legal and law enforcement data", "Legal inquiries"): (0.1, 0.1),
+}
+
+#: Baseline weight (percent) given to every data type not listed in Table 4,
+#: forming the long tail that pushes per-Action item counts to Figure 7 levels
+#: while keeping the per-type collection rates of the frequent types close to
+#: the Table 4 values.
+PAPER_TAIL_TYPE_RATE = 1.6
+
+#: Figure 7 — distribution of distinct data items per Action, expressed as
+#: band probabilities ``(min_items, max_items, probability)``.  Calibrated so
+#: that ≈49.8% of Actions collect 5+ items and ≈20% collect 10+ items.
+PAPER_ITEM_COUNT_BANDS: Tuple[Tuple[int, int, float], ...] = (
+    (1, 2, 0.28),
+    (3, 4, 0.22),
+    (5, 7, 0.20),
+    (8, 9, 0.10),
+    (10, 13, 0.14),
+    (14, 18, 0.06),
+)
+
+#: Section 4.2.1 — third-party Actions collect 6.03% more data items on average.
+PAPER_THIRD_PARTY_ITEM_MULTIPLIER = 1.0603
+
+#: Figure 9 — disclosure-consistency mix per data category, in percent, as
+#: ``(clear, vague, ambiguous, incorrect, omitted)``.
+PAPER_DISCLOSURE_PROFILES: Dict[str, Tuple[float, float, float, float, float]] = {
+    "App usage data": (3.1, 3.5, 0.1, 1.7, 91.6),
+    "Security credentials": (3.9, 1.1, 0.0, 2.5, 92.6),
+    "Identifier": (5.6, 3.2, 0.0, 5.6, 85.7),
+    "Location": (10.9, 10.9, 0.3, 5.5, 72.4),
+    "App metadata": (2.8, 13.5, 0.0, 0.6, 83.1),
+    "Time": (2.9, 2.4, 0.1, 2.4, 92.1),
+    "Query": (7.4, 4.8, 0.0, 2.9, 84.9),
+    "Web and network data": (7.7, 4.4, 0.0, 2.5, 85.4),
+    "Market data": (4.2, 2.4, 0.0, 4.8, 88.5),
+    "Personal information": (25.4, 5.2, 0.0, 2.8, 66.7),
+    "Sports information": (2.2, 0.0, 0.0, 0.0, 97.8),
+    "Event information": (8.2, 2.0, 0.0, 6.1, 83.7),
+    "Gaming data": (7.7, 3.8, 0.0, 0.0, 88.5),
+    "Files and documents": (9.6, 7.4, 0.2, 1.7, 81.0),
+    "Finance information": (8.1, 0.8, 0.0, 3.2, 87.9),
+    "Health information": (0.0, 0.0, 0.0, 0.0, 100.0),
+    "Message": (19.1, 8.6, 0.5, 6.2, 65.6),
+    "Legal and law enforcement data": (5.6, 5.6, 0.0, 0.0, 88.9),
+    "E-commerce data": (2.3, 6.8, 0.0, 2.3, 88.6),
+    "Weather information": (4.2, 0.0, 0.0, 0.0, 95.8),
+    "Travel information": (4.2, 14.6, 0.0, 0.0, 81.2),
+    "Vehicle information": (6.8, 4.5, 0.0, 2.3, 86.4),
+    "Food and nutrition information": (13.0, 0.0, 0.0, 0.0, 87.0),
+    "Real estate data": (0.0, 0.0, 0.0, 0.0, 100.0),
+}
+
+#: Section 5.1.1 — privacy-policy corpus statistics.
+PAPER_POLICY_AVAILABILITY = 0.9396
+PAPER_POLICY_EXACT_DUPLICATE_SHARE = 0.3856
+PAPER_POLICY_NEAR_DUPLICATE_SHARE = 0.055
+PAPER_POLICY_SHORT_SHARE = 0.1245
+
+#: Table 6 — what duplicate privacy policies contain.
+PAPER_DUPLICATE_POLICY_CONTENT: Dict[str, float] = {
+    "external_service": 0.335,
+    "empty": 0.270,
+    "same_vendor": 0.192,
+    "javascript": 0.178,
+    "openai_policy": 0.053,
+    "tracking_pixel": 0.038,
+}
+
+
+@dataclass(frozen=True)
+class DisclosureProfile:
+    """Probabilities of each disclosure outcome for a data category."""
+
+    clear: float
+    vague: float
+    ambiguous: float
+    incorrect: float
+    omitted: float
+
+    def as_tuple(self) -> Tuple[float, float, float, float, float]:
+        """The five probabilities in (clear, vague, ambiguous, incorrect, omitted) order."""
+        return (self.clear, self.vague, self.ambiguous, self.incorrect, self.omitted)
+
+    def normalized(self) -> "DisclosureProfile":
+        """Return the profile normalized so the probabilities sum to one."""
+        total = sum(self.as_tuple())
+        if total <= 0:
+            return DisclosureProfile(0.0, 0.0, 0.0, 0.0, 1.0)
+        return DisclosureProfile(*(value / total for value in self.as_tuple()))
+
+
+def _default_stores(n_gpts: int) -> List[StoreConfig]:
+    """Scale the Table 1 store sizes down to an ``n_gpts``-sized corpus."""
+    stores: List[StoreConfig] = []
+    for name, count in PAPER_STORE_COUNTS:
+        scaled = max(1, round(count * n_gpts / PAPER_TOTAL_UNIQUE_GPTS))
+        stores.append(StoreConfig(name=name, indexed_count=scaled, is_official=(name == "OpenAI Store")))
+    return stores
+
+
+def _default_disclosure_profiles() -> Dict[str, DisclosureProfile]:
+    return {
+        category: DisclosureProfile(
+            clear=values[0] / 100.0,
+            vague=values[1] / 100.0,
+            ambiguous=values[2] / 100.0,
+            incorrect=values[3] / 100.0,
+            omitted=values[4] / 100.0,
+        ).normalized()
+        for category, values in PAPER_DISCLOSURE_PROFILES.items()
+    }
+
+
+@dataclass
+class EcosystemConfig:
+    """All tunable knobs of the synthetic ecosystem generator."""
+
+    # Corpus scale and reproducibility.
+    n_gpts: int = 2000
+    seed: int = 0
+
+    # Store index sizes (Table 1) and the share of indexed links that 404
+    # because the GPT was taken down or made private.
+    stores: List[StoreConfig] = field(default_factory=lambda: _default_stores(2000))
+    dead_link_rate: float = 0.02
+    cross_store_overlap: float = 0.35
+
+    # Tool adoption rates (Table 3).
+    tool_adoption: Dict[str, float] = field(default_factory=lambda: dict(PAPER_TOOL_ADOPTION))
+
+    # Action composition.
+    third_party_action_share: float = PAPER_THIRD_PARTY_ACTION_SHARE
+    actions_per_gpt: Dict[int, float] = field(default_factory=lambda: dict(PAPER_ACTIONS_PER_GPT))
+    max_actions_per_gpt: int = 10
+    multi_action_cross_domain_share: float = PAPER_MULTI_ACTION_CROSS_DOMAIN_SHARE
+    prevalent_action_multiplier: float = 1.0
+
+    # Data collection calibration (Table 4, Figure 7).
+    data_type_rates: Dict[Tuple[str, str], Tuple[float, float]] = field(
+        default_factory=lambda: dict(PAPER_DATA_TYPE_RATES)
+    )
+    tail_type_rate: float = PAPER_TAIL_TYPE_RATE
+    item_count_bands: Tuple[Tuple[int, int, float], ...] = PAPER_ITEM_COUNT_BANDS
+    third_party_item_multiplier: float = PAPER_THIRD_PARTY_ITEM_MULTIPLIER
+
+    # Natural-language phrasing noise (drives realistic classifier errors).
+    empty_description_rate: float = 0.05
+    multi_topic_description_rate: float = 0.04
+    foreign_language_rate: float = 0.03
+    terse_description_rate: float = 0.06
+
+    # Privacy-policy calibration (Section 5.1.1, Table 6, Figure 9).
+    policy_availability: float = PAPER_POLICY_AVAILABILITY
+    policy_exact_duplicate_share: float = PAPER_POLICY_EXACT_DUPLICATE_SHARE
+    policy_near_duplicate_share: float = PAPER_POLICY_NEAR_DUPLICATE_SHARE
+    #: Share of Actions given a dedicated very-short generic policy.  The
+    #: corpus-wide <500-character share (paper: 12.45%) additionally includes
+    #: the empty and tracking-pixel duplicate policies generated above, so this
+    #: generation knob is deliberately smaller than ``PAPER_POLICY_SHORT_SHARE``.
+    policy_short_share: float = 0.03
+    duplicate_policy_content: Dict[str, float] = field(
+        default_factory=lambda: dict(PAPER_DUPLICATE_POLICY_CONTENT)
+    )
+    disclosure_profiles: Dict[str, DisclosureProfile] = field(
+        default_factory=_default_disclosure_profiles
+    )
+    #: Fraction of Actions whose policy discloses everything clearly
+    #: (Table 7 / Section 5.2.3 reports 5.8% of Actions fully consistent).
+    fully_consistent_action_share: float = 0.058
+
+    # ------------------------------------------------------------------
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` for out-of-range configuration values."""
+        if self.n_gpts <= 0:
+            raise ValueError("n_gpts must be positive")
+        if not self.stores:
+            raise ValueError("at least one store is required")
+        for rate_name in (
+            "dead_link_rate",
+            "cross_store_overlap",
+            "third_party_action_share",
+            "policy_availability",
+            "policy_exact_duplicate_share",
+            "policy_near_duplicate_share",
+            "policy_short_share",
+            "empty_description_rate",
+            "multi_topic_description_rate",
+            "foreign_language_rate",
+            "terse_description_rate",
+            "fully_consistent_action_share",
+        ):
+            value = getattr(self, rate_name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{rate_name} must be within [0, 1], got {value}")
+        for tool, rate in self.tool_adoption.items():
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"tool adoption for {tool!r} must be within [0, 1]")
+        total_band_probability = sum(probability for _, _, probability in self.item_count_bands)
+        if abs(total_band_probability - 1.0) > 1e-6:
+            raise ValueError("item_count_bands probabilities must sum to 1")
+        if abs(sum(self.actions_per_gpt.values()) - 1.0) > 1e-6:
+            raise ValueError("actions_per_gpt probabilities must sum to 1")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def paper_calibrated(cls, n_gpts: int = 2000, seed: int = 0, **overrides) -> "EcosystemConfig":
+        """A configuration calibrated to the paper's published distributions.
+
+        ``n_gpts`` scales the corpus; all rates stay at their paper-reported
+        values.  Additional keyword overrides are applied on top.
+        """
+        config = cls(n_gpts=n_gpts, seed=seed, stores=_default_stores(n_gpts))
+        for key, value in overrides.items():
+            if not hasattr(config, key):
+                raise ValueError(f"unknown EcosystemConfig field: {key!r}")
+            setattr(config, key, value)
+        config.validate()
+        return config
+
+    @classmethod
+    def small(cls, seed: int = 0) -> "EcosystemConfig":
+        """A small configuration suitable for unit tests."""
+        return cls.paper_calibrated(n_gpts=300, seed=seed)
+
+    def expected_action_gpts(self) -> int:
+        """Expected number of GPTs embedding Actions at this scale."""
+        return round(self.n_gpts * self.tool_adoption.get("actions", 0.0))
+
+    def disclosure_profile_for(self, category: str) -> DisclosureProfile:
+        """The disclosure profile for a category (default: mostly omitted)."""
+        return self.disclosure_profiles.get(
+            category, DisclosureProfile(0.05, 0.05, 0.0, 0.02, 0.88)
+        )

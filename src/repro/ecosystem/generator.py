@@ -1,0 +1,310 @@
+"""The master ecosystem generator.
+
+:class:`EcosystemGenerator` assembles a full :class:`SyntheticEcosystem` from
+an :class:`~repro.ecosystem.config.EcosystemConfig`:
+
+1. build the shared *prevalent* third-party Actions (Table 5 and the paper's
+   case-study Actions) exactly once;
+2. generate every GPT manifest: theme, author, vendor domain, built-in tool
+   adoption (Table 3), and — for the ≈4.6% of GPTs that embed Actions — the
+   number of Actions (Section 4.4.1), which prevalent Actions they embed, and
+   bespoke first-/third-party Actions with Table 4-calibrated data collection;
+3. generate each Action's privacy policy (Section 5.1.1 / Table 6 / Figure 9);
+4. assign GPTs to store indices (Table 1);
+5. record generator-side ground truth for evaluation harnesses.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.ecosystem.actions import ActionFactory, PREVALENT_ACTIONS, PrevalentActionTemplate
+from repro.ecosystem.config import EcosystemConfig
+from repro.ecosystem.models import (
+    ActionSpecification,
+    GPTAuthor,
+    GPTManifest,
+    GroundTruth,
+    SyntheticEcosystem,
+    Tool,
+    ToolType,
+)
+from repro.ecosystem.naming import NameFactory
+from repro.ecosystem.phrasing import DescriptionPhraser
+from repro.ecosystem.policies import PolicyGenerator
+from repro.ecosystem.stores import assign_listings
+from repro.taxonomy.builtin import load_builtin_taxonomy
+from repro.taxonomy.schema import DataTaxonomy
+
+_PROMPT_STARTER_TEMPLATES = (
+    "Help me with {topic} today.",
+    "Plan a surprise {topic} session for me.",
+    "What is the best way to get started with {topic}?",
+    "Give me a detailed {topic} report.",
+)
+
+
+class EcosystemGenerator:
+    """Generates a synthetic GPT ecosystem calibrated to the paper."""
+
+    def __init__(
+        self,
+        config: Optional[EcosystemConfig] = None,
+        taxonomy: Optional[DataTaxonomy] = None,
+    ) -> None:
+        self.config = config or EcosystemConfig.paper_calibrated()
+        self.taxonomy = taxonomy or load_builtin_taxonomy()
+        self._rng = random.Random(self.config.seed)
+        self.names = NameFactory(self._rng)
+        self.phraser = DescriptionPhraser(
+            self._rng,
+            empty_rate=self.config.empty_description_rate,
+            multi_topic_rate=self.config.multi_topic_description_rate,
+            foreign_rate=self.config.foreign_language_rate,
+            terse_rate=self.config.terse_description_rate,
+        )
+        self.action_factory = ActionFactory(
+            taxonomy=self.taxonomy,
+            config=self.config,
+            rng=self._rng,
+            names=self.names,
+            phraser=self.phraser,
+        )
+        self.policy_generator = PolicyGenerator(
+            taxonomy=self.taxonomy, config=self.config, rng=self._rng
+        )
+
+    # ------------------------------------------------------------------
+    def generate(self) -> SyntheticEcosystem:
+        """Generate and return the full synthetic ecosystem."""
+        ecosystem = SyntheticEcosystem()
+        ground_truth = ecosystem.ground_truth
+
+        prevalent_specs = self._build_prevalent_actions(ecosystem, ground_truth)
+
+        n_action_gpts = max(1, round(self.config.n_gpts * self.config.tool_adoption.get("actions", 0.0)))
+        action_gpt_indices = set(
+            self._rng.sample(range(self.config.n_gpts), k=min(n_action_gpts, self.config.n_gpts))
+        )
+
+        for index in range(self.config.n_gpts):
+            gpt = self._build_gpt(
+                embeds_actions=index in action_gpt_indices,
+                prevalent_specs=prevalent_specs,
+                ecosystem=ecosystem,
+                ground_truth=ground_truth,
+            )
+            ecosystem.gpts[gpt.gpt_id] = gpt
+
+        ecosystem.store_listings = assign_listings(
+            list(ecosystem.gpts.values()),
+            self.config.stores,
+            self._rng,
+            dead_link_rate=self.config.dead_link_rate,
+        )
+        return ecosystem
+
+    # ------------------------------------------------------------------
+    def _build_prevalent_actions(
+        self, ecosystem: SyntheticEcosystem, ground_truth: GroundTruth
+    ) -> Dict[str, Tuple[PrevalentActionTemplate, ActionSpecification]]:
+        """Build each prevalent Action once and generate its shared policy."""
+        specs: Dict[str, Tuple[PrevalentActionTemplate, ActionSpecification]] = {}
+        for template in PREVALENT_ACTIONS:
+            specification, labels = self.action_factory.build_prevalent(template)
+            self._register_action(specification, labels, ecosystem, ground_truth)
+            specs[template.name] = (template, specification)
+        return specs
+
+    def _register_action(
+        self,
+        specification: ActionSpecification,
+        labels: Dict[str, Tuple[str, str]],
+        ecosystem: SyntheticEcosystem,
+        ground_truth: GroundTruth,
+    ) -> None:
+        """Record an Action, its ground truth, and its privacy policy."""
+        ecosystem.actions[specification.action_id] = specification
+        collected: List[Tuple[str, str]] = []
+        for parameter_name, key in labels.items():
+            ground_truth.parameter_labels[(specification.action_id, parameter_name)] = key
+            if key not in collected:
+                collected.append(key)
+        ground_truth.action_collected_types[specification.action_id] = collected
+
+        generated = self.policy_generator.generate(
+            specification, collected, vendor_domain=specification.domain
+        )
+        if generated is None:
+            ground_truth.policy_kinds[specification.action_id] = "unavailable"
+            return
+        ecosystem.policies[generated.document.url] = generated.document
+        ground_truth.policy_kinds[specification.action_id] = generated.kind.value
+        if generated.controlled:
+            ground_truth.controlled_policy_actions.add(specification.action_id)
+        for (category, type_name), label in generated.disclosure_labels.items():
+            ground_truth.disclosure_labels[(specification.action_id, category, type_name)] = label
+
+    # ------------------------------------------------------------------
+    def _sample_action_count(self) -> int:
+        counts = list(self.config.actions_per_gpt.keys())
+        weights = list(self.config.actions_per_gpt.values())
+        chosen = self._rng.choices(counts, weights=weights, k=1)[0]
+        if chosen >= 4:
+            chosen = self._rng.randint(4, self.config.max_actions_per_gpt)
+        return chosen
+
+    def _build_gpt(
+        self,
+        embeds_actions: bool,
+        prevalent_specs: Dict[str, Tuple[PrevalentActionTemplate, ActionSpecification]],
+        ecosystem: SyntheticEcosystem,
+        ground_truth: GroundTruth,
+    ) -> GPTManifest:
+        topic, store_category, functionality = self.names.theme()
+        gpt_id = self.names.gpt_id()
+        vendor_name = self.names.vendor_name()
+        has_vendor_site = self._rng.random() < 0.7
+        vendor_domain = self.names.vendor_domain(vendor_name) if has_vendor_site else None
+        author = GPTAuthor(
+            display_name=self.names.author_name() if self._rng.random() < 0.6 else vendor_name,
+            website=f"https://{vendor_domain}" if vendor_domain else None,
+        )
+
+        tools: List[Tool] = []
+        adoption = self.config.tool_adoption
+        if self._rng.random() < adoption.get("browser", 0.0):
+            tools.append(Tool(tool_type=ToolType.BROWSER))
+        if self._rng.random() < adoption.get("dalle", 0.0):
+            tools.append(Tool(tool_type=ToolType.DALLE))
+        if self._rng.random() < adoption.get("code_interpreter", 0.0):
+            tools.append(Tool(tool_type=ToolType.CODE_INTERPRETER))
+        files: List[Dict[str, object]] = []
+        if self._rng.random() < adoption.get("knowledge", 0.0):
+            tools.append(Tool(tool_type=ToolType.KNOWLEDGE))
+            files.append(
+                {
+                    "id": f"gzm_file_{self.names.action_id()[:16]}",
+                    "type": self._rng.choice(["application/pdf", "text/plain", ""]),
+                }
+            )
+
+        if embeds_actions:
+            for action_tool in self._build_gpt_actions(
+                gpt_id=gpt_id,
+                topic=topic,
+                functionality=functionality,
+                vendor_domain=vendor_domain,
+                prevalent_specs=prevalent_specs,
+                ecosystem=ecosystem,
+                ground_truth=ground_truth,
+            ):
+                tools.append(action_tool)
+
+        return GPTManifest(
+            gpt_id=gpt_id,
+            name=self.names.gpt_name(topic),
+            description=(
+                f"A GPT that helps with {topic}. Built by {vendor_name} to make "
+                f"{topic} effortless inside ChatGPT."
+            ),
+            author=author,
+            categories=[store_category],
+            prompt_starters=[
+                template.format(topic=topic)
+                for template in self._rng.sample(_PROMPT_STARTER_TEMPLATES, k=2)
+            ],
+            tags=["public", "reportable"] + (["uses_function_calls"] if embeds_actions else []),
+            tools=tools,
+            files=files,
+            vendor_domain=vendor_domain,
+        )
+
+    def _build_gpt_actions(
+        self,
+        gpt_id: str,
+        topic: str,
+        functionality: str,
+        vendor_domain: Optional[str],
+        prevalent_specs: Dict[str, Tuple[PrevalentActionTemplate, ActionSpecification]],
+        ecosystem: SyntheticEcosystem,
+        ground_truth: GroundTruth,
+    ) -> List[Tool]:
+        """Pick the Actions embedded by one Action-embedding GPT."""
+        n_actions = self._sample_action_count()
+
+        # Which prevalent Actions does this GPT embed?  GPTs that integrate
+        # several Actions disproportionately reach for the widely-deployed
+        # utility/advertising services (that is what produces the Figure 8
+        # hub structure), so their inclusion probability is scaled up for
+        # multi-Action GPTs.
+        embedded: List[ActionSpecification] = []
+        scaled = self.config.prevalent_action_multiplier
+        if n_actions >= 2:
+            scaled *= 4.0
+        for template, specification in prevalent_specs.values():
+            if len(embedded) >= n_actions:
+                break
+            if self._rng.random() < min(0.9, template.target_share * scaled):
+                embedded.append(specification)
+                ground_truth.action_party[(gpt_id, specification.action_id)] = "third"
+
+        # Fill the remaining slots with bespoke Actions.
+        n_custom = n_actions - len(embedded)
+        first_party_rate = self._custom_first_party_rate()
+        reuse_domain: Optional[str] = None
+        for slot in range(n_custom):
+            third_party = self._rng.random() >= first_party_rate
+            if not third_party and vendor_domain is None:
+                vendor_domain = self.names.vendor_domain()
+            # Section 4.4.1: 44.7% of multi-Action GPTs add endpoints on the
+            # same domain rather than contacting an additional online service.
+            same_domain = (
+                slot > 0
+                and reuse_domain is not None
+                and self._rng.random() >= self.config.multi_action_cross_domain_share
+            )
+            if same_domain:
+                domain_for_action = reuse_domain
+                third_party_flag = ground_truth.action_party.get((gpt_id, "__last_custom__"), "third") == "third"
+                specification, labels = self.action_factory.build_custom(
+                    third_party=third_party_flag,
+                    vendor_domain=domain_for_action,
+                    functionality=functionality,
+                    topic=topic,
+                )
+                specification.server_url = f"https://{domain_for_action}"
+            else:
+                specification, labels = self.action_factory.build_custom(
+                    third_party=third_party,
+                    vendor_domain=vendor_domain or self.names.vendor_domain(),
+                    functionality=functionality,
+                    topic=topic,
+                )
+            reuse_domain = specification.domain
+            ground_truth.action_party[(gpt_id, "__last_custom__")] = (
+                "third" if third_party else "first"
+            )
+            ground_truth.action_party[(gpt_id, specification.action_id)] = (
+                "third" if third_party else "first"
+            )
+            self._register_action(specification, labels, ecosystem, ground_truth)
+            embedded.append(specification)
+        ground_truth.action_party.pop((gpt_id, "__last_custom__"), None)
+
+        return [Tool(tool_type=ToolType.ACTION, action=specification) for specification in embedded]
+
+    def _custom_first_party_rate(self) -> float:
+        """First-party probability for bespoke Actions.
+
+        Prevalent Actions are always third-party, so bespoke Actions must be
+        first-party somewhat more often than the overall 17.1% share for the
+        ecosystem-wide split to match Table 3.
+        """
+        overall_first = 1.0 - self.config.third_party_action_share
+        prevalent_share = min(
+            0.5, sum(template.target_share for template in PREVALENT_ACTIONS)
+        )
+        custom_share = max(1.0 - prevalent_share, 1e-6)
+        return min(1.0, overall_first / custom_share)

@@ -1,0 +1,358 @@
+"""Data models for the synthetic GPT ecosystem.
+
+The models mirror the artifact formats the paper describes in Appendix B:
+
+* :class:`GPTManifest` — the ``gizmo`` JSON manifest with ``display``,
+  ``tags``, ``tools``, and ``files`` fields;
+* :class:`ActionSpecification` — an OpenAPI-style specification with
+  ``servers``, ``info``, ``paths``, and per-parameter natural-language
+  descriptions;
+* :class:`PrivacyPolicyDocument` — the document reachable from an Action's
+  ``legal_info_url``;
+* :class:`SyntheticEcosystem` — the full generated world, including the
+  :class:`GroundTruth` used only by evaluation harnesses.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+
+class ToolType(str, enum.Enum):
+    """Tool types available to GPTs (Section 2.1)."""
+
+    BROWSER = "browser"
+    DALLE = "dalle"
+    CODE_INTERPRETER = "code_interpreter"
+    KNOWLEDGE = "knowledge"
+    ACTION = "action(plugins_prototype)"
+
+
+@dataclass(frozen=True)
+class GPTAuthor:
+    """The author of a GPT, optionally with a declared vendor website."""
+
+    display_name: str
+    website: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        """Serialize to the manifest's ``author`` block."""
+        payload: Dict[str, object] = {"display_name": self.display_name}
+        if self.website:
+            payload["link_to"] = self.website
+        return payload
+
+
+@dataclass(frozen=True)
+class ActionParameter:
+    """One input parameter of an Action API endpoint.
+
+    ``name`` and ``description`` together form the natural-language data
+    description that the classification framework analyzes; ``required`` and
+    ``location`` mirror OpenAPI parameter metadata.
+    """
+
+    name: str
+    description: str
+    required: bool = False
+    location: str = "query"
+    schema_type: str = "string"
+
+    def name_and_description(self) -> str:
+        """The combined text passed to the classifier.
+
+        Mirrors the paper's handling of empty descriptions (Section 4.1.2): if
+        the description is empty or a null placeholder, the parameter name is
+        used as the description.
+        """
+        description = (self.description or "").strip()
+        if not description or description.lower() in ("null", "none", "n/a", "-"):
+            return self.name
+        return f"{self.name}: {description}"
+
+    def to_openapi(self) -> Dict[str, object]:
+        """Serialize as an OpenAPI parameter object."""
+        return {
+            "name": self.name,
+            "in": self.location,
+            "required": self.required,
+            "schema": {"type": self.schema_type},
+            "description": self.description,
+        }
+
+
+@dataclass
+class ActionEndpoint:
+    """One API path exposed by an Action."""
+
+    path: str
+    method: str = "post"
+    summary: str = ""
+    parameters: List[ActionParameter] = field(default_factory=list)
+
+    def to_openapi(self) -> Dict[str, object]:
+        """Serialize as an OpenAPI path-item object."""
+        return {
+            self.method: {
+                "summary": self.summary,
+                "x-openai-isConsequential": False,
+                "parameters": [parameter.to_openapi() for parameter in self.parameters],
+                "responses": {
+                    "200": {"description": "OK"},
+                    "429": {"description": "Rate limited"},
+                },
+            }
+        }
+
+
+@dataclass
+class ActionSpecification:
+    """An Action (custom tool) specification in OpenAPI format."""
+
+    action_id: str
+    title: str
+    description: str
+    server_url: str
+    legal_info_url: Optional[str]
+    functionality: str = "Productivity"
+    auth_type: str = "none"
+    endpoints: List[ActionEndpoint] = field(default_factory=list)
+
+    @property
+    def domain(self) -> str:
+        """The API server host of the Action."""
+        from repro.web.urls import url_host
+
+        return url_host(self.server_url)
+
+    def parameters(self) -> List[ActionParameter]:
+        """All parameters across all endpoints."""
+        collected: List[ActionParameter] = []
+        for endpoint in self.endpoints:
+            collected.extend(endpoint.parameters)
+        return collected
+
+    def data_descriptions(self) -> List[str]:
+        """The natural-language data descriptions of all parameters."""
+        return [parameter.name_and_description() for parameter in self.parameters()]
+
+    def to_openapi(self) -> Dict[str, object]:
+        """Serialize to an OpenAPI specification document."""
+        return {
+            "openapi": "3.0.1",
+            "info": {"title": self.title, "description": self.description, "version": "v1"},
+            "servers": [{"url": self.server_url}],
+            "paths": {endpoint.path: endpoint.to_openapi() for endpoint in self.endpoints},
+        }
+
+    def to_manifest_tool(self) -> Dict[str, object]:
+        """Serialize as the manifest ``tools`` entry for this Action."""
+        return {
+            "id": self.action_id,
+            "type": ToolType.ACTION.value,
+            "metadata": {
+                "domain": self.domain,
+                "privacy_policy_url": self.legal_info_url,
+                "auth": {"type": self.auth_type},
+                "functionality": self.functionality,
+            },
+            "json_spec": self.to_openapi(),
+        }
+
+
+@dataclass
+class Tool:
+    """A tool enabled in a GPT (built-in or Action)."""
+
+    tool_type: ToolType
+    action: Optional[ActionSpecification] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        """Serialize as a manifest ``tools`` entry."""
+        if self.tool_type is ToolType.ACTION:
+            if self.action is None:
+                raise ValueError("action tools must carry an ActionSpecification")
+            return self.action.to_manifest_tool()
+        return {"type": self.tool_type.value}
+
+
+@dataclass
+class GPTManifest:
+    """A GPT's manifest (the ``gizmo`` JSON document)."""
+
+    gpt_id: str
+    name: str
+    description: str
+    author: GPTAuthor
+    categories: List[str] = field(default_factory=list)
+    prompt_starters: List[str] = field(default_factory=list)
+    tags: List[str] = field(default_factory=lambda: ["public", "reportable"])
+    tools: List[Tool] = field(default_factory=list)
+    files: List[Dict[str, object]] = field(default_factory=list)
+    vendor_domain: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    def actions(self) -> List[ActionSpecification]:
+        """All Action specifications embedded in this GPT."""
+        return [tool.action for tool in self.tools if tool.tool_type is ToolType.ACTION and tool.action]
+
+    def has_tool(self, tool_type: ToolType) -> bool:
+        """Whether the GPT enables a given tool type."""
+        return any(tool.tool_type is tool_type for tool in self.tools)
+
+    def tool_types(self) -> List[ToolType]:
+        """The distinct tool types enabled by the GPT."""
+        seen: List[ToolType] = []
+        for tool in self.tools:
+            if tool.tool_type not in seen:
+                seen.append(tool.tool_type)
+        return seen
+
+    @property
+    def is_public(self) -> bool:
+        """Whether the GPT is publicly reachable via the gizmo API."""
+        return "public" in self.tags and "private" not in self.tags
+
+    def to_dict(self) -> Dict[str, object]:
+        """Serialize to the gizmo manifest JSON structure."""
+        return {
+            "gizmo": {
+                "id": self.gpt_id,
+                "author": self.author.to_dict(),
+                "display": {
+                    "name": self.name,
+                    "description": self.description,
+                    "prompt_starters": list(self.prompt_starters),
+                    "categories": list(self.categories),
+                },
+                "tags": list(self.tags),
+                "vendor_domain": self.vendor_domain,
+            },
+            "tools": [tool.to_dict() for tool in self.tools],
+            "files": list(self.files),
+        }
+
+    def to_json(self) -> str:
+        """Serialize the manifest to JSON text."""
+        return json.dumps(self.to_dict(), ensure_ascii=False)
+
+
+@dataclass
+class PrivacyPolicyDocument:
+    """A privacy-policy document served at an Action's ``legal_info_url``."""
+
+    url: str
+    text: str
+    kind: str = "standard"
+    available: bool = True
+
+    @property
+    def length(self) -> int:
+        """Character length of the policy text."""
+        return len(self.text)
+
+    @property
+    def is_short(self) -> bool:
+        """Whether the policy is shorter than 500 characters (Section 5.1.1)."""
+        return self.length < 500
+
+
+@dataclass
+class StoreListing:
+    """A single GPT listing on a store's index pages."""
+
+    gpt_id: str
+    title: str
+    link: str
+    dead: bool = False
+
+
+@dataclass
+class GroundTruth:
+    """Generator-side ground truth, used only by evaluation harnesses.
+
+    Attributes
+    ----------
+    parameter_labels:
+        ``(action_id, parameter_name)`` → ``(category, data_type)``.
+    action_party:
+        ``(gpt_id, action_id)`` → ``"first"`` or ``"third"``.
+    disclosure_labels:
+        ``(action_id, category, data_type)`` → intended disclosure label
+        (``clear``/``vague``/``ambiguous``/``incorrect``/``omitted``).
+    action_collected_types:
+        ``action_id`` → list of ``(category, data_type)`` actually collected.
+    """
+
+    parameter_labels: Dict[Tuple[str, str], Tuple[str, str]] = field(default_factory=dict)
+    action_party: Dict[Tuple[str, str], str] = field(default_factory=dict)
+    disclosure_labels: Dict[Tuple[str, str, str], str] = field(default_factory=dict)
+    action_collected_types: Dict[str, List[Tuple[str, str]]] = field(default_factory=dict)
+    #: Action ids whose privacy-policy text is fully generator-controlled;
+    #: only these are used for policy-framework accuracy evaluation.
+    controlled_policy_actions: set = field(default_factory=set)
+    #: Action id → policy kind string (see :class:`repro.ecosystem.policies.PolicyKind`).
+    policy_kinds: Dict[str, str] = field(default_factory=dict)
+
+    def label_for(self, action_id: str, parameter_name: str) -> Optional[Tuple[str, str]]:
+        """Ground-truth label for one Action parameter."""
+        return self.parameter_labels.get((action_id, parameter_name))
+
+
+@dataclass
+class SyntheticEcosystem:
+    """The full generated GPT ecosystem.
+
+    Attributes
+    ----------
+    gpts:
+        All generated GPT manifests keyed by GPT id.
+    actions:
+        All distinct Action specifications keyed by action id (Actions reused
+        across GPTs — e.g. webPilot — appear once here).
+    policies:
+        Privacy-policy documents keyed by URL.
+    store_listings:
+        Store name → list of :class:`StoreListing` entries indexed there.
+    ground_truth:
+        Evaluation-only ground truth (not consumed by the analysis pipeline).
+    """
+
+    gpts: Dict[str, GPTManifest] = field(default_factory=dict)
+    actions: Dict[str, ActionSpecification] = field(default_factory=dict)
+    policies: Dict[str, PrivacyPolicyDocument] = field(default_factory=dict)
+    store_listings: Dict[str, List[StoreListing]] = field(default_factory=dict)
+    ground_truth: GroundTruth = field(default_factory=GroundTruth)
+
+    # ------------------------------------------------------------------
+    def iter_gpts(self) -> Iterator[GPTManifest]:
+        """Iterate over all GPT manifests."""
+        return iter(self.gpts.values())
+
+    def action_gpts(self) -> List[GPTManifest]:
+        """GPTs that embed at least one Action."""
+        return [gpt for gpt in self.gpts.values() if gpt.actions()]
+
+    def n_actions(self) -> int:
+        """Number of distinct Actions in the ecosystem."""
+        return len(self.actions)
+
+    def n_gpts(self) -> int:
+        """Number of GPTs in the ecosystem."""
+        return len(self.gpts)
+
+    def policy_for(self, action: ActionSpecification) -> Optional[PrivacyPolicyDocument]:
+        """The privacy policy document for an Action, if any."""
+        if not action.legal_info_url:
+            return None
+        return self.policies.get(action.legal_info_url)
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"SyntheticEcosystem: {self.n_gpts()} GPTs, {self.n_actions()} Actions, "
+            f"{len(self.policies)} privacy policies, {len(self.store_listings)} stores"
+        )

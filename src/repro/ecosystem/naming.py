@@ -1,0 +1,140 @@
+"""Vendor, GPT, and domain name synthesis for the ecosystem generator."""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+#: Thematic verticals GPTs are built around; each pairs a noun pool with a
+#: store category label and the functionality tag used for their Actions.
+GPT_THEMES: Tuple[Tuple[str, str, str], ...] = (
+    ("travel planning", "lifestyle", "Travel"),
+    ("recipe recommendation", "lifestyle", "Food & Drink"),
+    ("resume writing", "writing", "Productivity"),
+    ("stock research", "research", "Finance"),
+    ("fitness coaching", "lifestyle", "Health & Fitness"),
+    ("legal research", "research", "Legal"),
+    ("real estate search", "productivity", "Real Estate"),
+    ("SEO auditing", "programming", "Marketing"),
+    ("code review", "programming", "Developer Tools"),
+    ("language tutoring", "education", "Education"),
+    ("task management", "productivity", "Productivity"),
+    ("weather briefing", "lifestyle", "Weather"),
+    ("car shopping", "lifestyle", "Automotive"),
+    ("event planning", "productivity", "Events"),
+    ("sports analytics", "research", "Sports"),
+    ("crypto tracking", "research", "Finance"),
+    ("document drafting", "writing", "Productivity"),
+    ("e-commerce assistant", "productivity", "Ecommerce & Shopping"),
+    ("medical triage", "lifestyle", "Health"),
+    ("news digest", "research", "News"),
+)
+
+_ADJECTIVES = (
+    "Ultimate", "Smart", "Pro", "Instant", "Friendly", "Expert", "Daily",
+    "Rapid", "Clever", "Handy", "Prime", "Golden", "Nimble", "Bright",
+    "Trusty", "Sharp", "Swift", "Mighty", "Quiet", "Global",
+)
+
+_ROLES = (
+    "Planner", "Assistant", "Helper", "Copilot", "Wizard", "Guru", "Buddy",
+    "Scout", "Advisor", "Companion", "Coach", "Concierge", "Analyst",
+    "Navigator", "Genie", "Hunter", "Curator", "Architect", "Studio", "Desk",
+)
+
+_VENDOR_STEMS = (
+    "nova", "quanta", "lumen", "vertex", "atlas", "zephyr", "orbit", "pixel",
+    "cobalt", "harbor", "cedar", "ember", "ridge", "sonic", "delta", "aria",
+    "flux", "terra", "vista", "echo", "bloom", "crest", "drift", "helio",
+    "iris", "juno", "karma", "lyric", "maple", "nexus",
+)
+
+_VENDOR_SUFFIXES = ("labs", "hq", "apps", "soft", "works", "tools", "tech", "ai", "io", "digital")
+
+_TLDS = ("com", "io", "ai", "app", "dev", "co", "net")
+
+_PAAS_SUFFIXES = ("vercel.app", "herokuapp.com", "onrender.com", "a.run.app", "fly.dev")
+
+_FIRST_NAMES = (
+    "Alex", "Jordan", "Sam", "Taylor", "Morgan", "Riley", "Casey", "Avery",
+    "Jamie", "Quinn", "Stephan", "Lena", "Marco", "Priya", "Diego", "Yuki",
+    "Nadia", "Omar", "Ingrid", "Chen",
+)
+
+_LAST_NAMES = (
+    "Smith", "Garcia", "Chen", "Patel", "Kim", "Mueller", "Rossi", "Dubois",
+    "Silva", "Novak", "Tanaka", "Ali", "Berg", "Costa", "Ek", "Fischer",
+    "Haas", "Ito", "Jansen", "Kovacs",
+)
+
+
+class NameFactory:
+    """Deterministic (seeded) generator of GPT, vendor, and domain names."""
+
+    def __init__(self, rng: random.Random) -> None:
+        self._rng = rng
+        self._used_domains: set = set()
+        self._used_gpt_names: set = set()
+
+    # ------------------------------------------------------------------
+    def theme(self) -> Tuple[str, str, str]:
+        """Pick a GPT theme ``(topic, store category, functionality)``."""
+        return self._rng.choice(GPT_THEMES)
+
+    def gpt_name(self, topic: str) -> str:
+        """A display name for a GPT about ``topic``."""
+        for _ in range(20):
+            name = (
+                f"{self._rng.choice(_ADJECTIVES)} "
+                f"{topic.title()} {self._rng.choice(_ROLES)}"
+            )
+            if name not in self._used_gpt_names:
+                self._used_gpt_names.add(name)
+                return name
+        suffix = self._rng.randint(2, 9999)
+        return f"{topic.title()} {self._rng.choice(_ROLES)} {suffix}"
+
+    def author_name(self) -> str:
+        """A human author display name."""
+        return f"{self._rng.choice(_FIRST_NAMES)} {self._rng.choice(_LAST_NAMES)}"
+
+    def vendor_name(self) -> str:
+        """A vendor / company name."""
+        return (
+            f"{self._rng.choice(_VENDOR_STEMS).capitalize()}"
+            f"{self._rng.choice(_VENDOR_SUFFIXES).capitalize()}"
+        )
+
+    def vendor_domain(self, vendor_name: Optional[str] = None) -> str:
+        """A registrable vendor domain, unique across the ecosystem."""
+        stem = (vendor_name or self.vendor_name()).lower().replace(" ", "")
+        for _ in range(50):
+            tld = self._rng.choice(_TLDS)
+            domain = f"{stem}.{tld}"
+            if domain not in self._used_domains:
+                self._used_domains.add(domain)
+                return domain
+            stem = f"{stem}{self._rng.randint(2, 99)}"
+        raise RuntimeError("unable to allocate a unique vendor domain")
+
+    def hosted_domain(self, vendor_name: Optional[str] = None) -> str:
+        """A shared-hosting (PaaS) domain, as used by hobbyist Action developers."""
+        stem = (vendor_name or self.vendor_name()).lower().replace(" ", "")
+        for _ in range(50):
+            suffix = self._rng.choice(_PAAS_SUFFIXES)
+            domain = f"{stem}.{suffix}"
+            if domain not in self._used_domains:
+                self._used_domains.add(domain)
+                return domain
+            stem = f"{stem}{self._rng.randint(2, 99)}"
+        raise RuntimeError("unable to allocate a unique hosted domain")
+
+    def gpt_id(self) -> str:
+        """A 10-character alphanumeric GPT shortcode (e.g. ``g-fYBGstD4a``)."""
+        alphabet = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+        return "g-" + "".join(self._rng.choice(alphabet) for _ in range(9))
+
+    def action_id(self) -> str:
+        """An opaque Action tool identifier."""
+        alphabet = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+        return "".join(self._rng.choice(alphabet) for _ in range(24))

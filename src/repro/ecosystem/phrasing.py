@@ -1,0 +1,199 @@
+"""Natural-language phrasing of Action data descriptions.
+
+The classification framework's whole job is to turn unconstrained
+natural-language data descriptions back into taxonomy types (Section 3.2.1).
+To exercise that code path realistically, the generator does not emit the
+taxonomy labels verbatim — it emits *phrasings*: per-type templates, generic
+templates built from the type's keywords, terse parameter-name-only
+descriptions, empty/null descriptions, multi-topic descriptions, and
+foreign-language variants, mirroring the difficulty sources the paper's
+mistake analysis calls out (Section 4.1.2).
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+import re
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.taxonomy.schema import DataType
+
+
+class PhrasingStyle(str, enum.Enum):
+    """How a data description is phrased."""
+
+    TEMPLATE = "template"
+    GENERIC = "generic"
+    TERSE = "terse"
+    EMPTY = "empty"
+    MULTI_TOPIC = "multi_topic"
+    FOREIGN = "foreign"
+
+
+#: Generic templates applied to a data type's primary keyword.
+_GENERIC_TEMPLATES = (
+    "The {keyword} for the request",
+    "{keyword} provided by the user",
+    "{keyword} to use for this operation (optional)",
+    "The user's {keyword}",
+    "{keyword} (required)",
+    "Specify the {keyword} to look up",
+    "{keyword} associated with the account",
+    "Value of the {keyword} field",
+)
+
+#: Foreign-language templates (French, Spanish, German) keyed on a keyword.
+_FOREIGN_TEMPLATES = (
+    "{keyword} à rechercher (facultatif)",
+    "le {keyword} de l'utilisateur",
+    "{keyword} del usuario para la búsqueda",
+    "el {keyword} que desea consultar",
+    "{keyword} des Benutzers für die Anfrage",
+    "gewünschte {keyword} für die Suche",
+)
+
+_NULL_PLACEHOLDERS = ("", "null", "None", "-", "n/a")
+
+
+def parameter_name_for(data_type: DataType, rng: random.Random) -> str:
+    """Derive a plausible API parameter name for a data type."""
+    source = data_type.keywords[0] if data_type.keywords else data_type.name
+    tokens = re.findall(r"[a-z0-9]+", source.lower())
+    if not tokens:
+        tokens = ["value"]
+    style = rng.random()
+    if style < 0.4:
+        return "_".join(tokens)
+    if style < 0.7:
+        return tokens[0] + "".join(token.capitalize() for token in tokens[1:])
+    if style < 0.85:
+        return tokens[0]
+    return "-".join(tokens)
+
+
+@dataclass
+class PhrasedDescription:
+    """A generated parameter description with its provenance."""
+
+    parameter_name: str
+    description: str
+    style: PhrasingStyle
+    data_type: DataType
+    secondary_type: Optional[DataType] = None
+
+    @property
+    def is_hard(self) -> bool:
+        """Whether the phrasing is expected to be hard to classify."""
+        return self.style in (PhrasingStyle.EMPTY, PhrasingStyle.MULTI_TOPIC, PhrasingStyle.TERSE)
+
+
+class DescriptionPhraser:
+    """Generates natural-language descriptions for taxonomy data types.
+
+    Parameters
+    ----------
+    rng:
+        The seeded random source shared with the rest of the generator.
+    empty_rate / multi_topic_rate / foreign_rate / terse_rate:
+        Probabilities of the respective noise styles; the remainder is split
+        between per-type templates and generic keyword templates.
+    """
+
+    def __init__(
+        self,
+        rng: random.Random,
+        empty_rate: float = 0.05,
+        multi_topic_rate: float = 0.04,
+        foreign_rate: float = 0.03,
+        terse_rate: float = 0.06,
+    ) -> None:
+        total_noise = empty_rate + multi_topic_rate + foreign_rate + terse_rate
+        if total_noise > 0.9:
+            raise ValueError("noise rates leave no room for normal phrasings")
+        self._rng = rng
+        self.empty_rate = empty_rate
+        self.multi_topic_rate = multi_topic_rate
+        self.foreign_rate = foreign_rate
+        self.terse_rate = terse_rate
+
+    # ------------------------------------------------------------------
+    def phrase(
+        self,
+        data_type: DataType,
+        other_types: Sequence[DataType] = (),
+    ) -> PhrasedDescription:
+        """Produce one phrased description for ``data_type``.
+
+        ``other_types`` supplies candidates for multi-topic descriptions (the
+        other data types collected by the same Action).
+        """
+        parameter_name = parameter_name_for(data_type, self._rng)
+        roll = self._rng.random()
+        threshold = self.empty_rate
+        if roll < threshold:
+            return PhrasedDescription(
+                parameter_name=parameter_name,
+                description=self._rng.choice(_NULL_PLACEHOLDERS),
+                style=PhrasingStyle.EMPTY,
+                data_type=data_type,
+            )
+        threshold += self.multi_topic_rate
+        if roll < threshold and other_types:
+            secondary = self._rng.choice(list(other_types))
+            description = (
+                f"{self._primary_phrase(data_type)}, otherwise "
+                f"{self._primary_phrase(secondary).lower()}"
+            )
+            return PhrasedDescription(
+                parameter_name=parameter_name,
+                description=description,
+                style=PhrasingStyle.MULTI_TOPIC,
+                data_type=data_type,
+                secondary_type=secondary,
+            )
+        threshold += self.foreign_rate
+        if roll < threshold:
+            keyword = self._keyword(data_type)
+            template = self._rng.choice(_FOREIGN_TEMPLATES)
+            return PhrasedDescription(
+                parameter_name=parameter_name,
+                description=template.format(keyword=keyword),
+                style=PhrasingStyle.FOREIGN,
+                data_type=data_type,
+            )
+        threshold += self.terse_rate
+        if roll < threshold:
+            return PhrasedDescription(
+                parameter_name=parameter_name,
+                description=self._keyword(data_type),
+                style=PhrasingStyle.TERSE,
+                data_type=data_type,
+            )
+        if data_type.phrasings and self._rng.random() < 0.65:
+            return PhrasedDescription(
+                parameter_name=parameter_name,
+                description=self._rng.choice(list(data_type.phrasings)),
+                style=PhrasingStyle.TEMPLATE,
+                data_type=data_type,
+            )
+        keyword = self._keyword(data_type)
+        template = self._rng.choice(_GENERIC_TEMPLATES)
+        return PhrasedDescription(
+            parameter_name=parameter_name,
+            description=template.format(keyword=keyword),
+            style=PhrasingStyle.GENERIC,
+            data_type=data_type,
+        )
+
+    # ------------------------------------------------------------------
+    def _keyword(self, data_type: DataType) -> str:
+        if data_type.keywords:
+            return self._rng.choice(list(data_type.keywords))
+        return data_type.name.lower()
+
+    def _primary_phrase(self, data_type: DataType) -> str:
+        if data_type.phrasings:
+            return self._rng.choice(list(data_type.phrasings))
+        return f"The {self._keyword(data_type)} of the user"

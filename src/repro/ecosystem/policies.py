@@ -1,0 +1,601 @@
+"""Privacy-policy document synthesis.
+
+For every Action the generator produces the document reachable from its
+``legal_info_url``.  The mix of document kinds is calibrated against
+Section 5.1.1 and Table 6: a share of Actions reuse duplicate policies (the
+privacy policy of an embedded external service, an empty page, a shared
+vendor policy, a JavaScript bundle that renders the policy client-side,
+OpenAI's own policy, or a tracking pixel), a share use near-duplicate
+boilerplate generated from a template, a share are very short generic
+policies, and the rest are standard policies whose per-data-type disclosures
+are sampled from the Figure 9 consistency profiles.
+
+The generator records its intended disclosure label for every
+``(action, category, data type)`` triple in the ground truth (only for policy
+kinds whose text it fully controls), which the evaluation harness uses to
+measure the policy-analysis framework's accuracy, mirroring the paper's
+manual pilot study (Section 5.1.2).
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.ecosystem.config import DisclosureProfile, EcosystemConfig
+from repro.ecosystem.models import ActionSpecification, PrivacyPolicyDocument
+from repro.llm.knowledge import VAGUE_CATEGORY_TERMS
+from repro.taxonomy.schema import DataTaxonomy, DataType
+
+
+class PolicyKind(str, enum.Enum):
+    """The kind of document served at a ``legal_info_url``."""
+
+    STANDARD = "standard"
+    FULLY_CONSISTENT = "fully_consistent"
+    SHORT_GENERIC = "short_generic"
+    BOILERPLATE = "boilerplate"
+    EXTERNAL_SERVICE = "external_service"
+    EMPTY = "empty"
+    SAME_VENDOR = "same_vendor"
+    JAVASCRIPT = "javascript"
+    OPENAI_POLICY = "openai_policy"
+    TRACKING_PIXEL = "tracking_pixel"
+    UNAVAILABLE = "unavailable"
+
+
+#: Policy kinds whose text the generator fully controls; only these carry
+#: ground-truth disclosure labels for framework-accuracy evaluation.
+CONTROLLED_KINDS = (
+    PolicyKind.STANDARD,
+    PolicyKind.FULLY_CONSISTENT,
+    PolicyKind.SHORT_GENERIC,
+    PolicyKind.BOILERPLATE,
+)
+
+#: Disclosure labels in the order used throughout the package.
+DISCLOSURE_LABELS = ("clear", "vague", "ambiguous", "incorrect", "omitted")
+
+_UPSTREAM_POLICY_BOILERPLATE = (
+    " This statement explains what categories of records the platform operator maintains for "
+    "its registered account holders, how long those records are retained, which subprocessors "
+    "are involved in operating the platform, and which controls account holders can use to "
+    "review or erase their records. It is revised periodically and the operator will post any "
+    "material change on this page together with the date it takes effect. The document applies "
+    "to the platform itself and not to independent integrations, plugins, or assistants that "
+    "merely link to it from their own listings."
+)
+
+_EXTERNAL_POLICIES: Tuple[Tuple[str, str], ...] = (
+    (
+        "https://docs.github.com/en/site-policy/privacy-policies/github-privacy-statement",
+        "GitHub Privacy Statement. GitHub provides this privacy statement to describe how we "
+        "handle account data across GitHub services. This statement belongs to the GitHub "
+        "platform itself and not to any particular integration built on top of it. "
+        "Refer to the platform documentation for details about retention and access controls."
+        + _UPSTREAM_POLICY_BOILERPLATE,
+    ),
+    (
+        "https://policies.google.com/privacy",
+        "Google Privacy Policy. This policy describes how Google services handle information "
+        "across Google products. It is published by Google LLC for its own services and is "
+        "referenced here by the integration developer as an upstream document."
+        + _UPSTREAM_POLICY_BOILERPLATE,
+    ),
+    (
+        "https://stripe.com/privacy",
+        "Stripe Privacy Policy. Stripe provides payments infrastructure; this policy covers "
+        "Stripe's own handling of merchant and cardholder records as the upstream processor."
+        + _UPSTREAM_POLICY_BOILERPLATE,
+    ),
+)
+
+_OPENAI_POLICY_TEXT = (
+    "OpenAI Privacy Policy. This Privacy Policy describes how OpenAI handles information for "
+    "users of OpenAI's own services, including ChatGPT. It is published by OpenAI and does not "
+    "describe the practices of third-party developers who build GPTs or Actions."
+    + _UPSTREAM_POLICY_BOILERPLATE
+)
+
+_JS_POLICY_TEXT = (
+    "<script>window.__NUXT__=function(){return{layout:'default',data:[{policy:null}],"
+    "fetch:{},error:null,state:{loaded:false},serverRendered:false,routePath:'/privacy',"
+    "config:{app:{basePath:'/',assetsPath:'/_nuxt/',cdnURL:''}},chunks:['runtime','vendors',"
+    "'app','pages/privacy'],hydration:{pending:true,retries:3,timeoutMs:15000}}}();</script>"
+    "<script src=\"/assets/privacy.bundle.js\" defer></script>"
+    "<script src=\"/assets/vendor.bundle.js\" defer></script>"
+    "<noscript>Please enable JavaScript to view the privacy policy.</noscript>"
+    "<div id=\"app\" data-route=\"privacy\" data-render=\"client\"></div>"
+)
+
+_TRACKING_PIXEL_TEXT = "GIF89a\x01\x00\x01\x00\x80\x00\x00"
+
+_SHORT_GENERIC_TEXTS: Tuple[str, ...] = (
+    "We do not collect any personal data from users of our Service. Your data is never for sale.",
+    "This service does not store user information. We never share anything with third parties.",
+    "No data is collected by this plugin. Contact the developer with any questions.",
+)
+
+_BOILERPLATE_TEMPLATE = (
+    "Privacy Policy for {name}. This Privacy Policy describes Our policies and procedures on "
+    "the collection, use and disclosure of Your information when You use the Service and tells "
+    "You about Your privacy rights and how the law protects You. We use Your Personal data to "
+    "provide and improve the Service. By using the Service, You agree to the collection and use "
+    "of information in accordance with this Privacy Policy. This Privacy Policy has been created "
+    "with the help of the Privacy Policy Generator. Interpretation and Definitions. The words of "
+    "which the initial letter is capitalized have meanings defined under the following "
+    "conditions. Account means a unique account created for You to access our Service or parts "
+    "of our Service. Affiliate means an entity that controls, is controlled by or is under "
+    "common control with a party, where control means ownership of fifty percent or more of the "
+    "shares, equity interest or other securities entitled to vote for election of directors or "
+    "other managing authority. Company refers to {name}. Cookies are small files that are placed "
+    "on Your computer, mobile device or any other device by a website, containing the details of "
+    "Your browsing history on that website among its many uses. Country refers to the country in "
+    "which the Company is established. Device means any device that can access the Service such "
+    "as a computer, a cellphone or a digital tablet. Personal Data is any information that "
+    "relates to an identified or identifiable individual. Service refers to the Website. Service "
+    "Provider means any natural or legal person who processes the data on behalf of the Company. "
+    "It refers to third-party companies or individuals employed by the Company to facilitate the "
+    "Service, to provide the Service on behalf of the Company, to perform services related to "
+    "the Service or to assist the Company in analyzing how the Service is used. Usage Data "
+    "refers to data collected automatically, either generated by the use of the Service or from "
+    "the Service infrastructure itself, for example the duration of a page visit. Website refers "
+    "to the Service operated by the Company. You means the individual accessing or using the "
+    "Service, or the company, or other legal entity on behalf of which such individual is "
+    "accessing or using the Service, as applicable. The Company may use Personal Data for the "
+    "following purposes: to provide and maintain our Service, including to monitor the usage of "
+    "our Service; to manage Your Account; for the performance of a contract; to contact You; to "
+    "provide You with news, special offers and general information about other goods, services "
+    "and events which we offer; to manage Your requests; for business transfers; and for other "
+    "purposes such as data analysis, identifying usage trends, determining the effectiveness of "
+    "our promotional campaigns and to evaluate and improve our Service, products, services, "
+    "marketing and your experience. We will retain Your Personal Data only for as long as is "
+    "necessary for the purposes set out in this Privacy Policy. We will retain and use Your "
+    "Personal Data to the extent necessary to comply with our legal obligations, resolve "
+    "disputes, and enforce our legal agreements and policies. The security of Your Personal Data "
+    "is important to Us, but remember that no method of transmission over the Internet, or "
+    "method of electronic storage is one hundred percent secure. While We strive to use "
+    "commercially acceptable means to protect Your Personal Data, We cannot guarantee its "
+    "absolute security. We may update Our Privacy Policy from time to time. We will notify You "
+    "of any changes by posting the new Privacy Policy on this page and updating the Last updated "
+    "date at the top of this Privacy Policy. You are advised to review this Privacy Policy "
+    "periodically for any changes. Changes to this Privacy Policy are effective when they are "
+    "posted on this page. If you have any questions about this Privacy Policy, You can contact "
+    "us by visiting the contact page of our website."
+)
+
+_STANDARD_INTRO = (
+    "Privacy Policy for {name}. Last updated in {month} {year}. "
+    "This page informs you of our policies regarding the handling of information when you use "
+    "the {name} service and the choices you have associated with it."
+)
+
+_STANDARD_OUTRO = (
+    "We take reasonable measures to protect the information described above. "
+    "If you have any questions about this policy, contact us at privacy@{domain}. "
+    "We may update this policy from time to time and will post the new version on this page."
+)
+
+_CLEAR_TEMPLATES: Tuple[str, ...] = (
+    "We collect your {term} when you use the service.",
+    "For example, we collect {term} to fulfil your request.",
+    "When you interact with the assistant, the {term} you provide is transmitted to our servers.",
+    "Our API receives the {term} that you submit through the integration.",
+)
+
+_VAGUE_TEMPLATES: Tuple[str, ...] = (
+    "We may collect {umbrella} that you choose to provide when using the service.",
+    "We collect {umbrella} together with any data that you post through our online services.",
+    "The service processes {umbrella} in order to operate and improve our offering.",
+)
+
+_INCORRECT_TEMPLATES: Tuple[str, ...] = (
+    "We do not collect your {term} or share it with unaffiliated third parties.",
+    "We never collect {term} from users of our service.",
+    "Our servers do not store {term} under any circumstances.",
+)
+
+_AMBIGUOUS_TEMPLATES: Tuple[str, ...] = (
+    "We do not actively collect and store any {umbrella} from users, although we use your "
+    "{umbrella} to provide and improve the Service.",
+    "We never collect {umbrella}; the {umbrella} you share is used to personalise responses.",
+)
+
+_GENERIC_SENTENCES: Tuple[str, ...] = (
+    "Cookies are small files that a site or its service provider transfers to your device.",
+    "You can exercise your rights by contacting our support team.",
+    "Children under the age of 13 are not permitted to use the service.",
+    "This policy is governed by the laws of the jurisdiction in which the company is established.",
+    "Our website may contain links to other sites that are not operated by us.",
+)
+
+
+def _umbrella_for(category: str, rng: random.Random) -> str:
+    """Pick an umbrella phrase that covers ``category`` (fallback: personal data)."""
+    candidates = [
+        phrase for phrase, covered in VAGUE_CATEGORY_TERMS.items() if category in covered
+    ]
+    if not candidates:
+        return "personal data"
+    return rng.choice(candidates)
+
+
+def _term_for(data_type: DataType, rng: random.Random) -> str:
+    """A concrete phrase naming the data type (keyword or lowered name)."""
+    options: List[str] = [data_type.name.lower()]
+    options.extend(keyword for keyword in data_type.keywords[:3])
+    return rng.choice(options)
+
+
+@dataclass
+class GeneratedPolicy:
+    """A generated policy plus the intended per-type disclosure labels."""
+
+    document: PrivacyPolicyDocument
+    kind: PolicyKind
+    disclosure_labels: Dict[Tuple[str, str], str]
+    controlled: bool
+
+
+class PolicyGenerator:
+    """Generates privacy-policy documents for Actions."""
+
+    def __init__(
+        self,
+        taxonomy: DataTaxonomy,
+        config: EcosystemConfig,
+        rng: random.Random,
+    ) -> None:
+        self.taxonomy = taxonomy
+        self.config = config
+        self._rng = rng
+        self._vendor_policy_cache: Dict[str, Tuple[str, str]] = {}
+        duplicate_share = config.policy_exact_duplicate_share
+        near_share = config.policy_near_duplicate_share
+        standard_share = max(0.05, 1.0 - duplicate_share - near_share - config.policy_short_share)
+        #: Boost applied to non-omitted disclosure probabilities of standard
+        #: policies so that the corpus-wide mix still matches Figure 9 despite
+        #: duplicate/empty policies contributing only omissions.
+        self._disclosure_boost = min(1.2, 1.0 / standard_share)
+
+    # ------------------------------------------------------------------
+    def generate(
+        self,
+        action: ActionSpecification,
+        collected_types: Sequence[Tuple[str, str]],
+        vendor_domain: Optional[str] = None,
+    ) -> Optional[GeneratedPolicy]:
+        """Generate (and attach) the policy for one Action.
+
+        Returns ``None`` when the policy is unavailable (server error at crawl
+        time); the Action still carries a ``legal_info_url`` in that case.
+        """
+        domain = action.domain or "example.com"
+        if self._rng.random() > self.config.policy_availability:
+            action.legal_info_url = f"https://{domain}/privacy"
+            return None
+
+        kind = self._choose_kind()
+        if kind is PolicyKind.SAME_VENDOR and not vendor_domain:
+            kind = PolicyKind.STANDARD
+        builder = {
+            PolicyKind.STANDARD: self._build_standard,
+            PolicyKind.FULLY_CONSISTENT: self._build_fully_consistent,
+            PolicyKind.SHORT_GENERIC: self._build_short_generic,
+            PolicyKind.BOILERPLATE: self._build_boilerplate,
+            PolicyKind.EXTERNAL_SERVICE: self._build_external,
+            PolicyKind.EMPTY: self._build_empty,
+            PolicyKind.SAME_VENDOR: self._build_same_vendor,
+            PolicyKind.JAVASCRIPT: self._build_javascript,
+            PolicyKind.OPENAI_POLICY: self._build_openai,
+            PolicyKind.TRACKING_PIXEL: self._build_pixel,
+        }[kind]
+        generated = builder(action, collected_types, vendor_domain or domain)
+        action.legal_info_url = generated.document.url
+        return generated
+
+    # ------------------------------------------------------------------
+    def _choose_kind(self) -> PolicyKind:
+        roll = self._rng.random()
+        duplicate_share = self.config.policy_exact_duplicate_share
+        near_share = self.config.policy_near_duplicate_share
+        short_share = self.config.policy_short_share
+        consistent_share = self.config.fully_consistent_action_share
+        if roll < consistent_share:
+            return PolicyKind.FULLY_CONSISTENT
+        roll -= consistent_share
+        if roll < duplicate_share:
+            return self._choose_duplicate_kind()
+        roll -= duplicate_share
+        if roll < near_share:
+            return PolicyKind.BOILERPLATE
+        roll -= near_share
+        if roll < short_share:
+            return PolicyKind.SHORT_GENERIC
+        return PolicyKind.STANDARD
+
+    def _choose_duplicate_kind(self) -> PolicyKind:
+        content = self.config.duplicate_policy_content
+        keys = list(content.keys())
+        weights = [content[key] for key in keys]
+        chosen = self._rng.choices(keys, weights=weights, k=1)[0]
+        return {
+            "external_service": PolicyKind.EXTERNAL_SERVICE,
+            "empty": PolicyKind.EMPTY,
+            "same_vendor": PolicyKind.SAME_VENDOR,
+            "javascript": PolicyKind.JAVASCRIPT,
+            "openai_policy": PolicyKind.OPENAI_POLICY,
+            "tracking_pixel": PolicyKind.TRACKING_PIXEL,
+        }[chosen]
+
+    # ------------------------------------------------------------------
+    # Controlled policies (ground-truth disclosure labels recorded)
+    # ------------------------------------------------------------------
+    def _sample_disclosure(self, category: str) -> str:
+        profile = self.config.disclosure_profile_for(category)
+        clear, vague, ambiguous, incorrect, omitted = profile.as_tuple()
+        boost = self._disclosure_boost
+        boosted = [clear * boost, vague * boost, ambiguous * boost, incorrect * boost]
+        boosted_total = sum(boosted)
+        if boosted_total >= 1.0:
+            boosted = [value / boosted_total for value in boosted]
+            omitted_share = 0.0
+        else:
+            omitted_share = 1.0 - boosted_total
+        roll = self._rng.random()
+        cumulative = 0.0
+        for label, probability in zip(("clear", "vague", "ambiguous", "incorrect"), boosted):
+            cumulative += probability
+            if roll < cumulative:
+                return label
+        del omitted_share
+        return "omitted"
+
+    def _sentence_for(
+        self, label: str, data_type: DataType
+    ) -> Tuple[Optional[str], Tuple[str, ...]]:
+        """Render the disclosure sentence for one intended label.
+
+        Returns the sentence (or ``None`` for omissions) and the categories an
+        umbrella phrase in the sentence genuinely covers — a vague or ambiguous
+        umbrella statement discloses *every* collected data type in the
+        categories it covers, not just the one it was sampled for, and the
+        ground truth must reflect that.
+        """
+        if label == "clear":
+            sentence = self._rng.choice(_CLEAR_TEMPLATES).format(
+                term=_term_for(data_type, self._rng)
+            )
+            return sentence, ()
+        if label == "vague":
+            umbrella = _umbrella_for(data_type.category, self._rng)
+            sentence = self._rng.choice(_VAGUE_TEMPLATES).format(umbrella=umbrella)
+            return sentence, tuple(VAGUE_CATEGORY_TERMS.get(umbrella, (data_type.category,)))
+        if label == "incorrect":
+            sentence = self._rng.choice(_INCORRECT_TEMPLATES).format(
+                term=_term_for(data_type, self._rng)
+            )
+            return sentence, ()
+        if label == "ambiguous":
+            umbrella = _umbrella_for(data_type.category, self._rng)
+            sentence = self._rng.choice(_AMBIGUOUS_TEMPLATES).format(umbrella=umbrella)
+            return sentence, tuple(VAGUE_CATEGORY_TERMS.get(umbrella, (data_type.category,)))
+        return None, ()
+
+    def _assemble_standard_text(
+        self, action: ActionSpecification, sentences: Sequence[str]
+    ) -> str:
+        domain = action.domain or "example.com"
+        intro = _STANDARD_INTRO.format(
+            name=action.title,
+            month=self._rng.choice(["January", "March", "May", "August", "October"]),
+            year=self._rng.choice(["2023", "2024"]),
+        )
+        generic = self._rng.sample(_GENERIC_SENTENCES, k=self._rng.randint(1, 3))
+        outro = _STANDARD_OUTRO.format(domain=domain)
+        body = " ".join(list(sentences) + generic)
+        return f"{intro} {body} {outro}"
+
+    def _build_standard(
+        self,
+        action: ActionSpecification,
+        collected_types: Sequence[Tuple[str, str]],
+        vendor_domain: str,
+    ) -> GeneratedPolicy:
+        labels: Dict[Tuple[str, str], str] = {}
+        sentences: List[str] = []
+        vague_covered: set = set()
+        ambiguous_covered: set = set()
+        for category, type_name in collected_types:
+            data_type = self.taxonomy.get_type(category, type_name)
+            if data_type is None:
+                continue
+            label = self._sample_disclosure(category)
+            labels[(category, type_name)] = label
+            sentence, covered = self._sentence_for(label, data_type)
+            if sentence:
+                sentences.append(sentence)
+            if label == "vague":
+                vague_covered.update(covered)
+            elif label == "ambiguous":
+                ambiguous_covered.update(covered)
+        # Umbrella statements genuinely disclose other collected types in the
+        # categories they cover; upgrade those intended labels accordingly
+        # (vague wins over ambiguous, matching the precedence rule).
+        for (category, type_name), label in list(labels.items()):
+            if label != "omitted":
+                continue
+            if category in vague_covered:
+                labels[(category, type_name)] = "vague"
+            elif category in ambiguous_covered:
+                labels[(category, type_name)] = "ambiguous"
+        # Likewise, a clear sentence naming one data type's term may literally
+        # name another collected type (e.g. "name" appears in both "Name" and
+        # "Name or version"); those types are genuinely clearly disclosed.
+        joined = " ".join(sentences).lower()
+        for (category, type_name), label in list(labels.items()):
+            if label not in ("omitted", "vague", "ambiguous"):
+                continue
+            data_type = self.taxonomy.get_type(category, type_name)
+            if data_type is None:
+                continue
+            terms = [data_type.name.lower()] + [keyword.lower() for keyword in data_type.keywords]
+            if any(term and term in joined for term in terms):
+                labels[(category, type_name)] = "clear"
+        self._rng.shuffle(sentences)
+        text = self._assemble_standard_text(action, sentences)
+        document = PrivacyPolicyDocument(
+            url=self._controlled_url(action), text=text, kind=PolicyKind.STANDARD.value
+        )
+        return GeneratedPolicy(document=document, kind=PolicyKind.STANDARD,
+                               disclosure_labels=labels, controlled=True)
+
+    def _controlled_url(self, action: ActionSpecification, suffix: str = "privacy") -> str:
+        """A per-Action policy URL (avoids accidental URL collisions on shared domains)."""
+        slug = (action.action_id or "app")[:8].lower()
+        return f"https://{action.domain}/{suffix}/{slug}"
+
+    def _build_fully_consistent(
+        self,
+        action: ActionSpecification,
+        collected_types: Sequence[Tuple[str, str]],
+        vendor_domain: str,
+    ) -> GeneratedPolicy:
+        labels: Dict[Tuple[str, str], str] = {}
+        sentences: List[str] = []
+        for category, type_name in collected_types:
+            data_type = self.taxonomy.get_type(category, type_name)
+            if data_type is None:
+                continue
+            labels[(category, type_name)] = "clear"
+            sentence, _ = self._sentence_for("clear", data_type)
+            if sentence:
+                sentences.append(sentence)
+        text = self._assemble_standard_text(action, sentences)
+        document = PrivacyPolicyDocument(
+            url=self._controlled_url(action),
+            text=text,
+            kind=PolicyKind.FULLY_CONSISTENT.value,
+        )
+        return GeneratedPolicy(document=document, kind=PolicyKind.FULLY_CONSISTENT,
+                               disclosure_labels=labels, controlled=True)
+
+    def _build_short_generic(
+        self,
+        action: ActionSpecification,
+        collected_types: Sequence[Tuple[str, str]],
+        vendor_domain: str,
+    ) -> GeneratedPolicy:
+        text = self._rng.choice(_SHORT_GENERIC_TEXTS)
+        labels = {
+            (category, type_name): "incorrect" for category, type_name in collected_types
+        }
+        document = PrivacyPolicyDocument(
+            url=self._controlled_url(action),
+            text=text,
+            kind=PolicyKind.SHORT_GENERIC.value,
+        )
+        return GeneratedPolicy(document=document, kind=PolicyKind.SHORT_GENERIC,
+                               disclosure_labels=labels, controlled=True)
+
+    def _build_boilerplate(
+        self,
+        action: ActionSpecification,
+        collected_types: Sequence[Tuple[str, str]],
+        vendor_domain: str,
+    ) -> GeneratedPolicy:
+        text = _BOILERPLATE_TEMPLATE.format(name=action.title)
+        lowered = text.lower()
+        # The boilerplate discloses only in broad terms: categories covered by
+        # the umbrella phrases that actually appear in the text are vaguely
+        # disclosed, data types literally named (e.g. cookies) are clear, and
+        # everything else is omitted.
+        covered_categories: set = set()
+        for phrase, categories in VAGUE_CATEGORY_TERMS.items():
+            if phrase in lowered:
+                covered_categories.update(categories)
+        labels: Dict[Tuple[str, str], str] = {}
+        for category, type_name in collected_types:
+            data_type = self.taxonomy.get_type(category, type_name)
+            terms = []
+            if data_type is not None:
+                terms = [data_type.name.lower()] + [keyword.lower() for keyword in data_type.keywords]
+            if any(term and term in lowered for term in terms):
+                labels[(category, type_name)] = "clear"
+            elif category in covered_categories:
+                labels[(category, type_name)] = "vague"
+            else:
+                labels[(category, type_name)] = "omitted"
+        document = PrivacyPolicyDocument(
+            url=self._controlled_url(action, suffix="privacy-policy"),
+            text=text,
+            kind=PolicyKind.BOILERPLATE.value,
+        )
+        return GeneratedPolicy(document=document, kind=PolicyKind.BOILERPLATE,
+                               disclosure_labels=labels, controlled=True)
+
+    # ------------------------------------------------------------------
+    # Duplicate / uncontrolled policies (all intended disclosures omitted)
+    # ------------------------------------------------------------------
+    def _omitted_labels(
+        self, collected_types: Sequence[Tuple[str, str]]
+    ) -> Dict[Tuple[str, str], str]:
+        return {(category, type_name): "omitted" for category, type_name in collected_types}
+
+    def _build_external(self, action, collected_types, vendor_domain) -> GeneratedPolicy:
+        url, text = self._rng.choice(_EXTERNAL_POLICIES)
+        document = PrivacyPolicyDocument(url=url, text=text, kind=PolicyKind.EXTERNAL_SERVICE.value)
+        return GeneratedPolicy(document=document, kind=PolicyKind.EXTERNAL_SERVICE,
+                               disclosure_labels=self._omitted_labels(collected_types),
+                               controlled=False)
+
+    def _build_empty(self, action, collected_types, vendor_domain) -> GeneratedPolicy:
+        document = PrivacyPolicyDocument(
+            url=f"https://{action.domain}/legal", text="", kind=PolicyKind.EMPTY.value
+        )
+        return GeneratedPolicy(document=document, kind=PolicyKind.EMPTY,
+                               disclosure_labels=self._omitted_labels(collected_types),
+                               controlled=False)
+
+    def _build_same_vendor(self, action, collected_types, vendor_domain) -> GeneratedPolicy:
+        if vendor_domain not in self._vendor_policy_cache:
+            text = (
+                f"Privacy Policy of {vendor_domain}. This policy covers every product and "
+                f"integration published by {vendor_domain}. We describe our practices at the "
+                "company level rather than per product." + _UPSTREAM_POLICY_BOILERPLATE
+            )
+            self._vendor_policy_cache[vendor_domain] = (f"https://{vendor_domain}/privacy", text)
+        url, text = self._vendor_policy_cache[vendor_domain]
+        document = PrivacyPolicyDocument(url=url, text=text, kind=PolicyKind.SAME_VENDOR.value)
+        return GeneratedPolicy(document=document, kind=PolicyKind.SAME_VENDOR,
+                               disclosure_labels=self._omitted_labels(collected_types),
+                               controlled=False)
+
+    def _build_javascript(self, action, collected_types, vendor_domain) -> GeneratedPolicy:
+        document = PrivacyPolicyDocument(
+            url=f"https://{action.domain}/privacy", text=_JS_POLICY_TEXT,
+            kind=PolicyKind.JAVASCRIPT.value,
+        )
+        return GeneratedPolicy(document=document, kind=PolicyKind.JAVASCRIPT,
+                               disclosure_labels=self._omitted_labels(collected_types),
+                               controlled=False)
+
+    def _build_openai(self, action, collected_types, vendor_domain) -> GeneratedPolicy:
+        document = PrivacyPolicyDocument(
+            url="https://openai.com/policies/privacy-policy", text=_OPENAI_POLICY_TEXT,
+            kind=PolicyKind.OPENAI_POLICY.value,
+        )
+        return GeneratedPolicy(document=document, kind=PolicyKind.OPENAI_POLICY,
+                               disclosure_labels=self._omitted_labels(collected_types),
+                               controlled=False)
+
+    def _build_pixel(self, action, collected_types, vendor_domain) -> GeneratedPolicy:
+        document = PrivacyPolicyDocument(
+            url=f"https://{action.domain}/pixel.gif", text=_TRACKING_PIXEL_TEXT,
+            kind=PolicyKind.TRACKING_PIXEL.value,
+        )
+        return GeneratedPolicy(document=document, kind=PolicyKind.TRACKING_PIXEL,
+                               disclosure_labels=self._omitted_labels(collected_types),
+                               controlled=False)

@@ -1,0 +1,26 @@
+"""Experiment drivers that regenerate every table and figure of the paper.
+
+Each experiment runs on a shared :class:`~repro.analysis.suite.MeasurementSuite`
+and returns an :class:`ExperimentResult` holding the paper-reported reference
+values, the values measured on the synthetic corpus, and a rendered artifact
+(table text or figure series summary).  ``run_all_experiments`` executes the
+whole battery; the CLI and EXPERIMENTS.md are produced from it.
+"""
+
+from repro.experiments.paper_values import PAPER_VALUES
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    ExperimentResult,
+    get_experiment,
+    run_all_experiments,
+    run_experiment,
+)
+
+__all__ = [
+    "PAPER_VALUES",
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "get_experiment",
+    "run_all_experiments",
+    "run_experiment",
+]

@@ -1,0 +1,146 @@
+"""Paper-reported reference values for every reproduced experiment.
+
+Values are taken verbatim from the tables, figures, and in-text statistics of
+the paper; EXPERIMENTS.md compares them with the values measured on the
+synthetic corpus.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+PAPER_VALUES: Dict[str, Dict[str, object]] = {
+    "table1": {
+        "total_unique_gpts": 119_543,
+        "n_stores": 13,
+        "largest_store": "Casanpir GitHub GPT List",
+        "largest_store_count": 85_377,
+        "smallest_store_count": 91,
+    },
+    "table3": {
+        "browser": 0.923,
+        "dalle": 0.855,
+        "code_interpreter": 0.530,
+        "knowledge": 0.282,
+        "actions": 0.046,
+        "any_tool": 0.975,
+        "online_services": 0.932,
+        "first_party_actions": 0.171,
+        "third_party_actions": 0.829,
+    },
+    "table4": {
+        "n_categories": 24,
+        "n_data_types": 145,
+        "search_query_gpt_share": 0.465,
+        "urls_gpt_share": 0.256,
+        "user_interaction_gpt_share": 0.204,
+        "email_gpt_share": 0.065,
+        "api_key_gpt_share": 0.061,
+        "password_gpt_share": 0.007,
+        "top_type": "Search query",
+    },
+    "table5": {
+        "most_prevalent_action": "webPilot",
+        "webpilot_share": 0.0606,
+        "zapier_share": 0.0565,
+        "adintelli_share": 0.035,
+        "openai_profile_share": 0.0193,
+        "gapier_share": 0.016,
+    },
+    "table6": {
+        "external_service": 0.335,
+        "empty": 0.270,
+        "same_vendor": 0.192,
+        "javascript": 0.178,
+        "openai_policy": 0.053,
+        "tracking_pixel": 0.038,
+    },
+    "table7": {
+        "fully_consistent_action_share": 0.058,
+        "example_actions": ["OpenAPI definition", "Show Me", "Mortgage Calculator API"],
+    },
+    "figure3": {
+        "min_descriptions_per_category": 26,
+        "median_descriptions_per_category": 192,
+        "types_covering_10_plus": 0.531,
+        "total_distinct_descriptions": 11_090,
+    },
+    "figure7": {
+        "share_actions_5_plus_items": 0.4984,
+        "share_actions_10_plus_items": 0.20,
+        "third_party_excess": 0.0603,
+    },
+    "figure8": {
+        "webpilot_weighted_degree": 93,
+        "adintelli_weighted_degree": 29,
+        "webpilot_degree": 63,
+        "adintelli_degree": 12,
+        "webpilot_adintelli_cooccurrences": 13,
+        "cooccurring_action_share": 0.239,
+    },
+    "figure9": {
+        "health_omitted": 1.0,
+        "real_estate_omitted": 1.0,
+        "personal_information_clear": 0.254,
+        "message_omitted": 0.656,
+        "app_usage_omitted": 0.916,
+        "most_categories_majority_omitted": True,
+    },
+    "figure10": {
+        "search_query_occurrences": 736,
+        "least_omitted_types": ["Email address", "Name", "Exact address"],
+    },
+    "figure11": {
+        "majority_consistent_action_share": 0.5,
+        "min_inconsistent_share": 0.10,
+    },
+    "figure12": {
+        "spearman_correlation": 0.22,
+    },
+    "taxonomy_refinement": {
+        "initial_other_rate": 0.3507,
+        "final_other_rate": 0.0795,
+        "proposed_new_categories": 8,
+        "proposed_new_types": 102,
+        "accepted_new_categories": 7,
+        "accepted_new_types": 66,
+        "final_n_categories": 24,
+        "final_n_types": 145,
+    },
+    "classifier_accuracy": {
+        "category_accuracy": 0.9283,
+        "type_accuracy": 0.9153,
+        "seed_set_category_accuracy": 0.91,
+        "seed_set_type_accuracy": 0.9212,
+    },
+    "headline_stats": {
+        "actions_5_plus_items": 0.4984,
+        "actions_10_plus_items": 0.20,
+        "third_party_excess": 0.0603,
+        "prohibited_gpt_share": 0.091,
+        "gpt_query_collection_share": 0.465,
+    },
+    "multiaction": {
+        "one_action": 0.909,
+        "two_actions": 0.066,
+        "three_actions": 0.012,
+        "four_plus_actions": 0.013,
+        "cross_domain_share": 0.553,
+        "cooccurring_action_share": 0.239,
+    },
+    "policy_stats": {
+        "availability": 0.9396,
+        "duplicate_share": 0.3856,
+        "near_duplicate_share": 0.055,
+        "short_policy_share": 0.1245,
+        "framework_accuracy": 0.8744,
+        "framework_precision": 0.8657,
+        "framework_recall": 0.9877,
+    },
+    "disclosure_headlines": {
+        "majority_consistent_action_share": 0.5,
+        "fully_consistent_action_share": 0.058,
+        "spearman_correlation": 0.22,
+        "omitted_dominates": True,
+    },
+}

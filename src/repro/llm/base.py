@@ -1,0 +1,75 @@
+"""Abstract LLM client interface and response containers."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class ChatMessage:
+    """A single chat message (role + content)."""
+
+    role: str
+    content: str
+
+    def __post_init__(self) -> None:
+        if self.role not in ("system", "user", "assistant"):
+            raise ValueError(f"unknown chat role: {self.role!r}")
+
+
+@dataclass
+class UsageStats:
+    """Token accounting for an LLM call (approximated by word counts offline)."""
+
+    prompt_tokens: int = 0
+    completion_tokens: int = 0
+
+    @property
+    def total_tokens(self) -> int:
+        """Total tokens consumed by the call."""
+        return self.prompt_tokens + self.completion_tokens
+
+    def add(self, other: "UsageStats") -> None:
+        """Accumulate another call's usage into this one."""
+        self.prompt_tokens += other.prompt_tokens
+        self.completion_tokens += other.completion_tokens
+
+
+@dataclass
+class LLMResponse:
+    """The result of one LLM completion."""
+
+    content: str
+    model: str
+    usage: UsageStats = field(default_factory=UsageStats)
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+
+class LLMClient(abc.ABC):
+    """Abstract interface every LLM backend must implement.
+
+    The measurement frameworks only depend on :meth:`complete`; everything
+    else (retries, temperature, etc.) is backend-specific.
+    """
+
+    #: Human-readable model name.
+    model_name: str = "abstract"
+
+    @abc.abstractmethod
+    def complete(self, messages: List[ChatMessage]) -> LLMResponse:
+        """Run one completion over a list of chat messages."""
+
+    def complete_text(self, system: str, user: str) -> str:
+        """Convenience wrapper: system + user message, return text content."""
+        response = self.complete(
+            [ChatMessage(role="system", content=system), ChatMessage(role="user", content=user)]
+        )
+        return response.content
+
+
+def estimate_tokens(text: str) -> int:
+    """Rough token estimate (≈ 0.75 words per token heuristic, floor 1)."""
+    words = len(text.split())
+    return max(1, int(words / 0.75))

@@ -1,0 +1,93 @@
+"""Few-shot example store with embedding-based retrieval (Section 3.2.3).
+
+The paper labels 1K Action data descriptions and uses them as in-context
+examples: for each description to classify, the top-5 most relevant examples
+are retrieved by sentence-embedding similarity (Euclidean distance) and placed
+in the prompt.  :class:`FewShotStore` implements that retrieval over the
+offline :class:`~repro.nlp.embeddings.EmbeddingIndex`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.nlp.embeddings import EmbeddingIndex, SentenceEmbedder
+
+
+@dataclass(frozen=True)
+class FewShotExample:
+    """A labelled data-description example."""
+
+    description: str
+    category: str
+    data_type: str
+
+    def as_prompt_line(self) -> str:
+        """Render the example as a line suitable for inclusion in a prompt."""
+        return f'- "{self.description}" -> category: {self.category}; data type: {self.data_type}'
+
+
+class FewShotStore:
+    """Stores labelled examples and retrieves the most relevant ones."""
+
+    def __init__(
+        self,
+        examples: Optional[Iterable[FewShotExample]] = None,
+        embedder: Optional[SentenceEmbedder] = None,
+        default_k: int = 5,
+    ) -> None:
+        if default_k <= 0:
+            raise ValueError("default_k must be positive")
+        self.default_k = default_k
+        self._index = EmbeddingIndex(embedder=embedder)
+        self._examples: List[FewShotExample] = []
+        if examples:
+            for example in examples:
+                self.add(example)
+
+    # ------------------------------------------------------------------
+    def add(self, example: FewShotExample) -> None:
+        """Add one labelled example to the store."""
+        self._examples.append(example)
+        self._index.add(example.description, example)
+
+    def add_tuples(self, tuples: Iterable[Tuple[str, str, str]]) -> None:
+        """Add examples given as ``(description, category, type)`` tuples."""
+        for description, category, data_type in tuples:
+            self.add(FewShotExample(description=description, category=category, data_type=data_type))
+
+    def __len__(self) -> int:
+        return len(self._examples)
+
+    @property
+    def examples(self) -> List[FewShotExample]:
+        """All stored examples."""
+        return list(self._examples)
+
+    # ------------------------------------------------------------------
+    def retrieve(self, description: str, k: Optional[int] = None) -> List[FewShotExample]:
+        """Retrieve the ``k`` most relevant examples for a description."""
+        k = k or self.default_k
+        results = self._index.query(description, k=k)
+        return [payload for _, payload, _ in results if isinstance(payload, FewShotExample)]
+
+    def retrieve_with_distances(
+        self, description: str, k: Optional[int] = None
+    ) -> List[Tuple[FewShotExample, float]]:
+        """Retrieve examples together with their embedding distance."""
+        k = k or self.default_k
+        results = self._index.query(description, k=k)
+        return [
+            (payload, distance)
+            for _, payload, distance in results
+            if isinstance(payload, FewShotExample)
+        ]
+
+    def categories(self) -> List[str]:
+        """The distinct categories represented in the store."""
+        seen: List[str] = []
+        for example in self._examples:
+            if example.category not in seen:
+                seen.append(example.category)
+        return seen

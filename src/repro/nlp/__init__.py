@@ -1,0 +1,43 @@
+"""NLP substrate used by the classification and policy-analysis frameworks.
+
+The paper relies on NLTK for sentence segmentation, Sentence-BERT for
+embeddings, and Jaccard similarity for near-duplicate privacy-policy
+detection.  This subpackage provides offline, dependency-free equivalents:
+
+* :mod:`repro.nlp.tokenization` — word tokenization and normalization;
+* :mod:`repro.nlp.segmentation` — rule-based sentence segmentation;
+* :mod:`repro.nlp.stopwords` — an English stopword list;
+* :mod:`repro.nlp.embeddings` — hashed bag-of-token / character n-gram
+  sentence embeddings;
+* :mod:`repro.nlp.similarity` — cosine / Euclidean / Jaccard similarity and
+  shingle-based near-duplicate detection.
+"""
+
+from repro.nlp.tokenization import tokenize, normalize_text, word_ngrams, char_ngrams
+from repro.nlp.segmentation import split_sentences
+from repro.nlp.stopwords import STOPWORDS, remove_stopwords
+from repro.nlp.embeddings import SentenceEmbedder, EmbeddingIndex
+from repro.nlp.similarity import (
+    cosine_similarity,
+    euclidean_distance,
+    jaccard_similarity,
+    shingle_set,
+    near_duplicates,
+)
+
+__all__ = [
+    "tokenize",
+    "normalize_text",
+    "word_ngrams",
+    "char_ngrams",
+    "split_sentences",
+    "STOPWORDS",
+    "remove_stopwords",
+    "SentenceEmbedder",
+    "EmbeddingIndex",
+    "cosine_similarity",
+    "euclidean_distance",
+    "jaccard_similarity",
+    "shingle_set",
+    "near_duplicates",
+]

@@ -1,0 +1,160 @@
+"""Hashed sentence embeddings and a nearest-neighbour index.
+
+The paper uses Sentence-BERT embeddings with Euclidean distance to retrieve
+the top-5 most relevant few-shot examples for a data description
+(Section 3.2.3).  Offline we replace SBERT with a deterministic hashed
+bag-of-features embedding: word tokens (stopword-filtered, sub-linearly
+weighted) plus character trigrams are hashed into a fixed-dimension vector and
+L2-normalized.  This preserves the property the framework relies on —
+semantically/lexically similar descriptions land close together — while
+staying dependency-free and reproducible.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.nlp.stopwords import remove_stopwords
+from repro.nlp.tokenization import char_ngrams, normalize_text, tokenize
+
+
+def _stable_hash(token: str) -> int:
+    """A stable (process-independent) 64-bit hash of a token."""
+    digest = hashlib.blake2b(token.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "little")
+
+
+@dataclass
+class SentenceEmbedder:
+    """Embeds short texts into fixed-dimension hashed feature vectors.
+
+    Parameters
+    ----------
+    dimensions:
+        Size of the embedding vector.
+    char_ngram_size:
+        Size of the character n-grams mixed into the representation (set to 0
+        to disable character features).
+    char_weight:
+        Relative weight of character n-gram features versus word features.
+    use_stopwords:
+        Whether to drop stopwords before hashing word tokens.
+    """
+
+    dimensions: int = 512
+    char_ngram_size: int = 3
+    char_weight: float = 0.5
+    use_stopwords: bool = True
+
+    def __post_init__(self) -> None:
+        if self.dimensions <= 0:
+            raise ValueError("dimensions must be positive")
+
+    # ------------------------------------------------------------------
+    def features(self, text: str) -> Dict[str, float]:
+        """Extract weighted features (word tokens + char n-grams) from text."""
+        tokens = tokenize(text)
+        if self.use_stopwords:
+            content_tokens = remove_stopwords(tokens)
+            if content_tokens:
+                tokens = content_tokens
+        weights: Dict[str, float] = {}
+        counts: Dict[str, int] = {}
+        for token in tokens:
+            counts[token] = counts.get(token, 0) + 1
+        for token, count in counts.items():
+            weights[f"w:{token}"] = 1.0 + math.log(count)
+        if self.char_ngram_size > 0:
+            grams = char_ngrams(text, self.char_ngram_size)
+            gram_counts: Dict[str, int] = {}
+            for gram in grams:
+                gram_counts[gram] = gram_counts.get(gram, 0) + 1
+            for gram, count in gram_counts.items():
+                weights[f"c:{gram}"] = self.char_weight * (1.0 + math.log(count))
+        return weights
+
+    def embed(self, text: str) -> np.ndarray:
+        """Embed a single text into a unit-length vector."""
+        vector = np.zeros(self.dimensions, dtype=np.float64)
+        for feature, weight in self.features(text).items():
+            hashed = _stable_hash(feature)
+            index = hashed % self.dimensions
+            sign = 1.0 if (hashed >> 63) & 1 == 0 else -1.0
+            vector[index] += sign * weight
+        norm = np.linalg.norm(vector)
+        if norm > 0:
+            vector /= norm
+        return vector
+
+    def embed_many(self, texts: Sequence[str]) -> np.ndarray:
+        """Embed a batch of texts into a ``(len(texts), dimensions)`` matrix."""
+        if not texts:
+            return np.zeros((0, self.dimensions), dtype=np.float64)
+        return np.vstack([self.embed(text) for text in texts])
+
+
+@dataclass
+class _IndexedItem:
+    text: str
+    payload: object
+    vector: np.ndarray
+
+
+class EmbeddingIndex:
+    """A brute-force nearest-neighbour index over embedded texts.
+
+    Supports Euclidean-distance retrieval as used for few-shot example
+    selection (smaller distance ⇒ higher semantic similarity).
+    """
+
+    def __init__(self, embedder: Optional[SentenceEmbedder] = None) -> None:
+        self.embedder = embedder or SentenceEmbedder()
+        self._items: List[_IndexedItem] = []
+        self._matrix: Optional[np.ndarray] = None
+
+    def add(self, text: str, payload: object = None) -> None:
+        """Add a text (with an arbitrary payload) to the index."""
+        vector = self.embedder.embed(text)
+        self._items.append(_IndexedItem(text=text, payload=payload, vector=vector))
+        self._matrix = None
+
+    def add_many(self, items: Sequence[Tuple[str, object]]) -> None:
+        """Add many ``(text, payload)`` pairs."""
+        for text, payload in items:
+            self.add(text, payload)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def _ensure_matrix(self) -> np.ndarray:
+        if self._matrix is None:
+            if not self._items:
+                self._matrix = np.zeros((0, self.embedder.dimensions), dtype=np.float64)
+            else:
+                self._matrix = np.vstack([item.vector for item in self._items])
+        return self._matrix
+
+    def query(self, text: str, k: int = 5) -> List[Tuple[str, object, float]]:
+        """Return the ``k`` nearest items as ``(text, payload, distance)`` tuples."""
+        if k <= 0:
+            raise ValueError("k must be positive")
+        if not self._items:
+            return []
+        matrix = self._ensure_matrix()
+        vector = self.embedder.embed(text)
+        differences = matrix - vector[np.newaxis, :]
+        distances = np.sqrt(np.sum(differences * differences, axis=1))
+        order = np.argsort(distances, kind="stable")[:k]
+        return [
+            (self._items[i].text, self._items[i].payload, float(distances[i]))
+            for i in order
+        ]
+
+    def query_payloads(self, text: str, k: int = 5) -> List[object]:
+        """Return only the payloads of the ``k`` nearest items."""
+        return [payload for _, payload, _ in self.query(text, k)]

@@ -1,0 +1,88 @@
+"""Rule-based sentence segmentation.
+
+Used by the privacy-policy analysis framework (Section 3.3, step one) to split
+policy documents into individual sentences before collection-statement
+extraction.  The splitter handles common abbreviations, decimal numbers,
+URLs/emails, and list-style policy formatting (bullets and numbered clauses).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+#: Common abbreviations that should not terminate a sentence.
+_ABBREVIATIONS = {
+    "e.g", "i.e", "etc", "mr", "mrs", "ms", "dr", "prof", "inc", "ltd", "llc",
+    "corp", "co", "vs", "no", "art", "sec", "para", "fig", "est", "dept",
+    "approx", "u.s", "u.k",
+}
+
+_SENTENCE_END_RE = re.compile(r"([.!?])(\s+|$)")
+_BULLET_RE = re.compile(r"^\s*(?:[-*•]|\(?\d{1,2}[.)])\s+")
+_URL_GUARD_RE = re.compile(r"(https?://\S+|www\.\S+|\S+@\S+\.\S+)")
+
+
+def _protect(text: str) -> str:
+    """Replace dots inside URLs/emails with a placeholder so they survive splitting."""
+    return _URL_GUARD_RE.sub(lambda match: match.group(0).replace(".", "․"), text)
+
+
+def _restore(text: str) -> str:
+    return text.replace("․", ".")
+
+
+def split_sentences(text: str) -> List[str]:
+    """Split a document into sentences.
+
+    Paragraph breaks and bullet items always start a new sentence; within a
+    paragraph, ``.``, ``!``, and ``?`` terminate a sentence unless the period
+    belongs to a known abbreviation, an initial, or a decimal number.
+    """
+    if not text or not text.strip():
+        return []
+
+    sentences: List[str] = []
+    for raw_block in re.split(r"\n\s*\n|\r\n\s*\r\n", text):
+        for raw_line in raw_block.splitlines():
+            line = raw_line.strip()
+            if not line:
+                continue
+            line = _BULLET_RE.sub("", line)
+            sentences.extend(_split_block(line))
+    return [sentence for sentence in sentences if sentence]
+
+
+def _split_block(block: str) -> List[str]:
+    protected = _protect(block)
+    sentences: List[str] = []
+    start = 0
+    for match in _SENTENCE_END_RE.finditer(protected):
+        end = match.end(1)
+        candidate = protected[start:end].strip()
+        if not candidate:
+            start = match.end()
+            continue
+        if match.group(1) == "." and _ends_with_non_terminal(candidate):
+            continue
+        sentences.append(_restore(candidate))
+        start = match.end()
+    tail = protected[start:].strip()
+    if tail:
+        sentences.append(_restore(tail))
+    return sentences
+
+
+def _ends_with_non_terminal(candidate: str) -> bool:
+    """Whether a candidate sentence ends in an abbreviation, initial, or number."""
+    body = candidate[:-1]  # strip the period
+    last_word = body.rsplit(None, 1)[-1].lower() if body.split() else ""
+    last_word = last_word.strip("(),;:")
+    if last_word in _ABBREVIATIONS:
+        return True
+    if len(last_word) == 1 and last_word.isalpha():
+        return True
+    # Decimal numbers like "3." followed by digits are handled at match time:
+    # if the character just before the period is a digit and the next token is
+    # a digit, it is most likely "3.5" style.
+    return bool(re.search(r"\d$", body)) and bool(re.match(r"^\d", candidate[len(candidate):] or ""))

@@ -1,0 +1,108 @@
+"""Similarity measures: cosine, Euclidean, Jaccard, and shingle near-duplicates.
+
+Jaccard similarity over word shingles is used to find near-duplicate privacy
+policies (Section 5.1.1: policies with a Jaccard similarity above 95% are
+near-duplicates), following the Mining of Massive Datasets treatment the paper
+cites.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.nlp.tokenization import tokenize
+
+
+def cosine_similarity(vector_a: np.ndarray, vector_b: np.ndarray) -> float:
+    """Cosine similarity between two vectors (0 when either is zero)."""
+    norm_a = float(np.linalg.norm(vector_a))
+    norm_b = float(np.linalg.norm(vector_b))
+    if norm_a == 0.0 or norm_b == 0.0:
+        return 0.0
+    return float(np.dot(vector_a, vector_b) / (norm_a * norm_b))
+
+
+def euclidean_distance(vector_a: np.ndarray, vector_b: np.ndarray) -> float:
+    """Euclidean distance between two vectors."""
+    return float(np.linalg.norm(np.asarray(vector_a) - np.asarray(vector_b)))
+
+
+def jaccard_similarity(set_a: Iterable[object], set_b: Iterable[object]) -> float:
+    """Jaccard similarity of two collections (1.0 when both are empty)."""
+    a = set(set_a)
+    b = set(set_b)
+    if not a and not b:
+        return 1.0
+    union = a | b
+    if not union:
+        return 1.0
+    return len(a & b) / len(union)
+
+
+def shingle_set(text: str, k: int = 5) -> FrozenSet[Tuple[str, ...]]:
+    """The set of word ``k``-shingles of a text.
+
+    Texts shorter than ``k`` words yield a single shingle containing all their
+    words, so short boilerplate policies still compare meaningfully.
+    """
+    if k <= 0:
+        raise ValueError("k must be positive")
+    tokens = tokenize(text)
+    if not tokens:
+        return frozenset()
+    if len(tokens) < k:
+        return frozenset({tuple(tokens)})
+    return frozenset(tuple(tokens[i : i + k]) for i in range(len(tokens) - k + 1))
+
+
+def text_jaccard(text_a: str, text_b: str, k: int = 5) -> float:
+    """Jaccard similarity between the shingle sets of two texts."""
+    return jaccard_similarity(shingle_set(text_a, k), shingle_set(text_b, k))
+
+
+def near_duplicates(
+    texts: Sequence[str],
+    threshold: float = 0.95,
+    k: int = 5,
+) -> List[Tuple[int, int, float]]:
+    """Find pairs of near-duplicate texts.
+
+    Returns ``(index_a, index_b, similarity)`` for every pair whose shingle
+    Jaccard similarity is at least ``threshold``.  Exact duplicates are
+    included (similarity 1.0).  A cheap length-band prefilter keeps the
+    pairwise comparison tractable for corpus-scale inputs.
+    """
+    if not 0.0 < threshold <= 1.0:
+        raise ValueError("threshold must be in (0, 1]")
+    shingles = [shingle_set(text, k) for text in texts]
+    sizes = [len(s) for s in shingles]
+    pairs: List[Tuple[int, int, float]] = []
+    for i in range(len(texts)):
+        if not shingles[i]:
+            continue
+        for j in range(i + 1, len(texts)):
+            if not shingles[j]:
+                continue
+            smaller, larger = sorted((sizes[i], sizes[j]))
+            if larger > 0 and smaller / larger < threshold:
+                # Even perfect containment cannot reach the threshold.
+                continue
+            similarity = jaccard_similarity(shingles[i], shingles[j])
+            if similarity >= threshold:
+                pairs.append((i, j, similarity))
+    return pairs
+
+
+def duplicate_groups(texts: Sequence[str]) -> Dict[str, List[int]]:
+    """Group exactly identical texts (after whitespace normalization).
+
+    Returns a mapping from the normalized text to the indices holding it, for
+    groups of size at least two.
+    """
+    groups: Dict[str, List[int]] = {}
+    for index, text in enumerate(texts):
+        key = " ".join(text.split())
+        groups.setdefault(key, []).append(index)
+    return {key: indices for key, indices in groups.items() if len(indices) > 1}

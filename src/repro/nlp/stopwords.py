@@ -1,0 +1,26 @@
+"""A compact English stopword list used by embeddings and keyword matching."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Set
+
+STOPWORDS: Set[str] = {
+    "a", "an", "the", "and", "or", "but", "if", "then", "else", "when", "while",
+    "of", "at", "by", "for", "with", "about", "against", "between", "into",
+    "through", "during", "before", "after", "above", "below", "to", "from",
+    "up", "down", "in", "out", "on", "off", "over", "under", "again", "further",
+    "is", "are", "was", "were", "be", "been", "being", "am", "do", "does", "did",
+    "doing", "have", "has", "had", "having", "will", "would", "shall", "should",
+    "can", "could", "may", "might", "must", "this", "that", "these", "those",
+    "i", "me", "my", "we", "our", "ours", "you", "your", "yours", "he", "him",
+    "his", "she", "her", "hers", "it", "its", "they", "them", "their", "theirs",
+    "what", "which", "who", "whom", "whose", "as", "such", "than", "too", "very",
+    "so", "not", "no", "nor", "only", "own", "same", "some", "any", "all",
+    "both", "each", "few", "more", "most", "other", "also", "etc", "eg", "ie",
+    "per", "via", "please", "required", "optional", "must", "e.g", "i.e",
+}
+
+
+def remove_stopwords(tokens: Iterable[str]) -> List[str]:
+    """Filter stopwords out of a token list."""
+    return [token for token in tokens if token not in STOPWORDS]

@@ -1,0 +1,49 @@
+"""Word tokenization and text normalization."""
+
+from __future__ import annotations
+
+import re
+import unicodedata
+from typing import List, Tuple
+
+_TOKEN_RE = re.compile(r"[a-z0-9]+(?:[._'-][a-z0-9]+)*")
+_WHITESPACE_RE = re.compile(r"\s+")
+
+
+def normalize_text(text: str) -> str:
+    """Normalize text for matching: NFKD fold, lower-case, collapse whitespace."""
+    if not text:
+        return ""
+    folded = unicodedata.normalize("NFKD", text)
+    folded = "".join(ch for ch in folded if not unicodedata.combining(ch))
+    folded = folded.lower()
+    return _WHITESPACE_RE.sub(" ", folded).strip()
+
+
+def tokenize(text: str) -> List[str]:
+    """Tokenize text into lower-case word tokens.
+
+    Tokens keep internal dots/underscores/hyphens (so ``conversation_context``
+    and ``e-mail`` survive as single tokens, which matters for keyword
+    matching against Action parameter names).
+    """
+    return _TOKEN_RE.findall(normalize_text(text))
+
+
+def word_ngrams(tokens: List[str], n: int) -> List[Tuple[str, ...]]:
+    """All word n-grams of a token list (empty when too short)."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if len(tokens) < n:
+        return []
+    return [tuple(tokens[i : i + n]) for i in range(len(tokens) - n + 1)]
+
+
+def char_ngrams(text: str, n: int = 3) -> List[str]:
+    """Character n-grams of the normalized text (used for fuzzy matching)."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    normalized = normalize_text(text).replace(" ", "_")
+    if len(normalized) < n:
+        return [normalized] if normalized else []
+    return [normalized[i : i + n] for i in range(len(normalized) - n + 1)]

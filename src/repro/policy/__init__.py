@@ -1,0 +1,51 @@
+"""Privacy-policy consistency analysis framework (Sections 3.3 and 5).
+
+The framework checks whether an Action's privacy policy discloses the data the
+Action collects, in three steps: sentence segmentation, collection-statement
+extraction (Code 5), and per-data-type consistency labelling (Code 6), followed
+by the precedence rule that reduces per-sentence labels to one label per
+``(Action, data type)``.
+"""
+
+from repro.policy.labels import (
+    CONSISTENT_LABELS,
+    INCONSISTENT_LABELS,
+    LABEL_PRECEDENCE,
+    ConsistencyLabel,
+    most_precise_label,
+)
+from repro.policy.extraction import CollectionStatementExtractor, ExtractedStatements
+from repro.policy.consistency import ConsistencyChecker, DataTypeConsistency
+from repro.policy.framework import (
+    ActionPolicyAnalysis,
+    PolicyConsistencyReport,
+    PrivacyPolicyAnalyzer,
+)
+from repro.policy.duplicates import (
+    DuplicatePolicyReport,
+    PolicyContentKind,
+    analyze_policy_corpus,
+    classify_policy_content,
+)
+from repro.policy.evaluation import PolicyFrameworkEvaluation, evaluate_policy_framework
+
+__all__ = [
+    "CONSISTENT_LABELS",
+    "INCONSISTENT_LABELS",
+    "LABEL_PRECEDENCE",
+    "ConsistencyLabel",
+    "most_precise_label",
+    "CollectionStatementExtractor",
+    "ExtractedStatements",
+    "ConsistencyChecker",
+    "DataTypeConsistency",
+    "ActionPolicyAnalysis",
+    "PolicyConsistencyReport",
+    "PrivacyPolicyAnalyzer",
+    "DuplicatePolicyReport",
+    "PolicyContentKind",
+    "analyze_policy_corpus",
+    "classify_policy_content",
+    "PolicyFrameworkEvaluation",
+    "evaluate_policy_framework",
+]

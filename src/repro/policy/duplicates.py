@@ -1,0 +1,169 @@
+"""Duplicate and near-duplicate privacy-policy analysis (Section 5.1.1, Table 6).
+
+Many Actions point their ``legal_info_url`` at the same document.  The paper
+groups policies that appear more than once, measures near-duplicates (Jaccard
+similarity of word shingles above 95%), flags very short policies, and
+manually triages what the duplicated documents contain (Table 6).  This module
+reproduces all of that, with the manual triage replaced by content heuristics.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.crawler.corpus import CrawlCorpus
+from repro.nlp.similarity import near_duplicates, text_jaccard
+from repro.web.psl import registrable_domain
+from repro.web.urls import url_host
+
+
+class PolicyContentKind(str, enum.Enum):
+    """What a duplicated privacy-policy document contains (Table 6 rows)."""
+
+    EXTERNAL_SERVICE = "external_service"
+    EMPTY = "empty"
+    SAME_VENDOR = "same_vendor"
+    JAVASCRIPT = "javascript"
+    OPENAI_POLICY = "openai_policy"
+    TRACKING_PIXEL = "tracking_pixel"
+    OTHER = "other"
+
+
+_EXTERNAL_SERVICE_DOMAINS = (
+    "github.com", "docs.github.com", "policies.google.com", "google.com",
+    "stripe.com", "microsoft.com", "aws.amazon.com", "cloudflare.com",
+)
+
+_JS_MARKERS = ("<script", "window.__", "document.getelementbyid", "enable javascript")
+
+_PIXEL_MARKERS = ("gif89a", "\x89png")
+
+
+def classify_policy_content(
+    url: str,
+    text: str,
+    action_domains: Sequence[str] = (),
+) -> PolicyContentKind:
+    """Heuristically classify what a policy document contains.
+
+    ``action_domains`` are the API domains of the Actions that reference this
+    policy; if the policy is hosted on the same registrable domain as one of
+    them (and shared across several Actions), it is a vendor-level policy.
+    """
+    stripped = (text or "").strip()
+    lowered = stripped.lower()
+    if not stripped:
+        return PolicyContentKind.EMPTY
+    if any(marker in lowered for marker in _PIXEL_MARKERS) or lowered.startswith("gif89a"):
+        return PolicyContentKind.TRACKING_PIXEL
+    if any(marker in lowered for marker in _JS_MARKERS) and "privacy" not in lowered[:200]:
+        return PolicyContentKind.JAVASCRIPT
+    if any(marker in lowered for marker in _JS_MARKERS) and len(re.sub(r"<[^>]+>", "", lowered)) < 200:
+        return PolicyContentKind.JAVASCRIPT
+    host = url_host(url)
+    policy_domain = registrable_domain(host) if host else None
+    if policy_domain == "openai.com" or "openai privacy policy" in lowered:
+        return PolicyContentKind.OPENAI_POLICY
+    if policy_domain and any(
+        policy_domain == registrable_domain(external) for external in _EXTERNAL_SERVICE_DOMAINS
+    ):
+        return PolicyContentKind.EXTERNAL_SERVICE
+    if policy_domain and action_domains:
+        action_registrables = {registrable_domain(domain) for domain in action_domains if domain}
+        if policy_domain in action_registrables:
+            return PolicyContentKind.SAME_VENDOR
+    return PolicyContentKind.OTHER
+
+
+@dataclass
+class DuplicatePolicyReport:
+    """Corpus-level duplicate / near-duplicate policy statistics."""
+
+    n_actions_with_policy_url: int = 0
+    n_policies_fetched: int = 0
+    availability: float = 0.0
+    #: Fraction of fetched policy documents whose text is shared by more than
+    #: one distinct Action.
+    duplicate_share: float = 0.0
+    #: Fraction of distinct policy texts that are near-duplicates of another.
+    near_duplicate_share: float = 0.0
+    #: Fraction of fetched policies shorter than 500 characters.
+    short_share: float = 0.0
+    #: Breakdown of what duplicated policies contain (Table 6).
+    duplicate_content: Counter = field(default_factory=Counter)
+    #: Groups of Action ids sharing an identical policy text.
+    duplicate_groups: List[List[str]] = field(default_factory=list)
+
+    def duplicate_content_fractions(self) -> Dict[str, float]:
+        """Table 6 rows as fractions of duplicated policies."""
+        total = sum(self.duplicate_content.values())
+        if total == 0:
+            return {}
+        return {kind: count / total for kind, count in self.duplicate_content.most_common()}
+
+
+def analyze_policy_corpus(
+    corpus: CrawlCorpus,
+    near_duplicate_threshold: float = 0.95,
+    short_policy_chars: int = 500,
+    min_duplicate_group: int = 2,
+) -> DuplicatePolicyReport:
+    """Compute duplicate, near-duplicate, and short-policy statistics for a corpus."""
+    report = DuplicatePolicyReport()
+    actions = corpus.unique_actions()
+
+    action_texts: Dict[str, str] = {}
+    url_actions: Dict[str, List[str]] = {}
+    for action_id, action in actions.items():
+        if not action.legal_info_url:
+            continue
+        report.n_actions_with_policy_url += 1
+        url_actions.setdefault(action.legal_info_url, []).append(action_id)
+        text = corpus.policy_text(action.legal_info_url)
+        if text is not None:
+            action_texts[action_id] = text
+
+    report.n_policies_fetched = len(action_texts)
+    if report.n_actions_with_policy_url:
+        report.availability = report.n_policies_fetched / report.n_actions_with_policy_url
+    if not action_texts:
+        return report
+
+    # Exact duplicates: identical normalized text across distinct Actions.
+    text_groups: Dict[str, List[str]] = {}
+    for action_id, text in action_texts.items():
+        key = " ".join(text.split())
+        text_groups.setdefault(key, []).append(action_id)
+    duplicated_actions = 0
+    for key, members in text_groups.items():
+        if len(members) >= min_duplicate_group:
+            duplicated_actions += len(members)
+            report.duplicate_groups.append(sorted(members))
+            # Triage the duplicated content (Table 6).
+            sample_action = members[0]
+            url = actions[sample_action].legal_info_url or ""
+            domains = [actions[member].domain for member in members]
+            kind = classify_policy_content(url, action_texts[sample_action], domains)
+            # Table 6 reports the share of *Actions* whose duplicated policy
+            # holds each kind of content, so weight by group size.
+            report.duplicate_content[kind.value] += len(members)
+    report.duplicate_share = duplicated_actions / report.n_policies_fetched
+
+    # Near-duplicates among distinct texts.
+    distinct_texts = list(text_groups.keys())
+    if len(distinct_texts) > 1:
+        pairs = near_duplicates(distinct_texts, threshold=near_duplicate_threshold)
+        near_duplicate_indices = set()
+        for index_a, index_b, _ in pairs:
+            near_duplicate_indices.add(index_a)
+            near_duplicate_indices.add(index_b)
+        report.near_duplicate_share = len(near_duplicate_indices) / len(distinct_texts)
+
+    # Short policies.
+    short = sum(1 for text in action_texts.values() if len(text) < short_policy_chars)
+    report.short_share = short / report.n_policies_fetched
+    return report

@@ -1,0 +1,116 @@
+"""Policy-framework accuracy evaluation (Section 5.1.2).
+
+The paper validates its consistency framework on 5% of Actions with manually
+reviewed labels, treating inconsistencies (omitted, ambiguous, incorrect) as
+positives, and reports ≈87% accuracy, ≈87% precision, and ≈99% recall.  Here
+the manual review is replaced by the generator's intended disclosure labels,
+restricted to Actions whose policy text the generator fully controls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.ecosystem.models import GroundTruth
+from repro.policy.framework import PolicyConsistencyReport
+from repro.policy.labels import ConsistencyLabel
+
+
+@dataclass
+class PolicyFrameworkEvaluation:
+    """Binary (consistent vs inconsistent) evaluation of the framework."""
+
+    n_evaluated: int = 0
+    true_positives: int = 0
+    false_positives: int = 0
+    true_negatives: int = 0
+    false_negatives: int = 0
+    label_agreement: int = 0
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction of data types whose consistent/inconsistent call matches ground truth."""
+        if self.n_evaluated == 0:
+            return 0.0
+        return (self.true_positives + self.true_negatives) / self.n_evaluated
+
+    @property
+    def precision(self) -> float:
+        """Of the data types flagged inconsistent, the fraction that truly are."""
+        denominator = self.true_positives + self.false_positives
+        return self.true_positives / denominator if denominator else 0.0
+
+    @property
+    def recall(self) -> float:
+        """Of the truly inconsistent data types, the fraction flagged."""
+        denominator = self.true_positives + self.false_negatives
+        return self.true_positives / denominator if denominator else 0.0
+
+    @property
+    def exact_label_accuracy(self) -> float:
+        """Fraction of data types with the exact same five-way label."""
+        if self.n_evaluated == 0:
+            return 0.0
+        return self.label_agreement / self.n_evaluated
+
+    def summary(self) -> str:
+        """Human-readable summary."""
+        return (
+            f"accuracy {self.accuracy:.2%}, precision {self.precision:.2%}, "
+            f"recall {self.recall:.2%} over {self.n_evaluated} data types"
+        )
+
+
+def _is_inconsistent(label: ConsistencyLabel) -> bool:
+    return not label.is_consistent
+
+
+def evaluate_policy_framework(
+    report: PolicyConsistencyReport,
+    ground_truth: GroundTruth,
+    restrict_to_controlled: bool = True,
+    sample_action_ids: Optional[Iterable[str]] = None,
+) -> PolicyFrameworkEvaluation:
+    """Score a consistency report against generator ground truth.
+
+    Parameters
+    ----------
+    report:
+        The framework's output.
+    ground_truth:
+        Generator ground truth with intended disclosure labels.
+    restrict_to_controlled:
+        Only evaluate Actions whose policy text the generator fully controls
+        (external/JS/pixel policies have no meaningful intended labels).
+    sample_action_ids:
+        Optionally restrict the evaluation to a sampled subset of Actions,
+        mirroring the paper's 5% pilot study.
+    """
+    evaluation = PolicyFrameworkEvaluation()
+    allowed: Optional[Set[str]] = set(sample_action_ids) if sample_action_ids is not None else None
+    for action_id, result in report.all_results():
+        if allowed is not None and action_id not in allowed:
+            continue
+        if restrict_to_controlled and action_id not in ground_truth.controlled_policy_actions:
+            continue
+        intended = ground_truth.disclosure_labels.get(
+            (action_id, result.category, result.data_type)
+        )
+        if intended is None:
+            continue
+        intended_label = ConsistencyLabel.from_string(intended)
+        evaluation.n_evaluated += 1
+        if intended_label is result.final_label:
+            evaluation.label_agreement += 1
+        predicted_positive = _is_inconsistent(result.final_label)
+        actual_positive = _is_inconsistent(intended_label)
+        if predicted_positive and actual_positive:
+            evaluation.true_positives += 1
+        elif predicted_positive and not actual_positive:
+            evaluation.false_positives += 1
+        elif not predicted_positive and actual_positive:
+            evaluation.false_negatives += 1
+        else:
+            evaluation.true_negatives += 1
+    return evaluation

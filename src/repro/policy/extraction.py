@@ -1,0 +1,84 @@
+"""Collection-statement extraction (framework step two, Code 5).
+
+A privacy policy is first segmented into sentences; the sentences are then
+passed (in batches) to the LLM, which returns the indices of sentences that
+relate to data collection.  Keeping the original sentence indices lets the
+later consistency step tie every label back to a specific sentence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.llm import prompts
+from repro.llm.base import LLMClient
+from repro.nlp.segmentation import split_sentences
+
+
+@dataclass
+class ExtractedStatements:
+    """Sentences of a policy and which of them are collection statements."""
+
+    sentences: List[str] = field(default_factory=list)
+    collection_indices: List[int] = field(default_factory=list)
+
+    @property
+    def collection_statements(self) -> List[Tuple[int, str]]:
+        """The collection-related sentences as ``(index, text)`` pairs."""
+        return [
+            (index, self.sentences[index])
+            for index in self.collection_indices
+            if 0 <= index < len(self.sentences)
+        ]
+
+    @property
+    def n_sentences(self) -> int:
+        """Number of sentences in the policy."""
+        return len(self.sentences)
+
+    @property
+    def n_collection_statements(self) -> int:
+        """Number of sentences identified as collection statements."""
+        return len(self.collection_statements)
+
+
+class CollectionStatementExtractor:
+    """Segments a policy and extracts its data-collection statements."""
+
+    def __init__(self, llm: LLMClient, batch_size: int = 40) -> None:
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.llm = llm
+        self.batch_size = batch_size
+
+    def segment(self, policy_text: str) -> List[str]:
+        """Split a policy document into sentences."""
+        return split_sentences(policy_text)
+
+    def extract(self, policy_text: str) -> ExtractedStatements:
+        """Segment a policy and identify its collection statements."""
+        sentences = self.segment(policy_text)
+        result = ExtractedStatements(sentences=sentences)
+        if not sentences:
+            return result
+        for start in range(0, len(sentences), self.batch_size):
+            batch = sentences[start:start + self.batch_size]
+            prompt = prompts.render_collection_extraction_prompt(batch)
+            response = prompts.parse_json_response(
+                self.llm.complete_text(
+                    "You are a privacy policy data collection statement extractor.", prompt
+                )
+            )
+            indices = response.get("collection_sentence_indices", [])
+            if not isinstance(indices, list):
+                continue
+            for index in indices:
+                try:
+                    absolute = start + int(index)
+                except (TypeError, ValueError):
+                    continue
+                if 0 <= absolute < len(sentences) and absolute not in result.collection_indices:
+                    result.collection_indices.append(absolute)
+        result.collection_indices.sort()
+        return result

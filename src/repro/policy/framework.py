@@ -1,0 +1,171 @@
+"""The end-to-end privacy-policy analysis framework (Section 3.3).
+
+:class:`PrivacyPolicyAnalyzer` ties the three steps together for a whole
+corpus: for every Action that provides a reachable policy, segment the policy,
+extract collection statements, and label the consistency of every data type
+the classification framework says the Action collects.  A
+``single_pass=True`` mode skips the extraction step and checks data types
+against *all* sentences of the policy — the ablation studied in
+``benchmarks/test_bench_ablation_policy_pipeline.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.classification.results import ClassificationResult
+from repro.crawler.corpus import CrawlCorpus
+from repro.llm.base import LLMClient
+from repro.policy.consistency import ConsistencyChecker, DataTypeConsistency
+from repro.policy.extraction import CollectionStatementExtractor, ExtractedStatements
+from repro.policy.labels import ConsistencyLabel
+from repro.taxonomy.schema import DataTaxonomy
+
+
+@dataclass
+class ActionPolicyAnalysis:
+    """The consistency outcome for one Action."""
+
+    action_id: str
+    policy_url: Optional[str]
+    policy_available: bool
+    results: List[DataTypeConsistency] = field(default_factory=list)
+
+    @property
+    def n_types(self) -> int:
+        """Number of collected data types analyzed for this Action."""
+        return len(self.results)
+
+    def label_counts(self) -> Dict[ConsistencyLabel, int]:
+        """How many data types received each final label."""
+        counts: Dict[ConsistencyLabel, int] = {label: 0 for label in ConsistencyLabel}
+        for result in self.results:
+            counts[result.final_label] += 1
+        return counts
+
+    def consistency_fraction(self) -> float:
+        """Fraction of this Action's data types with a consistent disclosure."""
+        if not self.results:
+            return 0.0
+        consistent = sum(1 for result in self.results if result.is_consistent)
+        return consistent / len(self.results)
+
+    def clear_count(self) -> int:
+        """Number of data types with a clear disclosure."""
+        return sum(1 for result in self.results if result.final_label is ConsistencyLabel.CLEAR)
+
+    def is_fully_consistent(self) -> bool:
+        """Whether every analyzed data type is consistently disclosed."""
+        return bool(self.results) and all(result.is_consistent for result in self.results)
+
+
+@dataclass
+class PolicyConsistencyReport:
+    """The consistency outcomes for all analyzed Actions."""
+
+    analyses: Dict[str, ActionPolicyAnalysis] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.analyses)
+
+    def add(self, analysis: ActionPolicyAnalysis) -> None:
+        """Record one Action's analysis."""
+        self.analyses[analysis.action_id] = analysis
+
+    def actions_with_policies(self) -> List[ActionPolicyAnalysis]:
+        """Analyses of Actions whose policy was reachable."""
+        return [analysis for analysis in self.analyses.values() if analysis.policy_available]
+
+    def all_results(self) -> List[Tuple[str, DataTypeConsistency]]:
+        """Every (action id, data-type consistency) pair across Actions with policies."""
+        pairs: List[Tuple[str, DataTypeConsistency]] = []
+        for analysis in self.actions_with_policies():
+            for result in analysis.results:
+                pairs.append((analysis.action_id, result))
+        return pairs
+
+    def label_distribution(self) -> Dict[ConsistencyLabel, int]:
+        """Corpus-wide distribution of final labels."""
+        counts: Dict[ConsistencyLabel, int] = {label: 0 for label in ConsistencyLabel}
+        for _, result in self.all_results():
+            counts[result.final_label] += 1
+        return counts
+
+
+class PrivacyPolicyAnalyzer:
+    """Runs the three-step policy-consistency framework over a corpus."""
+
+    def __init__(
+        self,
+        taxonomy: DataTaxonomy,
+        llm: LLMClient,
+        single_pass: bool = False,
+        extraction_batch_size: int = 40,
+    ) -> None:
+        self.taxonomy = taxonomy
+        self.llm = llm
+        self.single_pass = single_pass
+        self.extractor = CollectionStatementExtractor(llm, batch_size=extraction_batch_size)
+        self.checker = ConsistencyChecker(taxonomy, llm)
+
+    # ------------------------------------------------------------------
+    def analyze_policy(
+        self,
+        policy_text: str,
+        collected_types: Sequence[Tuple[str, str]],
+    ) -> List[DataTypeConsistency]:
+        """Analyze one policy text against a list of collected data types."""
+        if self.single_pass:
+            sentences = self.extractor.segment(policy_text)
+            statements = ExtractedStatements(
+                sentences=sentences, collection_indices=list(range(len(sentences)))
+            )
+        else:
+            statements = self.extractor.extract(policy_text)
+        return self.checker.check_types(collected_types, statements)
+
+    def analyze_action(
+        self,
+        action_id: str,
+        policy_url: Optional[str],
+        policy_text: Optional[str],
+        collected_types: Sequence[Tuple[str, str]],
+    ) -> ActionPolicyAnalysis:
+        """Analyze one Action given its (possibly missing) policy text."""
+        if policy_text is None:
+            return ActionPolicyAnalysis(
+                action_id=action_id,
+                policy_url=policy_url,
+                policy_available=False,
+            )
+        results = self.analyze_policy(policy_text, collected_types)
+        return ActionPolicyAnalysis(
+            action_id=action_id,
+            policy_url=policy_url,
+            policy_available=True,
+            results=results,
+        )
+
+    def analyze_corpus(
+        self,
+        corpus: CrawlCorpus,
+        classification: ClassificationResult,
+    ) -> PolicyConsistencyReport:
+        """Analyze every Action in a corpus that collects at least one data type."""
+        report = PolicyConsistencyReport()
+        collected_by_action = classification.action_data_types()
+        for action_id, action in corpus.unique_actions().items():
+            collected_types = collected_by_action.get(action_id, [])
+            if not collected_types:
+                continue
+            policy_text = corpus.policy_text(action.legal_info_url)
+            report.add(
+                self.analyze_action(
+                    action_id=action_id,
+                    policy_url=action.legal_info_url,
+                    policy_text=policy_text,
+                    collected_types=collected_types,
+                )
+            )
+        return report

@@ -1,0 +1,77 @@
+"""Disclosure consistency labels and the precedence rule (Section 3.3).
+
+Disclosures are labelled *clear*, *vague*, *ambiguous*, *incorrect*, or
+*omitted*.  Clear and vague disclosures are grouped as *consistent*; the rest
+are *inconsistent*.  When a data type receives multiple labels (one per
+collection statement), the most precise label wins in the order
+clear > vague > ambiguous > incorrect > omitted.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable, Optional, Sequence, Tuple
+
+
+class ConsistencyLabel(str, enum.Enum):
+    """Disclosure-consistency label for one (Action, data type) pair."""
+
+    CLEAR = "clear"
+    VAGUE = "vague"
+    AMBIGUOUS = "ambiguous"
+    INCORRECT = "incorrect"
+    OMITTED = "omitted"
+
+    @classmethod
+    def from_string(cls, value: str) -> "ConsistencyLabel":
+        """Parse a label from (case-insensitive) text, defaulting to ``OMITTED``."""
+        try:
+            return cls(value.strip().lower())
+        except ValueError:
+            return cls.OMITTED
+
+    @property
+    def is_consistent(self) -> bool:
+        """Whether the label counts as a consistent disclosure."""
+        return self in CONSISTENT_LABELS
+
+
+#: Precedence order used to pick the most precise label (Section 3.3).
+LABEL_PRECEDENCE: Tuple[ConsistencyLabel, ...] = (
+    ConsistencyLabel.CLEAR,
+    ConsistencyLabel.VAGUE,
+    ConsistencyLabel.AMBIGUOUS,
+    ConsistencyLabel.INCORRECT,
+    ConsistencyLabel.OMITTED,
+)
+
+#: Labels considered consistent / inconsistent data flows.
+CONSISTENT_LABELS: Tuple[ConsistencyLabel, ...] = (
+    ConsistencyLabel.CLEAR,
+    ConsistencyLabel.VAGUE,
+)
+INCONSISTENT_LABELS: Tuple[ConsistencyLabel, ...] = (
+    ConsistencyLabel.AMBIGUOUS,
+    ConsistencyLabel.INCORRECT,
+    ConsistencyLabel.OMITTED,
+)
+
+
+def most_precise_label(labels: Iterable[ConsistencyLabel]) -> ConsistencyLabel:
+    """Reduce per-sentence labels to the most precise one.
+
+    An empty collection reduces to ``OMITTED`` (no statement mentions the data
+    type at all).
+    """
+    observed = set(labels)
+    if not observed:
+        return ConsistencyLabel.OMITTED
+    for label in LABEL_PRECEDENCE:
+        if label in observed:
+            return label
+    return ConsistencyLabel.OMITTED
+
+
+def is_consistent(label: ConsistencyLabel) -> bool:
+    """Whether a final label counts as a consistent disclosure."""
+    return label in CONSISTENT_LABELS

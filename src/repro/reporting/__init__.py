@@ -1,0 +1,6 @@
+"""Rendering of the paper's tables and figure series from analysis results."""
+
+from repro.reporting.markdown import format_table, format_percent
+from repro.reporting import tables, figures
+
+__all__ = ["format_table", "format_percent", "tables", "figures"]

@@ -1,0 +1,36 @@
+"""Small helpers for rendering plain-text / markdown tables."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_percent(value: float, digits: int = 1) -> str:
+    """Format a fraction as a percentage string (e.g. ``0.123`` → ``"12.3%"``)."""
+    return f"{value * 100:.{digits}f}%"
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render a GitHub-flavoured markdown table."""
+    rendered_rows: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    header_cells = [str(cell) for cell in headers]
+    widths = [len(cell) for cell in header_cells]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            if index >= len(widths):
+                widths.append(len(cell))
+            else:
+                widths[index] = max(widths[index], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        padded = [
+            cell.ljust(widths[index]) if index < len(widths) else cell
+            for index, cell in enumerate(cells)
+        ]
+        return "| " + " | ".join(padded) + " |"
+
+    lines = [render_row(header_cells)]
+    lines.append("|" + "|".join("-" * (width + 2) for width in widths) + "|")
+    for row in rendered_rows:
+        lines.append(render_row(row))
+    return "\n".join(lines)

@@ -1,0 +1,99 @@
+"""Renderers for every table of the paper's evaluation."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.analysis.crawlstats import CrawlStatsAnalysis
+from repro.analysis.collection import CollectionAnalysis
+from repro.analysis.disclosure import DisclosureAnalysis
+from repro.analysis.prevalence import PrevalenceAnalysis
+from repro.analysis.tools import ToolUsageAnalysis, TOOL_DISPLAY_NAMES
+from repro.policy.duplicates import DuplicatePolicyReport
+from repro.reporting.markdown import format_percent, format_table
+
+
+def render_table1(stats: CrawlStatsAnalysis) -> str:
+    """Table 1: count of GPTs successfully crawled per store."""
+    rows: List[Tuple[str, int]] = stats.sorted_store_counts()
+    body = [(name, count) for name, count in rows]
+    body.append(("Total (unique)", stats.total_unique_gpts))
+    return format_table(["Source", "Count of GPTs"], body)
+
+
+def render_table3(tools: ToolUsageAnalysis) -> str:
+    """Table 3: tool usage in GPTs with the first-/third-party Action split."""
+    rows = []
+    for key in ("browser", "dalle", "code_interpreter", "knowledge"):
+        rows.append((TOOL_DISPLAY_NAMES[key], format_percent(tools.share(key)), "-", "-"))
+    rows.append(
+        (
+            TOOL_DISPLAY_NAMES["action"],
+            format_percent(tools.share("action")),
+            format_percent(tools.first_party_action_share),
+            format_percent(tools.third_party_action_share),
+        )
+    )
+    rows.append(("Total", format_percent(tools.any_tool_share), "-", "-"))
+    return format_table(["Tool", "% of GPTs", "First-party", "Third-party"], rows)
+
+
+def render_table4(collection: CollectionAnalysis, min_gpt_share: float = 0.001,
+                  max_rows: Optional[int] = None) -> str:
+    """Table 4: data types collected by first-/third-party Actions."""
+    rows = []
+    for row in collection.top_rows(min_gpt_share)[: max_rows or None]:
+        rows.append(
+            (
+                row.category,
+                row.data_type,
+                format_percent(row.first_party_share),
+                format_percent(row.third_party_share),
+                format_percent(row.gpt_share),
+            )
+        )
+    return format_table(["Category", "Data type", "1st", "3rd", "GPTs"], rows)
+
+
+def render_table5(prevalence: PrevalenceAnalysis, top_n: int = 15) -> str:
+    """Table 5: prevalent third-party Actions."""
+    rows = []
+    for row in prevalence.top(top_n):
+        rows.append(
+            (
+                row.name,
+                row.functionality,
+                row.n_data_types,
+                ", ".join(row.example_data_types),
+                format_percent(row.gpt_share, digits=2),
+            )
+        )
+    return format_table(
+        ["Action name", "Functionality", "# Data types", "Collected data examples", "% GPTs"],
+        rows,
+    )
+
+
+def render_table6(duplicates: DuplicatePolicyReport) -> str:
+    """Table 6: content of duplicate privacy policies."""
+    labels = {
+        "external_service": "Policy of embedded services (e.g., Github, Google)",
+        "empty": "Empty policy",
+        "same_vendor": "Actions belonging to the same vendor",
+        "javascript": "JS code for dynamic rendering of privacy policy",
+        "openai_policy": "OpenAI's privacy policy",
+        "tracking_pixel": "1x1 pixel (tracking pixel) for tracking user behavior",
+        "other": "Other duplicated content",
+    }
+    rows = []
+    for kind, fraction in duplicates.duplicate_content_fractions().items():
+        rows.append((labels.get(kind, kind), format_percent(fraction)))
+    return format_table(["Policy description", "% Actions"], rows)
+
+
+def render_table7(disclosure: DisclosureAnalysis, min_clear: int = 5) -> str:
+    """Table 7: Actions with five or more consistent disclosures."""
+    rows = []
+    for row in disclosure.top_consistent_actions(min_clear):
+        rows.append((row.name, row.clear, row.vague, row.clear + row.vague))
+    return format_table(["Description", "Clear", "Vague", "Total"], rows)

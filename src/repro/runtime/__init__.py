@@ -1,0 +1,37 @@
+"""GPT execution-model substrate (Figure 1 / Section 2.1.1).
+
+The paper's architecture figure shows how a GPT runs: the manifest and every
+embedded Action's specification are loaded into a dedicated LLM instance's
+context window; user queries arrive in the input buffer; the LLM decides which
+Action endpoints to call and transmits parameter values drawn from the shared
+context.  Because *all* Actions of a GPT share that context window, an
+advertising Action can receive data the user only intended for the functional
+Action (the Healthy Chef / AI Tool Hunt case studies of Figures 4 and 6), and a
+credential-collecting Action can receive raw passwords (Figure 5).
+
+This subpackage simulates that execution model so the indirect-exposure
+phenomena of Section 4.4 can be demonstrated and measured on the synthetic
+ecosystem:
+
+* :class:`ContextWindow` — the shared buffer of manifests, specifications, and
+  conversation turns;
+* :class:`GPTSession` — routes user queries to Action endpoints, fills
+  parameter values from the context, and records every transmission;
+* :class:`ActionTranscript` / :class:`SessionTranscript` — the "Talked to
+  api.example.com / The following was shared: …" records the paper's case
+  studies display.
+"""
+
+from repro.runtime.context import ContextEntry, ContextWindow
+from repro.runtime.session import ActionTranscript, GPTSession, SessionTranscript
+from repro.runtime.exposure import ExposureFinding, analyze_indirect_exposure
+
+__all__ = [
+    "ContextEntry",
+    "ContextWindow",
+    "ActionTranscript",
+    "GPTSession",
+    "SessionTranscript",
+    "ExposureFinding",
+    "analyze_indirect_exposure",
+]

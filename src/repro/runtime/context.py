@@ -1,0 +1,99 @@
+"""The shared context window of a GPT's LLM instance."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class ContextEntry:
+    """One entry in the context window.
+
+    ``kind`` is one of ``"system"`` (GPT manifest / instructions),
+    ``"specification"`` (an Action's specification), ``"user"`` (a user turn),
+    ``"assistant"`` (a model turn), or ``"tool"`` (an Action response).
+    """
+
+    kind: str
+    source: str
+    content: str
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("system", "specification", "user", "assistant", "tool"):
+            raise ValueError(f"unknown context entry kind: {self.kind!r}")
+
+
+class ContextWindow:
+    """An append-only window of context entries shared by every Action.
+
+    The window is the security boundary the paper highlights: all Actions of a
+    GPT read from the same window, so anything a user ever said in the session
+    is available to every Action the LLM later invokes.
+    """
+
+    def __init__(self, max_entries: int = 200) -> None:
+        if max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        self._entries: List[ContextEntry] = []
+
+    def append(self, entry: ContextEntry) -> None:
+        """Append an entry, evicting the oldest non-system entries when full."""
+        self._entries.append(entry)
+        if len(self._entries) > self.max_entries:
+            # Keep system/specification entries (they are re-injected on every
+            # turn in the real platform); evict the oldest conversational ones.
+            preserved = [e for e in self._entries if e.kind in ("system", "specification")]
+            conversational = [e for e in self._entries if e.kind not in ("system", "specification")]
+            overflow = len(self._entries) - self.max_entries
+            self._entries = preserved + conversational[overflow:]
+
+    def add_system(self, source: str, content: str) -> None:
+        """Add a system (manifest / instruction) entry."""
+        self.append(ContextEntry(kind="system", source=source, content=content))
+
+    def add_specification(self, source: str, content: str) -> None:
+        """Add an Action-specification entry."""
+        self.append(ContextEntry(kind="specification", source=source, content=content))
+
+    def add_user(self, content: str) -> None:
+        """Add a user turn."""
+        self.append(ContextEntry(kind="user", source="user", content=content))
+
+    def add_assistant(self, content: str) -> None:
+        """Add an assistant turn."""
+        self.append(ContextEntry(kind="assistant", source="assistant", content=content))
+
+    def add_tool(self, source: str, content: str) -> None:
+        """Add an Action-response entry."""
+        self.append(ContextEntry(kind="tool", source=source, content=content))
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[ContextEntry]:
+        return iter(self._entries)
+
+    def entries(self, kind: Optional[str] = None) -> List[ContextEntry]:
+        """All entries, optionally filtered by kind."""
+        if kind is None:
+            return list(self._entries)
+        return [entry for entry in self._entries if entry.kind == kind]
+
+    def user_turns(self) -> List[str]:
+        """The text of every user turn, oldest first."""
+        return [entry.content for entry in self._entries if entry.kind == "user"]
+
+    def conversation_text(self, last_n_turns: Optional[int] = None) -> str:
+        """The concatenated user conversation (what a tracking Action can read)."""
+        turns = self.user_turns()
+        if last_n_turns is not None:
+            turns = turns[-last_n_turns:]
+        return " ".join(turns)
+
+    def latest_user_turn(self) -> str:
+        """The most recent user turn (empty string if none)."""
+        turns = self.user_turns()
+        return turns[-1] if turns else ""

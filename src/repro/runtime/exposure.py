@@ -1,0 +1,103 @@
+"""Indirect data exposure between co-located Actions (Section 4.4).
+
+Because every Action of a GPT shares one context window, an Action can receive
+data the user only intended for a different Action of the same GPT.  This
+module measures that exposure on a crawled corpus: for every multi-Action GPT
+it simulates a session, sends a probe query, and reports which Actions received
+raw conversation content even though a different Action was the functional
+target of the query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.crawler.corpus import CrawlCorpus, CrawledGPT
+from repro.llm.knowledge import KeywordKnowledgeBase
+from repro.runtime.session import GPTSession
+from repro.taxonomy.builtin import load_builtin_taxonomy
+from repro.taxonomy.schema import DataTaxonomy
+
+#: The probe query sent to every multi-Action GPT (intentionally information
+#: rich, mirroring the Healthy Chef interaction of Figure 4).
+DEFAULT_PROBE_QUERY = (
+    "I have chicken breast, broccoli, and quinoa at home. I'm trying to follow a low-carb diet "
+    "because my doctor said my blood sugar levels are high."
+)
+
+
+@dataclass
+class ExposureFinding:
+    """One GPT in which conversation content reached more Actions than intended."""
+
+    gpt_id: str
+    gpt_name: str
+    functional_domain: Optional[str]
+    over_exposed_domains: List[str] = field(default_factory=list)
+
+    @property
+    def n_over_exposed(self) -> int:
+        """How many additional Actions received raw conversation content."""
+        return len(self.over_exposed_domains)
+
+
+@dataclass
+class ExposureReport:
+    """Corpus-level indirect-exposure statistics."""
+
+    findings: List[ExposureFinding] = field(default_factory=list)
+    n_multi_action_gpts: int = 0
+
+    @property
+    def exposure_share(self) -> float:
+        """Fraction of multi-Action GPTs with at least one over-exposed Action."""
+        if not self.n_multi_action_gpts:
+            return 0.0
+        return len(self.findings) / self.n_multi_action_gpts
+
+
+def analyze_indirect_exposure(
+    corpus: CrawlCorpus,
+    probe_query: str = DEFAULT_PROBE_QUERY,
+    taxonomy: Optional[DataTaxonomy] = None,
+    max_gpts: Optional[int] = None,
+) -> ExposureReport:
+    """Measure indirect data exposure across a corpus's multi-Action GPTs.
+
+    For every GPT embedding two or more Actions, a session is simulated and a
+    probe query is sent.  An Action is *over-exposed* when it receives raw
+    conversation content (user interaction data, the search query, or message
+    text) even though it is not the functional Action the query targets.
+    """
+    taxonomy = taxonomy or load_builtin_taxonomy()
+    knowledge = KeywordKnowledgeBase(taxonomy)
+    report = ExposureReport()
+    multi_action_gpts: List[CrawledGPT] = [
+        gpt for gpt in corpus.action_embedding_gpts() if len(gpt.actions) >= 2
+    ]
+    if max_gpts is not None:
+        multi_action_gpts = multi_action_gpts[:max_gpts]
+    report.n_multi_action_gpts = len(multi_action_gpts)
+
+    for gpt in multi_action_gpts:
+        session = GPTSession(gpt, taxonomy=taxonomy, knowledge=knowledge)
+        transcript = session.ask(probe_query)
+        if not transcript.invoked:
+            continue
+        functional_domain = transcript.invoked[0].domain if transcript.invoked else None
+        over_exposed: List[str] = []
+        for action_transcript in transcript.invoked[1:]:
+            received_context = any(fieldd.is_sensitive_context for fieldd in action_transcript.shared)
+            if received_context:
+                over_exposed.append(action_transcript.domain)
+        if over_exposed:
+            report.findings.append(
+                ExposureFinding(
+                    gpt_id=gpt.gpt_id,
+                    gpt_name=gpt.name,
+                    functional_domain=functional_domain,
+                    over_exposed_domains=over_exposed,
+                )
+            )
+    return report

@@ -1,0 +1,269 @@
+"""Simulated GPT sessions (the execution model of Figure 1).
+
+A :class:`GPTSession` loads a GPT's manifest and Action specifications into a
+shared :class:`~repro.runtime.context.ContextWindow` and then resolves user
+queries: it picks the functional Action whose parameters best match the query,
+always also invokes piggy-backing advertising/analytics Actions, fills each
+invoked Action's parameters from the shared context, and records exactly what
+was transmitted to which API host — the "Talked to api.example.com / The
+following was shared: …" transcripts shown in the paper's Figures 4–6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.crawler.corpus import CrawledAction, CrawledGPT
+from repro.ecosystem.models import ActionSpecification, GPTManifest
+from repro.llm.knowledge import KeywordKnowledgeBase
+from repro.nlp.stopwords import remove_stopwords
+from repro.nlp.tokenization import tokenize
+from repro.runtime.context import ContextWindow
+from repro.taxonomy.builtin import load_builtin_taxonomy
+from repro.taxonomy.schema import DataTaxonomy
+
+#: Functionality categories of Actions that piggy-back on every user turn.
+TRACKING_FUNCTIONALITIES = (
+    "Advertising & Marketing",
+    "Research & Analysis",
+)
+
+#: Data types whose parameters are filled with raw conversation content.
+_CONTEXT_HUNGRY_TYPES = {
+    ("App usage data", "User interaction data"),
+    ("Query", "Search query"),
+    ("Query", "Generative prompt"),
+    ("Message", "Text messages"),
+}
+
+#: Data types describing the hosting GPT rather than the user.
+_APP_METADATA_TYPES = {
+    ("App metadata", "Name or version"),
+    ("App metadata", "Function description"),
+}
+
+
+@dataclass(frozen=True)
+class _SessionAction:
+    """A normalized view over either artifact type (generated or crawled)."""
+
+    action_id: str
+    title: str
+    domain: str
+    functionality: str
+    parameters: Tuple[Tuple[str, str], ...]
+
+
+def _normalize_action(action: Union[ActionSpecification, CrawledAction]) -> _SessionAction:
+    if isinstance(action, ActionSpecification):
+        return _SessionAction(
+            action_id=action.action_id,
+            title=action.title,
+            domain=action.domain,
+            functionality=action.functionality,
+            parameters=tuple(
+                (parameter.name, parameter.name_and_description())
+                for parameter in action.parameters()
+            ),
+        )
+    return _SessionAction(
+        action_id=action.action_id,
+        title=action.title,
+        domain=action.domain,
+        functionality=action.functionality,
+        parameters=tuple(zip([name for name, _ in action.parameters], action.data_descriptions())),
+    )
+
+
+@dataclass
+class SharedField:
+    """One parameter value transmitted to an Action endpoint."""
+
+    parameter: str
+    value: str
+    category: str
+    data_type: str
+
+    @property
+    def is_sensitive_context(self) -> bool:
+        """Whether the value carries raw conversation content."""
+        return (self.category, self.data_type) in _CONTEXT_HUNGRY_TYPES
+
+
+@dataclass
+class ActionTranscript:
+    """What one Action received during one turn ("Talked to <domain>")."""
+
+    action_id: str
+    title: str
+    domain: str
+    shared: List[SharedField] = field(default_factory=list)
+
+    def shared_dict(self) -> Dict[str, str]:
+        """The shared payload as a plain parameter → value mapping."""
+        return {fieldd.parameter: fieldd.value for fieldd in self.shared}
+
+    def render(self) -> str:
+        """Render the transcript like the paper's figures."""
+        lines = [f"Talked to {self.domain}", "The following was shared:"]
+        for entry in self.shared:
+            lines.append(f'  {entry.parameter}: "{entry.value}"')
+        return "\n".join(lines)
+
+
+@dataclass
+class SessionTranscript:
+    """Everything that happened while resolving one user query."""
+
+    query: str
+    invoked: List[ActionTranscript] = field(default_factory=list)
+    response: str = ""
+
+    def domains_contacted(self) -> List[str]:
+        """Domains that received data during this turn."""
+        return [transcript.domain for transcript in self.invoked]
+
+    def data_shared_with(self, domain: str) -> Dict[str, str]:
+        """The payload transmitted to a specific domain (empty if not contacted)."""
+        for transcript in self.invoked:
+            if transcript.domain == domain:
+                return transcript.shared_dict()
+        return {}
+
+
+class GPTSession:
+    """A simulated session with one GPT and its Actions."""
+
+    def __init__(
+        self,
+        gpt: Union[GPTManifest, CrawledGPT],
+        taxonomy: Optional[DataTaxonomy] = None,
+        knowledge: Optional[KeywordKnowledgeBase] = None,
+        context_turns_shared: int = 4,
+    ) -> None:
+        self.taxonomy = taxonomy or load_builtin_taxonomy()
+        self.knowledge = knowledge or KeywordKnowledgeBase(self.taxonomy)
+        self.context = ContextWindow()
+        self.context_turns_shared = context_turns_shared
+        self.transcripts: List[SessionTranscript] = []
+
+        if isinstance(gpt, GPTManifest):
+            self.gpt_id = gpt.gpt_id
+            self.gpt_name = gpt.name
+            self.gpt_description = gpt.description
+            actions = gpt.actions()
+        else:
+            self.gpt_id = gpt.gpt_id
+            self.gpt_name = gpt.name
+            self.gpt_description = gpt.description
+            actions = gpt.actions
+        self.actions = [_normalize_action(action) for action in actions]
+
+        # Load the manifest and every Action specification into the shared
+        # context window, exactly as the platform does when a GPT is enabled.
+        self.context.add_system(self.gpt_name, self.gpt_description)
+        for action in self.actions:
+            specification_text = f"{action.title}: " + "; ".join(
+                description for _, description in action.parameters
+            )
+            self.context.add_specification(action.title, specification_text)
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def _is_tracking(self, action: _SessionAction) -> bool:
+        if action.functionality in TRACKING_FUNCTIONALITIES:
+            return True
+        lowered = action.title.lower()
+        return any(marker in lowered for marker in ("adintelli", "adzedek", "analytics"))
+
+    def _relevance(self, action: _SessionAction, query: str) -> float:
+        query_tokens = set(remove_stopwords(tokenize(query)))
+        if not query_tokens:
+            return 0.0
+        action_tokens = set()
+        for _, description in action.parameters:
+            action_tokens.update(remove_stopwords(tokenize(description)))
+        action_tokens.update(remove_stopwords(tokenize(action.title)))
+        if not action_tokens:
+            return 0.0
+        return len(query_tokens & action_tokens) / len(query_tokens)
+
+    def select_actions(self, query: str) -> List[_SessionAction]:
+        """Pick the Actions invoked for a query.
+
+        The most relevant functional Action is invoked (if any matches at
+        all), and every tracking/advertising Action piggy-backs on the turn
+        regardless of relevance — the behaviour the paper's case studies
+        document.
+        """
+        tracking = [action for action in self.actions if self._is_tracking(action)]
+        functional = [action for action in self.actions if not self._is_tracking(action)]
+        invoked: List[_SessionAction] = []
+        if functional:
+            ranked = sorted(functional, key=lambda action: -self._relevance(action, query))
+            if ranked and (self._relevance(ranked[0], query) > 0.0 or len(functional) == 1):
+                invoked.append(ranked[0])
+        invoked.extend(tracking)
+        return invoked
+
+    # ------------------------------------------------------------------
+    # Payload construction
+    # ------------------------------------------------------------------
+    def _fill_parameter(self, name: str, description: str, query: str) -> SharedField:
+        category, data_type = self.knowledge.classify(description)
+        key = (category, data_type)
+        if key in _CONTEXT_HUNGRY_TYPES:
+            if data_type == "User interaction data":
+                value = self.context.conversation_text(last_n_turns=self.context_turns_shared)
+            else:
+                value = query
+        elif key in _APP_METADATA_TYPES:
+            value = self.gpt_name if data_type == "Name or version" else self.gpt_description
+        else:
+            value = self._extract_from_context(name, description, query)
+        return SharedField(parameter=name, value=value, category=category, data_type=data_type)
+
+    def _extract_from_context(self, name: str, description: str, query: str) -> str:
+        """Pull the most relevant user-provided fragment for a parameter.
+
+        A real LLM would extract exactly the requested entity; the simulation
+        shares the query fragment with the highest token overlap (parameter
+        name tokens weighted double), falling back to the full latest turn —
+        which is faithful to the over-sharing the paper observed.
+        """
+        description_tokens = set(remove_stopwords(tokenize(description)))
+        name_tokens = set(remove_stopwords(tokenize(name)))
+        best_fragment = ""
+        best_score = 0
+        for fragment in query.replace(";", ",").split(","):
+            fragment_tokens = set(remove_stopwords(tokenize(fragment)))
+            score = len(fragment_tokens & description_tokens) + 2 * len(fragment_tokens & name_tokens)
+            if score > best_score:
+                best_score = score
+                best_fragment = fragment.strip()
+        return best_fragment or query
+
+    # ------------------------------------------------------------------
+    def ask(self, query: str) -> SessionTranscript:
+        """Resolve one user query and record what every Action received."""
+        self.context.add_user(query)
+        transcript = SessionTranscript(query=query)
+        for action in self.select_actions(query):
+            action_transcript = ActionTranscript(
+                action_id=action.action_id, title=action.title, domain=action.domain
+            )
+            for name, description in action.parameters:
+                action_transcript.shared.append(self._fill_parameter(name, description, query))
+            transcript.invoked.append(action_transcript)
+            self.context.add_tool(
+                action.domain,
+                f"{action.title} returned a response for {len(action_transcript.shared)} parameters.",
+            )
+        transcript.response = (
+            f"{self.gpt_name} consulted {len(transcript.invoked)} action(s) to answer the request."
+        )
+        self.context.add_assistant(transcript.response)
+        self.transcripts.append(transcript)
+        return transcript

@@ -1,0 +1,52 @@
+"""Data taxonomy for LLM app ecosystems.
+
+The paper builds a data taxonomy of 24 categories and 145 data types (Table 8)
+to which natural-language data descriptions extracted from GPT Action
+specifications are mapped.  This subpackage provides:
+
+* :mod:`repro.taxonomy.schema` — the :class:`DataType`, :class:`DataCategory`
+  and :class:`DataTaxonomy` data structures;
+* :mod:`repro.taxonomy.builtin` — the full final taxonomy from Table 8 with
+  descriptions, matching keywords, and phrasing templates;
+* :mod:`repro.taxonomy.bootstrap` — the initial 18-category / 79-data-type
+  taxonomy bootstrapped from Android's data-safety types (Section 3.2.2);
+* :mod:`repro.taxonomy.builder` — the multi-coder taxonomy construction and
+  agreement workflow;
+* :mod:`repro.taxonomy.refinement` — the semi-automated refinement pass that
+  turns ``other`` descriptions into new data types (Section 3.2.4).
+"""
+
+from repro.taxonomy.schema import (
+    OTHER_CATEGORY,
+    OTHER_TYPE,
+    DataCategory,
+    DataTaxonomy,
+    DataType,
+    TaxonomyError,
+)
+from repro.taxonomy.builtin import load_builtin_taxonomy, PROHIBITED_CATEGORIES
+from repro.taxonomy.bootstrap import load_bootstrap_taxonomy
+from repro.taxonomy.builder import TaxonomyBuilder, CoderDecision, ReviewSession
+from repro.taxonomy.refinement import (
+    RefinementAction,
+    RefinementDecision,
+    TaxonomyRefiner,
+)
+
+__all__ = [
+    "OTHER_CATEGORY",
+    "OTHER_TYPE",
+    "DataCategory",
+    "DataTaxonomy",
+    "DataType",
+    "TaxonomyError",
+    "load_builtin_taxonomy",
+    "load_bootstrap_taxonomy",
+    "PROHIBITED_CATEGORIES",
+    "TaxonomyBuilder",
+    "CoderDecision",
+    "ReviewSession",
+    "RefinementAction",
+    "RefinementDecision",
+    "TaxonomyRefiner",
+]

@@ -1,0 +1,111 @@
+"""The initial (bootstrap) taxonomy used to seed the manual coding process.
+
+Section 3.2.2 of the paper bootstraps the taxonomy from Android's data-safety
+data types and then refines it through manual review of 1K sampled data
+descriptions.  The initial taxonomy consists of 18 categories and 79 data
+types; after the final refinement pass (Section 3.2.4) it grows to 24
+categories and 145 types.
+
+Here we derive the bootstrap taxonomy deterministically from the built-in
+final taxonomy by keeping the first 18 categories and a stable subset of 79
+data types, which preserves the *workflow* (bootstrap → review → extend)
+without duplicating a second large data table.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.taxonomy.builtin import CATEGORY_DESCRIPTIONS, taxonomy_records
+from repro.taxonomy.schema import DataTaxonomy, DataType
+
+#: The 18 categories present in the initial taxonomy (paper Section 3.2.2).
+BOOTSTRAP_CATEGORIES: List[str] = [
+    "Location",
+    "Time",
+    "Event information",
+    "Personal information",
+    "Finance information",
+    "Health information",
+    "App usage data",
+    "App metadata",
+    "Files and documents",
+    "Web and network data",
+    "Message",
+    "Query",
+    "Identifier",
+    "Market data",
+    "Weather information",
+    "Vehicle information",
+    "Security credentials",
+    "Food and nutrition information",
+]
+
+#: Number of data types in the initial taxonomy.
+BOOTSTRAP_TYPE_COUNT = 79
+
+
+def load_bootstrap_taxonomy(include_other: bool = True) -> DataTaxonomy:
+    """Build the 18-category / 79-type bootstrap taxonomy.
+
+    Data types are selected per category proportionally to the category's size
+    in the final taxonomy, keeping the earliest (most common) entries so that
+    every bootstrap type also exists in the final taxonomy.
+    """
+    records = taxonomy_records()
+    bootstrap_records = {name: records[name] for name in BOOTSTRAP_CATEGORIES}
+    total_types = sum(len(entries) for entries in bootstrap_records.values())
+
+    taxonomy = DataTaxonomy(name="gpt-data-exposure-bootstrap")
+    selected = 0
+    # First pass: proportional allocation with at least one type per category.
+    quotas = {}
+    for name, entries in bootstrap_records.items():
+        quota = max(1, round(BOOTSTRAP_TYPE_COUNT * len(entries) / total_types))
+        quotas[name] = min(quota, len(entries))
+    # Adjust quotas to hit the target count exactly.
+    overshoot = sum(quotas.values()) - BOOTSTRAP_TYPE_COUNT
+    category_order = sorted(quotas, key=lambda name: quotas[name], reverse=True)
+    index = 0
+    while overshoot > 0 and index < len(category_order) * 4:
+        name = category_order[index % len(category_order)]
+        if quotas[name] > 1:
+            quotas[name] -= 1
+            overshoot -= 1
+        index += 1
+    while overshoot < 0:
+        name = category_order[(-overshoot) % len(category_order)]
+        if quotas[name] < len(bootstrap_records[name]):
+            quotas[name] += 1
+            overshoot += 1
+        else:
+            overshoot += 1  # skip saturated category
+
+    for name, entries in bootstrap_records.items():
+        taxonomy.add_category(name, CATEGORY_DESCRIPTIONS.get(name, ""))
+        for entry in entries[: quotas[name]]:
+            taxonomy.add_data_type(
+                DataType(
+                    name=str(entry["name"]),
+                    category=name,
+                    description=str(entry["description"]),
+                    keywords=tuple(entry["keywords"]),  # type: ignore[arg-type]
+                    phrasings=tuple(entry["phrasings"]),  # type: ignore[arg-type]
+                    sensitive=bool(entry["sensitive"]),
+                    prohibited=bool(entry["prohibited"]),
+                )
+            )
+            selected += 1
+
+    if include_other:
+        from repro.taxonomy.schema import OTHER_CATEGORY, OTHER_TYPE
+
+        taxonomy.add_category(OTHER_CATEGORY, CATEGORY_DESCRIPTIONS[OTHER_CATEGORY])
+        taxonomy.add_data_type(
+            DataType(
+                name=OTHER_TYPE,
+                category=OTHER_CATEGORY,
+                description="Data descriptions that do not match any taxonomy entry.",
+            )
+        )
+    return taxonomy

@@ -1,0 +1,205 @@
+"""Multi-coder taxonomy construction workflow (Section 3.2.2).
+
+The paper builds the taxonomy with three human coders (plus an LLM) who
+independently label 1K sampled data descriptions against a preliminary
+taxonomy, then meet to resolve disagreements.  This module reproduces the
+workflow programmatically: coders are modelled as labelling functions, a
+:class:`ReviewSession` records per-description decisions and agreement
+statistics, and the resolved labels become the few-shot example set used by
+the classifier.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.taxonomy.schema import DataTaxonomy, DataType, OTHER_CATEGORY, OTHER_TYPE
+
+#: A coder maps a free-text data description to a ``(category, type)`` pair.
+Coder = Callable[[str], Tuple[str, str]]
+
+
+@dataclass(frozen=True)
+class CoderDecision:
+    """A single coder's label for one data description."""
+
+    coder: str
+    description: str
+    category: str
+    data_type: str
+
+    @property
+    def label(self) -> Tuple[str, str]:
+        """The ``(category, type)`` label assigned by the coder."""
+        return (self.category, self.data_type)
+
+
+@dataclass
+class ResolvedLabel:
+    """The final label for a description after disagreement resolution."""
+
+    description: str
+    category: str
+    data_type: str
+    unanimous: bool
+    votes: Dict[Tuple[str, str], int] = field(default_factory=dict)
+
+
+@dataclass
+class ReviewSession:
+    """Outcome of one round of multi-coder review."""
+
+    decisions: List[CoderDecision] = field(default_factory=list)
+    resolved: List[ResolvedLabel] = field(default_factory=list)
+
+    @property
+    def n_descriptions(self) -> int:
+        """Number of distinct descriptions reviewed."""
+        return len({decision.description for decision in self.decisions})
+
+    def agreement_rate(self) -> float:
+        """Fraction of descriptions on which all coders agreed."""
+        if not self.resolved:
+            return 0.0
+        unanimous = sum(1 for label in self.resolved if label.unanimous)
+        return unanimous / len(self.resolved)
+
+    def labels(self) -> Dict[str, Tuple[str, str]]:
+        """Mapping from description to its resolved ``(category, type)``."""
+        return {label.description: (label.category, label.data_type) for label in self.resolved}
+
+
+class TaxonomyBuilder:
+    """Coordinates coders to produce labelled examples and extend a taxonomy.
+
+    Parameters
+    ----------
+    taxonomy:
+        The preliminary taxonomy the coders label against.
+    coders:
+        Mapping of coder name to a labelling function.  In the paper these are
+        three human reviewers plus one LLM; in the reproduction they are
+        typically :class:`repro.llm.knowledge.KeywordKnowledgeBase`-backed
+        labelers with different noise seeds.
+    """
+
+    def __init__(self, taxonomy: DataTaxonomy, coders: Mapping[str, Coder]) -> None:
+        if not coders:
+            raise ValueError("at least one coder is required")
+        self.taxonomy = taxonomy
+        self.coders = dict(coders)
+
+    def review(self, descriptions: Sequence[str]) -> ReviewSession:
+        """Run one review round over the sampled data descriptions.
+
+        Every coder labels every description; disagreements are resolved by
+        majority vote (ties broken by the first coder's label, mirroring the
+        paper's joint adjudication meeting where the label assigner identity is
+        hidden).
+        """
+        session = ReviewSession()
+        for description in descriptions:
+            votes: Counter = Counter()
+            first_label: Optional[Tuple[str, str]] = None
+            for coder_name, coder in self.coders.items():
+                category, data_type = coder(description)
+                if not self._label_in_taxonomy(category, data_type):
+                    category, data_type = OTHER_CATEGORY, OTHER_TYPE
+                decision = CoderDecision(
+                    coder=coder_name,
+                    description=description,
+                    category=category,
+                    data_type=data_type,
+                )
+                session.decisions.append(decision)
+                votes[decision.label] += 1
+                if first_label is None:
+                    first_label = decision.label
+            assert first_label is not None
+            winner, count = votes.most_common(1)[0]
+            tied = [label for label, votes_ in votes.items() if votes_ == count]
+            if len(tied) > 1:
+                winner = first_label if first_label in tied else tied[0]
+            session.resolved.append(
+                ResolvedLabel(
+                    description=description,
+                    category=winner[0],
+                    data_type=winner[1],
+                    unanimous=(len(votes) == 1),
+                    votes=dict(votes),
+                )
+            )
+        return session
+
+    def build_examples(self, session: ReviewSession) -> List[Tuple[str, str, str]]:
+        """Turn a resolved review session into ``(description, category, type)`` examples."""
+        return [
+            (label.description, label.category, label.data_type)
+            for label in session.resolved
+            if label.category != OTHER_CATEGORY
+        ]
+
+    def propose_new_types(
+        self, session: ReviewSession, minimum_support: int = 3
+    ) -> List[DataType]:
+        """Propose new data types for descriptions resolved as ``Other``.
+
+        Descriptions that could not be matched are grouped by their leading
+        token; groups with at least ``minimum_support`` members become new
+        data-type proposals (named after the shared token).  This mirrors the
+        creation of new tuples for unmatched descriptions in Section 3.2.2.
+        """
+        unmatched = [
+            label.description for label in session.resolved if label.category == OTHER_CATEGORY
+        ]
+        groups: Dict[str, List[str]] = {}
+        for description in unmatched:
+            tokens = [token for token in description.lower().split() if token.isalpha()]
+            key = tokens[0] if tokens else "misc"
+            groups.setdefault(key, []).append(description)
+        proposals: List[DataType] = []
+        for key, members in sorted(groups.items()):
+            if len(members) < minimum_support:
+                continue
+            proposals.append(
+                DataType(
+                    name=key.capitalize(),
+                    category=OTHER_CATEGORY,
+                    description=f"Automatically proposed type covering descriptions about {key!r}.",
+                    keywords=(key,),
+                )
+            )
+        return proposals
+
+    def _label_in_taxonomy(self, category: str, data_type: str) -> bool:
+        if category == OTHER_CATEGORY and data_type == OTHER_TYPE:
+            return True
+        return self.taxonomy.get_type(category, data_type) is not None
+
+
+def coder_agreement_matrix(session: ReviewSession) -> Dict[Tuple[str, str], float]:
+    """Pairwise agreement rates between coders in a review session.
+
+    Returns a mapping from ``(coder_a, coder_b)`` to the fraction of
+    descriptions they labelled identically.
+    """
+    by_coder: Dict[str, Dict[str, Tuple[str, str]]] = {}
+    for decision in session.decisions:
+        by_coder.setdefault(decision.coder, {})[decision.description] = decision.label
+    coders = sorted(by_coder)
+    matrix: Dict[Tuple[str, str], float] = {}
+    for i, coder_a in enumerate(coders):
+        for coder_b in coders[i + 1:]:
+            shared = set(by_coder[coder_a]) & set(by_coder[coder_b])
+            if not shared:
+                matrix[(coder_a, coder_b)] = 0.0
+                continue
+            agreed = sum(
+                1
+                for description in shared
+                if by_coder[coder_a][description] == by_coder[coder_b][description]
+            )
+            matrix[(coder_a, coder_b)] = agreed / len(shared)
+    return matrix

@@ -1,0 +1,1214 @@
+"""The final built-in data taxonomy (Table 8 of the paper).
+
+The taxonomy spans 24 categories and 145 distinct data types.  Each data type
+carries a natural-language description (as in the paper's
+``<category, data type, description>`` tuples), a set of indicator keywords
+used by the simulated LLM's knowledge base, and a handful of phrasing
+templates used by the synthetic ecosystem generator to emit realistic Action
+parameter descriptions.
+
+``PROHIBITED_CATEGORIES`` reflects OpenAI's usage policies as discussed in
+Section 4.2.2: collection of security credentials (passwords, API keys, access
+tokens, cryptographic keys, verification codes) is explicitly prohibited.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.taxonomy.schema import DataTaxonomy, DataType, OTHER_CATEGORY, OTHER_TYPE
+
+#: Categories whose collection is prohibited by the platform's usage policies.
+PROHIBITED_CATEGORIES: Tuple[str, ...] = ("Security credentials",)
+
+#: Categories considered sensitive under common data-protection regulation.
+SENSITIVE_CATEGORIES: Tuple[str, ...] = (
+    "Personal information",
+    "Health information",
+    "Finance information",
+    "Security credentials",
+    "Legal and law enforcement data",
+)
+
+
+def _entry(
+    name: str,
+    description: str,
+    keywords: Sequence[str],
+    phrasings: Sequence[str] = (),
+    sensitive: bool = False,
+    prohibited: bool = False,
+) -> Dict[str, object]:
+    """Helper to build a data-type record for ``_TAXONOMY_DATA``."""
+    return {
+        "name": name,
+        "description": description,
+        "keywords": tuple(keywords),
+        "phrasings": tuple(phrasings),
+        "sensitive": sensitive,
+        "prohibited": prohibited,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Category descriptions
+# ---------------------------------------------------------------------------
+CATEGORY_DESCRIPTIONS: Dict[str, str] = {
+    "Location": "Information about a physical place, area, or position.",
+    "Time": "Temporal information such as dates, times, and periods.",
+    "Event information": "Details about calendar events, meetings, and reminders.",
+    "Personal information": "Information that identifies or describes a person.",
+    "Finance information": "Information about a person's financial situation.",
+    "Health information": "Medical, health, and fitness related information.",
+    "App usage data": "Data about how the app or service is used and configured.",
+    "App metadata": "Metadata describing the app, GPT, or integrated services.",
+    "Files and documents": "Information about files, documents, and their contents.",
+    "Web and network data": "Web resources, network identifiers, and browsing data.",
+    "Message": "User communications such as chat messages and emails.",
+    "Query": "User search queries, prompts, and query filters.",
+    "Identifier": "Opaque identifiers for users, devices, accounts, and resources.",
+    "Market data": "Financial-market data such as tickers and exchange information.",
+    "Weather information": "Weather observation and forecast parameters.",
+    "Vehicle information": "Information describing a vehicle.",
+    "Security credentials": "Secrets used for authentication and authorization.",
+    "Food and nutrition information": "Dietary, nutrition, and recipe information.",
+    "Real estate data": "Information about real-estate properties.",
+    "E-commerce data": "Shopping, product, and transaction information.",
+    "Gaming data": "In-game and player information.",
+    "Legal and law enforcement data": "Legal matters and law-enforcement information.",
+    "Travel information": "Trip and passenger related information.",
+    "Sports information": "Sports teams, leagues, and statistics.",
+    OTHER_CATEGORY: "Data that does not match any taxonomy category.",
+}
+
+
+# ---------------------------------------------------------------------------
+# Full taxonomy: 24 categories, 145 data types (Table 8)
+# ---------------------------------------------------------------------------
+_TAXONOMY_DATA: Dict[str, List[Dict[str, object]]] = {
+    "Location": [
+        _entry(
+            "Altitude",
+            "Height of a location above sea level.",
+            ["altitude", "elevation", "above sea level", "height above"],
+            [
+                "Altitude of the location in meters",
+                "The elevation above sea level for the point of interest",
+            ],
+        ),
+        _entry(
+            "Exact address",
+            "A full street address identifying a specific building or unit.",
+            ["full address", "street address", "exact address", "address line", "home address"],
+            [
+                "The full street address of the user",
+                "Address of the delivery destination, including street and number",
+                "Complete address where the service should be performed",
+            ],
+            sensitive=True,
+        ),
+        _entry(
+            "City",
+            "An urban area defined by administrative boundaries.",
+            ["city", "town", "municipality", "commune", "ville"],
+            [
+                "The city to search in",
+                "Name of the city for the weather lookup",
+                "nom de la commune à rechercher (facultatif)",
+                "city, state (Required)",
+            ],
+        ),
+        _entry(
+            "Street",
+            "A street or road name within a city.",
+            ["street", "road name", "avenue", "boulevard"],
+            ["Street name for the address lookup", "The road on which the property is located"],
+        ),
+        _entry(
+            "State/province",
+            "A first-level administrative division such as a state or province.",
+            ["state", "province", "prefecture", "federal state", "administrative region"],
+            ["State or province of the search area", "Two-letter state code for the listing"],
+        ),
+        _entry(
+            "Country",
+            "A country or sovereign territory.",
+            ["country", "nation", "country code", "iso country"],
+            ["Country of the user", "ISO country code to filter results by"],
+        ),
+        _entry(
+            "Postcode",
+            "A postal or ZIP code used for mail routing.",
+            ["postcode", "zip code", "postal code", "zip"],
+            ["ZIP code of the search area", "Postal code for the delivery address"],
+            sensitive=True,
+        ),
+        _entry(
+            "Place of interest",
+            "A named place such as a landmark, venue, or business location.",
+            ["place of interest", "landmark", "venue", "point of interest", "poi", "place name"],
+            ["Name of the place or landmark to look up", "The venue where the event takes place"],
+        ),
+        _entry(
+            "GPS coordinates",
+            "Latitude and longitude coordinates of a location.",
+            ["gps", "latitude", "longitude", "coordinates", "lat", "lng", "geolocation"],
+            [
+                "Latitude of the location",
+                "Longitude coordinate for the search center",
+                "GPS coordinates of the user's current position",
+            ],
+            sensitive=True,
+        ),
+        _entry(
+            "Relative location",
+            "A location expressed relative to another place (e.g. nearby, within a radius).",
+            ["nearby", "radius", "within", "distance from", "close to", "relative location"],
+            ["Search radius in kilometers around the user", "Places near the specified point"],
+        ),
+        _entry(
+            "Route",
+            "A path or itinerary between two or more locations.",
+            ["route", "itinerary", "path", "directions", "waypoints"],
+            ["The route to compute directions for", "Ordered list of waypoints for the trip"],
+        ),
+        _entry(
+            "General location",
+            "A coarse-grained location such as a neighbourhood or metropolitan area.",
+            ["general location", "area", "neighbourhood", "neighborhood", "metro area", "geographical location"],
+            [
+                "the geographical location for the search",
+                "General area where the user is looking for services",
+            ],
+        ),
+        _entry(
+            "Origin/destination",
+            "The start or end point of a journey.",
+            ["origin", "destination", "departure airport", "arrival city", "from location", "to location"],
+            [
+                "Departure city or airport code",
+                "destination, departDate, returnDate for the flight search",
+                "Destination of the trip",
+            ],
+        ),
+        _entry(
+            "Region",
+            "A large geographic region spanning multiple administrative areas.",
+            ["region", "continent", "territory", "geographic region"],
+            ["Region to restrict the search to", "The continent or world region of interest"],
+        ),
+    ],
+    "Time": [
+        _entry(
+            "Year",
+            "A calendar year.",
+            ["year", "calendar year", "yyyy"],
+            ["Year of the report", "The year the movie was released"],
+        ),
+        _entry(
+            "Time period",
+            "A span of time with a start and an end.",
+            ["time period", "date range", "between dates", "start and end", "duration", "period"],
+            ["The date range to query statistics for", "Start and end dates of the booking period"],
+        ),
+        _entry(
+            "Season",
+            "A season of the year such as summer or winter.",
+            ["season", "summer", "winter", "spring", "autumn", "fall season"],
+            ["The season to plan the trip for"],
+        ),
+        _entry(
+            "Month",
+            "A calendar month.",
+            ["month", "calendar month"],
+            ["Month of the query, 1-12", "The month for which to fetch the calendar"],
+        ),
+        _entry(
+            "Week",
+            "A calendar week or week number.",
+            ["week", "week number", "iso week"],
+            ["ISO week number to fetch the schedule for"],
+        ),
+        _entry(
+            "Time of day",
+            "A clock time or part of the day.",
+            ["time of day", "hour", "clock time", "morning", "evening", "am/pm"],
+            ["Preferred time of day for the appointment", "Hour of the day in 24h format"],
+        ),
+        _entry(
+            "Date",
+            "A specific calendar date.",
+            ["date", "calendar date", "departure date", "check-in date", "birth date excluded"],
+            ["Date of the reservation in YYYY-MM-DD", "The departure date for the flight"],
+        ),
+        _entry(
+            "Relative time",
+            "Time expressed relative to now (e.g. yesterday, next week).",
+            ["relative time", "yesterday", "tomorrow", "next week", "ago", "last 7 days"],
+            ["How many days back to include in the report"],
+        ),
+        _entry(
+            "Timezone",
+            "A timezone identifier or UTC offset.",
+            ["timezone", "time zone", "utc offset", "tz"],
+            ["Timezone of the user, e.g. America/Chicago", "UTC offset for displaying times"],
+        ),
+        _entry(
+            "Frequency",
+            "How often something occurs or should recur.",
+            ["frequency", "recurrence", "how often", "interval", "repeat"],
+            ["How often the reminder should repeat"],
+        ),
+        _entry(
+            "Timestamp",
+            "A precise machine-readable point in time.",
+            ["timestamp", "unix timestamp", "epoch", "iso 8601", "datetime"],
+            [
+                "End time of the query as unix timestamp. If only count is given, defaults to now.",
+                "Timestamp of the request in ISO 8601 format",
+            ],
+        ),
+    ],
+    "Event information": [
+        _entry(
+            "Event name",
+            "The title of a calendar event or meeting.",
+            ["event name", "event title", "meeting name", "appointment title"],
+            ["Title of the event to create", "Name of the meeting to schedule"],
+        ),
+        _entry(
+            "Event description",
+            "A free-text description of an event.",
+            ["event description", "event details", "agenda", "meeting description"],
+            ["Detailed description of the event", "Agenda for the meeting"],
+        ),
+        _entry(
+            "Participants",
+            "People attending or invited to an event.",
+            ["participants", "attendees", "invitees", "guests"],
+            ["List of attendee email addresses", "Participants to invite to the meeting"],
+            sensitive=True,
+        ),
+        _entry(
+            "Reminders",
+            "Reminder or notification settings for an event or task.",
+            ["reminder", "notification time", "alert before", "remind me"],
+            ["When to send the reminder before the event"],
+        ),
+    ],
+    "Personal information": [
+        _entry(
+            "Relationship",
+            "Information about a person's relationships (family, partner, friends).",
+            ["relationship", "spouse", "partner", "family members", "marital status"],
+            ["The user's relationship status", "Names of family members to include"],
+            sensitive=True,
+        ),
+        _entry(
+            "Age",
+            "A person's age or age range.",
+            ["age", "years old", "age range", "age group"],
+            ["Age of the user", "The age group the content should target"],
+            sensitive=True,
+        ),
+        _entry(
+            "Birthday",
+            "A person's date of birth.",
+            ["birthday", "date of birth", "dob", "birth date"],
+            ["User's date of birth in YYYY-MM-DD"],
+            sensitive=True,
+        ),
+        _entry(
+            "Race and ethnicity",
+            "A person's race or ethnic background.",
+            ["race", "ethnicity", "ethnic background"],
+            ["Ethnicity of the applicant (optional)"],
+            sensitive=True,
+        ),
+        _entry(
+            "Sexual orientation",
+            "A person's sexual orientation.",
+            ["sexual orientation", "orientation"],
+            ["Sexual orientation, if the user wishes to share it"],
+            sensitive=True,
+        ),
+        _entry(
+            "Name",
+            "A person's full name, first name, or last name.",
+            ["name", "first name", "last name", "full name", "surname", "given name"],
+            [
+                "The user's full name",
+                "First and last name for the reservation",
+                "Name of the person to add to the contact list",
+            ],
+            sensitive=True,
+        ),
+        _entry(
+            "Gender",
+            "A person's gender or sex.",
+            ["gender", "sex", "male or female"],
+            ["Gender of the user (optional)", "Sex of the patient"],
+            sensitive=True,
+        ),
+        _entry(
+            "Education",
+            "Educational background such as degrees and schools.",
+            ["education", "degree", "school", "university", "gpa", "academic"],
+            ["Highest degree obtained by the user", "University the user attended"],
+            sensitive=True,
+        ),
+        _entry(
+            "Work",
+            "Employment information such as employer, job title, and work history.",
+            ["work", "job title", "employer", "occupation", "company you work for", "work experience", "resume"],
+            ["Current job title of the user", "Work experience to include in the resume"],
+            sensitive=True,
+        ),
+        _entry(
+            "Email address",
+            "A personal email address.",
+            ["email", "email address", "e-mail"],
+            [
+                "Email address of the user",
+                "The email to send the report to",
+                "Contact email for the booking confirmation",
+            ],
+            sensitive=True,
+        ),
+        _entry(
+            "Phone number",
+            "A personal phone number.",
+            ["phone", "phone number", "mobile number", "telephone"],
+            ["Phone number for the contact", "The user's mobile number including country code"],
+            sensitive=True,
+        ),
+        _entry(
+            "Social media handle",
+            "A username or handle on a social media platform.",
+            ["social media handle", "twitter handle", "instagram username", "linkedin profile", "social profile"],
+            ["The user's Twitter handle", "LinkedIn profile URL of the candidate"],
+            sensitive=True,
+        ),
+        _entry(
+            "Mailing address",
+            "A postal address used for correspondence or delivery.",
+            ["mailing address", "shipping address", "billing address", "postal address"],
+            ["Mailing address for the shipment", "Billing address associated with the payment"],
+            sensitive=True,
+        ),
+        _entry(
+            "Nickname",
+            "An informal name or alias for a person.",
+            ["nickname", "alias", "display name", "preferred name"],
+            ["Preferred display name of the user"],
+        ),
+    ],
+    "Finance information": [
+        _entry(
+            "Purchase history",
+            "Records of past purchases and orders.",
+            ["purchase history", "order history", "past purchases", "transaction history"],
+            ["The user's recent purchase history", "Previous orders to base recommendations on"],
+            sensitive=True,
+        ),
+        _entry(
+            "Insurance",
+            "Insurance coverage and policy information.",
+            ["insurance", "policy number", "coverage", "insurer"],
+            ["Insurance policy number", "Type of insurance coverage held by the user"],
+            sensitive=True,
+        ),
+        _entry(
+            "Property ownership",
+            "Information about properties a person owns.",
+            ["property ownership", "home owner", "owned properties", "deed"],
+            ["Whether the user owns or rents their home"],
+            sensitive=True,
+        ),
+        _entry(
+            "Loans",
+            "Loan and mortgage details such as amounts and terms.",
+            ["loan", "mortgage", "loan amount", "interest rate", "down payment", "principal"],
+            [
+                "Loan amount requested by the user",
+                "The value of the home and the down payment for the mortgage calculation",
+            ],
+            sensitive=True,
+        ),
+        _entry(
+            "Income information",
+            "A person's income, salary, or earnings.",
+            ["income", "salary", "annual earnings", "wage", "household income"],
+            ["Annual income of the applicant", "Monthly salary before tax"],
+            sensitive=True,
+        ),
+        _entry(
+            "Investment",
+            "Investment holdings such as portfolios and assets.",
+            ["investment", "portfolio", "holdings", "assets", "stocks owned"],
+            ["Current investment portfolio of the user"],
+            sensitive=True,
+        ),
+    ],
+    "Health information": [
+        _entry(
+            "Medical record",
+            "Medical conditions, diagnoses, medications, and clinical documents.",
+            ["medical record", "diagnosis", "symptom", "medication", "x-ray", "blood sugar", "medical history", "patient"],
+            [
+                "Symptoms reported by the patient",
+                "Base64 encoded X-ray image to analyze",
+                "Current medications the user is taking",
+            ],
+            sensitive=True,
+        ),
+        _entry(
+            "Fitness information",
+            "Fitness and activity data such as workouts and fitness level.",
+            ["fitness", "workout", "exercise", "steps", "fitness level", "heart rate"],
+            ["User's level of fitness", "Weekly workout routine of the user"],
+            sensitive=True,
+        ),
+    ],
+    "App usage data": [
+        _entry(
+            "Status",
+            "The status of an operation, job, or resource within the app.",
+            ["status", "state of the task", "job status", "completion status"],
+            ["Status of the task to filter by", "The current state of the order"],
+        ),
+        _entry(
+            "Subscription information",
+            "Details about a user's subscription or plan.",
+            ["subscription", "plan", "tier", "premium", "membership"],
+            ["The subscription tier of the user", "Membership plan to upgrade to"],
+        ),
+        _entry(
+            "Diagnostics",
+            "Diagnostic, crash, or error data about the app.",
+            ["diagnostics", "error log", "crash report", "debug info", "stack trace"],
+            ["Error message encountered by the user", "Diagnostic logs to attach to the ticket"],
+        ),
+        _entry(
+            "Current session setting",
+            "Configuration options for the current session or request.",
+            ["setting", "option", "configuration", "preference flag", "format of the response", "language setting",
+             "sort order", "page size", "limit", "boolean flag"],
+            [
+                "The format of the response.",
+                "whether to use short URLs, must be true",
+                "Maximum number of results to return",
+                "Language in which results should be returned",
+                "Sort order for the results (asc or desc)",
+            ],
+        ),
+        _entry(
+            "Response fields",
+            "Which fields or sections should be included in the response.",
+            ["response fields", "fields to include", "include details", "output fields", "columns to return"],
+            ["Comma separated list of fields to include in the response"],
+        ),
+        _entry(
+            "User interaction data",
+            "Records of the user's interactions with the app or conversation.",
+            ["interaction", "conversation context", "chat history", "user input", "session context", "usage analytics",
+             "click", "conversation_context", "context of the conversation"],
+            [
+                "The full conversation context so far",
+                "Recent user interactions to personalize results",
+                "conversation_context: the last user messages",
+            ],
+            sensitive=True,
+        ),
+    ],
+    "App metadata": [
+        _entry(
+            "Function description",
+            "A description of the app's or GPT's functionality.",
+            ["function description", "gpt description", "capability description", "what the assistant does"],
+            ["Description of the GPT calling this action", "gpt_description: what this assistant does"],
+        ),
+        _entry(
+            "Name or version",
+            "The name or version of the app, GPT, or tool.",
+            ["app name", "gpt name", "gpt_name", "version", "tool name", "plugin name"],
+            ["Name of the GPT making the request", "Version of the client application"],
+        ),
+        _entry(
+            "Publisher",
+            "The developer or publisher of the app.",
+            ["publisher", "developer name", "vendor", "author of the app"],
+            ["Publisher of the application"],
+        ),
+        _entry(
+            "Integrated applications",
+            "Which external applications or services are connected.",
+            ["integrated applications", "connected apps", "zapier action", "integration name", "connected service"],
+            [
+                "The Zapier action to execute",
+                "Name of the connected application to run the automation on",
+                "List of integrations enabled for this account",
+            ],
+        ),
+    ],
+    "Files and documents": [
+        _entry(
+            "File path",
+            "A filesystem path to a file or directory.",
+            ["file path", "directory", "folder path", "filepath"],
+            ["Path of the file to read", "Directory in which to create the document"],
+        ),
+        _entry(
+            "File name",
+            "The name of a file.",
+            ["file name", "filename", "document name"],
+            ["Name of the file to create", "The filename for the generated PDF"],
+        ),
+        _entry(
+            "File hash",
+            "A cryptographic hash or checksum of a file.",
+            ["file hash", "checksum", "sha256", "md5"],
+            ["SHA-256 hash of the uploaded file"],
+        ),
+        _entry(
+            "File type",
+            "The format or MIME type of a file.",
+            ["file type", "mime type", "format of the file", "extension"],
+            ["MIME type of the document", "Desired output file format (pdf, docx, ...)"],
+        ),
+        _entry(
+            "File description",
+            "A free-text description of a file or document.",
+            ["file description", "document description", "summary of the document"],
+            ["Short description of the attached document"],
+        ),
+        _entry(
+            "File size",
+            "The size of a file in bytes or other units.",
+            ["file size", "bytes", "size in mb"],
+            ["Maximum file size to accept in megabytes"],
+        ),
+        _entry(
+            "File content",
+            "The actual contents of a file or document.",
+            ["file content", "document text", "contents of the file", "document body", "text of the document",
+             "script to be produced", "content provided by the user"],
+            [
+                "The text content of the document to analyze",
+                "Script to be produced",
+                "Content provided by the user to store in the knowledge base",
+            ],
+            sensitive=True,
+        ),
+        _entry(
+            "Source",
+            "The source or origin a file/document was obtained from.",
+            ["source of the file", "origin", "imported from", "source url of the document"],
+            ["Where the document was originally obtained from"],
+        ),
+        _entry(
+            "File list",
+            "A list of files or documents.",
+            ["file list", "list of files", "documents to process", "attachments"],
+            ["List of files to merge into a single PDF"],
+        ),
+    ],
+    "Web and network data": [
+        _entry(
+            "URLs",
+            "A web address (URL) of a page or resource.",
+            ["url", "link", "web address", "webpage link", "href"],
+            [
+                "The URL of the page to summarize",
+                "Link to the article the user wants to read",
+                "URL of the video to transcribe",
+            ],
+        ),
+        _entry(
+            "IP addresses",
+            "An IP address of a user or server.",
+            ["ip address", "ipv4", "ipv6", "client ip"],
+            ["IP address of the client making the request"],
+            sensitive=True,
+        ),
+        _entry(
+            "Domain names",
+            "A domain or hostname.",
+            ["domain", "hostname", "domain name", "website domain"],
+            ["Domain name to run the SEO audit on", "The website domain to check availability for"],
+        ),
+        _entry(
+            "Related links",
+            "Links related to a resource, such as references or citations.",
+            ["related links", "references", "citations", "backlinks"],
+            ["Related links to include in the report"],
+        ),
+        _entry(
+            "Connection logs",
+            "Network connection or access logs.",
+            ["connection log", "access log", "request log", "network log"],
+            ["Recent access logs to analyze for anomalies"],
+            sensitive=True,
+        ),
+        _entry(
+            "Blockchain data",
+            "Blockchain addresses, transactions, and on-chain data.",
+            ["blockchain", "wallet address", "transaction hash", "smart contract", "ethereum", "bitcoin"],
+            ["Wallet address to look up", "Transaction hash on the Ethereum network"],
+        ),
+        _entry(
+            "Cookies",
+            "HTTP cookies or similar client-side identifiers.",
+            ["cookie", "session cookie", "tracking cookie"],
+            ["Session cookie to authenticate the request"],
+            sensitive=True,
+        ),
+        _entry(
+            "Web page content",
+            "The contents of a web page.",
+            ["web page content", "page html", "page text", "scraped content"],
+            ["HTML content of the page to process"],
+        ),
+        _entry(
+            "User-agent strings",
+            "The browser or client user-agent string.",
+            ["user-agent", "user agent", "browser string"],
+            ["User agent of the requesting browser"],
+        ),
+        _entry(
+            "Database information",
+            "Database connection details, schemas, or query targets.",
+            ["database", "db config", "dbconfig", "connection string", "schema", "sql table"],
+            ["Database connection configuration", "Name of the table to run the query against"],
+            sensitive=True,
+        ),
+        _entry(
+            "Multimedia data",
+            "Images, audio, video, or other media content.",
+            ["image", "photo", "audio", "video", "media file", "picture", "screenshot"],
+            ["Image to run the analysis on", "URL or base64 of the photo to edit"],
+        ),
+    ],
+    "Message": [
+        _entry(
+            "Text messages",
+            "Chat or instant messages written by the user.",
+            ["text message", "chat message", "message body", "message to send", "sms"],
+            [
+                "The message to post to the channel",
+                "Text of the message the user wants to send",
+            ],
+            sensitive=True,
+        ),
+        _entry(
+            "Emails",
+            "Email messages including subject and body.",
+            ["email message", "email body", "email subject", "draft email"],
+            ["Subject and body of the email to send", "The email thread to summarize"],
+            sensitive=True,
+        ),
+        _entry(
+            "Participants",
+            "The people involved in a conversation or message thread.",
+            ["recipients", "message participants", "conversation members", "to address"],
+            ["Recipients of the message"],
+            sensitive=True,
+        ),
+        _entry(
+            "User feedback",
+            "Feedback, reviews, or ratings provided by the user.",
+            ["feedback", "review", "rating", "comment from the user", "suggestion"],
+            ["Feedback text provided by the user", "Star rating between 1 and 5"],
+        ),
+    ],
+    "Query": [
+        _entry(
+            "Query filter",
+            "Filters, constraints, or parameters refining a query.",
+            ["filter", "query filter", "constraint", "criteria", "facet", "keyword filter"],
+            [
+                "Filters to apply to the search, such as price range",
+                "Category filter for the query",
+            ],
+        ),
+        _entry(
+            "Generative prompt",
+            "A prompt used to generate content (text, image, code).",
+            ["prompt", "generation prompt", "image prompt", "instructions for generation", "generative prompt"],
+            [
+                "The prompt describing the image to generate",
+                "Instructions for the text to be written",
+            ],
+        ),
+        _entry(
+            "Search query",
+            "A raw or processed search query issued by the user.",
+            ["search query", "query string", "search term", "keywords", "what the user is searching", "search"],
+            [
+                "The search query from the user",
+                "Keywords to search for",
+                "query: the user's question rephrased for search",
+            ],
+            sensitive=True,
+        ),
+    ],
+    "Identifier": [
+        _entry(
+            "Vehicle identification number (VIN)",
+            "A vehicle identification number.",
+            ["vin", "vehicle identification number"],
+            ["VIN of the car to decode"],
+        ),
+        _entry(
+            "License plate number",
+            "A vehicle license plate number.",
+            ["license plate", "plate number", "registration plate"],
+            ["License plate to look up"],
+            sensitive=True,
+        ),
+        _entry(
+            "Device IDs",
+            "Identifiers of a user's device.",
+            ["device id", "device identifier", "imei", "advertising id"],
+            ["Unique identifier of the device"],
+            sensitive=True,
+        ),
+        _entry(
+            "Resource IDs",
+            "Identifiers of resources such as documents, tasks, or objects.",
+            ["resource id", "object id", "task id", "document id", "item id", "record id", "id of the"],
+            [
+                "ID of the task to update",
+                "Identifier of the document to retrieve",
+                "The id of the resource to delete",
+            ],
+        ),
+        _entry(
+            "Project and issue identifiers",
+            "Identifiers of projects, issues, or tickets in tracking systems.",
+            ["project id", "issue key", "ticket id", "jira key", "repository name"],
+            ["Jira issue key, e.g. PROJ-123", "Repository and issue number"],
+        ),
+        _entry(
+            "Account identifiers",
+            "Identifiers of user accounts such as account numbers.",
+            ["account id", "account number", "customer number"],
+            ["Account number of the customer"],
+            sensitive=True,
+        ),
+        _entry(
+            "Media identifiers",
+            "Identifiers of media items such as ISBNs or track IDs.",
+            ["isbn", "track id", "movie id", "media id", "imdb id"],
+            ["ISBN of the book", "Spotify track id to queue"],
+        ),
+        _entry(
+            "Geographical area codes",
+            "Codes identifying geographic areas, e.g. airport or area codes.",
+            ["airport code", "iata", "area code", "fips code", "geonames id"],
+            ["IATA code of the departure airport"],
+        ),
+        _entry(
+            "Financial instrument identifiers",
+            "Identifiers of financial instruments such as ISIN or CUSIP.",
+            ["isin", "cusip", "instrument id", "contract id"],
+            ["ISIN of the security to quote"],
+        ),
+        _entry(
+            "Product and item identifiers",
+            "Identifiers of products or items such as SKU or ASIN.",
+            ["sku", "asin", "product id", "item id", "barcode", "upc"],
+            ["SKU of the product", "Barcode value scanned by the user"],
+        ),
+        _entry(
+            "Ticket and order identifiers",
+            "Identifiers of orders, bookings, or tickets.",
+            ["order id", "booking reference", "ticket number", "confirmation number", "tracking number"],
+            ["Order number to track", "Booking reference for the reservation"],
+        ),
+        _entry(
+            "Organization identifiers",
+            "Identifiers of organizations such as company or VAT numbers.",
+            ["organization id", "company number", "vat number", "ein", "duns"],
+            ["Company registration number"],
+        ),
+        _entry(
+            "User identifiers",
+            "Identifiers of user accounts such as usernames or user IDs.",
+            ["user id", "username", "user identifier", "login name", "handle", "member id"],
+            [
+                "Username of the account",
+                "The user id to fetch the profile for",
+                "Unique identifier of the user",
+            ],
+            sensitive=True,
+        ),
+    ],
+    "Market data": [
+        _entry(
+            "Ticker symbol",
+            "A stock or asset ticker symbol.",
+            ["ticker", "stock symbol", "ticker symbol"],
+            ["Ticker symbol of the stock, e.g. AAPL"],
+        ),
+        _entry(
+            "Company name",
+            "The name of a company in a financial-market context.",
+            ["company name", "issuer", "corporation name"],
+            ["Name of the company to fetch financials for"],
+        ),
+        _entry(
+            "Exchange",
+            "A stock exchange or trading venue.",
+            ["exchange", "nasdaq", "nyse", "trading venue"],
+            ["Exchange on which the security is listed"],
+        ),
+        _entry(
+            "List of ticker symbols",
+            "Multiple ticker symbols, e.g. a watchlist.",
+            ["list of tickers", "ticker symbols", "watchlist", "symbols list"],
+            ["Comma separated list of ticker symbols to compare"],
+        ),
+        _entry(
+            "Currency information",
+            "Currencies and exchange-rate parameters.",
+            ["currency", "exchange rate", "fx pair", "currency code"],
+            ["Currency code to convert from", "The FX pair to quote"],
+        ),
+        _entry(
+            "Financial ratios and metrics",
+            "Financial metrics such as P/E ratio, revenue, or EBITDA.",
+            ["p/e ratio", "financial ratio", "revenue", "ebitda", "market cap", "metrics to retrieve"],
+            ["Financial metrics to include in the comparison"],
+        ),
+    ],
+    "Weather information": [
+        _entry(
+            "Weather data parameters",
+            "Which weather variables to retrieve, e.g. temperature or wind.",
+            ["weather", "temperature", "wind speed", "humidity", "precipitation", "forecast parameters"],
+            ["Weather variables to include in the forecast", "Units for the temperature (metric or imperial)"],
+        ),
+        _entry(
+            "Weather data timeframe",
+            "The time range of the requested weather data.",
+            ["forecast days", "weather timeframe", "hourly forecast", "daily forecast"],
+            ["Number of forecast days to return"],
+        ),
+    ],
+    "Vehicle information": [
+        _entry(
+            "Vehicle make",
+            "The manufacturer of a vehicle.",
+            ["vehicle make", "car make", "manufacturer of the car"],
+            ["Make of the car, e.g. Toyota"],
+        ),
+        _entry(
+            "Vehicle model",
+            "The model of a vehicle.",
+            ["vehicle model", "car model"],
+            ["Model of the vehicle, e.g. Corolla"],
+        ),
+        _entry(
+            "Vehicle type",
+            "The type or body style of a vehicle.",
+            ["vehicle type", "body style", "suv", "sedan", "truck type"],
+            ["Type of vehicle the user is looking for"],
+        ),
+        _entry(
+            "Vehicle color",
+            "The color of a vehicle.",
+            ["vehicle color", "car color"],
+            ["Preferred color of the car"],
+        ),
+        _entry(
+            "Vehicle mileage",
+            "The mileage or odometer reading of a vehicle.",
+            ["mileage", "odometer", "kilometers driven"],
+            ["Current mileage of the vehicle"],
+        ),
+        _entry(
+            "Vehicle fuel type",
+            "The fuel or energy type of a vehicle.",
+            ["fuel type", "electric vehicle", "diesel", "petrol", "hybrid"],
+            ["Fuel type of the car (petrol, diesel, electric)"],
+        ),
+        _entry(
+            "Vehicle specifications",
+            "Technical specifications of a vehicle.",
+            ["vehicle specifications", "engine size", "horsepower", "trim level"],
+            ["Engine and trim specifications to filter by"],
+        ),
+    ],
+    "Security credentials": [
+        _entry(
+            "API key",
+            "A secret API key used to authenticate with a service.",
+            ["api key", "apikey", "api token", "secret key", "client secret"],
+            [
+                "Your API key for the service",
+                "API key used to authenticate requests",
+            ],
+            sensitive=True,
+            prohibited=True,
+        ),
+        _entry(
+            "Password",
+            "A user's password.",
+            ["password", "passcode", "login password"],
+            ["Password of the user's account", "The password to log in with"],
+            sensitive=True,
+            prohibited=True,
+        ),
+        _entry(
+            "Access tokens",
+            "OAuth or session access tokens.",
+            ["access token", "bearer token", "oauth token", "refresh token", "session token", "authentication token",
+             "auth token"],
+            ["OAuth access token for the account", "Bearer token to authorize the request",
+             "user authentication token"],
+            sensitive=True,
+            prohibited=True,
+        ),
+        _entry(
+            "Cryptographic key",
+            "Cryptographic keys such as private keys or signing keys.",
+            ["private key", "cryptographic key", "signing key", "ssh key", "pgp key"],
+            ["Private key used to sign the transaction"],
+            sensitive=True,
+            prohibited=True,
+        ),
+        _entry(
+            "Verification code",
+            "One-time passwords and verification codes.",
+            ["verification code", "otp", "one-time password", "2fa code", "mfa code"],
+            ["The 6-digit verification code sent to the user"],
+            sensitive=True,
+            prohibited=True,
+        ),
+    ],
+    "Food and nutrition information": [
+        _entry(
+            "Nutrients",
+            "Nutritional values such as calories and macros.",
+            ["nutrients", "calories", "protein", "carbs", "macros", "nutrition facts"],
+            ["Target calories per day", "Macronutrient breakdown the user wants"],
+            sensitive=True,
+        ),
+        _entry(
+            "Recipes",
+            "Recipes, ingredients, and cooking instructions.",
+            ["recipe", "ingredients", "cooking instructions", "dish"],
+            ["Ingredients the user has available", "The dish to find a recipe for"],
+        ),
+        _entry(
+            "Food type filters",
+            "Dietary restrictions and food-type filters.",
+            ["dietary restrictions", "vegan", "gluten free", "low-carb", "food type filter", "cuisine"],
+            ["Dietary restrictions to respect, e.g. vegetarian", "Cuisine type to filter recipes by"],
+            sensitive=True,
+        ),
+        _entry(
+            "Meal planning",
+            "Meal plans and meal scheduling preferences.",
+            ["meal plan", "meal planning", "weekly menu", "meal prep"],
+            ["Number of meals per day to plan"],
+        ),
+    ],
+    "Real estate data": [
+        _entry(
+            "Property details",
+            "Details about a real-estate property such as size and price.",
+            ["property details", "square feet", "bedrooms", "listing price", "property type"],
+            ["Number of bedrooms required", "Maximum listing price for the search"],
+        ),
+        _entry(
+            "Amenities",
+            "Amenities of a property such as pool or parking.",
+            ["amenities", "pool", "parking", "gym", "balcony"],
+            ["Amenities the property must include"],
+        ),
+        _entry(
+            "Furnishing status",
+            "Whether a property is furnished or unfurnished.",
+            ["furnished", "unfurnished", "furnishing status"],
+            ["Whether the apartment should be furnished"],
+        ),
+    ],
+    "E-commerce data": [
+        _entry(
+            "Parcel dimensions",
+            "Dimensions and weight of a parcel or shipment.",
+            ["parcel dimensions", "package weight", "shipment size", "length width height"],
+            ["Weight and dimensions of the package to ship"],
+        ),
+        _entry(
+            "Product details",
+            "Details about a product such as name, brand, or specification.",
+            ["product details", "product name", "brand", "product specification", "product description"],
+            ["Name of the product to look up", "The product the user wants to compare prices for"],
+        ),
+        _entry(
+            "Company information",
+            "Information about a business such as its profile or services.",
+            ["company information", "business profile", "company description", "about the company"],
+            ["Description of the company to research", "Company information for the sales briefing"],
+        ),
+        _entry(
+            "Business metrics",
+            "Business KPIs such as sales figures and conversion rates.",
+            ["business metrics", "kpi", "conversion rate", "sales figures", "revenue metrics"],
+            ["Sales metrics to include in the dashboard"],
+        ),
+        _entry(
+            "E-commerce transaction details",
+            "Details of a shopping transaction such as cart contents and totals.",
+            ["cart", "checkout", "order total", "transaction details", "payment amount"],
+            ["Items in the user's shopping cart", "Total amount of the order"],
+            sensitive=True,
+        ),
+    ],
+    "Gaming data": [
+        _entry(
+            "In-game data",
+            "In-game state such as inventory, levels, and progress.",
+            ["in-game", "inventory", "game level", "quest", "game state"],
+            ["Current level and inventory of the player"],
+        ),
+        _entry(
+            "Player statistics",
+            "Player performance statistics and rankings.",
+            ["player statistics", "k/d ratio", "rank", "win rate", "leaderboard"],
+            ["The player's ranked statistics to analyze"],
+        ),
+    ],
+    "Legal and law enforcement data": [
+        _entry(
+            "Crime details",
+            "Details about a crime or incident.",
+            ["crime", "incident report", "offense", "police report"],
+            ["Description of the incident to report"],
+            sensitive=True,
+        ),
+        _entry(
+            "Case outcomes and evidence",
+            "Court case outcomes, filings, and evidence.",
+            ["case outcome", "evidence", "court filing", "verdict", "docket"],
+            ["Docket number of the case to retrieve"],
+            sensitive=True,
+        ),
+        _entry(
+            "Legal provisions",
+            "Statutes, regulations, and legal provisions.",
+            ["statute", "regulation", "legal provision", "article of law", "clause"],
+            ["The statute or regulation to summarize"],
+        ),
+        _entry(
+            "Legal inquiries",
+            "Legal questions or matters raised by the user.",
+            ["legal inquiry", "legal question", "legal matter", "contract question"],
+            ["The legal question the user needs help with"],
+            sensitive=True,
+        ),
+    ],
+    "Travel information": [
+        _entry(
+            "Baggage information",
+            "Baggage allowances and luggage details.",
+            ["baggage", "luggage", "checked bag", "carry-on"],
+            ["Number of checked bags for the flight"],
+        ),
+        _entry(
+            "Cabin preferences",
+            "Cabin class and seating preferences.",
+            ["cabin class", "economy", "business class", "seat preference"],
+            ["Preferred cabin class for the flight"],
+        ),
+        _entry(
+            "Passenger counts",
+            "The number and type of passengers.",
+            ["passenger count", "number of travelers", "adults and children", "travellers"],
+            ["Number of adults and children traveling"],
+        ),
+    ],
+    "Sports information": [
+        _entry(
+            "Markets",
+            "Betting or prediction markets for sports events.",
+            ["betting market", "odds", "sports market", "moneyline", "spread"],
+            ["The betting market to fetch odds for"],
+        ),
+        _entry(
+            "Teams",
+            "Sports teams.",
+            ["team", "sports team", "club", "roster"],
+            ["Name of the team to get fixtures for"],
+        ),
+        _entry(
+            "Leagues",
+            "Sports leagues and competitions.",
+            ["league", "competition", "tournament", "premier league", "nba"],
+            ["League to list upcoming matches for"],
+        ),
+        _entry(
+            "Statistics",
+            "Sports statistics such as scores and player stats.",
+            ["sports statistics", "score", "standings", "player stats", "match statistics"],
+            ["Statistics to retrieve for the match"],
+        ),
+    ],
+}
+
+
+def taxonomy_records() -> Dict[str, List[Dict[str, object]]]:
+    """Return the raw built-in taxonomy records keyed by category name."""
+    return {category: list(entries) for category, entries in _TAXONOMY_DATA.items()}
+
+
+def load_builtin_taxonomy(include_other: bool = True) -> DataTaxonomy:
+    """Build and return the full built-in taxonomy (24 categories, 145 types).
+
+    Parameters
+    ----------
+    include_other:
+        If true (the default) an ``Other``/``Other`` fallback entry is added so
+        that classifiers can emit the fallback label described in
+        Section 3.2.4.
+    """
+    taxonomy = DataTaxonomy(name="gpt-data-exposure-final")
+    for category_name, entries in _TAXONOMY_DATA.items():
+        taxonomy.add_category(category_name, CATEGORY_DESCRIPTIONS.get(category_name, ""))
+        for entry in entries:
+            taxonomy.add_data_type(
+                DataType(
+                    name=str(entry["name"]),
+                    category=category_name,
+                    description=str(entry["description"]),
+                    keywords=tuple(entry["keywords"]),  # type: ignore[arg-type]
+                    phrasings=tuple(entry["phrasings"]),  # type: ignore[arg-type]
+                    sensitive=bool(entry["sensitive"]),
+                    prohibited=bool(entry["prohibited"]),
+                )
+            )
+    if include_other:
+        taxonomy.add_category(OTHER_CATEGORY, CATEGORY_DESCRIPTIONS[OTHER_CATEGORY])
+        taxonomy.add_data_type(
+            DataType(
+                name=OTHER_TYPE,
+                category=OTHER_CATEGORY,
+                description="Data descriptions that do not match any taxonomy entry.",
+                keywords=(),
+                phrasings=(),
+            )
+        )
+    return taxonomy
+
+
+def builtin_category_names() -> List[str]:
+    """Names of the 24 non-``Other`` categories."""
+    return list(_TAXONOMY_DATA.keys())
+
+
+def builtin_type_count() -> int:
+    """Number of (category, type) entries in the built-in taxonomy."""
+    return sum(len(entries) for entries in _TAXONOMY_DATA.values())

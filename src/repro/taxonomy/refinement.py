@@ -1,0 +1,186 @@
+"""Semi-automated taxonomy refinement for ``Other`` descriptions (Section 3.2.4).
+
+After the first classification pass, 35.07% of descriptions are labelled
+``Other``.  The paper asks a stronger LLM (GPT-o1) to propose, per unmatched
+description, one of four actions — *Covered*, *Add*, *Combine*, *Deprecate* —
+and three human reviewers then settle on 7 new categories and 66 new data
+types, growing the taxonomy from 18 × 79 to 24 × 145.
+
+This module reproduces that loop: an LLM-like decision function (any callable,
+usually :class:`repro.llm.SimulatedLLM` via
+:func:`repro.classification.other_handler.build_refinement_decider`) maps
+unmatched descriptions to :class:`RefinementDecision` objects and the
+:class:`TaxonomyRefiner` applies them to produce the extended taxonomy.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import Counter
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.taxonomy.schema import DataTaxonomy, DataType, OTHER_CATEGORY
+
+
+class RefinementAction(str, enum.Enum):
+    """The four refinement actions enumerated in the Code 4 prompt."""
+
+    COVERED = "Covered"
+    ADD = "Add"
+    COMBINE = "Combine"
+    DEPRECATE = "Deprecate"
+
+
+@dataclass(frozen=True)
+class RefinementDecision:
+    """A refinement decision for one unmatched data description.
+
+    Parameters
+    ----------
+    description:
+        The data description being considered.
+    action:
+        One of the four :class:`RefinementAction` values.
+    category:
+        Target category (for ``Covered``/``Add``/``Combine``).
+    data_type:
+        Target data-type name (existing for ``Covered``, new for
+        ``Add``/``Combine``).
+    type_description:
+        Natural-language description for a newly created data type.
+    """
+
+    description: str
+    action: RefinementAction
+    category: str = ""
+    data_type: str = ""
+    type_description: str = ""
+
+
+#: A decider maps an unmatched description (and its frequency) to a decision.
+RefinementDecider = Callable[[str, int], RefinementDecision]
+
+
+@dataclass
+class RefinementReport:
+    """Summary of one refinement pass."""
+
+    decisions: List[RefinementDecision]
+    new_categories: List[str]
+    new_types: List[DataType]
+    deprecated: List[str]
+    covered: int
+
+    @property
+    def n_new_categories(self) -> int:
+        """Number of categories added by the refinement."""
+        return len(self.new_categories)
+
+    @property
+    def n_new_types(self) -> int:
+        """Number of data types added by the refinement."""
+        return len(self.new_types)
+
+
+class TaxonomyRefiner:
+    """Applies refinement decisions to extend a taxonomy.
+
+    Parameters
+    ----------
+    taxonomy:
+        The taxonomy to extend (it is copied; the original is not mutated).
+    decider:
+        Callable producing a :class:`RefinementDecision` per unmatched
+        description.  The description's observed frequency is passed so the
+        decider can weigh "amount appears" as in the Code 4 prompt.
+    reviewer:
+        Optional post-hoc filter emulating the human review: receives the list
+        of proposed new :class:`DataType` objects and returns the accepted
+        subset.  Defaults to accepting everything.
+    """
+
+    def __init__(
+        self,
+        taxonomy: DataTaxonomy,
+        decider: RefinementDecider,
+        reviewer: Optional[Callable[[List[DataType]], List[DataType]]] = None,
+    ) -> None:
+        self.base_taxonomy = taxonomy
+        self.decider = decider
+        self.reviewer = reviewer or (lambda proposals: proposals)
+
+    def refine(
+        self, unmatched_descriptions: Sequence[str]
+    ) -> Tuple[DataTaxonomy, RefinementReport]:
+        """Run one refinement pass over unmatched data descriptions.
+
+        Returns the extended taxonomy and a report of what changed.
+        """
+        frequencies = Counter(unmatched_descriptions)
+        decisions: List[RefinementDecision] = []
+        proposals: Dict[Tuple[str, str], DataType] = {}
+        deprecated: List[str] = []
+        covered = 0
+
+        for description, count in frequencies.most_common():
+            decision = self.decider(description, count)
+            decisions.append(decision)
+            if decision.action is RefinementAction.COVERED:
+                covered += 1
+            elif decision.action is RefinementAction.DEPRECATE:
+                deprecated.append(description)
+            elif decision.action in (RefinementAction.ADD, RefinementAction.COMBINE):
+                if not decision.category or not decision.data_type:
+                    deprecated.append(description)
+                    continue
+                key = (decision.category, decision.data_type)
+                if key not in proposals:
+                    proposals[key] = DataType(
+                        name=decision.data_type,
+                        category=decision.category,
+                        description=decision.type_description
+                        or f"Data related to {decision.data_type.lower()}.",
+                        keywords=tuple(
+                            token
+                            for token in decision.data_type.lower().split()
+                            if len(token) > 2
+                        ),
+                    )
+
+        accepted = self.reviewer(list(proposals.values()))
+        extended = self.base_taxonomy.copy()
+        existing_categories = set(extended.category_names())
+        new_categories: List[str] = []
+        new_types: List[DataType] = []
+        for data_type in accepted:
+            if extended.get_type(data_type.category, data_type.name) is not None:
+                continue
+            if data_type.category not in existing_categories and data_type.category != OTHER_CATEGORY:
+                new_categories.append(data_type.category)
+                existing_categories.add(data_type.category)
+            extended.add_data_type(data_type)
+            new_types.append(data_type)
+
+        report = RefinementReport(
+            decisions=decisions,
+            new_categories=new_categories,
+            new_types=new_types,
+            deprecated=deprecated,
+            covered=covered,
+        )
+        return extended, report
+
+
+def keep_top_proposals(limit: int) -> Callable[[List[DataType]], List[DataType]]:
+    """Build a reviewer that keeps at most ``limit`` proposed data types.
+
+    The human review in the paper trimmed 8 proposed categories / 102 proposed
+    types down to 7 / 66; this helper provides a deterministic counterpart for
+    experiments that need a bounded taxonomy size.
+    """
+
+    def reviewer(proposals: List[DataType]) -> List[DataType]:
+        return proposals[:limit]
+
+    return reviewer

@@ -1,0 +1,361 @@
+"""Core data structures for the LLM-app data taxonomy.
+
+A taxonomy is a two-level hierarchy: *categories* (e.g. ``Location``) contain
+*data types* (e.g. ``City``), and every data type carries a natural-language
+description (the ``<category, data type, description>`` tuples of
+Section 3.2.2).  Data types additionally carry matching keywords used by the
+simulated LLM's knowledge base and phrasing templates used by the synthetic
+ecosystem generator.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+#: Sentinel category/type used when a data description cannot be mapped to the
+#: taxonomy (Section 3.2.4).
+OTHER_CATEGORY = "Other"
+OTHER_TYPE = "Other"
+
+
+class TaxonomyError(ValueError):
+    """Raised when a taxonomy is constructed or queried inconsistently."""
+
+
+def _normalize(name: str) -> str:
+    """Normalize a category or data-type name for case-insensitive lookup."""
+    return " ".join(name.strip().lower().split())
+
+
+@dataclass(frozen=True)
+class DataType:
+    """A single data type in the taxonomy.
+
+    Parameters
+    ----------
+    name:
+        Canonical name, e.g. ``"Email address"``.
+    category:
+        Name of the category this type belongs to, e.g.
+        ``"Personal information"``.
+    description:
+        A natural-language description of the data type (the third element of
+        the taxonomy tuples in the paper).
+    keywords:
+        Indicator words and phrases used by the simulated LLM's knowledge base
+        to recognize the data type in free text.
+    phrasings:
+        Natural-language templates used by the ecosystem generator to emit
+        realistic data descriptions for this type.
+    sensitive:
+        Whether the type is broadly considered sensitive personal data.
+    prohibited:
+        Whether collection of the type is explicitly prohibited by the
+        platform's usage policies (e.g. passwords and API keys).
+    """
+
+    name: str
+    category: str
+    description: str = ""
+    keywords: Tuple[str, ...] = ()
+    phrasings: Tuple[str, ...] = ()
+    sensitive: bool = False
+    prohibited: bool = False
+
+    @property
+    def key(self) -> Tuple[str, str]:
+        """Unique ``(category, name)`` key of this data type."""
+        return (self.category, self.name)
+
+    @property
+    def is_other(self) -> bool:
+        """Whether this is the fallback ``Other`` type."""
+        return _normalize(self.name) == _normalize(OTHER_TYPE)
+
+    def with_description(self, description: str) -> "DataType":
+        """Return a copy of this type with a replaced description."""
+        return DataType(
+            name=self.name,
+            category=self.category,
+            description=description,
+            keywords=self.keywords,
+            phrasings=self.phrasings,
+            sensitive=self.sensitive,
+            prohibited=self.prohibited,
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """Serialize to a JSON-compatible dictionary."""
+        return {
+            "name": self.name,
+            "category": self.category,
+            "description": self.description,
+            "keywords": list(self.keywords),
+            "phrasings": list(self.phrasings),
+            "sensitive": self.sensitive,
+            "prohibited": self.prohibited,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "DataType":
+        """Deserialize from :meth:`to_dict` output."""
+        return cls(
+            name=str(payload["name"]),
+            category=str(payload["category"]),
+            description=str(payload.get("description", "")),
+            keywords=tuple(payload.get("keywords", ())),  # type: ignore[arg-type]
+            phrasings=tuple(payload.get("phrasings", ())),  # type: ignore[arg-type]
+            sensitive=bool(payload.get("sensitive", False)),
+            prohibited=bool(payload.get("prohibited", False)),
+        )
+
+
+@dataclass
+class DataCategory:
+    """A category grouping several :class:`DataType` entries."""
+
+    name: str
+    description: str = ""
+    data_types: List[DataType] = field(default_factory=list)
+
+    def type_names(self) -> List[str]:
+        """Names of all data types in this category."""
+        return [data_type.name for data_type in self.data_types]
+
+    def get(self, type_name: str) -> Optional[DataType]:
+        """Look up a data type by (case-insensitive) name."""
+        wanted = _normalize(type_name)
+        for data_type in self.data_types:
+            if _normalize(data_type.name) == wanted:
+                return data_type
+        return None
+
+    def __len__(self) -> int:
+        return len(self.data_types)
+
+    def __iter__(self) -> Iterator[DataType]:
+        return iter(self.data_types)
+
+    def to_dict(self) -> Dict[str, object]:
+        """Serialize to a JSON-compatible dictionary."""
+        return {
+            "name": self.name,
+            "description": self.description,
+            "data_types": [data_type.to_dict() for data_type in self.data_types],
+        }
+
+
+class DataTaxonomy:
+    """A two-level data taxonomy (categories containing data types).
+
+    The taxonomy behaves like an immutable registry once built, but supports
+    the refinement operations used in Section 3.2.4 (adding, merging and
+    deprecating data types) through explicit methods that return information
+    about the change.
+    """
+
+    def __init__(self, name: str = "llm-app-data-taxonomy") -> None:
+        self.name = name
+        self._categories: Dict[str, DataCategory] = {}
+        self._category_descriptions: Dict[str, str] = {}
+        self._types_by_key: Dict[Tuple[str, str], DataType] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_category(self, name: str, description: str = "") -> DataCategory:
+        """Add (or fetch) a category by name."""
+        norm = _normalize(name)
+        if norm in self._categories:
+            category = self._categories[norm]
+            if description and not category.description:
+                category.description = description
+            return category
+        category = DataCategory(name=name, description=description)
+        self._categories[norm] = category
+        return category
+
+    def add_data_type(self, data_type: DataType) -> DataType:
+        """Add a data type, creating its category if needed."""
+        category = self.add_category(data_type.category)
+        key = (_normalize(data_type.category), _normalize(data_type.name))
+        if key in self._types_by_key:
+            raise TaxonomyError(
+                f"data type {data_type.name!r} already exists in category "
+                f"{data_type.category!r}"
+            )
+        category.data_types.append(data_type)
+        self._types_by_key[key] = data_type
+        return data_type
+
+    def remove_data_type(self, category: str, name: str) -> DataType:
+        """Remove and return a data type (used by refinement/deprecation)."""
+        key = (_normalize(category), _normalize(name))
+        if key not in self._types_by_key:
+            raise TaxonomyError(f"no data type {name!r} in category {category!r}")
+        data_type = self._types_by_key.pop(key)
+        cat = self._categories[_normalize(category)]
+        cat.data_types = [dt for dt in cat.data_types if dt.name != data_type.name]
+        return data_type
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    @property
+    def categories(self) -> List[DataCategory]:
+        """All categories in insertion order."""
+        return list(self._categories.values())
+
+    def category_names(self) -> List[str]:
+        """Canonical names of all categories."""
+        return [category.name for category in self._categories.values()]
+
+    def get_category(self, name: str) -> Optional[DataCategory]:
+        """Look up a category by (case-insensitive) name."""
+        return self._categories.get(_normalize(name))
+
+    def has_category(self, name: str) -> bool:
+        """Whether a category with this name exists."""
+        return _normalize(name) in self._categories
+
+    def get_type(self, category: str, name: str) -> Optional[DataType]:
+        """Look up a data type by category and type name."""
+        return self._types_by_key.get((_normalize(category), _normalize(name)))
+
+    def find_type(self, name: str) -> Optional[DataType]:
+        """Look up a data type by name alone (first match across categories)."""
+        wanted = _normalize(name)
+        for (_, type_norm), data_type in self._types_by_key.items():
+            if type_norm == wanted:
+                return data_type
+        return None
+
+    def iter_types(self) -> Iterator[DataType]:
+        """Iterate over every data type in the taxonomy."""
+        for category in self._categories.values():
+            yield from category.data_types
+
+    def all_types(self) -> List[DataType]:
+        """All data types as a list."""
+        return list(self.iter_types())
+
+    def prohibited_types(self) -> List[DataType]:
+        """Data types whose collection is prohibited by platform policy."""
+        return [data_type for data_type in self.iter_types() if data_type.prohibited]
+
+    def sensitive_types(self) -> List[DataType]:
+        """Data types flagged as sensitive."""
+        return [data_type for data_type in self.iter_types() if data_type.sensitive]
+
+    @property
+    def n_categories(self) -> int:
+        """Number of categories."""
+        return len(self._categories)
+
+    @property
+    def n_types(self) -> int:
+        """Number of data types."""
+        return len(self._types_by_key)
+
+    @property
+    def n_distinct_type_names(self) -> int:
+        """Number of distinct data-type *names* across categories.
+
+        The paper reports 145 data types; one name (``Participants``) appears
+        in both the Event-information and Message categories, so the count of
+        distinct names is what matches the paper's figure.
+        """
+        return len({type_norm for (_, type_norm) in self._types_by_key})
+
+    def __len__(self) -> int:
+        return self.n_types
+
+    def __contains__(self, item: object) -> bool:
+        if isinstance(item, DataType):
+            return self.get_type(item.category, item.name) is not None
+        if isinstance(item, tuple) and len(item) == 2:
+            return self.get_type(str(item[0]), str(item[1])) is not None
+        if isinstance(item, str):
+            return self.find_type(item) is not None or self.has_category(item)
+        return False
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """Serialize the full taxonomy to a JSON-compatible dictionary."""
+        return {
+            "name": self.name,
+            "categories": [category.to_dict() for category in self._categories.values()],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        """Serialize the taxonomy to JSON text."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "DataTaxonomy":
+        """Deserialize a taxonomy from :meth:`to_dict` output."""
+        taxonomy = cls(name=str(payload.get("name", "taxonomy")))
+        for category_payload in payload.get("categories", ()):  # type: ignore[union-attr]
+            category = taxonomy.add_category(
+                str(category_payload["name"]),
+                str(category_payload.get("description", "")),
+            )
+            del category  # categories are registered as a side effect
+            for type_payload in category_payload.get("data_types", ()):
+                taxonomy.add_data_type(DataType.from_dict(type_payload))
+        return taxonomy
+
+    @classmethod
+    def from_json(cls, text: str) -> "DataTaxonomy":
+        """Deserialize a taxonomy from JSON text."""
+        return cls.from_dict(json.loads(text))
+
+    # ------------------------------------------------------------------
+    # Convenience constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_tuples(
+        cls,
+        tuples: Iterable[Tuple[str, str, str]],
+        name: str = "taxonomy",
+    ) -> "DataTaxonomy":
+        """Build a taxonomy from ``(category, type, description)`` tuples."""
+        taxonomy = cls(name=name)
+        for category, type_name, description in tuples:
+            taxonomy.add_data_type(
+                DataType(name=type_name, category=category, description=description)
+            )
+        return taxonomy
+
+    def copy(self) -> "DataTaxonomy":
+        """Return a deep-ish copy of the taxonomy (types are immutable)."""
+        clone = DataTaxonomy(name=self.name)
+        for category in self._categories.values():
+            clone.add_category(category.name, category.description)
+            for data_type in category.data_types:
+                clone.add_data_type(data_type)
+        return clone
+
+    def summary(self) -> str:
+        """Human-readable one-line summary."""
+        return (
+            f"{self.name}: {self.n_categories} categories, {self.n_types} data types"
+        )
+
+
+def category_type_pairs(taxonomy: DataTaxonomy) -> List[Tuple[str, str]]:
+    """Return all ``(category, type)`` pairs of a taxonomy."""
+    return [data_type.key for data_type in taxonomy.iter_types()]
+
+
+def merge_taxonomies(base: DataTaxonomy, extension: DataTaxonomy) -> DataTaxonomy:
+    """Merge two taxonomies, preferring ``base`` entries on conflicts."""
+    merged = base.copy()
+    for data_type in extension.iter_types():
+        if merged.get_type(data_type.category, data_type.name) is None:
+            merged.add_data_type(data_type)
+    return merged

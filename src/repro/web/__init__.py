@@ -1,0 +1,24 @@
+"""Web substrate: URL parsing, registrable domains, and third-party detection.
+
+The paper labels an Action as *third-party* when the eTLD+1 of its API server
+does not match the eTLD+1 of the hosting GPT's vendor domain — the standard
+process used to detect third parties on the web (Section 4.1.1, footnote 2).
+This subpackage provides the URL and public-suffix machinery required for that
+classification, without any network access.
+"""
+
+from repro.web.urls import ParsedURL, parse_url, normalize_url, url_host
+from repro.web.psl import PublicSuffixList, default_psl, registrable_domain
+from repro.web.thirdparty import ThirdPartyClassifier, is_third_party
+
+__all__ = [
+    "ParsedURL",
+    "parse_url",
+    "normalize_url",
+    "url_host",
+    "PublicSuffixList",
+    "default_psl",
+    "registrable_domain",
+    "ThirdPartyClassifier",
+    "is_third_party",
+]

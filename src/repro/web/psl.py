@@ -1,0 +1,169 @@
+"""Public-suffix handling and registrable-domain (eTLD+1) extraction.
+
+A full Mozilla Public Suffix List is several thousand rules; the crawler only
+needs correct behaviour for the kinds of domains that appear in GPT Action
+specifications and store listings (ordinary gTLDs, common ccTLDs, two-label
+public suffixes such as ``co.uk``, and shared-hosting suffixes such as
+``vercel.app`` or ``github.io`` that matter for third-party detection).  The
+embedded snapshot below covers those cases and the matching algorithm follows
+the PSL semantics (longest matching rule, wildcard and exception rules).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Set, Tuple
+
+from repro.web.urls import split_host, url_host
+
+#: Ordinary single-label public suffixes.
+_BASE_SUFFIXES: Tuple[str, ...] = (
+    "com", "org", "net", "edu", "gov", "mil", "int", "io", "ai", "co", "app",
+    "dev", "xyz", "info", "biz", "me", "tv", "cc", "us", "uk", "de", "fr",
+    "jp", "cn", "in", "ru", "br", "it", "nl", "es", "ca", "au", "ch", "se",
+    "no", "fi", "pl", "kr", "tech", "cloud", "site", "online", "store",
+    "shop", "blog", "wiki", "live", "news", "run", "sh", "gg", "so", "to",
+    "ly", "fm", "im", "is", "la", "pro", "mobi", "name", "travel", "surf",
+)
+
+#: Multi-label public suffixes (including popular shared-hosting platforms,
+#: which the PSL lists as public suffixes so that tenant sites are treated as
+#: separate registrable domains).
+_MULTI_LABEL_SUFFIXES: Tuple[str, ...] = (
+    "co.uk", "org.uk", "ac.uk", "gov.uk", "me.uk",
+    "com.au", "net.au", "org.au",
+    "co.jp", "ne.jp", "or.jp", "ac.jp",
+    "com.cn", "net.cn", "org.cn",
+    "co.in", "firm.in", "net.in", "org.in",
+    "com.br", "net.br", "org.br",
+    "co.kr", "or.kr",
+    "co.nz", "org.nz",
+    "com.mx", "org.mx",
+    "com.sg", "com.hk", "com.tw",
+    # Shared hosting / PaaS suffixes relevant to Action endpoints.
+    "vercel.app", "netlify.app", "herokuapp.com", "github.io", "gitlab.io",
+    "pages.dev", "web.app", "firebaseapp.com", "azurewebsites.net",
+    "cloudfunctions.net", "appspot.com", "repl.co", "onrender.com",
+    "fly.dev", "railway.app", "glitch.me", "a.run.app", "amazonaws.com",
+    "cloudfront.net", "workers.dev",
+)
+
+#: Wildcard rules (``*.suffix``): every immediate child label is a suffix too.
+_WILDCARD_SUFFIXES: Tuple[str, ...] = (
+    "ck", "jm", "compute.amazonaws.com",
+)
+
+#: Exception rules (``!domain``): these are registrable despite a wildcard.
+_EXCEPTION_DOMAINS: Tuple[str, ...] = (
+    "www.ck",
+)
+
+
+@dataclass
+class PublicSuffixList:
+    """A minimal Public Suffix List implementation.
+
+    Parameters mirror PSL rule classes: plain rules, wildcard rules, and
+    exception rules.  :meth:`registrable_domain` implements the standard
+    longest-match algorithm.
+    """
+
+    suffixes: Set[str] = field(default_factory=set)
+    wildcard_suffixes: Set[str] = field(default_factory=set)
+    exceptions: Set[str] = field(default_factory=set)
+
+    @classmethod
+    def builtin(cls) -> "PublicSuffixList":
+        """Build the embedded snapshot PSL."""
+        suffixes = set(_BASE_SUFFIXES) | set(_MULTI_LABEL_SUFFIXES)
+        return cls(
+            suffixes=suffixes,
+            wildcard_suffixes=set(_WILDCARD_SUFFIXES),
+            exceptions=set(_EXCEPTION_DOMAINS),
+        )
+
+    def add_suffix(self, suffix: str, wildcard: bool = False) -> None:
+        """Register an additional public suffix rule."""
+        suffix = suffix.lower().strip(".")
+        if wildcard:
+            self.wildcard_suffixes.add(suffix)
+        else:
+            self.suffixes.add(suffix)
+
+    # ------------------------------------------------------------------
+    def public_suffix(self, host: str) -> Optional[str]:
+        """Return the public suffix of ``host`` (longest matching rule)."""
+        labels = split_host(host)
+        if not labels:
+            return None
+        best: Optional[Tuple[str, ...]] = None
+        for start in range(len(labels)):
+            candidate = labels[start:]
+            candidate_str = ".".join(candidate)
+            if candidate_str in self.exceptions:
+                # Exception rules mean the candidate itself is registrable; its
+                # public suffix is one label shorter.
+                suffix = candidate[1:]
+                return ".".join(suffix) if suffix else None
+            if candidate_str in self.suffixes:
+                if best is None or len(candidate) > len(best):
+                    best = candidate
+            parent = ".".join(candidate[1:])
+            if parent and parent in self.wildcard_suffixes:
+                if best is None or len(candidate) > len(best):
+                    best = candidate
+        if best is not None:
+            return ".".join(best)
+        # Unknown TLDs: treat the last label as the public suffix (PSL "*" rule).
+        return labels[-1]
+
+    def registrable_domain(self, host: str) -> Optional[str]:
+        """Return the registrable domain (eTLD+1) for ``host``.
+
+        ``None`` is returned when the host itself is a public suffix or empty.
+        IP-address hosts are returned unchanged (they have no suffix structure
+        but are still meaningful identities for third-party comparison).
+        """
+        labels = split_host(host)
+        if not labels:
+            return None
+        if _looks_like_ip(host):
+            return host
+        suffix = self.public_suffix(host)
+        if suffix is None:
+            return None
+        suffix_labels = tuple(suffix.split("."))
+        if len(labels) <= len(suffix_labels):
+            return None
+        registrable = labels[-(len(suffix_labels) + 1):]
+        return ".".join(registrable)
+
+
+def _looks_like_ip(host: str) -> bool:
+    """Whether a host string looks like an IPv4 or IPv6 address."""
+    if ":" in host:
+        return True
+    parts = host.split(".")
+    return len(parts) == 4 and all(part.isdigit() for part in parts)
+
+
+_DEFAULT_PSL: Optional[PublicSuffixList] = None
+
+
+def default_psl() -> PublicSuffixList:
+    """Return a shared builtin :class:`PublicSuffixList` instance."""
+    global _DEFAULT_PSL
+    if _DEFAULT_PSL is None:
+        _DEFAULT_PSL = PublicSuffixList.builtin()
+    return _DEFAULT_PSL
+
+
+def registrable_domain(url_or_host: str, psl: Optional[PublicSuffixList] = None) -> Optional[str]:
+    """Return the eTLD+1 of a URL or bare hostname."""
+    psl = psl or default_psl()
+    host = url_or_host
+    if "/" in url_or_host or "://" in url_or_host:
+        host = url_host(url_or_host)
+    if not host:
+        host = url_or_host.lower().strip()
+    return psl.registrable_domain(host)

@@ -1,0 +1,58 @@
+"""Third-party Action detection (Section 4.1.1, footnote 2).
+
+An Action is labelled third-party when the registrable domain (eTLD+1) of its
+API server does not match the registrable domain of the GPT vendor.  GPT
+vendor identity is taken from the GPT author's declared website domain when
+available, falling back to the privacy-policy domain of the GPT's first-party
+Action.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.web.psl import PublicSuffixList, default_psl, registrable_domain
+
+
+@dataclass
+class ThirdPartyClassifier:
+    """Classifies Action endpoints as first- or third-party relative to a GPT vendor."""
+
+    psl: Optional[PublicSuffixList] = None
+
+    def __post_init__(self) -> None:
+        if self.psl is None:
+            self.psl = default_psl()
+
+    def registrable(self, url_or_host: str) -> Optional[str]:
+        """eTLD+1 of a URL or host (``None`` when it cannot be derived)."""
+        if not url_or_host:
+            return None
+        return registrable_domain(url_or_host, self.psl)
+
+    def is_third_party(self, action_url: str, vendor_url: Optional[str]) -> bool:
+        """Whether ``action_url`` is third-party relative to ``vendor_url``.
+
+        Unknown vendor identity is treated conservatively as third-party, the
+        same stance the paper takes when a GPT has no identifiable first-party
+        domain.
+        """
+        action_domain = self.registrable(action_url)
+        vendor_domain = self.registrable(vendor_url) if vendor_url else None
+        if action_domain is None:
+            return True
+        if vendor_domain is None:
+            return True
+        return action_domain != vendor_domain
+
+    def same_party(self, url_a: str, url_b: str) -> bool:
+        """Whether two URLs share a registrable domain."""
+        domain_a = self.registrable(url_a)
+        domain_b = self.registrable(url_b)
+        return domain_a is not None and domain_a == domain_b
+
+
+def is_third_party(action_url: str, vendor_url: Optional[str]) -> bool:
+    """Module-level convenience wrapper around :class:`ThirdPartyClassifier`."""
+    return ThirdPartyClassifier().is_third_party(action_url, vendor_url)

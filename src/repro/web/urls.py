@@ -1,0 +1,117 @@
+"""Lightweight URL parsing and normalization.
+
+Only the pieces required by the measurement pipeline are implemented: scheme,
+host, port, path, query, and fragment extraction, plus normalization rules
+(lower-casing host, stripping default ports and trailing dots) that make URL
+comparisons stable across crawler components.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+from urllib.parse import parse_qsl, urlsplit, urlunsplit
+
+_DEFAULT_PORTS = {"http": 80, "https": 443}
+_SCHEME_RE = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*://")
+
+
+class URLParseError(ValueError):
+    """Raised when a URL cannot be parsed."""
+
+
+@dataclass(frozen=True)
+class ParsedURL:
+    """A parsed and normalized URL."""
+
+    scheme: str
+    host: str
+    port: Optional[int]
+    path: str
+    query: str
+    fragment: str
+
+    @property
+    def origin(self) -> str:
+        """The scheme://host[:port] origin of the URL."""
+        if self.port is not None and self.port != _DEFAULT_PORTS.get(self.scheme):
+            return f"{self.scheme}://{self.host}:{self.port}"
+        return f"{self.scheme}://{self.host}"
+
+    @property
+    def netloc(self) -> str:
+        """Host (and non-default port) component."""
+        if self.port is not None and self.port != _DEFAULT_PORTS.get(self.scheme):
+            return f"{self.host}:{self.port}"
+        return self.host
+
+    def query_params(self) -> Dict[str, str]:
+        """Query parameters as a dict (last value wins for duplicates)."""
+        return dict(parse_qsl(self.query, keep_blank_values=True))
+
+    def geturl(self) -> str:
+        """Re-assemble the normalized URL string."""
+        return urlunsplit((self.scheme, self.netloc, self.path, self.query, self.fragment))
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.geturl()
+
+
+def parse_url(url: str, default_scheme: str = "https") -> ParsedURL:
+    """Parse a URL string into a :class:`ParsedURL`.
+
+    Hosts are lower-cased, default ports dropped, and missing schemes filled
+    with ``default_scheme`` (Action specs frequently list bare domains).
+    """
+    if not url or not url.strip():
+        raise URLParseError("empty URL")
+    candidate = url.strip()
+    if not _SCHEME_RE.match(candidate):
+        candidate = f"{default_scheme}://{candidate}"
+    parts = urlsplit(candidate)
+    if not parts.hostname:
+        raise URLParseError(f"URL has no host: {url!r}")
+    host = parts.hostname.lower().rstrip(".")
+    try:
+        port = parts.port
+    except ValueError as exc:  # invalid (non-numeric / out of range) port
+        raise URLParseError(f"URL has an invalid port: {url!r}") from exc
+    scheme = (parts.scheme or default_scheme).lower()
+    if port == _DEFAULT_PORTS.get(scheme):
+        port = None
+    path = parts.path or "/"
+    return ParsedURL(
+        scheme=scheme,
+        host=host,
+        port=port,
+        path=path,
+        query=parts.query,
+        fragment=parts.fragment,
+    )
+
+
+def normalize_url(url: str) -> str:
+    """Return the canonical string form of a URL."""
+    return parse_url(url).geturl()
+
+
+def url_host(url: str) -> str:
+    """Return the lower-cased host of a URL (empty string if unparsable)."""
+    try:
+        return parse_url(url).host
+    except URLParseError:
+        return ""
+
+
+def join_url(base: str, path: str) -> str:
+    """Join a base origin and a path, collapsing duplicate slashes."""
+    parsed = parse_url(base)
+    if not path.startswith("/"):
+        path = "/" + path
+    return f"{parsed.origin}{path}"
+
+
+def split_host(host: str) -> Tuple[str, ...]:
+    """Split a hostname into its dot-separated labels."""
+    return tuple(label for label in host.lower().strip(".").split(".") if label)

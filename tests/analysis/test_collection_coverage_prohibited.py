@@ -1,0 +1,110 @@
+"""Tests for collection trends, taxonomy coverage, and prohibited-data analyses."""
+
+import pytest
+
+from repro.analysis.collection import analyze_collection
+from repro.analysis.coverage import analyze_coverage
+from repro.analysis.prohibited import analyze_prohibited
+from repro.taxonomy.builtin import load_builtin_taxonomy
+
+
+@pytest.fixture(scope="module")
+def collection(suite, suite_classification):
+    return analyze_collection(suite.corpus, suite_classification, suite.party_index)
+
+
+class TestCollectionAnalysis:
+    def test_items_per_action_counts(self, suite, collection):
+        assert len(collection.items_per_action) == suite.corpus.n_unique_actions()
+        assert all(count >= 0 for count in collection.items_per_action.values())
+
+    def test_share_thresholds_monotonic(self, collection):
+        assert collection.share_with_at_least(1) >= collection.share_with_at_least(5)
+        assert collection.share_with_at_least(5) >= collection.share_with_at_least(10)
+
+    def test_headline_shares_in_paper_range(self, collection):
+        assert 0.3 <= collection.share_with_at_least(5) <= 0.7
+        assert 0.08 <= collection.share_with_at_least(10) <= 0.35
+
+    def test_rows_sorted_by_gpt_share(self, collection):
+        shares = [row.gpt_share for row in collection.rows]
+        assert shares == sorted(shares, reverse=True)
+
+    def test_search_query_is_top_type(self, collection):
+        top = collection.rows[0]
+        assert top.data_type in ("Search query", "URLs", "User interaction data")
+        search = collection.row_for("Query", "Search query")
+        assert search is not None
+        assert search.gpt_share > 0.2
+
+    def test_party_specific_cdf(self, collection):
+        cdf_all = collection.item_count_cdf()
+        assert cdf_all[0][1] <= cdf_all[-1][1]
+        assert cdf_all[-1][1] == pytest.approx(1.0)
+
+    def test_mean_items_and_excess(self, collection):
+        assert collection.mean_items() > 1.0
+        assert -0.5 < collection.third_party_excess() < 0.8
+
+    def test_observed_taxonomy_breadth(self, collection):
+        assert collection.n_categories_observed() >= 15
+        assert collection.n_types_observed() >= 40
+
+    def test_category_gpt_shares_bounded(self, collection):
+        for share in collection.category_gpt_shares.values():
+            assert 0.0 <= share <= 1.0
+        assert collection.category_gpt_shares.get("Query", 0) > 0.2
+
+
+class TestCoverageAnalysis:
+    def test_coverage_counts(self, suite_classification):
+        coverage = analyze_coverage(suite_classification)
+        assert coverage.n_distinct_descriptions > 0
+        assert coverage.type_coverage
+        assert coverage.category_coverage
+        # Every type's coverage is at most its category's coverage.
+        for (category, _), count in coverage.type_coverage.items():
+            assert count <= coverage.category_coverage[category]
+
+    def test_cdf_monotonic_and_ends_at_one(self, suite_classification):
+        coverage = analyze_coverage(suite_classification)
+        for level in ("type", "category"):
+            cdf = coverage.coverage_cdf(level)
+            fractions = [fraction for _, fraction in cdf]
+            assert fractions == sorted(fractions)
+            assert fractions[-1] == pytest.approx(1.0)
+
+    def test_invalid_level(self, suite_classification):
+        with pytest.raises(ValueError):
+            analyze_coverage(suite_classification).coverage_cdf("bogus")
+
+    def test_other_rate_low(self, suite_classification):
+        coverage = analyze_coverage(suite_classification)
+        assert coverage.other_rate < 0.2
+        assert coverage.classified_share() == pytest.approx(1.0 - coverage.other_rate)
+
+
+class TestProhibitedAnalysis:
+    def test_offenders_collect_prohibited_types(self, suite, suite_classification):
+        taxonomy = load_builtin_taxonomy()
+        analysis = analyze_prohibited(suite.corpus, suite_classification, taxonomy)
+        collected = suite_classification.action_data_types()
+        for action_id, offending in analysis.offending_actions.items():
+            assert offending
+            assert all(category == "Security credentials" for category, _ in offending)
+            assert set(offending) <= set(collected[action_id])
+
+    def test_offending_gpt_share_in_paper_range(self, suite, suite_classification):
+        analysis = analyze_prohibited(suite.corpus, suite_classification, load_builtin_taxonomy())
+        assert 0.02 <= analysis.offending_gpt_share <= 0.35
+
+    def test_health_share_small(self, suite, suite_classification):
+        analysis = analyze_prohibited(suite.corpus, suite_classification, load_builtin_taxonomy())
+        assert 0.0 <= analysis.health_gpt_share <= 0.2
+
+    def test_empty_corpus(self):
+        from repro.classification.results import ClassificationResult
+        from repro.crawler.corpus import CrawlCorpus
+
+        analysis = analyze_prohibited(CrawlCorpus(), ClassificationResult())
+        assert analysis.offending_gpt_share == 0.0

@@ -1,0 +1,90 @@
+"""Tests for the disclosure analysis and the measurement suite."""
+
+import pytest
+
+from repro.analysis.disclosure import LABEL_ORDER, analyze_disclosure
+from repro.policy.labels import ConsistencyLabel
+
+
+@pytest.fixture(scope="module")
+def disclosure(suite, suite_policy_report):
+    return analyze_disclosure(suite_policy_report, suite.corpus)
+
+
+class TestDisclosureAnalysis:
+    def test_category_distributions_sum_to_one(self, disclosure):
+        for category, distribution in disclosure.category_distributions.items():
+            assert sum(distribution.values()) == pytest.approx(1.0), category
+
+    def test_overall_distribution_dominated_by_omissions(self, disclosure):
+        overall = disclosure.overall_distribution()
+        assert sum(overall.values()) == pytest.approx(1.0)
+        assert overall[ConsistencyLabel.OMITTED] > 0.4
+        assert overall[ConsistencyLabel.OMITTED] == max(overall.values())
+
+    def test_type_label_counts_match_actions(self, disclosure, suite_policy_report):
+        total_from_types = sum(
+            sum(counts.values()) for counts in disclosure.type_label_counts.values()
+        )
+        total_from_report = len(suite_policy_report.all_results())
+        assert total_from_types == total_from_report
+
+    def test_action_label_fractions_sum_to_one(self, disclosure):
+        for fractions in disclosure.action_label_fractions.values():
+            assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_label_fraction_cdf_monotonic(self, disclosure):
+        for label in LABEL_ORDER:
+            cdf = disclosure.label_fraction_cdf(label)
+            fractions = [y for _, y in cdf]
+            assert fractions == sorted(fractions)
+
+    def test_fully_consistent_share_in_paper_range(self, disclosure):
+        assert 0.0 <= disclosure.fully_consistent_share <= 0.25
+
+    def test_spearman_correlation_weak(self, disclosure):
+        correlation = disclosure.spearman_consistency_vs_items()
+        assert -0.6 <= correlation <= 0.6
+
+    def test_consistent_actions_sorted(self, disclosure):
+        totals = [row.clear + row.vague for row in disclosure.consistent_actions]
+        assert totals == sorted(totals, reverse=True)
+
+    def test_prevalent_type_rows_threshold(self, disclosure):
+        rows = disclosure.prevalent_type_rows(min_occurrences=5)
+        assert all(total >= 5 for _, _, total in rows)
+
+    def test_omitted_share_helpers(self, disclosure):
+        assert 0.0 <= disclosure.omitted_share() <= 1.0
+        if "Query" in disclosure.category_distributions:
+            assert 0.0 <= disclosure.omitted_share("Query") <= 1.0
+        assert disclosure.omitted_share("No such category") == 0.0
+
+
+class TestMeasurementSuite:
+    def test_pipeline_stages_cached(self, suite):
+        assert suite.corpus is suite.corpus
+        assert suite.classification is suite.classification
+        assert suite.policy_report is suite.policy_report
+        assert suite.disclosure is suite.disclosure
+
+    def test_run_all_returns_every_analysis(self, suite):
+        results = suite.run_all()
+        assert set(results) == {
+            "crawl_stats", "tool_usage", "collection", "coverage", "prohibited",
+            "prevalence", "multi_action", "cooccurrence", "disclosure", "policy_duplicates",
+        }
+
+    def test_classifier_evaluation_close_to_paper(self, suite):
+        evaluation = suite.evaluate_classifier()
+        assert evaluation.n_evaluated > 100
+        assert evaluation.category_accuracy > 0.85
+        assert evaluation.type_accuracy > 0.82
+
+    def test_fewshot_store_is_a_strict_subset(self, suite):
+        assert 0 < len(suite.fewshot_store) <= len(suite.descriptions) // 3 + 1
+
+    def test_policy_framework_evaluation_shape(self, suite):
+        evaluation = suite.evaluate_policy_framework()
+        assert evaluation.recall >= evaluation.precision - 0.1
+        assert 0.7 <= evaluation.accuracy <= 1.0

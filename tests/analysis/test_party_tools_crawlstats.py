@@ -1,0 +1,92 @@
+"""Tests for party attribution, tool usage, and crawl statistics analyses."""
+
+import pytest
+
+from repro.analysis.crawlstats import analyze_crawl_stats
+from repro.analysis.party import build_party_index
+from repro.analysis.tools import analyze_tool_usage
+
+
+class TestPartyIndex:
+    def test_every_embedding_attributed(self, small_corpus):
+        index = build_party_index(small_corpus)
+        expected = sum(len(gpt.actions) for gpt in small_corpus.action_embedding_gpts())
+        assert len(index.embedding_party) == expected
+
+    def test_rollup_matches_embeddings(self, small_corpus):
+        index = build_party_index(small_corpus)
+        for action_id, party in index.action_party.items():
+            embedding_parties = {
+                value for (gpt_id, aid), value in index.embedding_party.items() if aid == action_id
+            }
+            if party == "first":
+                assert embedding_parties == {"first"}
+            else:
+                assert "third" in embedding_parties or embedding_parties == {"third"}
+
+    def test_third_party_share_close_to_calibration(self, small_corpus, small_config):
+        index = build_party_index(small_corpus)
+        assert abs(index.third_party_share() - small_config.third_party_action_share) < 0.2
+
+    def test_attribution_matches_generator_ground_truth(self, small_ecosystem, small_corpus):
+        index = build_party_index(small_corpus)
+        ground_truth = small_ecosystem.ground_truth
+        checked = 0
+        agreements = 0
+        for (gpt_id, action_id), party in index.embedding_party.items():
+            expected = ground_truth.action_party.get((gpt_id, action_id))
+            if expected is None:
+                continue
+            checked += 1
+            if expected == party:
+                agreements += 1
+        assert checked > 0
+        assert agreements / checked > 0.85
+
+    def test_unknown_action_defaults_to_third(self, small_corpus):
+        index = build_party_index(small_corpus)
+        assert index.party_of_action("nonexistent") == "third"
+        assert index.party_of_embedding("g", "nonexistent") == "third"
+
+
+class TestToolUsage:
+    def test_shares_close_to_calibration(self, small_corpus, small_config):
+        analysis = analyze_tool_usage(small_corpus)
+        for key in ("browser", "dalle", "code_interpreter", "knowledge"):
+            assert abs(analysis.share(key) - small_config.tool_adoption[key]) < 0.08
+        assert abs(analysis.share("action") - small_config.tool_adoption["actions"]) < 0.04
+
+    def test_any_tool_and_online_shares(self, small_corpus):
+        analysis = analyze_tool_usage(small_corpus)
+        assert analysis.any_tool_share >= analysis.share("browser")
+        assert analysis.online_service_share >= analysis.share("browser")
+        assert 0.9 <= analysis.any_tool_share <= 1.0
+
+    def test_party_split_sums_to_one(self, small_corpus):
+        analysis = analyze_tool_usage(small_corpus)
+        assert analysis.first_party_action_share + analysis.third_party_action_share == pytest.approx(1.0)
+
+    def test_empty_corpus(self):
+        from repro.crawler.corpus import CrawlCorpus
+
+        analysis = analyze_tool_usage(CrawlCorpus())
+        assert analysis.n_gpts == 0
+        assert analysis.any_tool_share == 0.0
+
+
+class TestCrawlStats:
+    def test_totals_match_corpus(self, small_corpus):
+        stats = analyze_crawl_stats(small_corpus)
+        assert stats.total_unique_gpts == len(small_corpus.gpts)
+        assert stats.n_unique_actions == small_corpus.n_unique_actions()
+        assert stats.n_action_gpts == len(small_corpus.action_embedding_gpts())
+        assert stats.n_unresolved_identifiers == len(small_corpus.unresolved_gpt_ids)
+
+    def test_sorted_counts_descending(self, small_corpus):
+        stats = analyze_crawl_stats(small_corpus)
+        counts = [count for _, count in stats.sorted_store_counts()]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_action_gpt_share(self, small_corpus):
+        stats = analyze_crawl_stats(small_corpus)
+        assert 0.0 < stats.action_gpt_share < 0.15

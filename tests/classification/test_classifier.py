@@ -1,0 +1,120 @@
+"""Tests for the in-context-learning classifier."""
+
+import pytest
+
+from repro.classification.classifier import ClassifierConfig, DataCollectionClassifier
+from repro.classification.descriptions import DataDescription
+from repro.llm.fewshot import FewShotExample, FewShotStore
+from repro.llm.simulated import SimulatedLLM
+from repro.taxonomy.builtin import load_builtin_taxonomy
+from repro.taxonomy.schema import OTHER_CATEGORY
+
+
+@pytest.fixture(scope="module")
+def builtin_taxonomy():
+    return load_builtin_taxonomy()
+
+
+@pytest.fixture(scope="module")
+def clean_llm(builtin_taxonomy):
+    return SimulatedLLM(knowledge_taxonomy=builtin_taxonomy, classification_error_rate=0.0,
+                        consistency_error_rate=0.0, extraction_error_rate=0.0)
+
+
+@pytest.fixture(scope="module")
+def classifier(builtin_taxonomy, clean_llm):
+    store = FewShotStore(
+        [
+            FewShotExample("script to be produced", "Files and documents", "File content"),
+            FewShotExample("the city to search", "Location", "City"),
+        ]
+    )
+    return DataCollectionClassifier(builtin_taxonomy, clean_llm, store)
+
+
+class TestClassifyText:
+    @pytest.mark.parametrize(
+        ("text", "expected"),
+        [
+            ("Email address of the user", ("Personal information", "Email address")),
+            ("The search query from the user", ("Query", "Search query")),
+            ("OAuth access token for the account", ("Security credentials", "Access tokens")),
+            ("Number of forecast days to return", ("Weather information", "Weather data timeframe")),
+        ],
+    )
+    def test_known_types(self, classifier, text, expected):
+        assert classifier.classify_text(text) == expected
+
+    def test_unknown_text_is_other(self, classifier):
+        category, _ = classifier.classify_text("zzz qqq unintelligible blob")
+        assert category == OTHER_CATEGORY
+
+    def test_fewshot_example_guides_hard_description(self, classifier):
+        category, data_type = classifier.classify_text("Script to be produced")
+        assert (category, data_type) == ("Files and documents", "File content")
+
+    def test_single_phase_matches_two_phase_for_clear_cases(self, builtin_taxonomy, clean_llm):
+        single = DataCollectionClassifier(
+            builtin_taxonomy, clean_llm, config=ClassifierConfig(two_phase=False)
+        )
+        double = DataCollectionClassifier(
+            builtin_taxonomy, clean_llm, config=ClassifierConfig(two_phase=True)
+        )
+        text = "Email address of the user"
+        assert single.classify_text(text) == double.classify_text(text)
+
+
+class TestClassifyMany:
+    def test_batching_preserves_order_and_keys(self, classifier):
+        descriptions = [
+            DataDescription("a1", f"p{i}", text)
+            for i, text in enumerate(
+                ["Email address of the user", "The city to search in", "Your API key", "zzz blob"]
+            )
+        ]
+        result = classifier.classify_many(descriptions)
+        assert len(result) == 4
+        assert result.labels[0].parameter_name == "p0"
+        assert result.labels[0].data_type == "Email address"
+        assert result.labels[3].is_other
+
+    def test_empty_input(self, classifier):
+        assert len(classifier.classify_many([])) == 0
+
+    def test_corpus_classification_covers_all_descriptions(self, small_corpus, classifier):
+        result = classifier.classify_corpus(small_corpus)
+        from repro.classification.descriptions import extract_descriptions
+
+        assert len(result) == len(extract_descriptions(small_corpus))
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            ClassifierConfig(fewshot_k=0)
+        with pytest.raises(ValueError):
+            ClassifierConfig(batch_size=0)
+
+    def test_zero_shot_mode_disables_examples(self, builtin_taxonomy, clean_llm):
+        store = FewShotStore([FewShotExample("script to be produced", "Files and documents", "File content")])
+        zero_shot = DataCollectionClassifier(
+            builtin_taxonomy, clean_llm, store, config=ClassifierConfig(use_fewshot=False)
+        )
+        assert zero_shot._examples_payload("script to be produced") == []
+
+
+class TestValidation:
+    def test_invented_labels_fall_back(self, classifier):
+        labels = classifier._validate(
+            {"classifications": [{"category": "Made up", "data_type": "Nonsense"}]}, expected=1
+        )
+        assert labels == [(OTHER_CATEGORY, "Other")]
+
+    def test_type_recovered_by_name_when_category_wrong(self, classifier):
+        labels = classifier._validate(
+            {"classifications": [{"category": "Location", "data_type": "Email address"}]},
+            expected=1,
+        )
+        assert labels == [("Personal information", "Email address")]
+
+    def test_missing_entries_padded(self, classifier):
+        labels = classifier._validate({"classifications": []}, expected=2)
+        assert len(labels) == 2

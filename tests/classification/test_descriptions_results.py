@@ -1,0 +1,118 @@
+"""Tests for data-description extraction, sampling, and result containers."""
+
+import pytest
+
+from repro.classification.descriptions import (
+    DataDescription,
+    descriptions_by_action,
+    extract_descriptions,
+    label_with_ground_truth,
+    sample_descriptions,
+)
+from repro.classification.results import ClassificationResult, DescriptionLabel
+from repro.taxonomy.schema import OTHER_CATEGORY, OTHER_TYPE
+
+
+class TestExtraction:
+    def test_every_unique_action_parameter_extracted(self, small_corpus):
+        descriptions = extract_descriptions(small_corpus)
+        expected = sum(
+            len(action.parameters) for action in small_corpus.unique_actions().values()
+        )
+        assert len(descriptions) == expected
+
+    def test_description_keys_unique(self, small_corpus):
+        descriptions = extract_descriptions(small_corpus)
+        keys = [description.key for description in descriptions]
+        assert len(keys) == len(set(keys))
+
+    def test_group_by_action(self, small_corpus):
+        descriptions = extract_descriptions(small_corpus)
+        grouped = descriptions_by_action(descriptions)
+        assert sum(len(group) for group in grouped.values()) == len(descriptions)
+        for action_id, group in grouped.items():
+            assert all(description.action_id == action_id for description in group)
+
+
+class TestSampling:
+    def test_sample_size_and_determinism(self, small_corpus):
+        descriptions = extract_descriptions(small_corpus)
+        sample_a = sample_descriptions(descriptions, 20, seed=3)
+        sample_b = sample_descriptions(descriptions, 20, seed=3)
+        assert len(sample_a) == 20
+        assert [d.key for d in sample_a] == [d.key for d in sample_b]
+
+    def test_sample_larger_than_population_returns_all(self, small_corpus):
+        descriptions = extract_descriptions(small_corpus)
+        assert len(sample_descriptions(descriptions, 10**6, seed=0)) == len(descriptions)
+
+    def test_invalid_sample_size(self):
+        with pytest.raises(ValueError):
+            sample_descriptions([], 0)
+
+
+class TestGroundTruthLabelling:
+    def test_labels_match_ground_truth(self, small_ecosystem, small_corpus):
+        descriptions = extract_descriptions(small_corpus)[:50]
+        examples = label_with_ground_truth(descriptions, small_ecosystem.ground_truth)
+        assert len(examples) == 50
+        for description, example in zip(descriptions, examples):
+            expected = small_ecosystem.ground_truth.label_for(
+                description.action_id, description.parameter_name
+            )
+            assert (example.category, example.data_type) == expected
+
+    def test_unknown_parameters_become_other(self):
+        from repro.ecosystem.models import GroundTruth
+
+        examples = label_with_ground_truth(
+            [DataDescription(action_id="missing", parameter_name="x", text="y")], GroundTruth()
+        )
+        assert examples[0].category == OTHER_CATEGORY
+
+
+class TestClassificationResult:
+    def build_result(self) -> ClassificationResult:
+        result = ClassificationResult()
+        result.add(DescriptionLabel("a1", "p1", "email", "Personal information", "Email address"))
+        result.add(DescriptionLabel("a1", "p2", "city", "Location", "City"))
+        result.add(DescriptionLabel("a1", "p3", "blob", OTHER_CATEGORY, OTHER_TYPE))
+        result.add(DescriptionLabel("a2", "p1", "email again", "Personal information", "Email address"))
+        return result
+
+    def test_action_data_types_deduplicates(self):
+        result = self.build_result()
+        result.add(DescriptionLabel("a1", "p4", "second email", "Personal information", "Email address"))
+        collected = result.action_data_types()
+        assert collected["a1"].count(("Personal information", "Email address")) == 1
+        assert ("Location", "City") in collected["a1"]
+
+    def test_other_rate_and_listing(self):
+        result = self.build_result()
+        assert result.other_rate() == pytest.approx(0.25)
+        assert len(result.other_descriptions()) == 1
+
+    def test_counts_and_distincts(self):
+        result = self.build_result()
+        assert result.type_counts()[("Personal information", "Email address")] == 2
+        assert result.category_counts()["Personal information"] == 2
+        assert result.distinct_categories() == {"Personal information", "Location"}
+        assert len(result.distinct_types()) == 2
+
+    def test_lookup(self):
+        result = self.build_result()
+        assert result.lookup("a1", "p2").data_type == "City"
+        assert result.lookup("a9", "p1") is None
+
+    def test_merge_prefers_later_result(self):
+        base = self.build_result()
+        update = ClassificationResult()
+        update.add(DescriptionLabel("a1", "p3", "blob", "Query", "Search query"))
+        merged = base.merge(update)
+        assert merged.lookup("a1", "p3").data_type == "Search query"
+        assert len(merged) == len(base)
+
+    def test_by_action_grouping(self):
+        grouped = self.build_result().by_action()
+        assert set(grouped) == {"a1", "a2"}
+        assert len(grouped["a1"]) == 3

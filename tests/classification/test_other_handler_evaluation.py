@@ -1,0 +1,128 @@
+"""Tests for the Other-description handler and classifier evaluation."""
+
+import pytest
+
+from repro.classification.classifier import ClassifierConfig, DataCollectionClassifier
+from repro.classification.descriptions import DataDescription, extract_descriptions, sample_descriptions
+from repro.classification.evaluation import (
+    evaluate_classifier,
+    evaluate_predictions,
+    gold_from_examples,
+    gold_from_ground_truth,
+)
+from repro.classification.other_handler import OtherDescriptionHandler, build_refinement_decider
+from repro.classification.results import ClassificationResult, DescriptionLabel
+from repro.llm.fewshot import FewShotExample
+from repro.llm.simulated import SimulatedLLM
+from repro.taxonomy.bootstrap import load_bootstrap_taxonomy
+from repro.taxonomy.builtin import load_builtin_taxonomy
+from repro.taxonomy.refinement import RefinementAction
+from repro.taxonomy.schema import OTHER_CATEGORY, OTHER_TYPE
+
+
+@pytest.fixture(scope="module")
+def clean_llm():
+    return SimulatedLLM(knowledge_taxonomy=load_builtin_taxonomy(), classification_error_rate=0.0)
+
+
+class TestRefinementDecider:
+    def test_decider_parses_llm_decisions(self, clean_llm):
+        bootstrap = load_bootstrap_taxonomy()
+        decider = build_refinement_decider(clean_llm, bootstrap)
+        decision = decider("The betting market to fetch odds for", 4)
+        assert decision.action in (RefinementAction.ADD, RefinementAction.COMBINE)
+        assert decision.category
+        covered = decider("The full name of the user", 4)
+        assert covered.action is RefinementAction.COVERED
+
+
+class TestOtherDescriptionHandler:
+    def test_taxonomy_extended_and_reclassified(self, clean_llm):
+        bootstrap = load_bootstrap_taxonomy()
+        result = ClassificationResult()
+        # Sports data is not part of the bootstrap taxonomy, so a first pass
+        # would label these descriptions Other.
+        result.add(DescriptionLabel("a1", "p1", "The betting market to fetch odds for",
+                                    OTHER_CATEGORY, OTHER_TYPE))
+        result.add(DescriptionLabel("a1", "p2", "League to list upcoming matches for",
+                                    OTHER_CATEGORY, OTHER_TYPE))
+        result.add(DescriptionLabel("a1", "p3", "Email address of the user",
+                                    "Personal information", "Email address"))
+        handler = OtherDescriptionHandler(bootstrap, clean_llm)
+        outcome = handler.handle(result)
+        assert outcome.extended_taxonomy.n_types > bootstrap.n_types
+        assert outcome.refinement_report.n_new_types >= 1
+        merged = handler.apply(result, outcome)
+        assert len(merged) == len(result)
+        reclassified = merged.lookup("a1", "p1")
+        assert not reclassified.is_other
+
+    def test_residual_other_rate_bounded(self, clean_llm):
+        bootstrap = load_bootstrap_taxonomy()
+        result = ClassificationResult()
+        result.add(DescriptionLabel("a1", "p1", "zzqq unknowable", OTHER_CATEGORY, OTHER_TYPE))
+        handler = OtherDescriptionHandler(bootstrap, clean_llm)
+        outcome = handler.handle(result)
+        assert 0.0 <= outcome.residual_other_rate <= 1.0
+
+
+class TestEvaluation:
+    def test_perfect_predictions_score_one(self):
+        predictions = [
+            DescriptionLabel("a", "p1", "email", "Personal information", "Email address"),
+            DescriptionLabel("a", "p2", "city", "Location", "City"),
+        ]
+        gold = {("a", "p1"): ("Personal information", "Email address"), ("a", "p2"): ("Location", "City")}
+        evaluation = evaluate_predictions(predictions, gold)
+        assert evaluation.category_accuracy == 1.0
+        assert evaluation.type_accuracy == 1.0
+        assert evaluation.mistakes.total_errors == 0
+
+    def test_wrong_type_counts_category_separately(self):
+        predictions = [DescriptionLabel("a", "p1", "email", "Personal information", "Name")]
+        gold = {("a", "p1"): ("Personal information", "Email address")}
+        evaluation = evaluate_predictions(predictions, gold)
+        assert evaluation.category_accuracy == 1.0
+        assert evaluation.type_accuracy == 0.0
+        assert evaluation.mistakes.total_errors == 1
+
+    def test_mistake_causes_attributed(self):
+        predictions = [
+            DescriptionLabel("a", "p1", "dbconfig: null", OTHER_CATEGORY, OTHER_TYPE),
+            DescriptionLabel("a", "p2", "name of the user, otherwise the name of the GPT",
+                             "App metadata", "Name or version"),
+        ]
+        gold = {
+            ("a", "p1"): ("Web and network data", "Database information"),
+            ("a", "p2"): ("Personal information", "Name"),
+        }
+        evaluation = evaluate_predictions(predictions, gold)
+        rates = evaluation.mistakes.rates()
+        assert rates["empty_description"] > 0
+        assert rates["multi_topic"] > 0
+
+    def test_predictions_without_gold_are_skipped(self):
+        predictions = [DescriptionLabel("a", "p1", "email", "Personal information", "Email address")]
+        evaluation = evaluate_predictions(predictions, {})
+        assert evaluation.n_evaluated == 0
+        assert evaluation.category_accuracy == 0.0
+
+    def test_gold_from_examples_alignment(self):
+        descriptions = [DataDescription("a", "p1", "email of the user")]
+        examples = [FewShotExample("email of the user", "Personal information", "Email address")]
+        gold = gold_from_examples(descriptions, examples)
+        assert gold[("a", "p1")] == ("Personal information", "Email address")
+
+    def test_end_to_end_accuracy_close_to_paper(self, small_ecosystem, small_corpus, clean_llm):
+        taxonomy = load_builtin_taxonomy()
+        descriptions = extract_descriptions(small_corpus)
+        seed = sample_descriptions(descriptions, max(10, len(descriptions) // 4), seed=2)
+        from repro.classification.descriptions import label_with_ground_truth
+        from repro.llm.fewshot import FewShotStore
+
+        store = FewShotStore(label_with_ground_truth(seed, small_ecosystem.ground_truth))
+        classifier = DataCollectionClassifier(taxonomy, clean_llm, store)
+        evaluation = evaluate_classifier(classifier, descriptions, small_ecosystem.ground_truth)
+        assert evaluation.n_evaluated > 0
+        assert evaluation.category_accuracy > 0.85
+        assert evaluation.type_accuracy > 0.80

@@ -1,0 +1,64 @@
+"""Shared pytest fixtures.
+
+Expensive pipeline stages (ecosystem generation, crawling, classification,
+policy analysis) are built once per session and shared across test modules.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.suite import MeasurementSuite, SuiteConfig
+from repro.crawler.pipeline import CrawlPipeline
+from repro.ecosystem.config import EcosystemConfig
+from repro.ecosystem.generator import EcosystemGenerator
+from repro.llm.simulated import SimulatedLLM
+from repro.taxonomy.builtin import load_builtin_taxonomy
+
+
+@pytest.fixture(scope="session")
+def taxonomy():
+    """The full built-in taxonomy."""
+    return load_builtin_taxonomy()
+
+
+@pytest.fixture(scope="session")
+def simulated_llm(taxonomy):
+    """A deterministic simulated LLM sharing the built-in taxonomy."""
+    return SimulatedLLM(knowledge_taxonomy=taxonomy, seed=3)
+
+
+@pytest.fixture(scope="session")
+def small_config():
+    """A small paper-calibrated ecosystem configuration."""
+    return EcosystemConfig.paper_calibrated(n_gpts=600, seed=11)
+
+
+@pytest.fixture(scope="session")
+def small_ecosystem(small_config, taxonomy):
+    """A small generated ecosystem (600 GPTs)."""
+    return EcosystemGenerator(small_config, taxonomy).generate()
+
+
+@pytest.fixture(scope="session")
+def small_corpus(small_ecosystem):
+    """The crawl corpus for the small ecosystem."""
+    return CrawlPipeline.from_ecosystem(small_ecosystem, seed=11).run()
+
+
+@pytest.fixture(scope="session")
+def suite():
+    """A full measurement suite at moderate scale, shared across tests."""
+    return MeasurementSuite(config=SuiteConfig(n_gpts=1500, seed=7))
+
+
+@pytest.fixture(scope="session")
+def suite_classification(suite):
+    """The suite's classification result (forces the classification stage)."""
+    return suite.classification
+
+
+@pytest.fixture(scope="session")
+def suite_policy_report(suite):
+    """The suite's policy-consistency report (forces the policy stage)."""
+    return suite.policy_report

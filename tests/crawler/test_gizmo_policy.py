@@ -1,0 +1,92 @@
+"""Tests for the gizmo API server/client and the policy fetcher."""
+
+import pytest
+
+from repro.crawler.gizmo_api import GIZMO_API_PREFIX, GizmoAPIClient, GizmoAPIServer
+from repro.crawler.http import SimulatedHTTPLayer
+from repro.crawler.policy_fetcher import PolicyFetcher
+from repro.ecosystem.models import GPTAuthor, GPTManifest
+
+
+def build_manifest(gpt_id: str, public: bool = True) -> GPTManifest:
+    return GPTManifest(
+        gpt_id=gpt_id,
+        name=f"GPT {gpt_id}",
+        description="A test GPT.",
+        author=GPTAuthor(display_name="Author"),
+        tags=["public"] if public else ["private"],
+    )
+
+
+class TestGizmoAPI:
+    @pytest.fixture()
+    def http(self):
+        http = SimulatedHTTPLayer()
+        manifests = {
+            "g-public001": build_manifest("g-public001"),
+            "g-private01": build_manifest("g-private01", public=False),
+        }
+        GizmoAPIServer(manifests=manifests).install(http)
+        return http
+
+    def test_fetch_public_manifest(self, http):
+        client = GizmoAPIClient(http)
+        result = client.fetch("g-public001")
+        assert result.ok
+        assert result.manifest["gizmo"]["id"] == "g-public001"
+
+    def test_private_and_unknown_manifests_404(self, http):
+        client = GizmoAPIClient(http)
+        assert client.fetch("g-private01").status == 404
+        assert client.fetch("g-missing99").status == 404
+        assert len(client.failures) == 2
+
+    def test_extract_identifier(self):
+        assert GizmoAPIClient.extract_identifier(
+            "https://store.example/gpts/g-fYBGstD4a"
+        ) == "g-fYBGstD4a"
+        assert GizmoAPIClient.extract_identifier("https://store.example/about") is None
+
+    def test_prefix_constant(self):
+        assert GIZMO_API_PREFIX.startswith("https://chat.openai.com/backend-api/gizmos/")
+
+
+class TestPolicyFetcher:
+    def test_fetch_success_and_cache(self):
+        http = SimulatedHTTPLayer()
+        http.register_static("https://vendor.example/privacy", "We collect your email address.")
+        fetcher = PolicyFetcher(http)
+        first = fetcher.fetch("https://vendor.example/privacy")
+        second = fetcher.fetch("https://vendor.example/privacy")
+        assert first.ok and second.ok
+        assert http.request_count == 1  # cached
+        assert fetcher.success_rate == 1.0
+
+    def test_fetch_failures_recorded(self):
+        http = SimulatedHTTPLayer()
+        http.set_status_override("https://vendor.example/broken", 500)
+        fetcher = PolicyFetcher(http)
+        result = fetcher.fetch("https://vendor.example/broken")
+        assert not result.ok
+        assert result.error == "HTTP 500"
+
+    def test_connection_errors_recorded(self):
+        http = SimulatedHTTPLayer(seed=0)
+        http.register_static("https://down.example/privacy", "text")
+        http.set_flaky_host("down.example", 1.0)
+        fetcher = PolicyFetcher(http)
+        result = fetcher.fetch("https://down.example/privacy")
+        assert not result.ok
+        assert result.status == 0
+
+    def test_fetch_many(self):
+        http = SimulatedHTTPLayer()
+        http.register_static("https://a.example/p", "policy a")
+        fetcher = PolicyFetcher(http)
+        results = fetcher.fetch_many(["https://a.example/p", "https://b.example/p"])
+        assert results["https://a.example/p"].ok
+        assert not results["https://b.example/p"].ok
+        assert fetcher.success_rate == 0.5
+
+    def test_empty_success_rate(self):
+        assert PolicyFetcher(SimulatedHTTPLayer()).success_rate == 0.0

@@ -1,0 +1,70 @@
+"""Tests for the simulated HTTP layer."""
+
+import json
+
+import pytest
+
+from repro.crawler.http import HTTPError, SimulatedHTTPLayer, SimulatedResponse
+
+
+class TestSimulatedHTTPLayer:
+    def test_static_route(self):
+        http = SimulatedHTTPLayer()
+        http.register_static("https://example.com/policy", "hello", content_type="text/plain")
+        response = http.get("https://example.com/policy")
+        assert response.ok
+        assert response.text == "hello"
+        assert response.headers["content-type"] == "text/plain"
+
+    def test_unknown_url_is_404(self):
+        response = SimulatedHTTPLayer().get("https://nowhere.example/")
+        assert response.status == 404
+        assert not response.ok
+
+    def test_prefix_routing_longest_wins(self):
+        http = SimulatedHTTPLayer()
+        http.register("https://example.com/", lambda url: SimulatedResponse(url, 200, "generic"))
+        http.register(
+            "https://example.com/special", lambda url: SimulatedResponse(url, 200, "special")
+        )
+        assert http.get("https://example.com/special/page").text == "special"
+        assert http.get("https://example.com/other").text == "generic"
+
+    def test_status_override(self):
+        http = SimulatedHTTPLayer()
+        http.register_static("https://example.com/x", "content")
+        http.set_status_override("https://example.com/x", 500)
+        assert http.get("https://example.com/x").status == 500
+
+    def test_flaky_host_raises(self):
+        http = SimulatedHTTPLayer(seed=1)
+        http.register_static("https://flaky.example/x", "content")
+        http.set_flaky_host("flaky.example", 1.0)
+        with pytest.raises(HTTPError):
+            http.get("https://flaky.example/x")
+
+    def test_flaky_rate_validation(self):
+        with pytest.raises(ValueError):
+            SimulatedHTTPLayer().set_flaky_host("h", 2.0)
+
+    def test_request_log_and_count(self):
+        http = SimulatedHTTPLayer()
+        http.register_static("https://example.com/a", "a")
+        http.get("https://example.com/a")
+        http.get("https://example.com/b")
+        assert http.request_count == 2
+        assert http.request_log[0].endswith("/a")
+
+    def test_get_json(self):
+        http = SimulatedHTTPLayer()
+        http.register_static("https://example.com/api", json.dumps({"ok": True}))
+        assert http.get_json("https://example.com/api") == {"ok": True}
+
+    def test_get_json_raises_on_error_status(self):
+        http = SimulatedHTTPLayer()
+        with pytest.raises(HTTPError):
+            http.get_json("https://example.com/missing")
+
+    def test_response_json_method(self):
+        response = SimulatedResponse(url="u", status=200, text='{"a": 1}')
+        assert response.json() == {"a": 1}

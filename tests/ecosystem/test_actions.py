@@ -1,0 +1,90 @@
+"""Tests for Action specification synthesis."""
+
+import random
+
+import pytest
+
+from repro.ecosystem.actions import ActionFactory, PREVALENT_ACTIONS
+from repro.ecosystem.config import EcosystemConfig
+from repro.ecosystem.naming import NameFactory
+from repro.taxonomy.builtin import load_builtin_taxonomy
+
+
+@pytest.fixture(scope="module")
+def factory():
+    taxonomy = load_builtin_taxonomy()
+    config = EcosystemConfig.paper_calibrated(n_gpts=200, seed=4)
+    rng = random.Random(4)
+    return ActionFactory(taxonomy, config, rng, NameFactory(rng))
+
+
+class TestPrevalentCatalogue:
+    def test_table5_actions_present(self):
+        names = {template.name for template in PREVALENT_ACTIONS}
+        for expected in ("webPilot", "AdIntelli", "OpenAI Profile", "SerpApi Search Service",
+                         "Swagger Petstore", "VoxScript"):
+            assert any(expected in name for name in names), expected
+
+    def test_webpilot_is_most_prevalent(self):
+        ranked = sorted(PREVALENT_ACTIONS, key=lambda template: -template.target_share)
+        assert ranked[0].name == "webPilot"
+        assert ranked[1].name.startswith("Zapier")
+
+    def test_seed_types_reference_real_taxonomy_entries(self):
+        taxonomy = load_builtin_taxonomy()
+        for template in PREVALENT_ACTIONS:
+            for category, type_name in template.seed_types:
+                assert taxonomy.get_type(category, type_name) is not None, template.name
+
+    def test_dynamic_loaders_and_trackers_flagged(self):
+        by_name = {template.name: template for template in PREVALENT_ACTIONS}
+        assert by_name["Zapier AI Actions for GPT (Dynamic)"].dynamic_loader
+        assert by_name["AdIntelli"].tracking
+        assert not by_name["webPilot"].tracking
+
+
+class TestActionFactory:
+    def test_build_prevalent_includes_seed_types(self, factory):
+        template = next(t for t in PREVALENT_ACTIONS if t.name == "webPilot")
+        specification, labels = factory.build_prevalent(template)
+        assert specification.title == "webPilot"
+        assert specification.domain == "api.webpilot.ai"
+        assert len(labels) >= len(template.seed_types)
+        assert set(template.seed_types) <= set(labels.values())
+
+    def test_build_custom_first_party_uses_vendor_domain(self, factory):
+        specification, labels = factory.build_custom(
+            third_party=False, vendor_domain="myvendor.com", functionality="Travel", topic="travel planning"
+        )
+        assert specification.domain == "myvendor.com"
+        assert labels
+        assert len(specification.parameters()) == len(labels)
+
+    def test_build_custom_third_party_uses_other_domain(self, factory):
+        specification, _ = factory.build_custom(
+            third_party=True, vendor_domain="myvendor.com", functionality="Travel", topic="travel planning"
+        )
+        assert specification.domain != "myvendor.com"
+
+    def test_parameter_names_unique(self, factory):
+        specification, labels = factory.build_custom(
+            third_party=True, vendor_domain="v.com", functionality="Finance", topic="stock research"
+        )
+        names = [parameter.name for parameter in specification.parameters()]
+        assert len(names) == len(set(names))
+
+    def test_ground_truth_labels_are_valid_taxonomy_entries(self, factory):
+        taxonomy = load_builtin_taxonomy()
+        _, labels = factory.build_custom(
+            third_party=True, vendor_domain="v.com", functionality="Travel", topic="travel planning"
+        )
+        for category, type_name in labels.values():
+            assert taxonomy.get_type(category, type_name) is not None
+
+    def test_item_counts_follow_configured_bands(self, factory):
+        counts = []
+        for _ in range(300):
+            counts.append(factory._sample_item_count(third_party=False))
+        assert min(counts) >= 1
+        share_5_plus = sum(1 for count in counts if count >= 5) / len(counts)
+        assert 0.3 < share_5_plus < 0.7

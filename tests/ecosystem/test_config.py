@@ -1,0 +1,86 @@
+"""Tests for the ecosystem calibration configuration."""
+
+import pytest
+
+from repro.ecosystem.config import (
+    DisclosureProfile,
+    EcosystemConfig,
+    PAPER_DATA_TYPE_RATES,
+    PAPER_DISCLOSURE_PROFILES,
+    PAPER_STORE_COUNTS,
+    PAPER_TOTAL_UNIQUE_GPTS,
+)
+from repro.taxonomy.builtin import load_builtin_taxonomy
+
+
+class TestPaperConstants:
+    def test_store_counts_match_table1_total(self):
+        assert len(PAPER_STORE_COUNTS) == 13
+        assert PAPER_STORE_COUNTS[0][1] == 85_377
+        # The per-store counts exceed the unique total because of overlap.
+        assert sum(count for _, count in PAPER_STORE_COUNTS) > PAPER_TOTAL_UNIQUE_GPTS
+
+    def test_data_type_rates_reference_real_taxonomy_entries(self):
+        taxonomy = load_builtin_taxonomy()
+        for category, data_type in PAPER_DATA_TYPE_RATES:
+            assert taxonomy.get_type(category, data_type) is not None, (category, data_type)
+
+    def test_disclosure_profiles_reference_real_categories(self):
+        taxonomy = load_builtin_taxonomy()
+        assert len(PAPER_DISCLOSURE_PROFILES) == 24
+        for category, values in PAPER_DISCLOSURE_PROFILES.items():
+            assert taxonomy.has_category(category)
+            assert len(values) == 5
+
+
+class TestEcosystemConfig:
+    def test_paper_calibrated_scales_stores(self):
+        config = EcosystemConfig.paper_calibrated(n_gpts=1000)
+        assert sum(store.indexed_count for store in config.stores) >= 1000
+        largest = max(config.stores, key=lambda store: store.indexed_count)
+        assert largest.name == "Casanpir GitHub GPT List"
+
+    def test_paper_calibrated_overrides(self):
+        config = EcosystemConfig.paper_calibrated(n_gpts=500, policy_availability=0.5)
+        assert config.policy_availability == 0.5
+
+    def test_unknown_override_rejected(self):
+        with pytest.raises(ValueError):
+            EcosystemConfig.paper_calibrated(n_gpts=500, not_a_field=1)
+
+    def test_invalid_rates_rejected(self):
+        with pytest.raises(ValueError):
+            EcosystemConfig.paper_calibrated(n_gpts=100, dead_link_rate=1.5)
+        with pytest.raises(ValueError):
+            EcosystemConfig.paper_calibrated(n_gpts=0)
+
+    def test_item_count_bands_sum_to_one(self):
+        config = EcosystemConfig.paper_calibrated(n_gpts=100)
+        assert sum(p for _, _, p in config.item_count_bands) == pytest.approx(1.0)
+
+    def test_expected_action_gpts(self):
+        config = EcosystemConfig.paper_calibrated(n_gpts=1000)
+        assert config.expected_action_gpts() == pytest.approx(46, abs=1)
+
+    def test_disclosure_profile_lookup_and_default(self):
+        config = EcosystemConfig.paper_calibrated(n_gpts=100)
+        profile = config.disclosure_profile_for("Personal information")
+        assert profile.clear > profile.ambiguous
+        default = config.disclosure_profile_for("Nonexistent category")
+        assert default.omitted > 0.5
+
+    def test_small_preset(self):
+        config = EcosystemConfig.small()
+        assert config.n_gpts == 300
+
+
+class TestDisclosureProfile:
+    def test_normalization(self):
+        profile = DisclosureProfile(clear=2.0, vague=1.0, ambiguous=0.0, incorrect=1.0, omitted=6.0)
+        normalized = profile.normalized()
+        assert sum(normalized.as_tuple()) == pytest.approx(1.0)
+        assert normalized.clear == pytest.approx(0.2)
+
+    def test_zero_profile_defaults_to_omitted(self):
+        profile = DisclosureProfile(0.0, 0.0, 0.0, 0.0, 0.0).normalized()
+        assert profile.omitted == 1.0

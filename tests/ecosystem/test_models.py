@@ -1,0 +1,140 @@
+"""Tests for the ecosystem data models and their manifest serialization."""
+
+import json
+
+import pytest
+
+from repro.ecosystem.models import (
+    ActionEndpoint,
+    ActionParameter,
+    ActionSpecification,
+    GPTAuthor,
+    GPTManifest,
+    PrivacyPolicyDocument,
+    Tool,
+    ToolType,
+)
+
+
+def build_action() -> ActionSpecification:
+    return ActionSpecification(
+        action_id="abc123",
+        title="KAYAK - Flights, Hotels, Cars",
+        description="A plugin that allows users to search for the best deals.",
+        server_url="https://www.kayak.com",
+        legal_info_url="https://www.kayak.com/privacy",
+        functionality="Travel",
+        endpoints=[
+            ActionEndpoint(
+                path="/sherlock/aiplugin/search/flights",
+                method="post",
+                summary="Search flights",
+                parameters=[
+                    ActionParameter(name="destination", description="Destination of the trip", required=True),
+                    ActionParameter(name="departDate", description="The departure date for the flight"),
+                ],
+            )
+        ],
+    )
+
+
+def build_manifest() -> GPTManifest:
+    action = build_action()
+    return GPTManifest(
+        gpt_id="g-fYBGstD4a",
+        name="Ultimate Travel Planner",
+        description="Plan your perfect trip.",
+        author=GPTAuthor(display_name="Stephan B", website="https://travelvendor.com"),
+        categories=["productivity"],
+        prompt_starters=["Plan a surprise trip for me."],
+        tools=[
+            Tool(tool_type=ToolType.BROWSER),
+            Tool(tool_type=ToolType.DALLE),
+            Tool(tool_type=ToolType.ACTION, action=action),
+        ],
+        files=[{"id": "gzm_file_x", "type": "application/pdf"}],
+        vendor_domain="travelvendor.com",
+    )
+
+
+class TestActionParameter:
+    def test_name_and_description(self):
+        parameter = ActionParameter(name="destination", description="Where to go")
+        assert parameter.name_and_description() == "destination: Where to go"
+
+    @pytest.mark.parametrize("empty", ["", "null", "None", "n/a", "-", "   "])
+    def test_empty_description_falls_back_to_name(self, empty):
+        parameter = ActionParameter(name="dbconfig", description=empty)
+        assert parameter.name_and_description() == "dbconfig"
+
+    def test_openapi_serialization(self):
+        parameter = ActionParameter(name="format", description="The format of the response.",
+                                    required=True, location="query")
+        payload = parameter.to_openapi()
+        assert payload["name"] == "format"
+        assert payload["in"] == "query"
+        assert payload["required"] is True
+
+
+class TestActionSpecification:
+    def test_domain_extraction(self):
+        assert build_action().domain == "www.kayak.com"
+
+    def test_parameters_and_descriptions(self):
+        action = build_action()
+        assert [p.name for p in action.parameters()] == ["destination", "departDate"]
+        descriptions = action.data_descriptions()
+        assert descriptions[0].startswith("destination:")
+
+    def test_openapi_document_structure(self):
+        spec = build_action().to_openapi()
+        assert spec["openapi"] == "3.0.1"
+        assert spec["servers"][0]["url"] == "https://www.kayak.com"
+        assert "/sherlock/aiplugin/search/flights" in spec["paths"]
+
+    def test_manifest_tool_serialization(self):
+        tool = build_action().to_manifest_tool()
+        assert tool["type"].startswith("action")
+        assert tool["metadata"]["privacy_policy_url"] == "https://www.kayak.com/privacy"
+        assert tool["json_spec"]["info"]["title"].startswith("KAYAK")
+
+
+class TestTool:
+    def test_builtin_tool_serialization(self):
+        assert Tool(tool_type=ToolType.BROWSER).to_dict() == {"type": "browser"}
+
+    def test_action_tool_requires_spec(self):
+        with pytest.raises(ValueError):
+            Tool(tool_type=ToolType.ACTION).to_dict()
+
+
+class TestGPTManifest:
+    def test_actions_and_tool_queries(self):
+        manifest = build_manifest()
+        assert len(manifest.actions()) == 1
+        assert manifest.has_tool(ToolType.BROWSER)
+        assert not manifest.has_tool(ToolType.CODE_INTERPRETER)
+        assert ToolType.ACTION in manifest.tool_types()
+
+    def test_public_flag(self):
+        manifest = build_manifest()
+        assert manifest.is_public
+        manifest.tags = ["private"]
+        assert not manifest.is_public
+
+    def test_manifest_json_roundtrip(self):
+        manifest = build_manifest()
+        payload = json.loads(manifest.to_json())
+        assert payload["gizmo"]["id"] == "g-fYBGstD4a"
+        assert payload["gizmo"]["display"]["name"] == "Ultimate Travel Planner"
+        assert len(payload["tools"]) == 3
+        assert payload["files"][0]["type"] == "application/pdf"
+
+
+class TestPrivacyPolicyDocument:
+    def test_short_flag(self):
+        assert PrivacyPolicyDocument(url="u", text="short").is_short
+        assert not PrivacyPolicyDocument(url="u", text="x" * 600).is_short
+
+    def test_length(self):
+        assert PrivacyPolicyDocument(url="u", text="abcd").length == 4

@@ -1,0 +1,86 @@
+"""Tests for the natural-language phrasing engine."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.ecosystem.phrasing import DescriptionPhraser, PhrasingStyle, parameter_name_for
+from repro.taxonomy.builtin import load_builtin_taxonomy
+
+
+@pytest.fixture(scope="module")
+def taxonomy():
+    return load_builtin_taxonomy()
+
+
+@pytest.fixture()
+def email_type(taxonomy):
+    return taxonomy.get_type("Personal information", "Email address")
+
+
+class TestParameterNames:
+    def test_names_are_identifier_like(self, taxonomy):
+        rng = random.Random(0)
+        for data_type in list(taxonomy.iter_types())[:40]:
+            name = parameter_name_for(data_type, rng)
+            assert name
+            assert " " not in name
+
+    def test_deterministic_given_rng_state(self, email_type):
+        assert parameter_name_for(email_type, random.Random(5)) == parameter_name_for(
+            email_type, random.Random(5)
+        )
+
+
+class TestDescriptionPhraser:
+    def test_styles_cover_expected_mix(self, taxonomy, email_type):
+        rng = random.Random(1)
+        phraser = DescriptionPhraser(rng, empty_rate=0.1, multi_topic_rate=0.1,
+                                     foreign_rate=0.1, terse_rate=0.1)
+        other = [taxonomy.get_type("Location", "City")]
+        styles = Counter(
+            phraser.phrase(email_type, other_types=other).style for _ in range(500)
+        )
+        assert styles[PhrasingStyle.EMPTY] > 0
+        assert styles[PhrasingStyle.MULTI_TOPIC] > 0
+        assert styles[PhrasingStyle.FOREIGN] > 0
+        assert styles[PhrasingStyle.TERSE] > 0
+        assert styles[PhrasingStyle.TEMPLATE] + styles[PhrasingStyle.GENERIC] > 200
+
+    def test_zero_noise_always_normal(self, email_type):
+        phraser = DescriptionPhraser(random.Random(2), empty_rate=0.0, multi_topic_rate=0.0,
+                                     foreign_rate=0.0, terse_rate=0.0)
+        for _ in range(50):
+            phrased = phraser.phrase(email_type)
+            assert phrased.style in (PhrasingStyle.TEMPLATE, PhrasingStyle.GENERIC)
+            assert phrased.description
+
+    def test_multi_topic_requires_other_types(self, email_type):
+        phraser = DescriptionPhraser(random.Random(3), empty_rate=0.0, multi_topic_rate=0.9,
+                                     foreign_rate=0.0, terse_rate=0.0)
+        phrased = phraser.phrase(email_type, other_types=())
+        assert phrased.style is not PhrasingStyle.MULTI_TOPIC
+
+    def test_multi_topic_records_secondary_type(self, taxonomy, email_type):
+        city = taxonomy.get_type("Location", "City")
+        phraser = DescriptionPhraser(random.Random(4), empty_rate=0.0, multi_topic_rate=0.85,
+                                     foreign_rate=0.0, terse_rate=0.0)
+        phrased_items = [phraser.phrase(email_type, other_types=[city]) for _ in range(40)]
+        multi = [item for item in phrased_items if item.style is PhrasingStyle.MULTI_TOPIC]
+        assert multi
+        assert all(item.secondary_type is city for item in multi)
+        assert all(item.is_hard for item in multi)
+
+    def test_excessive_noise_rejected(self):
+        with pytest.raises(ValueError):
+            DescriptionPhraser(random.Random(0), empty_rate=0.5, multi_topic_rate=0.5,
+                               foreign_rate=0.1, terse_rate=0.1)
+
+    def test_empty_style_descriptions_are_null_like(self, email_type):
+        phraser = DescriptionPhraser(random.Random(5), empty_rate=0.85, multi_topic_rate=0.0,
+                                     foreign_rate=0.0, terse_rate=0.0)
+        phrased_items = [phraser.phrase(email_type) for _ in range(40)]
+        empty = [item for item in phrased_items if item.style is PhrasingStyle.EMPTY]
+        assert empty
+        assert all(item.description.lower() in ("", "null", "none", "-", "n/a") for item in empty)

@@ -1,0 +1,119 @@
+"""Tests for privacy-policy generation."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.ecosystem.actions import ActionFactory
+from repro.ecosystem.config import EcosystemConfig
+from repro.ecosystem.naming import NameFactory
+from repro.ecosystem.policies import CONTROLLED_KINDS, PolicyGenerator, PolicyKind
+from repro.taxonomy.builtin import load_builtin_taxonomy
+
+
+@pytest.fixture(scope="module")
+def taxonomy():
+    return load_builtin_taxonomy()
+
+
+def make_action(seed: int = 0):
+    taxonomy = load_builtin_taxonomy()
+    config = EcosystemConfig.paper_calibrated(n_gpts=100, seed=seed)
+    rng = random.Random(seed)
+    factory = ActionFactory(taxonomy, config, rng, NameFactory(rng))
+    return factory.build_custom(
+        third_party=True, vendor_domain="vendor.com", functionality="Travel", topic="travel planning"
+    )
+
+
+class TestPolicyGenerator:
+    def test_policy_attached_and_url_set(self, taxonomy):
+        config = EcosystemConfig.paper_calibrated(n_gpts=100, seed=1, policy_availability=1.0)
+        generator = PolicyGenerator(taxonomy, config, random.Random(1))
+        action, labels = make_action(1)
+        generated = generator.generate(action, list(set(labels.values())), "vendor.com")
+        assert generated is not None
+        assert action.legal_info_url == generated.document.url
+        assert generated.kind.value == generated.document.kind
+
+    def test_unavailable_policies_still_set_url(self, taxonomy):
+        config = EcosystemConfig.paper_calibrated(n_gpts=100, seed=2, policy_availability=0.0)
+        generator = PolicyGenerator(taxonomy, config, random.Random(2))
+        action, labels = make_action(2)
+        generated = generator.generate(action, list(set(labels.values())), "vendor.com")
+        assert generated is None
+        assert action.legal_info_url is not None
+
+    def test_controlled_policies_have_labels_for_every_type(self, taxonomy):
+        config = EcosystemConfig.paper_calibrated(n_gpts=100, seed=3, policy_availability=1.0)
+        generator = PolicyGenerator(taxonomy, config, random.Random(3))
+        for seed in range(12):
+            action, labels = make_action(seed + 10)
+            collected = list(dict.fromkeys(labels.values()))
+            generated = generator.generate(action, collected, "vendor.com")
+            assert generated is not None
+            if generated.controlled:
+                assert set(generated.disclosure_labels.keys()) == set(collected)
+                for label in generated.disclosure_labels.values():
+                    assert label in ("clear", "vague", "ambiguous", "incorrect", "omitted")
+
+    def test_fully_consistent_policies_all_clear(self, taxonomy):
+        config = EcosystemConfig.paper_calibrated(
+            n_gpts=100, seed=4, policy_availability=1.0, fully_consistent_action_share=1.0 - 1e-9
+        )
+        generator = PolicyGenerator(taxonomy, config, random.Random(4))
+        action, labels = make_action(4)
+        generated = generator.generate(action, list(set(labels.values())), "vendor.com")
+        assert generated.kind is PolicyKind.FULLY_CONSISTENT
+        assert set(generated.disclosure_labels.values()) == {"clear"}
+
+    def test_kind_mix_respects_configuration(self, taxonomy):
+        config = EcosystemConfig.paper_calibrated(n_gpts=100, seed=5, policy_availability=1.0)
+        generator = PolicyGenerator(taxonomy, config, random.Random(5))
+        kinds = Counter()
+        for seed in range(120):
+            action, labels = make_action(seed + 100)
+            generated = generator.generate(action, list(set(labels.values())), "vendor.com")
+            kinds[generated.kind] += 1
+        assert kinds[PolicyKind.STANDARD] > 0
+        duplicate_kinds = (
+            PolicyKind.EXTERNAL_SERVICE,
+            PolicyKind.EMPTY,
+            PolicyKind.SAME_VENDOR,
+            PolicyKind.JAVASCRIPT,
+            PolicyKind.OPENAI_POLICY,
+            PolicyKind.TRACKING_PIXEL,
+        )
+        assert sum(kinds[kind] for kind in duplicate_kinds) > 10
+
+    def test_same_vendor_policies_are_shared(self, taxonomy):
+        config = EcosystemConfig.paper_calibrated(n_gpts=100, seed=6, policy_availability=1.0)
+        generator = PolicyGenerator(taxonomy, config, random.Random(6))
+        action_a, labels_a = make_action(200)
+        action_b, labels_b = make_action(201)
+        generated_a = generator._build_same_vendor(action_a, list(set(labels_a.values())), "shared.com")
+        generated_b = generator._build_same_vendor(action_b, list(set(labels_b.values())), "shared.com")
+        assert generated_a.document.url == generated_b.document.url
+        assert generated_a.document.text == generated_b.document.text
+
+    def test_short_generic_policies_are_short_and_incorrect(self, taxonomy):
+        config = EcosystemConfig.paper_calibrated(n_gpts=100, seed=7, policy_availability=1.0)
+        generator = PolicyGenerator(taxonomy, config, random.Random(7))
+        action, labels = make_action(300)
+        generated = generator._build_short_generic(action, list(set(labels.values())), "vendor.com")
+        assert generated.document.is_short
+        assert set(generated.disclosure_labels.values()) == {"incorrect"}
+
+    def test_boilerplate_is_long_and_controlled(self, taxonomy):
+        config = EcosystemConfig.paper_calibrated(n_gpts=100, seed=8, policy_availability=1.0)
+        generator = PolicyGenerator(taxonomy, config, random.Random(8))
+        action, labels = make_action(301)
+        generated = generator._build_boilerplate(action, list(set(labels.values())), "vendor.com")
+        assert generated.controlled
+        assert len(generated.document.text) > 2000
+        assert action.title in generated.document.text
+
+    def test_controlled_kind_list(self):
+        assert PolicyKind.STANDARD in CONTROLLED_KINDS
+        assert PolicyKind.EXTERNAL_SERVICE not in CONTROLLED_KINDS

@@ -1,0 +1,91 @@
+"""Tests for store assignment and name synthesis."""
+
+import random
+
+import pytest
+
+from repro.ecosystem.config import EcosystemConfig
+from repro.ecosystem.generator import EcosystemGenerator
+from repro.ecosystem.naming import NameFactory
+from repro.ecosystem.stores import STORE_CATALOG, assign_listings, store_domain
+
+
+class TestNameFactory:
+    def test_gpt_ids_unique_and_well_formed(self):
+        names = NameFactory(random.Random(0))
+        ids = {names.gpt_id() for _ in range(200)}
+        assert len(ids) == 200
+        assert all(gpt_id.startswith("g-") and len(gpt_id) == 11 for gpt_id in ids)
+
+    def test_vendor_domains_unique(self):
+        names = NameFactory(random.Random(1))
+        domains = [names.vendor_domain() for _ in range(100)]
+        assert len(domains) == len(set(domains))
+
+    def test_hosted_domains_use_paas_suffixes(self):
+        names = NameFactory(random.Random(2))
+        domain = names.hosted_domain("tester")
+        assert any(
+            domain.endswith(suffix)
+            for suffix in ("vercel.app", "herokuapp.com", "onrender.com", "a.run.app", "fly.dev")
+        )
+
+    def test_gpt_names_unique(self):
+        names = NameFactory(random.Random(3))
+        generated = [names.gpt_name("travel planning") for _ in range(50)]
+        assert len(generated) == len(set(generated))
+
+    def test_theme_returns_triplet(self):
+        topic, category, functionality = NameFactory(random.Random(4)).theme()
+        assert topic and category and functionality
+
+
+class TestStoreCatalog:
+    def test_catalog_matches_table1(self):
+        assert len(STORE_CATALOG) == 13
+        official = [store for store in STORE_CATALOG if store.is_official]
+        assert len(official) == 1
+        assert official[0].name == "OpenAI Store"
+
+    def test_store_domain_slug(self):
+        assert store_domain("plugin.surf") == "plugin.surf"
+        assert store_domain("OpenAI Store") == "openaistore.example"
+
+
+class TestAssignListings:
+    @pytest.fixture(scope="class")
+    def gpts(self):
+        config = EcosystemConfig.paper_calibrated(n_gpts=300, seed=9)
+        ecosystem = EcosystemGenerator(config).generate()
+        return list(ecosystem.gpts.values()), config
+
+    def test_every_gpt_indexed_somewhere(self, gpts):
+        manifests, config = gpts
+        listings = assign_listings(manifests, config.stores, random.Random(1), dead_link_rate=0.0)
+        indexed = {listing.gpt_id for per_store in listings.values() for listing in per_store}
+        assert {gpt.gpt_id for gpt in manifests} <= indexed
+
+    def test_store_sizes_preserve_skew(self, gpts):
+        manifests, config = gpts
+        listings = assign_listings(manifests, config.stores, random.Random(2), dead_link_rate=0.0)
+        sizes = {name: len(per_store) for name, per_store in listings.items()}
+        # Every store indexes at least its configured quota (pass-1 membership
+        # can push small stores slightly above it) and the largest configured
+        # store stays the largest index.
+        for store in config.stores:
+            assert sizes[store.name] >= min(store.indexed_count, len(manifests)) * 0.5
+        largest = max(sizes, key=sizes.get)
+        assert largest == "Casanpir GitHub GPT List"
+
+    def test_dead_links_added(self, gpts):
+        manifests, config = gpts
+        listings = assign_listings(manifests, config.stores, random.Random(3), dead_link_rate=0.1)
+        dead = [listing for per_store in listings.values() for listing in per_store if listing.dead]
+        assert dead
+        assert all(listing.gpt_id.startswith("g-dead") for listing in dead)
+
+    def test_empty_inputs(self):
+        assert assign_listings([], STORE_CATALOG[:2], random.Random(0)) == {
+            STORE_CATALOG[0].name: [],
+            STORE_CATALOG[1].name: [],
+        }

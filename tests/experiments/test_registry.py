@@ -1,0 +1,102 @@
+"""Tests for the experiment registry and paper-value comparisons."""
+
+import pytest
+
+from repro.experiments.paper_values import PAPER_VALUES
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    get_experiment,
+    run_all_experiments,
+    run_experiment,
+)
+
+
+class TestRegistryStructure:
+    def test_every_table_and_figure_registered(self):
+        for experiment_id in (
+            "table1", "table3", "table4", "table5", "table6", "table7",
+            "figure3", "figure7", "figure8", "figure9", "figure10", "figure11", "figure12",
+            "taxonomy_refinement", "classifier_accuracy", "headline_stats", "multiaction",
+            "policy_stats", "disclosure_headlines",
+        ):
+            assert experiment_id in EXPERIMENTS
+
+    def test_paper_values_exist_for_every_experiment(self):
+        for experiment_id in EXPERIMENTS:
+            assert experiment_id in PAPER_VALUES
+            assert PAPER_VALUES[experiment_id]
+
+    def test_get_experiment_unknown_id(self):
+        with pytest.raises(KeyError):
+            get_experiment("table99")
+
+
+@pytest.fixture(scope="module")
+def all_results(suite):
+    return {result.experiment_id: result for result in run_all_experiments(suite)}
+
+
+class TestExperimentResults:
+    def test_all_experiments_produce_results(self, all_results):
+        assert set(all_results) == set(EXPERIMENTS)
+
+    def test_comparison_rows_share_metrics(self, all_results):
+        for result in all_results.values():
+            rows = result.comparison_rows()
+            assert rows, result.experiment_id
+            for metric, paper, measured in rows:
+                assert metric in result.paper_values
+                assert metric in result.measured_values
+
+    def test_table1_total_matches_suite_scale(self, all_results, suite):
+        assert all_results["table1"].measured_values["total_unique_gpts"] == len(suite.corpus.gpts)
+        assert all_results["table1"].measured_values["n_stores"] == 13
+
+    def test_table3_shapes(self, all_results):
+        measured = all_results["table3"].measured_values
+        assert measured["browser"] > measured["knowledge"]
+        assert measured["third_party_actions"] > measured["first_party_actions"]
+        assert 0.01 <= measured["actions"] <= 0.1
+
+    def test_table4_shape(self, all_results):
+        measured = all_results["table4"].measured_values
+        assert measured["search_query_gpt_share"] > measured["email_gpt_share"]
+        assert measured["n_categories"] >= 15
+
+    def test_figure7_shape(self, all_results):
+        measured = all_results["figure7"].measured_values
+        assert measured["share_actions_5_plus_items"] > measured["share_actions_10_plus_items"]
+
+    def test_figure9_omission_dominates(self, all_results):
+        assert all_results["figure9"].measured_values["most_categories_majority_omitted"]
+
+    def test_classifier_accuracy_close_to_paper(self, all_results):
+        measured = all_results["classifier_accuracy"].measured_values
+        assert measured["category_accuracy"] > 0.85
+        assert measured["type_accuracy"] > 0.82
+
+    def test_policy_stats_shape(self, all_results):
+        measured = all_results["policy_stats"].measured_values
+        assert 0.85 <= measured["availability"] <= 1.0
+        assert measured["framework_recall"] >= 0.85
+
+    def test_multiaction_shape(self, all_results):
+        measured = all_results["multiaction"].measured_values
+        assert measured["one_action"] > 0.7
+        assert measured["one_action"] > measured["two_actions"] > measured["three_actions"] - 1e-9
+
+    def test_disclosure_headlines_shape(self, all_results):
+        measured = all_results["disclosure_headlines"].measured_values
+        assert measured["omitted_dominates"]
+        assert 0.0 <= measured["fully_consistent_action_share"] <= 0.25
+
+    def test_taxonomy_refinement_shape(self, all_results):
+        measured = all_results["taxonomy_refinement"].measured_values
+        assert measured["initial_other_rate"] > measured["final_other_rate"]
+        assert measured["accepted_new_types"] >= 5
+        assert measured["final_n_types"] <= 145
+
+    def test_run_experiment_single(self, suite):
+        result = run_experiment("table1", suite)
+        assert result.experiment_id == "table1"
+        assert result.artifact

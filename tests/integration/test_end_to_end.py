@@ -1,0 +1,71 @@
+"""End-to-end integration tests: generate → crawl → classify → analyze → report.
+
+These tests exercise the full pipeline on a shared medium-sized corpus and
+check that the headline findings of the paper hold in *shape* (ordering and
+rough magnitude), which is what the reproduction targets.
+"""
+
+import pytest
+
+from repro.experiments.registry import run_all_experiments
+from repro.policy.labels import ConsistencyLabel
+
+
+class TestEndToEndPipeline:
+    def test_corpus_matches_generated_ecosystem(self, suite):
+        assert len(suite.corpus.gpts) == suite.ecosystem.n_gpts()
+        assert suite.corpus.n_unique_actions() > 20
+
+    def test_rq1_data_collection_findings(self, suite):
+        """RQ1: Actions collect excessive data across many categories and types."""
+        collection = suite.collection
+        assert collection.n_categories_observed() >= 15
+        assert collection.n_types_observed() >= 40
+        # Roughly half of Actions collect 5+ items, about a fifth collect 10+.
+        assert 0.3 <= collection.share_with_at_least(5) <= 0.7
+        assert 0.08 <= collection.share_with_at_least(10) <= 0.35
+        # Search queries are the most commonly collected data type.
+        top_row = collection.rows[0]
+        assert top_row.category in ("Query", "Web and network data", "App usage data")
+
+    def test_rq2_prohibited_data_finding(self, suite):
+        """RQ2 (platform policy): some GPTs embed Actions collecting prohibited data."""
+        prohibited = suite.prohibited
+        assert prohibited.offending_actions
+        assert 0.02 <= prohibited.offending_gpt_share <= 0.35
+
+    def test_rq2_disclosure_findings(self, suite):
+        """RQ2 (self-disclosures): most collected data types are not disclosed."""
+        disclosure = suite.disclosure
+        overall = disclosure.overall_distribution()
+        assert overall[ConsistencyLabel.OMITTED] == max(overall.values())
+        assert disclosure.fully_consistent_share <= 0.25
+        assert abs(disclosure.spearman_consistency_vs_items()) <= 0.6
+
+    def test_third_party_actions_dominate(self, suite):
+        tools = suite.tool_usage
+        assert tools.third_party_action_share > tools.first_party_action_share
+
+    def test_framework_accuracies_close_to_paper(self, suite):
+        classifier_eval = suite.evaluate_classifier()
+        policy_eval = suite.evaluate_policy_framework()
+        assert classifier_eval.category_accuracy == pytest.approx(0.93, abs=0.08)
+        assert classifier_eval.type_accuracy == pytest.approx(0.92, abs=0.10)
+        assert policy_eval.accuracy == pytest.approx(0.87, abs=0.10)
+        assert policy_eval.recall >= 0.85
+
+    def test_every_experiment_runs_on_shared_suite(self, suite):
+        results = run_all_experiments(suite)
+        assert len(results) >= 18
+        for result in results:
+            assert result.measured_values
+
+    def test_seed_reproducibility(self):
+        from repro.analysis.suite import MeasurementSuite, SuiteConfig
+
+        suite_a = MeasurementSuite(config=SuiteConfig(n_gpts=300, seed=42))
+        suite_b = MeasurementSuite(config=SuiteConfig(n_gpts=300, seed=42))
+        stats_a = suite_a.crawl_stats
+        stats_b = suite_b.crawl_stats
+        assert stats_a.per_store_counts == stats_b.per_store_counts
+        assert suite_a.collection.items_per_action == suite_b.collection.items_per_action

@@ -1,0 +1,69 @@
+"""Tests for the deterministic error model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.llm.errors import ErrorModel
+
+
+class TestErrorModel:
+    def test_zero_rate_never_perturbs(self):
+        model = ErrorModel(rate=0.0)
+        assert not any(model.should_perturb(f"key-{i}") for i in range(200))
+
+    def test_full_rate_always_perturbs(self):
+        model = ErrorModel(rate=1.0)
+        assert all(model.should_perturb(f"key-{i}") for i in range(50))
+
+    def test_deterministic_for_same_inputs(self):
+        model = ErrorModel(rate=0.5, seed=3)
+        decisions_a = [model.should_perturb(f"key-{i}") for i in range(100)]
+        decisions_b = [model.should_perturb(f"key-{i}") for i in range(100)]
+        assert decisions_a == decisions_b
+
+    def test_seed_changes_decisions(self):
+        a = ErrorModel(rate=0.5, seed=1)
+        b = ErrorModel(rate=0.5, seed=2)
+        decisions_a = [a.should_perturb(f"key-{i}") for i in range(200)]
+        decisions_b = [b.should_perturb(f"key-{i}") for i in range(200)]
+        assert decisions_a != decisions_b
+
+    def test_rate_roughly_respected(self):
+        model = ErrorModel(rate=0.2, seed=0)
+        perturbed = sum(model.should_perturb(f"key-{i}") for i in range(2000))
+        assert 0.12 < perturbed / 2000 < 0.28
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            ErrorModel(rate=1.5)
+
+    def test_choose_deterministic_and_within_options(self):
+        model = ErrorModel(rate=1.0, seed=5)
+        options = ["a", "b", "c"]
+        chosen = model.choose("key", options)
+        assert chosen in options
+        assert model.choose("key", options) == chosen
+
+    def test_choose_empty_options_raises(self):
+        with pytest.raises(ValueError):
+            ErrorModel(rate=1.0).choose("key", [])
+
+    def test_maybe_swap_keeps_value_when_not_perturbed(self):
+        model = ErrorModel(rate=0.0)
+        assert model.maybe_swap("key", "current", ["alt"]) == "current"
+
+    def test_maybe_swap_changes_value_when_perturbed(self):
+        model = ErrorModel(rate=1.0, seed=1)
+        assert model.maybe_swap("key", "current", ["alt1", "alt2"]) in {"alt1", "alt2"}
+
+    def test_maybe_swap_with_no_real_alternative(self):
+        model = ErrorModel(rate=1.0)
+        assert model.maybe_swap("key", "current", ["current"]) == "current"
+
+
+@given(st.floats(min_value=0.0, max_value=1.0), st.integers(0, 10), st.text(max_size=20))
+def test_property_should_perturb_is_pure(rate, seed, key):
+    """The same (rate, seed, key) always yields the same decision."""
+    model_a = ErrorModel(rate=rate, seed=seed)
+    model_b = ErrorModel(rate=rate, seed=seed)
+    assert model_a.should_perturb(key) == model_b.should_perturb(key)

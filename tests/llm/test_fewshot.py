@@ -1,0 +1,62 @@
+"""Tests for the few-shot example store."""
+
+import pytest
+
+from repro.llm.fewshot import FewShotExample, FewShotStore
+
+
+def build_store() -> FewShotStore:
+    store = FewShotStore(default_k=3)
+    store.add_tuples(
+        [
+            ("email address of the user", "Personal information", "Email address"),
+            ("the user's email to contact", "Personal information", "Email address"),
+            ("the city to search in", "Location", "City"),
+            ("latitude of the point", "Location", "GPS coordinates"),
+            ("your api key", "Security credentials", "API key"),
+        ]
+    )
+    return store
+
+
+class TestFewShotStore:
+    def test_len_and_examples(self):
+        store = build_store()
+        assert len(store) == 5
+        assert len(store.examples) == 5
+
+    def test_retrieval_prefers_similar_examples(self):
+        store = build_store()
+        retrieved = store.retrieve("email of the user", k=2)
+        assert retrieved
+        assert retrieved[0].data_type == "Email address"
+
+    def test_retrieve_with_distances_sorted(self):
+        store = build_store()
+        results = store.retrieve_with_distances("the city to look up", k=3)
+        distances = [distance for _, distance in results]
+        assert distances == sorted(distances)
+
+    def test_default_k_used(self):
+        store = build_store()
+        assert len(store.retrieve("anything")) == 3
+
+    def test_categories_listing(self):
+        store = build_store()
+        assert store.categories() == [
+            "Personal information",
+            "Location",
+            "Security credentials",
+        ]
+
+    def test_invalid_default_k(self):
+        with pytest.raises(ValueError):
+            FewShotStore(default_k=0)
+
+    def test_empty_store_retrieval(self):
+        assert FewShotStore().retrieve("anything") == []
+
+    def test_example_prompt_line(self):
+        example = FewShotExample("the city", "Location", "City")
+        line = example.as_prompt_line()
+        assert "the city" in line and "Location" in line and "City" in line

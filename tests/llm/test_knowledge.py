@@ -1,0 +1,90 @@
+"""Tests for the keyword knowledge base."""
+
+import pytest
+
+from repro.llm.knowledge import KeywordKnowledgeBase, VAGUE_CATEGORY_TERMS
+from repro.taxonomy.builtin import load_builtin_taxonomy
+from repro.taxonomy.schema import OTHER_CATEGORY, OTHER_TYPE
+
+
+@pytest.fixture(scope="module")
+def knowledge():
+    return KeywordKnowledgeBase(load_builtin_taxonomy())
+
+
+class TestClassification:
+    @pytest.mark.parametrize(
+        ("description", "expected_category", "expected_type"),
+        [
+            ("Email address of the user", "Personal information", "Email address"),
+            ("The search query from the user", "Query", "Search query"),
+            ("Latitude of the location", "Location", "GPS coordinates"),
+            ("Your API key for the service", "Security credentials", "API key"),
+            ("The URL of the page to summarize", "Web and network data", "URLs"),
+            ("Ticker symbol of the stock, e.g. AAPL", "Market data", "Ticker symbol"),
+            ("Number of checked bags for the flight", "Travel information", "Baggage information"),
+        ],
+    )
+    def test_common_descriptions(self, knowledge, description, expected_category, expected_type):
+        category, data_type = knowledge.classify(description)
+        assert category == expected_category
+        assert data_type == expected_type
+
+    def test_empty_description_is_other(self, knowledge):
+        assert knowledge.classify("") == (OTHER_CATEGORY, OTHER_TYPE)
+
+    def test_gibberish_is_other(self, knowledge):
+        assert knowledge.classify("zzqq xxyy blorp")[0] == OTHER_CATEGORY
+
+    def test_match_returns_scored_candidates(self, knowledge):
+        candidates = knowledge.match("email address of the user", limit=3)
+        assert candidates
+        assert candidates[0].type_name == "Email address"
+        assert candidates[0].score >= candidates[-1].score
+        assert candidates[0].matched_terms
+
+    def test_best_match_none_for_empty(self, knowledge):
+        assert knowledge.best_match("") is None
+
+
+class TestSentenceHelpers:
+    def test_mentions_collection(self, knowledge):
+        assert knowledge.mentions_collection("We collect your email address.")
+        assert knowledge.mentions_collection("The data you provide is stored on our servers.")
+        assert not knowledge.mentions_collection("Contact our support team any time.")
+
+    def test_mentions_negation(self, knowledge):
+        assert knowledge.mentions_negation("We do not collect any personal data.")
+        assert knowledge.mentions_negation("Your data is never for sale.")
+        assert not knowledge.mentions_negation("We collect your email address.")
+
+    def test_affirmative_collection_outside_negation_scope(self, knowledge):
+        ambiguous = (
+            "We do not actively collect and store any personal data from users, although we use "
+            "your personal data to provide the service."
+        )
+        denial = "We do not collect your email address or share it with third parties."
+        assert knowledge.mentions_affirmative_collection(ambiguous)
+        assert not knowledge.mentions_affirmative_collection(denial)
+
+    def test_vague_categories(self, knowledge):
+        categories = knowledge.vague_categories("We may collect personal information you provide.")
+        assert "Personal information" in categories
+        assert knowledge.vague_categories("The weather is nice today.") == []
+
+    def test_sentence_mentions_type(self, knowledge):
+        taxonomy = knowledge.taxonomy
+        email = taxonomy.get_type("Personal information", "Email address")
+        gps = taxonomy.get_type("Location", "GPS coordinates")
+        sentence = "We collect your email address when you sign up."
+        assert knowledge.sentence_mentions_type(sentence, email)
+        assert not knowledge.sentence_mentions_type(sentence, gps)
+
+
+class TestVagueTermTable:
+    def test_umbrella_terms_reference_real_categories(self):
+        taxonomy = load_builtin_taxonomy()
+        for phrase, categories in VAGUE_CATEGORY_TERMS.items():
+            assert phrase == phrase.lower()
+            for category in categories:
+                assert taxonomy.has_category(category), (phrase, category)

@@ -1,0 +1,107 @@
+"""Tests for prompt rendering and response parsing."""
+
+import json
+
+import pytest
+
+from repro.llm import prompts
+from repro.taxonomy.builtin import load_builtin_taxonomy
+
+
+@pytest.fixture(scope="module")
+def taxonomy():
+    return load_builtin_taxonomy()
+
+
+class TestPromptRendering:
+    def test_classification_prompt_contains_task_and_payload(self, taxonomy):
+        prompt = prompts.render_classification_prompt(
+            taxonomy,
+            [{"name_and_description": "email of the user", "examples": []}],
+            [{"description": "the city", "category": "Location", "data_type": "City"}],
+        )
+        assert prompts.extract_task(prompt) == prompts.TASK_CLASSIFY
+        payload = prompts.extract_payload(prompt)
+        assert payload["entities"][0]["name_and_description"] == "email of the user"
+        assert "Location" in payload["taxonomy"]
+
+    def test_classification_phases(self, taxonomy):
+        category_prompt = prompts.render_classification_prompt(taxonomy, [], [], phase="category")
+        type_prompt = prompts.render_classification_prompt(
+            taxonomy, [], [], phase="type", category="Location"
+        )
+        assert prompts.extract_task(category_prompt) == prompts.TASK_CLASSIFY_CATEGORY
+        assert prompts.extract_task(type_prompt) == prompts.TASK_CLASSIFY_TYPE
+        assert prompts.extract_payload(type_prompt)["category"] == "Location"
+
+    def test_unknown_phase_rejected(self, taxonomy):
+        with pytest.raises(prompts.PromptError):
+            prompts.render_classification_prompt(taxonomy, [], [], phase="bogus")
+
+    def test_refinement_prompt(self, taxonomy):
+        prompt = prompts.render_refinement_prompt(
+            taxonomy, [{"name_and_description": "wind speed", "amount_appears": 3}]
+        )
+        assert prompts.extract_task(prompt) == prompts.TASK_REFINE_TAXONOMY
+        assert prompts.extract_payload(prompt)["entities"][0]["amount_appears"] == 3
+
+    def test_collection_extraction_prompt_indexes_sentences(self):
+        prompt = prompts.render_collection_extraction_prompt(["First.", "Second."])
+        payload = prompts.extract_payload(prompt)
+        assert payload["sentences"][1] == {"index": 1, "text": "Second."}
+
+    def test_consistency_prompt(self):
+        prompt = prompts.render_consistency_prompt(
+            {"category": "Location", "data_type": "City", "description": "A city."},
+            [{"index": 0, "text": "We collect your city."}],
+        )
+        assert prompts.extract_task(prompt) == prompts.TASK_LABEL_CONSISTENCY
+        payload = prompts.extract_payload(prompt)
+        assert payload["data_entity"]["data_type"] == "City"
+
+    def test_improve_prompt(self):
+        prompt = prompts.render_improve_prompt("Classify things. Be careful.")
+        assert prompts.extract_task(prompt) == prompts.TASK_IMPROVE_PROMPT
+
+    def test_taxonomy_summary_structure(self, taxonomy):
+        summary = prompts.taxonomy_summary(taxonomy)
+        assert "Location" in summary
+        assert "City" in summary["Location"]["data_types"]
+
+
+class TestPayloadExtraction:
+    def test_missing_task_marker(self):
+        with pytest.raises(prompts.PromptError):
+            prompts.extract_task("no marker here")
+
+    def test_missing_payload_block(self):
+        with pytest.raises(prompts.PromptError):
+            prompts.extract_payload("TASK: classify-data-descriptions\nno payload")
+
+    def test_invalid_payload_json(self):
+        text = (
+            "TASK: x\n### INPUT (JSON) ###\nnot json\n### END INPUT ###"
+        )
+        with pytest.raises(prompts.PromptError):
+            prompts.extract_payload(text)
+
+
+class TestResponseParsing:
+    def test_plain_json(self):
+        assert prompts.parse_json_response('{"a": 1}') == {"a": 1}
+
+    def test_json_in_code_fence(self):
+        text = "Here you go:\n```json\n{\"a\": 1}\n```\nthanks"
+        assert prompts.parse_json_response(text) == {"a": 1}
+
+    def test_json_with_surrounding_prose(self):
+        text = "Sure! {\"labels\": []} Hope that helps."
+        assert prompts.parse_json_response(text) == {"labels": []}
+
+    def test_invalid_json_raises(self):
+        with pytest.raises(prompts.PromptError):
+            prompts.parse_json_response("not json at all")
+
+    def test_non_object_json_raises(self):
+        with pytest.raises(prompts.PromptError):
+            prompts.parse_json_response("[1, 2, 3]")

@@ -1,0 +1,95 @@
+"""Tests for hashed sentence embeddings and the nearest-neighbour index."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.nlp.embeddings import EmbeddingIndex, SentenceEmbedder
+
+
+@pytest.fixture(scope="module")
+def embedder():
+    return SentenceEmbedder()
+
+
+class TestSentenceEmbedder:
+    def test_dimensions(self, embedder):
+        vector = embedder.embed("email address of the user")
+        assert vector.shape == (embedder.dimensions,)
+
+    def test_unit_norm_for_nonempty(self, embedder):
+        vector = embedder.embed("email address of the user")
+        assert np.isclose(np.linalg.norm(vector), 1.0)
+
+    def test_empty_text_is_zero_vector(self, embedder):
+        assert np.linalg.norm(embedder.embed("")) == 0.0
+
+    def test_deterministic(self, embedder):
+        a = embedder.embed("search query from the user")
+        b = embedder.embed("search query from the user")
+        assert np.array_equal(a, b)
+
+    def test_similar_texts_closer_than_dissimilar(self, embedder):
+        email_a = embedder.embed("email address of the user")
+        email_b = embedder.embed("the user's email address")
+        weather = embedder.embed("number of forecast days to return")
+        assert np.linalg.norm(email_a - email_b) < np.linalg.norm(email_a - weather)
+
+    def test_embed_many_shape(self, embedder):
+        matrix = embedder.embed_many(["a", "b", "c"])
+        assert matrix.shape == (3, embedder.dimensions)
+        assert embedder.embed_many([]).shape == (0, embedder.dimensions)
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            SentenceEmbedder(dimensions=0)
+
+    def test_features_include_words_and_char_ngrams(self, embedder):
+        features = embedder.features("email address")
+        assert any(key.startswith("w:") for key in features)
+        assert any(key.startswith("c:") for key in features)
+
+
+class TestEmbeddingIndex:
+    def test_query_returns_nearest_first(self):
+        index = EmbeddingIndex()
+        index.add("email address of the user", "email")
+        index.add("the city to search in", "city")
+        index.add("latitude of the location", "gps")
+        results = index.query("user email address", k=2)
+        assert results[0][1] == "email"
+        assert len(results) == 2
+
+    def test_query_payloads(self):
+        index = EmbeddingIndex()
+        index.add_many([("alpha text", 1), ("beta text", 2)])
+        assert set(index.query_payloads("alpha text", k=2)) == {1, 2}
+
+    def test_empty_index(self):
+        index = EmbeddingIndex()
+        assert index.query("anything", k=3) == []
+        assert len(index) == 0
+
+    def test_invalid_k(self):
+        index = EmbeddingIndex()
+        index.add("x", None)
+        with pytest.raises(ValueError):
+            index.query("x", k=0)
+
+    def test_distances_sorted(self):
+        index = EmbeddingIndex()
+        for text in ("one two three", "four five six", "one two seven"):
+            index.add(text, text)
+        results = index.query("one two three", k=3)
+        distances = [distance for _, _, distance in results]
+        assert distances == sorted(distances)
+
+
+@settings(max_examples=25)
+@given(st.text(alphabet="abcdefg hij", min_size=1, max_size=40))
+@pytest.mark.filterwarnings("ignore")
+def test_property_embedding_norm_at_most_one(text):
+    """Embeddings are unit-length (or zero for content-free input)."""
+    vector = SentenceEmbedder(dimensions=128).embed(text)
+    norm = np.linalg.norm(vector)
+    assert norm == pytest.approx(1.0, abs=1e-9) or norm == 0.0

@@ -1,0 +1,69 @@
+"""Tests for sentence segmentation."""
+
+from hypothesis import given, strategies as st
+
+from repro.nlp.segmentation import split_sentences
+
+
+class TestSplitSentences:
+    def test_basic_split(self):
+        sentences = split_sentences("We collect data. We share nothing!")
+        assert sentences == ["We collect data.", "We share nothing!"]
+
+    def test_abbreviations_not_split(self):
+        sentences = split_sentences("We collect data, e.g. your name. Contact us.")
+        assert len(sentences) == 2
+        assert sentences[0].endswith("your name.")
+
+    def test_urls_survive(self):
+        sentences = split_sentences("Visit https://example.com/a.b for details. Thanks.")
+        assert "https://example.com/a.b" in sentences[0]
+        assert len(sentences) == 2
+
+    def test_bullets_become_sentences(self):
+        text = "We collect:\n- your email address\n- your city\n1. your name"
+        sentences = split_sentences(text)
+        assert "your email address" in sentences
+        assert "your city" in sentences
+        assert "your name" in sentences
+
+    def test_paragraph_breaks(self):
+        text = "First paragraph without period\n\nSecond paragraph."
+        sentences = split_sentences(text)
+        assert sentences[0] == "First paragraph without period"
+        assert sentences[1] == "Second paragraph."
+
+    def test_question_marks(self):
+        sentences = split_sentences("What do we collect? Only your email.")
+        assert len(sentences) == 2
+
+    def test_empty_input(self):
+        assert split_sentences("") == []
+        assert split_sentences("   \n ") == []
+
+    def test_single_sentence_without_terminator(self):
+        assert split_sentences("We only collect user name and mailing address") == [
+            "We only collect user name and mailing address"
+        ]
+
+
+@given(st.lists(st.sampled_from([
+    "We collect your email address.",
+    "We do not store anything!",
+    "Is the data shared?",
+    "Contact us at privacy@example.com for details.",
+]), min_size=1, max_size=8))
+def test_property_sentence_count_matches_input(parts):
+    """Joining N simple sentences yields N segments."""
+    text = " ".join(parts)
+    assert len(split_sentences(text)) == len(parts)
+
+
+@given(st.text(max_size=300))
+def test_property_segmentation_never_loses_nonwhitespace_content_entirely(text):
+    """If the input has letters, at least one sentence is returned."""
+    sentences = split_sentences(text)
+    if any(ch.isalpha() for ch in text):
+        assert sentences
+    for sentence in sentences:
+        assert sentence.strip()

@@ -1,0 +1,71 @@
+"""Tests for tokenization and text normalization."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.nlp.tokenization import char_ngrams, normalize_text, tokenize, word_ngrams
+
+
+class TestNormalizeText:
+    def test_lowercases_and_collapses_whitespace(self):
+        assert normalize_text("  Email   ADDRESS\tof  the\nuser ") == "email address of the user"
+
+    def test_strips_accents(self):
+        assert normalize_text("nom de la commune à rechercher") == "nom de la commune a rechercher"
+
+    def test_empty(self):
+        assert normalize_text("") == ""
+        assert normalize_text(None) == ""  # type: ignore[arg-type]
+
+
+class TestTokenize:
+    def test_basic_tokens(self):
+        assert tokenize("The user's email address") == ["the", "user's", "email", "address"]
+
+    def test_keeps_internal_punctuation(self):
+        assert "conversation_context" in tokenize("conversation_context: the last messages")
+        assert "e-mail" in tokenize("E-Mail of the user")
+
+    def test_numbers_kept(self):
+        assert tokenize("top 5 results") == ["top", "5", "results"]
+
+    def test_empty_text(self):
+        assert tokenize("") == []
+        assert tokenize("!!! ???") == []
+
+
+class TestNgrams:
+    def test_word_ngrams(self):
+        tokens = ["a", "b", "c"]
+        assert word_ngrams(tokens, 2) == [("a", "b"), ("b", "c")]
+        assert word_ngrams(tokens, 4) == []
+
+    def test_word_ngrams_invalid_n(self):
+        with pytest.raises(ValueError):
+            word_ngrams(["a"], 0)
+
+    def test_char_ngrams(self):
+        grams = char_ngrams("city", 3)
+        assert "cit" in grams and "ity" in grams
+
+    def test_char_ngrams_short_text(self):
+        assert char_ngrams("ab", 3) == ["ab"]
+        assert char_ngrams("", 3) == []
+
+    def test_char_ngrams_invalid_n(self):
+        with pytest.raises(ValueError):
+            char_ngrams("abc", 0)
+
+
+@given(st.text(max_size=200))
+def test_property_tokenize_output_is_normalized(text):
+    """Every token is lower-case and non-empty."""
+    for token in tokenize(text):
+        assert token
+        assert token == token.lower()
+
+
+@given(st.lists(st.text(alphabet="abc", min_size=1, max_size=4), max_size=12), st.integers(1, 5))
+def test_property_word_ngram_count(tokens, n):
+    """There are exactly max(0, len(tokens) - n + 1) n-grams."""
+    assert len(word_ngrams(tokens, n)) == max(0, len(tokens) - n + 1)

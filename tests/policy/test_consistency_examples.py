@@ -1,0 +1,63 @@
+"""Table 2 of the paper as unit tests: one example per consistency label."""
+
+import pytest
+
+from repro.llm.simulated import SimulatedLLM
+from repro.policy.consistency import ConsistencyChecker
+from repro.policy.extraction import ExtractedStatements
+from repro.policy.labels import ConsistencyLabel
+from repro.taxonomy.builtin import load_builtin_taxonomy
+
+
+@pytest.fixture(scope="module")
+def checker():
+    taxonomy = load_builtin_taxonomy()
+    llm = SimulatedLLM(knowledge_taxonomy=taxonomy, consistency_error_rate=0.0)
+    return ConsistencyChecker(taxonomy, llm)
+
+
+def statements_from(*sentences):
+    return ExtractedStatements(sentences=list(sentences), collection_indices=list(range(len(sentences))))
+
+
+class TestTable2Examples:
+    def test_clear_example(self, checker):
+        """Timestamp collection stated verbatim → clear."""
+        statements = statements_from(
+            "For example, we collect information about your account, and a timestamp for the request."
+        )
+        result = checker.check_type("Time", "Timestamp", statements)
+        assert result.final_label is ConsistencyLabel.CLEAR
+
+    def test_vague_example(self, checker):
+        """User-content collection described in broad terms → vague."""
+        statements = statements_from(
+            "User Data that includes data about how you use our website and any online services "
+            "together with any data that you post for publication on our website."
+        )
+        result = checker.check_type("Files and documents", "File content", statements)
+        assert result.final_label is ConsistencyLabel.VAGUE
+
+    def test_omitted_example(self, checker):
+        """Email collected but only name and mailing address disclosed → omitted."""
+        statements = statements_from("We only collect user name and mailing address.")
+        result = checker.check_type("Personal information", "Email address", statements)
+        assert result.final_label is ConsistencyLabel.OMITTED
+
+    def test_ambiguous_example(self, checker):
+        """Contradictory statements about personal data → ambiguous."""
+        statements = statements_from(
+            "We do not actively collect and store any personal data from users, and we use Your "
+            "Personal data to provide and improve the Service."
+        )
+        result = checker.check_type("Identifier", "User identifiers", statements)
+        assert result.final_label is ConsistencyLabel.AMBIGUOUS
+
+    def test_incorrect_example(self, checker):
+        """Fitness level collected while the policy denies collecting personal information → incorrect."""
+        statements = statements_from(
+            "We do not collect our customer's personal information or share it with unaffiliated "
+            "third parties."
+        )
+        result = checker.check_type("Health information", "Fitness information", statements)
+        assert result.final_label is ConsistencyLabel.INCORRECT

@@ -1,0 +1,103 @@
+"""Tests for collection-statement extraction and per-type consistency checking."""
+
+import pytest
+
+from repro.llm.simulated import SimulatedLLM
+from repro.policy.consistency import ConsistencyChecker
+from repro.policy.extraction import CollectionStatementExtractor, ExtractedStatements
+from repro.policy.labels import ConsistencyLabel
+from repro.taxonomy.builtin import load_builtin_taxonomy
+
+POLICY_TEXT = (
+    "Privacy Policy for Example App. Last updated in March 2024. "
+    "We collect your email address when you create an account. "
+    "We may collect personal information that you choose to provide. "
+    "We do not collect your phone number. "
+    "Children under the age of 13 are not permitted to use the service. "
+    "Contact us at privacy@example.com with any questions."
+)
+
+
+@pytest.fixture(scope="module")
+def clean_llm():
+    return SimulatedLLM(
+        knowledge_taxonomy=load_builtin_taxonomy(),
+        classification_error_rate=0.0,
+        consistency_error_rate=0.0,
+        extraction_error_rate=0.0,
+    )
+
+
+@pytest.fixture(scope="module")
+def extractor(clean_llm):
+    return CollectionStatementExtractor(clean_llm)
+
+
+class TestCollectionStatementExtractor:
+    def test_segmentation(self, extractor):
+        assert len(extractor.segment(POLICY_TEXT)) >= 6
+
+    def test_collection_sentences_identified(self, extractor):
+        statements = extractor.extract(POLICY_TEXT)
+        texts = [text for _, text in statements.collection_statements]
+        assert any("email address" in text for text in texts)
+        assert any("do not collect your phone number" in text for text in texts)
+        assert all("Children under" not in text for text in texts)
+
+    def test_empty_policy(self, extractor):
+        statements = extractor.extract("")
+        assert statements.n_sentences == 0
+        assert statements.n_collection_statements == 0
+
+    def test_batching_preserves_indices(self, clean_llm):
+        extractor = CollectionStatementExtractor(clean_llm, batch_size=2)
+        statements = extractor.extract(POLICY_TEXT)
+        for index, text in statements.collection_statements:
+            assert statements.sentences[index] == text
+
+    def test_invalid_batch_size(self, clean_llm):
+        with pytest.raises(ValueError):
+            CollectionStatementExtractor(clean_llm, batch_size=0)
+
+
+class TestConsistencyChecker:
+    @pytest.fixture(scope="class")
+    def statements(self, extractor):
+        return extractor.extract(POLICY_TEXT)
+
+    @pytest.fixture(scope="class")
+    def checker(self, clean_llm):
+        return ConsistencyChecker(load_builtin_taxonomy(), clean_llm)
+
+    def test_clear_disclosure(self, checker, statements):
+        result = checker.check_type("Personal information", "Email address", statements)
+        assert result.final_label is ConsistencyLabel.CLEAR
+        assert result.is_consistent
+        assert result.sentence_labels
+
+    def test_vague_disclosure(self, checker, statements):
+        result = checker.check_type("Identifier", "User identifiers", statements)
+        assert result.final_label is ConsistencyLabel.VAGUE
+
+    def test_incorrect_disclosure(self, checker, statements):
+        result = checker.check_type("Personal information", "Phone number", statements)
+        # The phone number is explicitly denied; the personal-information
+        # umbrella sentence still vaguely covers it, and vague wins precedence.
+        assert result.final_label in (ConsistencyLabel.VAGUE, ConsistencyLabel.INCORRECT)
+
+    def test_omitted_disclosure(self, checker, statements):
+        result = checker.check_type("Location", "GPS coordinates", statements)
+        assert result.final_label is ConsistencyLabel.OMITTED
+        assert not result.is_consistent
+
+    def test_no_collection_statements_is_omitted(self, checker):
+        empty = ExtractedStatements(sentences=["Nothing relevant here."], collection_indices=[])
+        result = checker.check_type("Query", "Search query", empty)
+        assert result.final_label is ConsistencyLabel.OMITTED
+
+    def test_check_types_covers_all_requested(self, checker, statements):
+        results = checker.check_types(
+            [("Personal information", "Email address"), ("Location", "City")], statements
+        )
+        assert len(results) == 2
+        assert {result.data_type for result in results} == {"Email address", "City"}

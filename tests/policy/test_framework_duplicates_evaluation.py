@@ -1,0 +1,198 @@
+"""Tests for the end-to-end policy framework, duplicate analysis, and evaluation."""
+
+import pytest
+
+from repro.classification.results import ClassificationResult, DescriptionLabel
+from repro.crawler.corpus import CrawlCorpus, CrawledAction, CrawledGPT
+from repro.crawler.policy_fetcher import PolicyFetchResult
+from repro.ecosystem.models import GroundTruth
+from repro.llm.simulated import SimulatedLLM
+from repro.policy.duplicates import PolicyContentKind, analyze_policy_corpus, classify_policy_content
+from repro.policy.evaluation import evaluate_policy_framework
+from repro.policy.framework import PrivacyPolicyAnalyzer
+from repro.policy.labels import ConsistencyLabel
+from repro.taxonomy.builtin import load_builtin_taxonomy
+
+
+@pytest.fixture(scope="module")
+def clean_llm():
+    return SimulatedLLM(
+        knowledge_taxonomy=load_builtin_taxonomy(),
+        classification_error_rate=0.0,
+        consistency_error_rate=0.0,
+        extraction_error_rate=0.0,
+    )
+
+
+def build_mini_corpus() -> CrawlCorpus:
+    """A tiny hand-built corpus with two Actions and known policies."""
+    corpus = CrawlCorpus()
+    action_good = CrawledAction(
+        action_id="act-good", title="Good Action", description="", server_url="https://good.example",
+        legal_info_url="https://good.example/privacy", functionality="Travel", auth_type="none",
+        parameters=[("email", "Email address of the user"), ("city", "The city to search in")],
+    )
+    action_bad = CrawledAction(
+        action_id="act-bad", title="Bad Action", description="", server_url="https://bad.example",
+        legal_info_url="https://bad.example/privacy", functionality="Travel", auth_type="none",
+        parameters=[("password", "Password of the user's account")],
+    )
+    gpt = CrawledGPT(
+        gpt_id="g-mini00001", name="Mini GPT", description="", author_name="A",
+        author_website="https://good.example", vendor_domain="good.example",
+        tool_types=["action(plugins_prototype)"], actions=[action_good, action_bad],
+    )
+    corpus.gpts[gpt.gpt_id] = gpt
+    corpus.policies["https://good.example/privacy"] = PolicyFetchResult(
+        url="https://good.example/privacy", status=200,
+        text="We collect your email address when you book. We never sell anything.",
+    )
+    corpus.policies["https://bad.example/privacy"] = PolicyFetchResult(
+        url="https://bad.example/privacy", status=500, error="HTTP 500",
+    )
+    return corpus
+
+
+def build_mini_classification() -> ClassificationResult:
+    result = ClassificationResult()
+    result.add(DescriptionLabel("act-good", "email", "Email address of the user",
+                                "Personal information", "Email address"))
+    result.add(DescriptionLabel("act-good", "city", "The city to search in", "Location", "City"))
+    result.add(DescriptionLabel("act-bad", "password", "Password of the user's account",
+                                "Security credentials", "Password"))
+    return result
+
+
+class TestPrivacyPolicyAnalyzer:
+    def test_analyze_corpus_covers_actions_with_policies(self, clean_llm):
+        analyzer = PrivacyPolicyAnalyzer(load_builtin_taxonomy(), clean_llm)
+        report = analyzer.analyze_corpus(build_mini_corpus(), build_mini_classification())
+        assert len(report) == 2
+        good = report.analyses["act-good"]
+        bad = report.analyses["act-bad"]
+        assert good.policy_available
+        assert not bad.policy_available
+        labels = {result.data_type: result.final_label for result in good.results}
+        assert labels["Email address"] is ConsistencyLabel.CLEAR
+        assert labels["City"] is ConsistencyLabel.OMITTED
+        assert good.consistency_fraction() == pytest.approx(0.5)
+        assert not good.is_fully_consistent()
+
+    def test_label_distribution_and_counts(self, clean_llm):
+        analyzer = PrivacyPolicyAnalyzer(load_builtin_taxonomy(), clean_llm)
+        report = analyzer.analyze_corpus(build_mini_corpus(), build_mini_classification())
+        distribution = report.label_distribution()
+        assert distribution[ConsistencyLabel.CLEAR] == 1
+        assert distribution[ConsistencyLabel.OMITTED] == 1
+        assert len(report.actions_with_policies()) == 1
+
+    def test_single_pass_mode(self, clean_llm):
+        analyzer = PrivacyPolicyAnalyzer(load_builtin_taxonomy(), clean_llm, single_pass=True)
+        results = analyzer.analyze_policy(
+            "We collect your email address. Unrelated sentence about the weather.",
+            [("Personal information", "Email address")],
+        )
+        assert results[0].final_label is ConsistencyLabel.CLEAR
+
+    def test_missing_policy_yields_unavailable_analysis(self, clean_llm):
+        analyzer = PrivacyPolicyAnalyzer(load_builtin_taxonomy(), clean_llm)
+        analysis = analyzer.analyze_action("a", None, None, [("Location", "City")])
+        assert not analysis.policy_available
+        assert analysis.results == []
+
+
+class TestDuplicateAnalysis:
+    def test_corpus_level_statistics(self, suite):
+        report = analyze_policy_corpus(suite.corpus)
+        assert 0.8 <= report.availability <= 1.0
+        assert 0.0 <= report.duplicate_share <= 1.0
+        assert 0.0 <= report.short_share <= 0.5
+        assert report.n_policies_fetched > 0
+        fractions = report.duplicate_content_fractions()
+        assert all(0.0 <= value <= 1.0 for value in fractions.values())
+
+    def test_duplicate_groups_share_text(self, suite):
+        report = analyze_policy_corpus(suite.corpus)
+        corpus = suite.corpus
+        actions = corpus.unique_actions()
+        for group in report.duplicate_groups:
+            texts = {corpus.policy_text(actions[action_id].legal_info_url) for action_id in group}
+            assert len(texts) == 1
+
+    @pytest.mark.parametrize(
+        ("url", "text", "expected"),
+        [
+            ("https://x.example/legal", "", PolicyContentKind.EMPTY),
+            ("https://x.example/pixel.gif", "GIF89a\x01\x00", PolicyContentKind.TRACKING_PIXEL),
+            ("https://x.example/privacy", "<script>window.__APP__=1;</script><noscript>enable javascript</noscript>",
+             PolicyContentKind.JAVASCRIPT),
+            ("https://openai.com/policies/privacy-policy", "OpenAI Privacy Policy for OpenAI services.",
+             PolicyContentKind.OPENAI_POLICY),
+            ("https://docs.github.com/privacy", "GitHub Privacy Statement about the platform.",
+             PolicyContentKind.EXTERNAL_SERVICE),
+        ],
+    )
+    def test_content_classification(self, url, text, expected):
+        assert classify_policy_content(url, text) is expected
+
+    def test_same_vendor_detection(self):
+        kind = classify_policy_content(
+            "https://vendor.example/privacy",
+            "Privacy Policy of vendor.example covering all products.",
+            action_domains=["api.vendor.example", "tools.vendor.example"],
+        )
+        assert kind is PolicyContentKind.SAME_VENDOR
+
+
+class TestFrameworkEvaluation:
+    def test_perfect_agreement(self, clean_llm):
+        analyzer = PrivacyPolicyAnalyzer(load_builtin_taxonomy(), clean_llm)
+        corpus = build_mini_corpus()
+        report = analyzer.analyze_corpus(corpus, build_mini_classification())
+        ground_truth = GroundTruth()
+        ground_truth.controlled_policy_actions.add("act-good")
+        ground_truth.disclosure_labels[("act-good", "Personal information", "Email address")] = "clear"
+        ground_truth.disclosure_labels[("act-good", "Location", "City")] = "omitted"
+        evaluation = evaluate_policy_framework(report, ground_truth)
+        assert evaluation.n_evaluated == 2
+        assert evaluation.accuracy == 1.0
+        assert evaluation.exact_label_accuracy == 1.0
+
+    def test_disagreement_counted_as_false_positive(self, clean_llm):
+        analyzer = PrivacyPolicyAnalyzer(load_builtin_taxonomy(), clean_llm)
+        corpus = build_mini_corpus()
+        report = analyzer.analyze_corpus(corpus, build_mini_classification())
+        ground_truth = GroundTruth()
+        ground_truth.controlled_policy_actions.add("act-good")
+        # Claim the city was clearly disclosed even though the policy omits it:
+        # the framework's "omitted" becomes a false positive.
+        ground_truth.disclosure_labels[("act-good", "Location", "City")] = "clear"
+        evaluation = evaluate_policy_framework(report, ground_truth)
+        assert evaluation.false_positives == 1
+        assert evaluation.precision == 0.0
+
+    def test_restriction_to_controlled_actions(self, clean_llm):
+        analyzer = PrivacyPolicyAnalyzer(load_builtin_taxonomy(), clean_llm)
+        report = analyzer.analyze_corpus(build_mini_corpus(), build_mini_classification())
+        ground_truth = GroundTruth()
+        ground_truth.disclosure_labels[("act-good", "Location", "City")] = "omitted"
+        # Not marked controlled -> nothing evaluated.
+        assert evaluate_policy_framework(report, ground_truth).n_evaluated == 0
+        assert evaluate_policy_framework(
+            report, ground_truth, restrict_to_controlled=False
+        ).n_evaluated == 1
+
+    def test_sample_restriction(self, clean_llm):
+        analyzer = PrivacyPolicyAnalyzer(load_builtin_taxonomy(), clean_llm)
+        report = analyzer.analyze_corpus(build_mini_corpus(), build_mini_classification())
+        ground_truth = GroundTruth()
+        ground_truth.controlled_policy_actions.add("act-good")
+        ground_truth.disclosure_labels[("act-good", "Location", "City")] = "omitted"
+        evaluation = evaluate_policy_framework(report, ground_truth, sample_action_ids=["other-action"])
+        assert evaluation.n_evaluated == 0
+
+    def test_suite_level_accuracy_in_paper_range(self, suite):
+        evaluation = suite.evaluate_policy_framework()
+        assert evaluation.n_evaluated > 50
+        assert 0.75 <= evaluation.accuracy <= 0.98
+        assert evaluation.recall >= 0.85

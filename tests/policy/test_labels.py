@@ -1,0 +1,78 @@
+"""Tests for consistency labels and the precedence rule."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.policy.labels import (
+    CONSISTENT_LABELS,
+    INCONSISTENT_LABELS,
+    LABEL_PRECEDENCE,
+    ConsistencyLabel,
+    is_consistent,
+    most_precise_label,
+)
+
+
+class TestConsistencyLabel:
+    def test_from_string_parses_case_insensitively(self):
+        assert ConsistencyLabel.from_string("CLEAR") is ConsistencyLabel.CLEAR
+        assert ConsistencyLabel.from_string("vague") is ConsistencyLabel.VAGUE
+        assert ConsistencyLabel.from_string(" Omitted ") is ConsistencyLabel.OMITTED
+
+    def test_from_string_unknown_defaults_to_omitted(self):
+        assert ConsistencyLabel.from_string("banana") is ConsistencyLabel.OMITTED
+
+    def test_consistency_grouping(self):
+        assert set(CONSISTENT_LABELS) == {ConsistencyLabel.CLEAR, ConsistencyLabel.VAGUE}
+        assert set(INCONSISTENT_LABELS) == {
+            ConsistencyLabel.AMBIGUOUS,
+            ConsistencyLabel.INCORRECT,
+            ConsistencyLabel.OMITTED,
+        }
+        assert ConsistencyLabel.CLEAR.is_consistent
+        assert not ConsistencyLabel.OMITTED.is_consistent
+        assert is_consistent(ConsistencyLabel.VAGUE)
+
+
+class TestPrecedence:
+    def test_order_matches_paper(self):
+        assert LABEL_PRECEDENCE == (
+            ConsistencyLabel.CLEAR,
+            ConsistencyLabel.VAGUE,
+            ConsistencyLabel.AMBIGUOUS,
+            ConsistencyLabel.INCORRECT,
+            ConsistencyLabel.OMITTED,
+        )
+
+    def test_clear_beats_everything(self):
+        labels = [ConsistencyLabel.OMITTED, ConsistencyLabel.INCORRECT, ConsistencyLabel.CLEAR]
+        assert most_precise_label(labels) is ConsistencyLabel.CLEAR
+
+    def test_vague_beats_inconsistent_labels(self):
+        labels = [ConsistencyLabel.OMITTED, ConsistencyLabel.AMBIGUOUS, ConsistencyLabel.VAGUE]
+        assert most_precise_label(labels) is ConsistencyLabel.VAGUE
+
+    def test_empty_collection_is_omitted(self):
+        assert most_precise_label([]) is ConsistencyLabel.OMITTED
+
+    def test_single_label_returned_unchanged(self):
+        for label in ConsistencyLabel:
+            assert most_precise_label([label]) is label
+
+
+@given(st.lists(st.sampled_from(list(ConsistencyLabel)), max_size=12))
+def test_property_most_precise_label_is_idempotent_and_member(labels):
+    """The reduced label is a member of the input (or OMITTED for empty input)."""
+    reduced = most_precise_label(labels)
+    if labels:
+        assert reduced in labels
+    else:
+        assert reduced is ConsistencyLabel.OMITTED
+    # Adding the reduced label again never changes the outcome.
+    assert most_precise_label(labels + [reduced]) is reduced
+
+
+@given(st.lists(st.sampled_from(list(ConsistencyLabel)), min_size=1, max_size=12))
+def test_property_precedence_monotonic(labels):
+    """Adding CLEAR always makes the outcome CLEAR."""
+    assert most_precise_label(labels + [ConsistencyLabel.CLEAR]) is ConsistencyLabel.CLEAR

@@ -1,0 +1,100 @@
+"""Tests for table renderers, figure series builders, and markdown helpers."""
+
+import pytest
+
+from repro.reporting import figures, tables
+from repro.reporting.markdown import format_percent, format_table
+
+
+class TestMarkdownHelpers:
+    def test_format_percent(self):
+        assert format_percent(0.1234) == "12.3%"
+        assert format_percent(0.1234, digits=2) == "12.34%"
+        assert format_percent(0.0) == "0.0%"
+
+    def test_format_table_alignment(self):
+        table = format_table(["Name", "Count"], [("alpha", 1), ("beta", 22)])
+        lines = table.splitlines()
+        assert lines[0].startswith("| Name")
+        assert set(lines[1]) <= {"|", "-"}
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines)
+
+    def test_format_table_empty_rows(self):
+        table = format_table(["A"], [])
+        assert "A" in table
+
+
+class TestTableRenderers:
+    def test_table1(self, suite):
+        text = tables.render_table1(suite.crawl_stats)
+        assert "Total (unique)" in text
+        assert "Casanpir" in text
+
+    def test_table3(self, suite):
+        text = tables.render_table3(suite.tool_usage)
+        assert "Web Browser" in text
+        assert "Actions" in text
+        assert "%" in text
+
+    def test_table4(self, suite):
+        text = tables.render_table4(suite.collection, max_rows=10)
+        assert "Category" in text
+        assert "Search query" in text or "URLs" in text
+
+    def test_table5(self, suite):
+        text = tables.render_table5(suite.prevalence)
+        assert "Functionality" in text
+
+    def test_table6(self, suite):
+        text = tables.render_table6(suite.policy_duplicates)
+        assert "Policy description" in text
+
+    def test_table7(self, suite):
+        text = tables.render_table7(suite.disclosure)
+        assert "Clear" in text
+
+
+class TestFigureSeries:
+    def test_figure3(self, suite):
+        series = figures.figure3_series(suite.coverage)
+        assert [s.name for s in series] == ["Data types", "Categories"]
+        assert all(s.points for s in series)
+        assert series[0].xs == sorted(series[0].xs)
+
+    def test_figure7(self, suite):
+        series = figures.figure7_series(suite.collection)
+        assert {s.name for s in series} == {"1st party Actions", "3rd party Actions", "All Actions"}
+        for s in series:
+            if s.points:
+                assert s.ys[-1] == pytest.approx(1.0)
+
+    def test_figure8(self, suite):
+        summary = figures.figure8_summary(suite.cooccurrence)
+        assert summary["n_nodes"] >= summary["largest_component_size"]
+        assert len(summary["top_hubs"]) <= 6
+
+    def test_figure9(self, suite):
+        rows = figures.figure9_heatmap(suite.disclosure)
+        assert rows
+        for _, distribution in rows:
+            assert sum(distribution.values()) == pytest.approx(1.0)
+            assert set(distribution) == {"clear", "vague", "ambiguous", "incorrect", "omitted"}
+
+    def test_figure10(self, suite):
+        rows = figures.figure10_rows(suite.disclosure, min_occurrences=5)
+        for name, counts, total in rows:
+            assert sum(counts.values()) == total
+            assert " / " in name
+
+    def test_figure11(self, suite):
+        series = figures.figure11_series(suite.disclosure)
+        assert len(series) == 5
+        for s in series:
+            assert s.ys == sorted(s.ys)
+
+    def test_figure12(self, suite):
+        series = figures.figure12_series(suite.disclosure)
+        assert series.points
+        assert all(0.0 <= y <= 100.0 for y in series.ys)
+        assert series.xs == sorted(series.xs)

@@ -1,0 +1,30 @@
+"""Tests for the bootstrap (initial) taxonomy."""
+
+from repro.taxonomy.bootstrap import BOOTSTRAP_CATEGORIES, BOOTSTRAP_TYPE_COUNT, load_bootstrap_taxonomy
+from repro.taxonomy.builtin import load_builtin_taxonomy
+
+
+class TestBootstrapTaxonomy:
+    def test_paper_reported_size(self):
+        taxonomy = load_bootstrap_taxonomy(include_other=False)
+        assert taxonomy.n_categories == 18
+        assert taxonomy.n_types == BOOTSTRAP_TYPE_COUNT == 79
+
+    def test_is_subset_of_final_taxonomy(self):
+        bootstrap = load_bootstrap_taxonomy(include_other=False)
+        final = load_builtin_taxonomy(include_other=False)
+        for data_type in bootstrap.iter_types():
+            assert final.get_type(data_type.category, data_type.name) is not None
+
+    def test_categories_match_declared_list(self):
+        taxonomy = load_bootstrap_taxonomy(include_other=False)
+        assert set(taxonomy.category_names()) == set(BOOTSTRAP_CATEGORIES)
+
+    def test_every_category_has_at_least_one_type(self):
+        taxonomy = load_bootstrap_taxonomy(include_other=False)
+        for category in taxonomy.categories:
+            assert len(category) >= 1
+
+    def test_other_entry_added_when_requested(self):
+        taxonomy = load_bootstrap_taxonomy(include_other=True)
+        assert taxonomy.get_category("Other") is not None

@@ -1,0 +1,108 @@
+"""Tests for the multi-coder taxonomy construction workflow."""
+
+import pytest
+
+from repro.taxonomy.builder import CoderDecision, TaxonomyBuilder, coder_agreement_matrix
+from repro.taxonomy.builtin import load_builtin_taxonomy
+from repro.taxonomy.schema import OTHER_CATEGORY, OTHER_TYPE
+
+
+def _coder_email(description: str):
+    if "email" in description.lower():
+        return ("Personal information", "Email address")
+    return (OTHER_CATEGORY, OTHER_TYPE)
+
+
+def _coder_email_or_city(description: str):
+    lowered = description.lower()
+    if "email" in lowered:
+        return ("Personal information", "Email address")
+    if "city" in lowered:
+        return ("Location", "City")
+    return (OTHER_CATEGORY, OTHER_TYPE)
+
+
+def _coder_always_city(description: str):
+    return ("Location", "City")
+
+
+@pytest.fixture(scope="module")
+def builtin_taxonomy():
+    return load_builtin_taxonomy()
+
+
+class TestTaxonomyBuilder:
+    def test_requires_at_least_one_coder(self, builtin_taxonomy):
+        with pytest.raises(ValueError):
+            TaxonomyBuilder(builtin_taxonomy, {})
+
+    def test_unanimous_agreement(self, builtin_taxonomy):
+        builder = TaxonomyBuilder(
+            builtin_taxonomy, {"a": _coder_email, "b": _coder_email, "c": _coder_email}
+        )
+        session = builder.review(["email address of the user"])
+        assert session.agreement_rate() == 1.0
+        assert session.labels()["email address of the user"] == (
+            "Personal information",
+            "Email address",
+        )
+
+    def test_majority_vote_resolves_disagreement(self, builtin_taxonomy):
+        builder = TaxonomyBuilder(
+            builtin_taxonomy,
+            {"a": _coder_email_or_city, "b": _coder_email_or_city, "c": _coder_always_city},
+        )
+        session = builder.review(["email address of the user"])
+        resolved = session.resolved[0]
+        assert (resolved.category, resolved.data_type) == ("Personal information", "Email address")
+        assert not resolved.unanimous
+
+    def test_tie_broken_by_first_coder(self, builtin_taxonomy):
+        builder = TaxonomyBuilder(
+            builtin_taxonomy, {"a": _coder_email, "b": _coder_always_city}
+        )
+        session = builder.review(["email address of the user"])
+        resolved = session.resolved[0]
+        assert resolved.category == "Personal information"
+
+    def test_labels_outside_taxonomy_fall_back_to_other(self, builtin_taxonomy):
+        def bad_coder(description):
+            return ("Made-up category", "Made-up type")
+
+        builder = TaxonomyBuilder(builtin_taxonomy, {"a": bad_coder})
+        session = builder.review(["anything"])
+        assert session.resolved[0].category == OTHER_CATEGORY
+
+    def test_build_examples_excludes_other(self, builtin_taxonomy):
+        builder = TaxonomyBuilder(builtin_taxonomy, {"a": _coder_email})
+        session = builder.review(["email address of the user", "totally unknowable blob"])
+        examples = builder.build_examples(session)
+        assert len(examples) == 1
+        assert examples[0][1] == "Personal information"
+
+    def test_propose_new_types_groups_unmatched(self, builtin_taxonomy):
+        builder = TaxonomyBuilder(builtin_taxonomy, {"a": _coder_email})
+        descriptions = [
+            "quantum flux reading one",
+            "quantum flux reading two",
+            "quantum flux reading three",
+            "email address of the user",
+        ]
+        session = builder.review(descriptions)
+        proposals = builder.propose_new_types(session, minimum_support=3)
+        assert any(proposal.name == "Quantum" for proposal in proposals)
+
+    def test_agreement_matrix_symmetric_coverage(self, builtin_taxonomy):
+        builder = TaxonomyBuilder(
+            builtin_taxonomy, {"a": _coder_email, "b": _coder_email, "c": _coder_always_city}
+        )
+        session = builder.review(["email address of the user", "the city to search"])
+        matrix = coder_agreement_matrix(session)
+        assert matrix[("a", "b")] == 1.0
+        assert 0.0 <= matrix[("a", "c")] <= 1.0
+
+    def test_decision_label_property(self):
+        decision = CoderDecision(
+            coder="a", description="x", category="Location", data_type="City"
+        )
+        assert decision.label == ("Location", "City")

@@ -1,0 +1,106 @@
+"""Tests for the built-in (final) taxonomy — Table 8 of the paper."""
+
+import pytest
+
+from repro.taxonomy.builtin import (
+    CATEGORY_DESCRIPTIONS,
+    PROHIBITED_CATEGORIES,
+    builtin_category_names,
+    builtin_type_count,
+    load_builtin_taxonomy,
+    taxonomy_records,
+)
+from repro.taxonomy.schema import OTHER_CATEGORY
+
+
+class TestBuiltinTaxonomy:
+    def test_paper_reported_size(self):
+        taxonomy = load_builtin_taxonomy(include_other=False)
+        assert taxonomy.n_categories == 24
+        assert taxonomy.n_distinct_type_names == 145
+
+    def test_other_entry_optional(self):
+        with_other = load_builtin_taxonomy(include_other=True)
+        without = load_builtin_taxonomy(include_other=False)
+        assert with_other.n_categories == without.n_categories + 1
+        assert with_other.get_category(OTHER_CATEGORY) is not None
+        assert without.get_category(OTHER_CATEGORY) is None
+
+    def test_every_type_has_description_and_category_description(self):
+        taxonomy = load_builtin_taxonomy(include_other=False)
+        for data_type in taxonomy.iter_types():
+            assert data_type.description, data_type.name
+        for category in taxonomy.categories:
+            assert category.description, category.name
+
+    def test_expected_categories_present(self):
+        names = set(builtin_category_names())
+        for expected in (
+            "Location",
+            "Personal information",
+            "Security credentials",
+            "Query",
+            "Web and network data",
+            "Health information",
+            "Sports information",
+            "Real estate data",
+        ):
+            assert expected in names
+
+    def test_prohibited_types_are_security_credentials(self):
+        taxonomy = load_builtin_taxonomy(include_other=False)
+        prohibited = taxonomy.prohibited_types()
+        assert prohibited, "prohibited data types must exist"
+        assert {data_type.category for data_type in prohibited} == set(PROHIBITED_CATEGORIES)
+        assert {data_type.name for data_type in prohibited} == {
+            "API key",
+            "Password",
+            "Access tokens",
+            "Cryptographic key",
+            "Verification code",
+        }
+
+    def test_specific_paper_types_exist(self):
+        taxonomy = load_builtin_taxonomy(include_other=False)
+        for category, type_name in (
+            ("Query", "Search query"),
+            ("Web and network data", "URLs"),
+            ("App usage data", "User interaction data"),
+            ("Personal information", "Email address"),
+            ("Identifier", "User identifiers"),
+            ("Health information", "Medical record"),
+            ("Location", "GPS coordinates"),
+            ("Market data", "Ticker symbol"),
+            ("Vehicle information", "Vehicle make"),
+            ("Travel information", "Passenger counts"),
+        ):
+            assert taxonomy.get_type(category, type_name) is not None, (category, type_name)
+
+    def test_keywords_present_for_common_types(self):
+        taxonomy = load_builtin_taxonomy(include_other=False)
+        email = taxonomy.get_type("Personal information", "Email address")
+        assert any("email" in keyword for keyword in email.keywords)
+        query = taxonomy.get_type("Query", "Search query")
+        assert query.keywords
+
+    def test_sensitive_flags(self):
+        taxonomy = load_builtin_taxonomy(include_other=False)
+        assert taxonomy.get_type("Personal information", "Email address").sensitive
+        assert taxonomy.get_type("Health information", "Medical record").sensitive
+        assert not taxonomy.get_type("Weather information", "Weather data parameters").sensitive
+
+    def test_records_and_count_helpers_agree(self):
+        records = taxonomy_records()
+        assert len(records) == 24
+        assert builtin_type_count() == sum(len(entries) for entries in records.values())
+        taxonomy = load_builtin_taxonomy(include_other=False)
+        assert taxonomy.n_types == builtin_type_count()
+
+    def test_category_descriptions_cover_all_categories(self):
+        for name in builtin_category_names():
+            assert name in CATEGORY_DESCRIPTIONS
+
+    def test_records_are_copies(self):
+        records = taxonomy_records()
+        records["Location"].clear()
+        assert taxonomy_records()["Location"], "mutating the returned records must not affect the source"

@@ -1,0 +1,109 @@
+"""Tests for the semi-automated taxonomy refinement pass (Section 3.2.4)."""
+
+import pytest
+
+from repro.taxonomy.refinement import (
+    RefinementAction,
+    RefinementDecision,
+    TaxonomyRefiner,
+    keep_top_proposals,
+)
+from repro.taxonomy.schema import DataTaxonomy, DataType
+
+
+def build_base() -> DataTaxonomy:
+    taxonomy = DataTaxonomy(name="base")
+    taxonomy.add_data_type(DataType(name="City", category="Location"))
+    return taxonomy
+
+
+def decider_add_everything(description: str, amount: int) -> RefinementDecision:
+    return RefinementDecision(
+        description=description,
+        action=RefinementAction.ADD,
+        category="New category",
+        data_type=description.title(),
+        type_description=f"Data about {description}.",
+    )
+
+
+class TestTaxonomyRefiner:
+    def test_add_creates_new_category_and_types(self):
+        refiner = TaxonomyRefiner(build_base(), decider_add_everything)
+        extended, report = refiner.refine(["wind speed", "tide level"])
+        assert extended.get_type("New category", "Wind Speed") is not None
+        assert extended.get_type("New category", "Tide Level") is not None
+        assert report.n_new_categories == 1
+        assert report.n_new_types == 2
+
+    def test_covered_and_deprecate_do_not_extend(self):
+        def decider(description, amount):
+            if "city" in description:
+                return RefinementDecision(
+                    description=description,
+                    action=RefinementAction.COVERED,
+                    category="Location",
+                    data_type="City",
+                )
+            return RefinementDecision(description=description, action=RefinementAction.DEPRECATE)
+
+        refiner = TaxonomyRefiner(build_base(), decider)
+        extended, report = refiner.refine(["the city to search", "noise blob"])
+        assert extended.n_types == 1
+        assert report.covered == 1
+        assert report.deprecated == ["noise blob"]
+
+    def test_combine_merges_into_single_proposal(self):
+        def decider(description, amount):
+            return RefinementDecision(
+                description=description,
+                action=RefinementAction.COMBINE,
+                category="Weather information",
+                data_type="Wind",
+                type_description="Wind related data.",
+            )
+
+        refiner = TaxonomyRefiner(build_base(), decider)
+        extended, report = refiner.refine(["wind speed", "wind gusts", "wind direction"])
+        assert report.n_new_types == 1
+        assert extended.get_type("Weather information", "Wind") is not None
+
+    def test_duplicate_descriptions_counted_once(self):
+        seen_amounts = {}
+
+        def decider(description, amount):
+            seen_amounts[description] = amount
+            return RefinementDecision(description=description, action=RefinementAction.DEPRECATE)
+
+        refiner = TaxonomyRefiner(build_base(), decider)
+        refiner.refine(["dup", "dup", "dup", "solo"])
+        assert seen_amounts["dup"] == 3
+        assert seen_amounts["solo"] == 1
+
+    def test_add_without_target_is_deprecated(self):
+        def decider(description, amount):
+            return RefinementDecision(description=description, action=RefinementAction.ADD)
+
+        refiner = TaxonomyRefiner(build_base(), decider)
+        extended, report = refiner.refine(["orphan"])
+        assert extended.n_types == 1
+        assert report.deprecated == ["orphan"]
+
+    def test_reviewer_limits_accepted_proposals(self):
+        refiner = TaxonomyRefiner(
+            build_base(), decider_add_everything, reviewer=keep_top_proposals(1)
+        )
+        extended, report = refiner.refine(["alpha data", "beta data", "gamma data"])
+        assert report.n_new_types == 1
+        assert extended.n_types == 2
+
+    def test_original_taxonomy_not_mutated(self):
+        base = build_base()
+        refiner = TaxonomyRefiner(base, decider_add_everything)
+        refiner.refine(["wind speed"])
+        assert base.n_types == 1
+
+    def test_refinement_action_values(self):
+        assert RefinementAction("Covered") is RefinementAction.COVERED
+        with pytest.raises(ValueError):
+            RefinementAction("Unknown")

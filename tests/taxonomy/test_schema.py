@@ -1,0 +1,189 @@
+"""Tests for the taxonomy data structures."""
+
+import json
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.taxonomy.schema import (
+    DataCategory,
+    DataTaxonomy,
+    DataType,
+    OTHER_CATEGORY,
+    OTHER_TYPE,
+    TaxonomyError,
+    category_type_pairs,
+    merge_taxonomies,
+)
+
+
+def build_small_taxonomy() -> DataTaxonomy:
+    taxonomy = DataTaxonomy(name="small")
+    taxonomy.add_data_type(DataType(name="City", category="Location", description="A city."))
+    taxonomy.add_data_type(DataType(name="Country", category="Location", description="A country."))
+    taxonomy.add_data_type(
+        DataType(name="Email address", category="Personal information", sensitive=True)
+    )
+    taxonomy.add_data_type(
+        DataType(name="Password", category="Security credentials", sensitive=True, prohibited=True)
+    )
+    return taxonomy
+
+
+class TestDataType:
+    def test_key_is_category_and_name(self):
+        data_type = DataType(name="City", category="Location")
+        assert data_type.key == ("Location", "City")
+
+    def test_other_detection(self):
+        assert DataType(name=OTHER_TYPE, category=OTHER_CATEGORY).is_other
+        assert not DataType(name="City", category="Location").is_other
+
+    def test_with_description_replaces_only_description(self):
+        original = DataType(name="City", category="Location", keywords=("city",))
+        updated = original.with_description("An urban area.")
+        assert updated.description == "An urban area."
+        assert updated.keywords == original.keywords
+        assert updated.name == original.name
+
+    def test_roundtrip_serialization(self):
+        original = DataType(
+            name="City",
+            category="Location",
+            description="A city.",
+            keywords=("city", "town"),
+            phrasings=("The city to search in",),
+            sensitive=True,
+        )
+        restored = DataType.from_dict(original.to_dict())
+        assert restored == original
+
+
+class TestDataCategory:
+    def test_lookup_is_case_insensitive(self):
+        category = DataCategory(name="Location")
+        category.data_types.append(DataType(name="City", category="Location"))
+        assert category.get("city") is not None
+        assert category.get("CITY").name == "City"
+        assert category.get("Street") is None
+
+    def test_len_and_iteration(self):
+        category = DataCategory(name="Location")
+        category.data_types.append(DataType(name="City", category="Location"))
+        category.data_types.append(DataType(name="Country", category="Location"))
+        assert len(category) == 2
+        assert [dt.name for dt in category] == ["City", "Country"]
+
+
+class TestDataTaxonomy:
+    def test_counts(self):
+        taxonomy = build_small_taxonomy()
+        assert taxonomy.n_categories == 3
+        assert taxonomy.n_types == 4
+        assert len(taxonomy) == 4
+
+    def test_duplicate_type_rejected(self):
+        taxonomy = build_small_taxonomy()
+        with pytest.raises(TaxonomyError):
+            taxonomy.add_data_type(DataType(name="City", category="Location"))
+
+    def test_get_type_case_insensitive(self):
+        taxonomy = build_small_taxonomy()
+        assert taxonomy.get_type("location", "city") is not None
+        assert taxonomy.get_type("Location", "Missing") is None
+
+    def test_find_type_by_name_only(self):
+        taxonomy = build_small_taxonomy()
+        found = taxonomy.find_type("password")
+        assert found is not None
+        assert found.category == "Security credentials"
+
+    def test_contains_accepts_multiple_key_forms(self):
+        taxonomy = build_small_taxonomy()
+        assert ("Location", "City") in taxonomy
+        assert taxonomy.get_type("Location", "City") in taxonomy
+        assert "Location" in taxonomy
+        assert "City" in taxonomy
+        assert "Missing thing" not in taxonomy
+
+    def test_prohibited_and_sensitive_filters(self):
+        taxonomy = build_small_taxonomy()
+        assert [dt.name for dt in taxonomy.prohibited_types()] == ["Password"]
+        assert {dt.name for dt in taxonomy.sensitive_types()} == {"Email address", "Password"}
+
+    def test_remove_data_type(self):
+        taxonomy = build_small_taxonomy()
+        removed = taxonomy.remove_data_type("Location", "City")
+        assert removed.name == "City"
+        assert taxonomy.get_type("Location", "City") is None
+        with pytest.raises(TaxonomyError):
+            taxonomy.remove_data_type("Location", "City")
+
+    def test_serialization_roundtrip(self):
+        taxonomy = build_small_taxonomy()
+        restored = DataTaxonomy.from_json(taxonomy.to_json())
+        assert restored.n_categories == taxonomy.n_categories
+        assert restored.n_types == taxonomy.n_types
+        assert restored.get_type("Location", "City") is not None
+        # JSON text must be valid JSON.
+        json.loads(taxonomy.to_json())
+
+    def test_copy_is_independent(self):
+        taxonomy = build_small_taxonomy()
+        clone = taxonomy.copy()
+        clone.add_data_type(DataType(name="Street", category="Location"))
+        assert taxonomy.get_type("Location", "Street") is None
+        assert clone.get_type("Location", "Street") is not None
+
+    def test_from_tuples(self):
+        taxonomy = DataTaxonomy.from_tuples(
+            [("Location", "City", "A city."), ("Time", "Date", "A date.")]
+        )
+        assert taxonomy.n_categories == 2
+        assert taxonomy.get_type("Time", "Date").description == "A date."
+
+    def test_merge_prefers_base(self):
+        base = build_small_taxonomy()
+        extension = DataTaxonomy.from_tuples(
+            [("Location", "City", "Different description"), ("Weather information", "Wind", "Wind.")]
+        )
+        merged = merge_taxonomies(base, extension)
+        assert merged.get_type("Location", "City").description == "A city."
+        assert merged.get_type("Weather information", "Wind") is not None
+
+    def test_distinct_type_names(self):
+        taxonomy = build_small_taxonomy()
+        taxonomy.add_data_type(DataType(name="City", category="Travel information"))
+        assert taxonomy.n_types == 5
+        assert taxonomy.n_distinct_type_names == 4
+
+    def test_category_type_pairs(self):
+        taxonomy = build_small_taxonomy()
+        pairs = category_type_pairs(taxonomy)
+        assert ("Location", "City") in pairs
+        assert len(pairs) == taxonomy.n_types
+
+    def test_summary_mentions_counts(self):
+        taxonomy = build_small_taxonomy()
+        summary = taxonomy.summary()
+        assert "3 categories" in summary
+        assert "4 data types" in summary
+
+
+@given(
+    names=st.lists(
+        st.text(alphabet="abcdefghij ", min_size=1, max_size=12).map(str.strip).filter(bool),
+        min_size=1,
+        max_size=20,
+        unique=True,
+    )
+)
+def test_property_taxonomy_roundtrip_preserves_types(names):
+    """Serialization round-trips preserve every (category, type) pair."""
+    taxonomy = DataTaxonomy(name="prop")
+    for index, name in enumerate(names):
+        taxonomy.add_data_type(
+            DataType(name=name, category=f"Category {index % 3}", description=name)
+        )
+    restored = DataTaxonomy.from_dict(taxonomy.to_dict())
+    assert sorted(category_type_pairs(restored)) == sorted(category_type_pairs(taxonomy))

@@ -1,0 +1,67 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments.registry import EXPERIMENTS
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["generate"])
+        assert args.gpts == 2000
+        assert args.seed == 0
+        assert args.command == "generate"
+
+    def test_experiment_requires_id(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment"])
+
+
+class TestCommands:
+    def test_generate(self, capsys):
+        assert main(["--gpts", "200", "--seed", "3", "generate"]) == 0
+        output = capsys.readouterr().out
+        assert "SyntheticEcosystem" in output
+        assert "200 GPTs" in output
+
+    def test_crawl(self, capsys):
+        assert main(["--gpts", "200", "--seed", "3", "crawl"]) == 0
+        output = capsys.readouterr().out
+        assert "Total unique GPTs: 200" in output
+        assert "Policy availability" in output
+
+    def test_analyze(self, capsys):
+        assert main(["--gpts", "250", "--seed", "4", "analyze"]) == 0
+        output = capsys.readouterr().out
+        assert "Data categories observed" in output
+        assert "Classifier" in output
+
+    def test_experiment_table1(self, capsys):
+        assert main(["--gpts", "200", "--seed", "3", "experiment", "table1"]) == 0
+        output = capsys.readouterr().out
+        assert "Table 1" in output
+        assert "Paper" in output and "Measured" in output
+
+    def test_experiment_unknown_id(self, capsys):
+        assert main(["--gpts", "200", "experiment", "table99"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown experiment" in err
+        for known in ("table1", "figure9"):
+            assert known in err
+
+    def test_export_writes_dataset(self, capsys, tmp_path):
+        target = tmp_path / "dataset"
+        assert main(["--gpts", "150", "--seed", "5", "export", str(target)]) == 0
+        assert (target / "corpus.json").exists()
+        assert (target / "policies.json").exists()
+        assert "Wrote corpus" in capsys.readouterr().out
+
+    def test_known_experiments_listed(self):
+        # Guard: the CLI error message enumerates the registry; make sure the
+        # registry has not silently shrunk.
+        assert len(EXPERIMENTS) >= 18

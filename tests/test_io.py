@@ -1,0 +1,68 @@
+"""Tests for corpus persistence (save/load round-trips)."""
+
+import pytest
+
+from repro.io import load_classification, load_corpus, save_corpus
+
+
+class TestCorpusPersistence:
+    def test_corpus_roundtrip(self, small_corpus, tmp_path):
+        target = save_corpus(small_corpus, tmp_path / "dataset")
+        restored = load_corpus(target)
+        assert len(restored.gpts) == len(small_corpus.gpts)
+        assert restored.store_counts == small_corpus.store_counts
+        assert restored.unresolved_gpt_ids == small_corpus.unresolved_gpt_ids
+        assert restored.n_unique_actions() == small_corpus.n_unique_actions()
+
+    def test_policies_roundtrip(self, small_corpus, tmp_path):
+        target = save_corpus(small_corpus, tmp_path / "dataset")
+        restored = load_corpus(target)
+        assert set(restored.policies) == set(small_corpus.policies)
+        for url, original in small_corpus.policies.items():
+            assert restored.policy_text(url) == small_corpus.policy_text(url)
+            assert restored.policies[url].status == original.status
+
+    def test_action_parameters_preserved(self, small_corpus, tmp_path):
+        target = save_corpus(small_corpus, tmp_path / "dataset")
+        restored = load_corpus(target)
+        for action_id, action in small_corpus.unique_actions().items():
+            restored_action = restored.unique_actions()[action_id]
+            assert restored_action.parameters == action.parameters
+            assert restored_action.legal_info_url == action.legal_info_url
+            assert restored_action.data_descriptions() == action.data_descriptions()
+
+    def test_classification_roundtrip(self, small_corpus, small_ecosystem, tmp_path):
+        from repro.classification.descriptions import extract_descriptions, label_with_ground_truth
+        from repro.classification.results import ClassificationResult, DescriptionLabel
+
+        descriptions = extract_descriptions(small_corpus)[:20]
+        examples = label_with_ground_truth(descriptions, small_ecosystem.ground_truth)
+        classification = ClassificationResult()
+        for description, example in zip(descriptions, examples):
+            classification.add(
+                DescriptionLabel(
+                    action_id=description.action_id,
+                    parameter_name=description.parameter_name,
+                    text=description.text,
+                    category=example.category,
+                    data_type=example.data_type,
+                )
+            )
+        target = save_corpus(small_corpus, tmp_path / "dataset", classification=classification)
+        restored = load_classification(target)
+        assert restored is not None
+        assert len(restored) == len(classification)
+        assert restored.labels[0].label == classification.labels[0].label
+
+    def test_missing_classification_returns_none(self, small_corpus, tmp_path):
+        target = save_corpus(small_corpus, tmp_path / "dataset")
+        assert load_classification(target) is None
+
+    def test_downstream_analysis_on_restored_corpus(self, small_corpus, tmp_path):
+        from repro.analysis.tools import analyze_tool_usage
+
+        target = save_corpus(small_corpus, tmp_path / "dataset")
+        restored = load_corpus(target)
+        original_tools = analyze_tool_usage(small_corpus)
+        restored_tools = analyze_tool_usage(restored)
+        assert restored_tools.tool_shares == pytest.approx(original_tools.tool_shares)

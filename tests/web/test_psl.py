@@ -1,0 +1,63 @@
+"""Tests for the public-suffix list and registrable-domain extraction."""
+
+import pytest
+
+from repro.web.psl import PublicSuffixList, default_psl, registrable_domain
+
+
+@pytest.fixture(scope="module")
+def psl():
+    return PublicSuffixList.builtin()
+
+
+class TestPublicSuffix:
+    def test_simple_tld(self, psl):
+        assert psl.public_suffix("api.example.com") == "com"
+        assert psl.registrable_domain("api.example.com") == "example.com"
+
+    def test_multi_label_suffix(self, psl):
+        assert psl.public_suffix("shop.example.co.uk") == "co.uk"
+        assert psl.registrable_domain("shop.example.co.uk") == "example.co.uk"
+
+    def test_shared_hosting_suffixes(self, psl):
+        assert psl.registrable_domain("caxgpt.vercel.app") == "caxgpt.vercel.app"
+        assert psl.registrable_domain("myapp.herokuapp.com") == "myapp.herokuapp.com"
+        assert psl.registrable_domain("service-abc-uc.a.run.app") == "service-abc-uc.a.run.app"
+
+    def test_host_that_is_a_suffix_has_no_registrable_domain(self, psl):
+        assert psl.registrable_domain("com") is None
+        assert psl.registrable_domain("co.uk") is None
+
+    def test_unknown_tld_falls_back_to_last_label(self, psl):
+        assert psl.registrable_domain("foo.bar.unknowntld") == "bar.unknowntld"
+
+    def test_wildcard_rule(self, psl):
+        # *.compute.amazonaws.com is a wildcard public suffix.
+        assert (
+            psl.registrable_domain("host.us-east-1.compute.amazonaws.com")
+            == "host.us-east-1.compute.amazonaws.com"
+        )
+
+    def test_exception_rule(self, psl):
+        # www.ck is an exception to the *.ck wildcard.
+        assert psl.registrable_domain("www.ck") == "www.ck"
+
+    def test_ip_addresses_returned_verbatim(self, psl):
+        assert psl.registrable_domain("192.168.1.10") == "192.168.1.10"
+
+    def test_empty_host(self, psl):
+        assert psl.registrable_domain("") is None
+
+    def test_add_suffix(self):
+        psl = PublicSuffixList.builtin()
+        psl.add_suffix("customsuffix.example")
+        assert psl.registrable_domain("tenant.customsuffix.example") == "tenant.customsuffix.example"
+
+
+class TestModuleHelpers:
+    def test_registrable_domain_accepts_urls(self):
+        assert registrable_domain("https://api.adzedek.com/share") == "adzedek.com"
+        assert registrable_domain("api.spoonacular.com") == "spoonacular.com"
+
+    def test_default_psl_is_cached(self):
+        assert default_psl() is default_psl()

@@ -1,0 +1,41 @@
+"""Tests for first-/third-party Action detection."""
+
+from repro.web.thirdparty import ThirdPartyClassifier, is_third_party
+
+
+class TestThirdPartyClassifier:
+    def test_same_registrable_domain_is_first_party(self):
+        classifier = ThirdPartyClassifier()
+        assert not classifier.is_third_party(
+            "https://api.spoonacular.com/recipes", "https://spoonacular.com"
+        )
+
+    def test_different_domain_is_third_party(self):
+        classifier = ThirdPartyClassifier()
+        assert classifier.is_third_party(
+            "https://api.adzedek.com/share", "https://spoonacular.com"
+        )
+
+    def test_unknown_vendor_defaults_to_third_party(self):
+        classifier = ThirdPartyClassifier()
+        assert classifier.is_third_party("https://api.example.com", None)
+        assert classifier.is_third_party("https://api.example.com", "")
+
+    def test_shared_hosting_tenants_are_distinct_parties(self):
+        classifier = ThirdPartyClassifier()
+        assert classifier.is_third_party(
+            "https://caxgpt.vercel.app/api", "https://othertenant.vercel.app"
+        )
+
+    def test_same_party_helper(self):
+        classifier = ThirdPartyClassifier()
+        assert classifier.same_party("https://a.example.com/x", "https://b.example.com/y")
+        assert not classifier.same_party("https://a.example.com", "https://example.org")
+
+    def test_registrable_helper_handles_empty(self):
+        classifier = ThirdPartyClassifier()
+        assert classifier.registrable("") is None
+
+    def test_module_level_wrapper(self):
+        assert is_third_party("https://api.adzedek.com", "https://spoonacular.com")
+        assert not is_third_party("https://api.kayak.com", "https://www.kayak.com")

@@ -1,0 +1,93 @@
+"""Tests for URL parsing and normalization."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.web.urls import (
+    URLParseError,
+    join_url,
+    normalize_url,
+    parse_url,
+    split_host,
+    url_host,
+)
+
+
+class TestParseURL:
+    def test_basic_parse(self):
+        parsed = parse_url("https://api.kayak.com/flights?depart=LAX#top")
+        assert parsed.scheme == "https"
+        assert parsed.host == "api.kayak.com"
+        assert parsed.path == "/flights"
+        assert parsed.query == "depart=LAX"
+        assert parsed.fragment == "top"
+
+    def test_missing_scheme_gets_default(self):
+        parsed = parse_url("example.com/page")
+        assert parsed.scheme == "https"
+        assert parsed.host == "example.com"
+
+    def test_host_is_lowercased_and_trailing_dot_stripped(self):
+        assert parse_url("HTTPS://API.Example.COM./x").host == "api.example.com"
+
+    def test_default_port_dropped(self):
+        assert parse_url("https://example.com:443/x").port is None
+        assert parse_url("http://example.com:80/x").port is None
+        assert parse_url("https://example.com:8443/x").port == 8443
+
+    def test_origin_and_netloc(self):
+        parsed = parse_url("https://example.com:8443/path")
+        assert parsed.origin == "https://example.com:8443"
+        assert parsed.netloc == "example.com:8443"
+        assert parse_url("https://example.com/x").origin == "https://example.com"
+
+    def test_query_params(self):
+        parsed = parse_url("https://example.com/?a=1&b=two&empty=")
+        assert parsed.query_params() == {"a": "1", "b": "two", "empty": ""}
+
+    def test_empty_and_invalid_urls_raise(self):
+        with pytest.raises(URLParseError):
+            parse_url("")
+        with pytest.raises(URLParseError):
+            parse_url("   ")
+        with pytest.raises(URLParseError):
+            parse_url("https://")
+
+    def test_invalid_port_raises(self):
+        with pytest.raises(URLParseError):
+            parse_url("https://example.com:notaport/x")
+
+    def test_geturl_roundtrip(self):
+        url = "https://example.com/path?x=1"
+        assert parse_url(url).geturl() == url
+
+
+class TestHelpers:
+    def test_normalize_url_adds_path(self):
+        assert normalize_url("https://example.com") == "https://example.com/"
+
+    def test_url_host_tolerates_garbage(self):
+        assert url_host("https://api.example.com/x") == "api.example.com"
+        assert url_host("") == ""
+
+    def test_join_url(self):
+        assert join_url("https://example.com", "privacy") == "https://example.com/privacy"
+        assert join_url("https://example.com/base", "/p") == "https://example.com/p"
+
+    def test_split_host(self):
+        assert split_host("a.B.example.COM") == ("a", "b", "example", "com")
+        assert split_host("") == ()
+
+
+@given(
+    labels=st.lists(
+        st.text(alphabet="abcdefghijklmnopqrstuvwxyz0123456789", min_size=1, max_size=8),
+        min_size=2,
+        max_size=4,
+    )
+)
+def test_property_parse_url_host_matches_input(labels):
+    """Any well-formed host parses back to itself (lower-cased)."""
+    host = ".".join(labels)
+    parsed = parse_url(f"https://{host}/path")
+    assert parsed.host == host.lower()
