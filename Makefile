@@ -1,0 +1,21 @@
+# Development entry points.  Every PR runs `make ci` (tier-1 tests plus the
+# NLP perf smoke benchmark) so regressions in correctness or throughput are
+# caught identically everywhere.
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test perf ci
+
+## tier-1: the full test suite (the driver's acceptance gate runs the bare
+## command, which also collects the perf benchmark; `make ci` runs the perf
+## file separately, so exclude it here to avoid timing it twice)
+test:
+	$(PYTHON) -m pytest -x -q --ignore=benchmarks/test_bench_perf_nlp.py
+
+## perf smoke: times the NLP hot paths and writes BENCH_nlp.json
+perf:
+	$(PYTHON) -m pytest benchmarks/test_bench_perf_nlp.py -q -s
+
+## what CI runs on every PR
+ci: test perf

@@ -1,0 +1,100 @@
+"""Helpers for recording and reporting performance benchmarks.
+
+Perf benchmarks time a baseline implementation against its optimized
+replacement, print a compact table, and persist the measurements to a
+``BENCH_<name>.json`` artifact at the repository root so later PRs have a
+throughput trajectory to compare against (and to beat).
+
+Usage from a benchmark test::
+
+    report = PerfReport("nlp")
+    report.record("embed_5000", baseline_s=t0, optimized_s=t1, items=5000)
+    ...
+    print(report.format_table())
+    report.write()
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+#: Repository root (benchmarks/ lives directly below it).
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+@dataclass
+class PerfRecord:
+    """One timed comparison between a baseline and an optimized path."""
+
+    name: str
+    baseline_s: float
+    optimized_s: float
+    items: int
+
+    @property
+    def speedup(self) -> float:
+        if self.optimized_s <= 0:
+            return float("inf")
+        return self.baseline_s / self.optimized_s
+
+    @property
+    def optimized_throughput(self) -> float:
+        """Items per second through the optimized path."""
+        if self.optimized_s <= 0:
+            return float("inf")
+        return self.items / self.optimized_s
+
+
+@dataclass
+class PerfReport:
+    """Collects :class:`PerfRecord` rows and writes the JSON artifact."""
+
+    name: str
+    records: List[PerfRecord] = field(default_factory=list)
+
+    def record(
+        self, name: str, baseline_s: float, optimized_s: float, items: int
+    ) -> PerfRecord:
+        entry = PerfRecord(
+            name=name, baseline_s=baseline_s, optimized_s=optimized_s, items=items
+        )
+        self.records.append(entry)
+        return entry
+
+    def __getitem__(self, name: str) -> PerfRecord:
+        for entry in self.records:
+            if entry.name == name:
+                return entry
+        raise KeyError(name)
+
+    def format_table(self) -> str:
+        """A compact, aligned timing table for terminal output."""
+        header = f"{'benchmark':<28} {'items':>7} {'baseline':>10} {'optimized':>10} {'speedup':>8}"
+        lines = [header, "-" * len(header)]
+        for entry in self.records:
+            lines.append(
+                f"{entry.name:<28} {entry.items:>7d} "
+                f"{entry.baseline_s:>9.3f}s {entry.optimized_s:>9.3f}s "
+                f"{entry.speedup:>7.1f}x"
+            )
+        return "\n".join(lines)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "benchmark": self.name,
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "records": [
+                {**asdict(entry), "speedup": entry.speedup} for entry in self.records
+            ],
+        }
+
+    def write(self, directory: Optional[Path] = None) -> Path:
+        """Write ``BENCH_<name>.json`` (default: the repository root)."""
+        target = (directory or REPO_ROOT) / f"BENCH_{self.name}.json"
+        target.write_text(json.dumps(self.as_dict(), indent=2) + "\n", encoding="utf-8")
+        return target

@@ -60,6 +60,9 @@ class SuiteConfig:
     two_phase: bool = True
     use_fewshot: bool = True
     single_pass_policy: bool = False
+    #: Candidate generation for near-duplicate policy detection ("auto" picks
+    #: MinHash–LSH at corpus scale; see repro.nlp.similarity.near_duplicates).
+    near_duplicate_method: str = "auto"
 
 
 class MeasurementSuite:
@@ -236,7 +239,12 @@ class MeasurementSuite:
     @property
     def policy_duplicates(self) -> DuplicatePolicyReport:
         """Section 5.1.1 / Table 6 duplicate-policy statistics."""
-        return self._cached("policy_duplicates", lambda: analyze_policy_corpus(self.corpus))  # type: ignore[return-value]
+        return self._cached(
+            "policy_duplicates",
+            lambda: analyze_policy_corpus(
+                self.corpus, near_duplicate_method=self.config.near_duplicate_method
+            ),
+        )  # type: ignore[return-value]
 
     # ------------------------------------------------------------------
     # Evaluations against generator ground truth

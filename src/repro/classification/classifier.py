@@ -66,13 +66,10 @@ class DataCollectionClassifier:
     # ------------------------------------------------------------------
     def add_examples(self, examples: Sequence[FewShotExample]) -> None:
         """Add labelled examples to the few-shot store."""
-        for example in examples:
-            self.fewshot_store.add(example)
+        self.fewshot_store.add_many(examples)
 
-    def _examples_payload(self, text: str) -> List[Dict[str, str]]:
-        if not self.config.use_fewshot or len(self.fewshot_store) == 0:
-            return []
-        retrieved = self.fewshot_store.retrieve(text, k=self.config.fewshot_k)
+    @staticmethod
+    def _example_dicts(retrieved: Sequence[FewShotExample]) -> List[Dict[str, str]]:
         return [
             {
                 "description": example.description,
@@ -81,6 +78,20 @@ class DataCollectionClassifier:
             }
             for example in retrieved
         ]
+
+    def _examples_payload(self, text: str) -> List[Dict[str, str]]:
+        if not self.config.use_fewshot or len(self.fewshot_store) == 0:
+            return []
+        return self._example_dicts(
+            self.fewshot_store.retrieve(text, k=self.config.fewshot_k)
+        )
+
+    def _examples_payload_many(self, texts: Sequence[str]) -> List[List[Dict[str, str]]]:
+        """Bulk retrieval: one batched embedding query covers every text."""
+        if not self.config.use_fewshot or len(self.fewshot_store) == 0:
+            return [[] for _ in texts]
+        batched = self.fewshot_store.retrieve_many(texts, k=self.config.fewshot_k)
+        return [self._example_dicts(retrieved) for retrieved in batched]
 
     # ------------------------------------------------------------------
     # Classification
@@ -110,13 +121,17 @@ class DataCollectionClassifier:
         batch_size = self.config.batch_size
         for start in range(0, len(descriptions), batch_size):
             batch = descriptions[start:start + batch_size]
-            # Retrieval is per description; the batch shares the union of the
-            # retrieved examples, mirroring the dynamic few-shot selection of
+            # Retrieval is per description (one batched index query for the
+            # whole batch); the batch shares the union of the retrieved
+            # examples, mirroring the dynamic few-shot selection of
             # Section 3.2.3.
             example_pool: List[Dict[str, str]] = []
             seen = set()
-            for description in batch:
-                for example in self._examples_payload(description.text):
+            retrieved_per_description = self._examples_payload_many(
+                [description.text for description in batch]
+            )
+            for retrieved in retrieved_per_description:
+                for example in retrieved:
                     key = example["description"]
                     if key not in seen:
                         seen.add(key)

@@ -43,8 +43,7 @@ class FewShotStore:
         self._index = EmbeddingIndex(embedder=embedder)
         self._examples: List[FewShotExample] = []
         if examples:
-            for example in examples:
-                self.add(example)
+            self.add_many(examples)
 
     # ------------------------------------------------------------------
     def add(self, example: FewShotExample) -> None:
@@ -52,10 +51,18 @@ class FewShotStore:
         self._examples.append(example)
         self._index.add(example.description, example)
 
+    def add_many(self, examples: Iterable[FewShotExample]) -> None:
+        """Add many labelled examples with one batched embedding pass."""
+        batch = list(examples)
+        self._examples.extend(batch)
+        self._index.add_many([(example.description, example) for example in batch])
+
     def add_tuples(self, tuples: Iterable[Tuple[str, str, str]]) -> None:
         """Add examples given as ``(description, category, type)`` tuples."""
-        for description, category, data_type in tuples:
-            self.add(FewShotExample(description=description, category=category, data_type=data_type))
+        self.add_many(
+            FewShotExample(description=description, category=category, data_type=data_type)
+            for description, category, data_type in tuples
+        )
 
     def __len__(self) -> int:
         return len(self._examples)
@@ -71,6 +78,22 @@ class FewShotStore:
         k = k or self.default_k
         results = self._index.query(description, k=k)
         return [payload for _, payload, _ in results if isinstance(payload, FewShotExample)]
+
+    def retrieve_many(
+        self, descriptions: Sequence[str], k: Optional[int] = None
+    ) -> List[List[FewShotExample]]:
+        """Bulk :meth:`retrieve`: one batched index query for all descriptions.
+
+        Returns one example list per description, matching per-description
+        :meth:`retrieve` up to floating-point tie-breaking between examples
+        at identical distances.
+        """
+        k = k or self.default_k
+        batched = self._index.query_many(descriptions, k=k)
+        return [
+            [payload for _, payload, _ in results if isinstance(payload, FewShotExample)]
+            for results in batched
+        ]
 
     def retrieve_with_distances(
         self, description: str, k: Optional[int] = None

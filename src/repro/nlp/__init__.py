@@ -8,7 +8,9 @@ detection.  This subpackage provides offline, dependency-free equivalents:
 * :mod:`repro.nlp.segmentation` — rule-based sentence segmentation;
 * :mod:`repro.nlp.stopwords` — an English stopword list;
 * :mod:`repro.nlp.embeddings` — hashed bag-of-token / character n-gram
-  sentence embeddings;
+  sentence embeddings (batch-first, with a process-wide feature-hash cache);
+* :mod:`repro.nlp.minhash` — MinHash signatures and LSH banding for
+  near-linear near-duplicate candidate generation;
 * :mod:`repro.nlp.similarity` — cosine / Euclidean / Jaccard similarity and
   shingle-based near-duplicate detection.
 """
@@ -17,6 +19,12 @@ from repro.nlp.tokenization import tokenize, normalize_text, word_ngrams, char_n
 from repro.nlp.segmentation import split_sentences
 from repro.nlp.stopwords import STOPWORDS, remove_stopwords
 from repro.nlp.embeddings import SentenceEmbedder, EmbeddingIndex
+from repro.nlp.minhash import (
+    LSHIndex,
+    MinHasher,
+    choose_band_structure,
+    lsh_supports_threshold,
+)
 from repro.nlp.similarity import (
     cosine_similarity,
     euclidean_distance,
@@ -35,6 +43,10 @@ __all__ = [
     "remove_stopwords",
     "SentenceEmbedder",
     "EmbeddingIndex",
+    "MinHasher",
+    "LSHIndex",
+    "choose_band_structure",
+    "lsh_supports_threshold",
     "cosine_similarity",
     "euclidean_distance",
     "jaccard_similarity",

@@ -1,0 +1,225 @@
+"""MinHash signatures and locality-sensitive hashing (LSH) banding.
+
+The paper flags privacy policies with shingle Jaccard similarity above 95% as
+near-duplicates (Section 5.1.1), citing the Mining of Massive Datasets
+treatment.  This module implements the matching MMDS machinery so duplicate
+detection scales past the O(n²) all-pairs comparison:
+
+* :class:`MinHasher` turns a shingle set into a fixed-length signature of
+  ``num_perm`` min-wise hashes drawn from the universal family
+  ``h(x) = (a·x + b) mod p`` over the Mersenne prime ``p = 2³¹ − 1``.  Two
+  sets agree on any one signature position with probability equal to their
+  Jaccard similarity.
+* :class:`LSHIndex` splits signatures into ``bands`` bands of ``rows`` rows
+  and buckets documents by each band; documents sharing any bucket become
+  candidate pairs.  A pair with similarity ``s`` is missed with probability
+  ``(1 − s^rows)^bands``.
+* :func:`choose_band_structure` picks the band layout whose miss probability
+  at the target threshold is below a tolerance (default 1e−9), so LSH
+  candidate generation followed by exact Jaccard verification returns the
+  brute-force pair set in practice (and provably for threshold 1.0).
+
+All hashing is stable across processes (blake2b for tokens, a rolling
+polynomial over token hashes for shingles, and a seeded ``numpy`` PRNG for
+the permutation coefficients), so results are reproducible.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Set, Tuple
+
+import numpy as np
+
+#: Mersenne prime 2³¹ − 1.  Shingle hashes and permutation coefficients stay
+#: below it, so ``a·x + b`` fits comfortably in uint64 without overflow.
+_MERSENNE_PRIME = np.uint64((1 << 31) - 1)
+
+#: Signature value used for empty shingle sets: the maximum of the hash
+#: range, so empty documents never collide with real content in any band.
+_EMPTY_SLOT = np.uint64((1 << 31) - 1)
+
+
+def hash_token(token: str) -> int:
+    """A stable 31-bit hash of one word token (blake2b mod the prime)."""
+    digest = hashlib.blake2b(token.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "little") % int(_MERSENNE_PRIME)
+
+
+#: Multiplier of the rolling polynomial shingle hash (any odd constant below
+#: the prime works; this is CPython's string-hash multiplier).
+_ROLL_MULT = np.uint64(1000003)
+
+
+def hash_token_shingles(
+    tokens: Sequence[str],
+    k: int,
+    token_cache: Dict[str, int],
+) -> np.ndarray:
+    """Stable hashes of the word ``k``-shingles of a token list, vectorized.
+
+    Equivalent in spirit to hashing each shingle tuple separately, but built
+    from per-token hashes (memoized in ``token_cache`` across the corpus)
+    combined with a rolling polynomial — ``k`` vector operations per document
+    instead of one digest per shingle.  Token lists shorter than ``k`` hash
+    their single all-tokens shingle, mirroring
+    :func:`repro.nlp.similarity.shingle_set`.  Returns the deduplicated hash
+    values (a set, like the shingle set itself).
+    """
+    if not tokens:
+        return np.asarray([], dtype=np.uint64)
+    hashes = np.empty(len(tokens), dtype=np.uint64)
+    for position, token in enumerate(tokens):
+        value = token_cache.get(token)
+        if value is None:
+            value = token_cache[token] = hash_token(token)
+        hashes[position] = value
+    window = min(k, len(tokens))
+    n_shingles = len(tokens) - window + 1
+    rolled = np.zeros(n_shingles, dtype=np.uint64)
+    for offset in range(window):
+        rolled = (rolled * _ROLL_MULT + hashes[offset : offset + n_shingles]) % _MERSENNE_PRIME
+    return np.unique(rolled)
+
+
+def lsh_supports_threshold(
+    threshold: float, num_perm: int = 128, max_miss: float = 1e-9
+) -> bool:
+    """Whether any band layout meets the miss tolerance at this threshold.
+
+    The loosest layout is one-row bands, missing a threshold-similarity pair
+    with probability ``(1 − threshold)^num_perm`` — below ~0.15 (for 128
+    permutations) even that exceeds the tolerance, and callers should use
+    the exact scan instead.
+    """
+    if num_perm <= 0:
+        raise ValueError("num_perm must be positive")
+    if not 0.0 < threshold <= 1.0:
+        raise ValueError("threshold must be in (0, 1]")
+    return (1.0 - threshold) ** num_perm <= max_miss
+
+
+def choose_band_structure(
+    num_perm: int, threshold: float, max_miss: float = 1e-9
+) -> Tuple[int, int]:
+    """Choose ``(bands, rows)`` for a similarity threshold.
+
+    Picks the largest ``rows`` (fewest spurious candidates) whose miss
+    probability ``(1 − threshold^rows)^bands`` at exactly the threshold stays
+    below ``max_miss``; pairs above the threshold are missed even more
+    rarely.  Raises :class:`ValueError` when no layout satisfies the
+    tolerance (see :func:`lsh_supports_threshold`) rather than silently
+    weakening the guarantee.
+    """
+    if not lsh_supports_threshold(threshold, num_perm=num_perm, max_miss=max_miss):
+        raise ValueError(
+            f"no band layout over {num_perm} permutations meets miss <= {max_miss} "
+            f"at threshold {threshold}; use the exact scan for thresholds this low"
+        )
+    for rows in range(num_perm, 0, -1):
+        bands = num_perm // rows
+        miss = (1.0 - threshold**rows) ** bands
+        if miss <= max_miss:
+            return bands, rows
+    raise AssertionError("unreachable: rows=1 satisfies any supported threshold")
+
+
+@dataclass
+class MinHasher:
+    """Computes fixed-length MinHash signatures of hashed shingle sets."""
+
+    num_perm: int = 128
+    seed: int = 7
+    _a: np.ndarray = field(init=False, repr=False, compare=False)
+    _b: np.ndarray = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.num_perm <= 0:
+            raise ValueError("num_perm must be positive")
+        rng = np.random.default_rng(self.seed)
+        prime = int(_MERSENNE_PRIME)
+        self._a = rng.integers(1, prime, size=self.num_perm, dtype=np.uint64)
+        self._b = rng.integers(0, prime, size=self.num_perm, dtype=np.uint64)
+
+    def signature(self, hashed_shingles: np.ndarray) -> np.ndarray:
+        """The ``(num_perm,)`` signature of one hashed shingle set."""
+        if hashed_shingles.size == 0:
+            return np.full(self.num_perm, _EMPTY_SLOT, dtype=np.uint64)
+        values = hashed_shingles.astype(np.uint64, copy=False)
+        permuted = (
+            self._a[:, np.newaxis] * values[np.newaxis, :] + self._b[:, np.newaxis]
+        ) % _MERSENNE_PRIME
+        return permuted.min(axis=1)
+
+
+
+@dataclass
+class LSHIndex:
+    """Banded LSH over MinHash signatures, yielding candidate pairs."""
+
+    bands: int
+    rows: int
+
+    def __post_init__(self) -> None:
+        if self.bands <= 0 or self.rows <= 0:
+            raise ValueError("bands and rows must be positive")
+
+    def candidate_pairs(
+        self,
+        signatures: np.ndarray,
+        active: Sequence[bool] | None = None,
+    ) -> Set[Tuple[int, int]]:
+        """All ``(i, j)`` pairs (``i < j``) sharing a bucket in any band.
+
+        ``active`` masks out documents (e.g. empty shingle sets) that should
+        never become candidates.
+        """
+        n_docs = signatures.shape[0]
+        if self.bands * self.rows > signatures.shape[1]:
+            raise ValueError("bands * rows exceeds the signature length")
+        pairs: Set[Tuple[int, int]] = set()
+        for band in range(self.bands):
+            block = np.ascontiguousarray(
+                signatures[:, band * self.rows : (band + 1) * self.rows]
+            )
+            buckets: Dict[bytes, List[int]] = {}
+            for doc in range(n_docs):
+                if active is not None and not active[doc]:
+                    continue
+                buckets.setdefault(block[doc].tobytes(), []).append(doc)
+            for members in buckets.values():
+                if len(members) < 2:
+                    continue
+                for first in range(len(members)):
+                    for second in range(first + 1, len(members)):
+                        pairs.add((members[first], members[second]))
+        return pairs
+
+
+def minhash_candidate_pairs(
+    token_lists: Sequence[Sequence[str]],
+    k: int,
+    threshold: float,
+    num_perm: int = 128,
+    seed: int = 7,
+    max_miss: float = 1e-9,
+) -> Set[Tuple[int, int]]:
+    """MinHash–LSH candidate pairs for a corpus of tokenized documents.
+
+    Hashes the word ``k``-shingles of each token list
+    (:func:`hash_token_shingles`), computes signatures, chooses a band
+    layout for the threshold, and bands — one call.  The returned pairs are
+    a superset of the true near-duplicate pairs with overwhelming
+    probability (miss probability at the threshold below ``max_miss`` per
+    pair); callers verify candidates with exact Jaccard.  Documents with no
+    tokens never become candidates.
+    """
+    bands, rows = choose_band_structure(num_perm, threshold, max_miss=max_miss)
+    hasher = MinHasher(num_perm=num_perm, seed=seed)
+    token_cache: Dict[str, int] = {}
+    signatures = np.empty((len(token_lists), hasher.num_perm), dtype=np.uint64)
+    for row, tokens in enumerate(token_lists):
+        signatures[row] = hasher.signature(hash_token_shingles(tokens, k, token_cache))
+    active = [len(tokens) > 0 for tokens in token_lists]
+    return LSHIndex(bands=bands, rows=rows).candidate_pairs(signatures, active=active)

@@ -3,12 +3,13 @@
 Jaccard similarity over word shingles is used to find near-duplicate privacy
 policies (Section 5.1.1: policies with a Jaccard similarity above 95% are
 near-duplicates), following the Mining of Massive Datasets treatment the paper
-cites.
+cites.  At corpus scale, candidate pairs come from MinHash–LSH banding
+(:mod:`repro.nlp.minhash`) and only candidates are verified exactly.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple
 
 import numpy as np
 
@@ -49,7 +50,10 @@ def shingle_set(text: str, k: int = 5) -> FrozenSet[Tuple[str, ...]]:
     """
     if k <= 0:
         raise ValueError("k must be positive")
-    tokens = tokenize(text)
+    return _shingles_from_tokens(tokenize(text), k)
+
+
+def _shingles_from_tokens(tokens: Sequence[str], k: int) -> FrozenSet[Tuple[str, ...]]:
     if not tokens:
         return frozenset()
     if len(tokens) < k:
@@ -62,27 +66,68 @@ def text_jaccard(text_a: str, text_b: str, k: int = 5) -> float:
     return jaccard_similarity(shingle_set(text_a, k), shingle_set(text_b, k))
 
 
+#: Below this corpus size the O(n²) scan beats MinHash signature setup.
+_LSH_MIN_TEXTS = 128
+
+
 def near_duplicates(
     texts: Sequence[str],
     threshold: float = 0.95,
     k: int = 5,
+    method: str = "auto",
 ) -> List[Tuple[int, int, float]]:
     """Find pairs of near-duplicate texts.
 
     Returns ``(index_a, index_b, similarity)`` for every pair whose shingle
     Jaccard similarity is at least ``threshold``.  Exact duplicates are
-    included (similarity 1.0).  A cheap length-band prefilter keeps the
-    pairwise comparison tractable for corpus-scale inputs.
+    included (similarity 1.0).
+
+    ``method`` selects the candidate-generation strategy:
+
+    * ``"exact"`` — compare every pair (with a cheap shingle-count band
+      prefilter), O(n²).
+    * ``"lsh"`` — MinHash signatures + LSH banding (:mod:`repro.nlp.minhash`)
+      generate candidate pairs in near-linear time; every candidate is then
+      verified with exact Jaccard over the original shingle sets.  Reported
+      pairs match the exact scan with overwhelming probability (per-pair
+      miss probability at the threshold below 1e-9; provably identical at
+      threshold 1.0) and never include false positives.
+    * ``"auto"`` (default) — exact below ``128`` texts, LSH above.
+
+    Thresholds too low for LSH's miss guarantee (below ~0.15 with the
+    default 128 permutations) always use the exact scan, whatever the
+    requested method.
     """
     if not 0.0 < threshold <= 1.0:
         raise ValueError("threshold must be in (0, 1]")
-    shingles = [shingle_set(text, k) for text in texts]
+    if method not in ("auto", "exact", "lsh"):
+        raise ValueError(f"unknown method: {method!r}")
+    if k <= 0:
+        raise ValueError("k must be positive")
+    from repro.nlp.minhash import lsh_supports_threshold
+
+    token_lists = [tokenize(text) for text in texts]
+    if (
+        method == "exact"
+        or (method == "auto" and len(texts) < _LSH_MIN_TEXTS)
+        or not lsh_supports_threshold(threshold)
+    ):
+        shingles = [_shingles_from_tokens(tokens, k) for tokens in token_lists]
+        return _near_duplicates_exact(shingles, threshold)
+    return _near_duplicates_lsh(token_lists, threshold, k)
+
+
+def _near_duplicates_exact(
+    shingles: Sequence[FrozenSet[Tuple[str, ...]]],
+    threshold: float,
+) -> List[Tuple[int, int, float]]:
+    """Brute-force pairwise scan with a shingle-count band prefilter."""
     sizes = [len(s) for s in shingles]
     pairs: List[Tuple[int, int, float]] = []
-    for i in range(len(texts)):
+    for i in range(len(shingles)):
         if not shingles[i]:
             continue
-        for j in range(i + 1, len(texts)):
+        for j in range(i + 1, len(shingles)):
             if not shingles[j]:
                 continue
             smaller, larger = sorted((sizes[i], sizes[j]))
@@ -92,6 +137,45 @@ def near_duplicates(
             similarity = jaccard_similarity(shingles[i], shingles[j])
             if similarity >= threshold:
                 pairs.append((i, j, similarity))
+    return pairs
+
+
+def _near_duplicates_lsh(
+    token_lists: Sequence[Sequence[str]],
+    threshold: float,
+    k: int,
+) -> List[Tuple[int, int, float]]:
+    """LSH candidate generation + exact Jaccard verification.
+
+    Shingle hashing runs vectorized over the token lists (per-token hashes
+    memoized across the corpus); candidates then get verified with exact
+    Jaccard over the real shingle sets, so the result matches the exact
+    scan with overwhelming probability (per-pair miss probability at the
+    threshold below 1e-9; provably identical at threshold 1.0).  The tuple
+    shingle sets are materialized lazily — only for documents that appear
+    in a candidate pair, typically a small fraction of the corpus.
+    """
+    from repro.nlp.minhash import minhash_candidate_pairs
+
+    candidates = minhash_candidate_pairs(token_lists, k, threshold)
+    shingle_memo: Dict[int, FrozenSet[Tuple[str, ...]]] = {}
+
+    def shingles_of(index: int) -> FrozenSet[Tuple[str, ...]]:
+        shingles = shingle_memo.get(index)
+        if shingles is None:
+            shingles = shingle_memo[index] = _shingles_from_tokens(token_lists[index], k)
+        return shingles
+
+    pairs: List[Tuple[int, int, float]] = []
+    for i, j in sorted(candidates):
+        shingles_a = shingles_of(i)
+        shingles_b = shingles_of(j)
+        smaller, larger = sorted((len(shingles_a), len(shingles_b)))
+        if larger > 0 and smaller / larger < threshold:
+            continue
+        similarity = jaccard_similarity(shingles_a, shingles_b)
+        if similarity >= threshold:
+            pairs.append((i, j, similarity))
     return pairs
 
 

@@ -14,9 +14,15 @@ def normalize_text(text: str) -> str:
     """Normalize text for matching: NFKD fold, lower-case, collapse whitespace."""
     if not text:
         return ""
-    folded = unicodedata.normalize("NFKD", text)
-    folded = "".join(ch for ch in folded if not unicodedata.combining(ch))
-    folded = folded.lower()
+    if text.isascii():
+        # NFKD folding and combining-character stripping are identity maps on
+        # ASCII, and scanning every character for combining marks dominates
+        # the hot paths — skip straight to case folding.
+        folded = text.lower()
+    else:
+        folded = unicodedata.normalize("NFKD", text)
+        folded = "".join(ch for ch in folded if not unicodedata.combining(ch))
+        folded = folded.lower()
     return _WHITESPACE_RE.sub(" ", folded).strip()
 
 
@@ -30,6 +36,16 @@ def tokenize(text: str) -> List[str]:
     return _TOKEN_RE.findall(normalize_text(text))
 
 
+def tokenize_normalized(normalized: str) -> List[str]:
+    """Tokenize text that already went through :func:`normalize_text`.
+
+    Hot-path variant for callers (e.g. the hashed embedder) that normalize a
+    text once and derive both word tokens and character n-grams from it,
+    avoiding a second Unicode normalization pass.
+    """
+    return _TOKEN_RE.findall(normalized)
+
+
 def word_ngrams(tokens: List[str], n: int) -> List[Tuple[str, ...]]:
     """All word n-grams of a token list (empty when too short)."""
     if n <= 0:
@@ -41,9 +57,14 @@ def word_ngrams(tokens: List[str], n: int) -> List[Tuple[str, ...]]:
 
 def char_ngrams(text: str, n: int = 3) -> List[str]:
     """Character n-grams of the normalized text (used for fuzzy matching)."""
+    return char_ngrams_normalized(normalize_text(text), n)
+
+
+def char_ngrams_normalized(normalized: str, n: int = 3) -> List[str]:
+    """Character n-grams of text that already went through :func:`normalize_text`."""
     if n <= 0:
         raise ValueError("n must be positive")
-    normalized = normalize_text(text).replace(" ", "_")
-    if len(normalized) < n:
-        return [normalized] if normalized else []
-    return [normalized[i : i + n] for i in range(len(normalized) - n + 1)]
+    joined = normalized.replace(" ", "_")
+    if len(joined) < n:
+        return [joined] if joined else []
+    return [joined[i : i + n] for i in range(len(joined) - n + 1)]

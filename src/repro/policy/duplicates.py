@@ -111,8 +111,16 @@ def analyze_policy_corpus(
     near_duplicate_threshold: float = 0.95,
     short_policy_chars: int = 500,
     min_duplicate_group: int = 2,
+    near_duplicate_method: str = "auto",
 ) -> DuplicatePolicyReport:
-    """Compute duplicate, near-duplicate, and short-policy statistics for a corpus."""
+    """Compute duplicate, near-duplicate, and short-policy statistics for a corpus.
+
+    ``near_duplicate_method`` selects how near-duplicate candidate pairs are
+    generated (see :func:`repro.nlp.similarity.near_duplicates`): ``"auto"``
+    uses MinHash–LSH banding at corpus scale and the exact pairwise scan for
+    small inputs.  LSH matches the exact pair set with overwhelming
+    probability (per-pair miss probability below 1e-9 at the threshold).
+    """
     report = DuplicatePolicyReport()
     actions = corpus.unique_actions()
 
@@ -156,7 +164,11 @@ def analyze_policy_corpus(
     # Near-duplicates among distinct texts.
     distinct_texts = list(text_groups.keys())
     if len(distinct_texts) > 1:
-        pairs = near_duplicates(distinct_texts, threshold=near_duplicate_threshold)
+        pairs = near_duplicates(
+            distinct_texts,
+            threshold=near_duplicate_threshold,
+            method=near_duplicate_method,
+        )
         near_duplicate_indices = set()
         for index_a, index_b, _ in pairs:
             near_duplicate_indices.add(index_a)

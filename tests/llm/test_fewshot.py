@@ -60,3 +60,32 @@ class TestFewShotStore:
         example = FewShotExample("the city", "Location", "City")
         line = example.as_prompt_line()
         assert "the city" in line and "Location" in line and "City" in line
+
+
+class TestBulkRetrieval:
+    def test_retrieve_many_matches_retrieve(self):
+        store = build_store()
+        queries = ["user email address", "the city", "secret api token"]
+        batched = store.retrieve_many(queries, k=2)
+        assert len(batched) == len(queries)
+        for query, batch_result in zip(queries, batched):
+            # Same examples; examples at tied distances may swap ranks
+            # between the single-query and batched BLAS paths.
+            assert set(batch_result) == set(store.retrieve(query, k=2))
+
+    def test_retrieve_many_empty_inputs(self):
+        assert build_store().retrieve_many([]) == []
+        assert FewShotStore().retrieve_many(["anything"]) == [[]]
+
+    def test_add_many_matches_incremental_add(self):
+        examples = [
+            FewShotExample("first description", "Location", "City"),
+            FewShotExample("second description", "Location", "Country"),
+        ]
+        bulk = FewShotStore()
+        bulk.add_many(examples)
+        incremental = FewShotStore()
+        for example in examples:
+            incremental.add(example)
+        assert bulk.examples == incremental.examples
+        assert bulk.retrieve("first", k=1) == incremental.retrieve("first", k=1)

@@ -1,0 +1,204 @@
+"""Tests for MinHash signatures and LSH banding."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.nlp.minhash import (
+    LSHIndex,
+    MinHasher,
+    choose_band_structure,
+    hash_token,
+    hash_token_shingles,
+    lsh_supports_threshold,
+    minhash_candidate_pairs,
+)
+from repro.nlp.similarity import jaccard_similarity, near_duplicates, shingle_set
+from repro.nlp.tokenization import tokenize
+
+
+def _random_corpus(seed: int, n_docs: int, vocab_size: int = 300) -> list:
+    """A corpus with planted exact and near duplicates."""
+    rng = random.Random(seed)
+    vocab = [f"term{i}" for i in range(vocab_size)]
+    docs = []
+    while len(docs) < n_docs:
+        doc = " ".join(rng.choices(vocab, k=rng.randint(20, 120)))
+        docs.append(doc)
+        roll = rng.random()
+        if roll < 0.35:
+            # Near-duplicate: mutate one word.
+            words = doc.split()
+            words[rng.randrange(len(words))] = "mutated"
+            docs.append(" ".join(words))
+        elif roll < 0.55:
+            docs.append(doc)  # exact duplicate
+    return docs[:n_docs]
+
+
+class TestHashToken:
+    def test_stable_and_bounded(self):
+        value = hash_token("address")
+        assert value == hash_token("address")
+        assert 0 <= value < (1 << 31) - 1
+
+    def test_distinct_tokens_differ(self):
+        assert hash_token("alpha") != hash_token("beta")
+
+
+class TestMinHasher:
+    def test_signature_length_and_dtype(self):
+        hasher = MinHasher(num_perm=64)
+        hashed = hash_token_shingles(["we", "collect", "data"], k=2, token_cache={})
+        signature = hasher.signature(hashed)
+        assert signature.shape == (64,)
+        assert signature.dtype == np.uint64
+
+    def test_deterministic_across_instances(self):
+        hashed = hash_token_shingles(
+            tokenize("we collect your email address and name"), k=3, token_cache={}
+        )
+        a = MinHasher(num_perm=32, seed=5).signature(hashed)
+        b = MinHasher(num_perm=32, seed=5).signature(hashed)
+        assert np.array_equal(a, b)
+
+    def test_empty_set_sentinel(self):
+        hasher = MinHasher(num_perm=16)
+        signature = hasher.signature(np.asarray([], dtype=np.uint64))
+        assert np.all(signature == np.uint64((1 << 31) - 1))
+
+    def test_invalid_num_perm(self):
+        with pytest.raises(ValueError):
+            MinHasher(num_perm=0)
+
+    def test_signature_agreement_tracks_jaccard(self):
+        """Signature agreement rate estimates Jaccard similarity."""
+        rng = random.Random(1)
+        universe = [f"tok{i}" for i in range(400)]
+        tokens_a = rng.sample(universe, 200)
+        tokens_b = tokens_a[:150] + rng.sample(sorted(set(universe) - set(tokens_a)), 50)
+        true_jaccard = jaccard_similarity(tokens_a, tokens_b)
+        hasher = MinHasher(num_perm=256)
+        cache = {}
+        # k=1 shingles are the tokens themselves, so signature agreement
+        # should estimate the token-set Jaccard.
+        sig_a = hasher.signature(hash_token_shingles(tokens_a, k=1, token_cache=cache))
+        sig_b = hasher.signature(hash_token_shingles(tokens_b, k=1, token_cache=cache))
+        estimate = float(np.mean(sig_a == sig_b))
+        assert abs(estimate - true_jaccard) < 0.12
+
+
+class TestChooseBandStructure:
+    @pytest.mark.parametrize("threshold", [0.8, 0.9, 0.95, 1.0])
+    def test_miss_probability_below_tolerance(self, threshold):
+        bands, rows = choose_band_structure(128, threshold)
+        assert bands * rows <= 128
+        assert (1.0 - threshold**rows) ** bands <= 1e-9
+
+    def test_higher_threshold_allows_more_rows(self):
+        _, rows_low = choose_band_structure(128, 0.8)
+        _, rows_high = choose_band_structure(128, 0.99)
+        assert rows_high >= rows_low
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            choose_band_structure(0, 0.9)
+        with pytest.raises(ValueError):
+            choose_band_structure(128, 0.0)
+
+    def test_unsupported_low_threshold_raises(self):
+        assert not lsh_supports_threshold(0.05)
+        with pytest.raises(ValueError):
+            choose_band_structure(128, 0.05)
+
+    def test_supported_thresholds(self):
+        assert lsh_supports_threshold(0.2)
+        assert lsh_supports_threshold(1.0)
+
+
+class TestLSHIndex:
+    def test_identical_signatures_are_candidates(self):
+        signatures = np.asarray([[1, 2, 3, 4], [1, 2, 3, 4], [9, 9, 9, 9]], dtype=np.uint64)
+        pairs = LSHIndex(bands=2, rows=2).candidate_pairs(signatures)
+        assert (0, 1) in pairs
+        assert (0, 2) not in pairs
+
+    def test_active_mask_excludes_documents(self):
+        signatures = np.asarray([[1, 2], [1, 2], [1, 2]], dtype=np.uint64)
+        pairs = LSHIndex(bands=1, rows=2).candidate_pairs(signatures, active=[True, False, True])
+        assert pairs == {(0, 2)}
+
+    def test_band_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            LSHIndex(bands=3, rows=2).candidate_pairs(np.zeros((2, 4), dtype=np.uint64))
+
+    def test_invalid_band_shape(self):
+        with pytest.raises(ValueError):
+            LSHIndex(bands=0, rows=2)
+
+
+class TestCandidateGeneration:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_candidates_superset_of_true_pairs(self, seed):
+        docs = _random_corpus(seed, n_docs=120)
+        token_lists = [tokenize(doc) for doc in docs]
+        shingles = [shingle_set(doc, k=5) for doc in docs]
+        candidates = minhash_candidate_pairs(token_lists, k=5, threshold=0.9)
+        for i in range(len(shingles)):
+            if not shingles[i]:
+                continue
+            for j in range(i + 1, len(shingles)):
+                if not shingles[j]:
+                    continue
+                if jaccard_similarity(shingles[i], shingles[j]) >= 0.9:
+                    assert (i, j) in candidates
+
+    def test_empty_documents_never_candidates(self):
+        token_lists = [[], ["alpha", "beta", "gamma"], ["alpha", "beta", "gamma"], []]
+        candidates = minhash_candidate_pairs(token_lists, k=5, threshold=0.95)
+        assert candidates == {(1, 2)}
+
+    def test_token_shingle_hashes_match_shingle_semantics(self):
+        """Short token lists hash their single all-tokens shingle."""
+        cache = {}
+        short = hash_token_shingles(["one", "two"], k=5, token_cache=cache)
+        assert short.shape == (1,)
+        assert hash_token_shingles([], k=5, token_cache=cache).shape == (0,)
+        # Sliding windows: n - k + 1 shingles before dedup.
+        tokens = [f"w{i}" for i in range(10)]
+        assert hash_token_shingles(tokens, k=5, token_cache=cache).shape == (6,)
+
+
+class TestNearDuplicatesLSHEquivalence:
+    """LSH-backed near_duplicates returns exactly the brute-force pair set."""
+
+    @pytest.mark.parametrize("threshold", [0.8, 0.95, 1.0])
+    @pytest.mark.parametrize("seed", [3, 11])
+    def test_identical_to_exact(self, threshold, seed):
+        docs = _random_corpus(seed, n_docs=180)
+        exact = near_duplicates(docs, threshold=threshold, method="exact")
+        lsh = near_duplicates(docs, threshold=threshold, method="lsh")
+        assert lsh == exact
+
+    def test_empty_and_short_texts(self):
+        docs = ["", "one two", "one two", ""] + _random_corpus(4, n_docs=40)
+        exact = near_duplicates(docs, threshold=0.95, method="exact")
+        lsh = near_duplicates(docs, threshold=0.95, method="lsh")
+        assert lsh == exact
+
+    def test_auto_dispatches_small_inputs_to_exact(self):
+        docs = ["alpha beta gamma delta epsilon"] * 3
+        assert near_duplicates(docs, threshold=0.95, method="auto") == near_duplicates(
+            docs, threshold=0.95, method="exact"
+        )
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            near_duplicates(["a"], method="fastest")
+
+    def test_low_threshold_falls_back_to_exact(self):
+        """Thresholds below LSH's miss guarantee use the exact scan."""
+        docs = _random_corpus(7, n_docs=140)
+        low = near_duplicates(docs, threshold=0.05, method="lsh")
+        assert low == near_duplicates(docs, threshold=0.05, method="exact")
