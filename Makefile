@@ -1,21 +1,30 @@
 # Development entry points.  Every PR runs `make ci` (tier-1 tests plus the
-# NLP perf smoke benchmark) so regressions in correctness or throughput are
-# caught identically everywhere.
+# NLP and crawl perf smoke benchmarks) so regressions in correctness or
+# throughput are caught identically everywhere.
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test perf ci
+.PHONY: test perf perf-nlp perf-crawl ci
 
 ## tier-1: the full test suite (the driver's acceptance gate runs the bare
-## command, which also collects the perf benchmark; `make ci` runs the perf
-## file separately, so exclude it here to avoid timing it twice)
+## command, which also collects the perf benchmarks; `make ci` runs the perf
+## files separately, so exclude them here to avoid timing them twice)
 test:
-	$(PYTHON) -m pytest -x -q --ignore=benchmarks/test_bench_perf_nlp.py
+	$(PYTHON) -m pytest -x -q \
+		--ignore=benchmarks/test_bench_perf_nlp.py \
+		--ignore=benchmarks/test_bench_perf_crawl.py
 
-## perf smoke: times the NLP hot paths and writes BENCH_nlp.json
-perf:
+## perf smokes: time the NLP hot paths (BENCH_nlp.json) and the concurrent
+## crawl engine (BENCH_crawl.json), then print the merged trajectory
+perf-nlp:
 	$(PYTHON) -m pytest benchmarks/test_bench_perf_nlp.py -q -s
+
+perf-crawl:
+	$(PYTHON) -m pytest benchmarks/test_bench_perf_crawl.py -q -s
+
+perf: perf-nlp perf-crawl
+	$(PYTHON) benchmarks/perf_report.py
 
 ## what CI runs on every PR
 ci: test perf

@@ -98,3 +98,39 @@ class PerfReport:
         target = (directory or REPO_ROOT) / f"BENCH_{self.name}.json"
         target.write_text(json.dumps(self.as_dict(), indent=2) + "\n", encoding="utf-8")
         return target
+
+
+def load_report(path: Path) -> PerfReport:
+    """Load a ``BENCH_<name>.json`` artifact back into a :class:`PerfReport`."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    report = PerfReport(str(payload.get("benchmark", Path(path).stem)))
+    for entry in payload.get("records", []):
+        report.record(
+            name=str(entry["name"]),
+            baseline_s=float(entry["baseline_s"]),
+            optimized_s=float(entry["optimized_s"]),
+            items=int(entry["items"]),
+        )
+    return report
+
+
+def merged_summary(directory: Optional[Path] = None) -> str:
+    """One table merging every ``BENCH_*.json`` artifact in ``directory``.
+
+    This is what ``make ci`` prints after the perf smokes run, so the NLP
+    and crawl trajectories are read side by side.
+    """
+    root = directory or REPO_ROOT
+    lines: List[str] = []
+    for path in sorted(root.glob("BENCH_*.json")):
+        report = load_report(path)
+        lines.append(f"== {report.name} ({path.name}) ==")
+        lines.append(report.format_table())
+        lines.append("")
+    if not lines:
+        return "no BENCH_*.json artifacts found"
+    return "\n".join(lines).rstrip()
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI convenience
+    print(merged_summary())

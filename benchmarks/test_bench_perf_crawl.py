@@ -1,0 +1,162 @@
+"""Timed perf benchmarks for the concurrent crawl engine.
+
+Crawls a paper-calibrated 2000-GPT ecosystem over the simulated network with
+a per-request latency standing in for network RTT (the paper's real crawl is
+network-bound) and a handful of flaky policy hosts that need retries, then
+times the sequential baseline against the 8-worker engine.  Three properties
+are asserted alongside the timings:
+
+* the 8-worker crawl is at least ``MIN_CRAWL_SPEEDUP``× faster than the
+  sequential baseline at the same latency;
+* both crawls produce **byte-identical** corpora (the engine's deterministic
+  merge + the layer's seeded per-URL flakiness draws);
+* a checkpointed crawl killed mid-run resumes to a corpus identical to an
+  uninterrupted run with the same seed, without refetching completed tasks.
+
+The measured numbers are printed as a compact table and persisted to
+``BENCH_crawl.json`` at the repository root alongside ``BENCH_nlp.json``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from perf_report import PerfReport
+
+from repro.crawler.pipeline import CrawlPipeline
+from repro.crawler.transport import TransportConfig
+from repro.ecosystem.config import EcosystemConfig
+from repro.ecosystem.generator import EcosystemGenerator
+from repro.io import corpus_to_payload, policies_to_payload
+from repro.web.urls import url_host
+
+REPORT = PerfReport("crawl")
+
+#: Scale of the benchmark crawl and its seed.
+CRAWL_GPTS = 2000
+CRAWL_SEED = 17
+
+#: Simulated per-request network round-trip time.
+LATENCY_S = 0.002
+#: Worker-pool size for the concurrent crawl.
+WORKERS = 8
+#: Failure rate injected into a sample of policy hosts.
+FLAKY_RATE = 0.4
+N_FLAKY_HOSTS = 8
+
+#: Required speedup of the 8-worker crawl over the sequential baseline.
+MIN_CRAWL_SPEEDUP = 4.0
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _emit_report():
+    """Print the timing table and write BENCH_crawl.json after the module."""
+    yield
+    print()
+    print(REPORT.format_table())
+    print(f"wrote {REPORT.write()}")
+
+
+@pytest.fixture(scope="module")
+def ecosystem():
+    config = EcosystemConfig.paper_calibrated(n_gpts=CRAWL_GPTS, seed=CRAWL_SEED)
+    return EcosystemGenerator(config).generate()
+
+
+def _flaky_hosts(ecosystem):
+    """A deterministic sample of policy hosts to make flaky."""
+    hosts = sorted(
+        {
+            url_host(action.legal_info_url)
+            for action in ecosystem.actions.values()
+            if action.legal_info_url
+        }
+    )
+    return hosts[:N_FLAKY_HOSTS]
+
+
+def _build_pipeline(ecosystem, workers, latency_s=LATENCY_S, **kwargs):
+    config = TransportConfig(max_attempts=4, latency_s=latency_s, seed=CRAWL_SEED)
+    pipeline = CrawlPipeline.from_ecosystem(
+        ecosystem, seed=CRAWL_SEED, workers=workers, transport_config=config, **kwargs
+    )
+    for host in _flaky_hosts(ecosystem):
+        pipeline.http.set_flaky_host(host, FLAKY_RATE)
+    return pipeline
+
+
+def test_concurrent_crawl_speedup(ecosystem):
+    baseline_pipeline = _build_pipeline(ecosystem, workers=0)
+    start = time.perf_counter()
+    baseline_corpus = baseline_pipeline.run()
+    baseline_s = time.perf_counter() - start
+
+    engine_pipeline = _build_pipeline(ecosystem, workers=WORKERS)
+    start = time.perf_counter()
+    engine_corpus = engine_pipeline.run()
+    optimized_s = time.perf_counter() - start
+
+    # The concurrent crawl must reproduce the sequential corpus exactly —
+    # flaky hosts, retries, and all.
+    assert corpus_to_payload(engine_corpus) == corpus_to_payload(baseline_corpus)
+    assert policies_to_payload(engine_corpus) == policies_to_payload(baseline_corpus)
+    assert len(engine_corpus.gpts) == CRAWL_GPTS
+    assert engine_pipeline.statistics.n_retries > 0  # the flaky hosts did bite
+
+    entry = REPORT.record(
+        f"crawl_{CRAWL_GPTS}_gpts",
+        baseline_s=baseline_s,
+        optimized_s=optimized_s,
+        items=engine_pipeline.statistics.n_http_requests,
+    )
+    assert entry.speedup >= MIN_CRAWL_SPEEDUP, (
+        f"{WORKERS}-worker crawl only {entry.speedup:.1f}x faster "
+        f"(needs {MIN_CRAWL_SPEEDUP:.0f}x)"
+    )
+
+
+def test_checkpointed_crawl_resumes_identically(ecosystem, tmp_path):
+    # Same latency as the speedup benchmark: the point of resume is skipping
+    # refetches, so the saved time is network time.
+    uninterrupted = _build_pipeline(ecosystem, workers=WORKERS)
+    start = time.perf_counter()
+    full_corpus = uninterrupted.run()
+    full_s = time.perf_counter() - start
+
+    killed = _build_pipeline(
+        ecosystem, workers=WORKERS,
+        checkpoint_dir=str(tmp_path), checkpoint_every=50,
+    )
+    real_get = killed.http.get
+    calls = {"n": 0}
+
+    def killer_get(url):
+        calls["n"] += 1
+        if calls["n"] == 1200:  # kill mid-resolve, well past the listing stage
+            raise KeyboardInterrupt
+        return real_get(url)
+
+    killed.http.get = killer_get
+    with pytest.raises(KeyboardInterrupt):
+        killed.run()
+
+    resumed = _build_pipeline(
+        ecosystem, workers=WORKERS,
+        checkpoint_dir=str(tmp_path), resume=True,
+    )
+    start = time.perf_counter()
+    resumed_corpus = resumed.run()
+    resumed_s = time.perf_counter() - start
+
+    assert resumed.statistics.n_tasks_resumed > 0
+    assert corpus_to_payload(resumed_corpus) == corpus_to_payload(full_corpus)
+    assert policies_to_payload(resumed_corpus) == policies_to_payload(full_corpus)
+
+    REPORT.record(
+        "resume_after_kill",
+        baseline_s=full_s,
+        optimized_s=resumed_s,
+        items=resumed.statistics.n_tasks_resumed,
+    )

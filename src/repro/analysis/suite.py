@@ -37,6 +37,7 @@ from repro.classification.evaluation import (
 from repro.classification.results import ClassificationResult
 from repro.crawler.corpus import CrawlCorpus
 from repro.crawler.pipeline import CrawlPipeline
+from repro.crawler.transport import TransportConfig
 from repro.ecosystem.config import EcosystemConfig
 from repro.ecosystem.generator import EcosystemGenerator
 from repro.ecosystem.models import SyntheticEcosystem
@@ -63,6 +64,16 @@ class SuiteConfig:
     #: Candidate generation for near-duplicate policy detection ("auto" picks
     #: MinHash–LSH at corpus scale; see repro.nlp.similarity.near_duplicates).
     near_duplicate_method: str = "auto"
+    #: Worker-pool size for the crawl engine (0/1 crawls sequentially).
+    crawl_workers: int = 0
+    #: Directory for incremental crawl checkpoints (None disables).
+    crawl_checkpoint_dir: Optional[str] = None
+    #: Resume a checkpointed crawl instead of starting from scratch.
+    crawl_resume: bool = False
+    #: Retry/backoff/latency knobs for the crawl transport (None = defaults).
+    crawl_transport: Optional["TransportConfig"] = None
+    #: Per-host politeness limits (host → requests/second) for the crawl.
+    crawl_rate_limits: Optional[Dict[str, float]] = None
 
 
 class MeasurementSuite:
@@ -103,9 +114,17 @@ class MeasurementSuite:
 
     @property
     def corpus(self) -> CrawlCorpus:
-        """The crawled corpus."""
+        """The crawled corpus (concurrent and resumable when configured)."""
         if self._corpus is None:
-            pipeline = CrawlPipeline.from_ecosystem(self.ecosystem, seed=self.config.seed)
+            pipeline = CrawlPipeline.from_ecosystem(
+                self.ecosystem,
+                seed=self.config.seed,
+                workers=self.config.crawl_workers,
+                transport_config=self.config.crawl_transport,
+                rate_limits=self.config.crawl_rate_limits,
+                checkpoint_dir=self.config.crawl_checkpoint_dir,
+                resume=self.config.crawl_resume,
+            )
             self._corpus = pipeline.run()
         return self._corpus
 

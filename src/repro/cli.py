@@ -4,13 +4,20 @@
 measurement pipeline:
 
 * ``repro-gpt generate`` — generate a synthetic ecosystem and print a summary;
-* ``repro-gpt crawl`` — generate + crawl, printing crawl statistics (Table 1);
+* ``repro-gpt crawl`` — generate + crawl, printing crawl statistics (Table 1).
+  The crawl runs on the concurrent engine: ``--workers N`` fans requests out
+  over a worker pool, ``--checkpoint-dir DIR`` persists stage progress
+  incrementally, and ``--resume`` continues an interrupted crawl from that
+  checkpoint without refetching;
 * ``repro-gpt analyze`` — run the full pipeline and print the headline
   measurements;
 * ``repro-gpt experiment <id>`` — run one experiment (``table4``,
   ``figure9``, …) and print the paper-vs-measured comparison;
 * ``repro-gpt report`` — run every experiment and emit an EXPERIMENTS-style
-  markdown report.
+  markdown report;
+* ``repro-gpt export <directory>`` — crawl and write the corpus (and, with
+  ``--with-classification``, the per-parameter labels) to a dataset
+  directory that :mod:`repro.io` can load back.
 """
 
 from __future__ import annotations
@@ -27,7 +34,13 @@ from repro.reporting.markdown import format_table
 
 
 def _build_suite(args: argparse.Namespace) -> MeasurementSuite:
-    config = SuiteConfig(n_gpts=args.gpts, seed=args.seed)
+    config = SuiteConfig(
+        n_gpts=args.gpts,
+        seed=args.seed,
+        crawl_workers=getattr(args, "workers", 0),
+        crawl_checkpoint_dir=getattr(args, "checkpoint_dir", None),
+        crawl_resume=getattr(args, "resume", False),
+    )
     return MeasurementSuite(config=config)
 
 
@@ -46,6 +59,9 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_crawl(args: argparse.Namespace) -> int:
+    if args.resume and not args.checkpoint_dir:
+        print("--resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
     suite = _build_suite(args)
     stats = suite.crawl_stats
     rows = [(store, count) for store, count in stats.sorted_store_counts()]
@@ -131,7 +147,21 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     subparsers.add_parser("generate", help="generate a synthetic ecosystem")
-    subparsers.add_parser("crawl", help="crawl the synthetic stores and print Table 1")
+    crawl_parser = subparsers.add_parser(
+        "crawl", help="crawl the synthetic stores and print Table 1"
+    )
+    crawl_parser.add_argument(
+        "--workers", type=int, default=0,
+        help="crawl-engine worker pool size (0 = sequential)",
+    )
+    crawl_parser.add_argument(
+        "--checkpoint-dir", default=None,
+        help="directory for incremental crawl checkpoints",
+    )
+    crawl_parser.add_argument(
+        "--resume", action="store_true",
+        help="resume an interrupted crawl from --checkpoint-dir",
+    )
     subparsers.add_parser("analyze", help="run the full pipeline and print headline stats")
     experiment_parser = subparsers.add_parser("experiment", help="run one experiment by id")
     experiment_parser.add_argument("experiment_id", help="e.g. table4, figure9")

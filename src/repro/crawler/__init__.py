@@ -9,21 +9,50 @@ GPTs), and policy URLs serve the generated policy documents (or 5xx errors for
 the unavailable share).
 
 The output of a crawl is a :class:`CrawlCorpus` — the raw measurement corpus
-that every downstream analysis consumes.
+that every downstream analysis consumes.  The crawl itself is scheduled by
+the concurrent engine in :mod:`repro.crawler.engine` over the retrying
+transport in :mod:`repro.crawler.transport`.
 """
 
 from repro.crawler.http import HTTPError, SimulatedHTTPLayer, SimulatedResponse
+from repro.crawler.transport import (
+    CircuitOpenError,
+    HTTPTransport,
+    RetryingTransport,
+    TransportConfig,
+)
+from repro.crawler.engine import (
+    CrawlEngine,
+    CrawlTask,
+    FIFOTaskQueue,
+    HostRateLimiter,
+    LIFOTaskQueue,
+    TaskOutcome,
+    TokenBucket,
+)
 from repro.crawler.store_server import GPTStoreServer, install_store_servers
 from repro.crawler.gizmo_api import GizmoAPIClient, GizmoAPIServer, GIZMO_API_PREFIX
 from repro.crawler.store_crawler import StoreCrawler, StoreCrawlResult
 from repro.crawler.policy_fetcher import PolicyFetcher, PolicyFetchResult
 from repro.crawler.corpus import CrawlCorpus, CrawledAction, CrawledGPT
-from repro.crawler.pipeline import CrawlPipeline, CrawlStatistics
+from repro.crawler.pipeline import CrawlPipeline, CrawlStage, CrawlStatistics
 
 __all__ = [
     "HTTPError",
     "SimulatedHTTPLayer",
     "SimulatedResponse",
+    "CircuitOpenError",
+    "HTTPTransport",
+    "RetryingTransport",
+    "TransportConfig",
+    "CrawlEngine",
+    "CrawlTask",
+    "FIFOTaskQueue",
+    "HostRateLimiter",
+    "LIFOTaskQueue",
+    "TaskOutcome",
+    "TokenBucket",
+    "CrawlStage",
     "GPTStoreServer",
     "install_store_servers",
     "GizmoAPIClient",

@@ -179,6 +179,51 @@ class CrawlCorpus:
     unresolved_gpt_ids: List[str] = field(default_factory=list)
 
     # ------------------------------------------------------------------
+    # Incremental merging (used by the crawl engine's stages, and for
+    # combining shard corpora from partitioned crawls)
+    # ------------------------------------------------------------------
+    def merge_listing(self, store_name: str, n_links: int) -> None:
+        """Record the listing crawl of one store."""
+        self.store_link_counts[store_name] = (
+            self.store_link_counts.get(store_name, 0) + n_links
+        )
+
+    def merge_gpt(self, gpt: CrawledGPT) -> None:
+        """Add one resolved GPT, updating per-store success counts."""
+        previous = self.gpts.get(gpt.gpt_id)
+        if previous is not None:
+            # Re-crawled GPT: retract the old store attribution first.
+            for store in previous.source_stores:
+                remaining = self.store_counts.get(store, 0) - 1
+                if remaining > 0:
+                    self.store_counts[store] = remaining
+                else:
+                    self.store_counts.pop(store, None)
+        self.gpts[gpt.gpt_id] = gpt
+        for store in gpt.source_stores:
+            self.store_counts[store] = self.store_counts.get(store, 0) + 1
+
+    def merge_unresolved(self, gpt_id: str) -> None:
+        """Record an identifier that failed to resolve."""
+        if gpt_id not in self.unresolved_gpt_ids:
+            self.unresolved_gpt_ids.append(gpt_id)
+
+    def merge_policy(self, url: str, result: PolicyFetchResult) -> None:
+        """Record the fetch outcome for one policy URL."""
+        self.policies[url] = result
+
+    def merge(self, other: "CrawlCorpus") -> None:
+        """Fold another corpus (e.g. a crawl shard) into this one."""
+        for store, n_links in other.store_link_counts.items():
+            self.merge_listing(store, n_links)
+        for gpt in other.iter_gpts():
+            self.merge_gpt(gpt)
+        for gpt_id in other.unresolved_gpt_ids:
+            self.merge_unresolved(gpt_id)
+        for url, result in other.policies.items():
+            self.merge_policy(url, result)
+
+    # ------------------------------------------------------------------
     def __len__(self) -> int:
         return len(self.gpts)
 

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.crawler.http import HTTPError, SimulatedHTTPLayer, SimulatedResponse
+from repro.crawler.transport import HTTPTransport
 from repro.ecosystem.models import GPTManifest
 
 #: URL prefix of the gizmo manifest API.
@@ -61,9 +62,13 @@ class GizmoFetchResult:
 
 
 class GizmoAPIClient:
-    """Client that resolves GPT identifiers to manifests."""
+    """Client that resolves GPT identifiers to manifests.
 
-    def __init__(self, http: SimulatedHTTPLayer) -> None:
+    ``http`` is anything exposing ``get(url)`` — the raw simulated layer or
+    a retrying transport wrapper.
+    """
+
+    def __init__(self, http: HTTPTransport) -> None:
         self._http = http
         self.failures: List[GizmoFetchResult] = []
 

@@ -1,18 +1,28 @@
 """A simulated HTTP layer.
 
-Servers register handlers for URL prefixes; clients issue ``get`` requests and
-receive :class:`SimulatedResponse` objects.  The layer also supports injected
-failures (per-URL status overrides and flaky-host error rates), which the
-pipeline uses to reproduce crawl-time failures such as unresponsive policy
-servers (Section 5.1.1) and removed GPTs (404 from the gizmo API).
+Servers register handlers for URL prefixes (or exact URLs); clients issue
+``get`` requests and receive :class:`SimulatedResponse` objects.  The layer
+also supports injected failures (per-URL status overrides and flaky-host error
+rates), which the pipeline uses to reproduce crawl-time failures such as
+unresponsive policy servers (Section 5.1.1) and removed GPTs (404 from the
+gizmo API).
+
+The layer is thread-safe and deterministic under concurrency: flaky-host
+failures are drawn from a seeded hash of ``(seed, url, per-URL attempt
+index)`` rather than a shared RNG stream, so whether the Nth request to a URL
+fails does not depend on how worker threads interleave requests to *other*
+URLs.  This is what lets the concurrent crawl engine produce bit-identical
+corpora for a fixed seed regardless of worker count.
 """
 
 from __future__ import annotations
 
 import json
 import random
+import threading
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.web.urls import parse_url
 
@@ -48,16 +58,35 @@ class SimulatedResponse:
 #: A handler receives the full URL and returns a response.
 Handler = Callable[[str], SimulatedResponse]
 
+#: Default capacity of the recent-request ring buffer.
+DEFAULT_RECENT_CAPACITY = 1024
+
 
 class SimulatedHTTPLayer:
-    """An in-memory HTTP transport with prefix-routed handlers."""
+    """An in-memory HTTP transport with exact- and prefix-routed handlers.
 
-    def __init__(self, seed: int = 0) -> None:
+    Parameters
+    ----------
+    seed:
+        Seed for the deterministic flaky-host failure draws.
+    recent_capacity:
+        Size of the bounded ring buffer behind :meth:`recent_requests`.
+        Request *counting* is always exact (a plain integer); only the
+        retained URLs are capped, so multi-million-request crawls hold
+        O(capacity) memory instead of O(requests).
+    """
+
+    def __init__(self, seed: int = 0,
+                 recent_capacity: int = DEFAULT_RECENT_CAPACITY) -> None:
         self._handlers: List[Tuple[str, Handler]] = []
+        self._exact_handlers: Dict[str, Handler] = {}
         self._status_overrides: Dict[str, int] = {}
         self._flaky_hosts: Dict[str, float] = {}
-        self._rng = random.Random(seed)
-        self.request_log: List[str] = []
+        self._seed = seed
+        self._lock = threading.Lock()
+        self._request_count = 0
+        self._recent: Deque[str] = deque(maxlen=max(0, recent_capacity))
+        self._url_attempts: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # Server-side registration
@@ -67,6 +96,15 @@ class SimulatedHTTPLayer:
         self._handlers.append((url_prefix, handler))
         # Longest prefixes win so that specific routes shadow generic ones.
         self._handlers.sort(key=lambda item: len(item[0]), reverse=True)
+
+    def register_exact(self, url: str, handler: Handler) -> None:
+        """Register a handler for one exact URL.
+
+        Exact routes are consulted before the prefix scan and never act as
+        prefixes themselves, so a document at ``…/policy`` cannot shadow a
+        separately-registered ``…/policy/v2``.
+        """
+        self._exact_handlers[url] = handler
 
     def register_static(self, url: str, text: str, status: int = 200,
                         content_type: str = "text/html") -> None:
@@ -80,14 +118,20 @@ class SimulatedHTTPLayer:
                 headers={"content-type": content_type},
             )
 
-        self.register(url, handler)
+        self.register_exact(url, handler)
 
     def set_status_override(self, url: str, status: int) -> None:
         """Force a specific status code for an exact URL (e.g. 500, 404)."""
         self._status_overrides[url] = status
 
     def set_flaky_host(self, host: str, failure_rate: float) -> None:
-        """Make a host fail (connection error) with the given probability."""
+        """Make a host fail (connection error) with the given probability.
+
+        Failures are deterministic for a fixed layer seed: the Nth request to
+        a given URL either always fails or always succeeds, independent of
+        requests to other URLs.  This keeps seeded crawls reproducible even
+        when requests are issued concurrently.
+        """
         if not 0.0 <= failure_rate <= 1.0:
             raise ValueError("failure_rate must be within [0, 1]")
         self._flaky_hosts[host.lower()] = failure_rate
@@ -95,15 +139,31 @@ class SimulatedHTTPLayer:
     # ------------------------------------------------------------------
     # Client side
     # ------------------------------------------------------------------
+    def _flaky_draw(self, url: str, attempt: int) -> float:
+        # String seeding hashes with SHA-512 under the hood, so draws are
+        # stable across processes and independent per (url, attempt).
+        return random.Random(f"{self._seed}:{url}:{attempt}").random()
+
     def get(self, url: str) -> SimulatedResponse:
         """Fetch a URL, raising :class:`HTTPError` for transport failures."""
-        self.request_log.append(url)
         parsed = parse_url(url)
         failure_rate = self._flaky_hosts.get(parsed.host)
-        if failure_rate and self._rng.random() < failure_rate:
+        with self._lock:
+            self._request_count += 1
+            self._recent.append(url)
+            # Per-URL attempt indices are only tracked for flaky hosts (the
+            # only consumer is the failure draw), so crawls over mostly
+            # healthy hosts keep O(flaky URLs) memory, not O(URLs).
+            if failure_rate:
+                attempt = self._url_attempts.get(url, 0)
+                self._url_attempts[url] = attempt + 1
+        if failure_rate and self._flaky_draw(url, attempt) < failure_rate:
             raise HTTPError(url, "connection reset by peer")
         if url in self._status_overrides:
             return SimulatedResponse(url=url, status=self._status_overrides[url], text="")
+        exact = self._exact_handlers.get(url)
+        if exact is not None:
+            return exact(url)
         for prefix, handler in self._handlers:
             if url.startswith(prefix):
                 response = handler(url)
@@ -118,6 +178,28 @@ class SimulatedHTTPLayer:
         return response.json()
 
     @property
+    def seed(self) -> int:
+        """The seed behind the deterministic failure draws."""
+        return self._seed
+
+    @property
     def request_count(self) -> int:
-        """Number of requests issued so far."""
-        return len(self.request_log)
+        """Number of requests issued so far (exact, unbounded counter)."""
+        return self._request_count
+
+    def recent_requests(self, n: Optional[int] = None) -> List[str]:
+        """The most recent request URLs, oldest first (capped ring buffer)."""
+        with self._lock:
+            recent = list(self._recent)
+        if n is not None:
+            return recent[-n:] if n > 0 else []
+        return recent
+
+    @property
+    def request_log(self) -> List[str]:
+        """Backwards-compatible view of :meth:`recent_requests`.
+
+        Unlike the pre-engine implementation this is *bounded* — it holds at
+        most ``recent_capacity`` URLs; use :attr:`request_count` for totals.
+        """
+        return self.recent_requests()

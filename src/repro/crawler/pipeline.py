@@ -1,43 +1,87 @@
-"""End-to-end crawl pipeline.
+"""End-to-end crawl pipeline on the concurrent crawl engine.
 
 ``CrawlPipeline.from_ecosystem`` wires a :class:`SyntheticEcosystem` into a
 simulated network — store servers, the gizmo manifest API, and the privacy
 policy documents — and :meth:`CrawlPipeline.run` then performs the same crawl
-the paper describes in Section 3.1:
+the paper describes in Section 3.1, rebuilt as three declarative stages
+scheduled by :class:`~repro.crawler.engine.CrawlEngine`:
 
-1. crawl every store's listing pages and extract GPT identifiers;
-2. de-duplicate identifiers across stores;
-3. resolve each identifier against the gizmo API (404s are recorded);
-4. parse manifests into :class:`~repro.crawler.corpus.CrawledGPT` records;
-5. fetch every Action's privacy policy (some fail with server errors).
+1. **listing** — crawl every store's listing pages and extract GPT
+   identifiers (one task per store);
+2. **resolve** — de-duplicate identifiers across stores and resolve each one
+   against the gizmo API (one task per identifier; 404s are recorded);
+3. **policies** — fetch every Action's privacy policy (one task per unique
+   URL; some fail with server errors, as in Section 5.1.1).
+
+All network traffic goes through a
+:class:`~repro.crawler.transport.RetryingTransport` (retry budgets, seeded
+backoff, optional circuit breaking and simulated latency).  Stage results are
+merged into the corpus in deterministic task order regardless of worker
+count, so a seeded crawl is bit-reproducible sequentially or with 8 workers.
+
+When a checkpoint directory is configured, completed task payloads are
+flushed incrementally through :class:`repro.io.CrawlCheckpoint`; a run
+killed mid-stage and restarted with ``resume=True`` skips everything already
+fetched and produces a corpus identical to an uninterrupted run.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.crawler.corpus import CrawlCorpus, CrawledGPT
+from repro.crawler.engine import (
+    CrawlEngine,
+    CrawlTask,
+    HostRateLimiter,
+    TaskOutcome,
+    TaskQueue,
+    FIFOTaskQueue,
+)
 from repro.crawler.gizmo_api import GizmoAPIClient, GizmoAPIServer
 from repro.crawler.http import SimulatedHTTPLayer
-from repro.crawler.policy_fetcher import PolicyFetcher
+from repro.crawler.policy_fetcher import PolicyFetcher, PolicyFetchResult
 from repro.crawler.store_crawler import StoreCrawler
 from repro.crawler.store_server import GPTStoreServer, install_store_servers
+from repro.crawler.transport import RetryingTransport, TransportConfig
 from repro.ecosystem.models import SyntheticEcosystem
+from repro.io import CrawlCheckpoint
+from repro.web.urls import url_host
 
 
 @dataclass
 class CrawlStatistics:
-    """Aggregate statistics about one crawl run."""
+    """Aggregate statistics about one crawl run.
 
-    n_store_links: int = 0
+    Per-store numbers are *derived* from the corpus (the single source of
+    truth) rather than mirrored into separate counters.
+    """
+
     n_unique_identifiers: int = 0
     n_resolved: int = 0
     n_unresolved: int = 0
     n_policy_urls: int = 0
     n_policy_failures: int = 0
     n_http_requests: int = 0
-    per_store_counts: Dict[str, int] = field(default_factory=dict)
+    #: Retry attempts the transport issued beyond first tries.
+    n_retries: int = 0
+    #: Tasks skipped because a checkpoint already held their results.
+    n_tasks_resumed: int = 0
+    #: The corpus this run produced (set by the pipeline).
+    corpus: Optional[CrawlCorpus] = field(default=None, repr=False)
+
+    @property
+    def per_store_counts(self) -> Dict[str, int]:
+        """Store → successfully crawled GPTs (from ``corpus.store_counts``)."""
+        return dict(self.corpus.store_counts) if self.corpus is not None else {}
+
+    @property
+    def n_store_links(self) -> int:
+        """Total listing links collected (from ``corpus.store_link_counts``)."""
+        if self.corpus is None:
+            return 0
+        return sum(self.corpus.store_link_counts.values())
 
     @property
     def resolution_rate(self) -> float:
@@ -46,18 +90,78 @@ class CrawlStatistics:
         return self.n_resolved / total if total else 0.0
 
 
+@dataclass(frozen=True)
+class CrawlStage:
+    """One declarative pipeline stage.
+
+    ``build_tasks`` is evaluated when the stage starts (earlier stages have
+    already merged, so it can depend on their output); ``encode`` turns a
+    task result into a JSON-serializable checkpoint payload; ``merge``
+    applies one payload — checkpointed or fresh — to the corpus.  Merging
+    runs single-threaded in task order, which is what keeps seeded crawls
+    deterministic at any worker count.
+    """
+
+    name: str
+    build_tasks: Callable[[], List[CrawlTask]]
+    encode: Callable[[object], object]
+    merge: Callable[[str, object], None]
+
+
 class CrawlPipeline:
-    """Runs the full store-crawl → manifest-resolve → policy-fetch pipeline."""
+    """Runs the store-crawl → manifest-resolve → policy-fetch pipeline.
+
+    Parameters
+    ----------
+    http:
+        The simulated network.
+    store_servers:
+        The installed store servers to crawl.
+    page_size:
+        Listing page size (mirrors the store servers' configuration).
+    workers:
+        Worker-pool size for each stage (``<= 1`` crawls sequentially).
+    transport_config:
+        Retry/backoff/latency knobs for the transport wrapper.
+    rate_limits:
+        Optional host → requests/second politeness limits, enforced by the
+        transport before every attempt (pagination pages and retries each
+        consume a token).
+    checkpoint_dir:
+        Directory for incremental stage checkpoints (``None`` disables).
+    resume:
+        Load existing checkpoints and skip completed tasks.  When false, any
+        checkpoints in ``checkpoint_dir`` are cleared at run start.
+    checkpoint_every:
+        Flush the checkpoint after this many completed tasks.
+    """
 
     def __init__(
         self,
         http: SimulatedHTTPLayer,
         store_servers: List[GPTStoreServer],
         page_size: int = 50,
+        workers: int = 0,
+        transport_config: Optional[TransportConfig] = None,
+        rate_limits: Optional[Dict[str, float]] = None,
+        checkpoint_dir: Optional[str] = None,
+        resume: bool = False,
+        checkpoint_every: int = 100,
+        queue_factory: Callable[[], TaskQueue] = FIFOTaskQueue,
     ) -> None:
         self.http = http
         self.store_servers = store_servers
         self.page_size = page_size
+        self.workers = workers
+        self.transport = RetryingTransport(
+            http,
+            transport_config,
+            rate_limiter=HostRateLimiter(rate_limits) if rate_limits else None,
+        )
+        self.engine = CrawlEngine(workers=workers, queue_factory=queue_factory)
+        self.checkpoint_dir = checkpoint_dir
+        self.resume = resume
+        self.checkpoint_every = max(1, checkpoint_every)
         self.statistics = CrawlStatistics()
 
     # ------------------------------------------------------------------
@@ -67,8 +171,13 @@ class CrawlPipeline:
         ecosystem: SyntheticEcosystem,
         page_size: int = 50,
         seed: int = 0,
+        **kwargs: object,
     ) -> "CrawlPipeline":
-        """Build a pipeline whose simulated network serves ``ecosystem``."""
+        """Build a pipeline whose simulated network serves ``ecosystem``.
+
+        Extra keyword arguments (``workers``, ``transport_config``,
+        ``checkpoint_dir``, ``resume``, …) are forwarded to the constructor.
+        """
         http = SimulatedHTTPLayer(seed=seed)
         store_servers = install_store_servers(http, ecosystem.store_listings, page_size=page_size)
         GizmoAPIServer(manifests=ecosystem.gpts).install(http)
@@ -82,52 +191,202 @@ class CrawlPipeline:
         for action in ecosystem.actions.values():
             if action.legal_info_url and action.legal_info_url not in ecosystem.policies:
                 http.set_status_override(action.legal_info_url, 500)
-        return cls(http=http, store_servers=store_servers, page_size=page_size)
+        return cls(http=http, store_servers=store_servers, page_size=page_size, **kwargs)
 
     # ------------------------------------------------------------------
-    def run(self) -> CrawlCorpus:
-        """Run the crawl and return the resulting corpus."""
-        corpus = CrawlCorpus()
-        crawler = StoreCrawler(self.http)
-        gizmo_client = GizmoAPIClient(self.http)
+    # Stage definitions
+    # ------------------------------------------------------------------
+    def _listing_stage(self, corpus: CrawlCorpus,
+                       identifier_sources: Dict[str, List[str]]) -> CrawlStage:
+        crawler = StoreCrawler(self.transport)
 
-        identifier_sources: Dict[str, List[str]] = {}
-        for server in self.store_servers:
-            result = crawler.crawl(server.name, server.base_url)
-            corpus.store_link_counts[server.name] = result.n_links
-            self.statistics.n_store_links += result.n_links
-            for identifier in result.gpt_ids:
-                identifier_sources.setdefault(identifier, []).append(server.name)
+        def build_tasks() -> List[CrawlTask]:
+            return [
+                CrawlTask(
+                    key=server.name,
+                    fn=lambda s=server: crawler.crawl(s.name, s.base_url),
+                    host=server.domain,
+                )
+                for server in self.store_servers
+            ]
 
-        self.statistics.n_unique_identifiers = len(identifier_sources)
+        def encode(result: object) -> object:
+            return {
+                "n_links": result.n_links,
+                "gpt_ids": result.gpt_ids,
+                "pages_visited": result.pages_visited,
+                "errors": result.errors,
+            }
 
-        for identifier, stores in identifier_sources.items():
-            fetch = gizmo_client.fetch(identifier)
-            if not fetch.ok:
-                corpus.unresolved_gpt_ids.append(identifier)
+        def merge(store_name: str, payload: object) -> None:
+            corpus.merge_listing(store_name, int(payload["n_links"]))
+            for identifier in payload["gpt_ids"]:
+                identifier_sources.setdefault(identifier, []).append(store_name)
+
+        return CrawlStage("listing", build_tasks, encode, merge)
+
+    def _resolve_stage(self, corpus: CrawlCorpus,
+                       identifier_sources: Dict[str, List[str]]) -> CrawlStage:
+        client = GizmoAPIClient(self.transport)
+
+        def build_tasks() -> List[CrawlTask]:
+            return [
+                CrawlTask(
+                    key=identifier,
+                    fn=lambda i=identifier: client.fetch(i),
+                    host="chat.openai.com",
+                )
+                for identifier in identifier_sources
+            ]
+
+        def encode(result: object) -> object:
+            return {"status": result.status, "manifest": result.manifest}
+
+        def merge(identifier: str, payload: object) -> None:
+            manifest = payload.get("manifest")
+            if manifest is None:
+                corpus.merge_unresolved(identifier)
                 self.statistics.n_unresolved += 1
-                continue
+                return
             self.statistics.n_resolved += 1
-            gpt = CrawledGPT.from_manifest(fetch.manifest, source_store=stores[0])
+            stores = identifier_sources.get(identifier, [])
+            gpt = CrawledGPT.from_manifest(manifest, source_store=stores[0] if stores else None)
             gpt.source_stores = sorted(set(stores))
-            corpus.gpts[gpt.gpt_id] = gpt
-            for store in gpt.source_stores:
-                corpus.store_counts[store] = corpus.store_counts.get(store, 0) + 1
+            corpus.merge_gpt(gpt)
 
-        self._fetch_policies(corpus)
-        self.statistics.per_store_counts = dict(corpus.store_counts)
-        self.statistics.n_http_requests = self.http.request_count
-        return corpus
+        return CrawlStage("resolve", build_tasks, encode, merge)
 
-    def _fetch_policies(self, corpus: CrawlCorpus) -> None:
-        fetcher = PolicyFetcher(self.http)
-        urls: Set[str] = set()
-        for action in corpus.unique_actions().values():
-            if action.legal_info_url:
-                urls.add(action.legal_info_url)
-        for url in sorted(urls):
-            result = fetcher.fetch(url)
-            corpus.policies[url] = result
+    def _policy_stage(self, corpus: CrawlCorpus) -> CrawlStage:
+        fetcher = PolicyFetcher(self.transport)
+
+        def build_tasks() -> List[CrawlTask]:
+            urls = sorted(
+                {
+                    action.legal_info_url
+                    for action in corpus.unique_actions().values()
+                    if action.legal_info_url
+                }
+            )
+            return [
+                CrawlTask(key=url, fn=lambda u=url: fetcher.fetch(u), host=url_host(url))
+                for url in urls
+            ]
+
+        def encode(result: object) -> object:
+            return {"status": result.status, "text": result.text, "error": result.error}
+
+        def merge(url: str, payload: object) -> None:
+            result = PolicyFetchResult(
+                url=url,
+                status=int(payload.get("status", 0)),
+                text=payload.get("text"),
+                error=payload.get("error"),
+            )
+            corpus.merge_policy(url, result)
+            self.statistics.n_policy_urls += 1
             if not result.ok:
                 self.statistics.n_policy_failures += 1
-        self.statistics.n_policy_urls = len(urls)
+
+        return CrawlStage("policies", build_tasks, encode, merge)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _run_stage(self, stage: CrawlStage,
+                   checkpoint: Optional[CrawlCheckpoint]) -> None:
+        tasks = stage.build_tasks()
+        done: Dict[str, object] = (
+            dict(checkpoint.load_stage(stage.name)) if checkpoint is not None else {}
+        )
+        pending = [task for task in tasks if task.key not in done]
+        self.statistics.n_tasks_resumed += len(tasks) - len(pending)
+
+        fresh: Dict[str, object] = {}
+        if pending:
+            flush_counter = {"n": 0}
+
+            def on_result(outcome: TaskOutcome) -> None:
+                if not outcome.ok:
+                    # Fetchers fold expected network failures into their
+                    # results, so an engine-level error is a code bug.
+                    raise RuntimeError(
+                        f"crawl task {outcome.key!r} failed: {outcome.error}"
+                    )
+                payload = stage.encode(outcome.result)
+                fresh[outcome.key] = payload
+                if checkpoint is not None:
+                    checkpoint.record(stage.name, outcome.key, payload)
+                    flush_counter["n"] += 1
+                    if flush_counter["n"] % self.checkpoint_every == 0:
+                        checkpoint.flush(stage.name)
+
+            self.engine.on_result = on_result
+            try:
+                self.engine.run(pending)
+            finally:
+                self.engine.on_result = None
+                if checkpoint is not None:
+                    checkpoint.flush(stage.name)
+
+        # Deterministic merge: apply payloads in task order, whether they
+        # came from the checkpoint or from this run.
+        for task in tasks:
+            payload = done.get(task.key, fresh.get(task.key))
+            stage.merge(task.key, payload)
+
+    def _checkpoint_fingerprint(self) -> Dict[str, object]:
+        """What must match for a checkpoint to be resumable by this crawl."""
+        return {
+            "seed": self.http.seed,
+            "page_size": self.page_size,
+            "stores": [server.name for server in self.store_servers],
+            "n_listings": sum(len(server.listings) for server in self.store_servers),
+        }
+
+    def run(self) -> CrawlCorpus:
+        """Run the crawl and return the resulting corpus.
+
+        Raises
+        ------
+        ValueError
+            When resuming against a checkpoint written by a crawl with a
+            different configuration (seed, stores, or ecosystem size) —
+            merging it would silently corrupt the corpus.
+        """
+        corpus = CrawlCorpus()
+        self.statistics = CrawlStatistics(corpus=corpus)
+        # The layer and transport counters are cumulative across runs of the
+        # same pipeline; snapshot them so statistics stay per-run.
+        requests_before = self.http.request_count
+        retries_before = self.transport.statistics.n_retries
+        checkpoint: Optional[CrawlCheckpoint] = None
+        if self.checkpoint_dir is not None:
+            checkpoint = CrawlCheckpoint(self.checkpoint_dir)
+            fingerprint = self._checkpoint_fingerprint()
+            if not self.resume:
+                checkpoint.clear()
+            else:
+                existing = checkpoint.load_meta()
+                if existing is not None and existing != fingerprint:
+                    raise ValueError(
+                        "checkpoint at "
+                        f"{self.checkpoint_dir!r} was written by a different "
+                        "crawl configuration; pass resume=False to start over"
+                    )
+            checkpoint.write_meta(fingerprint)
+
+        identifier_sources: Dict[str, List[str]] = {}
+        stages: Sequence[Callable[[], CrawlStage]] = (
+            lambda: self._listing_stage(corpus, identifier_sources),
+            lambda: self._resolve_stage(corpus, identifier_sources),
+            lambda: self._policy_stage(corpus),
+        )
+        for build_stage in stages:
+            stage = build_stage()
+            self._run_stage(stage, checkpoint)
+            if stage.name == "listing":
+                self.statistics.n_unique_identifiers = len(identifier_sources)
+
+        self.statistics.n_http_requests = self.http.request_count - requests_before
+        self.statistics.n_retries = self.transport.statistics.n_retries - retries_before
+        return corpus

@@ -12,7 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.crawler.http import HTTPError, SimulatedHTTPLayer
+from repro.crawler.http import HTTPError
+from repro.crawler.transport import HTTPTransport
 
 
 @dataclass
@@ -31,9 +32,15 @@ class PolicyFetchResult:
 
 
 class PolicyFetcher:
-    """Fetches and caches privacy-policy documents by URL."""
+    """Fetches and caches privacy-policy documents by URL.
 
-    def __init__(self, http: SimulatedHTTPLayer) -> None:
+    ``http`` may be the raw :class:`~repro.crawler.http.SimulatedHTTPLayer`
+    or a :class:`~repro.crawler.transport.RetryingTransport` wrapping it —
+    in the latter case transient connection errors are retried up to the
+    transport's budget before being recorded as a failed fetch.
+    """
+
+    def __init__(self, http: HTTPTransport) -> None:
         self._http = http
         self._cache: Dict[str, PolicyFetchResult] = {}
 

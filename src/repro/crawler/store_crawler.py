@@ -14,7 +14,8 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Set
 
 from repro.crawler.gizmo_api import GizmoAPIClient
-from repro.crawler.http import HTTPError, SimulatedHTTPLayer
+from repro.crawler.http import HTTPError
+from repro.crawler.transport import HTTPTransport
 
 _LINK_RE = re.compile(r'<a[^>]*class="gpt-link"[^>]*href="([^"]+)"[^>]*>(.*?)</a>', re.DOTALL)
 _NEXT_RE = re.compile(r'<a[^>]*class="(?:next-page|load-more)"[^>]*href="([^"]+)"')
@@ -48,12 +49,13 @@ class StoreCrawler:
     Parameters
     ----------
     http:
-        The (simulated) HTTP transport.
+        The (simulated) HTTP transport — the raw layer or a retrying
+        wrapper; anything exposing ``get(url)``.
     max_pages:
         Safety bound on pagination depth.
     """
 
-    def __init__(self, http: SimulatedHTTPLayer, max_pages: int = 10_000) -> None:
+    def __init__(self, http: HTTPTransport, max_pages: int = 10_000) -> None:
         if max_pages <= 0:
             raise ValueError("max_pages must be positive")
         self._http = http

@@ -1,0 +1,221 @@
+"""A retrying, rate-aware transport over the simulated HTTP layer.
+
+The paper's crawl had to survive unresponsive policy servers and transient
+connection failures (Section 5.1.1); a production crawler does so with
+retries, backoff, and per-host circuit breaking rather than by giving up on
+the first error.  :class:`RetryingTransport` wraps any object exposing the
+``get(url)`` interface of :class:`~repro.crawler.http.SimulatedHTTPLayer`
+and adds:
+
+* a per-request retry budget for transport errors and (configurably)
+  transient 5xx statuses, with exponential backoff;
+* *seeded* backoff jitter — the delay for attempt ``k`` of a URL is a pure
+  function of ``(seed, url, k)``, so retry schedules are reproducible no
+  matter how worker threads interleave;
+* optional per-host circuit breaking: after a run of consecutive transport
+  failures a host is "open" and requests fail fast until a cooldown elapses;
+* optional simulated per-request latency, which stands in for network RTT so
+  concurrency speedups are measurable offline.
+
+The transport is thread-safe and duck-type compatible with
+``SimulatedHTTPLayer``, so :class:`~repro.crawler.store_crawler.StoreCrawler`,
+:class:`~repro.crawler.gizmo_api.GizmoAPIClient`, and
+:class:`~repro.crawler.policy_fetcher.PolicyFetcher` run unchanged on top of
+it.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Optional, Protocol
+
+from repro.crawler.http import HTTPError, SimulatedResponse
+from repro.web.urls import parse_url
+
+
+class HTTPTransport(Protocol):
+    """The minimal client interface shared by the HTTP layer and wrappers."""
+
+    def get(self, url: str) -> SimulatedResponse:  # pragma: no cover - protocol
+        ...
+
+
+class RateLimiter(Protocol):
+    """Per-host admission control (e.g. ``engine.HostRateLimiter``)."""
+
+    def acquire(self, host: Optional[str]) -> None:  # pragma: no cover - protocol
+        ...
+
+
+@dataclass(frozen=True)
+class TransportConfig:
+    """Tuning knobs for :class:`RetryingTransport`."""
+
+    #: Total attempts per request (1 = no retries).
+    max_attempts: int = 3
+    #: Backoff before retry ``k`` is ``backoff_base_s * backoff_factor**(k-1)``
+    #: (plus jitter), capped at ``backoff_max_s``.
+    backoff_base_s: float = 0.0
+    backoff_factor: float = 2.0
+    backoff_max_s: float = 0.05
+    #: Fraction of the backoff randomized (seeded per ``(url, attempt)``).
+    jitter: float = 0.5
+    #: 5xx statuses treated as transient and retried.  Plain 500s are *not*
+    #: retried by default: the generator uses them for permanently broken
+    #: policy hosts, matching the paper's unrecoverable-failure share.
+    retry_statuses: FrozenSet[int] = frozenset({502, 503, 504})
+    #: Consecutive transport failures that open a host's circuit
+    #: (0 disables circuit breaking).
+    circuit_threshold: int = 0
+    #: How long an open circuit rejects requests before a trial is allowed.
+    circuit_cooldown_s: float = 0.05
+    #: Simulated network round-trip time added to every attempt.
+    latency_s: float = 0.0
+    #: Seed for the jittered backoff schedule.
+    seed: int = 0
+
+
+@dataclass
+class TransportStatistics:
+    """Counters the transport accumulates across all requests."""
+
+    n_requests: int = 0
+    n_attempts: int = 0
+    n_retries: int = 0
+    n_transport_errors: int = 0
+    n_circuit_rejections: int = 0
+    per_host_failures: Dict[str, int] = field(default_factory=dict)
+
+
+class CircuitOpenError(HTTPError):
+    """Raised when a host's circuit is open and the request is rejected."""
+
+    def __init__(self, url: str) -> None:
+        super().__init__(url, "circuit open")
+
+
+class _HostCircuit:
+    """Consecutive-failure circuit state for one host."""
+
+    __slots__ = ("consecutive_failures", "opened_at", "trial_in_flight")
+
+    def __init__(self) -> None:
+        self.consecutive_failures = 0
+        self.opened_at: Optional[float] = None
+        #: Whether the single half-open trial request is currently running.
+        self.trial_in_flight = False
+
+
+class RetryingTransport:
+    """Wraps a transport with retries, backoff, and circuit breaking."""
+
+    def __init__(self, inner: HTTPTransport,
+                 config: Optional[TransportConfig] = None,
+                 rate_limiter: Optional[RateLimiter] = None) -> None:
+        if config is not None and config.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        self._inner = inner
+        self.config = config or TransportConfig()
+        #: Per-host politeness limits, consulted before **every attempt**
+        #: (retries included), so a requests/second limit means exactly that.
+        self.rate_limiter = rate_limiter
+        self.statistics = TransportStatistics()
+        self._lock = threading.Lock()
+        self._circuits: Dict[str, _HostCircuit] = {}
+
+    # ------------------------------------------------------------------
+    def _backoff_delay(self, url: str, retry_index: int) -> float:
+        """Deterministic backoff before retry ``retry_index`` (1-based)."""
+        config = self.config
+        if config.backoff_base_s <= 0:
+            return 0.0
+        delay = config.backoff_base_s * (config.backoff_factor ** (retry_index - 1))
+        delay = min(delay, config.backoff_max_s)
+        if config.jitter > 0:
+            fraction = random.Random(f"{config.seed}:{url}:{retry_index}").random()
+            delay *= (1.0 - config.jitter) + config.jitter * fraction
+        return delay
+
+    def _check_circuit(self, host: str, url: str) -> None:
+        if self.config.circuit_threshold <= 0:
+            return
+        with self._lock:
+            circuit = self._circuits.get(host)
+            if circuit is None or circuit.opened_at is None:
+                return
+            elapsed = time.monotonic() - circuit.opened_at
+            if elapsed >= self.config.circuit_cooldown_s and not circuit.trial_in_flight:
+                # Half-open: admit exactly one trial request; concurrent
+                # callers keep getting rejected until its outcome is known.
+                circuit.trial_in_flight = True
+                return
+            self.statistics.n_circuit_rejections += 1
+        raise CircuitOpenError(url)
+
+    def _record_outcome(self, host: str, failed: bool) -> None:
+        if self.config.circuit_threshold <= 0:
+            return
+        with self._lock:
+            circuit = self._circuits.setdefault(host, _HostCircuit())
+            was_trial = circuit.trial_in_flight
+            circuit.trial_in_flight = False
+            if failed:
+                circuit.consecutive_failures += 1
+                if was_trial or circuit.consecutive_failures >= self.config.circuit_threshold:
+                    # A failed trial re-opens the circuit for a full cooldown.
+                    circuit.opened_at = time.monotonic()
+            else:
+                circuit.consecutive_failures = 0
+                circuit.opened_at = None
+
+    # ------------------------------------------------------------------
+    def get(self, url: str) -> SimulatedResponse:
+        """Fetch a URL with retries; raises :class:`HTTPError` when the
+        budget is exhausted or the host's circuit is open."""
+        config = self.config
+        host = parse_url(url).host
+        with self._lock:
+            self.statistics.n_requests += 1
+        last_error: Optional[HTTPError] = None
+        for attempt in range(config.max_attempts):
+            self._check_circuit(host, url)
+            if attempt > 0:
+                with self._lock:
+                    self.statistics.n_retries += 1
+                delay = self._backoff_delay(url, attempt)
+                if delay > 0:
+                    time.sleep(delay)
+            if self.rate_limiter is not None:
+                self.rate_limiter.acquire(host)
+            if config.latency_s > 0:
+                time.sleep(config.latency_s)
+            with self._lock:
+                self.statistics.n_attempts += 1
+            try:
+                response = self._inner.get(url)
+            except HTTPError as exc:
+                last_error = exc
+                with self._lock:
+                    self.statistics.n_transport_errors += 1
+                    self.statistics.per_host_failures[host] = (
+                        self.statistics.per_host_failures.get(host, 0) + 1
+                    )
+                self._record_outcome(host, failed=True)
+                continue
+            self._record_outcome(host, failed=False)
+            if response.status in config.retry_statuses and attempt + 1 < config.max_attempts:
+                last_error = HTTPError(url, f"HTTP {response.status}")
+                continue
+            return response
+        assert last_error is not None
+        raise last_error
+
+    def get_json(self, url: str) -> object:
+        """Fetch a URL and parse its JSON body (raises on non-2xx)."""
+        response = self.get(url)
+        if not response.ok:
+            raise HTTPError(url, f"HTTP {response.status}")
+        return response.json()

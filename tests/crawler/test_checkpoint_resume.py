@@ -1,0 +1,182 @@
+"""Tests for crawl checkpointing, resume, and worker-count determinism."""
+
+import json
+
+import pytest
+
+from repro.crawler.pipeline import CrawlPipeline
+from repro.io import CrawlCheckpoint, corpus_to_payload, policies_to_payload
+
+
+class TestCrawlCheckpoint:
+    def test_record_flush_load_roundtrip(self, tmp_path):
+        checkpoint = CrawlCheckpoint(tmp_path)
+        checkpoint.record("listing", "store-a", {"n_links": 3})
+        checkpoint.record("listing", "store-b", {"n_links": 5})
+        checkpoint.flush("listing")
+
+        reloaded = CrawlCheckpoint(tmp_path)
+        assert reloaded.load_stage("listing") == {
+            "store-a": {"n_links": 3},
+            "store-b": {"n_links": 5},
+        }
+
+    def test_unflushed_records_not_persisted(self, tmp_path):
+        checkpoint = CrawlCheckpoint(tmp_path)
+        checkpoint.record("resolve", "g-x", {"status": 200})
+        assert CrawlCheckpoint(tmp_path).load_stage("resolve") == {}
+
+    def test_flush_all_dirty_stages(self, tmp_path):
+        checkpoint = CrawlCheckpoint(tmp_path)
+        checkpoint.record("listing", "a", 1)
+        checkpoint.record("policies", "u", 2)
+        checkpoint.flush()
+        reloaded = CrawlCheckpoint(tmp_path)
+        assert reloaded.load_stage("listing") == {"a": 1}
+        assert reloaded.load_stage("policies") == {"u": 2}
+
+    def test_clear_removes_stage_files(self, tmp_path):
+        checkpoint = CrawlCheckpoint(tmp_path)
+        checkpoint.record("listing", "a", 1)
+        checkpoint.flush()
+        checkpoint.write_meta({"seed": 1})
+        checkpoint.clear()
+        assert not list(tmp_path.glob("stage_*.jsonl"))
+        assert CrawlCheckpoint(tmp_path).load_stage("listing") == {}
+        assert CrawlCheckpoint(tmp_path).load_meta() is None
+
+    def test_flush_appends_only_new_records(self, tmp_path):
+        checkpoint = CrawlCheckpoint(tmp_path)
+        checkpoint.record("listing", "a", {"n_links": 1})
+        checkpoint.flush("listing")
+        size_after_first = (tmp_path / "stage_listing.jsonl").stat().st_size
+        checkpoint.record("listing", "b", {"n_links": 2})
+        checkpoint.flush("listing")
+        content = (tmp_path / "stage_listing.jsonl").read_text()
+        # Two flushes, two lines — the first record was not rewritten.
+        assert len(content.splitlines()) == 2
+        assert content[:size_after_first] == json.dumps(
+            {"key": "a", "payload": {"n_links": 1}}
+        ) + "\n"
+
+    def test_truncated_trailing_line_is_skipped(self, tmp_path):
+        checkpoint = CrawlCheckpoint(tmp_path)
+        checkpoint.record("resolve", "g-a", {"status": 200})
+        checkpoint.flush("resolve")
+        path = tmp_path / "stage_resolve.jsonl"
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write('{"key": "g-b", "payl')  # killed mid-append
+        assert CrawlCheckpoint(tmp_path).load_stage("resolve") == {
+            "g-a": {"status": 200}
+        }
+
+    def test_meta_roundtrip(self, tmp_path):
+        checkpoint = CrawlCheckpoint(tmp_path)
+        assert checkpoint.load_meta() is None
+        checkpoint.write_meta({"seed": 11, "stores": ["a"]})
+        assert CrawlCheckpoint(tmp_path).load_meta() == {"seed": 11, "stores": ["a"]}
+
+
+class TestPipelineDeterminismAndResume:
+    def test_worker_counts_produce_identical_corpora(self, small_ecosystem):
+        sequential = CrawlPipeline.from_ecosystem(small_ecosystem, seed=11).run()
+        concurrent = CrawlPipeline.from_ecosystem(
+            small_ecosystem, seed=11, workers=8
+        ).run()
+        assert corpus_to_payload(sequential) == corpus_to_payload(concurrent)
+        assert policies_to_payload(sequential) == policies_to_payload(concurrent)
+
+    def test_checkpointed_run_skips_completed_tasks(self, small_ecosystem, tmp_path):
+        first = CrawlPipeline.from_ecosystem(
+            small_ecosystem, seed=11, checkpoint_dir=str(tmp_path)
+        )
+        first_corpus = first.run()
+        assert first.statistics.n_tasks_resumed == 0
+
+        rerun = CrawlPipeline.from_ecosystem(
+            small_ecosystem, seed=11, checkpoint_dir=str(tmp_path), resume=True
+        )
+        rerun_corpus = rerun.run()
+        # Everything came from the checkpoint: no network traffic at all.
+        assert rerun.statistics.n_http_requests == 0
+        assert rerun.statistics.n_tasks_resumed > 0
+        assert corpus_to_payload(rerun_corpus) == corpus_to_payload(first_corpus)
+        assert policies_to_payload(rerun_corpus) == policies_to_payload(first_corpus)
+
+    def test_killed_crawl_resumes_to_identical_corpus(self, small_ecosystem, tmp_path):
+        uninterrupted = CrawlPipeline.from_ecosystem(
+            small_ecosystem, seed=11, workers=4
+        ).run()
+
+        killed = CrawlPipeline.from_ecosystem(
+            small_ecosystem, seed=11, workers=4,
+            checkpoint_dir=str(tmp_path), checkpoint_every=10,
+        )
+        real_get = killed.http.get
+        calls = {"n": 0}
+
+        def killer_get(url):
+            calls["n"] += 1
+            if calls["n"] == 150:
+                raise KeyboardInterrupt
+            return real_get(url)
+
+        killed.http.get = killer_get
+        with pytest.raises(KeyboardInterrupt):
+            killed.run()
+
+        resumed = CrawlPipeline.from_ecosystem(
+            small_ecosystem, seed=11, workers=4,
+            checkpoint_dir=str(tmp_path), resume=True,
+        )
+        corpus = resumed.run()
+        assert resumed.statistics.n_tasks_resumed > 0
+        assert corpus_to_payload(corpus) == corpus_to_payload(uninterrupted)
+        assert policies_to_payload(corpus) == policies_to_payload(uninterrupted)
+
+    def test_resume_with_mismatched_config_is_refused(self, small_ecosystem, tmp_path):
+        CrawlPipeline.from_ecosystem(
+            small_ecosystem, seed=11, checkpoint_dir=str(tmp_path)
+        ).run()
+        # Same ecosystem, different network seed → different crawl.
+        mismatched = CrawlPipeline.from_ecosystem(
+            small_ecosystem, seed=12, checkpoint_dir=str(tmp_path), resume=True
+        )
+        with pytest.raises(ValueError, match="different crawl configuration"):
+            mismatched.run()
+        # resume=False clears the stale checkpoint and recrawls cleanly.
+        fresh = CrawlPipeline.from_ecosystem(
+            small_ecosystem, seed=12, checkpoint_dir=str(tmp_path), resume=False
+        )
+        assert len(fresh.run().gpts) == small_ecosystem.n_gpts()
+
+    def test_fresh_run_clears_stale_checkpoint(self, small_ecosystem, tmp_path):
+        stale = CrawlCheckpoint(tmp_path)
+        stale.record("listing", "bogus-store", {"n_links": 999, "gpt_ids": []})
+        stale.flush("listing")
+        pipeline = CrawlPipeline.from_ecosystem(
+            small_ecosystem, seed=11, checkpoint_dir=str(tmp_path), resume=False
+        )
+        corpus = pipeline.run()
+        assert "bogus-store" not in corpus.store_link_counts
+        assert pipeline.statistics.n_tasks_resumed == 0
+
+    def test_statistics_are_per_run(self, small_ecosystem):
+        pipeline = CrawlPipeline.from_ecosystem(small_ecosystem, seed=11)
+        pipeline.run()
+        first_requests = pipeline.statistics.n_http_requests
+        pipeline.run()
+        # The HTTP layer's counter is cumulative; per-run statistics are not.
+        assert pipeline.statistics.n_http_requests == first_requests
+        assert pipeline.http.request_count == 2 * first_requests
+
+    def test_statistics_derived_from_corpus(self, small_ecosystem):
+        pipeline = CrawlPipeline.from_ecosystem(small_ecosystem, seed=11)
+        corpus = pipeline.run()
+        stats = pipeline.statistics
+        assert stats.per_store_counts == corpus.store_counts
+        assert stats.n_store_links == sum(corpus.store_link_counts.values())
+        # Mutating the corpus is immediately visible through the statistics —
+        # there is exactly one copy of the bookkeeping.
+        corpus.merge_listing("extra-store", 7)
+        assert stats.n_store_links == sum(corpus.store_link_counts.values())

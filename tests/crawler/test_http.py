@@ -55,6 +55,43 @@ class TestSimulatedHTTPLayer:
         assert http.request_count == 2
         assert http.request_log[0].endswith("/a")
 
+    def test_recent_requests_ring_buffer_is_bounded(self):
+        http = SimulatedHTTPLayer(recent_capacity=3)
+        for index in range(10):
+            http.get(f"https://example.com/{index}")
+        assert http.request_count == 10  # the counter stays exact
+        recent = http.recent_requests()
+        assert len(recent) == 3
+        assert recent == [f"https://example.com/{index}" for index in (7, 8, 9)]
+        assert http.recent_requests(2) == [f"https://example.com/{index}" for index in (8, 9)]
+        assert http.recent_requests(0) == []
+
+    def test_exact_static_route_does_not_shadow_longer_url(self):
+        # Regression: a static document at …/policy used to act as a prefix
+        # route and swallow …/policy/v2 (and any other longer URL).
+        http = SimulatedHTTPLayer()
+        http.register_static("https://example.com/policy", "v1")
+        http.register_static("https://example.com/policy/v2", "v2")
+        assert http.get("https://example.com/policy").text == "v1"
+        assert http.get("https://example.com/policy/v2").text == "v2"
+        assert http.get("https://example.com/policy-archive").status == 404
+
+    def test_exact_route_wins_over_prefix_route(self):
+        http = SimulatedHTTPLayer()
+        http.register("https://example.com/", lambda url: SimulatedResponse(url, 200, "generic"))
+        http.register_static("https://example.com/special", "special")
+        assert http.get("https://example.com/special").text == "special"
+        assert http.get("https://example.com/special/page").text == "generic"
+        assert http.get("https://example.com/other").text == "generic"
+
+    def test_register_exact_handler(self):
+        http = SimulatedHTTPLayer()
+        http.register_exact(
+            "https://example.com/api", lambda url: SimulatedResponse(url, 201, "made")
+        )
+        assert http.get("https://example.com/api").status == 201
+        assert http.get("https://example.com/api/deep").status == 404
+
     def test_get_json(self):
         http = SimulatedHTTPLayer()
         http.register_static("https://example.com/api", json.dumps({"ok": True}))

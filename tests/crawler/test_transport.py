@@ -1,0 +1,252 @@
+"""Tests for the retrying transport and flaky-host behavior.
+
+Covers the failure-handling the paper's crawl needed (Section 5.1.1):
+deterministic seeded flakiness, retry-until-budget recovery, circuit
+breaking, and the pipeline-level accounting of transport errors.
+"""
+
+import pytest
+
+from repro.crawler.http import HTTPError, SimulatedHTTPLayer
+from repro.crawler.pipeline import CrawlPipeline
+from repro.crawler.policy_fetcher import PolicyFetcher
+from repro.crawler.transport import (
+    CircuitOpenError,
+    RetryingTransport,
+    TransportConfig,
+)
+
+
+def _flaky_layer(seed=0, rate=0.5, url="https://flaky.example/doc"):
+    http = SimulatedHTTPLayer(seed=seed)
+    http.register_static(url, "document")
+    http.set_flaky_host("flaky.example", rate)
+    return http, url
+
+
+class TestSeededFlakiness:
+    def test_same_seed_same_failure_pattern(self):
+        """The Nth request to a URL fails identically across layers."""
+        def pattern(http, url, n=20):
+            outcomes = []
+            for _ in range(n):
+                try:
+                    http.get(url)
+                    outcomes.append(True)
+                except HTTPError:
+                    outcomes.append(False)
+            return outcomes
+
+        http_a, url = _flaky_layer(seed=7)
+        http_b, _ = _flaky_layer(seed=7)
+        assert pattern(http_a, url) == pattern(http_b, url)
+
+    def test_different_seeds_differ(self):
+        def pattern(http, url, n=40):
+            results = []
+            for _ in range(n):
+                try:
+                    http.get(url)
+                    results.append(True)
+                except HTTPError:
+                    results.append(False)
+            return results
+
+        http_a, url = _flaky_layer(seed=1)
+        http_b, _ = _flaky_layer(seed=2)
+        assert pattern(http_a, url) != pattern(http_b, url)
+
+    def test_pattern_independent_of_other_urls(self):
+        """Interleaving requests to other URLs must not shift the draws —
+        this is what makes concurrent crawls reproducible."""
+        http_a, url = _flaky_layer(seed=5)
+        http_b, _ = _flaky_layer(seed=5)
+        http_b.register_static("https://other.example/x", "x")
+
+        def outcome(http):
+            try:
+                http.get(url)
+                return True
+            except HTTPError:
+                return False
+
+        pattern_a = [outcome(http_a) for _ in range(10)]
+        pattern_b = []
+        for _ in range(10):
+            http_b.get("https://other.example/x")
+            pattern_b.append(outcome(http_b))
+        assert pattern_a == pattern_b
+
+
+class TestRetryingTransport:
+    def test_retries_until_budget_succeeds(self):
+        # With a 0.6 failure rate and 8 attempts, some early attempts fail
+        # but the budget is deep enough that the fetch recovers.
+        http, url = _flaky_layer(seed=0, rate=0.6)
+        transport = RetryingTransport(http, TransportConfig(max_attempts=8))
+        response = transport.get(url)
+        assert response.ok and response.text == "document"
+        assert transport.statistics.n_retries >= 1
+        assert transport.statistics.n_transport_errors >= 1
+
+    def test_exhausted_budget_raises(self):
+        http, url = _flaky_layer(seed=0, rate=1.0)
+        transport = RetryingTransport(http, TransportConfig(max_attempts=3))
+        with pytest.raises(HTTPError):
+            transport.get(url)
+        assert transport.statistics.n_attempts == 3
+
+    def test_no_retry_on_success(self):
+        http = SimulatedHTTPLayer()
+        http.register_static("https://ok.example/x", "x")
+        transport = RetryingTransport(http, TransportConfig(max_attempts=5))
+        assert transport.get("https://ok.example/x").ok
+        assert transport.statistics.n_attempts == 1
+        assert transport.statistics.n_retries == 0
+
+    def test_permanent_500_not_retried(self):
+        http = SimulatedHTTPLayer()
+        http.set_status_override("https://broken.example/p", 500)
+        transport = RetryingTransport(http, TransportConfig(max_attempts=4))
+        assert transport.get("https://broken.example/p").status == 500
+        assert transport.statistics.n_attempts == 1
+
+    def test_transient_503_retried(self):
+        http = SimulatedHTTPLayer()
+        http.set_status_override("https://busy.example/p", 503)
+        transport = RetryingTransport(http, TransportConfig(max_attempts=3))
+        assert transport.get("https://busy.example/p").status == 503
+        assert transport.statistics.n_attempts == 3
+
+    def test_backoff_delays_are_seeded(self):
+        config = TransportConfig(backoff_base_s=0.01, seed=9)
+        http, url = _flaky_layer()
+        transport_a = RetryingTransport(http, config)
+        transport_b = RetryingTransport(http, config)
+        delays_a = [transport_a._backoff_delay(url, k) for k in (1, 2, 3)]
+        delays_b = [transport_b._backoff_delay(url, k) for k in (1, 2, 3)]
+        assert delays_a == delays_b
+        assert all(delay > 0 for delay in delays_a)
+
+    def test_invalid_budget_rejected(self):
+        with pytest.raises(ValueError):
+            RetryingTransport(SimulatedHTTPLayer(), TransportConfig(max_attempts=0))
+
+    def test_rate_limiter_consulted_per_attempt(self):
+        import time
+
+        from repro.crawler.engine import HostRateLimiter
+
+        http, url = _flaky_layer(seed=0, rate=1.0)
+        transport = RetryingTransport(
+            http,
+            TransportConfig(max_attempts=3),
+            rate_limiter=HostRateLimiter(rates={"flaky.example": 200.0}),
+        )
+        start = time.monotonic()
+        with pytest.raises(HTTPError):
+            transport.get(url)
+        # Burst of 1 token, then each of the 2 retries waits ~5ms for its own.
+        assert time.monotonic() - start >= 0.008
+        assert transport.statistics.n_attempts == 3
+
+    def test_get_json_passthrough(self):
+        http = SimulatedHTTPLayer()
+        http.register_static("https://api.example/j", '{"a": 1}')
+        transport = RetryingTransport(http)
+        assert transport.get_json("https://api.example/j") == {"a": 1}
+
+
+class TestCircuitBreaker:
+    def _dead_host_transport(self, threshold=2, cooldown=10.0):
+        http, url = _flaky_layer(rate=1.0)
+        config = TransportConfig(
+            max_attempts=1, circuit_threshold=threshold, circuit_cooldown_s=cooldown
+        )
+        return RetryingTransport(http, config), http, url
+
+    def test_circuit_opens_after_consecutive_failures(self):
+        transport, http, url = self._dead_host_transport()
+        for _ in range(2):
+            with pytest.raises(HTTPError):
+                transport.get(url)
+        before = http.request_count
+        with pytest.raises(CircuitOpenError):
+            transport.get(url)
+        assert http.request_count == before  # rejected without touching the network
+        assert transport.statistics.n_circuit_rejections == 1
+
+    def test_circuit_half_opens_after_cooldown(self):
+        transport, http, url = self._dead_host_transport(cooldown=0.0)
+        for _ in range(2):
+            with pytest.raises(HTTPError):
+                transport.get(url)
+        # Cooldown of zero: the next request is a trial that reaches the host.
+        before = http.request_count
+        with pytest.raises(HTTPError):
+            transport.get(url)
+        assert http.request_count == before + 1
+
+    def test_half_open_admits_single_trial(self):
+        transport, http, url = self._dead_host_transport(cooldown=0.0)
+        for _ in range(2):
+            with pytest.raises(HTTPError):
+                transport.get(url)
+        # Simulate a second caller arriving while the trial is in flight:
+        # the first _check_circuit admits the trial, the second must reject.
+        transport._check_circuit("flaky.example", url)
+        circuit = transport._circuits["flaky.example"]
+        assert circuit.trial_in_flight
+        with pytest.raises(CircuitOpenError):
+            transport._check_circuit("flaky.example", url)
+        # The failed trial re-opens the circuit for a fresh cooldown.
+        transport._record_outcome("flaky.example", failed=True)
+        assert not circuit.trial_in_flight
+        assert circuit.opened_at is not None
+
+    def test_success_closes_circuit(self):
+        http = SimulatedHTTPLayer(seed=0)
+        http.register_static("https://wobbly.example/doc", "doc")
+        http.set_flaky_host("wobbly.example", 0.6)
+        config = TransportConfig(max_attempts=10, circuit_threshold=50)
+        transport = RetryingTransport(http, config)
+        assert transport.get("https://wobbly.example/doc").ok
+        circuit = transport._circuits["wobbly.example"]
+        assert circuit.consecutive_failures == 0
+
+
+class TestPipelineTransportAccounting:
+    def test_policy_failures_count_transport_errors(self, small_ecosystem):
+        """A policy host that always resets connections shows up in
+        ``n_policy_failures`` (the fetcher records the exhausted retries)."""
+        baseline = CrawlPipeline.from_ecosystem(small_ecosystem, seed=11)
+        baseline_corpus = baseline.run()
+        # Pick a host that serves at least one successfully-fetched policy.
+        ok_urls = [url for url, r in baseline_corpus.policies.items() if r.ok]
+        assert ok_urls
+        from repro.web.urls import url_host
+        dead_host = url_host(ok_urls[0])
+        n_dead = sum(1 for url in baseline_corpus.policies if url_host(url) == dead_host)
+
+        pipeline = CrawlPipeline.from_ecosystem(
+            small_ecosystem, seed=11,
+            transport_config=TransportConfig(max_attempts=3),
+        )
+        pipeline.http.set_flaky_host(dead_host, 1.0)
+        corpus = pipeline.run()
+        assert pipeline.statistics.n_policy_failures == (
+            baseline.statistics.n_policy_failures + n_dead
+        )
+        for url in corpus.policies:
+            if url_host(url) == dead_host:
+                result = corpus.policies[url]
+                assert not result.ok
+                assert result.status == 0
+                assert "connection reset" in result.error
+        assert pipeline.statistics.n_retries >= 2 * n_dead
+
+    def test_policy_fetcher_recovers_through_retries(self):
+        http, url = _flaky_layer(seed=0, rate=0.6)
+        transport = RetryingTransport(http, TransportConfig(max_attempts=8))
+        result = PolicyFetcher(transport).fetch(url)
+        assert result.ok and result.text == "document"
