@@ -1,4 +1,4 @@
-"""Helpers for recording and reporting performance benchmarks.
+"""Helpers for recording, reporting, and *gating* performance benchmarks.
 
 Perf benchmarks time a baseline implementation against its optimized
 replacement, print a compact table, and persist the measurements to a
@@ -12,12 +12,24 @@ Usage from a benchmark test::
     ...
     print(report.format_table())
     report.write()
+
+Run as a script, ``python benchmarks/perf_report.py`` prints the merged
+trajectory of every ``BENCH_*.json`` artifact, and ``--check`` turns the
+artifacts into a regression gate: each freshly measured ``optimized_s``
+timing is compared against the artifact committed at ``HEAD`` (via
+``git show``), and any metric more than ``--threshold`` (default 1.5×)
+slower fails the run with a non-zero exit — this is the last step of
+``make ci``.  Artifacts with no committed baseline (a brand-new benchmark)
+and metrics whose committed timing sits below the ``--min-baseline-s``
+jitter floor (default 50 ms — sub-jitter ratios measure scheduler noise)
+are reported and skipped, not failed.
 """
 
 from __future__ import annotations
 
 import json
 import platform
+import subprocess
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional
@@ -132,5 +144,150 @@ def merged_summary(directory: Optional[Path] = None) -> str:
     return "\n".join(lines).rstrip()
 
 
+def committed_report(path: Path) -> Optional[PerfReport]:
+    """The ``HEAD``-committed version of a ``BENCH_*.json`` artifact.
+
+    Returns ``None`` when the file has no usable committed baseline (new
+    benchmark, shallow environment without git, malformed committed JSON,
+    …) so callers can skip rather than fail.
+    """
+    try:
+        completed = subprocess.run(
+            ["git", "-C", str(REPO_ROOT), "show", f"HEAD:{Path(path).name}"],
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        payload = json.loads(completed.stdout)
+        report = PerfReport(str(payload.get("benchmark", Path(path).stem)))
+        for entry in payload.get("records", []):
+            report.record(
+                name=str(entry["name"]),
+                baseline_s=float(entry["baseline_s"]),
+                optimized_s=float(entry["optimized_s"]),
+                items=int(entry["items"]),
+            )
+    except (OSError, subprocess.CalledProcessError, ValueError, KeyError, TypeError):
+        return None
+    return report
+
+
+@dataclass
+class RegressionCheck:
+    """One fresh-vs-committed timing comparison."""
+
+    benchmark: str
+    metric: str
+    committed_s: float
+    fresh_s: float
+    threshold: float
+
+    @property
+    def slowdown(self) -> float:
+        if self.committed_s <= 0:
+            return 1.0
+        return self.fresh_s / self.committed_s
+
+    @property
+    def ok(self) -> bool:
+        return self.slowdown <= self.threshold
+
+    def format_row(self) -> str:
+        status = "ok" if self.ok else "REGRESSION"
+        return (
+            f"{self.benchmark:<10} {self.metric:<28} "
+            f"{self.committed_s:>9.3f}s {self.fresh_s:>9.3f}s "
+            f"{self.slowdown:>6.2f}x  {status}"
+        )
+
+
+def check_regressions(
+    threshold: float = 1.5,
+    directory: Optional[Path] = None,
+    min_baseline_s: float = 0.05,
+) -> List[RegressionCheck]:
+    """Compare every fresh ``BENCH_*.json`` against its committed baseline.
+
+    Only metrics recorded on both sides are compared (a renamed or new
+    metric has no baseline yet); whole artifacts without a committed
+    baseline are skipped with a note.  Metrics whose committed timing is
+    below ``min_baseline_s`` are exempt: at sub-jitter durations the ratio
+    measures scheduler noise, not a regression.
+    """
+    root = directory or REPO_ROOT
+    checks: List[RegressionCheck] = []
+    for path in sorted(root.glob("BENCH_*.json")):
+        fresh = load_report(path)
+        baseline = committed_report(path)
+        if baseline is None:
+            print(f"-- {path.name}: no committed baseline; skipping")
+            continue
+        baseline_by_name = {entry.name: entry for entry in baseline.records}
+        for entry in fresh.records:
+            committed = baseline_by_name.get(entry.name)
+            if committed is None:
+                print(f"-- {path.name}: metric {entry.name!r} is new; skipping")
+                continue
+            if committed.optimized_s < min_baseline_s:
+                print(
+                    f"-- {path.name}: {entry.name} baseline "
+                    f"{committed.optimized_s:.3f}s is below the "
+                    f"{min_baseline_s:.3f}s jitter floor; skipping"
+                )
+                continue
+            checks.append(
+                RegressionCheck(
+                    benchmark=fresh.name,
+                    metric=entry.name,
+                    committed_s=committed.optimized_s,
+                    fresh_s=entry.optimized_s,
+                    threshold=threshold,
+                )
+            )
+    return checks
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI: print the merged trajectory, or gate on regressions with --check."""
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check", action="store_true",
+        help="fail (exit 1) when any fresh metric regressed past --threshold",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=1.5,
+        help="maximum tolerated slowdown versus the committed baseline",
+    )
+    parser.add_argument(
+        "--min-baseline-s", type=float, default=0.05,
+        help="exempt metrics whose committed timing is below this (jitter floor)",
+    )
+    args = parser.parse_args(argv)
+    if not args.check:
+        print(merged_summary())
+        return 0
+
+    checks = check_regressions(threshold=args.threshold, min_baseline_s=args.min_baseline_s)
+    header = (
+        f"{'benchmark':<10} {'metric':<28} {'committed':>10} {'fresh':>10} "
+        f"{'ratio':>6}  status"
+    )
+    print(header)
+    print("-" * len(header))
+    for check in checks:
+        print(check.format_row())
+    failures = [check for check in checks if not check.ok]
+    if failures:
+        print(
+            f"\nperf gate FAILED: {len(failures)} metric(s) regressed past "
+            f"{args.threshold:.2f}x the committed baseline"
+        )
+        return 1
+    print(f"\nperf gate ok: {len(checks)} metric(s) within {args.threshold:.2f}x")
+    return 0
+
+
 if __name__ == "__main__":  # pragma: no cover - CLI convenience
-    print(merged_summary())
+    raise SystemExit(main())

@@ -17,7 +17,7 @@ Run with:  python examples/audit_gpt_privacy.py
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import List, Tuple
 
 from repro.analysis.suite import MeasurementSuite, SuiteConfig
 from repro.policy.labels import ConsistencyLabel

@@ -7,7 +7,6 @@ type covers, and the fraction of descriptions that remain unclassified
 
 from __future__ import annotations
 
-from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict
 
 from repro.crawler.corpus import CrawlCorpus
 from repro.web.psl import registrable_domain

@@ -9,7 +9,7 @@ declared website, falling back to the manifest's vendor domain) — Section
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.crawler.corpus import CrawlCorpus, CrawledGPT
 from repro.web.thirdparty import ThirdPartyClassifier

@@ -9,8 +9,8 @@ and examples all build on it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
 from repro.analysis.collection import CollectionAnalysis, analyze_collection
 from repro.analysis.cooccurrence import CooccurrenceAnalysis, analyze_cooccurrence
@@ -37,7 +37,6 @@ from repro.classification.evaluation import (
 from repro.classification.results import ClassificationResult
 from repro.crawler.corpus import CrawlCorpus
 from repro.crawler.pipeline import CrawlPipeline
-from repro.crawler.transport import TransportConfig
 from repro.ecosystem.config import EcosystemConfig
 from repro.ecosystem.generator import EcosystemGenerator
 from repro.ecosystem.models import SyntheticEcosystem
@@ -86,6 +85,8 @@ class MeasurementSuite:
         ecosystem: Optional[SyntheticEcosystem] = None,
         taxonomy: Optional[DataTaxonomy] = None,
         llm: Optional[SimulatedLLM] = None,
+        corpus: Optional[CrawlCorpus] = None,
+        classification: Optional[ClassificationResult] = None,
     ) -> None:
         self.config = config or SuiteConfig()
         self.taxonomy = taxonomy or load_builtin_taxonomy()
@@ -94,10 +95,13 @@ class MeasurementSuite:
         )
         self.llm = llm or SimulatedLLM(knowledge_taxonomy=self.taxonomy, seed=self.config.seed)
         self._ecosystem = ecosystem
-        self._corpus: Optional[CrawlCorpus] = None
+        # ``corpus`` / ``classification`` preload pipeline stages from a
+        # cache (e.g. the sweep engine's artifact store) so only the stages
+        # downstream of what changed are recomputed.
+        self._corpus: Optional[CrawlCorpus] = corpus
         self._descriptions: Optional[List[DataDescription]] = None
         self._fewshot_store: Optional[FewShotStore] = None
-        self._classification: Optional[ClassificationResult] = None
+        self._classification: Optional[ClassificationResult] = classification
         self._policy_report: Optional[PolicyConsistencyReport] = None
         self._party_index: Optional[ActionPartyIndex] = None
         self._cache: Dict[str, object] = {}
@@ -105,6 +109,20 @@ class MeasurementSuite:
     # ------------------------------------------------------------------
     # Pipeline stages (lazy, cached)
     # ------------------------------------------------------------------
+    def stage_materialized(self, stage: str) -> bool:
+        """Whether a lazy pipeline stage has been computed (or preloaded).
+
+        Lets callers that persist intermediate products (the sweep engine's
+        artifact store) cache exactly what a run actually built instead of
+        forcing expensive stages nothing asked for.
+        """
+        attribute = {
+            "ecosystem": self._ecosystem,
+            "corpus": self._corpus,
+            "classification": self._classification,
+        }[stage]
+        return attribute is not None
+
     @property
     def ecosystem(self) -> SyntheticEcosystem:
         """The synthetic ecosystem (generated on first access)."""

@@ -11,14 +11,13 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Mapping, Sequence, Tuple
 
 from repro.classification.classifier import DataCollectionClassifier
 from repro.classification.descriptions import DataDescription
-from repro.classification.results import ClassificationResult, DescriptionLabel
+from repro.classification.results import DescriptionLabel
 from repro.ecosystem.models import GroundTruth
 from repro.llm.fewshot import FewShotExample
-from repro.taxonomy.schema import OTHER_CATEGORY, OTHER_TYPE
 
 
 @dataclass

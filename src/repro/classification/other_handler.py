@@ -11,12 +11,11 @@ accepted proposals to the taxonomy through
 
 from __future__ import annotations
 
-from collections import Counter
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional
 
 from repro.classification.classifier import ClassifierConfig, DataCollectionClassifier
-from repro.classification.results import ClassificationResult, DescriptionLabel
+from repro.classification.results import ClassificationResult
 from repro.classification.descriptions import DataDescription
 from repro.llm import prompts
 from repro.llm.base import LLMClient

@@ -17,7 +17,14 @@ measurement pipeline:
   markdown report;
 * ``repro-gpt export <directory>`` — crawl and write the corpus (and, with
   ``--with-classification``, the per-parameter labels) to a dataset
-  directory that :mod:`repro.io` can load back.
+  directory that :mod:`repro.io` can load back;
+* ``repro-gpt sweep`` — run the whole experiment battery across a scenario
+  grid (``--scenarios baseline,flaky-hosts --seeds 3``) on the concurrent
+  sweep engine (``--workers N``) and print across-seed mean/stdev tables and
+  per-scenario deltas (``--report`` for the full markdown report).  With
+  ``--cache-dir DIR`` every intermediate artifact is persisted in a
+  content-addressed store, so an unchanged cell is never recomputed and a
+  killed sweep continues with ``--resume`` (which insists the cache exists).
 """
 
 from __future__ import annotations
@@ -121,6 +128,89 @@ def _cmd_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.experiments.registry import run_all_sweep_experiments
+    from repro.experiments.sweep import BUILTIN_SCENARIOS, run_sweep
+    from repro.io import ArtifactStore
+    from repro.reporting.sweep import render_scenario_deltas, render_sweep_overview
+
+    scenario_names = [name.strip() for name in args.scenarios.split(",") if name.strip()]
+    experiment_ids: Optional[List[str]] = None
+    if args.experiments:
+        experiment_ids = [name.strip() for name in args.experiments.split(",") if name.strip()]
+    if args.resume and not args.cache_dir:
+        print("--resume requires --cache-dir", file=sys.stderr)
+        return 2
+    # The is_dir() guard keeps the error path side-effect free: building the
+    # store would create the (possibly mistyped) cache directory.
+    if args.resume and (
+        not Path(args.cache_dir).is_dir() or ArtifactStore(args.cache_dir).count() == 0
+    ):
+        print(f"--resume: no cached artifacts under {args.cache_dir}", file=sys.stderr)
+        return 2
+    try:
+        result = run_sweep(
+            scenario_names,
+            args.seeds,
+            base_seed=args.seed,
+            n_gpts=args.gpts,
+            workers=args.workers,
+            cache_dir=args.cache_dir,
+            experiment_ids=experiment_ids,
+        )
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        if "scenario" in str(error):
+            print(f"known scenarios: {', '.join(sorted(BUILTIN_SCENARIOS))}", file=sys.stderr)
+        return 2
+    report = result.report()
+
+    print(
+        f"Sweep: {len(scenario_names)} scenario(s) x {args.seeds} seed(s) = "
+        f"{result.n_cells} cells in {result.wall_time_s:.2f}s "
+        f"({args.workers or 1} worker(s))"
+    )
+    if args.cache_dir:
+        statistics = result.store_statistics
+        print(
+            f"Cache: {result.n_from_cache}/{result.n_cells} cells served from "
+            f"{args.cache_dir} (hit rate {statistics.hit_rate:.0%}, "
+            f"{statistics.n_writes} artifacts written)"
+        )
+    for cell in result.cells:
+        origin = "cache" if cell.from_cache else "computed"
+        hits = f" (+{','.join(cell.stage_hits)} from cache)" if cell.stage_hits else ""
+        print(f"  {cell.cell_id}: {origin} in {cell.wall_time_s:.2f}s{hits}")
+    print()
+    if args.report:
+        print("## Across-seed aggregates")
+        print(render_sweep_overview(report, experiment_ids))
+        print()
+        # Use the same reference scenario as the sweep-experiment variants:
+        # "baseline" when it ran, otherwise the first listed scenario.
+        reference = "baseline" if "baseline" in scenario_names else scenario_names[0]
+        print(f"## Scenario deltas vs {reference}")
+        print(render_scenario_deltas(report, baseline=reference))
+        print()
+        print("## Paper comparison (baseline scenario means)")
+        for sweep_result in run_all_sweep_experiments(report):
+            if experiment_ids and sweep_result.experiment_id.split("@")[0] not in experiment_ids:
+                continue
+            rows = [
+                (metric, _format_value(paper), _format_value(measured))
+                for metric, paper, measured in sweep_result.comparison_rows()
+            ]
+            if rows:
+                print(f"### {sweep_result.title}")
+                print(format_table(["Metric", "Paper", "Measured (mean)"], rows))
+                print()
+    else:
+        print(render_sweep_overview(report, experiment_ids))
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     suite = _build_suite(args)
     results = run_all_experiments(suite)
@@ -166,6 +256,37 @@ def build_parser() -> argparse.ArgumentParser:
     experiment_parser = subparsers.add_parser("experiment", help="run one experiment by id")
     experiment_parser.add_argument("experiment_id", help="e.g. table4, figure9")
     subparsers.add_parser("report", help="run every experiment and print comparisons")
+    sweep_parser = subparsers.add_parser(
+        "sweep", help="run experiments across a multi-seed, multi-scenario grid"
+    )
+    sweep_parser.add_argument(
+        "--scenarios", default="baseline",
+        help="comma-separated scenario names (e.g. baseline,flaky-hosts)",
+    )
+    sweep_parser.add_argument(
+        "--seeds", type=int, default=3,
+        help="seeds per scenario (numbered from the global --seed upward)",
+    )
+    sweep_parser.add_argument(
+        "--workers", type=int, default=0,
+        help="sweep-engine worker pool size (0 = run cells sequentially)",
+    )
+    sweep_parser.add_argument(
+        "--cache-dir", default=None,
+        help="content-addressed artifact cache (unchanged cells are reused)",
+    )
+    sweep_parser.add_argument(
+        "--resume", action="store_true",
+        help="continue a killed sweep from --cache-dir (must already exist)",
+    )
+    sweep_parser.add_argument(
+        "--report", action="store_true",
+        help="print the full markdown report (deltas + paper comparisons)",
+    )
+    sweep_parser.add_argument(
+        "--experiments", default=None,
+        help="comma-separated experiment ids to run (default: all)",
+    )
     export_parser = subparsers.add_parser("export", help="crawl and write the corpus to disk")
     export_parser.add_argument("directory", help="output directory for the dataset")
     export_parser.add_argument(
@@ -186,6 +307,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "experiment": _cmd_experiment,
         "report": _cmd_report,
         "export": _cmd_export,
+        "sweep": _cmd_sweep,
     }
     return handlers[args.command](args)
 

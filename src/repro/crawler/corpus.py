@@ -10,7 +10,7 @@ inference steps the paper performs on live data.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple
 
 from repro.crawler.policy_fetcher import PolicyFetchResult
 from repro.web.urls import url_host

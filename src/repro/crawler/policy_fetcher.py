@@ -9,7 +9,7 @@ at the same document.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.crawler.http import HTTPError

@@ -11,8 +11,8 @@ from __future__ import annotations
 
 import html
 import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
 
 from repro.crawler.http import SimulatedHTTPLayer, SimulatedResponse
 from repro.ecosystem.models import StoreListing

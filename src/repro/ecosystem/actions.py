@@ -14,7 +14,7 @@ Two kinds of Actions are generated:
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.ecosystem.config import EcosystemConfig

@@ -9,7 +9,7 @@ paper's distributions at a configurable corpus scale.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 
 @dataclass(frozen=True)

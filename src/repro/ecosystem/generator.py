@@ -17,7 +17,7 @@ an :class:`~repro.ecosystem.config.EcosystemConfig`:
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.ecosystem.actions import ActionFactory, PREVALENT_ACTIONS, PrevalentActionTemplate
 from repro.ecosystem.config import EcosystemConfig

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Sequence, Tuple
+from typing import Optional, Tuple
 
 #: Thematic verticals GPTs are built around; each pairs a noun pool with a
 #: store category label and the functionality tag used for their Actions.

@@ -16,7 +16,7 @@ import enum
 import random
 import re
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Optional, Sequence
 
 from repro.taxonomy.schema import DataType
 

@@ -22,9 +22,9 @@ from __future__ import annotations
 import enum
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.ecosystem.config import DisclosureProfile, EcosystemConfig
+from repro.ecosystem.config import EcosystemConfig
 from repro.ecosystem.models import ActionSpecification, PrivacyPolicyDocument
 from repro.llm.knowledge import VAGUE_CATEGORY_TERMS
 from repro.taxonomy.schema import DataTaxonomy, DataType

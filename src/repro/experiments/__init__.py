@@ -5,22 +5,58 @@ and returns an :class:`ExperimentResult` holding the paper-reported reference
 values, the values measured on the synthetic corpus, and a rendered artifact
 (table text or figure series summary).  ``run_all_experiments`` executes the
 whole battery; the CLI and EXPERIMENTS.md are produced from it.
+
+:mod:`repro.experiments.sweep` layers multi-seed / multi-scenario sweeps on
+top: :func:`run_sweep` expands a scenario grid, runs one full pipeline per
+(scenario, seed) cell concurrently with content-addressed artifact caching,
+and :data:`SWEEP_EXPERIMENTS` replays every experiment's paper comparison
+against the across-seed aggregates.
 """
 
 from repro.experiments.paper_values import PAPER_VALUES
 from repro.experiments.registry import (
     EXPERIMENTS,
+    SWEEP_EXPERIMENTS,
     ExperimentResult,
     get_experiment,
     run_all_experiments,
+    run_all_sweep_experiments,
     run_experiment,
+    run_sweep_experiment,
+)
+from repro.experiments.sweep import (
+    BUILTIN_SCENARIOS,
+    CellResult,
+    MetricSummary,
+    Scenario,
+    SweepCell,
+    SweepReport,
+    SweepResult,
+    SweepRunner,
+    aggregate_cells,
+    expand_grid,
+    run_sweep,
 )
 
 __all__ = [
     "PAPER_VALUES",
     "EXPERIMENTS",
+    "SWEEP_EXPERIMENTS",
     "ExperimentResult",
+    "BUILTIN_SCENARIOS",
+    "CellResult",
+    "MetricSummary",
+    "Scenario",
+    "SweepCell",
+    "SweepReport",
+    "SweepResult",
+    "SweepRunner",
+    "aggregate_cells",
+    "expand_grid",
     "get_experiment",
     "run_all_experiments",
+    "run_all_sweep_experiments",
     "run_experiment",
+    "run_sweep",
+    "run_sweep_experiment",
 ]

@@ -1,14 +1,24 @@
-"""The experiment registry: one driver per paper table / figure / statistic."""
+"""The experiment registry: one driver per paper table / figure / statistic.
+
+Every single-run experiment (``run_table1`` … ``run_disclosure_headlines``)
+also has a *sweep-aggregated* variant that replays the same paper comparison
+against across-seed means from a multi-scenario sweep
+(:mod:`repro.experiments.sweep`): see :data:`SWEEP_EXPERIMENTS`,
+:func:`run_sweep_experiment`, and :func:`run_all_sweep_experiments`.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, List
 
 from repro.analysis.suite import MeasurementSuite
 from repro.experiments.paper_values import PAPER_VALUES
 from repro.policy.labels import ConsistencyLabel
 from repro.reporting import figures, tables
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids a circular import)
+    from repro.experiments.sweep import SweepReport
 
 
 @dataclass
@@ -34,7 +44,9 @@ class ExperimentResult:
 Experiment = Callable[[MeasurementSuite], ExperimentResult]
 
 
-def _result(experiment_id: str, title: str, measured: Dict[str, object], artifact: str = "") -> ExperimentResult:
+def _result(
+    experiment_id: str, title: str, measured: Dict[str, object], artifact: str = ""
+) -> ExperimentResult:
     return ExperimentResult(
         experiment_id=experiment_id,
         title=title,
@@ -58,7 +70,9 @@ def run_table1(suite: MeasurementSuite) -> ExperimentResult:
         "largest_store_count": sorted_counts[0][1] if sorted_counts else 0,
         "smallest_store_count": sorted_counts[-1][1] if sorted_counts else 0,
     }
-    return _result("table1", "Table 1: GPTs crawled per store", measured, tables.render_table1(stats))
+    return _result(
+        "table1", "Table 1: GPTs crawled per store", measured, tables.render_table1(stats)
+    )
 
 
 def run_table3(suite: MeasurementSuite) -> ExperimentResult:
@@ -124,7 +138,10 @@ def run_table5(suite: MeasurementSuite) -> ExperimentResult:
         "gapier_share": share_of("Gapier"),
     }
     return _result(
-        "table5", "Table 5: prevalent third-party Actions", measured, tables.render_table5(prevalence)
+        "table5",
+        "Table 5: prevalent third-party Actions",
+        measured,
+        tables.render_table5(prevalence),
     )
 
 
@@ -141,7 +158,10 @@ def run_table6(suite: MeasurementSuite) -> ExperimentResult:
         "tracking_pixel": fractions.get("tracking_pixel", 0.0),
     }
     return _result(
-        "table6", "Table 6: duplicate privacy-policy content", measured, tables.render_table6(duplicates)
+        "table6",
+        "Table 6: duplicate privacy-policy content",
+        measured,
+        tables.render_table6(duplicates),
     )
 
 
@@ -155,7 +175,10 @@ def run_table7(suite: MeasurementSuite) -> ExperimentResult:
         "n_actions_with_5_plus_consistent": len(rows),
     }
     return _result(
-        "table7", "Table 7: Actions with consistent disclosures", measured, tables.render_table7(disclosure)
+        "table7",
+        "Table 7: Actions with consistent disclosures",
+        measured,
+        tables.render_table7(disclosure),
     )
 
 
@@ -457,3 +480,67 @@ def run_experiment(experiment_id: str, suite: MeasurementSuite) -> ExperimentRes
 def run_all_experiments(suite: MeasurementSuite) -> List[ExperimentResult]:
     """Run every registered experiment on a shared measurement suite."""
     return [experiment(suite) for experiment in EXPERIMENTS.values()]
+
+
+# ---------------------------------------------------------------------------
+# Sweep-aggregated variants
+# ---------------------------------------------------------------------------
+#: A sweep experiment maps an aggregated sweep report to a result.
+SweepExperiment = Callable[["SweepReport"], ExperimentResult]
+
+
+def _make_sweep_experiment(experiment_id: str) -> SweepExperiment:
+    """Build the sweep-aggregated variant of one registered experiment.
+
+    The variant compares the paper's reference values against the
+    *across-seed mean* of each metric in the sweep's ``baseline`` scenario
+    (falling back to the report's first scenario when no ``baseline`` cells
+    ran), exposes per-metric spread as ``<metric>:stdev`` /  ``:min`` /
+    ``:max`` companions, and renders the cross-scenario comparison table as
+    its artifact — the single-run experiment's paper comparison, with error
+    bars and scenario deltas attached.
+    """
+
+    def run(report: "SweepReport") -> ExperimentResult:
+        from repro.reporting.sweep import render_scenario_comparison
+
+        names = report.scenario_names()
+        if not names:
+            raise ValueError("cannot aggregate an empty sweep report")
+        scenario = "baseline" if "baseline" in names else names[0]
+        aggregate = report.scenario(scenario)
+        measured: Dict[str, object] = {}
+        for metric, summary in report.metric_summaries(scenario, experiment_id).items():
+            measured[metric] = summary.mean
+            measured[f"{metric}:stdev"] = summary.stdev
+            measured[f"{metric}:min"] = summary.min
+            measured[f"{metric}:max"] = summary.max
+        return ExperimentResult(
+            experiment_id=f"{experiment_id}@sweep",
+            title=(
+                f"{experiment_id} (sweep aggregate: {scenario} scenario, "
+                f"{aggregate.n_cells} seeds)"
+            ),
+            paper_values=dict(PAPER_VALUES.get(experiment_id, {})),
+            measured_values=measured,
+            artifact=render_scenario_comparison(report, experiment_id),
+        )
+
+    return run
+
+
+#: Sweep-aggregated variant of every registered experiment, keyed by the
+#: *single-run* experiment id (``run_sweep_experiment("table4", report)``).
+SWEEP_EXPERIMENTS: Dict[str, SweepExperiment] = {
+    experiment_id: _make_sweep_experiment(experiment_id) for experiment_id in EXPERIMENTS
+}
+
+
+def run_sweep_experiment(experiment_id: str, report: "SweepReport") -> ExperimentResult:
+    """Run one experiment's sweep-aggregated variant on a sweep report."""
+    return SWEEP_EXPERIMENTS[experiment_id](report)
+
+
+def run_all_sweep_experiments(report: "SweepReport") -> List[ExperimentResult]:
+    """Run every sweep-aggregated experiment variant on a sweep report."""
+    return [experiment(report) for experiment in SWEEP_EXPERIMENTS.values()]

@@ -1,0 +1,48 @@
+"""Persistence layer: corpora, crawl checkpoints, and cached artifacts.
+
+``repro.io`` groups three storage concerns behind one import surface:
+
+* :mod:`repro.io.corpus` — dataset serialization of crawl corpora and
+  classification results (the paper releases both code and data);
+* :mod:`repro.io.checkpoint` — incremental, resumable crawl checkpoints
+  (:class:`CrawlCheckpoint`);
+* :mod:`repro.io.artifacts` — the content-addressed
+  :class:`ArtifactStore` keyed by :func:`config_fingerprint`, which the
+  sweep engine uses to skip recomputing unchanged experiment cells.
+"""
+
+from repro.io.artifacts import (
+    ArtifactRecord,
+    ArtifactStore,
+    ArtifactStoreStatistics,
+    canonical_json,
+    config_fingerprint,
+)
+from repro.io.checkpoint import CrawlCheckpoint
+from repro.io.corpus import (
+    classification_from_payload,
+    classification_to_payload,
+    corpus_from_payload,
+    corpus_to_payload,
+    load_classification,
+    load_corpus,
+    policies_to_payload,
+    save_corpus,
+)
+
+__all__ = [
+    "ArtifactRecord",
+    "ArtifactStore",
+    "ArtifactStoreStatistics",
+    "CrawlCheckpoint",
+    "canonical_json",
+    "classification_from_payload",
+    "classification_to_payload",
+    "config_fingerprint",
+    "corpus_from_payload",
+    "corpus_to_payload",
+    "load_classification",
+    "load_corpus",
+    "policies_to_payload",
+    "save_corpus",
+]

@@ -1,0 +1,158 @@
+"""Content-addressed artifact store for experiment pipelines.
+
+Large measurement artifacts treat every pipeline product — a crawled corpus,
+a classification, an aggregated table — as a *cached, resumable artifact*:
+re-running an experiment recomputes only what its configuration no longer
+covers.  This module provides the storage layer the sweep engine
+(:mod:`repro.experiments.sweep`) builds on:
+
+* :func:`config_fingerprint` — a stable SHA-256 hex digest of any
+  JSON-serializable configuration payload (canonical key order, no
+  whitespace), extending the fingerprint idea of
+  :class:`~repro.io.checkpoint.CrawlCheckpoint` from "refuse a mismatched
+  resume" to "address every artifact by the exact configuration that
+  produced it";
+* :class:`ArtifactStore` — an on-disk key → JSON payload cache laid out as
+  ``<root>/<kind>/<fp[:2]>/<fp>.json``.  Writes are atomic
+  (temp file + ``os.replace``), reads treat unparseable files as misses
+  (a killed writer can never poison the cache), and hit/miss/write counters
+  make cache behaviour observable and testable.
+
+Because keys are derived from configuration fingerprints, differently
+configured runs can share one store without any invalidation protocol:
+a changed configuration simply addresses different files.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, List, Optional, Union
+
+
+def canonical_json(payload: object) -> str:
+    """Serialize a payload to canonical JSON (sorted keys, no whitespace).
+
+    Two structurally equal payloads always serialize to the same string, so
+    the string is a stable basis for fingerprinting.
+    """
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"), ensure_ascii=False)
+
+
+def config_fingerprint(payload: object) -> str:
+    """SHA-256 hex digest of a JSON-serializable configuration payload."""
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+@dataclass
+class ArtifactStoreStatistics:
+    """Hit/miss/write counters for one :class:`ArtifactStore`."""
+
+    n_hits: int = 0
+    n_misses: int = 0
+    n_writes: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups that were served from the store."""
+        total = self.n_hits + self.n_misses
+        return self.n_hits / total if total else 0.0
+
+
+@dataclass(frozen=True)
+class ArtifactRecord:
+    """Metadata for one stored artifact."""
+
+    kind: str
+    fingerprint: str
+    path: Path
+
+
+class ArtifactStore:
+    """An on-disk, content-addressed cache of JSON artifacts.
+
+    Artifacts are grouped by ``kind`` (e.g. ``"corpus"``,
+    ``"classification"``, ``"results"``) and addressed by the fingerprint of
+    the configuration that produced them.  The store is safe to share
+    between the threads of a worker pool: statistics updates are locked and
+    writes land atomically, so concurrent producers of the *same* artifact
+    simply race to an identical file.
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.statistics = ArtifactStoreStatistics()
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def path_for(self, kind: str, fingerprint: str) -> Path:
+        """Where an artifact of ``kind`` with ``fingerprint`` lives on disk."""
+        return self.root / kind / fingerprint[:2] / f"{fingerprint}.json"
+
+    def has(self, kind: str, fingerprint: str) -> bool:
+        """Whether an artifact exists (does not touch the counters)."""
+        return self.path_for(kind, fingerprint).exists()
+
+    def get(self, kind: str, fingerprint: str) -> Optional[object]:
+        """The stored payload, or ``None`` on a miss.
+
+        A file that fails to parse (e.g. a partial write from a process
+        killed before the atomic replace, or manual tampering) counts as a
+        miss and is removed so the slot can be rewritten cleanly.
+        """
+        path = self.path_for(kind, fingerprint)
+        try:
+            envelope = json.loads(path.read_text(encoding="utf-8"))
+            payload = envelope["payload"]
+        except (OSError, ValueError, KeyError, TypeError):
+            if path.exists():
+                path.unlink(missing_ok=True)
+            with self._lock:
+                self.statistics.n_misses += 1
+            return None
+        with self._lock:
+            self.statistics.n_hits += 1
+        return payload
+
+    def put(self, kind: str, fingerprint: str, payload: object) -> Path:
+        """Atomically persist a payload; returns the artifact path."""
+        path = self.path_for(kind, fingerprint)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        envelope = {"kind": kind, "fingerprint": fingerprint, "payload": payload}
+        temp = path.with_name(f".{path.name}.{os.getpid()}.{threading.get_ident()}.tmp")
+        temp.write_text(canonical_json(envelope), encoding="utf-8")
+        os.replace(temp, path)
+        with self._lock:
+            self.statistics.n_writes += 1
+        return path
+
+    # ------------------------------------------------------------------
+    def iter_records(self, kind: Optional[str] = None) -> Iterator[ArtifactRecord]:
+        """All stored artifacts (optionally restricted to one kind)."""
+        kinds: List[Path]
+        if kind is not None:
+            kinds = [self.root / kind]
+        else:
+            kinds = sorted(child for child in self.root.iterdir() if child.is_dir())
+        for kind_dir in kinds:
+            if not kind_dir.is_dir():
+                continue
+            for path in sorted(kind_dir.glob("*/*.json")):
+                yield ArtifactRecord(kind=kind_dir.name, fingerprint=path.stem, path=path)
+
+    def count(self, kind: Optional[str] = None) -> int:
+        """Number of stored artifacts (optionally restricted to one kind)."""
+        return sum(1 for _ in self.iter_records(kind))
+
+    def clear(self, kind: Optional[str] = None) -> int:
+        """Delete stored artifacts; returns how many were removed."""
+        removed = 0
+        for record in list(self.iter_records(kind)):
+            record.path.unlink(missing_ok=True)
+            removed += 1
+        return removed

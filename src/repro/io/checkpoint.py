@@ -1,0 +1,133 @@
+"""Incremental, resumable crawl checkpoints.
+
+:class:`CrawlCheckpoint` persists per-stage maps of completed task keys to
+result payloads, flushed incrementally while a crawl runs so an interrupted
+run resumes without refetching.  Checkpoint layout::
+
+    <checkpoint-directory>/
+      checkpoint_meta.json   # fingerprint of the crawl configuration
+      stage_listing.jsonl    # store name → listing crawl payload
+      stage_resolve.jsonl    # GPT identifier → manifest payload
+      stage_policies.jsonl   # policy URL → fetch payload
+
+Stage files are append-only JSONL (one ``{"key": …, "payload": …}`` record
+per line), so each periodic flush writes only the records completed since
+the previous flush — O(1) amortized per task, not a rewrite of the whole
+stage.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+
+class CrawlCheckpoint:
+    """Incremental, resumable progress storage for one crawl run.
+
+    Each pipeline stage gets an append-only ``stage_<name>.jsonl`` file of
+    completed task records.  Records are buffered in memory and appended at
+    each :meth:`flush` — only the records completed since the previous flush
+    are written, so checkpoint I/O stays O(1) amortized per task no matter
+    how large the crawl grows.  A run killed mid-append can leave at most
+    one truncated trailing line, which :meth:`load_stage` skips; the
+    corresponding task is simply refetched on resume, which is safe because
+    the simulated network is deterministic per URL.
+
+    ``checkpoint_meta.json`` stores a fingerprint of the crawl configuration
+    (written by the pipeline) so a resume against a checkpoint from a
+    different crawl is refused instead of silently merging stale results.
+    """
+
+    _META_FILE = "checkpoint_meta.json"
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._stages: Dict[str, Dict[str, object]] = {}
+        self._unflushed: Dict[str, List[str]] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def _stage_path(self, stage: str) -> Path:
+        return self.directory / f"stage_{stage}.jsonl"
+
+    def _load_locked(self, stage: str) -> Dict[str, object]:
+        if stage not in self._stages:
+            records: Dict[str, object] = {}
+            path = self._stage_path(stage)
+            if path.exists():
+                for line in path.read_text(encoding="utf-8").splitlines():
+                    if not line.strip():
+                        continue
+                    try:
+                        entry = json.loads(line)
+                    except ValueError:
+                        # Truncated trailing line from a mid-append kill;
+                        # the record's task will be refetched.
+                        continue
+                    records[str(entry["key"])] = entry["payload"]
+            self._stages[stage] = records
+            self._unflushed.setdefault(stage, [])
+        return self._stages[stage]
+
+    def load_stage(self, stage: str) -> Dict[str, object]:
+        """Completed key → payload map for a stage (empty if none saved)."""
+        with self._lock:
+            return dict(self._load_locked(stage))
+
+    def record(self, stage: str, key: str, payload: object) -> None:
+        """Buffer one completed task's payload (call :meth:`flush` to persist)."""
+        line = json.dumps({"key": key, "payload": payload})
+        with self._lock:
+            self._load_locked(stage)[key] = payload
+            self._unflushed.setdefault(stage, []).append(line)
+
+    def pending(self, stage: str) -> int:
+        """Number of records held for a stage (flushed or not)."""
+        with self._lock:
+            return len(self._stages.get(stage, {}))
+
+    def flush(self, stage: Optional[str] = None) -> None:
+        """Append records buffered since the last flush (one stage or all)."""
+        with self._lock:
+            stages = [stage] if stage is not None else [
+                name for name, lines in self._unflushed.items() if lines
+            ]
+            for name in stages:
+                lines = self._unflushed.get(name)
+                if not lines:
+                    continue
+                with self._stage_path(name).open("a", encoding="utf-8") as handle:
+                    handle.write("\n".join(lines) + "\n")
+                self._unflushed[name] = []
+
+    # ------------------------------------------------------------------
+    def load_meta(self) -> Optional[Dict[str, object]]:
+        """The crawl-configuration fingerprint, if one was written."""
+        path = self.directory / self._META_FILE
+        if not path.exists():
+            return None
+        return json.loads(path.read_text(encoding="utf-8"))
+
+    def write_meta(self, meta: Dict[str, object]) -> None:
+        """Persist the crawl-configuration fingerprint."""
+        path = self.directory / self._META_FILE
+        temp = path.with_suffix(".json.tmp")
+        temp.write_text(json.dumps(meta, sort_keys=True), encoding="utf-8")
+        os.replace(temp, path)
+
+    def clear(self) -> None:
+        """Drop all checkpoint state (start the next crawl from scratch)."""
+        with self._lock:
+            self._stages.clear()
+            self._unflushed.clear()
+            for pattern in ("stage_*.jsonl", "*.json.tmp"):
+                for path in self.directory.glob(pattern):
+                    path.unlink()
+            meta = self.directory / self._META_FILE
+            if meta.exists():
+                meta.unlink()

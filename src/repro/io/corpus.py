@@ -1,0 +1,216 @@
+"""Persistence of crawl corpora (the paper releases both code and data).
+
+The paper's artifact includes the crawled GPT manifests, Action
+specifications, and privacy policies.  This module serializes a
+:class:`~repro.crawler.corpus.CrawlCorpus` (and optionally a classification
+result) to a directory of JSON files and loads it back, so measurement runs
+can be archived, shared, and re-analyzed without re-running the crawl.
+
+Layout::
+
+    <directory>/
+      corpus.json            # GPT manifest records + store statistics
+      policies.json          # fetched privacy policies keyed by URL
+      classification.json    # optional: per-parameter (category, type) labels
+
+Every serializer has a payload-level counterpart (``corpus_to_payload`` /
+``corpus_from_payload``, ``classification_to_payload`` /
+``classification_from_payload``) so the same representation can be written
+to a dataset directory, stored in the content-addressed
+:class:`~repro.io.artifacts.ArtifactStore`, or compared byte-for-byte in
+determinism tests.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.classification.results import ClassificationResult, DescriptionLabel
+from repro.crawler.corpus import CrawlCorpus, CrawledAction, CrawledGPT
+from repro.crawler.policy_fetcher import PolicyFetchResult
+
+_CORPUS_FILE = "corpus.json"
+_POLICIES_FILE = "policies.json"
+_CLASSIFICATION_FILE = "classification.json"
+
+
+def _gpt_to_dict(gpt: CrawledGPT) -> Dict[str, object]:
+    return {
+        "gpt_id": gpt.gpt_id,
+        "name": gpt.name,
+        "description": gpt.description,
+        "author_name": gpt.author_name,
+        "author_website": gpt.author_website,
+        "vendor_domain": gpt.vendor_domain,
+        "tags": gpt.tags,
+        "tool_types": gpt.tool_types,
+        "n_files": gpt.n_files,
+        "source_stores": gpt.source_stores,
+        "actions": [
+            {
+                "action_id": action.action_id,
+                "title": action.title,
+                "description": action.description,
+                "server_url": action.server_url,
+                "legal_info_url": action.legal_info_url,
+                "functionality": action.functionality,
+                "auth_type": action.auth_type,
+                "parameters": [list(parameter) for parameter in action.parameters],
+            }
+            for action in gpt.actions
+        ],
+    }
+
+
+def _gpt_from_dict(payload: Dict[str, object]) -> CrawledGPT:
+    actions = [
+        CrawledAction(
+            action_id=str(entry["action_id"]),
+            title=str(entry.get("title", "")),
+            description=str(entry.get("description", "")),
+            server_url=str(entry.get("server_url", "")),
+            legal_info_url=entry.get("legal_info_url"),
+            functionality=str(entry.get("functionality", "")),
+            auth_type=str(entry.get("auth_type", "none")),
+            parameters=[tuple(parameter) for parameter in entry.get("parameters", [])],
+        )
+        for entry in payload.get("actions", [])
+    ]
+    return CrawledGPT(
+        gpt_id=str(payload["gpt_id"]),
+        name=str(payload.get("name", "")),
+        description=str(payload.get("description", "")),
+        author_name=str(payload.get("author_name", "")),
+        author_website=payload.get("author_website"),
+        vendor_domain=payload.get("vendor_domain"),
+        tags=list(payload.get("tags", [])),
+        tool_types=list(payload.get("tool_types", [])),
+        actions=actions,
+        n_files=int(payload.get("n_files", 0)),
+        source_stores=list(payload.get("source_stores", [])),
+    )
+
+
+def corpus_to_payload(corpus: CrawlCorpus) -> Dict[str, object]:
+    """The JSON payload of ``corpus.json``.
+
+    Also serves as a canonical fingerprint: two corpora produced by
+    equivalent crawls (e.g. a resumed run versus an uninterrupted one)
+    serialize to equal payloads.
+    """
+    return {
+        "gpts": [_gpt_to_dict(gpt) for gpt in corpus.iter_gpts()],
+        "store_counts": corpus.store_counts,
+        "store_link_counts": corpus.store_link_counts,
+        "unresolved_gpt_ids": corpus.unresolved_gpt_ids,
+    }
+
+
+def policies_to_payload(corpus: CrawlCorpus) -> Dict[str, object]:
+    """The JSON payload of ``policies.json``."""
+    return {
+        url: {"status": result.status, "text": result.text, "error": result.error}
+        for url, result in corpus.policies.items()
+    }
+
+
+def corpus_from_payload(
+    corpus_payload: Dict[str, object],
+    policies_payload: Optional[Dict[str, object]] = None,
+) -> CrawlCorpus:
+    """Rebuild a corpus from :func:`corpus_to_payload` (and optionally
+    :func:`policies_to_payload`) output."""
+    corpus = CrawlCorpus()
+    for gpt_payload in corpus_payload.get("gpts", []):
+        gpt = _gpt_from_dict(gpt_payload)
+        corpus.gpts[gpt.gpt_id] = gpt
+    corpus.store_counts = dict(corpus_payload.get("store_counts", {}))
+    corpus.store_link_counts = dict(corpus_payload.get("store_link_counts", {}))
+    corpus.unresolved_gpt_ids = list(corpus_payload.get("unresolved_gpt_ids", []))
+    if policies_payload:
+        for url, entry in policies_payload.items():
+            corpus.policies[url] = PolicyFetchResult(
+                url=url,
+                status=int(entry.get("status", 0)),
+                text=entry.get("text"),
+                error=entry.get("error"),
+            )
+    return corpus
+
+
+def classification_to_payload(classification: ClassificationResult) -> List[Dict[str, object]]:
+    """The JSON payload of ``classification.json``."""
+    return [
+        {
+            "action_id": label.action_id,
+            "parameter_name": label.parameter_name,
+            "text": label.text,
+            "category": label.category,
+            "data_type": label.data_type,
+        }
+        for label in classification.labels
+    ]
+
+
+def classification_from_payload(payload: List[Dict[str, object]]) -> ClassificationResult:
+    """Rebuild a classification from :func:`classification_to_payload` output."""
+    result = ClassificationResult()
+    for entry in payload:
+        result.add(
+            DescriptionLabel(
+                action_id=str(entry["action_id"]),
+                parameter_name=str(entry["parameter_name"]),
+                text=str(entry.get("text", "")),
+                category=str(entry["category"]),
+                data_type=str(entry["data_type"]),
+            )
+        )
+    return result
+
+
+def save_corpus(
+    corpus: CrawlCorpus,
+    directory: Union[str, Path],
+    classification: Optional[ClassificationResult] = None,
+) -> Path:
+    """Write a corpus (and optional classification) to ``directory``."""
+    target = Path(directory)
+    target.mkdir(parents=True, exist_ok=True)
+
+    (target / _CORPUS_FILE).write_text(
+        json.dumps(corpus_to_payload(corpus), indent=2, ensure_ascii=False),
+        encoding="utf-8",
+    )
+
+    policies_payload = policies_to_payload(corpus)
+    (target / _POLICIES_FILE).write_text(
+        json.dumps(policies_payload, indent=2, ensure_ascii=False), encoding="utf-8"
+    )
+
+    if classification is not None:
+        (target / _CLASSIFICATION_FILE).write_text(
+            json.dumps(classification_to_payload(classification), indent=2, ensure_ascii=False),
+            encoding="utf-8",
+        )
+    return target
+
+
+def load_corpus(directory: Union[str, Path]) -> CrawlCorpus:
+    """Load a corpus previously written by :func:`save_corpus`."""
+    source = Path(directory)
+    corpus_payload = json.loads((source / _CORPUS_FILE).read_text(encoding="utf-8"))
+    policies_path = source / _POLICIES_FILE
+    policies_payload = (
+        json.loads(policies_path.read_text(encoding="utf-8")) if policies_path.exists() else None
+    )
+    return corpus_from_payload(corpus_payload, policies_payload)
+
+
+def load_classification(directory: Union[str, Path]) -> Optional[ClassificationResult]:
+    """Load the classification labels stored alongside a corpus (if any)."""
+    path = Path(directory) / _CLASSIFICATION_FILE
+    if not path.exists():
+        return None
+    return classification_from_payload(json.loads(path.read_text(encoding="utf-8")))

@@ -9,8 +9,8 @@ broader terms — these drive the *vague* consistency label.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 from repro.nlp.stopwords import remove_stopwords
 from repro.nlp.tokenization import normalize_text, tokenize

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import json
 import re
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict, Mapping, Optional, Sequence
 
 #: Marker introducing the machine-readable task name inside a prompt.
 TASK_MARKER = "TASK:"

@@ -21,7 +21,7 @@ pipeline is reproducible.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.llm.base import ChatMessage, LLMClient, LLMResponse, UsageStats, estimate_tokens

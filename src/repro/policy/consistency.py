@@ -9,7 +9,7 @@ label using the precedence rule.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Sequence, Tuple
 
 from repro.llm import prompts
 from repro.llm.base import LLMClient

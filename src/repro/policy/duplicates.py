@@ -13,10 +13,10 @@ import enum
 import re
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence
 
 from repro.crawler.corpus import CrawlCorpus
-from repro.nlp.similarity import near_duplicates, text_jaccard
+from repro.nlp.similarity import near_duplicates
 from repro.web.psl import registrable_domain
 from repro.web.urls import url_host
 

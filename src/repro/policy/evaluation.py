@@ -9,8 +9,8 @@ restricted to Actions whose policy text the generator fully controls.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Iterable, Optional, Set
 
 from repro.ecosystem.models import GroundTruth
 from repro.policy.framework import PolicyConsistencyReport

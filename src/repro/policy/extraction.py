@@ -9,7 +9,7 @@ later consistency step tie every label back to a specific sentence.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Tuple
 
 from repro.llm import prompts
 from repro.llm.base import LLMClient

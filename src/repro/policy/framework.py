@@ -12,7 +12,7 @@ against *all* sentences of the policy — the ablation studied in
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.classification.results import ClassificationResult
 from repro.crawler.corpus import CrawlCorpus

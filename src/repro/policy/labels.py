@@ -10,7 +10,7 @@ clear > vague > ambiguous > incorrect > omitted.
 from __future__ import annotations
 
 import enum
-from typing import Iterable, Optional, Sequence, Tuple
+from typing import Iterable, Tuple
 
 
 class ConsistencyLabel(str, enum.Enum):

@@ -1,6 +1,11 @@
-"""Rendering of the paper's tables and figure series from analysis results."""
+"""Rendering of the paper's tables and figure series from analysis results.
+
+:mod:`repro.reporting.sweep` adds the comparative views for multi-seed /
+multi-scenario sweeps: across-seed summary tables, scenario-vs-baseline
+delta tables, and per-metric figure series.
+"""
 
 from repro.reporting.markdown import format_table, format_percent
-from repro.reporting import tables, figures
+from repro.reporting import tables, figures, sweep
 
-__all__ = ["format_table", "format_percent", "tables", "figures"]
+__all__ = ["format_table", "format_percent", "tables", "figures", "sweep"]

@@ -8,13 +8,12 @@ with any plotting library.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 from repro.analysis.collection import CollectionAnalysis
 from repro.analysis.cooccurrence import CooccurrenceAnalysis
 from repro.analysis.coverage import CoverageAnalysis
 from repro.analysis.disclosure import DisclosureAnalysis, LABEL_ORDER
-from repro.policy.labels import ConsistencyLabel
 
 
 @dataclass

@@ -1,0 +1,145 @@
+"""Rendering of sweep aggregates: comparative tables and figure series.
+
+Operates on the :class:`~repro.experiments.sweep.SweepReport` /
+:class:`~repro.experiments.sweep.MetricSummary` aggregation objects (taken
+duck-typed here to keep reporting free of experiment-layer imports) and
+renders them with the same markdown/figure primitives the single-run tables
+use.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+
+from repro.reporting.figures import FigureSeries
+from repro.reporting.markdown import format_table
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.sweep import MetricSummary, SweepReport
+
+
+def _format_number(value: float) -> str:
+    if float(value).is_integer() and abs(value) < 1e12:
+        return str(int(value))
+    return f"{value:.4f}"
+
+
+def format_summary(summary: "MetricSummary") -> str:
+    """Compact ``mean ±stdev`` cell text for one metric summary."""
+    return f"{_format_number(summary.mean)} ±{_format_number(summary.stdev)}"
+
+
+def render_metric_summaries(summaries: Dict[str, "MetricSummary"]) -> str:
+    """One experiment's across-seed statistics as a markdown table."""
+    rows = [
+        (
+            metric,
+            _format_number(summary.mean),
+            _format_number(summary.stdev),
+            _format_number(summary.min),
+            _format_number(summary.max),
+            summary.n,
+        )
+        for metric, summary in summaries.items()
+    ]
+    return format_table(["Metric", "Mean", "Stdev", "Min", "Max", "Seeds"], rows)
+
+
+def render_scenario_comparison(report: "SweepReport", experiment_id: str) -> str:
+    """One experiment across every scenario: metrics as rows, scenarios as columns."""
+    scenario_names = report.scenario_names()
+    metric_order: List[str] = []
+    per_scenario: Dict[str, Dict[str, "MetricSummary"]] = {}
+    for name in scenario_names:
+        summaries = report.metric_summaries(name, experiment_id)
+        per_scenario[name] = summaries
+        for metric in summaries:
+            if metric not in metric_order:
+                metric_order.append(metric)
+    rows = [
+        [metric]
+        + [
+            format_summary(per_scenario[name][metric]) if metric in per_scenario[name] else "—"
+            for name in scenario_names
+        ]
+        for metric in metric_order
+    ]
+    return format_table(["Metric"] + list(scenario_names), rows)
+
+
+def render_sweep_overview(
+    report: "SweepReport", experiment_ids: Optional[Sequence[str]] = None
+) -> str:
+    """Comparative tables for every experiment in a sweep report."""
+    names = report.scenario_names()
+    if not names:
+        return "(empty sweep report)"
+    if experiment_ids is None:
+        experiment_ids = list(report.scenario(names[0]).experiments)
+    sections = []
+    for experiment_id in experiment_ids:
+        sections.append(f"### {experiment_id}")
+        sections.append(render_scenario_comparison(report, experiment_id))
+        sections.append("")
+    return "\n".join(sections).rstrip()
+
+
+def render_scenario_deltas(
+    report: "SweepReport", baseline: str = "baseline", top_n: int = 0
+) -> str:
+    """Mean shifts of every scenario against the baseline, largest first.
+
+    ``top_n`` truncates to the largest absolute relative shifts (0 keeps
+    everything).  Metrics whose baseline mean is zero report the absolute
+    shift only.
+    """
+    deltas = report.deltas_vs(baseline)
+    if not deltas:
+        return f"(no scenarios to compare against {baseline!r})"
+    deltas = sorted(
+        deltas,
+        key=lambda d: (-(abs(d.relative) if d.relative is not None else abs(d.delta)), d.metric),
+    )
+    if top_n > 0:
+        deltas = deltas[:top_n]
+    rows = [
+        (
+            delta.scenario,
+            delta.experiment_id,
+            delta.metric,
+            _format_number(delta.baseline_mean),
+            _format_number(delta.scenario_mean),
+            f"{delta.delta:+.4f}",
+            f"{delta.relative:+.1%}" if delta.relative is not None else "n/a",
+        )
+        for delta in deltas
+    ]
+    return format_table(
+        ["Scenario", "Experiment", "Metric", baseline, "Scenario", "Delta", "Relative"], rows
+    )
+
+
+def sweep_metric_series(
+    report: "SweepReport", experiment_id: str, metric: str
+) -> List[FigureSeries]:
+    """Across-scenario series for one metric: mean, min, and max by scenario.
+
+    X coordinates are scenario indices in report order (callers label them
+    with :meth:`SweepReport.scenario_names`), so the series plug into the
+    same plotting layer as the paper's figure series.
+    """
+    means: List[tuple] = []
+    mins: List[tuple] = []
+    maxs: List[tuple] = []
+    for index, name in enumerate(report.scenario_names()):
+        summary = report.metric_summaries(name, experiment_id).get(metric)
+        if summary is None:
+            continue
+        means.append((float(index), summary.mean))
+        mins.append((float(index), summary.min))
+        maxs.append((float(index), summary.max))
+    return [
+        FigureSeries(name=f"{metric} (mean)", points=means),
+        FigureSeries(name=f"{metric} (min)", points=mins),
+        FigureSeries(name=f"{metric} (max)", points=maxs),
+    ]

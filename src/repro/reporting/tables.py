@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 from repro.analysis.crawlstats import CrawlStatsAnalysis
 from repro.analysis.collection import CollectionAnalysis

@@ -11,7 +11,7 @@ target of the query.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional
 
 from repro.crawler.corpus import CrawlCorpus, CrawledGPT
 from repro.llm.knowledge import KeywordKnowledgeBase

@@ -12,7 +12,7 @@ following was shared: …" transcripts shown in the paper's Figures 4–6.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.crawler.corpus import CrawledAction, CrawledGPT
 from repro.ecosystem.models import ActionSpecification, GPTManifest

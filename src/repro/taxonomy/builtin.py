@@ -14,7 +14,7 @@ tokens, cryptographic keys, verification codes) is explicitly prohibited.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.taxonomy.schema import DataTaxonomy, DataType, OTHER_CATEGORY, OTHER_TYPE
 

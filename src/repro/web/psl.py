@@ -12,7 +12,7 @@ the PSL semantics (longest matching rule, wildcard and exception rules).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Optional, Set, Tuple
+from typing import Optional, Set, Tuple
 
 from repro.web.urls import split_host, url_host
 

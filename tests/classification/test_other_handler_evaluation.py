@@ -2,13 +2,12 @@
 
 import pytest
 
-from repro.classification.classifier import ClassifierConfig, DataCollectionClassifier
+from repro.classification.classifier import DataCollectionClassifier
 from repro.classification.descriptions import DataDescription, extract_descriptions, sample_descriptions
 from repro.classification.evaluation import (
     evaluate_classifier,
     evaluate_predictions,
     gold_from_examples,
-    gold_from_ground_truth,
 )
 from repro.classification.other_handler import OtherDescriptionHandler, build_refinement_decider
 from repro.classification.results import ClassificationResult, DescriptionLabel

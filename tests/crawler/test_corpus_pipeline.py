@@ -2,7 +2,6 @@
 
 import json
 
-import pytest
 
 from repro.crawler.corpus import CrawlCorpus, CrawledAction, CrawledGPT
 from repro.crawler.pipeline import CrawlPipeline

@@ -11,7 +11,6 @@ from repro.crawler.engine import (
     FIFOTaskQueue,
     HostRateLimiter,
     LIFOTaskQueue,
-    TaskOutcome,
     TokenBucket,
 )
 

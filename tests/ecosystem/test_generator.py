@@ -1,6 +1,5 @@
 """Tests for the master ecosystem generator and its calibration."""
 
-import statistics
 from collections import Counter
 
 import pytest

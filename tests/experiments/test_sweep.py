@@ -1,0 +1,301 @@
+"""Tests for the multi-seed / multi-scenario sweep engine."""
+
+import json
+
+import pytest
+
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    run_all_sweep_experiments,
+    run_sweep_experiment,
+)
+from repro.experiments.sweep import (
+    BUILTIN_SCENARIOS,
+    CellResult,
+    MetricSummary,
+    Scenario,
+    SweepRunner,
+    aggregate_cells,
+    expand_grid,
+    run_sweep,
+)
+from repro.io import ArtifactStore, canonical_json
+
+#: Small, fast sweep shape shared by the engine tests.
+SCENARIOS = ["baseline", "flaky-hosts"]
+SEEDS = 2
+GPTS = 90
+EXPERIMENT_IDS = ["table1", "policy_stats"]
+
+
+def _canonical(result) -> str:
+    """Canonical JSON of a sweep's measured values, for identity checks."""
+    return canonical_json(
+        [(cell.cell_id, cell.experiments) for cell in result.cells]
+    )
+
+
+@pytest.fixture(scope="module")
+def reference_result():
+    """An uncached sequential sweep every identity test compares against."""
+    return run_sweep(SCENARIOS, SEEDS, n_gpts=GPTS, experiment_ids=EXPERIMENT_IDS)
+
+
+class TestScenarios:
+    def test_builtin_scenarios_include_the_documented_set(self):
+        assert {
+            "baseline",
+            "flaky-hosts",
+            "large-store",
+            "dense-duplicates",
+            "sparse-policies",
+        } <= set(BUILTIN_SCENARIOS)
+
+    def test_overrides_reach_the_ecosystem_config(self):
+        scenario = BUILTIN_SCENARIOS["flaky-hosts"]
+        config = scenario.ecosystem_config(200, seed=5)
+        assert config.dead_link_rate == pytest.approx(0.08)
+        assert config.seed == 5
+
+    def test_gpt_multiplier_scales_the_corpus(self):
+        scenario = BUILTIN_SCENARIOS["large-store"]
+        assert scenario.effective_gpts(200) == 300
+        assert scenario.ecosystem_config(200, seed=0).n_gpts == 300
+
+    def test_unknown_override_is_rejected(self):
+        scenario = Scenario("bad", ecosystem_overrides={"no_such_field": 1})
+        with pytest.raises(ValueError):
+            scenario.ecosystem_config(100, seed=0)
+
+
+class TestExpandGrid:
+    def test_scenario_major_ordering_and_seed_numbering(self):
+        cells = expand_grid(["baseline", "flaky-hosts"], 2, base_seed=7, n_gpts=50)
+        assert [cell.cell_id for cell in cells] == [
+            "baseline/seed7",
+            "baseline/seed8",
+            "flaky-hosts/seed7",
+            "flaky-hosts/seed8",
+        ]
+
+    def test_unknown_scenario(self):
+        with pytest.raises(ValueError, match="unknown scenario"):
+            expand_grid(["nope"], 1)
+
+    def test_empty_grid_is_rejected(self):
+        with pytest.raises(ValueError):
+            expand_grid([], 1)
+        with pytest.raises(ValueError):
+            expand_grid(["baseline"], 0)
+
+    def test_fingerprints_differ_across_cells(self):
+        cells = expand_grid(["baseline", "flaky-hosts"], 2, n_gpts=50)
+        fingerprints = {cell.stage_fingerprint("corpus") for cell in cells}
+        assert len(fingerprints) == len(cells)
+
+    def test_fingerprint_is_stage_sensitive(self):
+        (cell,) = expand_grid(["baseline"], 1, n_gpts=50)
+        assert cell.stage_fingerprint("corpus") != cell.stage_fingerprint("results")
+
+
+class TestAggregation:
+    def _cells(self):
+        return [
+            CellResult("a/seed0", "a", 0, {"exp": {"m": 1.0, "label": "x"}}),
+            CellResult("a/seed1", "a", 1, {"exp": {"m": 3.0, "label": "y"}}),
+            CellResult("b/seed0", "b", 0, {"exp": {"m": 4.0}}),
+        ]
+
+    def test_mean_stdev_min_max(self):
+        report = aggregate_cells(self._cells())
+        summary = report.metric_summaries("a", "exp")["m"]
+        assert summary.mean == pytest.approx(2.0)
+        assert summary.stdev == pytest.approx(1.0)
+        assert (summary.min, summary.max, summary.n) == (1.0, 3.0, 2)
+
+    def test_non_numeric_metrics_are_not_aggregated(self):
+        report = aggregate_cells(self._cells())
+        assert "label" not in report.metric_summaries("a", "exp")
+
+    def test_scenario_order_is_first_appearance(self):
+        report = aggregate_cells(self._cells())
+        assert report.scenario_names() == ["a", "b"]
+
+    def test_deltas_vs_baseline(self):
+        cells = self._cells()
+        cells[0].scenario = cells[1].scenario = "baseline"
+        for cell in cells[:2]:
+            cell.cell_id = cell.cell_id.replace("a/", "baseline/")
+        report = aggregate_cells(cells)
+        (delta,) = report.deltas_vs("baseline")
+        assert delta.scenario == "b"
+        assert delta.delta == pytest.approx(2.0)
+        assert delta.relative == pytest.approx(1.0)
+
+    def test_deltas_without_baseline_scenario(self):
+        report = aggregate_cells(self._cells())
+        assert report.deltas_vs("missing") == []
+
+    def test_summary_from_values(self):
+        summary = MetricSummary.from_values("m", [2.0, 2.0, 2.0])
+        assert summary.stdev == 0.0
+        assert summary.mean == 2.0
+
+
+class TestSweepRunnerCaching:
+    def test_cold_run_misses_then_warm_run_hits(self, tmp_path, reference_result):
+        store = ArtifactStore(tmp_path / "cache")
+        cells = expand_grid(SCENARIOS, SEEDS, n_gpts=GPTS)
+        cold = SweepRunner(cells, store=store, experiment_ids=EXPERIMENT_IDS).run()
+        assert cold.n_from_cache == 0
+        assert store.statistics.n_hits == 0
+        assert store.statistics.n_writes > 0
+        assert _canonical(cold) == _canonical(reference_result)
+
+        warm_store = ArtifactStore(tmp_path / "cache")
+        warm = SweepRunner(cells, store=warm_store, experiment_ids=EXPERIMENT_IDS).run()
+        assert warm.n_from_cache == warm.n_cells == len(cells)
+        assert warm_store.statistics.n_writes == 0
+        assert warm_store.statistics.hit_rate == 1.0
+        assert _canonical(warm) == _canonical(reference_result)
+
+    def test_changed_configuration_is_a_miss(self, tmp_path):
+        store = ArtifactStore(tmp_path / "cache")
+        SweepRunner(
+            expand_grid(["baseline"], 1, n_gpts=GPTS),
+            store=store,
+            experiment_ids=["table1"],
+        ).run()
+        writes = store.statistics.n_writes
+        # A different scale addresses different artifacts: no hits, new writes.
+        rescaled = SweepRunner(
+            expand_grid(["baseline"], 1, n_gpts=GPTS + 10),
+            store=store,
+            experiment_ids=["table1"],
+        ).run()
+        assert rescaled.n_from_cache == 0
+        assert store.statistics.n_writes > writes
+
+    def test_experiment_set_is_part_of_the_results_key(self, tmp_path):
+        store = ArtifactStore(tmp_path / "cache")
+        cells = expand_grid(["baseline"], 1, n_gpts=GPTS)
+        SweepRunner(cells, store=store, experiment_ids=["table1"]).run()
+        # A table1-only run never materializes (and must not cache or even
+        # compute) the classification stage.
+        assert store.count("classification") == 0
+        widened = SweepRunner(
+            cells, store=store, experiment_ids=["table1", "policy_stats"]
+        ).run()
+        # The full-cell result must be recomputed, but the expensive corpus
+        # stage comes straight from the cache; the widened experiment set
+        # computes and caches classification for the first time.
+        assert widened.n_from_cache == 0
+        assert widened.cells[0].stage_hits == ["corpus"]
+        assert store.count("classification") == 1
+
+    def test_kill_and_resume_matches_an_uninterrupted_run(self, tmp_path, reference_result):
+        store_dir = tmp_path / "cache"
+        cells = expand_grid(SCENARIOS, SEEDS, n_gpts=GPTS)
+        # "Kill" after two cells: only a prefix of the grid gets cached.
+        SweepRunner(
+            cells[:2], store=ArtifactStore(store_dir), experiment_ids=EXPERIMENT_IDS
+        ).run()
+        resumed = SweepRunner(
+            cells, store=ArtifactStore(store_dir), experiment_ids=EXPERIMENT_IDS
+        ).run()
+        assert resumed.n_from_cache == 2
+        assert _canonical(resumed) == _canonical(reference_result)
+        assert canonical_json(
+            [vars(summary) for summary in _flatten(resumed.report())]
+        ) == canonical_json([vars(summary) for summary in _flatten(reference_result.report())])
+
+    def test_truncated_artifact_is_recomputed(self, tmp_path, reference_result):
+        store_dir = tmp_path / "cache"
+        cells = expand_grid(SCENARIOS, SEEDS, n_gpts=GPTS)
+        SweepRunner(
+            cells, store=ArtifactStore(store_dir), experiment_ids=EXPERIMENT_IDS
+        ).run()
+        # Simulate a writer killed mid-write on every results artifact.
+        store = ArtifactStore(store_dir)
+        for record in list(store.iter_records("results")):
+            record.path.write_text(record.path.read_text()[:17])
+        rerun = SweepRunner(cells, store=store, experiment_ids=EXPERIMENT_IDS).run()
+        assert rerun.n_from_cache == 0
+        assert _canonical(rerun) == _canonical(reference_result)
+
+
+class TestSweepRunnerDeterminism:
+    @pytest.mark.parametrize("workers", [0, 3])
+    def test_identical_at_any_worker_count(self, workers, reference_result):
+        result = run_sweep(
+            SCENARIOS, SEEDS, n_gpts=GPTS, workers=workers, experiment_ids=EXPERIMENT_IDS
+        )
+        assert _canonical(result) == _canonical(reference_result)
+
+    def test_identical_with_and_without_cache(self, tmp_path, reference_result):
+        result = run_sweep(
+            SCENARIOS,
+            SEEDS,
+            n_gpts=GPTS,
+            workers=4,
+            cache_dir=str(tmp_path / "cache"),
+            experiment_ids=EXPERIMENT_IDS,
+        )
+        assert _canonical(result) == _canonical(reference_result)
+
+    def test_results_are_plain_json(self, reference_result):
+        payload = json.loads(_canonical(reference_result))
+        assert isinstance(payload, list) and payload
+
+
+class TestSweepRunnerErrors:
+    def test_duplicate_cells_are_rejected(self):
+        cells = expand_grid(["baseline"], 1, n_gpts=GPTS)
+        with pytest.raises(ValueError, match="unique"):
+            SweepRunner(cells + cells)
+
+    def test_unknown_experiment_ids_are_rejected(self):
+        cells = expand_grid(["baseline"], 1, n_gpts=GPTS)
+        with pytest.raises(ValueError, match="unknown experiment"):
+            SweepRunner(cells, experiment_ids=["table99"])
+
+    def test_failing_cell_surfaces_its_id(self, monkeypatch):
+        def explode(suite):
+            raise RuntimeError("boom")
+
+        monkeypatch.setitem(EXPERIMENTS, "exploding", explode)
+        cells = expand_grid(["baseline"], 1, n_gpts=GPTS)
+        runner = SweepRunner(cells, experiment_ids=["exploding"])
+        with pytest.raises(RuntimeError, match="baseline/seed0"):
+            runner.run()
+
+
+class TestSweepExperimentVariants:
+    def test_every_experiment_has_a_sweep_variant(self, reference_result):
+        results = run_all_sweep_experiments(reference_result.report())
+        assert {result.experiment_id for result in results} == {
+            f"{experiment_id}@sweep" for experiment_id in EXPERIMENTS
+        }
+
+    def test_variant_reports_means_and_spread(self, reference_result):
+        report = reference_result.report()
+        result = run_sweep_experiment("table1", report)
+        summary = report.metric_summaries("baseline", "table1")["total_unique_gpts"]
+        assert result.measured_values["total_unique_gpts"] == pytest.approx(summary.mean)
+        assert result.measured_values["total_unique_gpts:stdev"] == pytest.approx(summary.stdev)
+        assert "flaky-hosts" in result.artifact
+
+    def test_variant_paper_comparison_rows(self, reference_result):
+        result = run_sweep_experiment("table1", reference_result.report())
+        metrics = [metric for metric, _, _ in result.comparison_rows()]
+        assert "total_unique_gpts" in metrics
+
+
+def _flatten(report):
+    """Every MetricSummary in a report, in deterministic order."""
+    return [
+        summary
+        for aggregate in report.scenarios
+        for summaries in aggregate.experiments.values()
+        for summary in summaries.values()
+    ]

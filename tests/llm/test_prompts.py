@@ -1,6 +1,5 @@
 """Tests for prompt rendering and response parsing."""
 
-import json
 
 import pytest
 

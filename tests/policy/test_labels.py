@@ -1,6 +1,5 @@
 """Tests for consistency labels and the precedence rule."""
 
-import pytest
 from hypothesis import given, strategies as st
 
 from repro.policy.labels import (

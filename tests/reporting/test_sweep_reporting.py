@@ -1,0 +1,73 @@
+"""Tests for the sweep report renderers (tables, deltas, figure series)."""
+
+import pytest
+
+from repro.experiments.sweep import CellResult, aggregate_cells
+from repro.reporting.sweep import (
+    format_summary,
+    render_metric_summaries,
+    render_scenario_comparison,
+    render_scenario_deltas,
+    render_sweep_overview,
+    sweep_metric_series,
+)
+
+
+@pytest.fixture()
+def report():
+    return aggregate_cells(
+        [
+            CellResult("baseline/seed0", "baseline", 0, {"exp": {"m": 1.0, "k": 10.0}}),
+            CellResult("baseline/seed1", "baseline", 1, {"exp": {"m": 3.0, "k": 10.0}}),
+            CellResult("stress/seed0", "stress", 0, {"exp": {"m": 4.0}}),
+            CellResult("stress/seed1", "stress", 1, {"exp": {"m": 6.0}}),
+        ]
+    )
+
+
+class TestSummaryTables:
+    def test_format_summary(self, report):
+        summary = report.metric_summaries("baseline", "exp")["m"]
+        assert format_summary(summary) == "2 ±1"
+
+    def test_render_metric_summaries(self, report):
+        table = render_metric_summaries(report.metric_summaries("baseline", "exp"))
+        assert "Mean" in table and "Stdev" in table
+        assert "| m" in table
+
+    def test_scenario_comparison_marks_missing_metrics(self, report):
+        table = render_scenario_comparison(report, "exp")
+        assert "baseline" in table and "stress" in table
+        # "k" is only measured in the baseline scenario.
+        row = next(line for line in table.splitlines() if line.startswith("| k"))
+        assert "—" in row
+
+    def test_overview_renders_every_experiment(self, report):
+        overview = render_sweep_overview(report)
+        assert "### exp" in overview
+
+
+class TestDeltaTables:
+    def test_deltas_sorted_by_relative_shift(self, report):
+        table = render_scenario_deltas(report, baseline="baseline")
+        assert "stress" in table
+        assert "+150.0%" in table  # m: mean 2 -> mean 5
+
+    def test_top_n_truncates(self, report):
+        table = render_scenario_deltas(report, baseline="baseline", top_n=1)
+        assert table.count("| stress") == 1
+
+    def test_missing_baseline(self, report):
+        assert "no scenarios" in render_scenario_deltas(report, baseline="nope")
+
+
+class TestFigureSeries:
+    def test_series_cover_scenarios_in_order(self, report):
+        mean, minimum, maximum = sweep_metric_series(report, "exp", "m")
+        assert [point for point in mean.points] == [(0.0, 2.0), (1.0, 5.0)]
+        assert minimum.points[1] == (1.0, 4.0)
+        assert maximum.points[1] == (1.0, 6.0)
+
+    def test_missing_metric_yields_empty_series(self, report):
+        mean, _, _ = sweep_metric_series(report, "exp", "nope")
+        assert mean.points == []

@@ -1,6 +1,5 @@
 """Tests for the built-in (final) taxonomy — Table 8 of the paper."""
 
-import pytest
 
 from repro.taxonomy.builtin import (
     CATEGORY_DESCRIPTIONS,

@@ -54,6 +54,44 @@ class TestCommands:
         for known in ("table1", "figure9"):
             assert known in err
 
+    def test_sweep_smoke(self, capsys, tmp_path):
+        cache = tmp_path / "cache"
+        argv = [
+            "--gpts", "90", "--seed", "2", "sweep",
+            "--scenarios", "baseline,flaky-hosts", "--seeds", "2",
+            "--workers", "2", "--experiments", "table1",
+            "--cache-dir", str(cache),
+        ]
+        assert main(argv) == 0
+        output = capsys.readouterr().out
+        assert "4 cells" in output
+        assert "baseline/seed2: computed" in output
+        assert "flaky-hosts" in output
+        assert "total_unique_gpts" in output
+
+        # An unchanged grid re-run resumes entirely from the cache.
+        assert main(argv + ["--resume", "--report"]) == 0
+        output = capsys.readouterr().out
+        assert "Cache: 4/4 cells" in output
+        assert "hit rate 100%" in output
+        assert "## Scenario deltas vs baseline" in output
+        assert "## Paper comparison" in output
+
+    def test_sweep_resume_requires_cache_dir(self, capsys):
+        assert main(["sweep", "--resume"]) == 2
+        assert "--resume requires --cache-dir" in capsys.readouterr().err
+
+    def test_sweep_resume_requires_existing_cache(self, capsys, tmp_path):
+        argv = ["sweep", "--resume", "--cache-dir", str(tmp_path / "empty")]
+        assert main(argv) == 2
+        assert "no cached artifacts" in capsys.readouterr().err
+
+    def test_sweep_unknown_scenario(self, capsys):
+        assert main(["sweep", "--scenarios", "nope"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown scenario" in err
+        assert "baseline" in err
+
     def test_export_writes_dataset(self, capsys, tmp_path):
         target = tmp_path / "dataset"
         assert main(["--gpts", "150", "--seed", "5", "export", str(target)]) == 0

@@ -1,8 +1,21 @@
-"""Tests for corpus persistence (save/load round-trips)."""
+"""Tests for corpus persistence and the content-addressed artifact store."""
+
+import json
+import threading
 
 import pytest
 
-from repro.io import load_classification, load_corpus, save_corpus
+from repro.io import (
+    ArtifactStore,
+    canonical_json,
+    config_fingerprint,
+    corpus_from_payload,
+    corpus_to_payload,
+    load_classification,
+    load_corpus,
+    policies_to_payload,
+    save_corpus,
+)
 
 
 class TestCorpusPersistence:
@@ -66,3 +79,93 @@ class TestCorpusPersistence:
         original_tools = analyze_tool_usage(small_corpus)
         restored_tools = analyze_tool_usage(restored)
         assert restored_tools.tool_shares == pytest.approx(original_tools.tool_shares)
+
+
+class TestPayloadRoundTrips:
+    def test_corpus_payload_roundtrip(self, small_corpus):
+        restored = corpus_from_payload(
+            corpus_to_payload(small_corpus), policies_to_payload(small_corpus)
+        )
+        assert len(restored.gpts) == len(small_corpus.gpts)
+        assert restored.store_counts == small_corpus.store_counts
+        assert set(restored.policies) == set(small_corpus.policies)
+        for url in small_corpus.policies:
+            assert restored.policy_text(url) == small_corpus.policy_text(url)
+
+    def test_payload_roundtrip_is_canonical_stable(self, small_corpus):
+        payload = corpus_to_payload(small_corpus)
+        restored = corpus_from_payload(payload, policies_to_payload(small_corpus))
+        assert canonical_json(corpus_to_payload(restored)) == canonical_json(payload)
+
+
+class TestFingerprints:
+    def test_key_order_does_not_matter(self):
+        assert config_fingerprint({"a": 1, "b": 2}) == config_fingerprint({"b": 2, "a": 1})
+
+    def test_value_changes_do(self):
+        assert config_fingerprint({"a": 1}) != config_fingerprint({"a": 2})
+
+    def test_canonical_json_has_no_whitespace(self):
+        assert canonical_json({"b": [1, 2], "a": "x"}) == '{"a":"x","b":[1,2]}'
+
+
+class TestArtifactStore:
+    def test_put_get_roundtrip_and_counters(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        fingerprint = config_fingerprint({"n": 1})
+        assert store.get("corpus", fingerprint) is None
+        store.put("corpus", fingerprint, {"value": 7})
+        assert store.get("corpus", fingerprint) == {"value": 7}
+        assert store.statistics.n_misses == 1
+        assert store.statistics.n_hits == 1
+        assert store.statistics.n_writes == 1
+        assert store.statistics.hit_rate == pytest.approx(0.5)
+
+    def test_layout_is_sharded_by_fingerprint_prefix(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        fingerprint = config_fingerprint({"n": 1})
+        path = store.put("results", fingerprint, [1, 2])
+        assert path == tmp_path / "results" / fingerprint[:2] / f"{fingerprint}.json"
+        assert store.has("results", fingerprint)
+
+    def test_corrupt_artifact_is_a_miss_and_removed(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        fingerprint = config_fingerprint({"n": 1})
+        path = store.put("results", fingerprint, [1, 2])
+        path.write_text('{"kind": "results", "fing')  # killed mid-write
+        assert store.get("results", fingerprint) is None
+        assert not path.exists()
+
+    def test_envelope_without_payload_is_a_miss(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        fingerprint = config_fingerprint({"n": 1})
+        path = store.path_for("results", fingerprint)
+        path.parent.mkdir(parents=True)
+        path.write_text(json.dumps({"kind": "results"}))
+        assert store.get("results", fingerprint) is None
+
+    def test_iter_records_count_and_clear(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.put("corpus", config_fingerprint({"n": 1}), {})
+        store.put("corpus", config_fingerprint({"n": 2}), {})
+        store.put("results", config_fingerprint({"n": 1}), {})
+        assert store.count() == 3
+        assert store.count("corpus") == 2
+        kinds = {record.kind for record in store.iter_records()}
+        assert kinds == {"corpus", "results"}
+        assert store.clear("corpus") == 2
+        assert store.count() == 1
+
+    def test_concurrent_writers_race_to_an_identical_file(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        fingerprint = config_fingerprint({"n": 1})
+        threads = [
+            threading.Thread(target=store.put, args=("results", fingerprint, {"v": 1}))
+            for _ in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert store.get("results", fingerprint) == {"v": 1}
+        assert store.statistics.n_writes == 8
