@@ -13,7 +13,14 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 ## second time by the plain test run.
 PERF_BENCHES := $(wildcard benchmarks/test_bench_perf_*.py)
 
-.PHONY: test lint perf perf-nlp perf-crawl perf-sweep perf-check ci
+.PHONY: test lint perf perf-nlp perf-crawl perf-sweep perf-scale perf-check coverage ci
+
+## Minimum total line coverage (percent) enforced by `make coverage`.
+## Recorded when the coverage gate landed (measured ~95% total line
+## coverage; the floor leaves margin for counting differences across
+## coverage.py versions).  Raise it as coverage grows, never lower it to
+## paper over a regression.
+COVERAGE_BASELINE ?= 90
 
 ## tier-1: the full test suite (the driver's acceptance gate runs the bare
 ## command, which also collects the perf benchmarks; `make ci` runs the perf
@@ -27,6 +34,13 @@ test:
 ## gate is skipped with a notice; the CI workflow installs ruff and
 ## enforces it for real.
 lint:
+	@staged="$$(git ls-files | grep -E '(^|/)__pycache__/|\.py[co]$$' || true)"; \
+	if [ -n "$$staged" ]; then \
+		echo "ERROR: compiled bytecode is tracked by git:"; \
+		echo "$$staged"; \
+		echo "run: git rm -r --cached <paths> (and check .gitignore)"; \
+		exit 1; \
+	fi
 	@if command -v ruff >/dev/null 2>&1; then \
 		ruff check . && ruff format --check .; \
 	else \
@@ -45,8 +59,24 @@ perf-crawl:
 perf-sweep:
 	$(PYTHON) -m pytest benchmarks/test_bench_perf_sweep.py -q -s
 
-perf: perf-nlp perf-crawl perf-sweep
+perf-scale:
+	$(PYTHON) -m pytest benchmarks/test_bench_perf_scale.py -q -s
+
+perf: perf-nlp perf-crawl perf-sweep perf-scale
 	$(PYTHON) benchmarks/perf_report.py
+
+## coverage gate: total line coverage of repro/ must stay at or above
+## COVERAGE_BASELINE.  Skipped with a notice when coverage.py is missing
+## (this container ships without it); the CI coverage job installs it and
+## enforces the floor for real.
+coverage:
+	@if $(PYTHON) -c "import coverage" 2>/dev/null; then \
+		$(PYTHON) -m coverage run --source=repro -m pytest -q \
+			$(foreach bench,$(PERF_BENCHES),--ignore=$(bench)) && \
+		$(PYTHON) -m coverage report --fail-under=$(COVERAGE_BASELINE); \
+	else \
+		echo "coverage not installed; skipping (the CI coverage job installs and runs it)"; \
+	fi
 
 ## regression gate: every fresh BENCH_*.json timing must stay within 1.5x
 ## of the baseline committed at HEAD (new benchmarks are skipped until

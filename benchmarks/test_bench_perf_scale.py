@@ -1,0 +1,280 @@
+"""Timed scale benchmarks for the sharded corpus store + streaming engine.
+
+Measures the properties that make the sharded data layer safe to use at
+100k-GPT scale and records them in ``BENCH_scale.json``:
+
+* ``scale_2000_stream_vs_single`` — at the paper's 2000-GPT scale, fused
+  one-pass streaming analysis over the shard store versus materializing the
+  corpus and running the single-pass analyzers.  Sharding must cost nothing
+  here (parity within noise); the asserted bound is "not slower than 2x".
+* ``scale_50k_stream_vs_single`` — the same comparison at a 50k-GPT stress
+  scale (run in a subprocess so its peak RSS is measured in isolation);
+  here streaming must actually *win*, because the materialized corpus no
+  longer fits comfortably.
+* ``peak_rss_mb_50k_vs_2000`` — peak RSS of a 50k-GPT *sharded* ingest +
+  analysis run versus a 2000-GPT *unsharded* generate + crawl + analysis
+  run, both measured as child processes via ``resource.ru_maxrss``.  The
+  acceptance bound: the 50k sharded run stays under **2x** the 2000
+  unsharded run's peak.  (This record's "timings" are megabytes, which also
+  turns the CI perf gate into a memory-regression gate for the ingest
+  path.)
+
+Alongside the timings, the 50k run asserts the streaming results are
+**byte-identical** (canonical JSON) to the single-pass results on the
+materialized corpus — the invariant that makes the sharded path safe for
+paper numbers — and the verdict is persisted under ``invariants`` in
+``BENCH_scale.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import pytest
+
+from perf_report import REPO_ROOT, PerfReport
+
+from repro.analysis import (
+    analyze_cooccurrence,
+    analyze_crawl_stats,
+    analyze_multi_action,
+    analyze_tool_usage,
+    build_party_index,
+)
+from repro.analysis.streaming import analyze_shards
+from repro.crawler.pipeline import CrawlPipeline
+from repro.ecosystem.config import EcosystemConfig
+from repro.ecosystem.generator import EcosystemGenerator
+from repro.io.shards import ShardedCorpusStore
+
+REPORT = PerfReport("scale")
+
+#: The paper's corpus scale and the stress scale of the acceptance bound.
+PAPER_GPTS = 2000
+STRESS_GPTS = 50_000
+SEED = 17
+SHARDS_PAPER = 16
+SHARDS_STRESS = 64
+WORKERS = 4
+
+#: Invariant verdicts persisted next to the timing records.
+INVARIANTS = {}
+
+#: The analyses both paths run (the corpus-stream group; classification at
+#: 50k would dominate the measurement with identical work on both sides).
+_ANALYSES = ["crawl_stats", "tool_usage", "multi_action", "cooccurrence"]
+
+
+def _single_pass(corpus):
+    party = build_party_index(corpus)
+    return {
+        "crawl_stats": analyze_crawl_stats(corpus),
+        "tool_usage": analyze_tool_usage(corpus, party),
+        "multi_action": analyze_multi_action(corpus),
+        "cooccurrence": analyze_cooccurrence(corpus),
+    }
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _emit_report():
+    """Print the timing table and write BENCH_scale.json after the module."""
+    yield
+    print()
+    print(REPORT.format_table())
+    path = REPORT.write()
+    # Persist the invariant verdicts (byte-identity, RSS ratio) alongside
+    # the timing records; perf_report's loader ignores unknown keys.
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    payload["invariants"] = INVARIANTS
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {path}")
+
+
+# ---------------------------------------------------------------------------
+# Child-process probes (isolated peak-RSS measurement)
+# ---------------------------------------------------------------------------
+_CHILD_UNSHARDED_2000 = f"""
+import json, resource, time
+t0 = time.monotonic()
+from repro.ecosystem.config import EcosystemConfig
+from repro.ecosystem.generator import EcosystemGenerator
+from repro.crawler.pipeline import CrawlPipeline
+from repro.analysis import (analyze_crawl_stats, analyze_tool_usage,
+    analyze_multi_action, analyze_cooccurrence, build_party_index)
+ecosystem = EcosystemGenerator(
+    EcosystemConfig.paper_calibrated(n_gpts={PAPER_GPTS}, seed={SEED})
+).generate()
+corpus = CrawlPipeline.from_ecosystem(ecosystem, seed={SEED}).run()
+party = build_party_index(corpus)
+results = [analyze_crawl_stats(corpus), analyze_tool_usage(corpus, party),
+           analyze_multi_action(corpus), analyze_cooccurrence(corpus)]
+print(json.dumps({{
+    "rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+    "wall_s": time.monotonic() - t0,
+    "n_gpts": results[0].total_unique_gpts,
+}}))
+"""
+
+_CHILD_SHARDED_50K = f"""
+import json, resource, tempfile, time
+from repro.ecosystem.config import EcosystemConfig
+from repro.ecosystem.generator import generate_sharded_corpus
+from repro.analysis.streaming import analyze_shards
+from repro.analysis import (analyze_crawl_stats, analyze_tool_usage,
+    analyze_multi_action, analyze_cooccurrence, build_party_index)
+from repro.io import canonical_json
+
+def fingerprint(results):
+    stats = results["crawl_stats"]
+    tools = results["tool_usage"]
+    multi = results["multi_action"]
+    graph = results["cooccurrence"]
+    return canonical_json({{
+        "gpts": stats.total_unique_gpts,
+        "actions": stats.n_unique_actions,
+        "availability": stats.policy_availability,
+        "tool_shares": tools.tool_shares,
+        "distribution": multi.action_count_distribution,
+        "cross_domain": multi.cross_domain_share,
+        "edges": graph.n_edges,
+        "nodes": graph.n_nodes,
+        "top": graph.top_by_weighted_degree(10),
+    }})
+
+with tempfile.TemporaryDirectory() as root:
+    t0 = time.monotonic()
+    store = generate_sharded_corpus(
+        root,
+        config=EcosystemConfig.paper_calibrated(n_gpts={STRESS_GPTS}, seed={SEED}),
+        n_shards={SHARDS_STRESS},
+        flush_every=500,
+    )
+    ingest_s = time.monotonic() - t0
+
+    t0 = time.monotonic()
+    streamed = analyze_shards(store, names={_ANALYSES!r}, workers={WORKERS})
+    stream_s = time.monotonic() - t0
+    # Peak RSS of the *sharded* phase: sampled before the single-pass
+    # baseline below materializes the whole 50k corpus (ru_maxrss is a
+    # process-lifetime high-water mark).
+    rss_sharded_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+
+    t0 = time.monotonic()
+    corpus = store.load_corpus()
+    party = build_party_index(corpus)
+    single = {{
+        "crawl_stats": analyze_crawl_stats(corpus),
+        "tool_usage": analyze_tool_usage(corpus, party),
+        "multi_action": analyze_multi_action(corpus),
+        "cooccurrence": analyze_cooccurrence(corpus),
+    }}
+    single_s = time.monotonic() - t0
+
+print(json.dumps({{
+    "rss_kb": rss_sharded_kb,
+    "rss_with_materialize_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+    "ingest_s": ingest_s,
+    "stream_s": stream_s,
+    "single_s": single_s,
+    "identical": fingerprint(streamed) == fingerprint(single),
+    "n_gpts": single["crawl_stats"].total_unique_gpts,
+}}))
+"""
+
+
+def _run_child(code: str) -> dict:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + (os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    completed = subprocess.run(
+        [sys.executable, "-c", code], capture_output=True, text=True, env=env, check=True
+    )
+    return json.loads(completed.stdout.strip().splitlines()[-1])
+
+
+@pytest.fixture(scope="module")
+def child_metrics():
+    """Run both child probes once and share their measurements."""
+    unsharded = _run_child(_CHILD_UNSHARDED_2000)
+    sharded = _run_child(_CHILD_SHARDED_50K)
+    assert unsharded["n_gpts"] == PAPER_GPTS
+    assert sharded["n_gpts"] == STRESS_GPTS
+    return {"unsharded_2000": unsharded, "sharded_50k": sharded}
+
+
+# ---------------------------------------------------------------------------
+# Benchmarks
+# ---------------------------------------------------------------------------
+def test_paper_scale_stream_parity(tmp_path):
+    """At 2000 GPTs, streaming from shards matches materialize-and-analyze."""
+    ecosystem = EcosystemGenerator(
+        EcosystemConfig.paper_calibrated(n_gpts=PAPER_GPTS, seed=SEED)
+    ).generate()
+    corpus = CrawlPipeline.from_ecosystem(ecosystem, seed=SEED).run()
+    store = ShardedCorpusStore.write_corpus(corpus, tmp_path / "shards", n_shards=SHARDS_PAPER)
+
+    def best(fn, repeats=5):
+        timings = []
+        result = None
+        for _ in range(repeats):
+            start = time.monotonic()
+            result = fn()
+            timings.append(time.monotonic() - start)
+        return min(timings), result
+
+    single_s, _ = best(lambda: _single_pass(store.load_corpus()))
+    stream_s, _ = best(lambda: analyze_shards(store, names=_ANALYSES, workers=WORKERS))
+
+    entry = REPORT.record(
+        "scale_2000_stream_vs_single",
+        baseline_s=single_s,
+        optimized_s=stream_s,
+        items=PAPER_GPTS,
+    )
+    # Sharding must be free at paper scale: parity within noise, never a
+    # slowdown past 2x.
+    assert entry.speedup >= 0.5, (
+        f"streaming {entry.speedup:.2f}x vs single-pass at paper scale "
+        "(must stay within 2x)"
+    )
+
+
+def test_stress_scale_stream_beats_single(child_metrics):
+    """At 50k GPTs, fused streaming beats materialize-and-analyze."""
+    sharded = child_metrics["sharded_50k"]
+    entry = REPORT.record(
+        "scale_50k_stream_vs_single",
+        baseline_s=sharded["single_s"],
+        optimized_s=sharded["stream_s"],
+        items=STRESS_GPTS,
+    )
+    INVARIANTS["byte_identical_50k"] = bool(sharded["identical"])
+    assert sharded["identical"], "sharded vs single-pass results diverged at 50k"
+    assert entry.speedup > 1.05, (
+        f"streaming only {entry.speedup:.2f}x vs single-pass at stress scale"
+    )
+
+
+def test_peak_rss_bounded(child_metrics):
+    """The 50k sharded run stays under 2x the 2000 unsharded run's peak RSS."""
+    rss_2000_mb = child_metrics["unsharded_2000"]["rss_kb"] / 1024.0
+    rss_50k_mb = child_metrics["sharded_50k"]["rss_kb"] / 1024.0
+    REPORT.record(
+        "peak_rss_mb_50k_vs_2000",
+        baseline_s=rss_2000_mb,
+        optimized_s=rss_50k_mb,
+        items=STRESS_GPTS,
+    )
+    ratio = rss_50k_mb / rss_2000_mb
+    INVARIANTS["rss_ratio_50k_over_2000"] = round(ratio, 3)
+    INVARIANTS["ingest_50k_s"] = round(child_metrics["sharded_50k"]["ingest_s"], 3)
+    assert ratio < 2.0, (
+        f"50k sharded peak RSS {rss_50k_mb:.0f}MB exceeds 2x the 2000-GPT "
+        f"unsharded run's {rss_2000_mb:.0f}MB"
+    )

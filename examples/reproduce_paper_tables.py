@@ -13,48 +13,15 @@ from __future__ import annotations
 
 import argparse
 from pathlib import Path
-from typing import List
 
 from repro.analysis.suite import MeasurementSuite, SuiteConfig
-from repro.experiments.registry import ExperimentResult, run_all_experiments
-from repro.reporting.markdown import format_table
+from repro.experiments.registry import run_all_experiments
+from repro.reporting import render_experiment_report
 
-
-def _format(value: object) -> str:
-    if isinstance(value, float):
-        return f"{value:.4f}"
-    if isinstance(value, list):
-        return ", ".join(str(item) for item in value[:4])
-    return str(value)
-
-
-def render_report(results: List[ExperimentResult], n_gpts: int, seed: int) -> str:
-    lines = [
-        "# EXPERIMENTS — paper-reported vs measured",
-        "",
-        "Generated by `examples/reproduce_paper_tables.py`.",
-        "",
-        f"Synthetic corpus: {n_gpts} GPTs, seed {seed}.  The paper crawled 119,543 live GPTs, so",
-        "absolute counts differ by construction; the reproduction targets the *shape* of every",
-        "result — orderings, approximate rates, and crossovers — as recorded below.",
-        "",
-    ]
-    for result in results:
-        lines.append(f"## {result.title}  (`{result.experiment_id}`)")
-        lines.append("")
-        rows = [
-            (metric, _format(paper), _format(measured))
-            for metric, paper, measured in result.comparison_rows()
-        ]
-        if rows:
-            lines.append(format_table(["Metric", "Paper", "Measured"], rows))
-        if result.artifact:
-            lines.append("")
-            lines.append("```")
-            lines.append(result.artifact)
-            lines.append("```")
-        lines.append("")
-    return "\n".join(lines)
+# The renderer is shared with the golden-output regression tests
+# (tests/reporting/test_golden_outputs.py), which pin its output
+# byte-for-byte on small canonical corpora.
+render_report = render_experiment_report
 
 
 def main() -> None:

@@ -7,6 +7,12 @@ crawl statistics (Table 1), tool usage (Table 3), data-collection trends
 and the co-occurrence graph (Section 4.4, Figure 8), and disclosure
 consistency (Figures 9–12, Table 7).  :class:`MeasurementSuite` runs the whole
 pipeline once and exposes every analysis from a single object.
+
+Every corpus-driven analyzer is built on a streaming *accumulator*
+(``update``/``merge``/``finalize``) so the same measurement runs either as a
+single pass over an in-memory corpus or shard-parallel over a
+:class:`~repro.io.shards.ShardedCorpusStore`
+(:mod:`repro.analysis.streaming`), with byte-identical results.
 """
 
 from repro.analysis.party import ActionPartyIndex, build_party_index
@@ -26,11 +32,19 @@ from repro.analysis.disclosure import (
     DisclosureAnalysis,
     analyze_disclosure,
 )
+from repro.analysis.streaming import (
+    STREAMABLE_ANALYSES,
+    ShardAnalysisRunner,
+    analyze_shards,
+)
 from repro.analysis.suite import MeasurementSuite
 
 __all__ = [
     "ActionPartyIndex",
     "build_party_index",
+    "STREAMABLE_ANALYSES",
+    "ShardAnalysisRunner",
+    "analyze_shards",
     "CrawlStatsAnalysis",
     "analyze_crawl_stats",
     "ToolUsageAnalysis",

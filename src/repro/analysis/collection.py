@@ -120,6 +120,100 @@ class CollectionAnalysis:
         return len({(row.category, row.data_type) for row in self.rows})
 
 
+class CollectionAccumulator:
+    """Streaming builder of the per-GPT half of :class:`CollectionAnalysis`.
+
+    ``collected_by_action`` (the classification rollup) is a fixed lookup
+    shared by every shard worker; the accumulator itself only keeps type /
+    category counters and the set of Action ids seen, so memory is bounded
+    by the number of distinct Actions and data types, never by the corpus.
+    :meth:`finalize` is order-canonical (sorted key iteration), making
+    sharded and unsharded runs byte-identical.
+    """
+
+    def __init__(self, collected_by_action: Dict[str, List[Tuple[str, str]]]) -> None:
+        self.collected_by_action = collected_by_action
+        self.n_action_gpts = 0
+        self.gpt_counts: Counter = Counter()
+        self.category_gpt_counts: Counter = Counter()
+        self.seen_action_ids: set = set()
+
+    def update(self, gpt) -> None:
+        """Fold one GPT's collected-type footprint into the counters."""
+        if not gpt.has_actions:
+            return
+        self.n_action_gpts += 1
+        gpt_types = set()
+        gpt_categories = set()
+        for action in gpt.actions:
+            self.seen_action_ids.add(action.action_id)
+            for key in self.collected_by_action.get(action.action_id, []):
+                gpt_types.add(key)
+                gpt_categories.add(key[0])
+        for key in gpt_types:
+            self.gpt_counts[key] += 1
+        for category in gpt_categories:
+            self.category_gpt_counts[category] += 1
+
+    def merge(self, other: "CollectionAccumulator") -> None:
+        """Fold another shard's partial counters into this one."""
+        self.n_action_gpts += other.n_action_gpts
+        self.gpt_counts.update(other.gpt_counts)
+        self.category_gpt_counts.update(other.category_gpt_counts)
+        self.seen_action_ids.update(other.seen_action_ids)
+
+    def finalize(self, party_index: ActionPartyIndex) -> CollectionAnalysis:
+        """Combine the streamed counters with the action-level rollups."""
+        analysis = CollectionAnalysis()
+        collected_by_action = self.collected_by_action
+        for action_id, types in collected_by_action.items():
+            analysis.items_per_action[action_id] = len(types)
+            analysis.action_party[action_id] = party_index.party_of_action(action_id)
+
+        # Actions that appear in the corpus but whose descriptions all fell to
+        # ``Other`` still count as Actions collecting zero classified items.
+        for action_id in sorted(self.seen_action_ids):
+            analysis.items_per_action.setdefault(action_id, 0)
+            analysis.action_party.setdefault(action_id, party_index.party_of_action(action_id))
+
+        first_actions = [a for a, party in analysis.action_party.items() if party == "first"]
+        third_actions = [a for a, party in analysis.action_party.items() if party == "third"]
+        analysis.n_action_gpts = self.n_action_gpts
+
+        # Per-type collection shares (action-level: no GPT iteration needed).
+        first_counts: Counter = Counter()
+        third_counts: Counter = Counter()
+        for action_id, types in collected_by_action.items():
+            target = (
+                first_counts if analysis.action_party.get(action_id) == "first" else third_counts
+            )
+            for key in types:
+                target[key] += 1
+
+        observed_types = set(first_counts) | set(third_counts) | set(self.gpt_counts)
+        n_first = max(1, len(first_actions))
+        n_third = max(1, len(third_actions))
+        n_gpts = max(1, self.n_action_gpts)
+        rows = []
+        for category, data_type in sorted(observed_types):
+            rows.append(
+                DataTypeCollectionRow(
+                    category=category,
+                    data_type=data_type,
+                    first_party_share=first_counts[(category, data_type)] / n_first,
+                    third_party_share=third_counts[(category, data_type)] / n_third,
+                    gpt_share=self.gpt_counts[(category, data_type)] / n_gpts,
+                )
+            )
+        rows.sort(key=lambda row: -row.gpt_share)
+        analysis.rows = rows
+        analysis.category_gpt_shares = {
+            category: self.category_gpt_counts[category] / n_gpts
+            for category in sorted(self.category_gpt_counts)
+        }
+        return analysis
+
+
 def analyze_collection(
     corpus: CrawlCorpus,
     classification: ClassificationResult,
@@ -127,63 +221,7 @@ def analyze_collection(
 ) -> CollectionAnalysis:
     """Compute Table 4 / Figure 7 statistics from a classified corpus."""
     party_index = party_index or build_party_index(corpus)
-    analysis = CollectionAnalysis()
-
-    collected_by_action = classification.action_data_types()
-    for action_id, types in collected_by_action.items():
-        analysis.items_per_action[action_id] = len(types)
-        analysis.action_party[action_id] = party_index.party_of_action(action_id)
-
-    # Actions that appear in the corpus but whose descriptions all fell to
-    # ``Other`` still count as Actions collecting zero classified items.
-    for action_id in corpus.unique_actions():
-        analysis.items_per_action.setdefault(action_id, 0)
-        analysis.action_party.setdefault(action_id, party_index.party_of_action(action_id))
-
-    first_actions = [a for a, party in analysis.action_party.items() if party == "first"]
-    third_actions = [a for a, party in analysis.action_party.items() if party == "third"]
-    action_gpts = corpus.action_embedding_gpts()
-    analysis.n_action_gpts = len(action_gpts)
-
-    # Per-type collection shares.
-    first_counts: Counter = Counter()
-    third_counts: Counter = Counter()
-    gpt_counts: Counter = Counter()
-    category_gpt_counts: Counter = Counter()
-    for action_id, types in collected_by_action.items():
-        target = first_counts if analysis.action_party.get(action_id) == "first" else third_counts
-        for key in types:
-            target[key] += 1
-    for gpt in action_gpts:
-        gpt_types = set()
-        gpt_categories = set()
-        for action in gpt.actions:
-            for key in collected_by_action.get(action.action_id, []):
-                gpt_types.add(key)
-                gpt_categories.add(key[0])
-        for key in gpt_types:
-            gpt_counts[key] += 1
-        for category in gpt_categories:
-            category_gpt_counts[category] += 1
-
-    observed_types = set(first_counts) | set(third_counts) | set(gpt_counts)
-    n_first = max(1, len(first_actions))
-    n_third = max(1, len(third_actions))
-    n_gpts = max(1, len(action_gpts))
-    rows = []
-    for category, data_type in sorted(observed_types):
-        rows.append(
-            DataTypeCollectionRow(
-                category=category,
-                data_type=data_type,
-                first_party_share=first_counts[(category, data_type)] / n_first,
-                third_party_share=third_counts[(category, data_type)] / n_third,
-                gpt_share=gpt_counts[(category, data_type)] / n_gpts,
-            )
-        )
-    rows.sort(key=lambda row: -row.gpt_share)
-    analysis.rows = rows
-    analysis.category_gpt_shares = {
-        category: count / n_gpts for category, count in category_gpt_counts.items()
-    }
-    return analysis
+    accumulator = CollectionAccumulator(classification.action_data_types())
+    for gpt in corpus.iter_gpts():
+        accumulator.update(gpt)
+    return accumulator.finalize(party_index)

@@ -93,19 +93,54 @@ class CooccurrenceAnalysis:
         return None
 
 
-def analyze_cooccurrence(corpus: CrawlCorpus) -> CooccurrenceAnalysis:
-    """Build the Action co-occurrence graph for a corpus."""
-    analysis = CooccurrenceAnalysis()
-    for action_id, action in corpus.unique_actions().items():
-        analysis.names[action_id] = action.title
-    for gpt in corpus.action_embedding_gpts():
+class CooccurrenceAccumulator:
+    """Streaming builder of :class:`CooccurrenceAnalysis`.
+
+    Accumulates edge weights as a plain ``(a, b) → count`` map (O(#pairs))
+    and materializes the graph only at :meth:`finalize`, inserting edges in
+    sorted order so sharded and unsharded runs build identical graphs.
+    """
+
+    def __init__(self) -> None:
+        #: action id → title, first occurrence wins (titles are identical
+        #: across embeddings of the same Action).
+        self.names: Dict[str, str] = {}
+        self.edge_weights: Dict[Tuple[str, str], int] = {}
+
+    def update(self, gpt) -> None:
+        """Fold one GPT's Action pairs into the edge weights."""
+        for action in gpt.actions:
+            self.names.setdefault(action.action_id, action.title)
         action_ids = sorted({action.action_id for action in gpt.actions})
         if len(action_ids) < 2:
-            continue
+            return
         for index, action_a in enumerate(action_ids):
             for action_b in action_ids[index + 1:]:
-                if analysis.graph.has_edge(action_a, action_b):
-                    analysis.graph[action_a][action_b]["weight"] += 1
-                else:
-                    analysis.graph.add_edge(action_a, action_b, weight=1)
-    return analysis
+                key = (action_a, action_b)
+                self.edge_weights[key] = self.edge_weights.get(key, 0) + 1
+
+    def merge(self, other: "CooccurrenceAccumulator") -> None:
+        """Fold another shard's partial edge weights into this one."""
+        for action_id, title in other.names.items():
+            self.names.setdefault(action_id, title)
+        for key, weight in other.edge_weights.items():
+            self.edge_weights[key] = self.edge_weights.get(key, 0) + weight
+
+    def finalize(self) -> CooccurrenceAnalysis:
+        """Materialize the graph (edges inserted in canonical order)."""
+        analysis = CooccurrenceAnalysis()
+        for action_id in sorted(self.names):
+            analysis.names[action_id] = self.names[action_id]
+        for (action_a, action_b) in sorted(self.edge_weights):
+            analysis.graph.add_edge(
+                action_a, action_b, weight=self.edge_weights[(action_a, action_b)]
+            )
+        return analysis
+
+
+def analyze_cooccurrence(corpus: CrawlCorpus) -> CooccurrenceAnalysis:
+    """Build the Action co-occurrence graph for a corpus."""
+    accumulator = CooccurrenceAccumulator()
+    for gpt in corpus.iter_gpts():
+        accumulator.update(gpt)
+    return accumulator.finalize()

@@ -68,20 +68,60 @@ class CoverageAnalysis:
         return 1.0 - self.other_rate
 
 
+class CoverageAccumulator:
+    """Streaming builder of :class:`CoverageAnalysis` over label chunks.
+
+    Consumes classification labels (not GPT records): partition the label
+    list any way — per shard, per batch — accumulate each chunk, then
+    :meth:`merge`.  State is the distinct-text sets the analysis itself
+    needs, so memory matches the single-pass computation.  :meth:`finalize`
+    sorts keys, making any partitioning byte-identical to the single pass.
+    """
+
+    def __init__(self) -> None:
+        self.distinct_by_type: Dict[Tuple[str, str], set] = {}
+        self.distinct_by_category: Dict[str, set] = {}
+        self.distinct_descriptions: set = set()
+        self.n_labels = 0
+        self.n_other = 0
+
+    def update(self, label) -> None:
+        """Fold one :class:`~repro.classification.results.DescriptionLabel`."""
+        self.n_labels += 1
+        self.distinct_descriptions.add(label.text)
+        if label.is_other:
+            self.n_other += 1
+            return
+        self.distinct_by_type.setdefault(label.label, set()).add(label.text)
+        self.distinct_by_category.setdefault(label.category, set()).add(label.text)
+
+    def merge(self, other: "CoverageAccumulator") -> None:
+        """Fold another chunk's partial sets into this one."""
+        self.n_labels += other.n_labels
+        self.n_other += other.n_other
+        self.distinct_descriptions.update(other.distinct_descriptions)
+        for key, texts in other.distinct_by_type.items():
+            self.distinct_by_type.setdefault(key, set()).update(texts)
+        for key, texts in other.distinct_by_category.items():
+            self.distinct_by_category.setdefault(key, set()).update(texts)
+
+    def finalize(self) -> CoverageAnalysis:
+        """Reduce the distinct-text sets to coverage counts."""
+        analysis = CoverageAnalysis()
+        analysis.n_distinct_descriptions = len(self.distinct_descriptions)
+        analysis.type_coverage = {
+            key: len(self.distinct_by_type[key]) for key in sorted(self.distinct_by_type)
+        }
+        analysis.category_coverage = {
+            key: len(self.distinct_by_category[key]) for key in sorted(self.distinct_by_category)
+        }
+        analysis.other_rate = self.n_other / self.n_labels if self.n_labels else 0.0
+        return analysis
+
+
 def analyze_coverage(classification: ClassificationResult) -> CoverageAnalysis:
     """Compute Figure 3 coverage statistics from a classification result."""
-    analysis = CoverageAnalysis()
-    distinct_by_type: Dict[Tuple[str, str], set] = {}
-    distinct_by_category: Dict[str, set] = {}
-    distinct_descriptions = set()
+    accumulator = CoverageAccumulator()
     for label in classification.labels:
-        distinct_descriptions.add(label.text)
-        if label.is_other:
-            continue
-        distinct_by_type.setdefault(label.label, set()).add(label.text)
-        distinct_by_category.setdefault(label.category, set()).add(label.text)
-    analysis.n_distinct_descriptions = len(distinct_descriptions)
-    analysis.type_coverage = {key: len(texts) for key, texts in distinct_by_type.items()}
-    analysis.category_coverage = {key: len(texts) for key, texts in distinct_by_category.items()}
-    analysis.other_rate = classification.other_rate()
-    return analysis
+        accumulator.update(label)
+    return accumulator.finalize()

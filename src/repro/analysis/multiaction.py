@@ -42,38 +42,71 @@ class MultiActionAnalysis:
         return matching / self.n_action_gpts
 
 
-def analyze_multi_action(corpus: CrawlCorpus) -> MultiActionAnalysis:
-    """Compute Section 4.4.1 statistics for a corpus."""
-    analysis = MultiActionAnalysis()
-    action_gpts = corpus.action_embedding_gpts()
-    analysis.n_action_gpts = len(action_gpts)
-    if not action_gpts:
-        return analysis
+class MultiActionAccumulator:
+    """Streaming builder of :class:`MultiActionAnalysis`.
 
-    distribution: Counter = Counter()
-    multi_total = 0
-    multi_cross_domain = 0
-    action_partners: Dict[str, set] = {}
-    for gpt in action_gpts:
+    State is the Actions-per-GPT histogram and a per-Action partner set —
+    O(#Actions + #co-occurrence pairs), never the GPT records themselves.
+    :meth:`finalize` emits the histogram with sorted keys, making sharded
+    and unsharded runs byte-identical.
+    """
+
+    def __init__(self) -> None:
+        self.n_action_gpts = 0
+        self.distribution: Counter = Counter()
+        self.multi_total = 0
+        self.multi_cross_domain = 0
+        self.action_partners: Dict[str, set] = {}
+
+    def update(self, gpt) -> None:
+        """Fold one GPT's Action count / domain spread into the counters."""
+        if not gpt.has_actions:
+            return
+        self.n_action_gpts += 1
         action_ids = [action.action_id for action in gpt.actions]
-        distribution[len(action_ids)] += 1
+        self.distribution[len(action_ids)] += 1
         domains = {
             registrable_domain(action.domain) or action.domain
             for action in gpt.actions
             if action.domain
         }
         if len(action_ids) > 1:
-            multi_total += 1
+            self.multi_total += 1
             if len(domains) > 1:
-                multi_cross_domain += 1
+                self.multi_cross_domain += 1
         for action_id in action_ids:
-            partners = action_partners.setdefault(action_id, set())
+            partners = self.action_partners.setdefault(action_id, set())
             partners.update(other for other in action_ids if other != action_id)
 
-    analysis.action_count_distribution = dict(distribution)
-    if multi_total:
-        analysis.cross_domain_share = multi_cross_domain / multi_total
-    if action_partners:
-        cooccurring = sum(1 for partners in action_partners.values() if partners)
-        analysis.cooccurring_action_share = cooccurring / len(action_partners)
-    return analysis
+    def merge(self, other: "MultiActionAccumulator") -> None:
+        """Fold another shard's partial counters into this one."""
+        self.n_action_gpts += other.n_action_gpts
+        self.distribution.update(other.distribution)
+        self.multi_total += other.multi_total
+        self.multi_cross_domain += other.multi_cross_domain
+        for action_id, partners in other.action_partners.items():
+            self.action_partners.setdefault(action_id, set()).update(partners)
+
+    def finalize(self) -> MultiActionAnalysis:
+        """Reduce the counters to Section 4.4.1 statistics."""
+        analysis = MultiActionAnalysis()
+        analysis.n_action_gpts = self.n_action_gpts
+        if not self.n_action_gpts:
+            return analysis
+        analysis.action_count_distribution = {
+            size: self.distribution[size] for size in sorted(self.distribution)
+        }
+        if self.multi_total:
+            analysis.cross_domain_share = self.multi_cross_domain / self.multi_total
+        if self.action_partners:
+            cooccurring = sum(1 for partners in self.action_partners.values() if partners)
+            analysis.cooccurring_action_share = cooccurring / len(self.action_partners)
+        return analysis
+
+
+def analyze_multi_action(corpus: CrawlCorpus) -> MultiActionAnalysis:
+    """Compute Section 4.4.1 statistics for a corpus."""
+    accumulator = MultiActionAccumulator()
+    for gpt in corpus.iter_gpts():
+        accumulator.update(gpt)
+    return accumulator.finalize()

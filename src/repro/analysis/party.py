@@ -55,23 +55,59 @@ def _vendor_url(gpt: CrawledGPT) -> Optional[str]:
     return None
 
 
+class ActionPartyAccumulator:
+    """Streaming builder of an :class:`ActionPartyIndex`.
+
+    Holds only per-embedding attributions and per-Action tallies — never a
+    GPT record — so shard-parallel map-reduce over a
+    :class:`~repro.io.shards.ShardedCorpusStore` stays memory-bounded.
+    :meth:`finalize` emits identical output for any update order or merge
+    partitioning (keys are sorted), which is what makes the sharded and
+    unsharded analysis paths byte-identical.
+    """
+
+    def __init__(self, classifier: Optional[ThirdPartyClassifier] = None) -> None:
+        self.classifier = classifier or ThirdPartyClassifier()
+        self.embedding_party: Dict[Tuple[str, str], str] = {}
+        self._counts: Dict[str, Dict[str, int]] = {}
+
+    def update(self, gpt: CrawledGPT) -> None:
+        """Attribute every Action embedding of one GPT."""
+        vendor = _vendor_url(gpt)
+        for action in gpt.actions:
+            third = self.classifier.is_third_party(action.server_url, vendor)
+            party = "third" if third else "first"
+            self.embedding_party[(gpt.gpt_id, action.action_id)] = party
+            self._counts.setdefault(action.action_id, {"first": 0, "third": 0})[party] += 1
+
+    def merge(self, other: "ActionPartyAccumulator") -> None:
+        """Fold another shard's partial attributions into this one."""
+        self.embedding_party.update(other.embedding_party)
+        for action_id, tally in other._counts.items():
+            target = self._counts.setdefault(action_id, {"first": 0, "third": 0})
+            target["first"] += tally["first"]
+            target["third"] += tally["third"]
+
+    def finalize(self) -> ActionPartyIndex:
+        """Roll embeddings up into per-Action parties (order-canonical)."""
+        index = ActionPartyIndex()
+        for key in sorted(self.embedding_party):
+            index.embedding_party[key] = self.embedding_party[key]
+        for action_id in sorted(self._counts):
+            # An Action that is first-party in every GPT embedding it is a
+            # first-party Action; any cross-vendor reuse makes it third-party.
+            index.action_party[action_id] = (
+                "first" if self._counts[action_id]["third"] == 0 else "third"
+            )
+        return index
+
+
 def build_party_index(
     corpus: CrawlCorpus,
     classifier: Optional[ThirdPartyClassifier] = None,
 ) -> ActionPartyIndex:
     """Attribute every Action embedding in a corpus to first or third party."""
-    classifier = classifier or ThirdPartyClassifier()
-    index = ActionPartyIndex()
-    counts: Dict[str, Dict[str, int]] = {}
+    accumulator = ActionPartyAccumulator(classifier)
     for gpt in corpus.iter_gpts():
-        vendor = _vendor_url(gpt)
-        for action in gpt.actions:
-            third = classifier.is_third_party(action.server_url, vendor)
-            party = "third" if third else "first"
-            index.embedding_party[(gpt.gpt_id, action.action_id)] = party
-            counts.setdefault(action.action_id, {"first": 0, "third": 0})[party] += 1
-    for action_id, tally in counts.items():
-        # An Action that is first-party in every GPT embedding it is a
-        # first-party Action; any cross-vendor reuse makes it third-party.
-        index.action_party[action_id] = "first" if tally["third"] == 0 else "third"
-    return index
+        accumulator.update(gpt)
+    return accumulator.finalize()

@@ -48,6 +48,84 @@ class PrevalenceAnalysis:
         return None
 
 
+class PrevalenceAccumulator:
+    """Streaming builder of :class:`PrevalenceAnalysis`.
+
+    Keeps per-Action embedding counts and a light ``action_id → (title,
+    functionality)`` registry — never a GPT record — so memory is bounded
+    by the number of distinct Actions.  :meth:`finalize` iterates sorted
+    ids and sorts rows with a full tiebreak, making sharded and unsharded
+    runs byte-identical.
+    """
+
+    def __init__(self) -> None:
+        self.n_action_gpts = 0
+        self.embedding_counts: Dict[str, int] = {}
+        #: action id → (title, functionality), first occurrence wins
+        #: (duplicate embeddings carry identical specifications).
+        self.action_info: Dict[str, Tuple[str, str]] = {}
+
+    def update(self, gpt) -> None:
+        """Fold one GPT's Action embeddings into the counts."""
+        if not gpt.has_actions:
+            return
+        self.n_action_gpts += 1
+        seen = set()
+        for action in gpt.actions:
+            self.action_info.setdefault(action.action_id, (action.title, action.functionality))
+            if action.action_id not in seen:
+                seen.add(action.action_id)
+                self.embedding_counts[action.action_id] = (
+                    self.embedding_counts.get(action.action_id, 0) + 1
+                )
+
+    def merge(self, other: "PrevalenceAccumulator") -> None:
+        """Fold another shard's partial counts into this one."""
+        self.n_action_gpts += other.n_action_gpts
+        for action_id, count in other.embedding_counts.items():
+            self.embedding_counts[action_id] = self.embedding_counts.get(action_id, 0) + count
+        for action_id, info in other.action_info.items():
+            self.action_info.setdefault(action_id, info)
+
+    def finalize(
+        self,
+        classification: ClassificationResult,
+        party_index: ActionPartyIndex,
+        min_gpts: int = 2,
+        third_party_only: bool = True,
+    ) -> PrevalenceAnalysis:
+        """Rank the accumulated Actions into Table 5."""
+        analysis = PrevalenceAnalysis()
+        analysis.n_action_gpts = self.n_action_gpts
+        if not self.n_action_gpts:
+            return analysis
+
+        collected_by_action = classification.action_data_types()
+        rows: List[PrevalentActionRow] = []
+        for action_id in sorted(self.embedding_counts):
+            count = self.embedding_counts[action_id]
+            if count < min_gpts:
+                continue
+            if third_party_only and party_index.party_of_action(action_id) != "third":
+                continue
+            title, functionality = self.action_info[action_id]
+            collected = collected_by_action.get(action_id, [])
+            rows.append(
+                PrevalentActionRow(
+                    action_id=action_id,
+                    name=title,
+                    functionality=functionality or "Unknown",
+                    n_data_types=len(collected),
+                    example_data_types=tuple(data_type for _, data_type in collected[:3]),
+                    gpt_share=count / self.n_action_gpts,
+                    n_gpts=count,
+                )
+            )
+        rows.sort(key=lambda row: (-row.gpt_share, row.name, row.action_id))
+        analysis.rows = rows
+        return analysis
+
+
 def analyze_prevalence(
     corpus: CrawlCorpus,
     classification: ClassificationResult,
@@ -61,40 +139,9 @@ def analyze_prevalence(
     default only third-party Actions are listed (as in the paper).
     """
     party_index = party_index or build_party_index(corpus)
-    analysis = PrevalenceAnalysis()
-    action_gpts = corpus.action_embedding_gpts()
-    analysis.n_action_gpts = len(action_gpts)
-    if not action_gpts:
-        return analysis
-
-    embedding_counts: Dict[str, int] = {}
-    for gpt in action_gpts:
-        for action_id in {action.action_id for action in gpt.actions}:
-            embedding_counts[action_id] = embedding_counts.get(action_id, 0) + 1
-
-    collected_by_action = classification.action_data_types()
-    actions = corpus.unique_actions()
-    rows: List[PrevalentActionRow] = []
-    for action_id, count in embedding_counts.items():
-        if count < min_gpts:
-            continue
-        if third_party_only and party_index.party_of_action(action_id) != "third":
-            continue
-        action = actions.get(action_id)
-        if action is None:
-            continue
-        collected = collected_by_action.get(action_id, [])
-        rows.append(
-            PrevalentActionRow(
-                action_id=action_id,
-                name=action.title,
-                functionality=action.functionality or "Unknown",
-                n_data_types=len(collected),
-                example_data_types=tuple(data_type for _, data_type in collected[:3]),
-                gpt_share=count / len(action_gpts),
-                n_gpts=count,
-            )
-        )
-    rows.sort(key=lambda row: (-row.gpt_share, row.name))
-    analysis.rows = rows
-    return analysis
+    accumulator = PrevalenceAccumulator()
+    for gpt in corpus.iter_gpts():
+        accumulator.update(gpt)
+    return accumulator.finalize(
+        classification, party_index, min_gpts=min_gpts, third_party_only=third_party_only
+    )

@@ -44,16 +44,12 @@ class ProhibitedDataAnalysis:
         return len(self.health_collecting_gpts) / self.n_action_gpts
 
 
-def analyze_prohibited(
-    corpus: CrawlCorpus,
+def find_offending_actions(
     classification: ClassificationResult,
     taxonomy: Optional[DataTaxonomy] = None,
     prohibited_categories: Tuple[str, ...] = PROHIBITED_CATEGORIES,
-) -> ProhibitedDataAnalysis:
-    """Find GPTs and Actions collecting prohibited (and health) data."""
-    analysis = ProhibitedDataAnalysis()
-    collected_by_action = classification.action_data_types()
-
+) -> Dict[str, List[Tuple[str, str]]]:
+    """Action id → offending ``(category, type)`` pairs (action-level rollup)."""
     prohibited_types: Set[Tuple[str, str]] = set()
     if taxonomy is not None:
         prohibited_types = {data_type.key for data_type in taxonomy.prohibited_types()}
@@ -63,22 +59,78 @@ def analyze_prohibited(
             return True
         return key[0] in prohibited_categories
 
-    for action_id, types in collected_by_action.items():
+    offending_actions: Dict[str, List[Tuple[str, str]]] = {}
+    for action_id, types in classification.action_data_types().items():
         offending = [key for key in types if is_prohibited(key)]
         if offending:
-            analysis.offending_actions[action_id] = offending
+            offending_actions[action_id] = offending
+    return offending_actions
 
-    action_gpts = corpus.action_embedding_gpts()
-    analysis.n_action_gpts = len(action_gpts)
-    for gpt in action_gpts:
+
+class ProhibitedAccumulator:
+    """Streaming builder of :class:`ProhibitedDataAnalysis`.
+
+    The action-level rollups (which Actions offend, which collect health
+    data) are fixed lookups computed once from the classification; the
+    accumulator only collects the ids of GPTs touching them, so memory is
+    bounded by the number of flagged GPTs.  :meth:`finalize` sorts the id
+    lists, making sharded and unsharded runs byte-identical.
+    """
+
+    def __init__(
+        self,
+        offending_actions: Dict[str, List[Tuple[str, str]]],
+        collected_by_action: Dict[str, List[Tuple[str, str]]],
+    ) -> None:
+        self.offending_actions = offending_actions
+        self._offending_ids = set(offending_actions)
+        self._health_ids = {
+            action_id
+            for action_id, types in collected_by_action.items()
+            if any(key[0] == "Health information" for key in types)
+        }
+        self.n_action_gpts = 0
+        self.offending_gpts: List[str] = []
+        self.health_collecting_gpts: List[str] = []
+
+    def update(self, gpt) -> None:
+        """Check one GPT's Actions against the flagged-action rollups."""
+        if not gpt.has_actions:
+            return
+        self.n_action_gpts += 1
         action_ids = {action.action_id for action in gpt.actions}
-        if action_ids & set(analysis.offending_actions):
-            analysis.offending_gpts.append(gpt.gpt_id)
-        collects_health = any(
-            key[0] == "Health information"
-            for action_id in action_ids
-            for key in collected_by_action.get(action_id, [])
+        if action_ids & self._offending_ids:
+            self.offending_gpts.append(gpt.gpt_id)
+        if action_ids & self._health_ids:
+            self.health_collecting_gpts.append(gpt.gpt_id)
+
+    def merge(self, other: "ProhibitedAccumulator") -> None:
+        """Fold another shard's partial id lists into this one."""
+        self.n_action_gpts += other.n_action_gpts
+        self.offending_gpts.extend(other.offending_gpts)
+        self.health_collecting_gpts.extend(other.health_collecting_gpts)
+
+    def finalize(self) -> ProhibitedDataAnalysis:
+        """Emit the analysis with canonically ordered GPT id lists."""
+        return ProhibitedDataAnalysis(
+            offending_gpts=sorted(self.offending_gpts),
+            offending_actions=dict(self.offending_actions),
+            health_collecting_gpts=sorted(self.health_collecting_gpts),
+            n_action_gpts=self.n_action_gpts,
         )
-        if collects_health:
-            analysis.health_collecting_gpts.append(gpt.gpt_id)
-    return analysis
+
+
+def analyze_prohibited(
+    corpus: CrawlCorpus,
+    classification: ClassificationResult,
+    taxonomy: Optional[DataTaxonomy] = None,
+    prohibited_categories: Tuple[str, ...] = PROHIBITED_CATEGORIES,
+) -> ProhibitedDataAnalysis:
+    """Find GPTs and Actions collecting prohibited (and health) data."""
+    accumulator = ProhibitedAccumulator(
+        find_offending_actions(classification, taxonomy, prohibited_categories),
+        classification.action_data_types(),
+    )
+    for gpt in corpus.iter_gpts():
+        accumulator.update(gpt)
+    return accumulator.finalize()

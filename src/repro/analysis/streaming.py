@@ -1,0 +1,224 @@
+"""Shard-parallel streaming analysis over a sharded corpus store.
+
+The in-memory analyzers (``analyze_crawl_stats`` … ``analyze_cooccurrence``)
+assume the whole :class:`~repro.crawler.corpus.CrawlCorpus` is resident.  At
+100k-GPT scale the corpus lives in a
+:class:`~repro.io.shards.ShardedCorpusStore` instead, and this module runs
+the same measurements as a **map-reduce** over its shards:
+
+* **map** — one task per shard, scheduled on the PR-2
+  :class:`~repro.crawler.engine.CrawlEngine` worker pool, streams the
+  shard's GPT records through a fresh set of accumulator objects
+  (``CrawlStatsAccumulator``, ``ToolUsageAccumulator``, …), holding one
+  record at a time;
+* **reduce** — shard partials are merged (``accumulator.merge``) in shard
+  order, then finalized with the shared context (the classification
+  rollups, the party index, the shard manifest's corpus metadata).
+
+Because every accumulator's ``finalize`` is order-canonical and the map
+tasks are pure per-shard folds, the output is **byte-identical** to running
+the single-pass analyzers on the materialized corpus — at any shard count
+and any worker count.  That invariant is what lets the measurement suite
+switch between the in-memory and sharded paths freely, and it is asserted
+by ``tests/analysis/test_streaming.py`` and the determinism matrix.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Mapping, Optional, Sequence
+
+from repro.analysis.collection import CollectionAccumulator
+from repro.analysis.cooccurrence import CooccurrenceAccumulator
+from repro.analysis.coverage import CoverageAccumulator
+from repro.analysis.crawlstats import CrawlStatsAccumulator
+from repro.analysis.multiaction import MultiActionAccumulator
+from repro.analysis.party import ActionPartyAccumulator, ActionPartyIndex
+from repro.analysis.prevalence import PrevalenceAccumulator
+from repro.analysis.prohibited import ProhibitedAccumulator, find_offending_actions
+from repro.analysis.tools import ToolUsageAccumulator
+from repro.classification.results import ClassificationResult
+from repro.crawler.engine import CrawlEngine, CrawlTask
+from repro.io.shards import ShardedCorpusStore
+from repro.taxonomy.schema import DataTaxonomy
+
+#: Analyses computable by streaming GPT records alone.
+CORPUS_STREAM_ANALYSES = (
+    "crawl_stats",
+    "tool_usage",
+    "multi_action",
+    "cooccurrence",
+)
+
+#: Analyses that additionally need the classification result.
+CLASSIFIED_STREAM_ANALYSES = (
+    "collection",
+    "coverage",
+    "prohibited",
+    "prevalence",
+)
+
+#: Everything this engine can compute (disclosure and policy-duplicate
+#: analyses consume the policy report / policy texts, not GPT records, and
+#: stay on the single-pass path).
+STREAMABLE_ANALYSES = CORPUS_STREAM_ANALYSES + CLASSIFIED_STREAM_ANALYSES
+
+
+def _accumulator_factories(
+    names: Sequence[str],
+    classification: Optional[ClassificationResult],
+    taxonomy: Optional[DataTaxonomy],
+) -> Dict[str, Callable[[], object]]:
+    """Per-shard accumulator factories for the requested analyses.
+
+    The party accumulator rides along whenever any analysis needs the
+    first-/third-party rollup.  Classification rollups are computed once
+    here and shared (read-only) by every shard worker.
+    """
+    factories: Dict[str, Callable[[], object]] = {}
+    if {"tool_usage", "collection", "prevalence", "party"} & set(names):
+        factories["party"] = ActionPartyAccumulator
+    if "crawl_stats" in names:
+        factories["crawl_stats"] = CrawlStatsAccumulator
+    if "tool_usage" in names:
+        factories["tool_usage"] = ToolUsageAccumulator
+    if "multi_action" in names:
+        factories["multi_action"] = MultiActionAccumulator
+    if "cooccurrence" in names:
+        factories["cooccurrence"] = CooccurrenceAccumulator
+    if classification is not None:
+        collected = classification.action_data_types()
+        if "collection" in names:
+            factories["collection"] = lambda: CollectionAccumulator(collected)
+        if "prohibited" in names:
+            offending = find_offending_actions(classification, taxonomy)
+            factories["prohibited"] = lambda: ProhibitedAccumulator(offending, collected)
+        if "prevalence" in names:
+            factories["prevalence"] = PrevalenceAccumulator
+    return factories
+
+
+class ShardAnalysisRunner:
+    """Runs streaming analyses shard-parallel on the crawl engine pool.
+
+    Parameters
+    ----------
+    store:
+        The sharded corpus to analyze.
+    workers:
+        Worker-pool size for shard tasks (``<= 1`` streams shards
+        sequentially).  Results are identical at any worker count.
+    """
+
+    def __init__(self, store: ShardedCorpusStore, workers: int = 0) -> None:
+        self.store = store
+        self.workers = workers
+        self.engine = CrawlEngine(workers=workers)
+
+    # ------------------------------------------------------------------
+    def _map_shard(
+        self, index: int, factories: Mapping[str, Callable[[], object]]
+    ) -> Dict[str, object]:
+        """Fold one shard's GPT stream through fresh accumulators."""
+        accumulators = {name: factory() for name, factory in factories.items()}
+        for gpt in self.store.iter_shard_gpts(index):
+            for accumulator in accumulators.values():
+                accumulator.update(gpt)
+        return accumulators
+
+    def run(
+        self,
+        names: Optional[Sequence[str]] = None,
+        classification: Optional[ClassificationResult] = None,
+        taxonomy: Optional[DataTaxonomy] = None,
+        party_index: Optional[ActionPartyIndex] = None,
+    ) -> Dict[str, object]:
+        """Compute the requested analyses in **one** pass over the shards.
+
+        Returns analysis objects keyed by name (plus ``"party"`` whenever a
+        party rollup was built or supplied).  Requesting a
+        classification-dependent analysis without ``classification`` raises.
+        """
+        requested = list(names if names is not None else STREAMABLE_ANALYSES)
+        unknown = [name for name in requested if name not in STREAMABLE_ANALYSES + ("party",)]
+        if unknown:
+            raise ValueError(f"unknown streaming analyses: {', '.join(sorted(unknown))}")
+        needs_classification = [
+            name for name in requested if name in CLASSIFIED_STREAM_ANALYSES
+        ]
+        if needs_classification and classification is None:
+            raise ValueError(
+                "classification required for: " + ", ".join(sorted(needs_classification))
+            )
+
+        factories = _accumulator_factories(requested, classification, taxonomy)
+        if party_index is not None:
+            factories.pop("party", None)
+
+        # Map: one task per shard, fanned out on the engine's worker pool.
+        # Outcomes come back in submission (= shard) order.
+        merged: Dict[str, object] = {}
+        if factories:
+            tasks = [
+                CrawlTask(
+                    key=f"shard-{index:05d}",
+                    fn=lambda i=index: self._map_shard(i, factories),
+                )
+                for index in range(self.store.n_shards)
+            ]
+            for outcome in self.engine.run(tasks):
+                if not outcome.ok:
+                    raise RuntimeError(f"shard analysis {outcome.key!r} failed: {outcome.error}")
+                # Reduce: merge shard partials in shard order.
+                for name, accumulator in outcome.result.items():
+                    if name in merged:
+                        merged[name].merge(accumulator)
+                    else:
+                        merged[name] = accumulator
+
+        # Finalize with the shared corpus-level context.
+        results: Dict[str, object] = {}
+        if party_index is None and "party" in merged:
+            party_index = merged["party"].finalize()
+        if party_index is not None:
+            results["party"] = party_index
+        manifest = self.store.manifest
+        if "crawl_stats" in merged:
+            results["crawl_stats"] = merged["crawl_stats"].finalize(
+                store_counts=manifest.store_counts,
+                unresolved_gpt_ids=manifest.unresolved_gpt_ids,
+                available_policy_urls=self.store.available_policy_urls(),
+            )
+        if "tool_usage" in merged:
+            results["tool_usage"] = merged["tool_usage"].finalize(party_index)
+        if "multi_action" in merged:
+            results["multi_action"] = merged["multi_action"].finalize()
+        if "cooccurrence" in merged:
+            results["cooccurrence"] = merged["cooccurrence"].finalize()
+        if "collection" in merged:
+            results["collection"] = merged["collection"].finalize(party_index)
+        if "prohibited" in merged:
+            results["prohibited"] = merged["prohibited"].finalize()
+        if "prevalence" in merged:
+            results["prevalence"] = merged["prevalence"].finalize(classification, party_index)
+        if "coverage" in requested:
+            # Coverage streams classification labels, not GPT records; fold
+            # it inline (the accumulator still supports chunked merging).
+            coverage = CoverageAccumulator()
+            for label in classification.labels:
+                coverage.update(label)
+            results["coverage"] = coverage.finalize()
+        return results
+
+
+def analyze_shards(
+    store: ShardedCorpusStore,
+    names: Optional[Sequence[str]] = None,
+    workers: int = 0,
+    classification: Optional[ClassificationResult] = None,
+    taxonomy: Optional[DataTaxonomy] = None,
+    party_index: Optional[ActionPartyIndex] = None,
+) -> Dict[str, object]:
+    """Convenience wrapper: build a runner and compute analyses in one pass."""
+    return ShardAnalysisRunner(store, workers=workers).run(
+        names, classification=classification, taxonomy=taxonomy, party_index=party_index
+    )

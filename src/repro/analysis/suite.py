@@ -73,6 +73,15 @@ class SuiteConfig:
     crawl_transport: Optional["TransportConfig"] = None
     #: Per-host politeness limits (host → requests/second) for the crawl.
     crawl_rate_limits: Optional[Dict[str, float]] = None
+    #: Shard count for the on-disk corpus store (0 = in-memory single pass).
+    #: When set, crawl checkpoints are shard-partitioned too, and every
+    #: corpus-driven analysis runs shard-parallel with byte-identical
+    #: results (an execution knob: it never changes measured values).
+    shards: int = 0
+    #: Worker-pool size for shard-parallel analysis (0/1 = sequential).
+    shard_workers: int = 0
+    #: Directory for the sharded corpus store (None = a private temp dir).
+    shard_dir: Optional[str] = None
 
 
 class MeasurementSuite:
@@ -105,6 +114,8 @@ class MeasurementSuite:
         self._policy_report: Optional[PolicyConsistencyReport] = None
         self._party_index: Optional[ActionPartyIndex] = None
         self._cache: Dict[str, object] = {}
+        self._shard_store = None
+        self._shard_tempdir = None
 
     # ------------------------------------------------------------------
     # Pipeline stages (lazy, cached)
@@ -142,9 +153,62 @@ class MeasurementSuite:
                 rate_limits=self.config.crawl_rate_limits,
                 checkpoint_dir=self.config.crawl_checkpoint_dir,
                 resume=self.config.crawl_resume,
+                checkpoint_shards=max(1, self.config.shards),
             )
             self._corpus = pipeline.run()
         return self._corpus
+
+    @property
+    def sharded(self) -> bool:
+        """Whether corpus analyses run on the sharded streaming path."""
+        return self.config.shards > 0
+
+    @property
+    def shard_store(self):
+        """The on-disk sharded corpus store (built on first access).
+
+        Lives under ``config.shard_dir`` when set, otherwise in a private
+        temporary directory tied to the suite's lifetime.
+        """
+        if not self.sharded:
+            raise ValueError("SuiteConfig.shards must be > 0 for a shard store")
+        if self._shard_store is None:
+            from repro.io.shards import ShardedCorpusStore
+
+            directory = self.config.shard_dir
+            if directory is None:
+                import tempfile
+
+                self._shard_tempdir = tempfile.TemporaryDirectory(prefix="repro-shards-")
+                directory = self._shard_tempdir.name
+            self._shard_store = ShardedCorpusStore.write_corpus(
+                self.corpus, directory, n_shards=self.config.shards
+            )
+        return self._shard_store
+
+    def _streamed(self, names: List[str]) -> None:
+        """Compute streamed analyses shard-parallel and prime the cache.
+
+        Analyses are grouped so a corpus-only request never forces the
+        classification stage; everything requested lands in ``_cache`` /
+        ``_party_index`` in one pass over the shards.
+        """
+        from repro.analysis.streaming import ShardAnalysisRunner
+
+        classification = None
+        if any(name in ("collection", "coverage", "prohibited", "prevalence") for name in names):
+            classification = self.classification
+        runner = ShardAnalysisRunner(self.shard_store, workers=self.config.shard_workers)
+        results = runner.run(
+            names,
+            classification=classification,
+            taxonomy=self.taxonomy,
+            party_index=self._party_index,
+        )
+        party = results.pop("party", None)
+        if party is not None and self._party_index is None:
+            self._party_index = party
+        self._cache.update(results)
 
     @property
     def descriptions(self) -> List[DataDescription]:
@@ -204,15 +268,29 @@ class MeasurementSuite:
     def party_index(self) -> ActionPartyIndex:
         """First-/third-party attribution of Actions."""
         if self._party_index is None:
-            self._party_index = build_party_index(self.corpus)
+            if self.sharded:
+                self._streamed(["party"])
+            else:
+                self._party_index = build_party_index(self.corpus)
         return self._party_index
 
     # ------------------------------------------------------------------
     # Analyses (lazy, cached)
     # ------------------------------------------------------------------
+    #: Streamable analyses grouped by what they force: corpus-only requests
+    #: must never trigger the classification stage.
+    _CORPUS_STREAM_GROUP = ("crawl_stats", "tool_usage", "multi_action", "cooccurrence")
+    _CLASSIFIED_STREAM_GROUP = ("collection", "coverage", "prohibited", "prevalence")
+
     def _cached(self, key: str, builder) -> object:
         if key not in self._cache:
-            self._cache[key] = builder()
+            if self.sharded and key in self._CORPUS_STREAM_GROUP:
+                # One shard-parallel pass computes the whole group.
+                self._streamed(list(self._CORPUS_STREAM_GROUP))
+            elif self.sharded and key in self._CLASSIFIED_STREAM_GROUP:
+                self._streamed(list(self._CLASSIFIED_STREAM_GROUP))
+            else:
+                self._cache[key] = builder()
         return self._cache[key]
 
     @property

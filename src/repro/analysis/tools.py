@@ -39,44 +39,69 @@ class ToolUsageAnalysis:
         return self.tool_shares.get(tool, 0.0)
 
 
+class ToolUsageAccumulator:
+    """Streaming builder of :class:`ToolUsageAnalysis` (O(1) state per GPT)."""
+
+    def __init__(self) -> None:
+        self.n_gpts = 0
+        self.counters: Dict[str, int] = {key: 0 for key in TOOL_DISPLAY_NAMES}
+        self.any_tool = 0
+        self.online = 0
+
+    def update(self, gpt) -> None:
+        """Fold one GPT's tool adoption into the counters."""
+        self.n_gpts += 1
+        has_any = False
+        uses_online = False
+        for key in ("browser", "dalle", "code_interpreter", "knowledge"):
+            if gpt.has_tool(key):
+                self.counters[key] += 1
+                has_any = True
+                if key == "browser":
+                    uses_online = True
+        if gpt.has_actions:
+            self.counters["action"] += 1
+            has_any = True
+            uses_online = True
+        if has_any:
+            self.any_tool += 1
+        if uses_online:
+            self.online += 1
+
+    def merge(self, other: "ToolUsageAccumulator") -> None:
+        """Fold another shard's partial counters into this one."""
+        self.n_gpts += other.n_gpts
+        for key, count in other.counters.items():
+            self.counters[key] = self.counters.get(key, 0) + count
+        self.any_tool += other.any_tool
+        self.online += other.online
+
+    def finalize(self, party_index: ActionPartyIndex) -> ToolUsageAnalysis:
+        """Combine the counters with the party rollup into Table 3."""
+        analysis = ToolUsageAnalysis(n_gpts=self.n_gpts)
+        if not self.n_gpts:
+            return analysis
+        analysis.tool_shares = {
+            key: count / self.n_gpts for key, count in self.counters.items()
+        }
+        analysis.any_tool_share = self.any_tool / self.n_gpts
+        analysis.online_service_share = self.online / self.n_gpts
+
+        first, third = party_index.actions_by_party()
+        total_actions = len(first) + len(third)
+        if total_actions:
+            analysis.first_party_action_share = len(first) / total_actions
+            analysis.third_party_action_share = len(third) / total_actions
+        return analysis
+
+
 def analyze_tool_usage(
     corpus: CrawlCorpus,
     party_index: Optional[ActionPartyIndex] = None,
 ) -> ToolUsageAnalysis:
     """Compute Table 3 for a corpus."""
     party_index = party_index or build_party_index(corpus)
-    analysis = ToolUsageAnalysis(n_gpts=len(corpus.gpts))
-    if not corpus.gpts:
-        return analysis
-
-    counters = {key: 0 for key in TOOL_DISPLAY_NAMES}
-    any_tool = 0
-    online = 0
+    accumulator = ToolUsageAccumulator()
     for gpt in corpus.iter_gpts():
-        has_any = False
-        uses_online = False
-        for key in ("browser", "dalle", "code_interpreter", "knowledge"):
-            if gpt.has_tool(key):
-                counters[key] += 1
-                has_any = True
-                if key == "browser":
-                    uses_online = True
-        if gpt.has_actions:
-            counters["action"] += 1
-            has_any = True
-            uses_online = True
-        if has_any:
-            any_tool += 1
-        if uses_online:
-            online += 1
-
-    analysis.tool_shares = {key: count / analysis.n_gpts for key, count in counters.items()}
-    analysis.any_tool_share = any_tool / analysis.n_gpts
-    analysis.online_service_share = online / analysis.n_gpts
-
-    first, third = party_index.actions_by_party()
-    total_actions = len(first) + len(third)
-    if total_actions:
-        analysis.first_party_action_share = len(first) / total_actions
-        analysis.third_party_action_share = len(third) / total_actions
-    return analysis
+        accumulator.update(gpt)
+    return accumulator.finalize(party_index)

@@ -25,6 +25,15 @@ measurement pipeline:
   ``--cache-dir DIR`` every intermediate artifact is persisted in a
   content-addressed store, so an unchanged cell is never recomputed and a
   killed sweep continues with ``--resume`` (which insists the cache exists).
+
+Global ``--shards N`` / ``--shard-workers M`` / ``--shard-dir DIR`` switch
+every command's corpus analyses onto the sharded streaming path
+(:mod:`repro.io.shards` + :mod:`repro.analysis.streaming`): the crawled
+corpus is hash-partitioned into N JSONL shards on disk and analyzed
+shard-parallel, with byte-identical results at any shard or worker count.
+(The CLI path still crawls the corpus in memory first; the truly
+memory-bounded 100k-GPT ingest is the library-level
+:func:`repro.ecosystem.generator.generate_sharded_corpus`.)
 """
 
 from __future__ import annotations
@@ -47,6 +56,9 @@ def _build_suite(args: argparse.Namespace) -> MeasurementSuite:
         crawl_workers=getattr(args, "workers", 0),
         crawl_checkpoint_dir=getattr(args, "checkpoint_dir", None),
         crawl_resume=getattr(args, "resume", False),
+        shards=args.shards,
+        shard_workers=args.shard_workers,
+        shard_dir=args.shard_dir,
     )
     return MeasurementSuite(config=config)
 
@@ -159,6 +171,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             workers=args.workers,
             cache_dir=args.cache_dir,
             experiment_ids=experiment_ids,
+            shards=args.shards,
+            shard_workers=args.shard_workers,
         )
     except ValueError as error:
         print(str(error), file=sys.stderr)
@@ -234,6 +248,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--gpts", type=int, default=2000, help="number of GPTs to generate")
     parser.add_argument("--seed", type=int, default=0, help="random seed")
+    parser.add_argument(
+        "--shards", type=int, default=0,
+        help="shard the corpus on disk and stream analyses (0 = in-memory)",
+    )
+    parser.add_argument(
+        "--shard-workers", type=int, default=0,
+        help="worker-pool size for shard-parallel analysis (0 = sequential)",
+    )
+    parser.add_argument(
+        "--shard-dir", default=None,
+        help="directory for the sharded corpus store (default: a temp dir)",
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     subparsers.add_parser("generate", help="generate a synthetic ecosystem")

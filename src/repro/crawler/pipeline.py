@@ -134,6 +134,10 @@ class CrawlPipeline:
         checkpoints in ``checkpoint_dir`` are cleared at run start.
     checkpoint_every:
         Flush the checkpoint after this many completed tasks.
+    checkpoint_shards:
+        Partition each checkpoint stage into this many hash-routed shard
+        files (mirrors :mod:`repro.io.shards`); ``1`` keeps the flat
+        single-file layout.
     """
 
     def __init__(
@@ -147,6 +151,7 @@ class CrawlPipeline:
         checkpoint_dir: Optional[str] = None,
         resume: bool = False,
         checkpoint_every: int = 100,
+        checkpoint_shards: int = 1,
         queue_factory: Callable[[], TaskQueue] = FIFOTaskQueue,
     ) -> None:
         self.http = http
@@ -162,6 +167,7 @@ class CrawlPipeline:
         self.checkpoint_dir = checkpoint_dir
         self.resume = resume
         self.checkpoint_every = max(1, checkpoint_every)
+        self.checkpoint_shards = max(1, checkpoint_shards)
         self.statistics = CrawlStatistics()
 
     # ------------------------------------------------------------------
@@ -361,7 +367,7 @@ class CrawlPipeline:
         retries_before = self.transport.statistics.n_retries
         checkpoint: Optional[CrawlCheckpoint] = None
         if self.checkpoint_dir is not None:
-            checkpoint = CrawlCheckpoint(self.checkpoint_dir)
+            checkpoint = CrawlCheckpoint(self.checkpoint_dir, n_shards=self.checkpoint_shards)
             fingerprint = self._checkpoint_fingerprint()
             if not self.resume:
                 checkpoint.clear()

@@ -17,7 +17,13 @@ an :class:`~repro.ecosystem.config.EcosystemConfig`:
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Tuple, Union
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an io import cycle)
+    from pathlib import Path
+
+    from repro.io.shards import ShardedCorpusStore
 
 from repro.ecosystem.actions import ActionFactory, PREVALENT_ACTIONS, PrevalentActionTemplate
 from repro.ecosystem.config import EcosystemConfig
@@ -26,6 +32,7 @@ from repro.ecosystem.models import (
     GPTAuthor,
     GPTManifest,
     GroundTruth,
+    PrivacyPolicyDocument,
     SyntheticEcosystem,
     Tool,
     ToolType,
@@ -295,6 +302,25 @@ class EcosystemGenerator:
 
         return [Tool(tool_type=ToolType.ACTION, action=specification) for specification in embedded]
 
+    # ------------------------------------------------------------------
+    # Lazy, memory-bounded generation (the 100k-GPT path)
+    # ------------------------------------------------------------------
+    def stream(self) -> "EcosystemStream":
+        """Generate the ecosystem lazily, one GPT at a time.
+
+        Returns an :class:`EcosystemStream` whose iteration yields each GPT
+        manifest together with the privacy policies of its bespoke Actions
+        — and *retains nothing*: no ecosystem-wide GPT map, no accumulated
+        ground truth.  The stream makes exactly the same RNG draws in the
+        same order as :meth:`generate`, so at a given seed the manifests
+        are identical to the eager path's; only the store-listing
+        assignment (a whole-ecosystem pass) is skipped.
+
+        Use a fresh generator per stream — iterating advances the
+        generator's RNG just like :meth:`generate` does.
+        """
+        return EcosystemStream(self)
+
     def _custom_first_party_rate(self) -> float:
         """First-party probability for bespoke Actions.
 
@@ -308,3 +334,136 @@ class EcosystemGenerator:
         )
         custom_share = max(1.0 - prevalent_share, 1e-6)
         return min(1.0, overall_first / custom_share)
+
+
+# ---------------------------------------------------------------------------
+# Streaming generation
+# ---------------------------------------------------------------------------
+@dataclass
+class StreamedGPT:
+    """One lazily generated GPT and the policy documents it introduced."""
+
+    index: int
+    manifest: GPTManifest
+    #: Policies of this GPT's *bespoke* Actions (prevalent-Action policies
+    #: are shared and surface once, on the stream itself).
+    policies: Dict[str, PrivacyPolicyDocument] = field(default_factory=dict)
+    #: ``legal_info_url``\ s whose policy the generator marked unavailable
+    #: (the crawl-time failure mode of Section 5.1.1).
+    unavailable_policy_urls: List[str] = field(default_factory=list)
+
+
+class EcosystemStream:
+    """Iterator view of :class:`EcosystemGenerator` with bounded memory.
+
+    Construction eagerly builds the shared prevalent Actions (a handful of
+    templates) and exposes their policies via :attr:`prevalent_policies` /
+    :attr:`prevalent_unavailable_urls`; iteration then yields one
+    :class:`StreamedGPT` per GPT, generated on demand into a throwaway
+    scratch ecosystem so nothing accumulates across GPTs.
+    """
+
+    def __init__(self, generator: EcosystemGenerator) -> None:
+        self.generator = generator
+        scratch = SyntheticEcosystem()
+        self.prevalent_specs = generator._build_prevalent_actions(
+            scratch, scratch.ground_truth
+        )
+        self.prevalent_policies: Dict[str, PrivacyPolicyDocument] = dict(scratch.policies)
+        self.prevalent_unavailable_urls: List[str] = [
+            specification.legal_info_url
+            for _, specification in self.prevalent_specs.values()
+            if specification.legal_info_url
+            and specification.legal_info_url not in scratch.policies
+        ]
+        config = generator.config
+        n_action_gpts = max(
+            1, round(config.n_gpts * config.tool_adoption.get("actions", 0.0))
+        )
+        self._action_gpt_indices = set(
+            generator._rng.sample(
+                range(config.n_gpts), k=min(n_action_gpts, config.n_gpts)
+            )
+        )
+
+    @property
+    def n_gpts(self) -> int:
+        """How many GPTs the stream will yield."""
+        return self.generator.config.n_gpts
+
+    def __iter__(self) -> Iterator[StreamedGPT]:
+        for index in range(self.n_gpts):
+            # A throwaway scratch world per GPT: bespoke Actions, policies,
+            # and ground truth land here and are released with the item.
+            scratch = SyntheticEcosystem()
+            manifest = self.generator._build_gpt(
+                embeds_actions=index in self._action_gpt_indices,
+                prevalent_specs=self.prevalent_specs,
+                ecosystem=scratch,
+                ground_truth=scratch.ground_truth,
+            )
+            unavailable = [
+                specification.legal_info_url
+                for specification in scratch.actions.values()
+                if specification.legal_info_url
+                and specification.legal_info_url not in scratch.policies
+            ]
+            yield StreamedGPT(
+                index=index,
+                manifest=manifest,
+                policies=dict(scratch.policies),
+                unavailable_policy_urls=unavailable,
+            )
+
+
+def generate_sharded_corpus(
+    root: Union[str, Path],
+    config: Optional[EcosystemConfig] = None,
+    taxonomy: Optional[DataTaxonomy] = None,
+    n_shards: int = 8,
+    flush_every: int = 1000,
+) -> ShardedCorpusStore:
+    """Generate an ecosystem straight into a sharded corpus store.
+
+    The 100k-GPT ingest path: GPT manifests are generated lazily
+    (:meth:`EcosystemGenerator.stream`), converted to crawled records, and
+    flushed shard-by-shard — the full ecosystem never materializes in
+    memory.  Policies are recorded as fetch results exactly as the crawl
+    pipeline would observe them (HTTP 200 with text, or the HTTP 500 the
+    simulated network serves for generator-withheld policies).
+
+    Store listings are not simulated on this path (listing assignment is a
+    whole-ecosystem pass), so the manifest carries no per-store counts and
+    every record's ``source_stores`` is empty.
+    """
+    from repro.crawler.corpus import CrawledGPT
+    from repro.crawler.policy_fetcher import PolicyFetchResult
+    from repro.io.shards import ShardedCorpusWriter
+
+    generator = EcosystemGenerator(config, taxonomy)
+    stream = generator.stream()
+    writer = ShardedCorpusWriter(root, n_shards=n_shards, flush_every=flush_every)
+
+    seen_policy_urls = set()
+
+    def emit_policy(url: str, text: Optional[str]) -> None:
+        if url in seen_policy_urls:
+            return
+        seen_policy_urls.add(url)
+        if text is None:
+            writer.add_policy(PolicyFetchResult(url=url, status=500, error="HTTP 500"))
+        else:
+            writer.add_policy(PolicyFetchResult(url=url, status=200, text=text))
+
+    for url, document in stream.prevalent_policies.items():
+        emit_policy(url, document.text)
+    for url in stream.prevalent_unavailable_urls:
+        emit_policy(url, None)
+
+    for item in stream:
+        writer.add_gpt(CrawledGPT.from_manifest(item.manifest.to_dict()))
+        for url, document in item.policies.items():
+            emit_policy(url, document.text)
+        for url in item.unavailable_policy_urls:
+            emit_policy(url, None)
+    return writer.close()

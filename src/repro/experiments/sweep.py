@@ -446,6 +446,12 @@ class SweepRunner:
         identical at any worker count.
     experiment_ids:
         Registry experiments to run per cell (default: all of them).
+    shards / shard_workers:
+        Execution knobs forwarded to every cell's
+        :class:`~repro.analysis.suite.SuiteConfig` *after* fingerprinting:
+        a sharded cell streams its corpus analyses shard-parallel but
+        produces byte-identical results, so the artifact cache is shared
+        between sharded and unsharded runs of the same grid.
     """
 
     def __init__(
@@ -454,6 +460,8 @@ class SweepRunner:
         store: Optional[ArtifactStore] = None,
         workers: int = 0,
         experiment_ids: Optional[Sequence[str]] = None,
+        shards: int = 0,
+        shard_workers: int = 0,
     ) -> None:
         self.cells = list(cells)
         ids = [cell.cell_id for cell in self.cells]
@@ -464,6 +472,8 @@ class SweepRunner:
         unknown = [name for name in self.experiment_ids if name not in EXPERIMENTS]
         if unknown:
             raise ValueError(f"unknown experiment id(s): {', '.join(sorted(unknown))}")
+        self.shards = max(0, shards)
+        self.shard_workers = max(0, shard_workers)
         self.engine = CrawlEngine(workers=workers)
 
     # ------------------------------------------------------------------
@@ -502,8 +512,15 @@ class SweepRunner:
                 classification = classification_from_payload(labels_payload)
                 stage_hits.append("classification")
 
+        suite_config = cell.scenario.suite_config(cell.n_gpts, cell.seed)
+        # Execution knobs, applied after the fingerprint payloads were built:
+        # sharded and unsharded runs of a cell are byte-identical, so they
+        # must (and do) hit the same cache entries.
+        if self.shards:
+            suite_config.shards = self.shards
+            suite_config.shard_workers = self.shard_workers
         suite = MeasurementSuite(
-            config=cell.scenario.suite_config(cell.n_gpts, cell.seed),
+            config=suite_config,
             ecosystem_config=cell.scenario.ecosystem_config(cell.n_gpts, cell.seed),
             corpus=corpus,
             classification=classification,
@@ -602,10 +619,17 @@ def run_sweep(
     workers: int = 0,
     cache_dir: Optional[str] = None,
     experiment_ids: Optional[Sequence[str]] = None,
+    shards: int = 0,
+    shard_workers: int = 0,
 ) -> SweepResult:
     """Convenience wrapper: expand a grid, build the store, run the sweep."""
     cells = expand_grid(scenario_names, n_seeds, base_seed=base_seed, n_gpts=n_gpts)
     store = ArtifactStore(cache_dir) if cache_dir is not None else None
     return SweepRunner(
-        cells, store=store, workers=workers, experiment_ids=experiment_ids
+        cells,
+        store=store,
+        workers=workers,
+        experiment_ids=experiment_ids,
+        shards=shards,
+        shard_workers=shard_workers,
     ).run()

@@ -1,14 +1,34 @@
-"""Persistence layer: corpora, crawl checkpoints, and cached artifacts.
+"""Persistence layer: corpora, shards, crawl checkpoints, and cached artifacts.
 
-``repro.io`` groups three storage concerns behind one import surface:
+``repro.io`` groups four storage concerns behind one import surface.  They
+form a hierarchy — **corpus → shards → artifacts** — and each layer answers
+a different question:
 
-* :mod:`repro.io.corpus` — dataset serialization of crawl corpora and
-  classification results (the paper releases both code and data);
-* :mod:`repro.io.checkpoint` — incremental, resumable crawl checkpoints
-  (:class:`CrawlCheckpoint`);
-* :mod:`repro.io.artifacts` — the content-addressed
-  :class:`ArtifactStore` keyed by :func:`config_fingerprint`, which the
-  sweep engine uses to skip recomputing unchanged experiment cells.
+* :mod:`repro.io.corpus` — *"archive one dataset."*  Whole-corpus JSON
+  serialization of crawl corpora and classification results (the paper
+  releases both code and data).  Use it to export, share, and reload a
+  single measurement run that fits in memory.
+* :mod:`repro.io.shards` — *"stream a dataset that doesn't fit."*
+  :class:`ShardedCorpusStore` hash-partitions GPT and policy records into N
+  JSONL shards with atomic per-shard writes, a fingerprinted manifest, and
+  iterator-based reads.  Use it whenever a consumer should hold one record
+  (or one shard) at a time — the streaming analysis engine
+  (:mod:`repro.analysis.streaming`) and the 100k-scale generation path
+  read and write this format.
+* :mod:`repro.io.checkpoint` — *"survive a kill."*  Incremental, resumable,
+  optionally shard-partitioned crawl checkpoints
+  (:class:`CrawlCheckpoint`).  Use it for in-flight progress of one crawl;
+  it stores raw task payloads, not analysis-ready records.
+* :mod:`repro.io.artifacts` — *"never compute the same thing twice."*  The
+  content-addressed :class:`ArtifactStore` keyed by
+  :func:`config_fingerprint`, which the sweep engine uses to skip
+  recomputing unchanged experiment cells.  Shard manifests plug into it via
+  :meth:`ShardedCorpusStore.register_in`, so a cached cell can point at a
+  sharded corpus by content address instead of embedding it.
+
+Rule of thumb: exporting results → ``corpus``; anything at 100k-GPT scale →
+``shards``; mid-crawl durability → ``checkpoint``; cross-run caching →
+``artifacts``.
 """
 
 from repro.io.artifacts import (
@@ -24,10 +44,22 @@ from repro.io.corpus import (
     classification_to_payload,
     corpus_from_payload,
     corpus_to_payload,
+    gpt_from_payload,
+    gpt_to_payload,
     load_classification,
     load_corpus,
     policies_to_payload,
+    policy_from_payload,
+    policy_to_payload,
     save_corpus,
+)
+from repro.io.shards import (
+    SHARD_ARTIFACT_KIND,
+    ShardedCorpusStore,
+    ShardedCorpusWriter,
+    ShardInfo,
+    ShardManifest,
+    shard_index,
 )
 
 __all__ = [
@@ -35,14 +67,24 @@ __all__ = [
     "ArtifactStore",
     "ArtifactStoreStatistics",
     "CrawlCheckpoint",
+    "SHARD_ARTIFACT_KIND",
+    "ShardInfo",
+    "ShardManifest",
+    "ShardedCorpusStore",
+    "ShardedCorpusWriter",
     "canonical_json",
     "classification_from_payload",
     "classification_to_payload",
     "config_fingerprint",
     "corpus_from_payload",
     "corpus_to_payload",
+    "gpt_from_payload",
+    "gpt_to_payload",
     "load_classification",
     "load_corpus",
     "policies_to_payload",
+    "policy_from_payload",
+    "policy_to_payload",
     "save_corpus",
+    "shard_index",
 ]

@@ -1,19 +1,28 @@
-"""Incremental, resumable crawl checkpoints.
+"""Incremental, resumable, shard-aware crawl checkpoints.
 
 :class:`CrawlCheckpoint` persists per-stage maps of completed task keys to
 result payloads, flushed incrementally while a crawl runs so an interrupted
 run resumes without refetching.  Checkpoint layout::
 
     <checkpoint-directory>/
-      checkpoint_meta.json   # fingerprint of the crawl configuration
-      stage_listing.jsonl    # store name → listing crawl payload
-      stage_resolve.jsonl    # GPT identifier → manifest payload
-      stage_policies.jsonl   # policy URL → fetch payload
+      checkpoint_meta.json        # fingerprint of the crawl configuration
+      stage_listing.jsonl         # store name → listing crawl payload
+      stage_resolve.jsonl         # GPT identifier → manifest payload
+      stage_policies.jsonl        # policy URL → fetch payload
+
+With ``n_shards > 1`` each stage is partitioned into hash-routed shard
+files (``stage_resolve.shard00003.jsonl``), mirroring the sharded corpus
+store (:mod:`repro.io.shards`): records are routed by
+:func:`repro.io.shards.shard_index` of their key, so a flush rewrites only
+the shards that actually received records since the previous flush, and a
+large checkpoint can later be ingested shard-by-shard without parsing one
+monolithic file.
 
 Stage files are append-only JSONL (one ``{"key": …, "payload": …}`` record
 per line), so each periodic flush writes only the records completed since
 the previous flush — O(1) amortized per task, not a rewrite of the whole
-stage.
+stage.  Loading a stage merges every layout present on disk, so a crawl can
+be resumed with a different shard count than the one that wrote it.
 """
 
 from __future__ import annotations
@@ -28,14 +37,16 @@ from typing import Dict, List, Optional, Union
 class CrawlCheckpoint:
     """Incremental, resumable progress storage for one crawl run.
 
-    Each pipeline stage gets an append-only ``stage_<name>.jsonl`` file of
-    completed task records.  Records are buffered in memory and appended at
-    each :meth:`flush` — only the records completed since the previous flush
-    are written, so checkpoint I/O stays O(1) amortized per task no matter
-    how large the crawl grows.  A run killed mid-append can leave at most
-    one truncated trailing line, which :meth:`load_stage` skips; the
-    corresponding task is simply refetched on resume, which is safe because
-    the simulated network is deterministic per URL.
+    Each pipeline stage gets append-only ``stage_<name>*.jsonl`` files of
+    completed task records (one file per shard when ``n_shards > 1``).
+    Records are buffered in memory and appended at each :meth:`flush` —
+    only the records completed since the previous flush are written, and
+    only the shards that received records are touched, so checkpoint I/O
+    stays O(1) amortized per task no matter how large the crawl grows.  A
+    run killed mid-append can leave at most one truncated trailing line per
+    shard, which :meth:`load_stage` skips; the corresponding task is simply
+    refetched on resume, which is safe because the simulated network is
+    deterministic per URL.
 
     ``checkpoint_meta.json`` stores a fingerprint of the crawl configuration
     (written by the pipeline) so a resume against a checkpoint from a
@@ -44,22 +55,38 @@ class CrawlCheckpoint:
 
     _META_FILE = "checkpoint_meta.json"
 
-    def __init__(self, directory: Union[str, Path]) -> None:
+    def __init__(self, directory: Union[str, Path], n_shards: int = 1) -> None:
+        if n_shards < 1:
+            raise ValueError("n_shards must be at least 1")
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        self.n_shards = n_shards
         self._stages: Dict[str, Dict[str, object]] = {}
-        self._unflushed: Dict[str, List[str]] = {}
+        #: stage → shard index → lines not yet appended to disk.
+        self._unflushed: Dict[str, Dict[int, List[str]]] = {}
         self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
-    def _stage_path(self, stage: str) -> Path:
-        return self.directory / f"stage_{stage}.jsonl"
+    def _shard_for(self, key: str) -> int:
+        if self.n_shards <= 1:
+            return 0
+        from repro.io.shards import shard_index
+
+        return shard_index(key, self.n_shards)
+
+    def _stage_path(self, stage: str, shard: int = 0) -> Path:
+        if self.n_shards <= 1:
+            return self.directory / f"stage_{stage}.jsonl"
+        return self.directory / f"stage_{stage}.shard{shard:05d}.jsonl"
+
+    def _stage_files(self, stage: str) -> List[Path]:
+        """Every on-disk file holding records for a stage (any layout)."""
+        return sorted(self.directory.glob(f"stage_{stage}*.jsonl"))
 
     def _load_locked(self, stage: str) -> Dict[str, object]:
         if stage not in self._stages:
             records: Dict[str, object] = {}
-            path = self._stage_path(stage)
-            if path.exists():
+            for path in self._stage_files(stage):
                 for line in path.read_text(encoding="utf-8").splitlines():
                     if not line.strip():
                         continue
@@ -71,7 +98,7 @@ class CrawlCheckpoint:
                         continue
                     records[str(entry["key"])] = entry["payload"]
             self._stages[stage] = records
-            self._unflushed.setdefault(stage, [])
+            self._unflushed.setdefault(stage, {})
         return self._stages[stage]
 
     def load_stage(self, stage: str) -> Dict[str, object]:
@@ -84,7 +111,8 @@ class CrawlCheckpoint:
         line = json.dumps({"key": key, "payload": payload})
         with self._lock:
             self._load_locked(stage)[key] = payload
-            self._unflushed.setdefault(stage, []).append(line)
+            shards = self._unflushed.setdefault(stage, {})
+            shards.setdefault(self._shard_for(key), []).append(line)
 
     def pending(self, stage: str) -> int:
         """Number of records held for a stage (flushed or not)."""
@@ -92,18 +120,23 @@ class CrawlCheckpoint:
             return len(self._stages.get(stage, {}))
 
     def flush(self, stage: Optional[str] = None) -> None:
-        """Append records buffered since the last flush (one stage or all)."""
+        """Append records buffered since the last flush (one stage or all).
+
+        Only the shard files that actually received records are opened.
+        """
         with self._lock:
             stages = [stage] if stage is not None else [
-                name for name, lines in self._unflushed.items() if lines
+                name for name, shards in self._unflushed.items()
+                if any(shards.values())
             ]
             for name in stages:
-                lines = self._unflushed.get(name)
-                if not lines:
-                    continue
-                with self._stage_path(name).open("a", encoding="utf-8") as handle:
-                    handle.write("\n".join(lines) + "\n")
-                self._unflushed[name] = []
+                shards = self._unflushed.get(name, {})
+                for shard, lines in sorted(shards.items()):
+                    if not lines:
+                        continue
+                    with self._stage_path(name, shard).open("a", encoding="utf-8") as handle:
+                        handle.write("\n".join(lines) + "\n")
+                    shards[shard] = []
 
     # ------------------------------------------------------------------
     def load_meta(self) -> Optional[Dict[str, object]]:

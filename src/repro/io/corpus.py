@@ -93,6 +93,36 @@ def _gpt_from_dict(payload: Dict[str, object]) -> CrawledGPT:
     )
 
 
+def gpt_to_payload(gpt: CrawledGPT) -> Dict[str, object]:
+    """The JSON payload of one GPT record (one shard-file line)."""
+    return _gpt_to_dict(gpt)
+
+
+def gpt_from_payload(payload: Dict[str, object]) -> CrawledGPT:
+    """Rebuild one GPT from :func:`gpt_to_payload` output."""
+    return _gpt_from_dict(payload)
+
+
+def policy_to_payload(result: PolicyFetchResult) -> Dict[str, object]:
+    """The JSON payload of one policy fetch record (one shard-file line)."""
+    return {
+        "url": result.url,
+        "status": result.status,
+        "text": result.text,
+        "error": result.error,
+    }
+
+
+def policy_from_payload(payload: Dict[str, object]) -> PolicyFetchResult:
+    """Rebuild one policy fetch result from :func:`policy_to_payload` output."""
+    return PolicyFetchResult(
+        url=str(payload["url"]),
+        status=int(payload.get("status", 0)),
+        text=payload.get("text"),
+        error=payload.get("error"),
+    )
+
+
 def corpus_to_payload(corpus: CrawlCorpus) -> Dict[str, object]:
     """The JSON payload of ``corpus.json``.
 

@@ -1,0 +1,505 @@
+"""Sharded, memory-bounded corpus storage.
+
+A single ``corpus.json`` works at the paper's scale (a few thousand GPTs)
+but a 100k-GPT ecosystem cannot be loaded — let alone analyzed — as one
+in-memory object.  :class:`ShardedCorpusStore` is the data layer the
+streaming analysis engine (:mod:`repro.analysis.streaming`) and the lazy
+ecosystem generator build on:
+
+* GPT records and policy fetch results are **hash-sharded** into ``N``
+  JSONL shard files (:func:`shard_index` — a stable SHA-256 route, so the
+  same key always lands in the same shard at a given shard count);
+* writes are **atomic per shard**: a writer appends to ``*.part`` files and
+  promotes every shard with ``os.replace`` at :meth:`ShardedCorpusWriter.close`,
+  so a killed ingest never leaves a half-visible store;
+* reads are **iterator-based** (:meth:`ShardedCorpusStore.iter_shard_gpts`)
+  — a consumer holds one record at a time, never the whole corpus;
+* every shard carries a **content fingerprint** (SHA-256 of its bytes) in
+  ``manifest.json``; :meth:`ShardedCorpusStore.fingerprint` combines them
+  into a content address that plugs straight into the PR-3
+  :class:`~repro.io.artifacts.ArtifactStore`
+  (:meth:`ShardedCorpusStore.register_in`).
+
+Layout::
+
+    <root>/
+      manifest.json        # schema, shard count, per-shard fingerprints, corpus metadata
+      gpts-00000.jsonl     # one GPT record per line (see repro.io.corpus.gpt_to_payload)
+      policies-00000.jsonl # one policy fetch record per line
+
+The store is a *serialization* of a :class:`~repro.crawler.corpus.CrawlCorpus`:
+:meth:`ShardedCorpusStore.load_corpus` rebuilds one (shard-major order), and
+the streaming accumulators produce results identical to running the in-memory
+analyzers on that corpus.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Mapping, Optional, Union
+
+from repro.crawler.corpus import CrawlCorpus, CrawledAction, CrawledGPT
+from repro.crawler.policy_fetcher import PolicyFetchResult
+from repro.io.artifacts import ArtifactStore, canonical_json, config_fingerprint
+from repro.io.corpus import gpt_to_payload, policy_from_payload, policy_to_payload
+
+#: Bump when the shard file layout changes; readers refuse newer schemas.
+SHARD_SCHEMA_VERSION = 1
+
+_MANIFEST_FILE = "manifest.json"
+
+#: Artifact-store kind under which shard manifests are registered.
+SHARD_ARTIFACT_KIND = "corpus-shards"
+
+
+def shard_index(key: str, n_shards: int) -> int:
+    """Deterministic shard route for a record key.
+
+    Uses the first 8 bytes of SHA-256 so the route is stable across Python
+    processes and versions (``hash()`` is salted per process and therefore
+    unusable for on-disk partitioning).
+    """
+    if n_shards < 1:
+        raise ValueError("n_shards must be at least 1")
+    digest = hashlib.sha256(key.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % n_shards
+
+
+def _shard_name(kind: str, index: int) -> str:
+    return f"{kind}-{index:05d}.jsonl"
+
+
+def _gpt_from_trusted_payload(payload: Dict[str, object]) -> CrawledGPT:
+    """Rebuild a GPT from a shard record without defensive coercion.
+
+    Shard files are written by this module (full canonical payloads, every
+    field present and correctly typed) and are fingerprint-verified, so the
+    hot read path skips the ``str()``/``get()`` defenses of the interchange
+    parser (:func:`repro.io.corpus.gpt_from_payload`) — roughly halving
+    per-record decode cost, which dominates streaming analysis time.
+    """
+    return CrawledGPT(
+        gpt_id=payload["gpt_id"],
+        name=payload["name"],
+        description=payload["description"],
+        author_name=payload["author_name"],
+        author_website=payload["author_website"],
+        vendor_domain=payload["vendor_domain"],
+        tags=payload["tags"],
+        tool_types=payload["tool_types"],
+        actions=[
+            CrawledAction(
+                action_id=entry["action_id"],
+                title=entry["title"],
+                description=entry["description"],
+                server_url=entry["server_url"],
+                legal_info_url=entry["legal_info_url"],
+                functionality=entry["functionality"],
+                auth_type=entry["auth_type"],
+                parameters=[tuple(parameter) for parameter in entry["parameters"]],
+            )
+            for entry in payload["actions"]
+        ],
+        n_files=payload["n_files"],
+        source_stores=payload["source_stores"],
+    )
+
+
+@dataclass(frozen=True)
+class ShardInfo:
+    """Manifest metadata for one shard file."""
+
+    name: str
+    n_records: int
+    fingerprint: str
+
+
+@dataclass
+class ShardManifest:
+    """Everything ``manifest.json`` records about a sharded corpus."""
+
+    n_shards: int
+    gpt_shards: List[ShardInfo] = field(default_factory=list)
+    policy_shards: List[ShardInfo] = field(default_factory=list)
+    #: Corpus-level metadata that is not per-record (Table 1 inputs).
+    store_counts: Dict[str, int] = field(default_factory=dict)
+    store_link_counts: Dict[str, int] = field(default_factory=dict)
+    unresolved_gpt_ids: List[str] = field(default_factory=list)
+    schema: int = SHARD_SCHEMA_VERSION
+
+    @property
+    def n_gpts(self) -> int:
+        """Total GPT records across all shards."""
+        return sum(info.n_records for info in self.gpt_shards)
+
+    @property
+    def n_policies(self) -> int:
+        """Total policy records across all shards."""
+        return sum(info.n_records for info in self.policy_shards)
+
+    def to_payload(self) -> Dict[str, object]:
+        """The JSON payload written to ``manifest.json``."""
+        return {
+            "schema": self.schema,
+            "n_shards": self.n_shards,
+            "gpt_shards": [
+                {"name": info.name, "n_records": info.n_records, "fingerprint": info.fingerprint}
+                for info in self.gpt_shards
+            ],
+            "policy_shards": [
+                {"name": info.name, "n_records": info.n_records, "fingerprint": info.fingerprint}
+                for info in self.policy_shards
+            ],
+            "store_counts": self.store_counts,
+            "store_link_counts": self.store_link_counts,
+            "unresolved_gpt_ids": self.unresolved_gpt_ids,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, object]) -> "ShardManifest":
+        """Parse a ``manifest.json`` payload."""
+        schema = int(payload.get("schema", 0))
+        if schema > SHARD_SCHEMA_VERSION:
+            raise ValueError(
+                f"shard manifest schema {schema} is newer than supported "
+                f"({SHARD_SCHEMA_VERSION}); upgrade the reader"
+            )
+
+        def infos(key: str) -> List[ShardInfo]:
+            return [
+                ShardInfo(
+                    name=str(entry["name"]),
+                    n_records=int(entry["n_records"]),
+                    fingerprint=str(entry["fingerprint"]),
+                )
+                for entry in payload.get(key, [])
+            ]
+
+        return cls(
+            n_shards=int(payload["n_shards"]),
+            gpt_shards=infos("gpt_shards"),
+            policy_shards=infos("policy_shards"),
+            store_counts=dict(payload.get("store_counts", {})),
+            store_link_counts=dict(payload.get("store_link_counts", {})),
+            unresolved_gpt_ids=list(payload.get("unresolved_gpt_ids", [])),
+            schema=schema,
+        )
+
+
+class _ShardFile:
+    """One shard file being written: buffered lines + an incremental hash."""
+
+    def __init__(self, path: Path) -> None:
+        self.path = path
+        self.part = path.with_name(path.name + ".part")
+        # A killed writer can leave a flushed .part behind; appending to it
+        # would publish the dead run's records under fingerprints computed
+        # only from the new ones.  Every writer starts its shards empty.
+        self.part.unlink(missing_ok=True)
+        self.n_records = 0
+        self._hash = hashlib.sha256()
+        self._buffer: List[str] = []
+
+    def add(self, payload: object) -> None:
+        line = canonical_json(payload) + "\n"
+        self._buffer.append(line)
+        self._hash.update(line.encode("utf-8"))
+        self.n_records += 1
+
+    def flush(self) -> None:
+        if not self._buffer:
+            # Touch the part file so every shard exists even when empty.
+            self.part.touch()
+            return
+        with self.part.open("a", encoding="utf-8") as handle:
+            handle.write("".join(self._buffer))
+        self._buffer = []
+
+    def promote(self) -> ShardInfo:
+        """Flush remaining records and atomically publish the shard."""
+        self.flush()
+        os.replace(self.part, self.path)
+        return ShardInfo(
+            name=self.path.name, n_records=self.n_records, fingerprint=self._hash.hexdigest()
+        )
+
+
+class ShardedCorpusWriter:
+    """Incremental, memory-bounded writer for a sharded corpus.
+
+    Records are routed to shards by key hash, buffered, and appended to
+    hidden ``*.part`` files every ``flush_every`` records — so peak memory
+    is bounded by the flush interval, not the corpus size.  :meth:`close`
+    promotes every ``*.part`` file with an atomic rename and writes the
+    manifest last, so a reader either sees a complete store or none at all.
+    """
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        n_shards: int,
+        flush_every: int = 1000,
+    ) -> None:
+        if n_shards < 1:
+            raise ValueError("n_shards must be at least 1")
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.n_shards = n_shards
+        self.flush_every = max(1, flush_every)
+        self._gpt_shards = [
+            _ShardFile(self.root / _shard_name("gpts", index)) for index in range(n_shards)
+        ]
+        self._policy_shards = [
+            _ShardFile(self.root / _shard_name("policies", index)) for index in range(n_shards)
+        ]
+        self._since_flush = 0
+        self._closed = False
+        self.store_counts: Dict[str, int] = {}
+        self.store_link_counts: Dict[str, int] = {}
+        self.unresolved_gpt_ids: List[str] = []
+
+    # ------------------------------------------------------------------
+    def _count(self) -> None:
+        self._since_flush += 1
+        if self._since_flush >= self.flush_every:
+            self.flush()
+
+    def add_gpt(self, gpt: CrawledGPT) -> int:
+        """Append one GPT record; returns the shard index it landed in."""
+        index = shard_index(gpt.gpt_id, self.n_shards)
+        self._gpt_shards[index].add(gpt_to_payload(gpt))
+        for store in gpt.source_stores:
+            self.store_counts[store] = self.store_counts.get(store, 0) + 1
+        self._count()
+        return index
+
+    def add_policy(self, result: PolicyFetchResult) -> int:
+        """Append one policy fetch record; returns its shard index."""
+        index = shard_index(result.url, self.n_shards)
+        self._policy_shards[index].add(policy_to_payload(result))
+        self._count()
+        return index
+
+    def set_metadata(
+        self,
+        store_counts: Optional[Mapping[str, int]] = None,
+        store_link_counts: Optional[Mapping[str, int]] = None,
+        unresolved_gpt_ids: Optional[List[str]] = None,
+    ) -> None:
+        """Record corpus-level metadata carried by the manifest.
+
+        ``store_counts`` overrides the counts accumulated from GPT records
+        (use when the source corpus tracks them independently).
+        """
+        if store_counts is not None:
+            self.store_counts = dict(store_counts)
+        if store_link_counts is not None:
+            self.store_link_counts = dict(store_link_counts)
+        if unresolved_gpt_ids is not None:
+            self.unresolved_gpt_ids = list(unresolved_gpt_ids)
+
+    def flush(self) -> None:
+        """Append buffered records to the hidden ``*.part`` shard files."""
+        for shard in self._gpt_shards:
+            shard.flush()
+        for shard in self._policy_shards:
+            shard.flush()
+        self._since_flush = 0
+
+    def close(self) -> "ShardedCorpusStore":
+        """Atomically publish every shard, write the manifest, open the store."""
+        if self._closed:
+            raise RuntimeError("writer is already closed")
+        self._closed = True
+        manifest = ShardManifest(
+            n_shards=self.n_shards,
+            gpt_shards=[shard.promote() for shard in self._gpt_shards],
+            policy_shards=[shard.promote() for shard in self._policy_shards],
+            store_counts=dict(self.store_counts),
+            store_link_counts=dict(self.store_link_counts),
+            unresolved_gpt_ids=list(self.unresolved_gpt_ids),
+        )
+        manifest_path = self.root / _MANIFEST_FILE
+        temp = manifest_path.with_suffix(".json.tmp")
+        temp.write_text(
+            json.dumps(manifest.to_payload(), indent=2, ensure_ascii=False), encoding="utf-8"
+        )
+        os.replace(temp, manifest_path)
+        return ShardedCorpusStore(self.root, manifest=manifest)
+
+    # Context-manager sugar: ``with ShardedCorpusWriter(...) as writer``.
+    def __enter__(self) -> "ShardedCorpusWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None and not self._closed:
+            self.close()
+
+
+class ShardedCorpusStore:
+    """A read view over a sharded corpus directory."""
+
+    def __init__(
+        self, root: Union[str, Path], manifest: Optional[ShardManifest] = None
+    ) -> None:
+        self.root = Path(root)
+        if manifest is None:
+            path = self.root / _MANIFEST_FILE
+            if not path.exists():
+                raise FileNotFoundError(f"no shard manifest at {path}")
+            manifest = ShardManifest.from_payload(
+                json.loads(path.read_text(encoding="utf-8"))
+            )
+        self.manifest = manifest
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def write_corpus(
+        cls,
+        corpus: CrawlCorpus,
+        root: Union[str, Path],
+        n_shards: int,
+        flush_every: int = 1000,
+    ) -> "ShardedCorpusStore":
+        """Shard an in-memory corpus to ``root`` and return the store."""
+        writer = ShardedCorpusWriter(root, n_shards, flush_every=flush_every)
+        for gpt in corpus.iter_gpts():
+            writer.add_gpt(gpt)
+        for result in corpus.policies.values():
+            writer.add_policy(result)
+        writer.set_metadata(
+            store_counts=corpus.store_counts,
+            store_link_counts=corpus.store_link_counts,
+            unresolved_gpt_ids=corpus.unresolved_gpt_ids,
+        )
+        return writer.close()
+
+    # ------------------------------------------------------------------
+    # Properties
+    # ------------------------------------------------------------------
+    @property
+    def n_shards(self) -> int:
+        """Number of shards in this store."""
+        return self.manifest.n_shards
+
+    @property
+    def n_gpts(self) -> int:
+        """Total GPT records in this store."""
+        return self.manifest.n_gpts
+
+    # ------------------------------------------------------------------
+    # Iteration (memory-bounded)
+    # ------------------------------------------------------------------
+    def _iter_lines(self, name: str) -> Iterator[str]:
+        path = self.root / name
+        with path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    yield line
+
+    def iter_shard_gpts(self, index: int) -> Iterator[CrawledGPT]:
+        """Stream the GPT records of one shard (one object live at a time)."""
+        for line in self._iter_lines(self.manifest.gpt_shards[index].name):
+            yield _gpt_from_trusted_payload(json.loads(line))
+
+    def iter_gpts(self) -> Iterator[CrawledGPT]:
+        """Stream every GPT record, shard-major."""
+        for index in range(self.n_shards):
+            yield from self.iter_shard_gpts(index)
+
+    def iter_shard_policies(self, index: int) -> Iterator[PolicyFetchResult]:
+        """Stream the policy records of one shard."""
+        for line in self._iter_lines(self.manifest.policy_shards[index].name):
+            yield policy_from_payload(json.loads(line))
+
+    def iter_policies(self) -> Iterator[PolicyFetchResult]:
+        """Stream every policy record, shard-major."""
+        for index in range(self.n_shards):
+            yield from self.iter_shard_policies(index)
+
+    def available_policy_urls(self) -> set:
+        """URLs whose policy was fetched successfully (text present).
+
+        Memory is O(#policy URLs), not O(total policy text): the texts are
+        discarded as the stream advances.
+        """
+        available = set()
+        for result in self.iter_policies():
+            if result.ok and result.text is not None:
+                available.add(result.url)
+        return available
+
+    # ------------------------------------------------------------------
+    # Full materialization (for compatibility / identity checks)
+    # ------------------------------------------------------------------
+    def load_corpus(self) -> CrawlCorpus:
+        """Rebuild the full in-memory corpus (shard-major record order).
+
+        This defeats the purpose of sharding at 100k scale — it exists for
+        the unsharded compatibility path and for byte-identity tests.
+        """
+        corpus = CrawlCorpus()
+        for gpt in self.iter_gpts():
+            corpus.gpts[gpt.gpt_id] = gpt
+        for result in self.iter_policies():
+            corpus.policies[result.url] = result
+        corpus.store_counts = dict(self.manifest.store_counts)
+        corpus.store_link_counts = dict(self.manifest.store_link_counts)
+        corpus.unresolved_gpt_ids = list(self.manifest.unresolved_gpt_ids)
+        return corpus
+
+    # ------------------------------------------------------------------
+    # Fingerprints and artifact-store integration
+    # ------------------------------------------------------------------
+    def fingerprint(self) -> str:
+        """Content address of the whole store (from the shard fingerprints).
+
+        Two stores with identical records in identical shard order share a
+        fingerprint regardless of where on disk they live.
+        """
+        return config_fingerprint(self.manifest.to_payload())
+
+    def verify(self) -> List[str]:
+        """Re-hash every shard; returns the names of corrupted shards."""
+        corrupted: List[str] = []
+        for info in self.manifest.gpt_shards + self.manifest.policy_shards:
+            path = self.root / info.name
+            digest = hashlib.sha256()
+            try:
+                with path.open("rb") as handle:
+                    for chunk in iter(lambda: handle.read(1 << 20), b""):
+                        digest.update(chunk)
+            except OSError:
+                corrupted.append(info.name)
+                continue
+            if digest.hexdigest() != info.fingerprint:
+                corrupted.append(info.name)
+        return corrupted
+
+    def register_in(self, store: ArtifactStore) -> str:
+        """Record this store's manifest in a content-addressed artifact store.
+
+        The manifest (with its per-shard fingerprints) is stored under the
+        store's own content address, so sweep-style pipelines can test
+        whether an identical sharded corpus already exists anywhere without
+        reading a single shard.  Returns the fingerprint used as the key.
+        """
+        fingerprint = self.fingerprint()
+        payload = dict(self.manifest.to_payload())
+        payload["root"] = str(self.root)
+        store.put(SHARD_ARTIFACT_KIND, fingerprint, payload)
+        return fingerprint
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"ShardedCorpusStore: {self.n_gpts} GPTs and "
+            f"{self.manifest.n_policies} policies in {self.n_shards} shard(s) at {self.root}"
+        )

@@ -6,6 +6,15 @@ delta tables, and per-metric figure series.
 """
 
 from repro.reporting.markdown import format_table, format_percent
+from repro.reporting.report import format_report_value, render_experiment_report
 from repro.reporting import tables, figures, sweep
 
-__all__ = ["format_table", "format_percent", "tables", "figures", "sweep"]
+__all__ = [
+    "format_table",
+    "format_percent",
+    "format_report_value",
+    "render_experiment_report",
+    "tables",
+    "figures",
+    "sweep",
+]

@@ -1,0 +1,276 @@
+"""Tests for the streaming accumulators and the shard-parallel runner.
+
+The load-bearing property: for every corpus-driven analysis, accumulate →
+merge → finalize over *any* partitioning of the corpus equals the
+single-pass ``analyze_*`` result, and the shard-parallel runner equals the
+in-memory path at any shard and worker count.
+"""
+
+import pytest
+
+from repro.analysis import (
+    analyze_collection,
+    analyze_cooccurrence,
+    analyze_coverage,
+    analyze_crawl_stats,
+    analyze_multi_action,
+    analyze_prevalence,
+    analyze_prohibited,
+    analyze_shards,
+    analyze_tool_usage,
+    build_party_index,
+)
+from repro.analysis.collection import CollectionAccumulator
+from repro.analysis.cooccurrence import CooccurrenceAccumulator
+from repro.analysis.coverage import CoverageAccumulator
+from repro.analysis.crawlstats import CrawlStatsAccumulator
+from repro.analysis.multiaction import MultiActionAccumulator
+from repro.analysis.party import ActionPartyAccumulator
+from repro.analysis.prevalence import PrevalenceAccumulator
+from repro.analysis.prohibited import ProhibitedAccumulator, find_offending_actions
+from repro.analysis.streaming import ShardAnalysisRunner
+from repro.analysis.tools import ToolUsageAccumulator
+from repro.io.shards import ShardedCorpusStore
+
+
+@pytest.fixture(scope="module")
+def shard_store(small_corpus, tmp_path_factory):
+    return ShardedCorpusStore.write_corpus(
+        small_corpus, tmp_path_factory.mktemp("stream-shards"), n_shards=5
+    )
+
+
+@pytest.fixture(scope="module")
+def classification(small_corpus, taxonomy, simulated_llm):
+    """A real classification of the small corpus (shared by merge tests)."""
+    from repro.analysis.suite import MeasurementSuite, SuiteConfig
+
+    suite = MeasurementSuite(
+        config=SuiteConfig(n_gpts=600, seed=11),
+        taxonomy=taxonomy,
+        llm=simulated_llm,
+        corpus=small_corpus,
+    )
+    return suite.classification
+
+
+def _chunked_merge(accumulators, items):
+    """Accumulate items split over several accumulators, then merge."""
+    for index, item in enumerate(items):
+        accumulators[index % len(accumulators)].update(item)
+    first = accumulators[0]
+    for other in accumulators[1:]:
+        first.merge(other)
+    return first
+
+
+class TestAccumulatorMergeEquivalence:
+    """Partitioned accumulate+merge == single-pass analyze_*."""
+
+    def test_party(self, small_corpus):
+        merged = _chunked_merge(
+            [ActionPartyAccumulator() for _ in range(3)], small_corpus.iter_gpts()
+        )
+        assert merged.finalize() == build_party_index(small_corpus)
+
+    def test_crawl_stats(self, small_corpus):
+        merged = _chunked_merge(
+            [CrawlStatsAccumulator() for _ in range(3)], small_corpus.iter_gpts()
+        )
+        available = {
+            url
+            for url, result in small_corpus.policies.items()
+            if result.ok and result.text is not None
+        }
+        result = merged.finalize(
+            store_counts=small_corpus.store_counts,
+            unresolved_gpt_ids=small_corpus.unresolved_gpt_ids,
+            available_policy_urls=available,
+        )
+        assert result == analyze_crawl_stats(small_corpus)
+
+    def test_tool_usage(self, small_corpus):
+        party = build_party_index(small_corpus)
+        merged = _chunked_merge(
+            [ToolUsageAccumulator() for _ in range(4)], small_corpus.iter_gpts()
+        )
+        assert merged.finalize(party) == analyze_tool_usage(small_corpus, party)
+
+    def test_multi_action(self, small_corpus):
+        merged = _chunked_merge(
+            [MultiActionAccumulator() for _ in range(4)], small_corpus.iter_gpts()
+        )
+        assert merged.finalize() == analyze_multi_action(small_corpus)
+
+    def test_cooccurrence(self, small_corpus):
+        merged = _chunked_merge(
+            [CooccurrenceAccumulator() for _ in range(4)], small_corpus.iter_gpts()
+        )
+        finalized = merged.finalize()
+        single = analyze_cooccurrence(small_corpus)
+        assert finalized.names == single.names
+        assert sorted(finalized.graph.edges(data="weight")) == sorted(
+            single.graph.edges(data="weight")
+        )
+
+    def test_collection(self, small_corpus, classification):
+        party = build_party_index(small_corpus)
+        collected = classification.action_data_types()
+        merged = _chunked_merge(
+            [CollectionAccumulator(collected) for _ in range(3)], small_corpus.iter_gpts()
+        )
+        assert merged.finalize(party) == analyze_collection(
+            small_corpus, classification, party
+        )
+
+    def test_prohibited(self, small_corpus, classification, taxonomy):
+        offending = find_offending_actions(classification, taxonomy)
+        collected = classification.action_data_types()
+        merged = _chunked_merge(
+            [ProhibitedAccumulator(offending, collected) for _ in range(3)],
+            small_corpus.iter_gpts(),
+        )
+        assert merged.finalize() == analyze_prohibited(
+            small_corpus, classification, taxonomy
+        )
+
+    def test_prevalence(self, small_corpus, classification):
+        party = build_party_index(small_corpus)
+        merged = _chunked_merge(
+            [PrevalenceAccumulator() for _ in range(3)], small_corpus.iter_gpts()
+        )
+        assert merged.finalize(classification, party) == analyze_prevalence(
+            small_corpus, classification, party
+        )
+
+    def test_coverage_label_chunks(self, classification):
+        merged = _chunked_merge(
+            [CoverageAccumulator() for _ in range(4)], classification.labels
+        )
+        assert merged.finalize() == analyze_coverage(classification)
+
+
+class TestShardAnalysisRunner:
+    @pytest.mark.parametrize("workers", [0, 4])
+    def test_corpus_group_matches_in_memory(self, shard_store, small_corpus, workers):
+        results = analyze_shards(
+            shard_store,
+            names=["crawl_stats", "tool_usage", "multi_action", "cooccurrence"],
+            workers=workers,
+        )
+        party = build_party_index(small_corpus)
+        assert results["crawl_stats"] == analyze_crawl_stats(small_corpus)
+        assert results["tool_usage"] == analyze_tool_usage(small_corpus, party)
+        assert results["multi_action"] == analyze_multi_action(small_corpus)
+        assert results["party"] == party
+
+    def test_classified_group_matches_in_memory(
+        self, shard_store, small_corpus, classification, taxonomy
+    ):
+        results = analyze_shards(
+            shard_store,
+            names=["collection", "coverage", "prohibited", "prevalence"],
+            workers=2,
+            classification=classification,
+            taxonomy=taxonomy,
+        )
+        party = build_party_index(small_corpus)
+        assert results["collection"] == analyze_collection(
+            small_corpus, classification, party
+        )
+        assert results["coverage"] == analyze_coverage(classification)
+        assert results["prohibited"] == analyze_prohibited(
+            small_corpus, classification, taxonomy
+        )
+        assert results["prevalence"] == analyze_prevalence(
+            small_corpus, classification, party
+        )
+
+    def test_identical_across_shard_counts(self, small_corpus, tmp_path):
+        baseline = None
+        for n_shards in (1, 3, 8):
+            store = ShardedCorpusStore.write_corpus(
+                small_corpus, tmp_path / f"s{n_shards}", n_shards=n_shards
+            )
+            results = analyze_shards(store, names=["crawl_stats", "multi_action"])
+            if baseline is None:
+                baseline = results
+            else:
+                assert results["crawl_stats"] == baseline["crawl_stats"]
+                assert results["multi_action"] == baseline["multi_action"]
+
+    def test_supplied_party_index_is_reused(self, shard_store, small_corpus):
+        party = build_party_index(small_corpus)
+        results = analyze_shards(shard_store, names=["tool_usage"], party_index=party)
+        assert results["party"] is party
+        assert results["tool_usage"] == analyze_tool_usage(small_corpus, party)
+
+    def test_unknown_analysis_rejected(self, shard_store):
+        with pytest.raises(ValueError, match="unknown streaming analyses"):
+            analyze_shards(shard_store, names=["nope"])
+
+    def test_classification_required(self, shard_store):
+        with pytest.raises(ValueError, match="classification required"):
+            analyze_shards(shard_store, names=["collection"])
+
+    def test_party_only(self, shard_store, small_corpus):
+        runner = ShardAnalysisRunner(shard_store, workers=2)
+        results = runner.run(["party"])
+        assert results["party"] == build_party_index(small_corpus)
+
+
+class TestShardedSuite:
+    """MeasurementSuite with shards > 0 routes analyses through streaming."""
+
+    def test_suite_results_identical(self, tmp_path):
+        from repro.analysis.suite import MeasurementSuite, SuiteConfig
+        from repro.experiments.registry import EXPERIMENTS
+        from repro.experiments.sweep import _jsonable
+        from repro.io import canonical_json
+
+        plain = MeasurementSuite(config=SuiteConfig(n_gpts=150, seed=23))
+        sharded = MeasurementSuite(
+            config=SuiteConfig(
+                n_gpts=150, seed=23, shards=3, shard_workers=2,
+                shard_dir=str(tmp_path / "suite-shards"),
+            )
+        )
+        # Streamed analyses compare equal object-for-object…
+        plain_all = plain.run_all()
+        sharded_all = sharded.run_all()
+        for name in ("crawl_stats", "tool_usage", "collection", "coverage",
+                     "prohibited", "prevalence", "multi_action"):
+            assert plain_all[name] == sharded_all[name], name
+        # …and the reported experiment values are the byte-level contract.
+        plain_values = {
+            eid: _jsonable(EXPERIMENTS[eid](plain).measured_values) for eid in EXPERIMENTS
+        }
+        sharded_values = {
+            eid: _jsonable(EXPERIMENTS[eid](sharded).measured_values) for eid in EXPERIMENTS
+        }
+        assert canonical_json(plain_values) == canonical_json(sharded_values)
+
+    def test_corpus_only_access_skips_classification(self, tmp_path):
+        from repro.analysis.suite import MeasurementSuite, SuiteConfig
+
+        suite = MeasurementSuite(config=SuiteConfig(n_gpts=80, seed=2, shards=2))
+        suite.crawl_stats
+        suite.multi_action
+        assert not suite.stage_materialized("classification")
+
+    def test_shard_store_requires_sharding(self):
+        from repro.analysis.suite import MeasurementSuite, SuiteConfig
+
+        suite = MeasurementSuite(config=SuiteConfig(n_gpts=10, seed=1))
+        with pytest.raises(ValueError):
+            suite.shard_store
+
+    def test_shard_dir_is_used(self, tmp_path):
+        from repro.analysis.suite import MeasurementSuite, SuiteConfig
+
+        target = tmp_path / "explicit"
+        suite = MeasurementSuite(
+            config=SuiteConfig(n_gpts=60, seed=4, shards=2, shard_dir=str(target))
+        )
+        suite.crawl_stats
+        assert (target / "manifest.json").exists()

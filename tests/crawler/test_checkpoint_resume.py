@@ -77,6 +77,93 @@ class TestCrawlCheckpoint:
         assert CrawlCheckpoint(tmp_path).load_meta() == {"seed": 11, "stores": ["a"]}
 
 
+class TestShardedCheckpoint:
+    def test_records_routed_to_shard_files(self, tmp_path):
+        from repro.io import shard_index
+
+        checkpoint = CrawlCheckpoint(tmp_path, n_shards=4)
+        keys = [f"g-{index}" for index in range(40)]
+        for key in keys:
+            checkpoint.record("resolve", key, {"status": 200})
+        checkpoint.flush()
+
+        shard_files = sorted(tmp_path.glob("stage_resolve.shard*.jsonl"))
+        assert shard_files, "sharded checkpoints must write shard files"
+        assert not (tmp_path / "stage_resolve.jsonl").exists()
+        for path in shard_files:
+            shard = int(path.name.split("shard")[1].split(".")[0])
+            for line in path.read_text(encoding="utf-8").splitlines():
+                assert shard_index(json.loads(line)["key"], 4) == shard
+
+    def test_sharded_roundtrip_and_cross_shard_count_resume(self, tmp_path):
+        records = {f"g-{index}": {"status": index} for index in range(25)}
+        checkpoint = CrawlCheckpoint(tmp_path, n_shards=3)
+        for key, payload in records.items():
+            checkpoint.record("resolve", key, payload)
+        checkpoint.flush()
+        # Reload with the same, a different, and the flat shard layout.
+        for n_shards in (3, 5, 1):
+            assert CrawlCheckpoint(tmp_path, n_shards=n_shards).load_stage(
+                "resolve"
+            ) == records
+
+    def test_flush_touches_only_dirty_shards(self, tmp_path):
+        from repro.io import shard_index
+
+        checkpoint = CrawlCheckpoint(tmp_path, n_shards=4)
+        checkpoint.record("resolve", "g-one", {"status": 200})
+        checkpoint.flush()
+        dirty = shard_index("g-one", 4)
+        written = sorted(tmp_path.glob("stage_resolve.shard*.jsonl"))
+        assert [path.name for path in written] == [
+            f"stage_resolve.shard{dirty:05d}.jsonl"
+        ]
+
+    def test_truncated_shard_line_skipped(self, tmp_path):
+        from repro.io import shard_index
+
+        checkpoint = CrawlCheckpoint(tmp_path, n_shards=2)
+        checkpoint.record("resolve", "g-a", {"status": 200})
+        checkpoint.flush()
+        shard = shard_index("g-a", 2)
+        path = tmp_path / f"stage_resolve.shard{shard:05d}.jsonl"
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write('{"key": "g-b", "payl')
+        assert CrawlCheckpoint(tmp_path, n_shards=2).load_stage("resolve") == {
+            "g-a": {"status": 200}
+        }
+
+    def test_clear_removes_shard_files(self, tmp_path):
+        checkpoint = CrawlCheckpoint(tmp_path, n_shards=3)
+        for index in range(9):
+            checkpoint.record("resolve", f"g-{index}", {})
+        checkpoint.flush()
+        checkpoint.clear()
+        assert not list(tmp_path.glob("stage_*.jsonl"))
+
+    def test_invalid_shard_count(self, tmp_path):
+        with pytest.raises(ValueError):
+            CrawlCheckpoint(tmp_path, n_shards=0)
+
+    def test_sharded_pipeline_resume_identical(self, small_ecosystem, tmp_path):
+        uninterrupted = CrawlPipeline.from_ecosystem(small_ecosystem, seed=11).run()
+        first = CrawlPipeline.from_ecosystem(
+            small_ecosystem, seed=11,
+            checkpoint_dir=str(tmp_path), checkpoint_shards=4,
+        )
+        first.run()
+        assert list(tmp_path.glob("stage_resolve.shard*.jsonl"))
+
+        resumed = CrawlPipeline.from_ecosystem(
+            small_ecosystem, seed=11,
+            checkpoint_dir=str(tmp_path), checkpoint_shards=4, resume=True,
+        )
+        corpus = resumed.run()
+        assert resumed.statistics.n_http_requests == 0
+        assert corpus_to_payload(corpus) == corpus_to_payload(uninterrupted)
+        assert policies_to_payload(corpus) == policies_to_payload(uninterrupted)
+
+
 class TestPipelineDeterminismAndResume:
     def test_worker_counts_produce_identical_corpora(self, small_ecosystem):
         sequential = CrawlPipeline.from_ecosystem(small_ecosystem, seed=11).run()

@@ -128,3 +128,88 @@ class TestGeneratorCalibration:
                 gpt_offending += 1
         share = gpt_offending / len(action_gpts)
         assert 0.02 < share < 0.35
+
+
+class TestStreamingGeneration:
+    """The lazy path must match the eager path draw-for-draw."""
+
+    def test_stream_manifests_identical_to_generate(self):
+        config = EcosystemConfig.paper_calibrated(n_gpts=150, seed=21)
+        eager = EcosystemGenerator(config).generate()
+        stream = EcosystemGenerator(config).stream()
+        streamed = list(stream)
+        assert stream.n_gpts == 150
+        assert [item.manifest.to_json() for item in streamed] == [
+            gpt.to_json() for gpt in eager.iter_gpts()
+        ]
+        assert [item.index for item in streamed] == list(range(150))
+
+    def test_stream_policy_coverage_identical(self):
+        config = EcosystemConfig.paper_calibrated(n_gpts=150, seed=21)
+        eager = EcosystemGenerator(config).generate()
+        stream = EcosystemGenerator(config).stream()
+        policies = dict(stream.prevalent_policies)
+        unavailable = set(stream.prevalent_unavailable_urls)
+        for item in stream:
+            policies.update(item.policies)
+            unavailable.update(item.unavailable_policy_urls)
+        assert set(policies) == set(eager.policies)
+        assert all(policies[url].text == eager.policies[url].text for url in policies)
+        # Unavailable URLs are exactly the legal_info_urls with no document.
+        eager_unavailable = {
+            action.legal_info_url
+            for action in eager.actions.values()
+            if action.legal_info_url and action.legal_info_url not in eager.policies
+        }
+        assert unavailable == eager_unavailable
+
+    def test_stream_retains_nothing_per_item(self):
+        config = EcosystemConfig.paper_calibrated(n_gpts=40, seed=5)
+        stream = EcosystemGenerator(config).stream()
+        for item in stream:
+            # Bespoke policies travel with their item, never accumulate on
+            # the stream object.
+            assert set(stream.prevalent_policies).isdisjoint(item.policies)
+
+
+class TestGenerateShardedCorpus:
+    def test_direct_ingest_matches_eager_world(self, tmp_path):
+        from repro.ecosystem.generator import generate_sharded_corpus
+
+        config = EcosystemConfig.paper_calibrated(n_gpts=120, seed=13)
+        store = generate_sharded_corpus(tmp_path / "store", config=config, n_shards=4)
+        eager = EcosystemGenerator(config).generate()
+
+        corpus = store.load_corpus()
+        assert set(corpus.gpts) == set(eager.gpts)
+        # Every action with an available policy resolves to its text; every
+        # withheld policy is recorded as the crawl-observable HTTP 500.
+        for action in eager.actions.values():
+            url = action.legal_info_url
+            if not url:
+                continue
+            if url in eager.policies:
+                assert corpus.policy_text(url) == eager.policies[url].text
+            else:
+                assert corpus.policies[url].status == 500
+                assert corpus.policy_text(url) is None
+
+    def test_direct_ingest_is_deterministic(self, tmp_path):
+        from repro.ecosystem.generator import generate_sharded_corpus
+
+        config = EcosystemConfig.paper_calibrated(n_gpts=80, seed=3)
+        first = generate_sharded_corpus(tmp_path / "a", config=config, n_shards=3)
+        second = generate_sharded_corpus(tmp_path / "b", config=config, n_shards=3)
+        assert first.fingerprint() == second.fingerprint()
+
+    def test_streaming_analysis_over_direct_ingest(self, tmp_path):
+        from repro.analysis import analyze_crawl_stats
+        from repro.analysis.streaming import analyze_shards
+        from repro.ecosystem.generator import generate_sharded_corpus
+
+        config = EcosystemConfig.paper_calibrated(n_gpts=120, seed=13)
+        store = generate_sharded_corpus(tmp_path / "store", config=config, n_shards=4)
+        streamed = analyze_shards(store, names=["crawl_stats"], workers=2)
+        single = analyze_crawl_stats(store.load_corpus())
+        assert streamed["crawl_stats"] == single
+        assert single.total_unique_gpts == 120

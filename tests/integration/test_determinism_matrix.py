@@ -1,0 +1,129 @@
+"""Property-based determinism matrix (seeded, stdlib-only).
+
+Randomized small ecosystems are pushed through the suite and sweep engines
+across a matrix of execution knobs — shard counts × worker counts ×
+resume-vs-cold — and every configuration must produce **byte-identical**
+canonical-JSON outputs.  Execution topology is never allowed to leak into
+measured numbers; this is the invariant that lets the sweep cache be
+shared across sharded/unsharded and sequential/parallel runs.
+
+"Property-based" here is a seeded stdlib ``random.Random`` draw of
+configurations (no hypothesis dependency): the draws are deterministic per
+test run, so a failure is always reproducible from the printed case.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.analysis.suite import MeasurementSuite, SuiteConfig
+from repro.experiments.registry import EXPERIMENTS
+from repro.experiments.sweep import SweepRunner, _jsonable, expand_grid
+from repro.io import ArtifactStore, canonical_json
+
+#: Master seed for the configuration draws; change to explore a new slice.
+MATRIX_SEED = 20260729
+
+#: Corpus-only experiments keep each matrix cell fast while still covering
+#: crawl, sharding, and analysis layers end to end.
+FAST_EXPERIMENTS = ["table1", "table3", "multiaction", "figure8"]
+
+
+def _random_cases(n_cases: int):
+    rng = random.Random(MATRIX_SEED)
+    cases = []
+    for _ in range(n_cases):
+        cases.append(
+            {
+                "n_gpts": rng.randrange(60, 180),
+                "seed": rng.randrange(0, 10_000),
+            }
+        )
+    return cases
+
+
+def _suite_fingerprint(config: SuiteConfig, experiment_ids) -> str:
+    suite = MeasurementSuite(config=config)
+    values = {
+        experiment_id: _jsonable(EXPERIMENTS[experiment_id](suite).measured_values)
+        for experiment_id in experiment_ids
+    }
+    return canonical_json(values)
+
+
+class TestSuiteDeterminismMatrix:
+    @pytest.mark.parametrize("case", _random_cases(3), ids=lambda c: f"g{c['n_gpts']}s{c['seed']}")
+    def test_shards_times_workers_identical(self, case, tmp_path):
+        """Suite outputs are invariant across shard and worker topology."""
+        experiment_ids = FAST_EXPERIMENTS
+        rng = random.Random((MATRIX_SEED, case["seed"]).__hash__())
+        shard_axis = [0, 1, rng.randrange(2, 7)]
+        worker_axis = [0, rng.randrange(2, 5)]
+
+        baseline = _suite_fingerprint(
+            SuiteConfig(n_gpts=case["n_gpts"], seed=case["seed"]), experiment_ids
+        )
+        for shards in shard_axis:
+            for workers in worker_axis:
+                config = SuiteConfig(
+                    n_gpts=case["n_gpts"],
+                    seed=case["seed"],
+                    shards=shards,
+                    shard_workers=workers,
+                    crawl_workers=workers,
+                    shard_dir=str(tmp_path / f"sh{shards}w{workers}"),
+                )
+                fingerprint = _suite_fingerprint(config, experiment_ids)
+                assert fingerprint == baseline, (
+                    f"case {case}: shards={shards} workers={workers} "
+                    "diverged from the unsharded sequential baseline"
+                )
+
+
+def _sweep_fingerprint(result) -> str:
+    return canonical_json([(cell.cell_id, cell.experiments) for cell in result.cells])
+
+
+class TestSweepDeterminismMatrix:
+    @pytest.mark.parametrize("case", _random_cases(2), ids=lambda c: f"g{c['n_gpts']}s{c['seed']}")
+    def test_resume_vs_cold_vs_workers_vs_shards(self, case, tmp_path):
+        """Sweep results are identical cold, resumed, parallel, and sharded."""
+        cells = expand_grid(
+            ["baseline", "flaky-hosts"], 2, base_seed=case["seed"], n_gpts=case["n_gpts"]
+        )
+
+        cold = SweepRunner(cells, experiment_ids=FAST_EXPERIMENTS).run()
+        baseline = _sweep_fingerprint(cold)
+
+        # Parallel cells + sharded cell analyses.
+        parallel = SweepRunner(
+            cells, workers=3, experiment_ids=FAST_EXPERIMENTS, shards=3, shard_workers=2
+        ).run()
+        assert _sweep_fingerprint(parallel) == baseline
+
+        # Killed-after-half resume: prime a cache with half the grid, then
+        # run the full grid against it.
+        store_root = tmp_path / "cache"
+        SweepRunner(
+            cells[: len(cells) // 2],
+            store=ArtifactStore(store_root),
+            experiment_ids=FAST_EXPERIMENTS,
+        ).run()
+        resumed = SweepRunner(
+            cells, store=ArtifactStore(store_root), experiment_ids=FAST_EXPERIMENTS
+        ).run()
+        assert resumed.n_from_cache == len(cells) // 2
+        assert _sweep_fingerprint(resumed) == baseline
+
+        # A sharded run against the same cache hits the unsharded entries:
+        # execution knobs must not change artifact fingerprints.
+        sharded_cached = SweepRunner(
+            cells,
+            store=ArtifactStore(store_root),
+            experiment_ids=FAST_EXPERIMENTS,
+            shards=2,
+        ).run()
+        assert sharded_cached.n_from_cache == len(cells)
+        assert _sweep_fingerprint(sharded_cached) == baseline

@@ -1,0 +1,86 @@
+"""Golden-output regression tests for the rendered paper tables.
+
+Small canonical corpora are rendered through the *same* code path as
+``examples/reproduce_paper_tables.py`` (``repro.reporting.render_experiment_report``)
+and compared **byte-for-byte** against files checked into
+``tests/reporting/golden/``.  A refactor that changes any reported number,
+row ordering, or formatting fails here instead of silently shifting the
+published tables.
+
+To regenerate after an *intentional* change::
+
+    REPRO_UPDATE_GOLDEN=1 PYTHONPATH=src python -m pytest tests/reporting/test_golden_outputs.py
+
+then review the golden diff like any other code change.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.suite import MeasurementSuite, SuiteConfig
+from repro.experiments.registry import run_all_experiments
+from repro.reporting import render_experiment_report
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
+
+#: Small, fast canonical configurations.  Two seeds so a change that happens
+#: to preserve one rendering by luck still trips the other.
+GOLDEN_CASES = [
+    ("report_120gpts_seed3.md", 120, 3),
+    ("report_150gpts_seed11.md", 150, 11),
+]
+
+
+def _render(n_gpts: int, seed: int) -> str:
+    suite = MeasurementSuite(config=SuiteConfig(n_gpts=n_gpts, seed=seed))
+    results = run_all_experiments(suite)
+    return render_experiment_report(results, n_gpts, seed)
+
+
+@pytest.mark.parametrize("filename, n_gpts, seed", GOLDEN_CASES)
+def test_rendered_report_matches_golden(filename: str, n_gpts: int, seed: int):
+    rendered = _render(n_gpts, seed)
+    path = GOLDEN_DIR / filename
+    if os.environ.get("REPRO_UPDATE_GOLDEN"):
+        GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+        path.write_text(rendered, encoding="utf-8")
+        pytest.skip(f"updated golden {filename}")
+    assert path.exists(), (
+        f"golden file {path} missing; regenerate with REPRO_UPDATE_GOLDEN=1"
+    )
+    golden = path.read_text(encoding="utf-8")
+    assert rendered == golden, (
+        f"rendered report diverged from {filename}; if the change is "
+        "intentional, regenerate with REPRO_UPDATE_GOLDEN=1 and review the diff"
+    )
+
+
+def test_sharded_rendering_matches_golden(tmp_path):
+    """The sharded suite renders the exact same golden bytes."""
+    filename, n_gpts, seed = GOLDEN_CASES[0]
+    path = GOLDEN_DIR / filename
+    if not path.exists():
+        pytest.skip("golden file not generated yet")
+    suite = MeasurementSuite(
+        config=SuiteConfig(
+            n_gpts=n_gpts, seed=seed, shards=3, shard_workers=2,
+            shard_dir=str(tmp_path / "shards"),
+        )
+    )
+    rendered = render_experiment_report(run_all_experiments(suite), n_gpts, seed)
+    assert rendered == path.read_text(encoding="utf-8")
+
+
+def test_example_script_uses_shared_renderer():
+    """The example must render through the exact function pinned here."""
+    import importlib.util
+
+    example = Path(__file__).resolve().parents[2] / "examples" / "reproduce_paper_tables.py"
+    spec = importlib.util.spec_from_file_location("reproduce_paper_tables", example)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    assert module.render_report is render_experiment_report

@@ -1,0 +1,216 @@
+"""Tests for the sharded corpus store (repro.io.shards)."""
+
+import json
+
+import pytest
+
+from repro.io import ArtifactStore, canonical_json
+from repro.io.shards import (
+    SHARD_ARTIFACT_KIND,
+    ShardManifest,
+    ShardedCorpusStore,
+    ShardedCorpusWriter,
+    shard_index,
+)
+
+
+@pytest.fixture(scope="module")
+def store(small_corpus, tmp_path_factory):
+    root = tmp_path_factory.mktemp("shards")
+    return ShardedCorpusStore.write_corpus(small_corpus, root, n_shards=4)
+
+
+class TestShardRouting:
+    def test_stable_across_calls(self):
+        assert shard_index("g-abc123", 8) == shard_index("g-abc123", 8)
+
+    def test_within_bounds_and_spread(self):
+        indices = {shard_index(f"g-{i}", 8) for i in range(200)}
+        assert indices <= set(range(8))
+        # 200 keys over 8 shards should touch every shard.
+        assert len(indices) == 8
+
+    def test_single_shard(self):
+        assert shard_index("anything", 1) == 0
+
+    def test_invalid_shard_count(self):
+        with pytest.raises(ValueError):
+            shard_index("k", 0)
+        with pytest.raises(ValueError):
+            ShardedCorpusWriter("unused", n_shards=0)
+
+
+class TestRoundTrip:
+    def test_record_counts(self, store, small_corpus):
+        assert store.n_gpts == len(small_corpus.gpts)
+        assert store.manifest.n_policies == len(small_corpus.policies)
+        assert store.n_shards == 4
+
+    def test_corpus_roundtrip_is_payload_identical(self, store, small_corpus):
+        from repro.io import corpus_to_payload, policies_to_payload
+
+        restored = store.load_corpus()
+        # Same records and metadata; record order is shard-major, so compare
+        # as sorted payloads.
+        original = corpus_to_payload(small_corpus)
+        rebuilt = corpus_to_payload(restored)
+        key = lambda entry: entry["gpt_id"]  # noqa: E731
+        assert sorted(original["gpts"], key=key) == sorted(rebuilt["gpts"], key=key)
+        assert original["store_counts"] == rebuilt["store_counts"]
+        assert original["store_link_counts"] == rebuilt["store_link_counts"]
+        assert original["unresolved_gpt_ids"] == rebuilt["unresolved_gpt_ids"]
+        assert policies_to_payload(small_corpus) == policies_to_payload(restored)
+
+    def test_records_routed_by_hash(self, store):
+        for index in range(store.n_shards):
+            for gpt in store.iter_shard_gpts(index):
+                assert shard_index(gpt.gpt_id, store.n_shards) == index
+            for policy in store.iter_shard_policies(index):
+                assert shard_index(policy.url, store.n_shards) == index
+
+    def test_available_policy_urls(self, store, small_corpus):
+        expected = {
+            url
+            for url, result in small_corpus.policies.items()
+            if result.ok and result.text is not None
+        }
+        assert store.available_policy_urls() == expected
+
+    def test_reopen_from_disk(self, store):
+        reopened = ShardedCorpusStore(store.root)
+        assert reopened.manifest.to_payload() == store.manifest.to_payload()
+        assert reopened.fingerprint() == store.fingerprint()
+
+
+class TestWriter:
+    def test_incremental_writer_equals_bulk(self, small_corpus, tmp_path):
+        bulk = ShardedCorpusStore.write_corpus(small_corpus, tmp_path / "bulk", n_shards=3)
+        writer = ShardedCorpusWriter(tmp_path / "inc", n_shards=3, flush_every=7)
+        for gpt in small_corpus.iter_gpts():
+            writer.add_gpt(gpt)
+        for result in small_corpus.policies.values():
+            writer.add_policy(result)
+        writer.set_metadata(
+            store_counts=small_corpus.store_counts,
+            store_link_counts=small_corpus.store_link_counts,
+            unresolved_gpt_ids=small_corpus.unresolved_gpt_ids,
+        )
+        incremental = writer.close()
+        # Identical records in identical order => identical shard
+        # fingerprints and store fingerprint.
+        assert incremental.fingerprint() == bulk.fingerprint()
+
+    def test_atomic_publish(self, small_corpus, tmp_path):
+        writer = ShardedCorpusWriter(tmp_path / "atomic", n_shards=2)
+        for gpt in small_corpus.iter_gpts():
+            writer.add_gpt(gpt)
+        writer.flush()
+        # Before close: only hidden part files, no manifest => unreadable.
+        root = tmp_path / "atomic"
+        assert not (root / "manifest.json").exists()
+        assert all(path.name.endswith(".part") for path in root.glob("*.jsonl*"))
+        with pytest.raises(FileNotFoundError):
+            ShardedCorpusStore(root)
+        store = writer.close()
+        assert (root / "manifest.json").exists()
+        assert not list(root.glob("*.part"))
+        assert store.n_gpts == len(small_corpus.gpts)
+
+    def test_retry_after_killed_ingest_discards_stale_parts(self, small_corpus, tmp_path):
+        root = tmp_path / "retry"
+        gpts = list(small_corpus.iter_gpts())
+        # A "killed" ingest: records flushed to .part files, never closed.
+        killed = ShardedCorpusWriter(root, n_shards=2)
+        for gpt in gpts[:5]:
+            killed.add_gpt(gpt)
+        killed.flush()
+        assert list(root.glob("*.part"))
+        # The retry into the same root must not inherit the dead run's
+        # records: counts, fingerprints, and bytes must all agree.
+        writer = ShardedCorpusWriter(root, n_shards=2)
+        for gpt in gpts:
+            writer.add_gpt(gpt)
+        store = writer.close()
+        assert store.n_gpts == len(gpts)
+        assert sum(1 for _ in store.iter_gpts()) == len(gpts)
+        assert store.verify() == []
+        clean = ShardedCorpusStore.write_corpus(
+            small_corpus, tmp_path / "clean", n_shards=2
+        )
+        assert {info.fingerprint for info in store.manifest.gpt_shards} == {
+            info.fingerprint for info in clean.manifest.gpt_shards
+        }
+
+    def test_close_twice_rejected(self, small_corpus, tmp_path):
+        writer = ShardedCorpusWriter(tmp_path / "twice", n_shards=1)
+        writer.close()
+        with pytest.raises(RuntimeError):
+            writer.close()
+
+    def test_context_manager_closes(self, tmp_path):
+        with ShardedCorpusWriter(tmp_path / "ctx", n_shards=2) as writer:
+            pass
+        assert (tmp_path / "ctx" / "manifest.json").exists()
+        assert ShardedCorpusStore(tmp_path / "ctx").n_gpts == 0
+
+    def test_source_store_counts_accumulated(self, small_corpus, tmp_path):
+        writer = ShardedCorpusWriter(tmp_path / "counts", n_shards=2)
+        for gpt in small_corpus.iter_gpts():
+            writer.add_gpt(gpt)
+        store = writer.close()
+        # Without explicit metadata, counts derive from record source stores.
+        expected = {}
+        for gpt in small_corpus.iter_gpts():
+            for name in gpt.source_stores:
+                expected[name] = expected.get(name, 0) + 1
+        assert store.manifest.store_counts == expected
+
+
+class TestFingerprints:
+    def test_verify_clean(self, store):
+        assert store.verify() == []
+
+    def test_verify_detects_tampering(self, small_corpus, tmp_path):
+        store = ShardedCorpusStore.write_corpus(small_corpus, tmp_path / "t", n_shards=2)
+        victim = store.manifest.gpt_shards[0].name
+        path = store.root / victim
+        path.write_text(path.read_text(encoding="utf-8") + "{}\n", encoding="utf-8")
+        assert store.verify() == [victim]
+
+    def test_fingerprint_changes_with_content(self, small_corpus, tmp_path):
+        full = ShardedCorpusStore.write_corpus(small_corpus, tmp_path / "a", n_shards=2)
+        writer = ShardedCorpusWriter(tmp_path / "b", n_shards=2)
+        gpts = list(small_corpus.iter_gpts())
+        for gpt in gpts[:-1]:
+            writer.add_gpt(gpt)
+        partial = writer.close()
+        assert full.fingerprint() != partial.fingerprint()
+
+    def test_register_in_artifact_store(self, store, tmp_path):
+        artifacts = ArtifactStore(tmp_path / "artifacts")
+        fingerprint = store.register_in(artifacts)
+        assert fingerprint == store.fingerprint()
+        payload = artifacts.get(SHARD_ARTIFACT_KIND, fingerprint)
+        assert payload["n_shards"] == store.n_shards
+        assert payload["root"] == str(store.root)
+        # The stored manifest is enough to test identity without any reads.
+        assert canonical_json(
+            ShardManifest.from_payload(payload).to_payload()
+        ) == canonical_json(store.manifest.to_payload())
+
+
+class TestManifest:
+    def test_rejects_newer_schema(self, store):
+        payload = dict(store.manifest.to_payload())
+        payload["schema"] = 999
+        with pytest.raises(ValueError):
+            ShardManifest.from_payload(payload)
+
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            ShardedCorpusStore(tmp_path / "nowhere")
+
+    def test_summary_mentions_scale(self, store):
+        summary = store.summary()
+        assert str(store.n_gpts) in summary
+        assert "4 shard(s)" in summary

@@ -54,10 +54,92 @@ class TestPublicSuffix:
         assert psl.registrable_domain("tenant.customsuffix.example") == "tenant.customsuffix.example"
 
 
+class TestEdgeCases:
+    """PSL corner cases: IDN labels, missing rules, odd host spellings."""
+
+    def test_idn_punycode_labels(self, psl):
+        # Internationalized hosts reach the crawler ACE-encoded (xn--):
+        # they are ordinary labels to the PSL algorithm.
+        assert psl.registrable_domain("api.xn--bcher-kva.com") == "xn--bcher-kva.com"
+        assert psl.registrable_domain("xn--bcher-kva.com") == "xn--bcher-kva.com"
+        # An unknown IDN TLD falls back to the implicit "*" rule.
+        assert (
+            psl.registrable_domain("shop.xn--bcher-kva.xn--p1ai")
+            == "xn--bcher-kva.xn--p1ai"
+        )
+
+    def test_missing_rule_fallback_is_last_label(self, psl):
+        # No rule matches anywhere: the PSL's implicit "*" rule makes the
+        # last label the public suffix, so eTLD+1 is the last two labels.
+        assert psl.public_suffix("a.b.c.notarealtld") == "notarealtld"
+        assert psl.registrable_domain("a.b.c.notarealtld") == "c.notarealtld"
+        # A bare unknown TLD itself has no registrable domain.
+        assert psl.registrable_domain("notarealtld") is None
+
+    def test_mixed_case_and_trailing_dot(self, psl):
+        assert psl.registrable_domain("API.Example.COM".lower()) == "example.com"
+        # split_host strips FQDN trailing dots.
+        assert psl.registrable_domain("example.com.") == "example.com"
+
+    def test_multi_label_suffix_exactly_two_labels(self, psl):
+        # Host with exactly the suffix plus one label.
+        assert psl.registrable_domain("example.co.uk") == "example.co.uk"
+        # Deeper subdomains still reduce to eTLD+1.
+        assert psl.registrable_domain("a.b.c.example.co.uk") == "example.co.uk"
+
+    def test_wildcard_descendants(self, psl):
+        # *.ck: every child of ck is itself a public suffix…
+        assert psl.public_suffix("anything.ck") == "anything.ck"
+        assert psl.registrable_domain("anything.ck") is None
+        # …so registrable domains live one level deeper.
+        assert psl.registrable_domain("site.anything.ck") == "site.anything.ck"
+        assert psl.registrable_domain("deep.site.anything.ck") == "site.anything.ck"
+
+    def test_longest_rule_wins_over_shorter(self, psl):
+        # github.io is a suffix AND io is a suffix: the longer rule applies.
+        assert psl.public_suffix("user.github.io") == "github.io"
+        assert psl.registrable_domain("pages.user.github.io") == "user.github.io"
+
+    def test_ipv6_and_ipv4_hosts(self, psl):
+        assert psl.registrable_domain("::1") == "::1"
+        assert psl.registrable_domain("2001:db8::2") == "2001:db8::2"
+        assert psl.registrable_domain("10.0.0.1") == "10.0.0.1"
+        # Four dotted labels that are not all digits are a hostname.
+        assert psl.registrable_domain("a.b.c.d") == "c.d"
+
+    def test_add_wildcard_suffix(self):
+        # A wildcard rule spans exactly one label: *.platform.example makes
+        # every immediate child a public suffix, no deeper.
+        psl = PublicSuffixList.builtin()
+        psl.add_suffix("platform.example", wildcard=True)
+        assert psl.public_suffix("eu.platform.example") == "eu.platform.example"
+        assert psl.registrable_domain("eu.platform.example") is None
+        assert (
+            psl.registrable_domain("tenant.eu.platform.example")
+            == "tenant.eu.platform.example"
+        )
+        assert (
+            psl.registrable_domain("deep.tenant.eu.platform.example")
+            == "tenant.eu.platform.example"
+        )
+
+
 class TestModuleHelpers:
     def test_registrable_domain_accepts_urls(self):
         assert registrable_domain("https://api.adzedek.com/share") == "adzedek.com"
         assert registrable_domain("api.spoonacular.com") == "spoonacular.com"
+
+    def test_registrable_domain_unparsable_url_falls_back(self):
+        # url_host("https://") fails; the helper falls back to the raw text.
+        assert registrable_domain("") is None
+
+    def test_registrable_domain_with_port_and_path(self):
+        assert registrable_domain("https://api.example.co.uk:8443/v1/x") == "example.co.uk"
+
+    def test_registrable_domain_accepts_custom_psl(self):
+        psl = PublicSuffixList.builtin()
+        psl.add_suffix("internal")
+        assert registrable_domain("svc.team.internal", psl=psl) == "team.internal"
 
     def test_default_psl_is_cached(self):
         assert default_psl() is default_psl()
