@@ -13,7 +13,7 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 ## second time by the plain test run.
 PERF_BENCHES := $(wildcard benchmarks/test_bench_perf_*.py)
 
-.PHONY: test lint perf perf-nlp perf-crawl perf-sweep perf-scale perf-check coverage ci
+.PHONY: test test-process lint perf perf-nlp perf-crawl perf-sweep perf-scale perf-check coverage ci
 
 ## Minimum total line coverage (percent) enforced by `make coverage`.
 ## Recorded when the coverage gate landed (measured ~95% total line
@@ -28,6 +28,14 @@ COVERAGE_BASELINE ?= 90
 test:
 	$(PYTHON) -m pytest -x -q $(foreach bench,$(PERF_BENCHES),--ignore=$(bench))
 
+## process-backend smoke: re-run the tests marked `process_smoke` (backend
+## contract, sharded crawl, sharded suite) with REPRO_TEST_BACKEND=process,
+## so the ProcessPoolExecutor path is exercised end to end by CI even where
+## those tests' default configuration would pick threads.
+test-process:
+	REPRO_TEST_BACKEND=process $(PYTHON) -m pytest -x -q -m process_smoke \
+		$(foreach bench,$(PERF_BENCHES),--ignore=$(bench))
+
 ## style gate: ruff check (pyflakes/pycodestyle rules from ruff.toml) plus
 ## the black-compatible formatter in --check mode.  When ruff is not on
 ## PATH (this container ships no linters and installs are not allowed) the
@@ -36,9 +44,9 @@ test:
 lint:
 	@staged="$$(git ls-files | grep -E '(^|/)__pycache__/|\.py[co]$$' || true)"; \
 	if [ -n "$$staged" ]; then \
-		echo "ERROR: compiled bytecode is tracked by git:"; \
-		echo "$$staged"; \
-		echo "run: git rm -r --cached <paths> (and check .gitignore)"; \
+		echo "ERROR: make lint: compiled bytecode is tracked by git in these files:"; \
+		echo "$$staged" | sed 's/^/  - /'; \
+		echo "fix: git rm -r --cached <each path above>  (and make sure .gitignore covers it)"; \
 		exit 1; \
 	fi
 	@if command -v ruff >/dev/null 2>&1; then \
@@ -90,5 +98,6 @@ perf-check:
 ci:
 	$(MAKE) lint
 	$(MAKE) test
+	$(MAKE) test-process
 	$(MAKE) perf
 	$(MAKE) perf-check

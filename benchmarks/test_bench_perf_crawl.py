@@ -13,17 +13,31 @@ are asserted alongside the timings:
 * a checkpointed crawl killed mid-run resumes to a corpus identical to an
   uninterrupted run with the same seed, without refetching completed tasks.
 
+The shard-partitioned crawl is regression-gated here too: child-process
+probes crawl the same 2000-GPT ecosystem unsharded (materializing the
+whole-run corpus) and sharded (``CrawlPipeline.run_sharded``, shards=8,
+streaming records straight into the shard store), and both wall time
+(``crawl_2000_sharded_vs_unsharded_wall``) and peak RSS
+(``crawl_2000_sharded_vs_unsharded_rss_mb``) land in ``BENCH_crawl.json``
+for ``perf_report.py --check``.  The sharded probe must stay within
+``SHARDED_RSS_LIMIT_RATIO`` of the unsharded peak — the bounded-memory
+claim: it holds one shard's payload batch at a time instead of the corpus.
+
 The measured numbers are printed as a compact table and persisted to
 ``BENCH_crawl.json`` at the repository root alongside ``BENCH_nlp.json``.
 """
 
 from __future__ import annotations
 
+import json
+import os
+import subprocess
+import sys
 import time
 
 import pytest
 
-from perf_report import PerfReport
+from perf_report import REPO_ROOT, PerfReport
 
 from repro.crawler.pipeline import CrawlPipeline
 from repro.crawler.transport import TransportConfig
@@ -48,6 +62,18 @@ N_FLAKY_HOSTS = 8
 
 #: Required speedup of the 8-worker crawl over the sequential baseline.
 MIN_CRAWL_SPEEDUP = 4.0
+
+#: Shard count for the partitioned-crawl probe.
+CRAWL_SHARDS = 8
+#: The sharded crawl's peak RSS must stay within this ratio of the
+#: unsharded crawl's (both peaks share the same numpy/scipy import floor,
+#: so the ratio is stable against allocator/THP variance; the sharded
+#: dataflow holds one shard's payloads instead of the whole corpus and in
+#: practice sits below 1.0x).
+SHARDED_RSS_LIMIT_RATIO = 1.25
+
+#: ``ru_maxrss`` units per megabyte: kibibytes on Linux, bytes on macOS.
+_MAXRSS_PER_MB = 1024.0 * 1024.0 if sys.platform == "darwin" else 1024.0
 
 
 @pytest.fixture(scope="module", autouse=True)
@@ -159,4 +185,105 @@ def test_checkpointed_crawl_resumes_identically(ecosystem, tmp_path):
         baseline_s=full_s,
         optimized_s=resumed_s,
         items=resumed.statistics.n_tasks_resumed,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Shard-partitioned crawl: wall time + peak RSS vs the unsharded crawl.
+# Both probes run as child processes so ``ru_maxrss`` measures each dataflow
+# in isolation (the unsharded probe must not inherit the sharded probe's
+# high-water mark, or vice versa).
+# ---------------------------------------------------------------------------
+_CHILD_CRAWL_COMMON = f"""
+import json, resource, tempfile, time
+from repro.crawler.pipeline import CrawlPipeline
+from repro.crawler.transport import TransportConfig
+from repro.ecosystem.config import EcosystemConfig
+from repro.ecosystem.generator import EcosystemGenerator
+from repro.web.urls import url_host
+
+ecosystem = EcosystemGenerator(
+    EcosystemConfig.paper_calibrated(n_gpts={CRAWL_GPTS}, seed={CRAWL_SEED})
+).generate()
+
+def build(**kwargs):
+    config = TransportConfig(max_attempts=4, latency_s={LATENCY_S}, seed={CRAWL_SEED})
+    pipeline = CrawlPipeline.from_ecosystem(
+        ecosystem, seed={CRAWL_SEED}, workers={WORKERS}, transport_config=config, **kwargs
+    )
+    hosts = sorted({{
+        url_host(action.legal_info_url)
+        for action in ecosystem.actions.values()
+        if action.legal_info_url
+    }})[:{N_FLAKY_HOSTS}]
+    for host in hosts:
+        pipeline.http.set_flaky_host(host, {FLAKY_RATE})
+    return pipeline
+"""
+
+_CHILD_CRAWL_UNSHARDED = _CHILD_CRAWL_COMMON + """
+pipeline = build()
+t0 = time.monotonic()
+corpus = pipeline.run()
+wall_s = time.monotonic() - t0
+print(json.dumps({
+    "rss_raw": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+    "wall_s": wall_s,
+    "n_gpts": len(corpus.gpts),
+}))
+"""
+
+_CHILD_CRAWL_SHARDED = _CHILD_CRAWL_COMMON + f"""
+pipeline = build(shards={CRAWL_SHARDS})
+with tempfile.TemporaryDirectory() as root:
+    t0 = time.monotonic()
+    store = pipeline.run_sharded(root)
+    wall_s = time.monotonic() - t0
+    n_gpts = store.n_gpts
+print(json.dumps({{
+    "rss_raw": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+    "wall_s": wall_s,
+    "n_gpts": n_gpts,
+}}))
+"""
+
+
+def _run_child(code: str) -> dict:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + (os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    completed = subprocess.run(
+        [sys.executable, "-c", code], capture_output=True, text=True, env=env, check=True
+    )
+    return json.loads(completed.stdout.strip().splitlines()[-1])
+
+
+def test_sharded_crawl_wall_and_rss_bounded():
+    """The partitioned crawl matches the unsharded wall time at the same
+    worker count and keeps its peak RSS bounded (no whole-run corpus)."""
+    unsharded = _run_child(_CHILD_CRAWL_UNSHARDED)
+    sharded = _run_child(_CHILD_CRAWL_SHARDED)
+    assert unsharded["n_gpts"] == CRAWL_GPTS
+    assert sharded["n_gpts"] == CRAWL_GPTS
+
+    REPORT.record(
+        "crawl_2000_sharded_vs_unsharded_wall",
+        baseline_s=unsharded["wall_s"],
+        optimized_s=sharded["wall_s"],
+        items=CRAWL_GPTS,
+    )
+    rss_unsharded_mb = unsharded["rss_raw"] / _MAXRSS_PER_MB
+    rss_sharded_mb = sharded["rss_raw"] / _MAXRSS_PER_MB
+    REPORT.record(
+        "crawl_2000_sharded_vs_unsharded_rss_mb",
+        baseline_s=rss_unsharded_mb,
+        optimized_s=rss_sharded_mb,
+        items=CRAWL_GPTS,
+    )
+    ratio = rss_sharded_mb / rss_unsharded_mb
+    assert ratio < SHARDED_RSS_LIMIT_RATIO, (
+        f"sharded crawl peak RSS {rss_sharded_mb:.0f}MB is {ratio:.2f}x the "
+        f"unsharded crawl's {rss_unsharded_mb:.0f}MB (limit "
+        f"{SHARDED_RSS_LIMIT_RATIO}x) — the partitioned dataflow should "
+        "never hold the whole-run corpus"
     )

@@ -18,6 +18,12 @@ Measures the properties that make the sharded data layer safe to use at
   unsharded run's peak.  (This record's "timings" are megabytes, which also
   turns the CI perf gate into a memory-regression gate for the ingest
   path.)
+* ``stream_50k_process_vs_thread`` — the 50k shard map on the process
+  backend versus the thread backend at the same worker count.  Pure-Python
+  accumulation is GIL-bound on threads, so this is where the process pool
+  must show real CPU scaling: the gate is ``MIN_PROCESS_SPEEDUP``× at
+  ``WORKERS`` workers.  Skipped with a notice on machines with fewer than
+  ``MIN_PROCESS_CORES`` cores, where there is no parallelism to measure.
 
 Both child probes share an import-time RSS floor (numpy/scipy/networkx,
 ~115 MB) that dominates their peak readings, so the 2x ratio alone cannot
@@ -75,6 +81,12 @@ WORKERS = 4
 #: Repeats for the in-child stress-scale timings (best-of-N), so one noisy
 #: run cannot skew the recorded stream-vs-single speedup.
 CHILD_REPEATS = 3
+
+#: Required speedup of the process backend over the thread backend on the
+#: 50k pure-Python shard map, and the core count below which the comparison
+#: is meaningless (no parallelism to win back from the GIL).
+MIN_PROCESS_SPEEDUP = 1.5
+MIN_PROCESS_CORES = 4
 
 #: Absolute ceiling (MB) for the 50k sharded run's peak RSS.  The 2x ratio
 #: assert below compares two readings that share the same import floor, so
@@ -291,6 +303,55 @@ def test_stress_scale_stream_beats_single(child_metrics):
     assert sharded["identical"], "sharded vs single-pass results diverged at 50k"
     assert entry.speedup > 1.05, (
         f"streaming only {entry.speedup:.2f}x vs single-pass at stress scale"
+    )
+
+
+def test_stress_scale_process_backend_scales(tmp_path):
+    """At 50k GPTs, the process backend beats the GIL-bound thread pool on
+    the pure-Python shard map (the ROADMAP's CPU-scaling item)."""
+    cores = os.cpu_count() or 1
+    if cores < MIN_PROCESS_CORES:
+        pytest.skip(
+            f"process-vs-thread scaling needs >= {MIN_PROCESS_CORES} cores "
+            f"(this runner has {cores}); skipping the CPU-scaling gate"
+        )
+    from repro.ecosystem.generator import generate_sharded_corpus
+
+    store = generate_sharded_corpus(
+        tmp_path / "shards50k",
+        config=EcosystemConfig.paper_calibrated(n_gpts=STRESS_GPTS, seed=SEED),
+        n_shards=SHARDS_STRESS,
+        flush_every=500,
+    )
+    thread_s, threaded = _best(
+        lambda: analyze_shards(store, names=_ANALYSES, workers=WORKERS, backend="thread"),
+        repeats=CHILD_REPEATS,
+    )
+    process_s, processed = _best(
+        lambda: analyze_shards(store, names=_ANALYSES, workers=WORKERS, backend="process"),
+        repeats=CHILD_REPEATS,
+    )
+    # Identical results on both backends — the invariant that makes the
+    # backend a pure execution knob.
+    assert (
+        threaded["crawl_stats"].total_unique_gpts
+        == processed["crawl_stats"].total_unique_gpts
+        == STRESS_GPTS
+    )
+    assert threaded["multi_action"].action_count_distribution == (
+        processed["multi_action"].action_count_distribution
+    )
+
+    entry = REPORT.record(
+        "stream_50k_process_vs_thread",
+        baseline_s=thread_s,
+        optimized_s=process_s,
+        items=STRESS_GPTS,
+    )
+    INVARIANTS["process_backend_speedup_50k"] = round(entry.speedup, 3)
+    assert entry.speedup >= MIN_PROCESS_SPEEDUP, (
+        f"process backend only {entry.speedup:.2f}x vs threads on the 50k "
+        f"shard map at {WORKERS} workers (needs {MIN_PROCESS_SPEEDUP}x)"
     )
 
 

@@ -8,6 +8,16 @@ Aggregates the privacy-policy framework's output into:
   correlation the paper reports (Figure 12);
 * the Actions with five or more clearly disclosed data types (Table 7) and the
   share of Actions whose whole data collection is consistent (Section 5.2.3).
+
+:class:`DisclosureAccumulator` is the streaming core: per-Action analyses
+(:class:`~repro.policy.framework.ActionPolicyAnalysis`) fold in one at a
+time — in **any** order — and :meth:`~DisclosureAccumulator.finalize` emits
+an order-canonical :class:`DisclosureAnalysis` (actions, categories, and
+data types iterate sorted, ties broken by id).  That is what lets the
+shard-partitioned policy analyzer (:mod:`repro.analysis.streaming`) compute
+disclosure over policy shards, where Actions arrive in shard order, and
+still match the in-memory path byte for byte: :func:`analyze_disclosure`
+runs on the same accumulator, so both paths share one canonical ordering.
 """
 
 from __future__ import annotations
@@ -123,62 +133,123 @@ class DisclosureAnalysis:
         ]
 
 
-def analyze_disclosure(
-    report: PolicyConsistencyReport,
-    corpus: Optional[CrawlCorpus] = None,
-) -> DisclosureAnalysis:
-    """Aggregate a policy-consistency report into the paper's disclosure metrics."""
-    analysis = DisclosureAnalysis()
-    action_names: Dict[str, str] = {}
-    if corpus is not None:
-        action_names = {
-            action_id: action.title for action_id, action in corpus.unique_actions().items()
-        }
+class DisclosureAccumulator:
+    """Streaming, order-insensitive builder of :class:`DisclosureAnalysis`.
 
-    category_counts: Dict[str, Counter] = {}
-    analyses = report.actions_with_policies()
-    analysis.n_actions_analyzed = len(analyses)
-    fully_consistent = 0
-    majority_consistent = 0
+    Holds one compact row per analyzed Action (label counts, item count,
+    consistency fraction) plus global per-category / per-type counters —
+    never the per-sentence results, and never the policy report.  ``update``
+    order does not matter: :meth:`finalize` iterates actions, categories,
+    and data types in sorted order and breaks the Table 7 ranking's ties by
+    action id, so any shard partitioning of the update stream produces the
+    same analysis bytes.
+    """
 
-    for action_analysis in analyses:
+    def __init__(self) -> None:
+        #: action id → (name, label counts, n_types, consistency fraction,
+        #: fully-consistent flag); one analyzed Action each.
+        self._actions: Dict[str, Tuple[str, Counter, int, float, bool]] = {}
+        self._category_counts: Dict[str, Counter] = {}
+        self._type_counts: Dict[Tuple[str, str], Counter] = {}
+
+    def update(self, action_analysis, name: Optional[str] = None) -> None:
+        """Fold one Action's policy analysis in (skips unavailable policies)."""
+        if not action_analysis.policy_available:
+            return
         label_counter: Counter = Counter()
         for result in action_analysis.results:
             label_counter[result.final_label] += 1
-            category_counts.setdefault(result.category, Counter())[result.final_label] += 1
-            type_counts = analysis.type_label_counts.setdefault(
-                (result.category, result.data_type), {label: 0 for label in LABEL_ORDER}
-            )
-            type_counts[result.final_label] += 1
-        total = sum(label_counter.values())
-        if total:
-            analysis.action_label_fractions[action_analysis.action_id] = {
+            self._category_counts.setdefault(result.category, Counter())[
+                result.final_label
+            ] += 1
+            self._type_counts.setdefault(
+                (result.category, result.data_type), Counter()
+            )[result.final_label] += 1
+        self._actions[action_analysis.action_id] = (
+            name if name is not None else action_analysis.action_id,
+            label_counter,
+            action_analysis.n_types,
+            action_analysis.consistency_fraction(),
+            action_analysis.is_fully_consistent(),
+        )
+
+    def merge(self, other: "DisclosureAccumulator") -> None:
+        """Fold another shard's partial state into this one.
+
+        Shards partition the Action set, so per-action rows never collide;
+        category and type counters sum.
+        """
+        self._actions.update(other._actions)
+        for category, counts in other._category_counts.items():
+            self._category_counts.setdefault(category, Counter()).update(counts)
+        for key, counts in other._type_counts.items():
+            self._type_counts.setdefault(key, Counter()).update(counts)
+
+    def finalize(self) -> DisclosureAnalysis:
+        """Emit the order-canonical analysis (see class docstring)."""
+        analysis = DisclosureAnalysis()
+        analysis.n_actions_analyzed = len(self._actions)
+        fully_consistent = 0
+        majority_consistent = 0
+        for action_id in sorted(self._actions):
+            name, label_counter, n_types, consistency, fully = self._actions[action_id]
+            total = sum(label_counter.values())
+            if not total:
+                continue
+            analysis.action_label_fractions[action_id] = {
                 label: label_counter[label] / total for label in LABEL_ORDER
             }
-            analysis.consistency_vs_items.append(
-                (action_analysis.n_types, action_analysis.consistency_fraction())
-            )
-            if action_analysis.is_fully_consistent():
+            analysis.consistency_vs_items.append((n_types, consistency))
+            if fully:
                 fully_consistent += 1
-            if action_analysis.consistency_fraction() > 0.5:
+            if consistency > 0.5:
                 majority_consistent += 1
             analysis.consistent_actions.append(
                 ConsistentActionRow(
-                    action_id=action_analysis.action_id,
-                    name=action_names.get(action_analysis.action_id, action_analysis.action_id),
+                    action_id=action_id,
+                    name=name,
                     clear=label_counter[ConsistencyLabel.CLEAR],
                     vague=label_counter[ConsistencyLabel.VAGUE],
                     total=total,
                 )
             )
+        for category in sorted(self._category_counts):
+            counts = self._category_counts[category]
+            total = sum(counts.values())
+            analysis.category_distributions[category] = {
+                label: counts[label] / total for label in LABEL_ORDER
+            }
+        for key in sorted(self._type_counts):
+            counts = self._type_counts[key]
+            analysis.type_label_counts[key] = {
+                label: counts[label] for label in LABEL_ORDER
+            }
+        if self._actions:
+            analysis.fully_consistent_share = fully_consistent / len(self._actions)
+            analysis.majority_consistent_share = majority_consistent / len(self._actions)
+        # Stable sort over action-id-sorted rows: ties rank by action id,
+        # identically for the in-memory and shard-streamed paths.
+        analysis.consistent_actions.sort(key=lambda row: -(row.clear + row.vague))
+        return analysis
 
-    for category, counts in category_counts.items():
-        total = sum(counts.values())
-        analysis.category_distributions[category] = {
-            label: counts[label] / total for label in LABEL_ORDER
+
+def analyze_disclosure(
+    report: PolicyConsistencyReport,
+    corpus: Optional[CrawlCorpus] = None,
+) -> DisclosureAnalysis:
+    """Aggregate a policy-consistency report into the paper's disclosure metrics.
+
+    Runs on :class:`DisclosureAccumulator`, so the output is byte-identical
+    to streaming the same per-Action analyses over policy shards.
+    """
+    action_names: Dict[str, str] = {}
+    if corpus is not None:
+        action_names = {
+            action_id: action.title for action_id, action in corpus.unique_actions().items()
         }
-    if analyses:
-        analysis.fully_consistent_share = fully_consistent / len(analyses)
-        analysis.majority_consistent_share = majority_consistent / len(analyses)
-    analysis.consistent_actions.sort(key=lambda row: -(row.clear + row.vague))
-    return analysis
+    accumulator = DisclosureAccumulator()
+    for action_analysis in report.actions_with_policies():
+        accumulator.update(
+            action_analysis, action_names.get(action_analysis.action_id)
+        )
+    return accumulator.finalize()

@@ -1,44 +1,67 @@
 """Shard-parallel streaming analysis over a sharded corpus store.
 
-The in-memory analyzers (``analyze_crawl_stats`` … ``analyze_cooccurrence``)
-assume the whole :class:`~repro.crawler.corpus.CrawlCorpus` is resident.  At
+The in-memory analyzers (``analyze_crawl_stats`` … ``analyze_disclosure``)
+assume the whole :class:`~repro.crawler.corpus.CrawlCorpus` (and, for the
+policy analyses, the whole
+:class:`~repro.policy.framework.PolicyConsistencyReport`) is resident.  At
 100k-GPT scale the corpus lives in a
 :class:`~repro.io.shards.ShardedCorpusStore` instead, and this module runs
 the same measurements as a **map-reduce** over its shards:
 
-* **map** — one task per shard, scheduled on the PR-2
-  :class:`~repro.crawler.engine.CrawlEngine` worker pool, streams the
-  shard's GPT records through a fresh set of accumulator objects
-  (``CrawlStatsAccumulator``, ``ToolUsageAccumulator``, …), holding one
+* **GPT-record map** — one task per GPT shard, scheduled on a pluggable
+  execution backend (:mod:`repro.exec`), streams the shard's GPT records
+  through a fresh set of accumulator objects (``CrawlStatsAccumulator``,
+  ``ToolUsageAccumulator``, …, plus an :class:`ActionCatalogAccumulator`
+  when the policy analyses need the Action → policy-URL join), holding one
   record at a time;
-* **reduce** — shard partials are merged (``accumulator.merge``) in shard
-  order, then finalized with the shared context (the classification
-  rollups, the party index, the shard manifest's corpus metadata).
+* **policy-record map** — one task per policy shard: duplicate analysis
+  profiles each document shard-locally (MinHash signatures included — see
+  :class:`~repro.policy.duplicates.PolicyProfileAccumulator`) and the
+  disclosure analysis runs the privacy-policy framework per document,
+  folding per-Action outcomes straight into a
+  :class:`~repro.analysis.disclosure.DisclosureAccumulator` — the policy
+  report itself is never materialized;
+* **reduce** — shard partials merge (``accumulator.merge``), near-duplicate
+  LSH candidates band over the *union* of the shard signatures and get
+  exact-verified against only the candidate texts, and everything is
+  finalized with the shared context (classification rollups, party index,
+  shard-manifest metadata).
 
-Because every accumulator's ``finalize`` is order-canonical and the map
-tasks are pure per-shard folds, the output is **byte-identical** to running
-the single-pass analyzers on the materialized corpus — at any shard count
-and any worker count.  That invariant is what lets the measurement suite
-switch between the in-memory and sharded paths freely, and it is asserted
-by ``tests/analysis/test_streaming.py`` and the determinism matrix.
+Because every ``finalize`` is order-canonical and the map tasks are pure
+per-shard folds, the output is **byte-identical** to running the in-memory
+analyzers on the materialized corpus — at any shard count, worker count, or
+backend (serial, thread, or process; map tasks and their accumulators are
+picklable module-level payloads, so pure-Python accumulation scales across
+cores instead of serializing on the GIL).  That invariant is what lets the
+measurement suite switch freely between the in-memory and sharded paths,
+and it is asserted by ``tests/analysis/test_streaming.py`` and the
+determinism matrix.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Mapping, Optional, Sequence
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.analysis.collection import CollectionAccumulator
 from repro.analysis.cooccurrence import CooccurrenceAccumulator
 from repro.analysis.coverage import CoverageAccumulator
 from repro.analysis.crawlstats import CrawlStatsAccumulator
+from repro.analysis.disclosure import DisclosureAccumulator
 from repro.analysis.multiaction import MultiActionAccumulator
 from repro.analysis.party import ActionPartyAccumulator, ActionPartyIndex
 from repro.analysis.prevalence import PrevalenceAccumulator
 from repro.analysis.prohibited import ProhibitedAccumulator, find_offending_actions
 from repro.analysis.tools import ToolUsageAccumulator
 from repro.classification.results import ClassificationResult
+from repro.crawler.corpus import CrawledGPT
 from repro.crawler.engine import CrawlEngine, CrawlTask
-from repro.io.shards import ShardedCorpusStore
+from repro.exec import ExecutionBackend
+from repro.io.shards import ShardedCorpusStore, shard_index
+from repro.policy.duplicates import (
+    PolicyProfileAccumulator,
+    finalize_duplicate_report,
+    normalize_policy_text,
+)
 from repro.taxonomy.schema import DataTaxonomy
 
 #: Analyses computable by streaming GPT records alone.
@@ -57,25 +80,62 @@ CLASSIFIED_STREAM_ANALYSES = (
     "prevalence",
 )
 
-#: Everything this engine can compute (disclosure and policy-duplicate
-#: analyses consume the policy report / policy texts, not GPT records, and
-#: stay on the single-pass path).
-STREAMABLE_ANALYSES = CORPUS_STREAM_ANALYSES + CLASSIFIED_STREAM_ANALYSES
+#: Analyses that stream *policy* records (joined against the Action catalog
+#: built in the GPT-record pass).  ``disclosure`` additionally runs the
+#: policy framework per document and therefore needs the classification and
+#: an LLM; ``policy_duplicates`` needs neither.
+POLICY_STREAM_ANALYSES = (
+    "policy_duplicates",
+    "disclosure",
+)
+
+#: Everything this engine can compute.
+STREAMABLE_ANALYSES = (
+    CORPUS_STREAM_ANALYSES + CLASSIFIED_STREAM_ANALYSES + POLICY_STREAM_ANALYSES
+)
+
+
+class ActionCatalogAccumulator:
+    """Streaming Action registry: id → (policy URL, API domain, title).
+
+    The compact join key between GPT shards (where Actions live) and policy
+    shards (where their documents live).  Memory is O(#distinct Actions);
+    duplicate embeddings of an Action carry identical specifications, so
+    first-write-wins merging is order-insensitive.
+    """
+
+    def __init__(self) -> None:
+        self.actions: Dict[str, Tuple[Optional[str], str, str]] = {}
+
+    def update(self, gpt: CrawledGPT) -> None:
+        """Register every Action of one GPT record."""
+        for action in gpt.actions:
+            self.actions.setdefault(
+                action.action_id, (action.legal_info_url, action.domain, action.title)
+            )
+
+    def merge(self, other: "ActionCatalogAccumulator") -> None:
+        """Fold another shard's registry into this one."""
+        for action_id, row in other.actions.items():
+            self.actions.setdefault(action_id, row)
 
 
 def _accumulator_factories(
     names: Sequence[str],
-    classification: Optional[ClassificationResult],
-    taxonomy: Optional[DataTaxonomy],
+    collected: Optional[Mapping[str, List[Tuple[str, str]]]],
+    offending: Optional[Mapping[str, List[Tuple[str, str]]]],
+    include_party: bool = True,
 ) -> Dict[str, Callable[[], object]]:
-    """Per-shard accumulator factories for the requested analyses.
+    """Per-shard accumulator factories for the requested GPT-record analyses.
 
     The party accumulator rides along whenever any analysis needs the
-    first-/third-party rollup.  Classification rollups are computed once
-    here and shared (read-only) by every shard worker.
+    first-/third-party rollup; the Action catalog rides along for the policy
+    analyses.  ``collected`` / ``offending`` are the classification rollups,
+    passed as plain mappings so the factory set can be rebuilt inside a
+    process-pool worker from a picklable payload.
     """
     factories: Dict[str, Callable[[], object]] = {}
-    if {"tool_usage", "collection", "prevalence", "party"} & set(names):
+    if include_party and {"tool_usage", "collection", "prevalence", "party"} & set(names):
         factories["party"] = ActionPartyAccumulator
     if "crawl_stats" in names:
         factories["crawl_stats"] = CrawlStatsAccumulator
@@ -85,20 +145,94 @@ def _accumulator_factories(
         factories["multi_action"] = MultiActionAccumulator
     if "cooccurrence" in names:
         factories["cooccurrence"] = CooccurrenceAccumulator
-    if classification is not None:
-        collected = classification.action_data_types()
+    if "action_catalog" in names:
+        factories["action_catalog"] = ActionCatalogAccumulator
+    if collected is not None:
         if "collection" in names:
             factories["collection"] = lambda: CollectionAccumulator(collected)
         if "prohibited" in names:
-            offending = find_offending_actions(classification, taxonomy)
             factories["prohibited"] = lambda: ProhibitedAccumulator(offending, collected)
         if "prevalence" in names:
             factories["prevalence"] = PrevalenceAccumulator
     return factories
 
 
+def _map_gpt_shard(
+    root: str,
+    index: int,
+    names: Tuple[str, ...],
+    collected: Optional[Mapping[str, List[Tuple[str, str]]]],
+    offending: Optional[Mapping[str, List[Tuple[str, str]]]],
+    include_party: bool = True,
+) -> Dict[str, object]:
+    """Fold one GPT shard's record stream through fresh accumulators.
+
+    Module-level with plain-data arguments so the task (and its returned
+    accumulators) pickle cleanly onto the process backend; thread and serial
+    backends call it in-process with zero copies.
+    """
+    store = ShardedCorpusStore(root)
+    factories = _accumulator_factories(names, collected, offending, include_party)
+    accumulators = {name: factory() for name, factory in factories.items()}
+    for gpt in store.iter_shard_gpts(index):
+        for accumulator in accumulators.values():
+            accumulator.update(gpt)
+    return accumulators
+
+
+def _map_policy_shard(
+    root: str,
+    index: int,
+    want_duplicates: bool,
+    disclosure_spec: Optional[Dict[str, object]],
+) -> Dict[str, object]:
+    """Fold one policy shard: duplicate profiles and/or disclosure analyses.
+
+    ``disclosure_spec`` carries the shard's slice of the URL → Actions join
+    (``url_actions``: url → [(action id, collected types, title)]) plus the
+    policy framework's inputs (taxonomy, LLM, single-pass flag); the
+    framework runs per document and its per-Action outcomes fold straight
+    into a :class:`DisclosureAccumulator` — no policy report is built.
+    """
+    store = ShardedCorpusStore(root)
+    out: Dict[str, object] = {}
+    duplicates = PolicyProfileAccumulator() if want_duplicates else None
+    disclosure = None
+    analyzer = None
+    url_actions: Mapping[str, Sequence] = {}
+    if disclosure_spec is not None:
+        from repro.policy.framework import PrivacyPolicyAnalyzer
+
+        disclosure = DisclosureAccumulator()
+        analyzer = PrivacyPolicyAnalyzer(
+            disclosure_spec["taxonomy"],
+            disclosure_spec["llm"],
+            single_pass=bool(disclosure_spec["single_pass"]),
+        )
+        url_actions = disclosure_spec["url_actions"]
+    for result in store.iter_shard_policies(index):
+        if duplicates is not None:
+            duplicates.update(result)
+        if disclosure is not None and result.ok and result.text is not None:
+            for action_id, collected_types, title in url_actions.get(result.url, ()):
+                disclosure.update(
+                    analyzer.analyze_action(
+                        action_id=action_id,
+                        policy_url=result.url,
+                        policy_text=result.text,
+                        collected_types=collected_types,
+                    ),
+                    name=title,
+                )
+    if duplicates is not None:
+        out["policy_duplicates"] = duplicates
+    if disclosure is not None:
+        out["disclosure"] = disclosure
+    return out
+
+
 class ShardAnalysisRunner:
-    """Runs streaming analyses shard-parallel on the crawl engine pool.
+    """Runs streaming analyses shard-parallel on an execution backend.
 
     Parameters
     ----------
@@ -107,23 +241,52 @@ class ShardAnalysisRunner:
     workers:
         Worker-pool size for shard tasks (``<= 1`` streams shards
         sequentially).  Results are identical at any worker count.
+    backend:
+        ``"serial"`` / ``"thread"`` / ``"process"``, a backend instance, or
+        ``None`` (serial at ``workers <= 1``, threads above).  The process
+        backend gives pure-Python accumulation real CPU scaling; results
+        are identical on every backend.
     """
 
-    def __init__(self, store: ShardedCorpusStore, workers: int = 0) -> None:
+    def __init__(
+        self,
+        store: ShardedCorpusStore,
+        workers: int = 0,
+        backend: Union[str, ExecutionBackend, None] = None,
+    ) -> None:
         self.store = store
         self.workers = workers
-        self.engine = CrawlEngine(workers=workers)
+        self.engine = CrawlEngine(workers=workers, backend=backend)
 
     # ------------------------------------------------------------------
-    def _map_shard(
-        self, index: int, factories: Mapping[str, Callable[[], object]]
-    ) -> Dict[str, object]:
-        """Fold one shard's GPT stream through fresh accumulators."""
-        accumulators = {name: factory() for name, factory in factories.items()}
-        for gpt in self.store.iter_shard_gpts(index):
-            for accumulator in accumulators.values():
-                accumulator.update(gpt)
-        return accumulators
+    def _run_merge(self, tasks: List[CrawlTask]) -> Dict[str, object]:
+        """Run shard map tasks and merge partials in shard order."""
+        merged: Dict[str, object] = {}
+        for outcome in self.engine.run(tasks):
+            if not outcome.ok:
+                raise RuntimeError(f"shard analysis {outcome.key!r} failed: {outcome.error}")
+            # Reduce: merge shard partials in shard (submission) order.
+            for name, accumulator in outcome.result.items():
+                if name in merged:
+                    merged[name].merge(accumulator)
+                else:
+                    merged[name] = accumulator
+        return merged
+
+    def _fetch_normalized_texts(self, urls: Sequence[str]) -> Dict[str, str]:
+        """Re-read (only) the requested policy texts, normalized.
+
+        Touches just the shards the URLs hash to — the near-duplicate
+        verification's memory is O(candidate texts), not O(policy corpus).
+        """
+        wanted = set(urls)
+        shards = {shard_index(url, self.store.n_shards) for url in wanted}
+        texts: Dict[str, str] = {}
+        for shard in sorted(shards):
+            for result in self.store.iter_shard_policies(shard):
+                if result.url in wanted and result.text is not None:
+                    texts[result.url] = normalize_policy_text(result.text)
+        return texts
 
     def run(
         self,
@@ -131,49 +294,117 @@ class ShardAnalysisRunner:
         classification: Optional[ClassificationResult] = None,
         taxonomy: Optional[DataTaxonomy] = None,
         party_index: Optional[ActionPartyIndex] = None,
+        llm: Optional[object] = None,
+        single_pass_policy: bool = False,
+        near_duplicate_method: str = "auto",
+        action_catalog: Optional[ActionCatalogAccumulator] = None,
     ) -> Dict[str, object]:
-        """Compute the requested analyses in **one** pass over the shards.
+        """Compute the requested analyses in one pass per record kind.
 
-        Returns analysis objects keyed by name (plus ``"party"`` whenever a
-        party rollup was built or supplied).  Requesting a
-        classification-dependent analysis without ``classification`` raises.
+        GPT-record analyses (and the Action catalog, when a policy analysis
+        needs it) share a single pass over the GPT shards; ``disclosure``
+        and ``policy_duplicates`` then share a single pass over the policy
+        shards.  Returns analysis objects keyed by name (plus ``"party"``
+        whenever a party rollup was built or supplied, and
+        ``"action_catalog"`` whenever one was built or passed in — hand it
+        back via ``action_catalog`` on a later call to skip re-scanning the
+        GPT shards).  Requesting a classification-dependent analysis
+        without ``classification`` — or ``disclosure`` without
+        ``llm``/``taxonomy`` — raises.
         """
         requested = list(names if names is not None else STREAMABLE_ANALYSES)
         unknown = [name for name in requested if name not in STREAMABLE_ANALYSES + ("party",)]
         if unknown:
             raise ValueError(f"unknown streaming analyses: {', '.join(sorted(unknown))}")
         needs_classification = [
-            name for name in requested if name in CLASSIFIED_STREAM_ANALYSES
+            name for name in requested
+            if name in CLASSIFIED_STREAM_ANALYSES or name == "disclosure"
         ]
         if needs_classification and classification is None:
             raise ValueError(
                 "classification required for: " + ", ".join(sorted(needs_classification))
             )
+        if "disclosure" in requested and (llm is None or taxonomy is None):
+            raise ValueError("disclosure requires an llm and a taxonomy")
 
-        factories = _accumulator_factories(requested, classification, taxonomy)
-        if party_index is not None:
-            factories.pop("party", None)
+        policy_names = [name for name in requested if name in POLICY_STREAM_ANALYSES]
+        gpt_names = [name for name in requested if name not in POLICY_STREAM_ANALYSES]
+        factory_names = list(gpt_names)
+        if policy_names and action_catalog is None:
+            factory_names.append("action_catalog")
 
-        # Map: one task per shard, fanned out on the engine's worker pool.
-        # Outcomes come back in submission (= shard) order.
+        collected = None
+        offending = None
+        if classification is not None:
+            collected = classification.action_data_types()
+            if "prohibited" in requested:
+                offending = find_offending_actions(classification, taxonomy)
+        include_party = party_index is None
+
+        # GPT-record map: one task per shard, fanned out on the backend.
         merged: Dict[str, object] = {}
-        if factories:
+        if _accumulator_factories(factory_names, collected, offending, include_party):
             tasks = [
                 CrawlTask(
                     key=f"shard-{index:05d}",
-                    fn=lambda i=index: self._map_shard(i, factories),
+                    fn=_map_gpt_shard,
+                    args=(
+                        str(self.store.root),
+                        index,
+                        tuple(factory_names),
+                        collected,
+                        offending,
+                        include_party,
+                    ),
                 )
                 for index in range(self.store.n_shards)
             ]
-            for outcome in self.engine.run(tasks):
-                if not outcome.ok:
-                    raise RuntimeError(f"shard analysis {outcome.key!r} failed: {outcome.error}")
-                # Reduce: merge shard partials in shard order.
-                for name, accumulator in outcome.result.items():
-                    if name in merged:
-                        merged[name].merge(accumulator)
-                    else:
-                        merged[name] = accumulator
+            merged = self._run_merge(tasks)
+        catalog: Optional[ActionCatalogAccumulator] = (
+            merged.pop("action_catalog", None) or action_catalog
+        )
+
+        # Policy-record map: duplicates profile + disclosure framework run.
+        if policy_names:
+            disclosure_specs: Optional[List[Dict[str, object]]] = None
+            if "disclosure" in policy_names:
+                # Shard-slice the URL → Actions join so each task carries
+                # only the entries its policy shard can encounter.
+                url_actions: List[Dict[str, List]] = [
+                    {} for _ in range(self.store.n_shards)
+                ]
+                for action_id in catalog.actions:
+                    url, _domain, title = catalog.actions[action_id]
+                    collected_types = collected.get(action_id, [])
+                    if not url or not collected_types:
+                        continue
+                    shard = shard_index(url, self.store.n_shards)
+                    url_actions[shard].setdefault(url, []).append(
+                        (action_id, collected_types, title)
+                    )
+                disclosure_specs = [
+                    {
+                        "taxonomy": taxonomy,
+                        "llm": llm,
+                        "single_pass": single_pass_policy,
+                        "url_actions": url_actions[index],
+                    }
+                    for index in range(self.store.n_shards)
+                ]
+            tasks = [
+                CrawlTask(
+                    key=f"policies-{index:05d}",
+                    fn=_map_policy_shard,
+                    args=(
+                        str(self.store.root),
+                        index,
+                        "policy_duplicates" in policy_names,
+                        disclosure_specs[index] if disclosure_specs else None,
+                    ),
+                )
+                for index in range(self.store.n_shards)
+            ]
+            merged.update(self._run_merge(tasks))
 
         # Finalize with the shared corpus-level context.
         results: Dict[str, object] = {}
@@ -181,6 +412,8 @@ class ShardAnalysisRunner:
             party_index = merged["party"].finalize()
         if party_index is not None:
             results["party"] = party_index
+        if catalog is not None:
+            results["action_catalog"] = catalog
         manifest = self.store.manifest
         if "crawl_stats" in merged:
             results["crawl_stats"] = merged["crawl_stats"].finalize(
@@ -200,6 +433,24 @@ class ShardAnalysisRunner:
             results["prohibited"] = merged["prohibited"].finalize()
         if "prevalence" in merged:
             results["prevalence"] = merged["prevalence"].finalize(classification, party_index)
+        if "disclosure" in merged:
+            results["disclosure"] = merged["disclosure"].finalize()
+        if "policy_duplicates" in merged:
+            action_policy_urls = {
+                action_id: row[0]
+                for action_id, row in catalog.actions.items()
+                if row[0]
+            }
+            action_domains = {
+                action_id: row[1] for action_id, row in catalog.actions.items()
+            }
+            results["policy_duplicates"] = finalize_duplicate_report(
+                action_policy_urls,
+                action_domains,
+                merged["policy_duplicates"].profiles,
+                self._fetch_normalized_texts,
+                near_duplicate_method=near_duplicate_method,
+            )
         if "coverage" in requested:
             # Coverage streams classification labels, not GPT records; fold
             # it inline (the accumulator still supports chunked merging).
@@ -217,8 +468,18 @@ def analyze_shards(
     classification: Optional[ClassificationResult] = None,
     taxonomy: Optional[DataTaxonomy] = None,
     party_index: Optional[ActionPartyIndex] = None,
+    backend: Union[str, ExecutionBackend, None] = None,
+    llm: Optional[object] = None,
+    single_pass_policy: bool = False,
+    near_duplicate_method: str = "auto",
 ) -> Dict[str, object]:
     """Convenience wrapper: build a runner and compute analyses in one pass."""
-    return ShardAnalysisRunner(store, workers=workers).run(
-        names, classification=classification, taxonomy=taxonomy, party_index=party_index
+    return ShardAnalysisRunner(store, workers=workers, backend=backend).run(
+        names,
+        classification=classification,
+        taxonomy=taxonomy,
+        party_index=party_index,
+        llm=llm,
+        single_pass_policy=single_pass_policy,
+        near_duplicate_method=near_duplicate_method,
     )

@@ -82,6 +82,14 @@ class SuiteConfig:
     shard_workers: int = 0
     #: Directory for the sharded corpus store (None = a private temp dir).
     shard_dir: Optional[str] = None
+    #: Execution backend for sharded work ("serial" / "thread" / "process",
+    #: None = serial at <=1 workers, threads above).  Applies to the
+    #: shard-partitioned crawl and the shard-parallel analyses; like
+    #: ``shards``, it is an execution knob that never changes measured
+    #: values.  (The in-memory corpus crawl keeps its thread engine: its
+    #: record order — which downstream sampling depends on — is defined by
+    #: the unsharded dataflow.)
+    backend: Optional[str] = None
 
 
 class MeasurementSuite:
@@ -116,6 +124,10 @@ class MeasurementSuite:
         self._cache: Dict[str, object] = {}
         self._shard_store = None
         self._shard_tempdir = None
+        #: Action → (policy URL, domain, title) registry reused across
+        #: streamed policy-analysis passes (one GPT-shard scan, not one per
+        #: analysis group).
+        self._action_catalog = None
 
     # ------------------------------------------------------------------
     # Pipeline stages (lazy, cached)
@@ -141,21 +153,30 @@ class MeasurementSuite:
             self._ecosystem = EcosystemGenerator(self.ecosystem_config, self.taxonomy).generate()
         return self._ecosystem
 
+    def _build_pipeline(self, shards: int = 1, backend: Optional[str] = None) -> CrawlPipeline:
+        return CrawlPipeline.from_ecosystem(
+            self.ecosystem,
+            seed=self.config.seed,
+            workers=self.config.crawl_workers,
+            transport_config=self.config.crawl_transport,
+            rate_limits=self.config.crawl_rate_limits,
+            checkpoint_dir=self.config.crawl_checkpoint_dir,
+            resume=self.config.crawl_resume,
+            checkpoint_shards=max(1, self.config.shards),
+            shards=shards,
+            backend=backend,
+        )
+
     @property
     def corpus(self) -> CrawlCorpus:
-        """The crawled corpus (concurrent and resumable when configured)."""
+        """The crawled corpus (concurrent and resumable when configured).
+
+        Always the unsharded dataflow (records in discovery order — the
+        order downstream description sampling is seeded against), even when
+        the suite's *analyses* run sharded.
+        """
         if self._corpus is None:
-            pipeline = CrawlPipeline.from_ecosystem(
-                self.ecosystem,
-                seed=self.config.seed,
-                workers=self.config.crawl_workers,
-                transport_config=self.config.crawl_transport,
-                rate_limits=self.config.crawl_rate_limits,
-                checkpoint_dir=self.config.crawl_checkpoint_dir,
-                resume=self.config.crawl_resume,
-                checkpoint_shards=max(1, self.config.shards),
-            )
-            self._corpus = pipeline.run()
+            self._corpus = self._build_pipeline().run()
         return self._corpus
 
     @property
@@ -168,7 +189,13 @@ class MeasurementSuite:
         """The on-disk sharded corpus store (built on first access).
 
         Lives under ``config.shard_dir`` when set, otherwise in a private
-        temporary directory tied to the suite's lifetime.
+        temporary directory tied to the suite's lifetime.  When no
+        in-memory corpus exists yet, the store comes straight from the
+        **shard-partitioned crawl** (:meth:`CrawlPipeline.run_sharded`) —
+        no whole-run corpus is ever materialized, which is what makes
+        ``crawl``-style workloads memory-bounded at scale.  If the corpus
+        was already crawled (or preloaded), it is sharded to disk instead;
+        both paths publish byte-identical stores.
         """
         if not self.sharded:
             raise ValueError("SuiteConfig.shards must be > 0 for a shard store")
@@ -181,33 +208,54 @@ class MeasurementSuite:
 
                 self._shard_tempdir = tempfile.TemporaryDirectory(prefix="repro-shards-")
                 directory = self._shard_tempdir.name
-            self._shard_store = ShardedCorpusStore.write_corpus(
-                self.corpus, directory, n_shards=self.config.shards
-            )
+            if self._corpus is None:
+                pipeline = self._build_pipeline(
+                    shards=self.config.shards, backend=self.config.backend
+                )
+                self._shard_store = pipeline.run_sharded(directory)
+            else:
+                self._shard_store = ShardedCorpusStore.write_corpus(
+                    self.corpus, directory, n_shards=self.config.shards
+                )
         return self._shard_store
 
     def _streamed(self, names: List[str]) -> None:
         """Compute streamed analyses shard-parallel and prime the cache.
 
         Analyses are grouped so a corpus-only request never forces the
-        classification stage; everything requested lands in ``_cache`` /
-        ``_party_index`` in one pass over the shards.
+        classification stage (and ``policy_duplicates`` never forces it
+        either); everything requested lands in ``_cache`` /
+        ``_party_index`` in one pass per record kind over the shards.
         """
         from repro.analysis.streaming import ShardAnalysisRunner
 
         classification = None
-        if any(name in ("collection", "coverage", "prohibited", "prevalence") for name in names):
+        if any(
+            name in ("collection", "coverage", "prohibited", "prevalence", "disclosure")
+            for name in names
+        ):
             classification = self.classification
-        runner = ShardAnalysisRunner(self.shard_store, workers=self.config.shard_workers)
+        runner = ShardAnalysisRunner(
+            self.shard_store,
+            workers=self.config.shard_workers,
+            backend=self.config.backend,
+        )
         results = runner.run(
             names,
             classification=classification,
             taxonomy=self.taxonomy,
             party_index=self._party_index,
+            llm=self.llm,
+            single_pass_policy=self.config.single_pass_policy,
+            near_duplicate_method=self.config.near_duplicate_method,
+            action_catalog=self._action_catalog,
         )
         party = results.pop("party", None)
         if party is not None and self._party_index is None:
             self._party_index = party
+        catalog = results.pop("action_catalog", None)
+        if catalog is not None and self._action_catalog is None:
+            self._action_catalog = catalog
         self._cache.update(results)
 
     @property
@@ -278,9 +326,12 @@ class MeasurementSuite:
     # Analyses (lazy, cached)
     # ------------------------------------------------------------------
     #: Streamable analyses grouped by what they force: corpus-only requests
-    #: must never trigger the classification stage.
+    #: (including policy duplicates, which stream policy records alone)
+    #: must never trigger the classification stage; disclosure runs the
+    #: policy framework per shard and needs the classification + LLM.
     _CORPUS_STREAM_GROUP = ("crawl_stats", "tool_usage", "multi_action", "cooccurrence")
     _CLASSIFIED_STREAM_GROUP = ("collection", "coverage", "prohibited", "prevalence")
+    _POLICY_STREAM_GROUPS = (("policy_duplicates",), ("disclosure",))
 
     def _cached(self, key: str, builder) -> object:
         if key not in self._cache:
@@ -289,6 +340,17 @@ class MeasurementSuite:
                 self._streamed(list(self._CORPUS_STREAM_GROUP))
             elif self.sharded and key in self._CLASSIFIED_STREAM_GROUP:
                 self._streamed(list(self._CLASSIFIED_STREAM_GROUP))
+            elif self.sharded and any(
+                key in group for group in self._POLICY_STREAM_GROUPS
+            ):
+                # Disclosure already forces the classification stage, so
+                # the duplicates analysis rides its policy-shard pass for
+                # free; a duplicates-only request streams alone and keeps
+                # the corpus-only principle (no classification forced).
+                names = [key]
+                if key == "disclosure" and "policy_duplicates" not in self._cache:
+                    names.append("policy_duplicates")
+                self._streamed(names)
             else:
                 self._cache[key] = builder()
         return self._cache[key]

@@ -31,9 +31,22 @@ every command's corpus analyses onto the sharded streaming path
 (:mod:`repro.io.shards` + :mod:`repro.analysis.streaming`): the crawled
 corpus is hash-partitioned into N JSONL shards on disk and analyzed
 shard-parallel, with byte-identical results at any shard or worker count.
-(The CLI path still crawls the corpus in memory first; the truly
-memory-bounded 100k-GPT ingest is the library-level
-:func:`repro.ecosystem.generator.generate_sharded_corpus`.)
+``crawl --shards N`` runs the **shard-partitioned crawl**
+(:meth:`repro.crawler.pipeline.CrawlPipeline.run_sharded`): the listing
+frontier is hash-partitioned, per-shard sub-pipelines stream resolved GPTs
+and policies straight into the shard store, and no whole-run corpus is ever
+materialized — so crawl memory is bounded by the largest shard.  (Commands
+that also classify, e.g. ``analyze``, still materialize the corpus for the
+classification stage; the fully memory-bounded 100k-GPT ingest is the
+library-level :func:`repro.ecosystem.generator.generate_sharded_corpus`.)
+
+Global ``--backend {serial,thread,process}`` selects the execution backend
+(:mod:`repro.exec`) for all sharded work — the partitioned crawl's
+sub-pipelines and the shard-parallel analyses — and, for ``sweep``, the
+cell scheduler.  Threads suit I/O-bound and GIL-releasing work; the process
+backend unlocks real CPU scaling for pure-Python shard maps.  Like
+``--shards``, it is an execution knob: results are byte-identical on every
+backend.
 """
 
 from __future__ import annotations
@@ -59,6 +72,7 @@ def _build_suite(args: argparse.Namespace) -> MeasurementSuite:
         shards=args.shards,
         shard_workers=args.shard_workers,
         shard_dir=args.shard_dir,
+        backend=args.backend,
     )
     return MeasurementSuite(config=config)
 
@@ -173,6 +187,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             experiment_ids=experiment_ids,
             shards=args.shards,
             shard_workers=args.shard_workers,
+            backend=args.backend,
         )
     except ValueError as error:
         print(str(error), file=sys.stderr)
@@ -259,6 +274,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--shard-dir", default=None,
         help="directory for the sharded corpus store (default: a temp dir)",
+    )
+    parser.add_argument(
+        "--backend", default=None, choices=["serial", "thread", "process"],
+        help="execution backend for sharded crawls/analyses and the sweep "
+             "scheduler (default: serial at <=1 workers, threads above; "
+             "process unlocks CPU scaling for pure-Python shard maps)",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 

@@ -1,109 +1,68 @@
-"""The concurrent crawl engine: frontier scheduler, worker pool, rate limits.
+"""The concurrent crawl engine: frontier scheduling over a pluggable backend.
 
 The paper's measurement opens with a large-scale crawl (Sections 3.1, 5.1.1);
 at production scale that crawl is a *scheduler* problem — thousands of
 independent fetch tasks that should saturate the network while respecting
-per-host politeness limits — not a for-loop.  This module provides the
-scheduling layer the rebuilt :class:`~repro.crawler.pipeline.CrawlPipeline`
-stages run on:
+per-host politeness limits — not a for-loop.  The generic scheduling
+machinery (task/outcome types, pluggable frontier queues, the serial and
+thread-pool execution loops, and the process-pool backend) lives in
+:mod:`repro.exec.backends`; this module keeps the crawl-specific pieces and
+the historical entry point:
 
-* :class:`CrawlTask` — one unit of work (a key, a thunk, and the host it
-  touches, used for rate limiting);
-* :class:`TaskQueue` / :class:`FIFOTaskQueue` — the pluggable work frontier
-  workers drain (swap in a priority queue for e.g. recrawl scheduling);
 * :class:`TokenBucket` / :class:`HostRateLimiter` — per-host token-bucket
   politeness limits;
-* :class:`CrawlEngine` — runs a batch of tasks on a
-  :mod:`concurrent.futures` worker pool (or inline when ``workers <= 1``)
-  and merges outcomes **deterministically**: results are returned in task
+* :class:`CrawlEngine` — runs a batch of tasks on an execution backend
+  (serial inline when ``workers <= 1``, the thread pool above, or any
+  :class:`~repro.exec.backends.ExecutionBackend` passed explicitly) and
+  merges outcomes **deterministically**: results are returned in task
   submission order no matter which worker finished first, so a seeded crawl
-  produces an identical corpus at any worker count.
+  produces an identical corpus at any worker count and on any backend.
+
+``CrawlTask`` / ``TaskOutcome`` / the queue classes are re-exported from
+:mod:`repro.exec` for compatibility — they are the same objects every other
+fan-out layer (streaming analysis, the sweep engine) schedules with.
 
 Task functions run concurrently, so anything they share (the simulated HTTP
-layer, the retrying transport) must be thread-safe — both are.
+layer, the retrying transport) must be thread-safe — both are.  On the
+process backend, task payloads must be picklable instead (module-level
+functions with plain-data arguments); closure-style tasks are a programming
+error there and surface as task failures.
 """
 
 from __future__ import annotations
 
 import threading
 import time
-from collections import deque
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, Deque, Dict, Iterable, List, Optional, Protocol, Sequence
+from typing import Callable, Dict, Iterable, List, Optional, Union
 
+from repro.exec.backends import (
+    ExecOutcome,
+    ExecTask,
+    ExecutionBackend,
+    FIFOTaskQueue,
+    LIFOTaskQueue,
+    TaskQueue,
+    get_backend,
+)
 
-@dataclass(frozen=True)
-class CrawlTask:
-    """One schedulable unit of crawl work.
+#: Compatibility aliases: the crawl engine's task vocabulary *is* the
+#: execution layer's (one scheduling contract across crawl, streaming
+#: analysis, and sweeps).
+CrawlTask = ExecTask
+TaskOutcome = ExecOutcome
 
-    ``key`` must be unique within a batch — it names the result in the
-    engine's outcome map and in checkpoints.  ``host`` (optional) subjects
-    the task to that host's rate limit.
-    """
-
-    key: str
-    fn: Callable[[], object]
-    host: Optional[str] = None
-
-
-@dataclass
-class TaskOutcome:
-    """What happened to one task."""
-
-    key: str
-    result: Optional[object] = None
-    error: Optional[str] = None
-
-    @property
-    def ok(self) -> bool:
-        """Whether the task completed without raising."""
-        return self.error is None
-
-
-class TaskQueue(Protocol):
-    """The pluggable work frontier the scheduler drains."""
-
-    def push(self, task: CrawlTask) -> None:  # pragma: no cover - protocol
-        ...
-
-    def pop(self) -> Optional[CrawlTask]:  # pragma: no cover - protocol
-        ...
-
-    def __len__(self) -> int:  # pragma: no cover - protocol
-        ...
-
-
-class FIFOTaskQueue:
-    """A thread-safe first-in-first-out frontier (the default)."""
-
-    def __init__(self) -> None:
-        self._items: Deque[CrawlTask] = deque()
-        self._lock = threading.Lock()
-
-    def push(self, task: CrawlTask) -> None:
-        with self._lock:
-            self._items.append(task)
-
-    def pop(self) -> Optional[CrawlTask]:
-        with self._lock:
-            if not self._items:
-                return None
-            return self._items.popleft()
-
-    def __len__(self) -> int:
-        with self._lock:
-            return len(self._items)
-
-
-class LIFOTaskQueue(FIFOTaskQueue):
-    """A depth-first frontier; useful when fresh links should be crawled hot."""
-
-    def pop(self) -> Optional[CrawlTask]:
-        with self._lock:
-            if not self._items:
-                return None
-            return self._items.pop()
+__all__ = [
+    "CrawlEngine",
+    "CrawlTask",
+    "EngineStatistics",
+    "FIFOTaskQueue",
+    "HostRateLimiter",
+    "LIFOTaskQueue",
+    "TaskOutcome",
+    "TaskQueue",
+    "TokenBucket",
+]
 
 
 class TokenBucket:
@@ -189,28 +148,35 @@ class EngineStatistics:
 
 
 class CrawlEngine:
-    """Schedules crawl tasks over a worker pool with deterministic merging.
+    """Schedules crawl tasks over an execution backend with deterministic merging.
 
     Parameters
     ----------
     workers:
         Worker-pool size.  ``<= 1`` runs tasks inline on the calling thread
-        (the sequential baseline); larger values use a
-        :class:`~concurrent.futures.ThreadPoolExecutor` whose workers drain
-        the task queue.
+        (the sequential baseline); larger values use the thread backend —
+        unless ``backend`` overrides the choice.
     rate_limiter:
         Optional per-host admission control applied once before each *task*
         runs.  A task may issue several requests (pagination, retries), so
         for true requests/second politeness hand the limiter to
         :class:`~repro.crawler.transport.RetryingTransport` instead, which
         consults it before every attempt — the pipeline does exactly that.
+        Incompatible with the process backend (buckets cannot span
+        processes).
     queue_factory:
-        Builds the work frontier for each :meth:`run` (default FIFO).
+        Builds the work frontier for each :meth:`run` (default FIFO); only
+        meaningful on the frontier-draining (serial/thread) backends.
     on_result:
-        Called once per completed task, in *completion* order, under the
-        engine lock — the pipeline uses it for incremental checkpointing.
-        Completion order is nondeterministic under concurrency; only the
-        returned outcome list is deterministic.
+        Called once per completed task, in *completion* order, serialized
+        under the scheduler's lock — the pipeline uses it for incremental
+        checkpointing.  Completion order is nondeterministic under
+        concurrency; only the returned outcome list is deterministic.
+    backend:
+        ``"serial"`` / ``"thread"`` / ``"process"``, an
+        :class:`~repro.exec.backends.ExecutionBackend` instance, or ``None``
+        for the historical default (serial at ``workers <= 1``, threads
+        above).
     """
 
     def __init__(
@@ -219,84 +185,56 @@ class CrawlEngine:
         rate_limiter: Optional[HostRateLimiter] = None,
         queue_factory: Callable[[], TaskQueue] = FIFOTaskQueue,
         on_result: Optional[Callable[[TaskOutcome], None]] = None,
+        backend: Union[str, ExecutionBackend, None] = None,
     ) -> None:
         self.workers = max(0, workers)
         self.rate_limiter = rate_limiter
         self.queue_factory = queue_factory
         self.on_result = on_result
         self.statistics = EngineStatistics()
-        self._lock = threading.Lock()
-        self._stop = threading.Event()
+        if isinstance(backend, ExecutionBackend):
+            # A pre-built backend carries its own rate limiter and frontier;
+            # accepting (and silently dropping) engine-level ones here would
+            # unthrottle a crawl or discard a custom queue without warning.
+            if rate_limiter is not None:
+                raise ValueError(
+                    "pass rate_limiter to the backend itself (SerialBackend/"
+                    "ThreadBackend) when supplying a backend instance; the "
+                    "process backend cannot enforce a shared rate limiter"
+                )
+            if queue_factory is not FIFOTaskQueue:
+                raise ValueError(
+                    "pass queue_factory to the backend itself when supplying "
+                    "a backend instance"
+                )
+            self.backend: ExecutionBackend = backend
+        else:
+            self.backend = get_backend(
+                backend,
+                workers=self.workers,
+                rate_limiter=rate_limiter,
+                queue_factory=queue_factory,
+            )
 
     # ------------------------------------------------------------------
-    def _execute(self, task: CrawlTask) -> TaskOutcome:
-        if self.rate_limiter is not None:
-            self.rate_limiter.acquire(task.host)
-        try:
-            result = task.fn()
-        except Exception as exc:  # noqa: BLE001 - outcomes carry the error
-            return TaskOutcome(key=task.key, error=f"{type(exc).__name__}: {exc}")
-        return TaskOutcome(key=task.key, result=result)
-
-    def _complete(self, outcome: TaskOutcome,
-                  outcomes: Dict[str, TaskOutcome]) -> None:
-        with self._lock:
-            outcomes[outcome.key] = outcome
-            self.statistics.n_completed += 1
-            if not outcome.ok:
-                self.statistics.n_failed += 1
-            if self.on_result is not None:
-                self.on_result(outcome)
-
-    def _worker_loop(self, queue: TaskQueue,
-                     outcomes: Dict[str, TaskOutcome]) -> None:
-        while not self._stop.is_set():
-            task = queue.pop()
-            if task is None:
-                return
-            try:
-                outcome = self._execute(task)
-                self._complete(outcome, outcomes)
-            except BaseException:
-                # Anything escaping here (KeyboardInterrupt from a task, a
-                # bug in the on_result callback) aborts the whole batch:
-                # stop sibling workers, then re-raise so ``run`` surfaces it
-                # after the pool winds down.
-                self._stop.set()
-                raise
-
-    # ------------------------------------------------------------------
-    def run(self, tasks: Iterable[CrawlTask]) -> List[TaskOutcome]:
+    def run(
+        self, tasks: Iterable[CrawlTask], keep_results: bool = True
+    ) -> List[TaskOutcome]:
         """Run a batch of tasks; outcomes are returned in submission order.
 
         A ``KeyboardInterrupt`` raised by a task (or the caller) propagates
         after in-flight workers wind down, so an interrupted run leaves any
-        incremental checkpoints consistent.
+        incremental checkpoints consistent.  ``keep_results=False`` hands
+        each result to ``on_result`` and then drops it from the returned
+        outcome, bounding memory for streaming consumers.
         """
-        task_list: Sequence[CrawlTask] = list(tasks)
-        keys = [task.key for task in task_list]
-        if len(set(keys)) != len(keys):
-            raise ValueError("task keys must be unique within a batch")
+        task_list = list(tasks)
         start = time.monotonic()
         self.statistics.n_tasks += len(task_list)
-        self._stop.clear()
-        outcomes: Dict[str, TaskOutcome] = {}
-        queue = self.queue_factory()
-        for task in task_list:
-            queue.push(task)
-        if self.workers <= 1:
-            # Inline execution still drains the configured frontier, so a
-            # LIFO/priority queue schedules identically at any worker count.
-            self._worker_loop(queue, outcomes)
-        else:
-            with ThreadPoolExecutor(max_workers=self.workers) as pool:
-                futures = [
-                    pool.submit(self._worker_loop, queue, outcomes)
-                    for _ in range(self.workers)
-                ]
-                for future in futures:
-                    # Surface worker crashes (queue/callback bugs); task
-                    # exceptions are already folded into outcomes.
-                    future.result()
+        outcomes = self.backend.run(
+            task_list, on_result=self.on_result, keep_results=keep_results
+        )
+        self.statistics.n_completed += len(outcomes)
+        self.statistics.n_failed += sum(1 for outcome in outcomes if not outcome.ok)
         self.statistics.wall_time_s += time.monotonic() - start
-        return [outcomes[key] for key in keys]
+        return outcomes

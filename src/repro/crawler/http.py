@@ -183,6 +183,16 @@ class SimulatedHTTPLayer:
         return self._seed
 
     @property
+    def flaky_host_rates(self) -> Dict[str, float]:
+        """Configured host → failure-rate map (for rebuilding the layer).
+
+        The shard-partitioned crawl's process workers reconstruct the
+        simulated network from the ecosystem plus this map, so failure
+        injection configured on the coordinator's layer carries over.
+        """
+        return dict(self._flaky_hosts)
+
+    @property
     def request_count(self) -> int:
         """Number of requests issued so far (exact, unbounded counter)."""
         return self._request_count

@@ -23,12 +23,39 @@ When a checkpoint directory is configured, completed task payloads are
 flushed incrementally through :class:`repro.io.CrawlCheckpoint`; a run
 killed mid-stage and restarted with ``resume=True`` skips everything already
 fetched and produces a corpus identical to an uninterrupted run.
+
+**Shard-partitioned crawls.**  With ``shards > 1``, :meth:`CrawlPipeline.run_sharded`
+partitions the listing frontier by the same SHA-256 record hash the sharded
+corpus store uses (:func:`repro.io.shards.shard_index`): after the listing
+stage, each shard runs its own resolve and policy sub-stages — own
+checkpoint shard files, own (rate-limit-sharing) transport — on the
+configured execution backend (:mod:`repro.exec`), and the resulting records
+stream straight into a :class:`~repro.io.shards.ShardedCorpusWriter`.  No
+whole-run :class:`CrawlCorpus` is ever materialized: the coordinator holds
+one shard's payload batch at a time plus O(#identifiers) routing metadata,
+so peak memory is bounded by the largest shard, not the corpus.  Because
+shards partition the URL space (identifiers route resolve URLs, policy URLs
+route themselves) and every failure/retry draw is a pure function of
+``(seed, url, attempt)``, the produced store is **byte-identical** to
+sharding the unsharded crawl's corpus — at any backend (serial, thread,
+process), any worker count, cold or resumed.  :meth:`CrawlPipeline.run`
+keeps the unsharded API: with ``shards > 1`` (or the process backend) it
+runs the partitioned crawl and folds the per-shard corpora back together
+via :meth:`CrawlCorpus.merge` (record order is then shard-major; contents
+are identical).
+
+On the process backend, each shard sub-pipeline is rebuilt inside the
+worker from a picklable :class:`ShardCrawlSpec` (ecosystem + seed + failure
+injection), so the simulated network state is reconstructed — never
+inherited through fork — and per-task RNG re-seeding keeps fork and spawn
+start methods in agreement.
 """
 
 from __future__ import annotations
 
+import tempfile
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Set, Union
 
 from repro.crawler.corpus import CrawlCorpus, CrawledGPT
 from repro.crawler.engine import (
@@ -46,6 +73,7 @@ from repro.crawler.store_crawler import StoreCrawler
 from repro.crawler.store_server import GPTStoreServer, install_store_servers
 from repro.crawler.transport import RetryingTransport, TransportConfig
 from repro.ecosystem.models import SyntheticEcosystem
+from repro.exec import ExecutionBackend, ProcessBackend, get_backend
 from repro.io import CrawlCheckpoint
 from repro.web.urls import url_host
 
@@ -137,7 +165,19 @@ class CrawlPipeline:
     checkpoint_shards:
         Partition each checkpoint stage into this many hash-routed shard
         files (mirrors :mod:`repro.io.shards`); ``1`` keeps the flat
-        single-file layout.
+        single-file layout.  Ignored when ``shards > 1`` — the partitioned
+        crawl always checkpoints one shard file per crawl shard.
+    shards:
+        Partition the crawl itself into this many hash-routed shards (see
+        the module docstring).  ``1`` keeps the classic single-corpus
+        dataflow.
+    backend:
+        Execution backend for the per-shard sub-pipelines: ``"serial"``,
+        ``"thread"``, ``"process"``, an
+        :class:`~repro.exec.backends.ExecutionBackend` instance, or ``None``
+        (serial at ``workers <= 1``, threads above).  The process backend
+        requires an ecosystem-built pipeline (:meth:`from_ecosystem`), since
+        workers reconstruct the simulated network from the ecosystem.
     """
 
     def __init__(
@@ -153,21 +193,37 @@ class CrawlPipeline:
         checkpoint_every: int = 100,
         checkpoint_shards: int = 1,
         queue_factory: Callable[[], TaskQueue] = FIFOTaskQueue,
+        shards: int = 1,
+        backend: Union[str, ExecutionBackend, None] = None,
     ) -> None:
         self.http = http
         self.store_servers = store_servers
         self.page_size = page_size
         self.workers = workers
+        self.transport_config = transport_config
+        self.rate_limits = dict(rate_limits) if rate_limits else None
         self.transport = RetryingTransport(
             http,
             transport_config,
             rate_limiter=HostRateLimiter(rate_limits) if rate_limits else None,
         )
-        self.engine = CrawlEngine(workers=workers, queue_factory=queue_factory)
+        self.backend = backend
+        # Stage tasks are closures over the shared transport, so the stage
+        # engine never runs on the process backend; a process-backend
+        # pipeline routes whole shard sub-pipelines there instead (run()
+        # falls through to the partitioned dataflow).
+        stage_backend = backend if not self._wants_process_backend() else None
+        self.engine = CrawlEngine(
+            workers=workers, queue_factory=queue_factory, backend=stage_backend
+        )
         self.checkpoint_dir = checkpoint_dir
         self.resume = resume
         self.checkpoint_every = max(1, checkpoint_every)
         self.checkpoint_shards = max(1, checkpoint_shards)
+        self.shards = max(1, shards)
+        #: The generating ecosystem, when known (set by from_ecosystem);
+        #: required for process-backend shard workers.
+        self.ecosystem: Optional[SyntheticEcosystem] = None
         self.statistics = CrawlStatistics()
 
     # ------------------------------------------------------------------
@@ -197,7 +253,9 @@ class CrawlPipeline:
         for action in ecosystem.actions.values():
             if action.legal_info_url and action.legal_info_url not in ecosystem.policies:
                 http.set_status_override(action.legal_info_url, 500)
-        return cls(http=http, store_servers=store_servers, page_size=page_size, **kwargs)
+        pipeline = cls(http=http, store_servers=store_servers, page_size=page_size, **kwargs)
+        pipeline.ecosystem = ecosystem
+        return pipeline
 
     # ------------------------------------------------------------------
     # Stage definitions
@@ -296,6 +354,274 @@ class CrawlPipeline:
         return CrawlStage("policies", build_tasks, encode, merge)
 
     # ------------------------------------------------------------------
+    # Shard-partitioned crawl
+    # ------------------------------------------------------------------
+    def _wants_process_backend(self) -> bool:
+        return self.backend == "process" or isinstance(self.backend, ProcessBackend)
+
+    def _shard_backend(self) -> ExecutionBackend:
+        """The backend shard sub-pipelines run on.
+
+        Never rate-limited at the task level: on the serial/thread backends
+        the sub-pipelines share this pipeline's transport (and so its
+        per-host buckets); the process backend refuses configured rate
+        limits outright (see :meth:`_shard_crawl_spec`)."""
+        if isinstance(self.backend, ExecutionBackend):
+            return self.backend
+        workers = self.workers if self.workers > 0 else 1
+        return get_backend(self.backend, workers=workers)
+
+    def _shard_crawl_spec(self) -> "ShardCrawlSpec":
+        if self.ecosystem is None:
+            raise ValueError(
+                "the process backend needs an ecosystem-built pipeline "
+                "(CrawlPipeline.from_ecosystem) so shard workers can rebuild "
+                "the simulated network"
+            )
+        if self.rate_limits:
+            # Refuse rather than silently weaken politeness: each worker
+            # process would rebuild its own token buckets, admitting up to
+            # workers x the configured per-host rate (the same contract
+            # CrawlEngine enforces for process + rate limiter).
+            raise ValueError(
+                "per-host rate limits cannot be enforced across process-"
+                "backend shard workers (each would admit the full rate); "
+                "use the thread or serial backend for rate-limited crawls"
+            )
+        return ShardCrawlSpec(
+            ecosystem=self.ecosystem,
+            seed=self.http.seed,
+            page_size=self.page_size,
+            transport_config=self.transport_config,
+            rate_limits=self.rate_limits,
+            flaky_hosts=self.http.flaky_host_rates,
+            checkpoint_dir=self.checkpoint_dir,
+            checkpoint_every=self.checkpoint_every,
+            shards=self.shards,
+        )
+
+    def _run_shard_stage(
+        self,
+        stage_name: str,
+        shard: int,
+        keys: Sequence[str],
+        report_network_stats: bool = False,
+    ) -> Dict[str, object]:
+        """Fetch one shard's slice of a stage, checkpointing incrementally.
+
+        Runs in the coordinator (serial/thread backends, sharing the
+        pipeline transport and therefore its rate limits) or inside a
+        process worker on a rebuilt pipeline.  Returns the shard's records
+        in key order plus resume/network counters.  Fetches within a shard
+        are sequential; parallelism is across shards.
+        """
+        checkpoint: Optional[CrawlCheckpoint] = None
+        if self.checkpoint_dir is not None:
+            checkpoint = CrawlCheckpoint(self.checkpoint_dir, n_shards=self.shards)
+        if stage_name == "resolve":
+            client = GizmoAPIClient(self.transport)
+
+            def fetch(key: str) -> Dict[str, object]:
+                result = client.fetch(key)
+                return {"status": result.status, "manifest": result.manifest}
+        elif stage_name == "policies":
+            fetcher = PolicyFetcher(self.transport)
+
+            def fetch(key: str) -> Dict[str, object]:
+                result = fetcher.fetch(key)
+                return {"status": result.status, "text": result.text, "error": result.error}
+        else:  # pragma: no cover - guarded by the phase runner
+            raise ValueError(f"unknown shard stage {stage_name!r}")
+
+        requests_before = self.http.request_count
+        retries_before = self.transport.statistics.n_retries
+        # Shard-sliced load + loadless append: the sub-pipeline's memory is
+        # bounded by its own shard's records even when resuming a huge
+        # checkpoint (load_stage would materialize every shard's payloads).
+        done = (
+            checkpoint.load_stage_for_shard(stage_name, shard)
+            if checkpoint is not None
+            else {}
+        )
+        records: List = []
+        n_resumed = 0
+        since_flush = 0
+        for key in keys:
+            payload = done.get(key)
+            if payload is not None:
+                n_resumed += 1
+            else:
+                payload = fetch(key)
+                if checkpoint is not None:
+                    checkpoint.append(stage_name, key, payload)
+                    since_flush += 1
+                    if since_flush % self.checkpoint_every == 0:
+                        checkpoint.flush(stage_name)
+            records.append((key, payload))
+        if checkpoint is not None:
+            checkpoint.flush(stage_name)
+        result: Dict[str, object] = {"records": records, "n_resumed": n_resumed}
+        if report_network_stats:
+            result["n_http_requests"] = self.http.request_count - requests_before
+            result["n_retries"] = self.transport.statistics.n_retries - retries_before
+        return result
+
+    def _run_shard_phase(
+        self,
+        stage_name: str,
+        shard_keys: Sequence[Sequence[str]],
+        consume: Callable[[int, Sequence], None],
+    ) -> None:
+        """Fan one stage's shards out on the backend and stream the results.
+
+        ``consume(shard, records)`` is called once per completed shard,
+        serialized, in completion order; the backend drops each shard's
+        payload after consumption (``keep_results=False``), so the
+        coordinator holds at most one shard's records at a time.  Writes are
+        order-safe under completion-order consumption because each shard's
+        records route to that shard's files alone.
+        """
+        backend = self._shard_backend()
+        tasks: List[CrawlTask] = []
+        if isinstance(backend, ProcessBackend):
+            spec = self._shard_crawl_spec()
+            for shard, keys in enumerate(shard_keys):
+                if not keys:
+                    continue
+                tasks.append(
+                    CrawlTask(
+                        key=f"{stage_name}-{shard:05d}",
+                        fn=_shard_stage_task,
+                        args=(spec, stage_name, shard, list(keys)),
+                        seed=_shard_task_seed(self.http.seed, stage_name, shard),
+                    )
+                )
+        else:
+            for shard, keys in enumerate(shard_keys):
+                if not keys:
+                    continue
+                tasks.append(
+                    CrawlTask(
+                        key=f"{stage_name}-{shard:05d}",
+                        fn=self._run_shard_stage,
+                        args=(stage_name, shard, list(keys)),
+                    )
+                )
+
+        def on_result(outcome: TaskOutcome) -> None:
+            if not outcome.ok:
+                # Fetchers fold expected network failures into their
+                # results, so an engine-level error is a code bug (or an
+                # unpicklable payload on the process backend).
+                raise RuntimeError(
+                    f"shard crawl task {outcome.key!r} failed: {outcome.error}"
+                )
+            shard = int(outcome.key.rsplit("-", 1)[1])
+            payload = outcome.result
+            self.statistics.n_tasks_resumed += int(payload.get("n_resumed", 0))
+            self.statistics.n_http_requests += int(payload.get("n_http_requests", 0))
+            self.statistics.n_retries += int(payload.get("n_retries", 0))
+            consume(shard, payload["records"])
+
+        backend.run(tasks, on_result=on_result, keep_results=False)
+
+    def run_sharded(self, shard_dir: str, flush_every: int = 1000):
+        """Run the shard-partitioned crawl, streaming into a sharded store.
+
+        Returns the published :class:`~repro.io.shards.ShardedCorpusStore`
+        at ``shard_dir`` — byte-identical to
+        ``ShardedCorpusStore.write_corpus(self.run(), self.shards)`` without
+        ever materializing the whole-run corpus.  See the module docstring
+        for the dataflow.
+        """
+        from repro.io.shards import ShardedCorpusWriter, shard_index
+
+        self.statistics = CrawlStatistics()
+        requests_before = self.http.request_count
+        retries_before = self.transport.statistics.n_retries
+        checkpoint = self._open_checkpoint(n_shards=self.shards)
+        if checkpoint is not None:
+            # Settle the layout marker before any shard sub-pipeline opens
+            # its own view of the directory (their flushes would otherwise
+            # race to write it).
+            checkpoint.ensure_layout()
+
+        # Stage 1 — listing, in the coordinator: the identifier frontier
+        # must exist before it can be partitioned.  The throwaway corpus
+        # holds per-store link counts only, never GPT records.
+        identifier_sources: Dict[str, List[str]] = {}
+        listing_counts = CrawlCorpus()
+        self._run_stage(self._listing_stage(listing_counts, identifier_sources), checkpoint)
+        self.statistics.n_unique_identifiers = len(identifier_sources)
+        identifier_order = list(identifier_sources)
+        shard_ids: List[List[str]] = [[] for _ in range(self.shards)]
+        for identifier in identifier_order:
+            shard_ids[shard_index(identifier, self.shards)].append(identifier)
+
+        writer = ShardedCorpusWriter(shard_dir, n_shards=self.shards, flush_every=flush_every)
+        unresolved: Set[str] = set()
+        policy_urls: Set[str] = set()
+
+        # Stage 2 — resolve, one sub-pipeline per shard.  Resolved GPTs
+        # stream straight into the shard writer (each shard's records route
+        # to its own shard file, so completion-order consumption is safe).
+        def consume_resolve(shard: int, records: Sequence) -> None:
+            for identifier, payload in records:
+                manifest = payload.get("manifest")
+                if manifest is None:
+                    unresolved.add(identifier)
+                    self.statistics.n_unresolved += 1
+                    continue
+                self.statistics.n_resolved += 1
+                stores = identifier_sources.get(identifier, [])
+                gpt = CrawledGPT.from_manifest(
+                    manifest, source_store=stores[0] if stores else None
+                )
+                gpt.source_stores = sorted(set(stores))
+                for action in gpt.actions:
+                    if action.legal_info_url:
+                        policy_urls.add(action.legal_info_url)
+                writer.add_gpt(gpt)
+
+        self._run_shard_phase("resolve", shard_ids, consume_resolve)
+
+        # Stage 3 — policies: the global URL set (sorted, as in the
+        # unsharded pipeline) routes each URL to exactly one shard, so a
+        # policy referenced by GPTs in several shards is fetched once.
+        shard_urls: List[List[str]] = [[] for _ in range(self.shards)]
+        for url in sorted(policy_urls):
+            shard_urls[shard_index(url, self.shards)].append(url)
+
+        def consume_policies(shard: int, records: Sequence) -> None:
+            for url, payload in records:
+                result = PolicyFetchResult(
+                    url=url,
+                    status=int(payload.get("status", 0)),
+                    text=payload.get("text"),
+                    error=payload.get("error"),
+                )
+                writer.add_policy(result)
+                self.statistics.n_policy_urls += 1
+                if not result.ok:
+                    self.statistics.n_policy_failures += 1
+
+        self._run_shard_phase("policies", shard_urls, consume_policies)
+
+        # Manifest metadata: unresolved identifiers re-interleaved into the
+        # global discovery order the unsharded corpus records them in.
+        writer.set_metadata(
+            store_link_counts=listing_counts.store_link_counts,
+            unresolved_gpt_ids=[i for i in identifier_order if i in unresolved],
+        )
+        store = writer.close()
+        # Coordinator-side network counters (listing pages always; resolve
+        # and policy fetches too on the serial/thread backends, which share
+        # this pipeline's transport — process workers reported their own).
+        self.statistics.n_http_requests += self.http.request_count - requests_before
+        self.statistics.n_retries += self.transport.statistics.n_retries - retries_before
+        return store
+
+    # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     def _run_stage(self, stage: CrawlStage,
@@ -349,8 +675,34 @@ class CrawlPipeline:
             "n_listings": sum(len(server.listings) for server in self.store_servers),
         }
 
+    def _open_checkpoint(self, n_shards: int) -> Optional[CrawlCheckpoint]:
+        """Open (and clear or fingerprint-check) the configured checkpoint."""
+        if self.checkpoint_dir is None:
+            return None
+        checkpoint = CrawlCheckpoint(self.checkpoint_dir, n_shards=n_shards)
+        fingerprint = self._checkpoint_fingerprint()
+        if not self.resume:
+            checkpoint.clear()
+        else:
+            existing = checkpoint.load_meta()
+            if existing is not None and existing != fingerprint:
+                raise ValueError(
+                    "checkpoint at "
+                    f"{self.checkpoint_dir!r} was written by a different "
+                    "crawl configuration; pass resume=False to start over"
+                )
+        checkpoint.write_meta(fingerprint)
+        return checkpoint
+
     def run(self) -> CrawlCorpus:
         """Run the crawl and return the resulting corpus.
+
+        With ``shards > 1`` (or the process backend) this is the
+        compatibility path over :meth:`run_sharded`: the partitioned crawl
+        streams into a temporary sharded store whose per-shard corpora are
+        folded back together via :meth:`CrawlCorpus.merge`.  Record order is
+        then shard-major rather than discovery order; record contents,
+        statistics, and every (order-canonical) analysis are identical.
 
         Raises
         ------
@@ -359,27 +711,30 @@ class CrawlPipeline:
             different configuration (seed, stores, or ecosystem size) —
             merging it would silently corrupt the corpus.
         """
+        if self.shards > 1 or self._wants_process_backend():
+            with tempfile.TemporaryDirectory(prefix="repro-crawl-shards-") as root:
+                store = self.run_sharded(root)
+                corpus = CrawlCorpus()
+                for shard in range(store.n_shards):
+                    shard_corpus = CrawlCorpus()
+                    for gpt in store.iter_shard_gpts(shard):
+                        shard_corpus.merge_gpt(gpt)
+                    for result in store.iter_shard_policies(shard):
+                        shard_corpus.merge_policy(result.url, result)
+                    corpus.merge(shard_corpus)
+                corpus.store_counts = dict(store.manifest.store_counts)
+                corpus.store_link_counts = dict(store.manifest.store_link_counts)
+                corpus.unresolved_gpt_ids = list(store.manifest.unresolved_gpt_ids)
+            self.statistics.corpus = corpus
+            return corpus
+
         corpus = CrawlCorpus()
         self.statistics = CrawlStatistics(corpus=corpus)
         # The layer and transport counters are cumulative across runs of the
         # same pipeline; snapshot them so statistics stay per-run.
         requests_before = self.http.request_count
         retries_before = self.transport.statistics.n_retries
-        checkpoint: Optional[CrawlCheckpoint] = None
-        if self.checkpoint_dir is not None:
-            checkpoint = CrawlCheckpoint(self.checkpoint_dir, n_shards=self.checkpoint_shards)
-            fingerprint = self._checkpoint_fingerprint()
-            if not self.resume:
-                checkpoint.clear()
-            else:
-                existing = checkpoint.load_meta()
-                if existing is not None and existing != fingerprint:
-                    raise ValueError(
-                        "checkpoint at "
-                        f"{self.checkpoint_dir!r} was written by a different "
-                        "crawl configuration; pass resume=False to start over"
-                    )
-            checkpoint.write_meta(fingerprint)
+        checkpoint = self._open_checkpoint(n_shards=self.checkpoint_shards)
 
         identifier_sources: Dict[str, List[str]] = {}
         stages: Sequence[Callable[[], CrawlStage]] = (
@@ -396,3 +751,62 @@ class CrawlPipeline:
         self.statistics.n_http_requests = self.http.request_count - requests_before
         self.statistics.n_retries = self.transport.statistics.n_retries - retries_before
         return corpus
+
+
+# ---------------------------------------------------------------------------
+# Process-backend shard workers
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class ShardCrawlSpec:
+    """Everything a process worker needs to rebuild one shard sub-pipeline.
+
+    Plain picklable data: the generating ecosystem, the crawl seed, and the
+    network/transport configuration (including failure injection configured
+    on the coordinator's HTTP layer).  Workers never inherit simulated
+    network state through fork — they reconstruct it, which is what keeps
+    fork and spawn start methods (and therefore macOS and Linux CI) in
+    byte-for-byte agreement.
+    """
+
+    ecosystem: SyntheticEcosystem
+    seed: int
+    page_size: int
+    transport_config: Optional[TransportConfig]
+    rate_limits: Optional[Dict[str, float]]
+    flaky_hosts: Dict[str, float]
+    checkpoint_dir: Optional[str]
+    checkpoint_every: int
+    shards: int
+
+
+def _shard_task_seed(seed: int, stage_name: str, shard: int) -> int:
+    """Stable per-(stage, shard) seed for the worker's module-level RNG."""
+    import hashlib
+
+    digest = hashlib.sha256(f"{seed}:{stage_name}:{shard}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def _shard_stage_task(
+    spec: ShardCrawlSpec, stage_name: str, shard: int, keys: List[str]
+) -> Dict[str, object]:
+    """Run one shard's resolve/policy sub-stage in an isolated worker.
+
+    The rebuilt pipeline shares nothing with the coordinator except the
+    spec; per-URL failure and retry draws are pure functions of
+    ``(seed, url, attempt)`` and the shards partition the URL space, so the
+    records match a coordinator-side run exactly.
+    """
+    pipeline = CrawlPipeline.from_ecosystem(
+        spec.ecosystem,
+        page_size=spec.page_size,
+        seed=spec.seed,
+        transport_config=spec.transport_config,
+        rate_limits=spec.rate_limits,
+        checkpoint_dir=spec.checkpoint_dir,
+        checkpoint_every=spec.checkpoint_every,
+        shards=spec.shards,
+    )
+    for host, rate in spec.flaky_hosts.items():
+        pipeline.http.set_flaky_host(host, rate)
+    return pipeline._run_shard_stage(stage_name, shard, keys, report_network_stats=True)

@@ -1,0 +1,37 @@
+"""Pluggable execution backends (serial / thread / process).
+
+See :mod:`repro.exec.backends` for the scheduling contract.  The crawl
+engine (:mod:`repro.crawler.engine`), the shard-parallel streaming
+analyses (:mod:`repro.analysis.streaming`), and the sweep engine
+(:mod:`repro.experiments.sweep`) all fan out through this layer, so
+switching a pipeline between GIL-bound threads and real CPU scaling on a
+process pool is one knob (``--backend``) rather than a rewrite.
+"""
+
+from repro.exec.backends import (
+    BACKEND_NAMES,
+    ExecOutcome,
+    ExecTask,
+    ExecutionBackend,
+    FIFOTaskQueue,
+    LIFOTaskQueue,
+    ProcessBackend,
+    SerialBackend,
+    TaskQueue,
+    ThreadBackend,
+    get_backend,
+)
+
+__all__ = [
+    "BACKEND_NAMES",
+    "ExecOutcome",
+    "ExecTask",
+    "ExecutionBackend",
+    "FIFOTaskQueue",
+    "LIFOTaskQueue",
+    "ProcessBackend",
+    "SerialBackend",
+    "TaskQueue",
+    "ThreadBackend",
+    "get_backend",
+]

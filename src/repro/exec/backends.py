@@ -1,0 +1,422 @@
+"""Pluggable execution backends: serial, thread-pool, and process-pool.
+
+Every fan-out layer in the reproduction — the crawl engine's stages, the
+shard-parallel streaming analyses, the sweep engine's experiment cells —
+shares one scheduling contract: submit a batch of keyed tasks, observe
+completions as they happen, and receive outcomes merged back in
+**submission order** so seeded pipelines stay byte-reproducible at any
+parallelism.  This module is that contract, factored out of the PR-2
+:class:`~repro.crawler.engine.CrawlEngine` so the *policy* (which kind of
+worker pool) is pluggable:
+
+* :class:`SerialBackend` — drains the frontier inline on the calling
+  thread.  The sequential baseline, and what ``workers <= 1`` resolves to.
+* :class:`ThreadBackend` — the crawl engine's historical pool semantics: a
+  :class:`~concurrent.futures.ThreadPoolExecutor` whose workers drain a
+  shared (pluggable) task queue, with optional per-host rate limiting.
+  Right for I/O-bound tasks (the simulated network) and for numpy-heavy
+  tasks that release the GIL.
+* :class:`ProcessBackend` — a
+  :class:`~concurrent.futures.ProcessPoolExecutor` for **pure-Python,
+  CPU-bound** fan-out (shard map steps, sweep cells), which the GIL caps at
+  1 core on threads.  Task payloads must be picklable: a module-level
+  ``fn`` plus plain-data ``args``/``kwargs``, never a closure.  Each task
+  runs with the worker's module-level RNG re-seeded from the task payload
+  (:attr:`ExecTask.seed`), so a draw a task forgets to seed explicitly is
+  deterministic per task instead of inherited fork state — fork and spawn
+  start methods produce identical results.
+
+All three return outcomes in submission order and surface per-task
+exceptions as :class:`ExecOutcome.error` strings rather than raising, so a
+caller's merge loop is identical across backends.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, ThreadPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, List, Mapping, Optional, Protocol, Sequence, Tuple, Union
+
+#: Names accepted by :func:`get_backend` (and every ``--backend`` flag).
+BACKEND_NAMES: Tuple[str, ...] = ("serial", "thread", "process")
+
+
+@dataclass(frozen=True)
+class ExecTask:
+    """One schedulable unit of work.
+
+    ``key`` must be unique within a batch — it names the result in the
+    outcome list and in checkpoints.  ``host`` (optional) subjects the task
+    to the backend's rate limiter.  ``args``/``kwargs`` are passed to
+    ``fn``; on :class:`ProcessBackend` the whole triple must pickle, so
+    ``fn`` has to be a module-level callable there.  ``seed`` (optional)
+    re-seeds the worker's module-level :mod:`random` RNG before ``fn`` runs
+    on the process backend, so stray global draws are a deterministic
+    function of the task rather than of inherited interpreter state.
+    """
+
+    key: str
+    fn: Callable[..., object]
+    args: Tuple = ()
+    kwargs: Optional[Mapping[str, object]] = None
+    host: Optional[str] = None
+    seed: Optional[int] = None
+
+    def invoke(self) -> object:
+        """Run the task's callable with its bound arguments."""
+        return self.fn(*self.args, **(self.kwargs or {}))
+
+
+@dataclass
+class ExecOutcome:
+    """What happened to one task."""
+
+    key: str
+    result: Optional[object] = None
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        """Whether the task completed without raising."""
+        return self.error is None
+
+
+class RateLimiter(Protocol):
+    """Per-host admission control (e.g. the crawl engine's ``HostRateLimiter``)."""
+
+    def acquire(self, host: Optional[str]) -> None:  # pragma: no cover - protocol
+        ...
+
+
+class TaskQueue(Protocol):
+    """The pluggable work frontier serial/thread workers drain."""
+
+    def push(self, task: ExecTask) -> None:  # pragma: no cover - protocol
+        ...
+
+    def pop(self) -> Optional[ExecTask]:  # pragma: no cover - protocol
+        ...
+
+    def __len__(self) -> int:  # pragma: no cover - protocol
+        ...
+
+
+class FIFOTaskQueue:
+    """A thread-safe first-in-first-out frontier (the default)."""
+
+    def __init__(self) -> None:
+        self._items: Deque[ExecTask] = deque()
+        self._lock = threading.Lock()
+
+    def push(self, task: ExecTask) -> None:
+        with self._lock:
+            self._items.append(task)
+
+    def pop(self) -> Optional[ExecTask]:
+        with self._lock:
+            if not self._items:
+                return None
+            return self._items.popleft()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+
+class LIFOTaskQueue(FIFOTaskQueue):
+    """A depth-first frontier; useful when fresh links should be crawled hot."""
+
+    def pop(self) -> Optional[ExecTask]:
+        with self._lock:
+            if not self._items:
+                return None
+            return self._items.pop()
+
+
+def _check_unique_keys(tasks: Sequence[ExecTask]) -> List[str]:
+    keys = [task.key for task in tasks]
+    if len(set(keys)) != len(keys):
+        raise ValueError("task keys must be unique within a batch")
+    return keys
+
+
+class ExecutionBackend:
+    """Shared batch-run contract of the three backends.
+
+    :meth:`run` executes a batch and returns outcomes in submission order.
+    ``on_result`` is called once per completed task in *completion* order
+    (serialized — never concurrently); completion order is nondeterministic
+    under parallelism, only the returned list is deterministic.  With
+    ``keep_results=False`` a task's result is handed to ``on_result`` and
+    then dropped from the returned outcome (``result=None``), so a caller
+    streaming large payloads to disk holds one task's payload at a time
+    instead of the whole batch.
+    """
+
+    name: str = "abstract"
+    workers: int = 0
+
+    def run(
+        self,
+        tasks: Sequence[ExecTask],
+        on_result: Optional[Callable[[ExecOutcome], None]] = None,
+        keep_results: bool = True,
+    ) -> List[ExecOutcome]:
+        raise NotImplementedError
+
+
+class _FrontierBackend(ExecutionBackend):
+    """Common frontier-draining machinery of the serial and thread backends."""
+
+    def __init__(
+        self,
+        rate_limiter: Optional[RateLimiter] = None,
+        queue_factory: Callable[[], TaskQueue] = FIFOTaskQueue,
+    ) -> None:
+        self.rate_limiter = rate_limiter
+        self.queue_factory = queue_factory
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+
+    # ------------------------------------------------------------------
+    def _execute(self, task: ExecTask) -> ExecOutcome:
+        if self.rate_limiter is not None:
+            self.rate_limiter.acquire(task.host)
+        try:
+            result = task.invoke()
+        except Exception as exc:  # noqa: BLE001 - outcomes carry the error
+            return ExecOutcome(key=task.key, error=f"{type(exc).__name__}: {exc}")
+        return ExecOutcome(key=task.key, result=result)
+
+    def _worker_loop(
+        self,
+        queue: TaskQueue,
+        outcomes: Dict[str, ExecOutcome],
+        on_result: Optional[Callable[[ExecOutcome], None]],
+        keep_results: bool,
+    ) -> None:
+        while not self._stop.is_set():
+            task = queue.pop()
+            if task is None:
+                return
+            try:
+                outcome = self._execute(task)
+                with self._lock:
+                    if on_result is not None:
+                        on_result(outcome)
+                        if not keep_results:
+                            outcome.result = None
+                    outcomes[outcome.key] = outcome
+            except BaseException:
+                # Anything escaping here (KeyboardInterrupt from a task, a
+                # bug in the on_result callback) aborts the whole batch:
+                # stop sibling workers, then re-raise so ``run`` surfaces
+                # it after the pool winds down.
+                self._stop.set()
+                raise
+
+
+class SerialBackend(_FrontierBackend):
+    """Runs tasks inline on the calling thread (the sequential baseline).
+
+    Inline execution still drains the configured frontier, so a
+    LIFO/priority queue schedules identically at any worker count.
+    """
+
+    name = "serial"
+    workers = 0
+
+    def run(
+        self,
+        tasks: Sequence[ExecTask],
+        on_result: Optional[Callable[[ExecOutcome], None]] = None,
+        keep_results: bool = True,
+    ) -> List[ExecOutcome]:
+        task_list = list(tasks)
+        keys = _check_unique_keys(task_list)
+        self._stop.clear()
+        outcomes: Dict[str, ExecOutcome] = {}
+        queue = self.queue_factory()
+        for task in task_list:
+            queue.push(task)
+        self._worker_loop(queue, outcomes, on_result, keep_results)
+        return [outcomes[key] for key in keys]
+
+
+class ThreadBackend(_FrontierBackend):
+    """The crawl engine's worker-pool semantics behind the backend contract.
+
+    ``workers`` threads drain a shared frontier; a ``KeyboardInterrupt``
+    raised by a task (or the caller's callback) propagates after in-flight
+    workers wind down, so incremental checkpoints stay consistent.  With
+    ``workers <= 1`` this degrades to inline serial execution.
+    """
+
+    name = "thread"
+
+    def __init__(
+        self,
+        workers: int,
+        rate_limiter: Optional[RateLimiter] = None,
+        queue_factory: Callable[[], TaskQueue] = FIFOTaskQueue,
+    ) -> None:
+        super().__init__(rate_limiter=rate_limiter, queue_factory=queue_factory)
+        self.workers = max(0, workers)
+
+    def run(
+        self,
+        tasks: Sequence[ExecTask],
+        on_result: Optional[Callable[[ExecOutcome], None]] = None,
+        keep_results: bool = True,
+    ) -> List[ExecOutcome]:
+        task_list = list(tasks)
+        keys = _check_unique_keys(task_list)
+        self._stop.clear()
+        outcomes: Dict[str, ExecOutcome] = {}
+        queue = self.queue_factory()
+        for task in task_list:
+            queue.push(task)
+        if self.workers <= 1:
+            self._worker_loop(queue, outcomes, on_result, keep_results)
+        else:
+            with ThreadPoolExecutor(max_workers=self.workers) as pool:
+                futures = [
+                    pool.submit(self._worker_loop, queue, outcomes, on_result, keep_results)
+                    for _ in range(self.workers)
+                ]
+                for future in futures:
+                    # Surface worker crashes (queue/callback bugs); task
+                    # exceptions are already folded into outcomes.
+                    future.result()
+        return [outcomes[key] for key in keys]
+
+
+def _invoke_in_worker(task: ExecTask) -> object:
+    """Runs inside a process-pool worker: re-seed, then invoke.
+
+    Re-seeding the module-level RNG from the task payload (rather than
+    relying on whatever state the worker inherited at fork, or the fresh
+    default state a spawn start gives) makes any stray global draw a pure
+    function of the task — fork and spawn agree, and so do macOS and
+    Linux CI.
+    """
+    if task.seed is not None:
+        random.seed(task.seed)
+    return task.invoke()
+
+
+class ProcessBackend(ExecutionBackend):
+    """Process-pool execution for pure-Python, CPU-bound fan-out.
+
+    Parameters
+    ----------
+    workers:
+        Pool size.  ``<= 1`` still goes through a single-process pool so
+        the pickling contract is exercised identically at any size.
+    start_method:
+        ``"fork"``/``"spawn"``/``"forkserver"`` or ``None`` for the
+        platform default.  Results are identical across start methods (the
+        re-seeding contract above); spawn pays a per-worker interpreter
+        start and module re-import.
+
+    Task payloads (``fn``, ``args``, ``kwargs``) and results must pickle.
+    Per-host rate limiting is not supported — token buckets cannot span
+    processes; crawl-style tasks bring their own transport instead (the
+    sharded crawl's per-shard sub-pipelines do exactly that).
+    """
+
+    name = "process"
+
+    def __init__(self, workers: int, start_method: Optional[str] = None) -> None:
+        self.workers = max(1, workers)
+        self.start_method = start_method
+
+    def _context(self):
+        import multiprocessing
+
+        if self.start_method is None:
+            return None
+        return multiprocessing.get_context(self.start_method)
+
+    def run(
+        self,
+        tasks: Sequence[ExecTask],
+        on_result: Optional[Callable[[ExecOutcome], None]] = None,
+        keep_results: bool = True,
+    ) -> List[ExecOutcome]:
+        task_list = list(tasks)
+        keys = _check_unique_keys(task_list)
+        outcomes: Dict[str, ExecOutcome] = {}
+        if not task_list:
+            return []
+        context = self._context()
+        pool_kwargs = {"max_workers": min(self.workers, len(task_list))}
+        if context is not None:
+            pool_kwargs["mp_context"] = context
+        with ProcessPoolExecutor(**pool_kwargs) as pool:
+            futures = {
+                pool.submit(_invoke_in_worker, task): task.key for task in task_list
+            }
+            pending = set(futures)
+            try:
+                while pending:
+                    done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        key = futures[future]
+                        try:
+                            outcome = ExecOutcome(key=key, result=future.result())
+                        except Exception as exc:  # noqa: BLE001 - outcomes carry it
+                            outcome = ExecOutcome(
+                                key=key, error=f"{type(exc).__name__}: {exc}"
+                            )
+                        if on_result is not None:
+                            on_result(outcome)
+                            if not keep_results:
+                                outcome.result = None
+                        outcomes[key] = outcome
+            except BaseException:
+                # A KeyboardInterrupt (or an on_result bug) aborts the
+                # batch: cancel queued work so pool shutdown doesn't run it.
+                for future in pending:
+                    future.cancel()
+                raise
+        return [outcomes[key] for key in keys]
+
+
+def get_backend(
+    spec: Union[str, ExecutionBackend, None],
+    workers: int = 0,
+    rate_limiter: Optional[RateLimiter] = None,
+    queue_factory: Callable[[], TaskQueue] = FIFOTaskQueue,
+    start_method: Optional[str] = None,
+) -> ExecutionBackend:
+    """Resolve a backend name (or pass an instance through).
+
+    ``None`` picks the historical default: serial at ``workers <= 1``,
+    threads above.  ``rate_limiter``/``queue_factory`` apply to the
+    frontier-draining backends; requesting a rate limiter with the process
+    backend raises (buckets cannot span processes).
+    """
+    if isinstance(spec, ExecutionBackend):
+        return spec
+    if spec is None:
+        spec = "serial" if workers <= 1 else "thread"
+    if spec not in BACKEND_NAMES:
+        raise ValueError(
+            f"unknown execution backend {spec!r}; known: {', '.join(BACKEND_NAMES)}"
+        )
+    if spec == "serial":
+        return SerialBackend(rate_limiter=rate_limiter, queue_factory=queue_factory)
+    if spec == "thread":
+        return ThreadBackend(
+            workers=workers, rate_limiter=rate_limiter, queue_factory=queue_factory
+        )
+    if rate_limiter is not None:
+        raise ValueError(
+            "the process backend cannot enforce a shared rate limiter; "
+            "give each task its own transport instead"
+        )
+    return ProcessBackend(workers=workers, start_method=start_method)

@@ -37,11 +37,12 @@ import json
 import statistics
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
 
 from repro.analysis.suite import MeasurementSuite, SuiteConfig
 from repro.crawler.engine import CrawlEngine, CrawlTask
 from repro.ecosystem.config import EcosystemConfig
+from repro.exec import ExecutionBackend, ProcessBackend
 from repro.experiments.registry import EXPERIMENTS
 from repro.io import (
     ArtifactStore,
@@ -427,6 +428,155 @@ def _jsonable(value: object) -> object:
     return str(value)
 
 
+def _execute_cell(
+    cell: SweepCell,
+    experiment_ids: Sequence[str],
+    store: Optional[ArtifactStore],
+    shards: int,
+    shard_workers: int,
+) -> CellResult:
+    """Run one sweep cell (cache lookup → suite → experiments → persist).
+
+    Module-level with picklable inputs so the process backend can fan whole
+    cells out across cores; the thread/serial schedulers call it with the
+    coordinator's shared :class:`ArtifactStore`.
+    """
+    start = time.monotonic()
+    results_fp = cell.stage_fingerprint(
+        "results", {"experiments": sorted(experiment_ids)}
+    )
+    if store is not None:
+        cached = store.get("results", results_fp)
+        if cached is not None:
+            return CellResult(
+                cell_id=cell.cell_id,
+                scenario=cell.scenario.name,
+                seed=cell.seed,
+                experiments=cached,
+                from_cache=True,
+                wall_time_s=time.monotonic() - start,
+            )
+
+    corpus = None
+    classification = None
+    stage_hits: List[str] = []
+    if store is not None:
+        corpus_payload = store.get("corpus", cell.stage_fingerprint("corpus"))
+        if corpus_payload is not None:
+            corpus = corpus_from_payload(
+                corpus_payload["corpus"], corpus_payload["policies"]
+            )
+            stage_hits.append("corpus")
+        labels_payload = store.get(
+            "classification", cell.stage_fingerprint("classification")
+        )
+        if labels_payload is not None:
+            classification = classification_from_payload(labels_payload)
+            stage_hits.append("classification")
+
+    suite_config = cell.scenario.suite_config(cell.n_gpts, cell.seed)
+    # Execution knobs, applied after the fingerprint payloads were built:
+    # sharded/parallel/process runs of a cell are byte-identical, so they
+    # must (and do) hit the same cache entries.
+    # The sweep's ``backend`` knob is deliberately NOT forwarded here: it
+    # schedules whole cells, and a cell's own shard fan-out nesting another
+    # pool inside a process-pool worker would oversubscribe the machine.
+    # Cells wanting a specific inner backend set it via
+    # ``Scenario.suite_overrides['backend']`` instead.
+    if shards:
+        suite_config.shards = shards
+        suite_config.shard_workers = shard_workers
+    suite = MeasurementSuite(
+        config=suite_config,
+        ecosystem_config=cell.scenario.ecosystem_config(cell.n_gpts, cell.seed),
+        corpus=corpus,
+        classification=classification,
+    )
+
+    # Round-trip through canonical JSON so fresh and cache-served cells
+    # carry bit-identical values (e.g. numpy scalars become plain floats
+    # on both paths).
+    experiments: Dict[str, Dict[str, object]] = json.loads(
+        canonical_json(
+            {
+                experiment_id: _jsonable(EXPERIMENTS[experiment_id](suite).measured_values)
+                for experiment_id in experiment_ids
+            }
+        )
+    )
+
+    # Persist exactly the intermediate stages this cell's experiments
+    # materialized — never force an expensive stage (classification, a
+    # full crawl) that nothing in the selected experiment set needed.
+    if store is not None:
+        if corpus is None and suite.stage_materialized("corpus"):
+            built = suite.corpus
+            store.put(
+                "corpus",
+                cell.stage_fingerprint("corpus"),
+                {
+                    "corpus": corpus_to_payload(built),
+                    "policies": policies_to_payload(built),
+                },
+            )
+        if classification is None and suite.stage_materialized("classification"):
+            store.put(
+                "classification",
+                cell.stage_fingerprint("classification"),
+                classification_to_payload(suite.classification),
+            )
+        # Provenance manifest, not a preloadable stage: records which
+        # generated ecosystem produced this cell's artifacts so a cache
+        # directory is inspectable (ArtifactStore.iter_records) without
+        # regenerating anything.  The ecosystem itself is deterministic
+        # from (config, seed) and is rebuilt on demand by the suite.
+        ecosystem_fp = cell.stage_fingerprint("ecosystem")
+        if suite.stage_materialized("ecosystem") and not store.has(
+            "ecosystem", ecosystem_fp
+        ):
+            ecosystem = suite.ecosystem
+            store.put(
+                "ecosystem",
+                ecosystem_fp,
+                {
+                    "cell_id": cell.cell_id,
+                    "scenario": cell.scenario.name,
+                    "seed": cell.seed,
+                    "n_gpts": len(ecosystem.gpts),
+                    "n_actions": len(ecosystem.actions),
+                    "n_policies": len(ecosystem.policies),
+                },
+            )
+        store.put("results", results_fp, experiments)
+    return CellResult(
+        cell_id=cell.cell_id,
+        scenario=cell.scenario.name,
+        seed=cell.seed,
+        experiments=experiments,
+        stage_hits=stage_hits,
+        wall_time_s=time.monotonic() - start,
+    )
+
+
+def _execute_cell_task(
+    cell: SweepCell,
+    experiment_ids: Sequence[str],
+    store_root: Optional[str],
+    shards: int,
+    shard_workers: int,
+) -> CellResult:
+    """Process-backend cell entry point: rebuild the store from its path.
+
+    :class:`ArtifactStore` holds a lock and therefore doesn't pickle; the
+    store is content-addressed and its writes are atomic (temp names carry
+    the pid), so per-process instances over the same directory compose —
+    cache hits and resume behave identically, only the coordinator's
+    hit/miss counters stay local to each process.
+    """
+    store = ArtifactStore(store_root) if store_root is not None else None
+    return _execute_cell(cell, list(experiment_ids), store, shards, shard_workers)
+
+
 class SweepRunner:
     """Runs a sweep grid concurrently with content-addressed caching.
 
@@ -452,6 +602,18 @@ class SweepRunner:
         a sharded cell streams its corpus analyses shard-parallel but
         produces byte-identical results, so the artifact cache is shared
         between sharded and unsharded runs of the same grid.
+    backend:
+        Execution backend for the **cell scheduler** (``"serial"`` /
+        ``"thread"`` / ``"process"``, an instance, or ``None`` for the
+        worker-count default).  The process backend sidesteps the GIL for
+        the pure-Python cell pipelines; cells rebuild per-process
+        :class:`ArtifactStore` views over the same directory, so caching
+        and resume are unchanged (coordinator hit/miss counters excepted).
+        Cells themselves never inherit this knob — their internal shard
+        fan-out stays on the worker-count default so pools don't nest; use
+        ``Scenario.suite_overrides['backend']`` to pick a cell-internal
+        backend.  Another post-fingerprint execution knob: results are
+        byte-identical across backends and share cache entries.
     """
 
     def __init__(
@@ -462,6 +624,7 @@ class SweepRunner:
         experiment_ids: Optional[Sequence[str]] = None,
         shards: int = 0,
         shard_workers: int = 0,
+        backend: Union[str, ExecutionBackend, None] = None,
     ) -> None:
         self.cells = list(cells)
         ids = [cell.cell_id for cell in self.cells]
@@ -474,130 +637,43 @@ class SweepRunner:
             raise ValueError(f"unknown experiment id(s): {', '.join(sorted(unknown))}")
         self.shards = max(0, shards)
         self.shard_workers = max(0, shard_workers)
-        self.engine = CrawlEngine(workers=workers)
+        self.backend = backend
+        self.engine = CrawlEngine(workers=workers, backend=backend)
 
     # ------------------------------------------------------------------
     def _results_fingerprint(self, cell: SweepCell) -> str:
         return cell.stage_fingerprint("results", {"experiments": sorted(self.experiment_ids)})
 
     def _run_cell(self, cell: SweepCell) -> CellResult:
-        start = time.monotonic()
-        results_fp = self._results_fingerprint(cell)
-        if self.store is not None:
-            cached = self.store.get("results", results_fp)
-            if cached is not None:
-                return CellResult(
-                    cell_id=cell.cell_id,
-                    scenario=cell.scenario.name,
-                    seed=cell.seed,
-                    experiments=cached,
-                    from_cache=True,
-                    wall_time_s=time.monotonic() - start,
-                )
-
-        corpus = None
-        classification = None
-        stage_hits: List[str] = []
-        if self.store is not None:
-            corpus_payload = self.store.get("corpus", cell.stage_fingerprint("corpus"))
-            if corpus_payload is not None:
-                corpus = corpus_from_payload(
-                    corpus_payload["corpus"], corpus_payload["policies"]
-                )
-                stage_hits.append("corpus")
-            labels_payload = self.store.get(
-                "classification", cell.stage_fingerprint("classification")
-            )
-            if labels_payload is not None:
-                classification = classification_from_payload(labels_payload)
-                stage_hits.append("classification")
-
-        suite_config = cell.scenario.suite_config(cell.n_gpts, cell.seed)
-        # Execution knobs, applied after the fingerprint payloads were built:
-        # sharded and unsharded runs of a cell are byte-identical, so they
-        # must (and do) hit the same cache entries.
-        if self.shards:
-            suite_config.shards = self.shards
-            suite_config.shard_workers = self.shard_workers
-        suite = MeasurementSuite(
-            config=suite_config,
-            ecosystem_config=cell.scenario.ecosystem_config(cell.n_gpts, cell.seed),
-            corpus=corpus,
-            classification=classification,
-        )
-
-        # Round-trip through canonical JSON so fresh and cache-served cells
-        # carry bit-identical values (e.g. numpy scalars become plain floats
-        # on both paths).
-        experiments: Dict[str, Dict[str, object]] = json.loads(
-            canonical_json(
-                {
-                    experiment_id: _jsonable(EXPERIMENTS[experiment_id](suite).measured_values)
-                    for experiment_id in self.experiment_ids
-                }
-            )
-        )
-
-        # Persist exactly the intermediate stages this cell's experiments
-        # materialized — never force an expensive stage (classification, a
-        # full crawl) that nothing in the selected experiment set needed.
-        if self.store is not None:
-            if corpus is None and suite.stage_materialized("corpus"):
-                built = suite.corpus
-                self.store.put(
-                    "corpus",
-                    cell.stage_fingerprint("corpus"),
-                    {
-                        "corpus": corpus_to_payload(built),
-                        "policies": policies_to_payload(built),
-                    },
-                )
-            if classification is None and suite.stage_materialized("classification"):
-                self.store.put(
-                    "classification",
-                    cell.stage_fingerprint("classification"),
-                    classification_to_payload(suite.classification),
-                )
-            # Provenance manifest, not a preloadable stage: records which
-            # generated ecosystem produced this cell's artifacts so a cache
-            # directory is inspectable (ArtifactStore.iter_records) without
-            # regenerating anything.  The ecosystem itself is deterministic
-            # from (config, seed) and is rebuilt on demand by the suite.
-            ecosystem_fp = cell.stage_fingerprint("ecosystem")
-            if suite.stage_materialized("ecosystem") and not self.store.has(
-                "ecosystem", ecosystem_fp
-            ):
-                ecosystem = suite.ecosystem
-                self.store.put(
-                    "ecosystem",
-                    ecosystem_fp,
-                    {
-                        "cell_id": cell.cell_id,
-                        "scenario": cell.scenario.name,
-                        "seed": cell.seed,
-                        "n_gpts": len(ecosystem.gpts),
-                        "n_actions": len(ecosystem.actions),
-                        "n_policies": len(ecosystem.policies),
-                    },
-                )
-            self.store.put("results", results_fp, experiments)
-        return CellResult(
-            cell_id=cell.cell_id,
-            scenario=cell.scenario.name,
-            seed=cell.seed,
-            experiments=experiments,
-            stage_hits=stage_hits,
-            wall_time_s=time.monotonic() - start,
+        return _execute_cell(
+            cell, self.experiment_ids, self.store, self.shards, self.shard_workers
         )
 
     # ------------------------------------------------------------------
     def run(self) -> SweepResult:
         """Run every cell; results come back in grid (submission) order."""
         start = time.monotonic()
-        tasks = [
-            CrawlTask(key=cell.cell_id, fn=lambda c=cell: self._run_cell(c))
-            for cell in self.cells
-        ]
+        if isinstance(self.engine.backend, ProcessBackend):
+            store_root = str(self.store.root) if self.store is not None else None
+            tasks = [
+                CrawlTask(
+                    key=cell.cell_id,
+                    fn=_execute_cell_task,
+                    args=(
+                        cell,
+                        tuple(self.experiment_ids),
+                        store_root,
+                        self.shards,
+                        self.shard_workers,
+                    ),
+                )
+                for cell in self.cells
+            ]
+        else:
+            tasks = [
+                CrawlTask(key=cell.cell_id, fn=lambda c=cell: self._run_cell(c))
+                for cell in self.cells
+            ]
         outcomes = self.engine.run(tasks)
         results: List[CellResult] = []
         for outcome in outcomes:
@@ -621,6 +697,7 @@ def run_sweep(
     experiment_ids: Optional[Sequence[str]] = None,
     shards: int = 0,
     shard_workers: int = 0,
+    backend: Union[str, ExecutionBackend, None] = None,
 ) -> SweepResult:
     """Convenience wrapper: expand a grid, build the store, run the sweep."""
     cells = expand_grid(scenario_names, n_seeds, base_seed=base_seed, n_gpts=n_gpts)
@@ -632,4 +709,5 @@ def run_sweep(
         experiment_ids=experiment_ids,
         shards=shards,
         shard_workers=shard_workers,
+        backend=backend,
     ).run()

@@ -1,8 +1,10 @@
 """Persistence layer: corpora, shards, crawl checkpoints, and cached artifacts.
 
 ``repro.io`` groups four storage concerns behind one import surface.  They
-form a hierarchy — **corpus → shards → artifacts** — and each layer answers
-a different question:
+form a hierarchy — **corpus → shards → artifacts** — that is now true
+**end-to-end**: the shard layout is the native dataflow from the crawl
+frontier all the way to the rendered report, and the whole-corpus layout is
+the compatibility serialization.  Each layer answers a different question:
 
 * :mod:`repro.io.corpus` — *"archive one dataset."*  Whole-corpus JSON
   serialization of crawl corpora and classification results (the paper
@@ -11,24 +13,40 @@ a different question:
 * :mod:`repro.io.shards` — *"stream a dataset that doesn't fit."*
   :class:`ShardedCorpusStore` hash-partitions GPT and policy records into N
   JSONL shards with atomic per-shard writes, a fingerprinted manifest, and
-  iterator-based reads.  Use it whenever a consumer should hold one record
-  (or one shard) at a time — the streaming analysis engine
-  (:mod:`repro.analysis.streaming`) and the 100k-scale generation path
-  read and write this format.
+  iterator-based reads.  Records reach it two ways, which publish
+  **byte-identical** stores: sharding an in-memory corpus
+  (:meth:`ShardedCorpusStore.write_corpus`), or the shard-partitioned crawl
+  (:meth:`repro.crawler.pipeline.CrawlPipeline.run_sharded`), whose
+  per-shard sub-pipelines stream resolved GPTs and fetched policies
+  straight into a :class:`ShardedCorpusWriter` — the same SHA-256 route
+  (:func:`shard_index`) partitions the crawl frontier, the checkpoint
+  files, and the stored records, so one shard is a self-consistent slice of
+  the whole measurement.  Every consumer that should hold one record (or
+  one shard) at a time reads this format: the streaming analysis engine
+  (:mod:`repro.analysis.streaming` — including the policy-record analyses,
+  which never materialize the policy report), and the 100k-scale generation
+  path.
 * :mod:`repro.io.checkpoint` — *"survive a kill."*  Incremental, resumable,
   optionally shard-partitioned crawl checkpoints
   (:class:`CrawlCheckpoint`).  Use it for in-flight progress of one crawl;
-  it stores raw task payloads, not analysis-ready records.
+  it stores raw task payloads, not analysis-ready records.  A sharded
+  crawl's sub-pipelines append to their own checkpoint shard files
+  (``stage_resolve.shard00003.jsonl``) — safe under thread *and* process
+  parallelism, and resumable across backends and shard layouts.
 * :mod:`repro.io.artifacts` — *"never compute the same thing twice."*  The
   content-addressed :class:`ArtifactStore` keyed by
   :func:`config_fingerprint`, which the sweep engine uses to skip
   recomputing unchanged experiment cells.  Shard manifests plug into it via
   :meth:`ShardedCorpusStore.register_in`, so a cached cell can point at a
-  sharded corpus by content address instead of embedding it.
+  sharded corpus by content address instead of embedding it.  Atomic,
+  pid-tagged writes make one directory shareable by thread pools and
+  process pools alike.
 
-Rule of thumb: exporting results → ``corpus``; anything at 100k-GPT scale →
-``shards``; mid-crawl durability → ``checkpoint``; cross-run caching →
-``artifacts``.
+Rule of thumb: exporting results → ``corpus``; anything at 100k-GPT scale
+(crawling included) → ``shards``; mid-crawl durability → ``checkpoint``;
+cross-run caching → ``artifacts``.  Execution topology — shard count,
+worker count, and the :mod:`repro.exec` backend — never changes stored
+bytes, only how fast they are produced.
 """
 
 from repro.io.artifacts import (

@@ -54,6 +54,11 @@ class CrawlCheckpoint:
     """
 
     _META_FILE = "checkpoint_meta.json"
+    #: Records the shard layout every on-disk record was written under
+    #: (``{"n_shards": N}``, or ``null`` once layouts are mixed), so
+    #: :meth:`load_stage_for_shard` knows when skipping other shards' files
+    #: without parsing them is safe.
+    _LAYOUT_FILE = "checkpoint_layout.json"
 
     def __init__(self, directory: Union[str, Path], n_shards: int = 1) -> None:
         if n_shards < 1:
@@ -106,6 +111,111 @@ class CrawlCheckpoint:
         with self._lock:
             return dict(self._load_locked(stage))
 
+    # ------------------------------------------------------------------
+    # Shard-sliced access (bounded memory for partitioned crawls)
+    # ------------------------------------------------------------------
+    def _stored_layout(self) -> Optional[int]:
+        """The ``n_shards`` every stored record was written under, if known.
+
+        ``None`` means unknown or mixed layouts — per-shard loads must then
+        stream-filter every file instead of trusting file names.
+        """
+        path = self.directory / self._LAYOUT_FILE
+        if not path.exists():
+            return None
+        try:
+            value = json.loads(path.read_text(encoding="utf-8")).get("n_shards")
+        except ValueError:
+            return None
+        return int(value) if value else None
+
+    def _write_layout(self) -> None:
+        """Maintain the layout marker: this writer's layout, or mixed."""
+        path = self.directory / self._LAYOUT_FILE
+        stored = self._stored_layout()
+        had_records = any(self._stage_files_all())
+        if stored == self.n_shards and path.exists():
+            return
+        # Appending under a different layout than existing records (or
+        # recording into a directory with unmarked records) mixes layouts.
+        value = None if had_records and stored != self.n_shards else self.n_shards
+        # Unique temp name: a partitioned crawl's shard sub-pipelines each
+        # hold their own CrawlCheckpoint over this directory, and their
+        # first flushes can race — last atomic replace wins (they all carry
+        # the same layout, so the race is benign).
+        temp = path.with_name(
+            f".{path.name}.{os.getpid()}.{threading.get_ident()}.tmp"
+        )
+        temp.write_text(json.dumps({"n_shards": value}), encoding="utf-8")
+        os.replace(temp, path)
+
+    def ensure_layout(self) -> None:
+        """Publish the layout marker now (idempotent).
+
+        The partitioned crawl's coordinator calls this before fanning out,
+        so every concurrent shard sub-pipeline already sees a settled
+        marker — no flush-time races, and no spurious downgrade to the
+        mixed-layout slow path when one shard's file lands before another
+        shard reads the marker.
+        """
+        with self._lock:
+            self._write_layout()
+
+    def _stage_files_all(self) -> List[Path]:
+        return sorted(self.directory.glob("stage_*.jsonl"))
+
+    def load_stage_for_shard(self, stage: str, shard: int) -> Dict[str, object]:
+        """Completed key → payload map for **one shard** of a stage.
+
+        Memory is bounded by that shard's records, never the whole stage —
+        the per-shard sub-pipelines of a partitioned crawl resume through
+        this.  When the layout marker proves every stored record was
+        written under this checkpoint's own shard count, only the shard's
+        file is read; otherwise (flat or mixed layouts on disk) every stage
+        file is *streamed* and filtered by the key's current-route shard,
+        so cross-layout resumes stay correct at the cost of extra parsing.
+        """
+        with self._lock:
+            if self.n_shards > 1 and self._stored_layout() == self.n_shards:
+                paths = [self._stage_path(stage, shard)]
+            else:
+                paths = self._stage_files(stage)
+            records: Dict[str, object] = {}
+            for path in paths:
+                if not path.exists():
+                    continue
+                with path.open("r", encoding="utf-8") as handle:
+                    for line in handle:
+                        if not line.strip():
+                            continue
+                        try:
+                            entry = json.loads(line)
+                        except ValueError:
+                            # Truncated trailing line from a mid-append
+                            # kill; the record's task will be refetched.
+                            continue
+                        key = str(entry["key"])
+                        if self._shard_for(key) == shard:
+                            records[key] = entry["payload"]
+            return records
+
+    def append(self, stage: str, key: str, payload: object) -> None:
+        """Buffer one record for flushing **without** loading the stage.
+
+        The memory-bounded sibling of :meth:`record` for per-shard
+        sub-pipelines: it never materializes the stage's existing records,
+        so a resumed shard task holds only what it appends.  (:meth:`record`
+        additionally mirrors the stage in memory for :meth:`load_stage` /
+        :meth:`pending` consumers.)
+        """
+        line = json.dumps({"key": key, "payload": payload})
+        with self._lock:
+            stage_cache = self._stages.get(stage)
+            if stage_cache is not None:
+                stage_cache[key] = payload
+            shards = self._unflushed.setdefault(stage, {})
+            shards.setdefault(self._shard_for(key), []).append(line)
+
     def record(self, stage: str, key: str, payload: object) -> None:
         """Buffer one completed task's payload (call :meth:`flush` to persist)."""
         line = json.dumps({"key": key, "payload": payload})
@@ -129,11 +239,17 @@ class CrawlCheckpoint:
                 name for name, shards in self._unflushed.items()
                 if any(shards.values())
             ]
+            wrote = False
             for name in stages:
                 shards = self._unflushed.get(name, {})
                 for shard, lines in sorted(shards.items()):
                     if not lines:
                         continue
+                    if not wrote:
+                        # Mark the layout before the first record lands so
+                        # per-shard loads know what the files contain.
+                        self._write_layout()
+                        wrote = True
                     with self._stage_path(name, shard).open("a", encoding="utf-8") as handle:
                         handle.write("\n".join(lines) + "\n")
                     shards[shard] = []
@@ -161,6 +277,7 @@ class CrawlCheckpoint:
             for pattern in ("stage_*.jsonl", "*.json.tmp"):
                 for path in self.directory.glob(pattern):
                     path.unlink()
-            meta = self.directory / self._META_FILE
-            if meta.exists():
-                meta.unlink()
+            for name in (self._META_FILE, self._LAYOUT_FILE):
+                path = self.directory / name
+                if path.exists():
+                    path.unlink()

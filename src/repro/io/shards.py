@@ -154,8 +154,12 @@ class ShardManifest:
                 {"name": info.name, "n_records": info.n_records, "fingerprint": info.fingerprint}
                 for info in self.policy_shards
             ],
-            "store_counts": self.store_counts,
-            "store_link_counts": self.store_link_counts,
+            # Key-sorted so the manifest bytes (and the store fingerprint)
+            # do not depend on record-arrival order: the shard-partitioned
+            # crawl accumulates these maps in shard-completion order, the
+            # unsharded path in corpus order.
+            "store_counts": dict(sorted(self.store_counts.items())),
+            "store_link_counts": dict(sorted(self.store_link_counts.items())),
             "unresolved_gpt_ids": self.unresolved_gpt_ids,
         }
 

@@ -40,6 +40,14 @@ _MERSENNE_PRIME = np.uint64((1 << 31) - 1)
 #: range, so empty documents never collide with real content in any band.
 _EMPTY_SLOT = np.uint64((1 << 31) - 1)
 
+#: Default MinHash calibration.  Shared by every near-duplicate consumer
+#: (:func:`repro.nlp.similarity.near_duplicates` and the streaming policy
+#: profiles in :mod:`repro.policy.duplicates`) — signatures computed
+#: anywhere band into the same candidate sets only while these agree, so
+#: retune them HERE, never at a call site.
+DEFAULT_NUM_PERM = 128
+DEFAULT_MINHASH_SEED = 7
+
 
 def hash_token(token: str) -> int:
     """A stable 31-bit hash of one word token (blake2b mod the prime)."""
@@ -84,7 +92,7 @@ def hash_token_shingles(
 
 
 def lsh_supports_threshold(
-    threshold: float, num_perm: int = 128, max_miss: float = 1e-9
+    threshold: float, num_perm: int = DEFAULT_NUM_PERM, max_miss: float = 1e-9
 ) -> bool:
     """Whether any band layout meets the miss tolerance at this threshold.
 
@@ -129,8 +137,8 @@ def choose_band_structure(
 class MinHasher:
     """Computes fixed-length MinHash signatures of hashed shingle sets."""
 
-    num_perm: int = 128
-    seed: int = 7
+    num_perm: int = DEFAULT_NUM_PERM
+    seed: int = DEFAULT_MINHASH_SEED
     _a: np.ndarray = field(init=False, repr=False, compare=False)
     _b: np.ndarray = field(init=False, repr=False, compare=False)
 
@@ -201,8 +209,8 @@ def minhash_candidate_pairs(
     token_lists: Sequence[Sequence[str]],
     k: int,
     threshold: float,
-    num_perm: int = 128,
-    seed: int = 7,
+    num_perm: int = DEFAULT_NUM_PERM,
+    seed: int = DEFAULT_MINHASH_SEED,
     max_miss: float = 1e-9,
 ) -> Set[Tuple[int, int]]:
     """MinHash–LSH candidate pairs for a corpus of tokenized documents.

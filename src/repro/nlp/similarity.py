@@ -67,13 +67,20 @@ def text_jaccard(text_a: str, text_b: str, k: int = 5) -> float:
 
 
 #: Below this corpus size the O(n²) scan beats MinHash signature setup.
-_LSH_MIN_TEXTS = 128
+#: Shared with the streaming duplicate-policy analysis, whose "auto"
+#: method must flip to LSH at exactly the same size to stay equivalent.
+LSH_MIN_TEXTS = 128
+_LSH_MIN_TEXTS = LSH_MIN_TEXTS
+
+#: Default word-shingle width for near-duplicate detection (shared with
+#: the streaming duplicate-policy analysis for the same reason).
+DEFAULT_SHINGLE_K = 5
 
 
 def near_duplicates(
     texts: Sequence[str],
     threshold: float = 0.95,
-    k: int = 5,
+    k: int = DEFAULT_SHINGLE_K,
     method: str = "auto",
 ) -> List[Tuple[int, int, float]]:
     """Find pairs of near-duplicate texts.

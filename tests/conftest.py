@@ -16,6 +16,16 @@ from repro.llm.simulated import SimulatedLLM
 from repro.taxonomy.builtin import load_builtin_taxonomy
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "process_smoke: fast tests exercising the pluggable execution "
+        "backends end to end; `make test-process` re-runs them with "
+        "REPRO_TEST_BACKEND=process so CI covers the process pool "
+        "explicitly",
+    )
+
+
 @pytest.fixture(scope="session")
 def taxonomy():
     """The full built-in taxonomy."""

@@ -1,0 +1,213 @@
+"""Tests for the pluggable execution backends (serial / thread / process).
+
+The contract under test: outcomes merge in submission order on every
+backend, per-task exceptions become outcomes (not raises), ``on_result``
+streams completions serially, and the process backend's per-task RNG
+re-seeding makes fork and spawn start methods agree byte for byte.
+
+``REPRO_TEST_BACKEND`` (see ``make test-process``) overrides the backend the
+marked smoke tests run on, so CI exercises the process pool explicitly.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import threading
+import time
+
+import pytest
+
+from repro.exec import (
+    BACKEND_NAMES,
+    ExecTask,
+    LIFOTaskQueue,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    get_backend,
+)
+
+#: Backend the smoke subset runs on (`make test-process` sets "process").
+SMOKE_BACKEND = os.environ.get("REPRO_TEST_BACKEND", "thread")
+
+
+def _square(value):
+    return value * value
+
+
+def _boom():
+    raise ValueError("nope")
+
+
+def _seeded_draw(n):
+    """Draw from the module-level RNG — only deterministic if the backend
+    re-seeded it from the task payload."""
+    return [random.random() for _ in range(n)]
+
+
+def _tasks(n):
+    return [ExecTask(key=f"t{i}", fn=_square, args=(i,)) for i in range(n)]
+
+
+class TestBackendContract:
+    @pytest.mark.process_smoke
+    @pytest.mark.parametrize("name", BACKEND_NAMES)
+    def test_submission_order_merge(self, name):
+        backend = get_backend(name, workers=2)
+        outcomes = backend.run(_tasks(6))
+        assert [outcome.key for outcome in outcomes] == [f"t{i}" for i in range(6)]
+        assert [outcome.result for outcome in outcomes] == [i * i for i in range(6)]
+        assert all(outcome.ok for outcome in outcomes)
+
+    @pytest.mark.process_smoke
+    @pytest.mark.parametrize("name", BACKEND_NAMES)
+    def test_task_exception_becomes_outcome(self, name):
+        backend = get_backend(name, workers=2)
+        outcomes = backend.run(
+            [ExecTask(key="ok", fn=_square, args=(3,)), ExecTask(key="bad", fn=_boom)]
+        )
+        by_key = {outcome.key: outcome for outcome in outcomes}
+        assert by_key["ok"].ok and by_key["ok"].result == 9
+        assert not by_key["bad"].ok
+        assert "ValueError" in by_key["bad"].error
+
+    @pytest.mark.process_smoke
+    @pytest.mark.parametrize("name", BACKEND_NAMES)
+    def test_on_result_streams_and_drops_results(self, name):
+        backend = get_backend(name, workers=2)
+        seen = []
+        outcomes = backend.run(
+            _tasks(5), on_result=lambda o: seen.append(o.result), keep_results=False
+        )
+        assert sorted(seen) == [i * i for i in range(5)]
+        # Results were consumed by the callback, not retained in the batch.
+        assert [outcome.result for outcome in outcomes] == [None] * 5
+
+    @pytest.mark.parametrize("name", BACKEND_NAMES)
+    def test_duplicate_keys_rejected(self, name):
+        backend = get_backend(name, workers=2)
+        with pytest.raises(ValueError):
+            backend.run([ExecTask(key="x", fn=_square, args=(1,)),
+                         ExecTask(key="x", fn=_square, args=(2,))])
+
+    def test_empty_batch(self):
+        for name in BACKEND_NAMES:
+            assert get_backend(name, workers=2).run([]) == []
+
+
+class TestGetBackend:
+    def test_default_resolution(self):
+        assert isinstance(get_backend(None, workers=0), SerialBackend)
+        assert isinstance(get_backend(None, workers=1), SerialBackend)
+        assert isinstance(get_backend(None, workers=4), ThreadBackend)
+
+    def test_instance_passthrough(self):
+        backend = ProcessBackend(workers=2)
+        assert get_backend(backend) is backend
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            get_backend("gpu", workers=2)
+
+    def test_process_rejects_rate_limiter(self):
+        class Limiter:
+            def acquire(self, host):  # pragma: no cover - never called
+                pass
+
+        with pytest.raises(ValueError):
+            get_backend("process", workers=2, rate_limiter=Limiter())
+
+    def test_serial_honors_queue_factory(self):
+        order = []
+
+        def tracked(i):
+            order.append(i)
+            return i
+
+        tasks = [ExecTask(key=f"t{i}", fn=tracked, args=(i,)) for i in range(4)]
+        outcomes = SerialBackend(queue_factory=LIFOTaskQueue).run(tasks)
+        assert order == [3, 2, 1, 0]  # executed depth-first even inline
+        assert [o.result for o in outcomes] == [0, 1, 2, 3]  # merged in submission order
+
+
+class TestThreadBackend:
+    def test_concurrency_actually_overlaps(self):
+        barrier = threading.Barrier(4, timeout=5)
+
+        def fn():
+            barrier.wait()
+            return True
+
+        outcomes = ThreadBackend(workers=4).run(
+            [ExecTask(key=f"t{i}", fn=fn) for i in range(4)]
+        )
+        assert all(outcome.result for outcome in outcomes)
+
+    def test_keyboard_interrupt_aborts_batch(self):
+        started = []
+
+        def interrupting(i):
+            started.append(i)
+            if i == 0:
+                raise KeyboardInterrupt
+            time.sleep(0.01)
+            return i
+
+        tasks = [ExecTask(key=f"t{i}", fn=interrupting, args=(i,)) for i in range(50)]
+        with pytest.raises(KeyboardInterrupt):
+            ThreadBackend(workers=2).run(tasks)
+        # The stop flag must prevent the queue from fully draining.
+        assert len(started) < 50
+
+
+class TestProcessBackendSeeding:
+    """Satellite: per-task RNG state must come from the task payload, never
+    from inherited fork state, so fork and spawn (macOS vs Linux CI
+    defaults) produce identical draws."""
+
+    @pytest.mark.process_smoke
+    def test_fork_and_spawn_agree(self):
+        tasks = [
+            ExecTask(key=f"t{i}", fn=_seeded_draw, args=(3,), seed=1000 + i)
+            for i in range(4)
+        ]
+        results = {}
+        for method in ("fork", "spawn"):
+            backend = ProcessBackend(workers=2, start_method=method)
+            results[method] = [outcome.result for outcome in backend.run(tasks)]
+        assert results["fork"] == results["spawn"]
+        # Distinct tasks get distinct streams (the seed is per task).
+        assert len({tuple(draws) for draws in results["fork"]}) == len(tasks)
+
+    def test_engine_rejects_dropped_knobs_with_instance_backend(self):
+        """CrawlEngine must not silently discard rate_limiter/queue_factory
+        when handed a pre-built backend instance."""
+        from repro.crawler.engine import CrawlEngine, HostRateLimiter
+
+        with pytest.raises(ValueError, match="rate_limiter"):
+            CrawlEngine(
+                workers=2,
+                rate_limiter=HostRateLimiter(default_rate=1.0),
+                backend=ThreadBackend(workers=2),
+            )
+        with pytest.raises(ValueError, match="queue_factory"):
+            CrawlEngine(
+                workers=2, queue_factory=LIFOTaskQueue, backend=ThreadBackend(workers=2)
+            )
+        # The backend carrying its own knobs is the supported spelling.
+        engine = CrawlEngine(
+            workers=2, backend=ThreadBackend(workers=2, queue_factory=LIFOTaskQueue)
+        )
+        assert engine.run([ExecTask(key="a", fn=_square, args=(2,))])[0].result == 4
+
+    def test_unseeded_tasks_do_not_inherit_parent_state(self):
+        # Poison the parent's RNG; with fork the child would inherit this
+        # state, so identical per-task seeds are the only way two runs with
+        # different parent states can agree.
+        random.seed(123)
+        tasks = [ExecTask(key="a", fn=_seeded_draw, args=(2,), seed=7)]
+        first = ProcessBackend(workers=1, start_method="fork").run(tasks)[0].result
+        random.seed(456)
+        second = ProcessBackend(workers=1, start_method="fork").run(tasks)[0].result
+        assert first == second

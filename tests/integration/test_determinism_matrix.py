@@ -1,11 +1,12 @@
 """Property-based determinism matrix (seeded, stdlib-only).
 
 Randomized small ecosystems are pushed through the suite and sweep engines
-across a matrix of execution knobs — shard counts × worker counts ×
-resume-vs-cold — and every configuration must produce **byte-identical**
-canonical-JSON outputs.  Execution topology is never allowed to leak into
-measured numbers; this is the invariant that lets the sweep cache be
-shared across sharded/unsharded and sequential/parallel runs.
+across a matrix of execution knobs — execution backends (serial / thread /
+process) × shard counts × worker counts × resume-vs-cold — and every
+configuration must produce **byte-identical** canonical-JSON outputs.
+Execution topology is never allowed to leak into measured numbers; this is
+the invariant that lets the sweep cache be shared across sharded/unsharded,
+sequential/parallel, and threaded/process runs.
 
 "Property-based" here is a seeded stdlib ``random.Random`` draw of
 configurations (no hypothesis dependency): the draws are deterministic per
@@ -29,6 +30,15 @@ MATRIX_SEED = 20260729
 #: Corpus-only experiments keep each matrix cell fast while still covering
 #: crawl, sharding, and analysis layers end to end.
 FAST_EXPERIMENTS = ["table1", "table3", "multiaction", "figure8"]
+
+#: Experiments exercising the shard-streamed *policy* analyses (disclosure
+#: + duplicate policies), which run the policy framework per shard without
+#: materializing the policy report — plus the classification stage they
+#: join against.
+POLICY_EXPERIMENTS = [
+    "table6", "table7", "figure9", "figure11", "figure12",
+    "disclosure_headlines",
+]
 
 
 def _random_cases(n_cases: int):
@@ -55,31 +65,65 @@ def _suite_fingerprint(config: SuiteConfig, experiment_ids) -> str:
 
 class TestSuiteDeterminismMatrix:
     @pytest.mark.parametrize("case", _random_cases(3), ids=lambda c: f"g{c['n_gpts']}s{c['seed']}")
-    def test_shards_times_workers_identical(self, case, tmp_path):
-        """Suite outputs are invariant across shard and worker topology."""
+    def test_backends_times_shards_times_workers_identical(self, case, tmp_path):
+        """Suite outputs are invariant across backend, shard, and worker
+        topology (the backend axis matters only when sharded — unsharded
+        analyses never fan out)."""
         experiment_ids = FAST_EXPERIMENTS
         rng = random.Random((MATRIX_SEED, case["seed"]).__hash__())
         shard_axis = [0, 1, rng.randrange(2, 7)]
-        worker_axis = [0, rng.randrange(2, 5)]
+        worker_backend_axis = [
+            (0, None),
+            (rng.randrange(2, 5), "thread"),
+            (2, "process"),
+        ]
 
         baseline = _suite_fingerprint(
             SuiteConfig(n_gpts=case["n_gpts"], seed=case["seed"]), experiment_ids
         )
         for shards in shard_axis:
-            for workers in worker_axis:
+            for workers, backend in worker_backend_axis:
+                if shards == 0 and backend == "process":
+                    continue  # backend only touches sharded fan-out
                 config = SuiteConfig(
                     n_gpts=case["n_gpts"],
                     seed=case["seed"],
                     shards=shards,
                     shard_workers=workers,
                     crawl_workers=workers,
-                    shard_dir=str(tmp_path / f"sh{shards}w{workers}"),
+                    backend=backend,
+                    shard_dir=str(tmp_path / f"sh{shards}w{workers}{backend}"),
                 )
                 fingerprint = _suite_fingerprint(config, experiment_ids)
                 assert fingerprint == baseline, (
-                    f"case {case}: shards={shards} workers={workers} "
-                    "diverged from the unsharded sequential baseline"
+                    f"case {case}: backend={backend} shards={shards} "
+                    f"workers={workers} diverged from the unsharded "
+                    "sequential baseline"
                 )
+
+    def test_policy_analyses_identical_across_backends(self, tmp_path):
+        """The streamed disclosure + policy-duplicate analyses (policy
+        framework per shard, MinHash map / LSH-union reduce, no
+        materialized policy report) match the in-memory path byte for byte
+        on every backend."""
+        case = _random_cases(1)[0]
+        baseline = _suite_fingerprint(
+            SuiteConfig(n_gpts=case["n_gpts"], seed=case["seed"]), POLICY_EXPERIMENTS
+        )
+        for backend in ("serial", "thread", "process"):
+            config = SuiteConfig(
+                n_gpts=case["n_gpts"],
+                seed=case["seed"],
+                shards=3,
+                shard_workers=2,
+                backend=backend,
+                shard_dir=str(tmp_path / f"policy-{backend}"),
+            )
+            fingerprint = _suite_fingerprint(config, POLICY_EXPERIMENTS)
+            assert fingerprint == baseline, (
+                f"case {case}: streamed policy analyses on backend="
+                f"{backend} diverged from the in-memory baseline"
+            )
 
 
 def _sweep_fingerprint(result) -> str:
@@ -102,6 +146,12 @@ class TestSweepDeterminismMatrix:
             cells, workers=3, experiment_ids=FAST_EXPERIMENTS, shards=3, shard_workers=2
         ).run()
         assert _sweep_fingerprint(parallel) == baseline
+
+        # Whole cells fanned out on the process backend.
+        process = SweepRunner(
+            cells, workers=2, experiment_ids=FAST_EXPERIMENTS, backend="process"
+        ).run()
+        assert _sweep_fingerprint(process) == baseline
 
         # Killed-after-half resume: prime a cache with half the grid, then
         # run the full grid against it.
