@@ -71,6 +71,15 @@ CRAWL_SHARDS = 8
 #: dataflow holds one shard's payloads instead of the whole corpus and in
 #: practice sits below 1.0x).
 SHARDED_RSS_LIMIT_RATIO = 1.25
+#: Absolute ceiling (MB) for either crawl probe's peak RSS, mirroring
+#: ``RSS_ABS_LIMIT_MB`` in the scale benchmark.  The ratio assert above
+#: compares two readings that share the same import floor, so it passes
+#: even when an allocator/THP artifact balloons both probes together —
+#: and committing such a run would let the perf gate's 1.5x tolerance
+#: ratchet the allowed RSS upward indefinitely.  Healthy runs peak around
+#: 146 MB (import floor ~140 MB); this bound must not be raised by a
+#: baseline refresh without a root cause.
+CRAWL_RSS_ABS_LIMIT_MB = 512
 
 #: ``ru_maxrss`` units per megabyte: kibibytes on Linux, bytes on macOS.
 _MAXRSS_PER_MB = 1024.0 * 1024.0 if sys.platform == "darwin" else 1024.0
@@ -287,3 +296,10 @@ def test_sharded_crawl_wall_and_rss_bounded():
         f"{SHARDED_RSS_LIMIT_RATIO}x) — the partitioned dataflow should "
         "never hold the whole-run corpus"
     )
+    for label, rss_mb in (("unsharded", rss_unsharded_mb), ("sharded", rss_sharded_mb)):
+        assert rss_mb < CRAWL_RSS_ABS_LIMIT_MB, (
+            f"{label} crawl peak RSS {rss_mb:.0f}MB exceeds the absolute "
+            f"{CRAWL_RSS_ABS_LIMIT_MB}MB ceiling — the ratio gate can't "
+            "catch an allocator/THP artifact that inflates both probes "
+            "equally, so this run must not become a committed baseline"
+        )

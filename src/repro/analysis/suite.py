@@ -173,7 +173,12 @@ class MeasurementSuite:
 
         Always the unsharded dataflow (records in discovery order — the
         order downstream description sampling is seeded against), even when
-        the suite's *analyses* run sharded.
+        the suite's *analyses* run sharded.  A shard store built first by a
+        crawl-only workload cannot substitute here: ``load_corpus`` rebuilds
+        in shard-major order, which would reseed description sampling and
+        break sharded-vs-unsharded byte-identity — so a sharded suite that
+        later needs classification pays a second, unsharded crawl (see the
+        ROADMAP open item on recording discovery order in the shard store).
         """
         if self._corpus is None:
             self._corpus = self._build_pipeline().run()

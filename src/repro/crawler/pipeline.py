@@ -393,7 +393,6 @@ class CrawlPipeline:
             seed=self.http.seed,
             page_size=self.page_size,
             transport_config=self.transport_config,
-            rate_limits=self.rate_limits,
             flaky_hosts=self.http.flaky_host_rates,
             checkpoint_dir=self.checkpoint_dir,
             checkpoint_every=self.checkpoint_every,
@@ -772,7 +771,9 @@ class ShardCrawlSpec:
     seed: int
     page_size: int
     transport_config: Optional[TransportConfig]
-    rate_limits: Optional[Dict[str, float]]
+    # No rate_limits field: _shard_crawl_spec refuses rate-limited crawls
+    # outright (per-process token buckets would admit workers x the
+    # configured per-host rate), so workers never carry them.
     flaky_hosts: Dict[str, float]
     checkpoint_dir: Optional[str]
     checkpoint_every: int
@@ -802,7 +803,6 @@ def _shard_stage_task(
         page_size=spec.page_size,
         seed=spec.seed,
         transport_config=spec.transport_config,
-        rate_limits=spec.rate_limits,
         checkpoint_dir=spec.checkpoint_dir,
         checkpoint_every=spec.checkpoint_every,
         shards=spec.shards,

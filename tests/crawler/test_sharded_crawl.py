@@ -238,11 +238,11 @@ class TestShardedCrawlResume:
 
 
 class TestProcessBackendRequirements:
-    def test_process_backend_requires_ecosystem(self, ecosystem):
+    def test_process_backend_requires_ecosystem(self, ecosystem, tmp_path):
         pipeline = _pipeline(ecosystem, shards=2, backend="process")
         pipeline.ecosystem = None  # simulate a hand-wired pipeline
         with pytest.raises(ValueError, match="ecosystem"):
-            pipeline.run_sharded("/tmp/never-created")
+            pipeline.run_sharded(tmp_path / "never")
 
     def test_process_backend_refuses_rate_limits(self, ecosystem, tmp_path):
         """Per-host politeness cannot span worker processes; the crawl must
