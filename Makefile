@@ -29,9 +29,11 @@ test:
 	$(PYTHON) -m pytest -x -q $(foreach bench,$(PERF_BENCHES),--ignore=$(bench))
 
 ## process-backend smoke: re-run the tests marked `process_smoke` (backend
-## contract, sharded crawl, sharded suite) with REPRO_TEST_BACKEND=process,
-## so the ProcessPoolExecutor path is exercised end to end by CI even where
-## those tests' default configuration would pick threads.
+## contract, warm WorkerPool lifecycle/broadcast/crash-replacement, sharded
+## crawl, sharded suite) with REPRO_TEST_BACKEND=process, so the
+## ProcessPoolExecutor path — including the persistent warm-pool path — is
+## exercised end to end by CI even where those tests' default configuration
+## would pick threads.
 test-process:
 	REPRO_TEST_BACKEND=process $(PYTHON) -m pytest -x -q -m process_smoke \
 		$(foreach bench,$(PERF_BENCHES),--ignore=$(bench))
@@ -67,6 +69,9 @@ perf-crawl:
 perf-sweep:
 	$(PYTHON) -m pytest benchmarks/test_bench_perf_sweep.py -q -s
 
+## perf-scale also runs the dispatch smoke (`dispatch_*` rows: warm-pool
+## vs cold-pool dispatch overhead + per-task pickle bytes under the
+## broadcast-once contract), so `make ci` gates pool amortization too.
 perf-scale:
 	$(PYTHON) -m pytest benchmarks/test_bench_perf_scale.py -q -s
 

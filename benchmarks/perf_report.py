@@ -22,7 +22,11 @@ slower fails the run with a non-zero exit — this is the last step of
 ``make ci``.  Artifacts with no committed baseline (a brand-new benchmark)
 and metrics whose committed timing sits below the ``--min-baseline-s``
 jitter floor (default 50 ms — sub-jitter ratios measure scheduler noise)
-are reported and skipped, not failed.
+are reported and skipped, not failed.  Metrics a benchmark *gated away*
+on this runner (recorded via :meth:`PerfReport.note_skipped`, e.g. a
+CPU-scaling comparison below its core-count floor) are surfaced as
+notices; one with no committed baseline row anywhere prints an explicit
+``MISSING`` line instead of passing silently.
 """
 
 from __future__ import annotations
@@ -67,6 +71,12 @@ class PerfReport:
 
     name: str
     records: List[PerfRecord] = field(default_factory=list)
+    #: Metrics a benchmark *gated away* on this runner (e.g. a CPU-scaling
+    #: comparison skipped below a core-count floor), keyed by metric name
+    #: with the skip reason.  Persisted so ``--check`` can distinguish "the
+    #: row was measured" from "the row silently never ran" — a gated metric
+    #: with no committed baseline anywhere is reported as MISSING.
+    skipped: Dict[str, str] = field(default_factory=dict)
 
     def record(
         self, name: str, baseline_s: float, optimized_s: float, items: int
@@ -76,6 +86,10 @@ class PerfReport:
         )
         self.records.append(entry)
         return entry
+
+    def note_skipped(self, name: str, reason: str) -> None:
+        """Record that a gated metric did not run on this runner (and why)."""
+        self.skipped[name] = reason
 
     def __getitem__(self, name: str) -> PerfRecord:
         for entry in self.records:
@@ -96,7 +110,7 @@ class PerfReport:
         return "\n".join(lines)
 
     def as_dict(self) -> Dict[str, object]:
-        return {
+        payload: Dict[str, object] = {
             "benchmark": self.name,
             "platform": platform.platform(),
             "python": platform.python_version(),
@@ -104,6 +118,9 @@ class PerfReport:
                 {**asdict(entry), "speedup": entry.speedup} for entry in self.records
             ],
         }
+        if self.skipped:
+            payload["skipped"] = dict(self.skipped)
+        return payload
 
     def write(self, directory: Optional[Path] = None) -> Path:
         """Write ``BENCH_<name>.json`` (default: the repository root)."""
@@ -123,6 +140,8 @@ def load_report(path: Path) -> PerfReport:
             optimized_s=float(entry["optimized_s"]),
             items=int(entry["items"]),
         )
+    for name, reason in payload.get("skipped", {}).items():
+        report.note_skipped(str(name), str(reason))
     return report
 
 
@@ -247,6 +266,46 @@ def check_regressions(
     return checks
 
 
+def gated_metric_notices(directory: Optional[Path] = None) -> List[str]:
+    """Notices for metrics a benchmark gated away instead of measuring.
+
+    For each fresh artifact's ``skipped`` entries (see
+    :meth:`PerfReport.note_skipped`): a metric that was nonetheless
+    recorded this run needs no notice; one with a committed baseline row
+    gets a "baseline stands" note; one with **no committed row anywhere**
+    is reported as an explicit ``MISSING`` line — the row has never been
+    measured on a capable runner, and ``--check`` would otherwise pass
+    silently forever.  Notices never fail the gate; they keep
+    skipped-on-this-runner rows visible.
+    """
+    root = directory or REPO_ROOT
+    notices: List[str] = []
+    for path in sorted(root.glob("BENCH_*.json")):
+        fresh = load_report(path)
+        if not fresh.skipped:
+            continue
+        fresh_names = {entry.name for entry in fresh.records}
+        baseline = committed_report(path)
+        baseline_names = (
+            {entry.name for entry in baseline.records} if baseline is not None else set()
+        )
+        for metric, reason in sorted(fresh.skipped.items()):
+            if metric in fresh_names:
+                continue
+            if metric in baseline_names:
+                notices.append(
+                    f"-- {path.name}: {metric} skipped this run ({reason}); "
+                    "the committed baseline row stands"
+                )
+            else:
+                notices.append(
+                    f"MISSING {path.name}: {metric} — gated benchmark skipped "
+                    f"on this runner ({reason}) and no committed baseline row "
+                    "exists; run the benchmark on a capable runner to commit one"
+                )
+    return notices
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI: print the merged trajectory, or gate on regressions with --check."""
     import argparse
@@ -278,6 +337,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     print("-" * len(header))
     for check in checks:
         print(check.format_row())
+    notices = gated_metric_notices()
+    if notices:
+        print()
+        for notice in notices:
+            print(notice)
     failures = [check for check in checks if not check.ok]
     if failures:
         print(

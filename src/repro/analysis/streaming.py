@@ -55,7 +55,7 @@ from repro.analysis.tools import ToolUsageAccumulator
 from repro.classification.results import ClassificationResult
 from repro.crawler.corpus import CrawledGPT
 from repro.crawler.engine import CrawlEngine, CrawlTask
-from repro.exec import ExecutionBackend
+from repro.exec import ExecutionBackend, WorkerPool, resolve_pool, shared_state
 from repro.io.shards import ShardedCorpusStore, shard_index
 from repro.policy.duplicates import (
     PolicyProfileAccumulator,
@@ -231,6 +231,37 @@ def _map_policy_shard(
     return out
 
 
+#: Broadcast keys for the two shared map-pass payloads (see
+#: :class:`~repro.exec.WorkerPool`): tasks carry only their shard index.
+STREAM_GPT_KEY = "stream/gpt-pass"
+STREAM_POLICY_KEY = "stream/policy-pass"
+
+
+def _map_gpt_shard_shared(index: int) -> Dict[str, object]:
+    """Warm-pool GPT map task: everything but the shard index is broadcast."""
+    spec = shared_state(STREAM_GPT_KEY)
+    return _map_gpt_shard(
+        spec["root"],
+        index,
+        spec["names"],
+        spec["collected"],
+        spec["offending"],
+        spec["include_party"],
+    )
+
+
+def _map_policy_shard_shared(index: int) -> Dict[str, object]:
+    """Warm-pool policy map task: the per-shard spec slice is broadcast."""
+    spec = shared_state(STREAM_POLICY_KEY)
+    disclosure_specs = spec["disclosure_specs"]
+    return _map_policy_shard(
+        spec["root"],
+        index,
+        spec["want_duplicates"],
+        disclosure_specs[index] if disclosure_specs else None,
+    )
+
+
 class ShardAnalysisRunner:
     """Runs streaming analyses shard-parallel on an execution backend.
 
@@ -245,7 +276,15 @@ class ShardAnalysisRunner:
         ``"serial"`` / ``"thread"`` / ``"process"``, a backend instance, or
         ``None`` (serial at ``workers <= 1``, threads above).  The process
         backend gives pure-Python accumulation real CPU scaling; results
-        are identical on every backend.
+        are identical on every backend.  ``"process"`` builds an **owned**
+        warm :class:`~repro.exec.WorkerPool` (close the runner, or use it
+        as a context manager, to release the workers); passing a
+        ``WorkerPool``/``PoolHandle`` instance reuses the caller's warm
+        workers across analysis passes.  On a warm pool the map-pass
+        payloads (classification rollups, the URL → Actions join) are
+        broadcast via the pool initializer, so per-task pickles carry a
+        shard index instead of the rollups; a pass whose payload changed
+        restarts the pool once rather than re-shipping per task.
     """
 
     def __init__(
@@ -256,7 +295,28 @@ class ShardAnalysisRunner:
     ) -> None:
         self.store = store
         self.workers = workers
+        self._owned_pool: Optional[WorkerPool] = None
+        if backend == "process":
+            self._owned_pool = WorkerPool(kind="process", workers=max(1, workers))
+            backend = self._owned_pool
         self.engine = CrawlEngine(workers=workers, backend=backend)
+
+    @property
+    def pool(self) -> Optional[WorkerPool]:
+        """The warm pool behind the engine's backend, if any."""
+        return resolve_pool(self.engine.backend)
+
+    def close(self) -> None:
+        """Release the owned warm pool (idempotent; borrowed pools stay up)."""
+        if self._owned_pool is not None:
+            self._owned_pool.close()
+            self._owned_pool = None
+
+    def __enter__(self) -> "ShardAnalysisRunner":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     def _run_merge(self, tasks: List[CrawlTask]) -> Dict[str, object]:
@@ -342,23 +402,45 @@ class ShardAnalysisRunner:
         include_party = party_index is None
 
         # GPT-record map: one task per shard, fanned out on the backend.
+        pool = self.pool
+        use_broadcast = pool is not None and pool.is_process
         merged: Dict[str, object] = {}
         if _accumulator_factories(factory_names, collected, offending, include_party):
-            tasks = [
-                CrawlTask(
-                    key=f"shard-{index:05d}",
-                    fn=_map_gpt_shard,
-                    args=(
-                        str(self.store.root),
-                        index,
-                        tuple(factory_names),
-                        collected,
-                        offending,
-                        include_party,
-                    ),
+            if use_broadcast:
+                pool.broadcast(
+                    STREAM_GPT_KEY,
+                    {
+                        "root": str(self.store.root),
+                        "names": tuple(factory_names),
+                        "collected": collected,
+                        "offending": offending,
+                        "include_party": include_party,
+                    },
                 )
-                for index in range(self.store.n_shards)
-            ]
+                tasks = [
+                    CrawlTask(
+                        key=f"shard-{index:05d}",
+                        fn=_map_gpt_shard_shared,
+                        args=(index,),
+                    )
+                    for index in range(self.store.n_shards)
+                ]
+            else:
+                tasks = [
+                    CrawlTask(
+                        key=f"shard-{index:05d}",
+                        fn=_map_gpt_shard,
+                        args=(
+                            str(self.store.root),
+                            index,
+                            tuple(factory_names),
+                            collected,
+                            offending,
+                            include_party,
+                        ),
+                    )
+                    for index in range(self.store.n_shards)
+                ]
             merged = self._run_merge(tasks)
         catalog: Optional[ActionCatalogAccumulator] = (
             merged.pop("action_catalog", None) or action_catalog
@@ -391,19 +473,37 @@ class ShardAnalysisRunner:
                     }
                     for index in range(self.store.n_shards)
                 ]
-            tasks = [
-                CrawlTask(
-                    key=f"policies-{index:05d}",
-                    fn=_map_policy_shard,
-                    args=(
-                        str(self.store.root),
-                        index,
-                        "policy_duplicates" in policy_names,
-                        disclosure_specs[index] if disclosure_specs else None,
-                    ),
+            if use_broadcast:
+                pool.broadcast(
+                    STREAM_POLICY_KEY,
+                    {
+                        "root": str(self.store.root),
+                        "want_duplicates": "policy_duplicates" in policy_names,
+                        "disclosure_specs": disclosure_specs,
+                    },
                 )
-                for index in range(self.store.n_shards)
-            ]
+                tasks = [
+                    CrawlTask(
+                        key=f"policies-{index:05d}",
+                        fn=_map_policy_shard_shared,
+                        args=(index,),
+                    )
+                    for index in range(self.store.n_shards)
+                ]
+            else:
+                tasks = [
+                    CrawlTask(
+                        key=f"policies-{index:05d}",
+                        fn=_map_policy_shard,
+                        args=(
+                            str(self.store.root),
+                            index,
+                            "policy_duplicates" in policy_names,
+                            disclosure_specs[index] if disclosure_specs else None,
+                        ),
+                    )
+                    for index in range(self.store.n_shards)
+                ]
             merged.update(self._run_merge(tasks))
 
         # Finalize with the shared corpus-level context.
@@ -473,13 +573,20 @@ def analyze_shards(
     single_pass_policy: bool = False,
     near_duplicate_method: str = "auto",
 ) -> Dict[str, object]:
-    """Convenience wrapper: build a runner and compute analyses in one pass."""
-    return ShardAnalysisRunner(store, workers=workers, backend=backend).run(
-        names,
-        classification=classification,
-        taxonomy=taxonomy,
-        party_index=party_index,
-        llm=llm,
-        single_pass_policy=single_pass_policy,
-        near_duplicate_method=near_duplicate_method,
-    )
+    """Convenience wrapper: build a runner and compute analyses in one pass.
+
+    A ``backend="process"`` runner owns a warm pool for the duration of the
+    call; the ``with`` block releases its workers on the way out.  Pass a
+    :class:`~repro.exec.WorkerPool` (or handle) instead to keep workers
+    warm across calls.
+    """
+    with ShardAnalysisRunner(store, workers=workers, backend=backend) as runner:
+        return runner.run(
+            names,
+            classification=classification,
+            taxonomy=taxonomy,
+            party_index=party_index,
+            llm=llm,
+            single_pass_policy=single_pass_policy,
+            near_duplicate_method=near_duplicate_method,
+        )

@@ -10,7 +10,7 @@ and examples all build on it.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Union
 
 from repro.analysis.collection import CollectionAnalysis, analyze_collection
 from repro.analysis.cooccurrence import CooccurrenceAnalysis, analyze_cooccurrence
@@ -40,6 +40,7 @@ from repro.crawler.pipeline import CrawlPipeline
 from repro.ecosystem.config import EcosystemConfig
 from repro.ecosystem.generator import EcosystemGenerator
 from repro.ecosystem.models import SyntheticEcosystem
+from repro.exec import ExecutionBackend, WorkerPool
 from repro.llm.fewshot import FewShotStore
 from repro.llm.simulated import SimulatedLLM
 from repro.policy.duplicates import DuplicatePolicyReport, analyze_policy_corpus
@@ -86,7 +87,9 @@ class SuiteConfig:
     #: None = serial at <=1 workers, threads above).  Applies to the
     #: shard-partitioned crawl and the shard-parallel analyses; like
     #: ``shards``, it is an execution knob that never changes measured
-    #: values.  (The in-memory corpus crawl keeps its thread engine: its
+    #: values.  "process" spawns one warm worker pool for the suite's
+    #: whole lifetime (crawl through analyses); call ``suite.close()`` —
+    #: or use the suite as a context manager — to release it.  (The in-memory corpus crawl keeps its thread engine: its
     #: record order — which downstream sampling depends on — is defined by
     #: the unsharded dataflow.)
     backend: Optional[str] = None
@@ -124,6 +127,10 @@ class MeasurementSuite:
         self._cache: Dict[str, object] = {}
         self._shard_store = None
         self._shard_tempdir = None
+        #: Suite-lifetime warm pool for backend="process": one spawn carries
+        #: from the sharded crawl through every analysis pass (see
+        #: _execution_backend); released by close().
+        self._exec_pool: Optional[WorkerPool] = None
         #: Action → (policy URL, domain, title) registry reused across
         #: streamed policy-analysis passes (one GPT-shard scan, not one per
         #: analysis group).
@@ -153,7 +160,44 @@ class MeasurementSuite:
             self._ecosystem = EcosystemGenerator(self.ecosystem_config, self.taxonomy).generate()
         return self._ecosystem
 
-    def _build_pipeline(self, shards: int = 1, backend: Optional[str] = None) -> CrawlPipeline:
+    def _execution_backend(self) -> Union[str, ExecutionBackend, None]:
+        """``config.backend``, with ``"process"`` promoted to one warm pool.
+
+        The pool spans the suite's lifetime — the shard-partitioned crawl
+        and every shard-parallel analysis pass reuse the same workers
+        instead of respawning per stage.  Pipelines and runners receive a
+        non-owning :class:`~repro.exec.PoolHandle`, so their own cleanup
+        never tears the suite's workers down; :meth:`close` does.
+        """
+        if self.config.backend != "process":
+            return self.config.backend
+        if self._exec_pool is None or self._exec_pool._closed:
+            workers = max(
+                1, self.config.shard_workers, self.config.crawl_workers
+            )
+            self._exec_pool = WorkerPool(kind="process", workers=workers)
+        return self._exec_pool.handle()
+
+    def close(self) -> None:
+        """Release the suite's warm worker pool (idempotent).
+
+        Cached stages and analyses stay usable; a later sharded access
+        simply builds a fresh pool.
+        """
+        if self._exec_pool is not None:
+            self._exec_pool.close()
+
+    def __enter__(self) -> "MeasurementSuite":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _build_pipeline(
+        self,
+        shards: int = 1,
+        backend: Union[str, ExecutionBackend, None] = None,
+    ) -> CrawlPipeline:
         return CrawlPipeline.from_ecosystem(
             self.ecosystem,
             seed=self.config.seed,
@@ -215,7 +259,7 @@ class MeasurementSuite:
                 directory = self._shard_tempdir.name
             if self._corpus is None:
                 pipeline = self._build_pipeline(
-                    shards=self.config.shards, backend=self.config.backend
+                    shards=self.config.shards, backend=self._execution_backend()
                 )
                 self._shard_store = pipeline.run_sharded(directory)
             else:
@@ -243,7 +287,7 @@ class MeasurementSuite:
         runner = ShardAnalysisRunner(
             self.shard_store,
             workers=self.config.shard_workers,
-            backend=self.config.backend,
+            backend=self._execution_backend(),
         )
         results = runner.run(
             names,

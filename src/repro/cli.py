@@ -95,31 +95,33 @@ def _cmd_crawl(args: argparse.Namespace) -> int:
     if args.resume and not args.checkpoint_dir:
         print("--resume requires --checkpoint-dir", file=sys.stderr)
         return 2
-    suite = _build_suite(args)
-    stats = suite.crawl_stats
-    rows = [(store, count) for store, count in stats.sorted_store_counts()]
-    print(format_table(["Store", "GPTs crawled"], rows))
-    print(f"Total unique GPTs: {stats.total_unique_gpts}")
-    print(f"Unique Actions: {stats.n_unique_actions}")
-    print(f"Policy availability: {stats.policy_availability:.2%}")
+    # Context-manage the suite so a warm process pool (--backend process)
+    # is shut down before interpreter exit; same in the handlers below.
+    with _build_suite(args) as suite:
+        stats = suite.crawl_stats
+        rows = [(store, count) for store, count in stats.sorted_store_counts()]
+        print(format_table(["Store", "GPTs crawled"], rows))
+        print(f"Total unique GPTs: {stats.total_unique_gpts}")
+        print(f"Unique Actions: {stats.n_unique_actions}")
+        print(f"Policy availability: {stats.policy_availability:.2%}")
     return 0
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
-    suite = _build_suite(args)
-    collection = suite.collection
-    prohibited = suite.prohibited
-    disclosure = suite.disclosure
-    print(suite.corpus.summary())
-    print(f"Data categories observed: {collection.n_categories_observed()}")
-    print(f"Data types observed: {collection.n_types_observed()}")
-    print(f"Actions collecting 5+ items: {collection.share_with_at_least(5):.1%}")
-    print(f"Actions collecting 10+ items: {collection.share_with_at_least(10):.1%}")
-    print(f"Third-party excess collection: {collection.third_party_excess():.2%}")
-    print(f"GPTs with prohibited-data Actions: {prohibited.offending_gpt_share:.1%}")
-    print(f"Fully consistent Actions: {disclosure.fully_consistent_share:.1%}")
-    print(f"Classifier: {suite.evaluate_classifier().summary()}")
-    print(f"Policy framework: {suite.evaluate_policy_framework().summary()}")
+    with _build_suite(args) as suite:
+        collection = suite.collection
+        prohibited = suite.prohibited
+        disclosure = suite.disclosure
+        print(suite.corpus.summary())
+        print(f"Data categories observed: {collection.n_categories_observed()}")
+        print(f"Data types observed: {collection.n_types_observed()}")
+        print(f"Actions collecting 5+ items: {collection.share_with_at_least(5):.1%}")
+        print(f"Actions collecting 10+ items: {collection.share_with_at_least(10):.1%}")
+        print(f"Third-party excess collection: {collection.third_party_excess():.2%}")
+        print(f"GPTs with prohibited-data Actions: {prohibited.offending_gpt_share:.1%}")
+        print(f"Fully consistent Actions: {disclosure.fully_consistent_share:.1%}")
+        print(f"Classifier: {suite.evaluate_classifier().summary()}")
+        print(f"Policy framework: {suite.evaluate_policy_framework().summary()}")
     return 0
 
 
@@ -128,8 +130,8 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         print(f"unknown experiment {args.experiment_id!r}; known ids:", file=sys.stderr)
         print(", ".join(sorted(EXPERIMENTS)), file=sys.stderr)
         return 2
-    suite = _build_suite(args)
-    result = run_experiment(args.experiment_id, suite)
+    with _build_suite(args) as suite:
+        result = run_experiment(args.experiment_id, suite)
     print(f"# {result.title}")
     rows = [
         (metric, _format_value(paper), _format_value(measured))
@@ -146,11 +148,11 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 def _cmd_export(args: argparse.Namespace) -> int:
     from repro.io import save_corpus
 
-    suite = _build_suite(args)
-    classification = suite.classification if args.with_classification else None
-    target = save_corpus(suite.corpus, args.directory, classification=classification)
-    print(f"Wrote corpus ({len(suite.corpus.gpts)} GPTs, "
-          f"{suite.corpus.n_unique_actions()} Actions) to {target}")
+    with _build_suite(args) as suite:
+        classification = suite.classification if args.with_classification else None
+        target = save_corpus(suite.corpus, args.directory, classification=classification)
+        print(f"Wrote corpus ({len(suite.corpus.gpts)} GPTs, "
+              f"{suite.corpus.n_unique_actions()} Actions) to {target}")
     return 0
 
 
@@ -241,8 +243,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
-    suite = _build_suite(args)
-    results = run_all_experiments(suite)
+    with _build_suite(args) as suite:
+        results = run_all_experiments(suite)
     for result in results:
         print(f"## {result.title}")
         rows = [

@@ -73,7 +73,14 @@ from repro.crawler.store_crawler import StoreCrawler
 from repro.crawler.store_server import GPTStoreServer, install_store_servers
 from repro.crawler.transport import RetryingTransport, TransportConfig
 from repro.ecosystem.models import SyntheticEcosystem
-from repro.exec import ExecutionBackend, ProcessBackend, get_backend
+from repro.exec import (
+    ExecutionBackend,
+    ProcessBackend,
+    WorkerPool,
+    get_backend,
+    resolve_pool,
+    shared_state,
+)
 from repro.io import CrawlCheckpoint
 from repro.web.urls import url_host
 
@@ -225,6 +232,14 @@ class CrawlPipeline:
         #: required for process-backend shard workers.
         self.ecosystem: Optional[SyntheticEcosystem] = None
         self.statistics = CrawlStatistics()
+        #: Warm pool this pipeline built for backend="process" (owned:
+        #: closed when run_sharded finishes).  Instance backends are
+        #: borrowed and never closed here.
+        self._owned_pool: Optional[WorkerPool] = None
+        #: The ShardCrawlSpec broadcast to process workers — built once per
+        #: pipeline so pool.broadcast sees the same object across the
+        #: resolve and policy phases (a new object would restart the pool).
+        self._shard_spec_cache: Optional["ShardCrawlSpec"] = None
 
     # ------------------------------------------------------------------
     @classmethod
@@ -357,21 +372,40 @@ class CrawlPipeline:
     # Shard-partitioned crawl
     # ------------------------------------------------------------------
     def _wants_process_backend(self) -> bool:
-        return self.backend == "process" or isinstance(self.backend, ProcessBackend)
+        pool = resolve_pool(self.backend)
+        return (
+            self.backend == "process"
+            or isinstance(self.backend, ProcessBackend)
+            or (pool is not None and pool.is_process)
+        )
 
     def _shard_backend(self) -> ExecutionBackend:
         """The backend shard sub-pipelines run on.
 
-        Never rate-limited at the task level: on the serial/thread backends
-        the sub-pipelines share this pipeline's transport (and so its
-        per-host buckets); the process backend refuses configured rate
-        limits outright (see :meth:`_shard_crawl_spec`)."""
+        ``backend="process"`` builds one warm :class:`WorkerPool` reused
+        across the resolve and policy phases (closed when ``run_sharded``
+        finishes) instead of a cold pool per phase.  Never rate-limited at
+        the task level: on the serial/thread backends the sub-pipelines
+        share this pipeline's transport (and so its per-host buckets); the
+        process backend refuses configured rate limits outright (see
+        :meth:`_shard_crawl_spec`)."""
         if isinstance(self.backend, ExecutionBackend):
             return self.backend
         workers = self.workers if self.workers > 0 else 1
+        if self.backend == "process":
+            if self._owned_pool is None:
+                self._owned_pool = WorkerPool(kind="process", workers=workers)
+            return self._owned_pool
         return get_backend(self.backend, workers=workers)
 
+    def _close_owned_pool(self) -> None:
+        if self._owned_pool is not None:
+            self._owned_pool.close()
+            self._owned_pool = None
+
     def _shard_crawl_spec(self) -> "ShardCrawlSpec":
+        if self._shard_spec_cache is not None:
+            return self._shard_spec_cache
         if self.ecosystem is None:
             raise ValueError(
                 "the process backend needs an ecosystem-built pipeline "
@@ -386,9 +420,11 @@ class CrawlPipeline:
             raise ValueError(
                 "per-host rate limits cannot be enforced across process-"
                 "backend shard workers (each would admit the full rate); "
-                "use the thread or serial backend for rate-limited crawls"
+                "re-run with `--backend thread` (or backend=\"thread\"), "
+                "which shares one rate-limited transport across shard "
+                "workers, or drop the rate limits to keep the process backend"
             )
-        return ShardCrawlSpec(
+        self._shard_spec_cache = ShardCrawlSpec(
             ecosystem=self.ecosystem,
             seed=self.http.seed,
             page_size=self.page_size,
@@ -398,6 +434,7 @@ class CrawlPipeline:
             checkpoint_every=self.checkpoint_every,
             shards=self.shards,
         )
+        return self._shard_spec_cache
 
     def _run_shard_stage(
         self,
@@ -481,8 +518,25 @@ class CrawlPipeline:
         records route to that shard's files alone.
         """
         backend = self._shard_backend()
+        pool = resolve_pool(backend)
         tasks: List[CrawlTask] = []
-        if isinstance(backend, ProcessBackend):
+        if pool is not None and pool.is_process:
+            # Warm-pool path: the ShardCrawlSpec (ecosystem included) is
+            # broadcast once via the pool initializer; tasks carry only
+            # (stage, shard, keys), so per-task pickles are identifier-sized.
+            pool.broadcast(SHARD_SPEC_KEY, self._shard_crawl_spec())
+            for shard, keys in enumerate(shard_keys):
+                if not keys:
+                    continue
+                tasks.append(
+                    CrawlTask(
+                        key=f"{stage_name}-{shard:05d}",
+                        fn=_shard_stage_task_shared,
+                        args=(stage_name, shard, list(keys)),
+                        seed=_shard_task_seed(self.http.seed, stage_name, shard),
+                    )
+                )
+        elif isinstance(backend, ProcessBackend):
             spec = self._shard_crawl_spec()
             for shard, keys in enumerate(shard_keys):
                 if not keys:
@@ -531,8 +585,17 @@ class CrawlPipeline:
         at ``shard_dir`` — byte-identical to
         ``ShardedCorpusStore.write_corpus(self.run(), self.shards)`` without
         ever materializing the whole-run corpus.  See the module docstring
-        for the dataflow.
+        for the dataflow.  With ``backend="process"`` one warm
+        :class:`~repro.exec.WorkerPool` spans the resolve and policy phases
+        and is closed on the way out (interrupted runs included); a
+        caller-supplied pool instance stays open for reuse.
         """
+        try:
+            return self._run_sharded(shard_dir, flush_every)
+        finally:
+            self._close_owned_pool()
+
+    def _run_sharded(self, shard_dir: str, flush_every: int):
         from repro.io.shards import ShardedCorpusWriter, shard_index
 
         self.statistics = CrawlStatistics()
@@ -788,16 +851,8 @@ def _shard_task_seed(seed: int, stage_name: str, shard: int) -> int:
     return int.from_bytes(digest[:8], "big")
 
 
-def _shard_stage_task(
-    spec: ShardCrawlSpec, stage_name: str, shard: int, keys: List[str]
-) -> Dict[str, object]:
-    """Run one shard's resolve/policy sub-stage in an isolated worker.
-
-    The rebuilt pipeline shares nothing with the coordinator except the
-    spec; per-URL failure and retry draws are pure functions of
-    ``(seed, url, attempt)`` and the shards partition the URL space, so the
-    records match a coordinator-side run exactly.
-    """
+def _build_shard_pipeline(spec: ShardCrawlSpec) -> "CrawlPipeline":
+    """Rebuild the simulated network a shard worker fetches against."""
     pipeline = CrawlPipeline.from_ecosystem(
         spec.ecosystem,
         page_size=spec.page_size,
@@ -809,4 +864,47 @@ def _shard_stage_task(
     )
     for host, rate in spec.flaky_hosts.items():
         pipeline.http.set_flaky_host(host, rate)
+    return pipeline
+
+
+def _shard_stage_task(
+    spec: ShardCrawlSpec, stage_name: str, shard: int, keys: List[str]
+) -> Dict[str, object]:
+    """Run one shard's resolve/policy sub-stage in an isolated worker.
+
+    The rebuilt pipeline shares nothing with the coordinator except the
+    spec; per-URL failure and retry draws are pure functions of
+    ``(seed, url, attempt)`` and the shards partition the URL space, so the
+    records match a coordinator-side run exactly.
+    """
+    pipeline = _build_shard_pipeline(spec)
+    return pipeline._run_shard_stage(stage_name, shard, keys, report_network_stats=True)
+
+
+#: Broadcast key the sharded crawl registers its ShardCrawlSpec under.
+SHARD_SPEC_KEY = "crawl/shard-spec"
+
+#: Worker-local (spec, pipeline) pair so a warm worker rebuilds the
+#: simulated network once per broadcast, not once per (stage, shard) task.
+#: Keyed by spec identity: the broadcast payload is installed once per
+#: worker, so identity is stable until a new spec is broadcast (which
+#: restarts the pool and clears this module state with it on spawn; on
+#: fork the identity check alone invalidates the entry).
+_WORKER_SHARD_PIPELINE: List = []
+
+
+def _shard_stage_task_shared(
+    stage_name: str, shard: int, keys: List[str]
+) -> Dict[str, object]:
+    """Warm-pool shard sub-stage: fetch the spec from broadcast state.
+
+    Identifier-sized task payload; the ecosystem-sized spec shipped once
+    via the pool initializer.  Safe to reuse one rebuilt pipeline across
+    tasks because failure/retry draws are pure in ``(seed, url, attempt)``
+    and ``_run_shard_stage`` snapshots its network counters per call.
+    """
+    spec = shared_state(SHARD_SPEC_KEY)
+    if not _WORKER_SHARD_PIPELINE or _WORKER_SHARD_PIPELINE[0] is not spec:
+        _WORKER_SHARD_PIPELINE[:] = [spec, _build_shard_pipeline(spec)]
+    pipeline = _WORKER_SHARD_PIPELINE[1]
     return pipeline._run_shard_stage(stage_name, shard, keys, report_network_stats=True)

@@ -1,0 +1,413 @@
+"""Persistent warm worker pools with broadcast-once shared state.
+
+:class:`~repro.exec.backends.ProcessBackend` honors the scheduling
+contract but pays the full dispatch cost on every :meth:`run` call: a
+fresh :class:`~concurrent.futures.ProcessPoolExecutor` is spawned per
+batch, and every task pickles its whole payload — a sharded crawl ships
+the entire :class:`~repro.crawler.pipeline.ShardCrawlSpec` (the
+generated ecosystem, megabytes) once per (stage, shard) task.  This
+module amortizes both costs:
+
+* :class:`WorkerPool` — a lifecycle object owning one live executor
+  (process or thread) across many ``run()`` calls.  Explicit
+  :meth:`~WorkerPool.close` (idempotent), context-manager support, and
+  crashed-worker replacement: a :class:`BrokenProcessPool` mid-batch
+  rebuilds the executor and resubmits the still-pending tasks (capped
+  per-task attempts), so one dying worker costs a respawn, not the run.
+  Results are deterministic regardless of reuse — outcomes merge in
+  submission order and per-task RNG re-seeding
+  (:func:`~repro.exec.backends._invoke_in_worker`) happens on every
+  invocation, so a reused worker and a fresh one agree byte-for-byte.
+* **Broadcast-once shared state** — :meth:`WorkerPool.broadcast`
+  registers a picklable payload under a key; it ships to each worker
+  exactly once via the pool *initializer* (pickled into ``initargs`` at
+  executor creation), and tasks reference it with :func:`shared_state`
+  instead of carrying it.  Per-task pickles shrink from ecosystem-sized
+  to identifier-sized.  Re-broadcasting a *different* object under an
+  existing key marks the pool dirty: the next ``run()`` restarts the
+  executor so every worker observes the update (initializers cannot
+  reach live workers) — so broadcast everything before the first run
+  when possible, and reuse the same payload object across runs to stay
+  warm.
+* :class:`PoolHandle` — a non-owning view for lending a pool to a
+  consumer (a pipeline, an analysis runner) whose cleanup must not tear
+  down the owner's workers: ``close()`` on a handle is a no-op.
+
+The thread kind exists so pool-lifecycle code is backend-agnostic: it
+keeps the frontier-draining semantics of
+:class:`~repro.exec.backends.ThreadBackend` (pluggable queue, optional
+rate limiter) over a persistent :class:`ThreadPoolExecutor`, and
+``broadcast`` installs into the (shared-memory) worker store directly —
+no restart, no pickling.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Union
+
+from repro.exec.backends import (
+    ExecOutcome,
+    ExecTask,
+    ExecutionBackend,
+    FIFOTaskQueue,
+    RateLimiter,
+    TaskQueue,
+    _check_unique_keys,
+    _FrontierBackend,
+    _invoke_in_worker,
+)
+
+#: Pool kinds :class:`WorkerPool` accepts.
+POOL_KINDS = ("thread", "process")
+
+#: Worker-side shared-state store, filled by the pool initializer (process
+#: kind) or directly by ``broadcast`` (thread kind — shared memory).
+_WORKER_SHARED: Dict[str, object] = {}
+
+
+def _install_shared(payloads: Mapping[str, object]) -> None:
+    """Pool initializer: install the broadcast payloads in this worker.
+
+    Runs once per worker process at spawn — the payloads pickle once into
+    the executor's ``initargs``, not once per task.
+    """
+    _WORKER_SHARED.clear()
+    _WORKER_SHARED.update(payloads)
+
+
+def shared_state(key: str) -> object:
+    """Look up a broadcast payload inside a worker (or the coordinator).
+
+    Task functions call this instead of carrying the payload in their
+    ``args``, shrinking per-task pickles to identifiers.
+    """
+    try:
+        return _WORKER_SHARED[key]
+    except KeyError:
+        raise KeyError(
+            f"shared-state key {key!r} is not installed in this worker; "
+            "call WorkerPool.broadcast(key, payload) before run() so the "
+            "pool initializer ships it to every worker"
+        ) from None
+
+
+class WorkerPool(_FrontierBackend):
+    """A persistent execution backend: one live pool, many ``run()`` calls.
+
+    Parameters
+    ----------
+    kind:
+        ``"process"`` (a :class:`ProcessPoolExecutor`; task payloads must
+        pickle, per-host rate limiting is refused) or ``"thread"`` (the
+        frontier-draining thread semantics over a persistent
+        :class:`ThreadPoolExecutor`).  :attr:`name` mirrors the kind so
+        string-based backend checks keep working.
+    workers:
+        Pool size (floored at 1).  Unlike the cold backends, the executor
+        is sized once — not per batch — so small batches reuse the same
+        warm workers as large ones.
+    start_method:
+        Process start method (``"fork"``/``"spawn"``/``None`` for the
+        platform default); ignored by the thread kind.
+    shared:
+        Initial broadcast payloads (equivalent to calling
+        :meth:`broadcast` per entry before the first run).
+    max_task_attempts:
+        Submission attempts per task across :class:`BrokenProcessPool`
+        rebuilds before the task is reported as a failed outcome.  Floored
+        at 1; the default tolerates a crashing neighbor twice.
+    """
+
+    def __init__(
+        self,
+        kind: str = "process",
+        workers: int = 1,
+        start_method: Optional[str] = None,
+        rate_limiter: Optional[RateLimiter] = None,
+        queue_factory: Callable[[], TaskQueue] = FIFOTaskQueue,
+        shared: Optional[Mapping[str, object]] = None,
+        max_task_attempts: int = 3,
+    ) -> None:
+        if kind not in POOL_KINDS:
+            raise ValueError(
+                f"unknown pool kind {kind!r}; known: {', '.join(POOL_KINDS)}"
+            )
+        if kind == "process" and rate_limiter is not None:
+            raise ValueError(
+                "a process WorkerPool cannot enforce a shared rate limiter; "
+                "token buckets cannot span processes — use kind='thread' for "
+                "rate-limited work"
+            )
+        super().__init__(rate_limiter=rate_limiter, queue_factory=queue_factory)
+        self.kind = kind
+        self.name = kind
+        self.workers = max(1, workers)
+        self.start_method = start_method
+        self.max_task_attempts = max(1, max_task_attempts)
+        self._shared: Dict[str, object] = dict(shared or {})
+        self._executor = None
+        self._dirty = False
+        self._closed = False
+        if kind == "thread" and self._shared:
+            _WORKER_SHARED.update(self._shared)
+
+    # ------------------------------------------------------------------
+    @property
+    def is_process(self) -> bool:
+        """Whether tasks cross a process boundary (payloads must pickle)."""
+        return self.kind == "process"
+
+    def handle(self) -> "PoolHandle":
+        """A non-owning view to lend to consumers (their close is a no-op)."""
+        return PoolHandle(self)
+
+    def broadcast(self, key: str, payload: object) -> "WorkerPool":
+        """Register a shared payload workers read via :func:`shared_state`.
+
+        Process kind: the payload ships to each worker exactly once via
+        the pool initializer.  Re-broadcasting the *same object* under an
+        existing key is free; a different object marks the pool dirty and
+        the next :meth:`run` restarts the executor with the update.
+        Thread kind: installed immediately (shared memory), no restart.
+        """
+        self._require_open()
+        if key in self._shared and self._shared[key] is payload:
+            return self
+        self._shared[key] = payload
+        if self.kind == "thread":
+            _WORKER_SHARED[key] = payload
+        elif self._executor is not None:
+            self._dirty = True
+        return self
+
+    def close(self) -> None:
+        """Shut the executor down (idempotent; runs after close raise)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._discard_executor()
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def _require_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("WorkerPool is closed")
+
+    def _discard_executor(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def _ensure_executor(self):
+        if self._dirty:
+            # A broadcast changed after spawn: initializers cannot reach
+            # live workers, so restart the pool to re-install shared state.
+            self._discard_executor()
+            self._dirty = False
+        if self._executor is None:
+            if self.kind == "process":
+                kwargs = {
+                    "max_workers": self.workers,
+                    "initializer": _install_shared,
+                    "initargs": (dict(self._shared),),
+                }
+                if self.start_method is not None:
+                    import multiprocessing
+
+                    kwargs["mp_context"] = multiprocessing.get_context(
+                        self.start_method
+                    )
+                self._executor = ProcessPoolExecutor(**kwargs)
+            else:
+                self._executor = ThreadPoolExecutor(max_workers=self.workers)
+        return self._executor
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        tasks: Sequence[ExecTask],
+        on_result: Optional[Callable[[ExecOutcome], None]] = None,
+        keep_results: bool = True,
+    ) -> List[ExecOutcome]:
+        self._require_open()
+        task_list = list(tasks)
+        keys = _check_unique_keys(task_list)
+        if not task_list:
+            return []
+        if self.kind == "thread":
+            return self._run_threads(task_list, keys, on_result, keep_results)
+        return self._run_process(task_list, keys, on_result, keep_results)
+
+    def _run_threads(
+        self,
+        task_list: List[ExecTask],
+        keys: List[str],
+        on_result: Optional[Callable[[ExecOutcome], None]],
+        keep_results: bool,
+    ) -> List[ExecOutcome]:
+        self._stop.clear()
+        outcomes: Dict[str, ExecOutcome] = {}
+        queue = self.queue_factory()
+        for task in task_list:
+            queue.push(task)
+        if self.workers <= 1:
+            self._worker_loop(queue, outcomes, on_result, keep_results)
+        else:
+            executor = self._ensure_executor()
+            futures = [
+                executor.submit(self._worker_loop, queue, outcomes, on_result, keep_results)
+                for _ in range(self.workers)
+            ]
+            try:
+                for future in futures:
+                    # Surface worker crashes (queue/callback bugs); task
+                    # exceptions are already folded into outcomes.
+                    future.result()
+            finally:
+                # The cold ThreadBackend's ``with`` block joins every
+                # worker before a crash propagates (keeps incremental
+                # checkpoints consistent); a persistent executor must
+                # wind the siblings down explicitly.
+                wait(futures)
+        return [outcomes[key] for key in keys]
+
+    def _run_process(
+        self,
+        task_list: List[ExecTask],
+        keys: List[str],
+        on_result: Optional[Callable[[ExecOutcome], None]],
+        keep_results: bool,
+    ) -> List[ExecOutcome]:
+        outcomes: Dict[str, ExecOutcome] = {}
+        pending: Dict[str, ExecTask] = {task.key: task for task in task_list}
+        attempts: Dict[str, int] = {task.key: 0 for task in task_list}
+
+        def settle(outcome: ExecOutcome) -> None:
+            if on_result is not None:
+                on_result(outcome)
+                if not keep_results:
+                    outcome.result = None
+            outcomes[outcome.key] = outcome
+            pending.pop(outcome.key, None)
+
+        while pending:
+            executor = self._ensure_executor()
+            futures: Dict[object, str] = {}
+            broken = False
+            try:
+                for task in list(pending.values()):
+                    attempts[task.key] += 1
+                    futures[executor.submit(_invoke_in_worker, task)] = task.key
+            except BrokenProcessPool:
+                broken = True
+            not_done = set(futures)
+            try:
+                while not_done:
+                    done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        key = futures[future]
+                        try:
+                            settle(ExecOutcome(key=key, result=future.result()))
+                        except BrokenProcessPool as exc:
+                            # A worker died; the whole pool is poisoned.
+                            # Unattributable — every in-flight task retries
+                            # on a rebuilt pool (the initializer re-installs
+                            # shared state) up to max_task_attempts.
+                            broken = True
+                            if attempts[key] >= self.max_task_attempts:
+                                settle(
+                                    ExecOutcome(
+                                        key=key,
+                                        error=(
+                                            "worker process crashed "
+                                            f"({attempts[key]} attempts): {exc}"
+                                        ),
+                                    )
+                                )
+                        except Exception as exc:  # noqa: BLE001 - outcomes carry it
+                            settle(
+                                ExecOutcome(key=key, error=f"{type(exc).__name__}: {exc}")
+                            )
+            except BaseException:
+                # A KeyboardInterrupt (or an on_result bug) aborts the
+                # batch: cancel queued work and discard the executor so an
+                # interrupted pool cannot leak half-run state into a reuse.
+                for future in not_done:
+                    future.cancel()
+                self._discard_executor()
+                raise
+            if broken:
+                self._discard_executor()
+        return [outcomes[key] for key in keys]
+
+
+class PoolHandle(ExecutionBackend):
+    """A non-owning view of a :class:`WorkerPool`.
+
+    Forwards the execution contract (and :meth:`broadcast`) to the pool it
+    wraps, but :meth:`close` is a no-op — hand one to a consumer whose
+    cleanup must not tear down workers the owner is still reusing.
+    """
+
+    def __init__(self, pool: WorkerPool) -> None:
+        self._pool = pool
+        self.name = pool.name
+        self.workers = pool.workers
+
+    @property
+    def pool(self) -> WorkerPool:
+        """The owning pool behind this handle."""
+        return self._pool
+
+    @property
+    def is_process(self) -> bool:
+        return self._pool.is_process
+
+    def broadcast(self, key: str, payload: object) -> "PoolHandle":
+        self._pool.broadcast(key, payload)
+        return self
+
+    def run(
+        self,
+        tasks: Sequence[ExecTask],
+        on_result: Optional[Callable[[ExecOutcome], None]] = None,
+        keep_results: bool = True,
+    ) -> List[ExecOutcome]:
+        return self._pool.run(tasks, on_result=on_result, keep_results=keep_results)
+
+    def close(self) -> None:
+        """No-op: the owning :class:`WorkerPool` controls the lifecycle."""
+
+    def __enter__(self) -> "PoolHandle":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def resolve_pool(
+    backend: Union[str, ExecutionBackend, None],
+) -> Optional[WorkerPool]:
+    """The :class:`WorkerPool` behind a backend spec, unwrapping handles.
+
+    Returns ``None`` for names, cold backends, and ``None`` — callers use
+    this to route onto the broadcast/shared-state path only when a warm
+    pool is actually present.
+    """
+    if isinstance(backend, PoolHandle):
+        return backend.pool
+    if isinstance(backend, WorkerPool):
+        return backend
+    return None

@@ -42,7 +42,13 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
 from repro.analysis.suite import MeasurementSuite, SuiteConfig
 from repro.crawler.engine import CrawlEngine, CrawlTask
 from repro.ecosystem.config import EcosystemConfig
-from repro.exec import ExecutionBackend, ProcessBackend
+from repro.exec import (
+    ExecutionBackend,
+    ProcessBackend,
+    WorkerPool,
+    resolve_pool,
+    shared_state,
+)
 from repro.experiments.registry import EXPERIMENTS
 from repro.io import (
     ArtifactStore,
@@ -486,24 +492,28 @@ def _execute_cell(
     if shards:
         suite_config.shards = shards
         suite_config.shard_workers = shard_workers
-    suite = MeasurementSuite(
+    # The suite is closed on the way out: a cell whose scenario overrides
+    # pick an inner process backend owns a warm pool for exactly the
+    # cell's duration.
+    with MeasurementSuite(
         config=suite_config,
         ecosystem_config=cell.scenario.ecosystem_config(cell.n_gpts, cell.seed),
         corpus=corpus,
         classification=classification,
-    )
-
-    # Round-trip through canonical JSON so fresh and cache-served cells
-    # carry bit-identical values (e.g. numpy scalars become plain floats
-    # on both paths).
-    experiments: Dict[str, Dict[str, object]] = json.loads(
-        canonical_json(
-            {
-                experiment_id: _jsonable(EXPERIMENTS[experiment_id](suite).measured_values)
-                for experiment_id in experiment_ids
-            }
+    ) as suite:
+        # Round-trip through canonical JSON so fresh and cache-served cells
+        # carry bit-identical values (e.g. numpy scalars become plain floats
+        # on both paths).
+        experiments: Dict[str, Dict[str, object]] = json.loads(
+            canonical_json(
+                {
+                    experiment_id: _jsonable(
+                        EXPERIMENTS[experiment_id](suite).measured_values
+                    )
+                    for experiment_id in experiment_ids
+                }
+            )
         )
-    )
 
     # Persist exactly the intermediate stages this cell's experiments
     # materialized — never force an expensive stage (classification, a
@@ -577,6 +587,28 @@ def _execute_cell_task(
     return _execute_cell(cell, list(experiment_ids), store, shards, shard_workers)
 
 
+#: Broadcast key for the sweep-invariant cell context (experiment set,
+#: store path, shard knobs) on a warm worker pool.
+SWEEP_CTX_KEY = "sweep/cell-context"
+
+
+def _execute_cell_shared(cell: SweepCell) -> CellResult:
+    """Warm-pool cell entry point: per-task payload is the cell alone.
+
+    The run-invariant context ships once per worker via the pool
+    initializer; workers stay warm across cells (and across repeated
+    ``run()`` calls, since the runner broadcasts the same context object).
+    """
+    ctx = shared_state(SWEEP_CTX_KEY)
+    return _execute_cell_task(
+        cell,
+        ctx["experiment_ids"],
+        ctx["store_root"],
+        ctx["shards"],
+        ctx["shard_workers"],
+    )
+
+
 class SweepRunner:
     """Runs a sweep grid concurrently with content-addressed caching.
 
@@ -614,6 +646,10 @@ class SweepRunner:
         ``Scenario.suite_overrides['backend']`` to pick a cell-internal
         backend.  Another post-fingerprint execution knob: results are
         byte-identical across backends and share cache entries.
+        ``"process"`` builds one warm :class:`~repro.exec.WorkerPool` for
+        the runner's lifetime — workers stay warm across cells and across
+        repeated ``run()`` calls; close the runner (or use it as a
+        context manager) to release them.
     """
 
     def __init__(
@@ -638,7 +674,34 @@ class SweepRunner:
         self.shards = max(0, shards)
         self.shard_workers = max(0, shard_workers)
         self.backend = backend
+        self._owned_pool: Optional[WorkerPool] = None
+        if backend == "process":
+            # One warm pool for the runner's lifetime: workers stay up
+            # across cells and across repeated run() calls (resume).
+            self._owned_pool = WorkerPool(kind="process", workers=max(1, workers))
+            backend = self._owned_pool
         self.engine = CrawlEngine(workers=workers, backend=backend)
+        #: Run-invariant context broadcast to warm workers — built once so
+        #: repeated run() calls re-broadcast the same object (no pool
+        #: restart between runs).
+        self._cell_context = {
+            "experiment_ids": tuple(self.experiment_ids),
+            "store_root": str(self.store.root) if self.store is not None else None,
+            "shards": self.shards,
+            "shard_workers": self.shard_workers,
+        }
+
+    def close(self) -> None:
+        """Release the owned warm pool (idempotent; borrowed pools stay up)."""
+        if self._owned_pool is not None:
+            self._owned_pool.close()
+            self._owned_pool = None
+
+    def __enter__(self) -> "SweepRunner":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     def _results_fingerprint(self, cell: SweepCell) -> str:
@@ -653,7 +716,16 @@ class SweepRunner:
     def run(self) -> SweepResult:
         """Run every cell; results come back in grid (submission) order."""
         start = time.monotonic()
-        if isinstance(self.engine.backend, ProcessBackend):
+        pool = resolve_pool(self.engine.backend)
+        if pool is not None and pool.is_process:
+            # Warm path: the invariant context ships once per worker via
+            # the pool initializer; each task pickles only its cell.
+            pool.broadcast(SWEEP_CTX_KEY, self._cell_context)
+            tasks = [
+                CrawlTask(key=cell.cell_id, fn=_execute_cell_shared, args=(cell,))
+                for cell in self.cells
+            ]
+        elif isinstance(self.engine.backend, ProcessBackend):
             store_root = str(self.store.root) if self.store is not None else None
             tasks = [
                 CrawlTask(
@@ -702,7 +774,7 @@ def run_sweep(
     """Convenience wrapper: expand a grid, build the store, run the sweep."""
     cells = expand_grid(scenario_names, n_seeds, base_seed=base_seed, n_gpts=n_gpts)
     store = ArtifactStore(cache_dir) if cache_dir is not None else None
-    return SweepRunner(
+    with SweepRunner(
         cells,
         store=store,
         workers=workers,
@@ -710,4 +782,5 @@ def run_sweep(
         shards=shards,
         shard_workers=shard_workers,
         backend=backend,
-    ).run()
+    ) as runner:
+        return runner.run()

@@ -219,6 +219,57 @@ class TestShardAnalysisRunner:
         assert results["party"] == build_party_index(small_corpus)
 
 
+class TestWarmPoolStreaming:
+    """One persistent WorkerPool across streaming passes (the warm path)."""
+
+    @pytest.mark.process_smoke
+    def test_owned_pool_spans_multiple_passes(self, shard_store, small_corpus):
+        """backend="process" builds one warm pool; repeated run() calls on
+        the same runner reuse it, stay equal to the in-memory path, and the
+        pool is torn down when the runner closes."""
+        party = build_party_index(small_corpus)
+        with ShardAnalysisRunner(shard_store, workers=2, backend="process") as runner:
+            pool = runner.pool
+            assert pool is not None and pool.is_process
+            first = runner.run(["crawl_stats", "multi_action"])
+            second = runner.run(["tool_usage"])
+            assert runner.pool is pool  # same warm pool across passes
+        assert first["crawl_stats"] == analyze_crawl_stats(small_corpus)
+        assert first["multi_action"] == analyze_multi_action(small_corpus)
+        assert second["tool_usage"] == analyze_tool_usage(small_corpus, party)
+        assert pool._closed
+        assert runner._owned_pool is None
+
+    @pytest.mark.process_smoke
+    def test_borrowed_pool_survives_analyze_shards(
+        self, shard_store, small_corpus, classification, taxonomy
+    ):
+        """A borrowed pool instance runs both the GPT and the policy pass
+        and is NOT closed by analyze_shards' runner cleanup."""
+        from repro.exec import WorkerPool
+
+        with WorkerPool(kind="process", workers=2) as pool:
+            results = analyze_shards(
+                shard_store,
+                names=["crawl_stats", "collection", "prohibited"],
+                backend=pool,
+                classification=classification,
+                taxonomy=taxonomy,
+            )
+            assert not pool._closed
+            # Reuse after the analysis proves the workers are still alive.
+            again = analyze_shards(shard_store, names=["multi_action"], backend=pool)
+        party = build_party_index(small_corpus)
+        assert results["crawl_stats"] == analyze_crawl_stats(small_corpus)
+        assert results["collection"] == analyze_collection(
+            small_corpus, classification, party
+        )
+        assert results["prohibited"] == analyze_prohibited(
+            small_corpus, classification, taxonomy
+        )
+        assert again["multi_action"] == analyze_multi_action(small_corpus)
+
+
 class TestShardedSuite:
     """MeasurementSuite with shards > 0 routes analyses through streaming."""
 
@@ -274,3 +325,27 @@ class TestShardedSuite:
         )
         suite.crawl_stats
         assert (target / "manifest.json").exists()
+
+    @pytest.mark.process_smoke
+    def test_process_suite_shares_one_pool_crawl_through_analyses(self, tmp_path):
+        """backend="process" gives the suite ONE warm pool spanning the
+        sharded crawl and every streamed analysis pass, results identical to
+        the thread-backend suite; close() releases it idempotently."""
+        from repro.analysis.suite import MeasurementSuite, SuiteConfig
+
+        plain = MeasurementSuite(
+            config=SuiteConfig(n_gpts=120, seed=9, shards=3, shard_workers=2)
+        )
+        with MeasurementSuite(
+            config=SuiteConfig(
+                n_gpts=120, seed=9, shards=3, shard_workers=2, backend="process",
+            )
+        ) as pooled:
+            first_stats = pooled.crawl_stats  # crawls via the pool
+            pool = pooled._exec_pool
+            assert pool is not None and pool.is_process
+            assert pooled.multi_action == plain.multi_action  # streams via it
+            assert pooled._exec_pool is pool  # same pool across stages
+            assert first_stats == plain.crawl_stats
+        assert pool._closed
+        pooled.close()  # second close is a no-op

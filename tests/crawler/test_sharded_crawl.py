@@ -104,6 +104,50 @@ class TestShardedCrawlByteIdentity:
         assert fingerprints["fork"] == fingerprints["spawn"]
 
 
+class TestWarmPoolCrawl:
+    """One persistent WorkerPool across whole crawls (the PR's warm path)."""
+
+    @pytest.mark.process_smoke
+    def test_borrowed_pool_reused_across_crawls_byte_identical(
+        self, ecosystem, reference, tmp_path
+    ):
+        """Two full sharded crawls on ONE borrowed pool: both byte-identical
+        to the reference, and the pool is still open afterwards (a borrowed
+        instance is never closed by the pipeline)."""
+        from repro.exec import ExecTask, WorkerPool
+
+        with WorkerPool(kind="process", workers=2) as pool:
+            for run in ("first", "second"):
+                pipeline = _pipeline(ecosystem, shards=SHARDS, backend=pool)
+                store = pipeline.run_sharded(tmp_path / run)
+                assert _store_identity(store, reference)
+            # Still warm and usable: the consumer must not have closed it.
+            assert pool.run([ExecTask(key="alive", fn=len, args=("ok",))])[0].result == 2
+
+    @pytest.mark.process_smoke
+    def test_string_spec_builds_and_closes_an_owned_pool(self, ecosystem, tmp_path):
+        """backend="process" makes the pipeline build its own warm pool and
+        tear it down when run_sharded returns — no leaked worker processes."""
+        pipeline = _pipeline(ecosystem, shards=SHARDS, backend="process", workers=2)
+        pool = pipeline._shard_backend()  # the lazily built owned pool
+        assert pipeline._owned_pool is pool
+        pipeline.run_sharded(tmp_path / "owned")
+        assert pool._closed
+        assert pipeline._owned_pool is None
+
+    @pytest.mark.process_smoke
+    def test_pool_handle_borrow_byte_identical(self, ecosystem, reference, tmp_path):
+        """A non-owning PoolHandle works as a pipeline backend; the handle's
+        close (run by consumer cleanup) leaves the owner's workers alive."""
+        from repro.exec import WorkerPool
+
+        with WorkerPool(kind="process", workers=2) as pool:
+            pipeline = _pipeline(ecosystem, shards=SHARDS, backend=pool.handle())
+            store = pipeline.run_sharded(tmp_path / "handle")
+            assert _store_identity(store, reference)
+            assert not pool._closed
+
+
 class TestCompatibilityMerge:
     def test_run_contents_match_unsharded(self, ecosystem, reference):
         """run() with shards folds per-shard corpora via CrawlCorpus.merge;
@@ -253,6 +297,20 @@ class TestProcessBackendRequirements:
         )
         with pytest.raises(ValueError, match="rate limits"):
             pipeline.run_sharded(tmp_path / "never")
+
+    def test_rate_limit_refusal_names_the_thread_workaround(self, ecosystem, tmp_path):
+        """The refusal is only actionable if it says what to do instead: the
+        message must name the ``--backend thread`` spelling (which shares one
+        rate-limited transport across shard workers)."""
+        pipeline = _pipeline(
+            ecosystem, shards=2, backend="process",
+            rate_limits={"api.example.com": 2.0},
+        )
+        with pytest.raises(ValueError) as excinfo:
+            pipeline.run_sharded(tmp_path / "never")
+        message = str(excinfo.value)
+        assert "--backend thread" in message
+        assert "drop the rate limits" in message
 
 
 class TestConcurrentCheckpointFlush:

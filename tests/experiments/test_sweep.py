@@ -247,6 +247,35 @@ class TestSweepRunnerDeterminism:
         payload = json.loads(_canonical(reference_result))
         assert isinstance(payload, list) and payload
 
+    @pytest.mark.process_smoke
+    def test_warm_pool_sweep_identical_and_reusable(self, reference_result):
+        """Cells fan out on one warm WorkerPool (the broadcast-once path):
+        results match the sequential sweep, a second run() reuses the same
+        warm workers, and a borrowed pool survives the runner's close."""
+        from repro.exec import WorkerPool
+
+        cells = expand_grid(SCENARIOS, SEEDS, n_gpts=GPTS)
+        with WorkerPool(kind="process", workers=2) as pool:
+            runner = SweepRunner(
+                cells, workers=2, experiment_ids=EXPERIMENT_IDS, backend=pool
+            )
+            first = runner.run()
+            second = runner.run()  # same cell context object: no pool restart
+            runner.close()  # borrowed pool: close must be the owner's call
+            assert not pool._closed
+        assert _canonical(first) == _canonical(reference_result)
+        assert _canonical(second) == _canonical(reference_result)
+
+    @pytest.mark.process_smoke
+    def test_process_string_backend_owns_its_pool(self, reference_result):
+        """backend="process" through run_sweep builds (and tears down) an
+        owned warm pool; results stay byte-identical to sequential."""
+        result = run_sweep(
+            SCENARIOS, SEEDS, n_gpts=GPTS, workers=2,
+            experiment_ids=EXPERIMENT_IDS, backend="process",
+        )
+        assert _canonical(result) == _canonical(reference_result)
+
 
 class TestSweepRunnerErrors:
     def test_duplicate_cells_are_rejected(self):

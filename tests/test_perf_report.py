@@ -1,0 +1,98 @@
+"""Tests for the perf-report artifact layer (``benchmarks/perf_report.py``).
+
+Focus: the ``note_skipped`` bookkeeping that keeps gated-away benchmark
+metrics visible — a skip must survive the write/load roundtrip, and
+``gated_metric_notices`` must report a gated metric with no committed
+baseline row as an explicit MISSING notice instead of letting ``--check``
+pass silently forever.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "benchmarks"))
+
+from perf_report import (  # noqa: E402
+    PerfReport,
+    committed_report,
+    gated_metric_notices,
+    load_report,
+)
+
+
+def _write(report, directory):
+    return report.write(directory=directory)
+
+
+class TestNoteSkippedRoundtrip:
+    def test_skip_survives_write_and_load(self, tmp_path):
+        report = PerfReport("gatedemo")
+        report.record("measured_row", baseline_s=1.0, optimized_s=0.5, items=10)
+        report.note_skipped("gated_row", "needs >= 4 cores (this runner has 1)")
+        path = _write(report, tmp_path)
+
+        loaded = load_report(path)
+        assert loaded.skipped == {
+            "gated_row": "needs >= 4 cores (this runner has 1)"
+        }
+        assert loaded["measured_row"].speedup == 2.0
+
+    def test_no_skips_keeps_artifact_schema_unchanged(self, tmp_path):
+        report = PerfReport("plaindemo")
+        report.record("row", baseline_s=1.0, optimized_s=1.0, items=1)
+        path = _write(report, tmp_path)
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        assert "skipped" not in payload
+        assert load_report(path).skipped == {}
+
+
+class TestGatedMetricNotices:
+    def test_unrecorded_gated_metric_is_missing(self, tmp_path):
+        """No committed baseline row anywhere + skipped this run = MISSING."""
+        report = PerfReport("gatedemo")
+        report.record("measured_row", baseline_s=1.0, optimized_s=0.5, items=10)
+        report.note_skipped("gated_row", "needs >= 4 cores")
+        _write(report, tmp_path)
+
+        notices = gated_metric_notices(directory=tmp_path)
+        assert len(notices) == 1
+        assert notices[0].startswith("MISSING BENCH_gatedemo.json: gated_row")
+        assert "needs >= 4 cores" in notices[0]
+        assert "no committed baseline row" in notices[0]
+
+    def test_metric_recorded_this_run_needs_no_notice(self, tmp_path):
+        """A metric that skipped its *assertion* but still recorded its row
+        (the dispatch benchmarks' pattern) is not a gap."""
+        report = PerfReport("gatedemo")
+        report.record("gated_row", baseline_s=2.0, optimized_s=1.0, items=5)
+        report.note_skipped("gated_row", "speedup gate needs >= 4 cores")
+        _write(report, tmp_path)
+        assert gated_metric_notices(directory=tmp_path) == []
+
+    def test_gated_metric_with_committed_row_stands(self, tmp_path):
+        """Skipped this run but measured in the committed baseline: noticed,
+        not MISSING — the old row remains the reference."""
+        committed = committed_report(Path("BENCH_scale.json"))
+        if committed is None or not committed.records:
+            pytest.skip("no committed BENCH_scale.json baseline in this checkout")
+        metric = committed.records[0].name
+
+        report = PerfReport("scale")  # resolves against HEAD:BENCH_scale.json
+        report.note_skipped(metric, "gated on this runner")
+        _write(report, tmp_path)
+
+        notices = gated_metric_notices(directory=tmp_path)
+        assert len(notices) == 1
+        assert not notices[0].startswith("MISSING")
+        assert "the committed baseline row stands" in notices[0]
+
+    def test_artifact_without_skips_is_silent(self, tmp_path):
+        report = PerfReport("plaindemo")
+        report.record("row", baseline_s=1.0, optimized_s=1.0, items=1)
+        _write(report, tmp_path)
+        assert gated_metric_notices(directory=tmp_path) == []
