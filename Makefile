@@ -42,8 +42,11 @@ test-process:
 ## the black-compatible formatter in --check mode.  When ruff is not on
 ## PATH (this container ships no linters and installs are not allowed) the
 ## gate is skipped with a notice; the CI workflow installs ruff and
-## enforces it for real.
+## enforces it for real.  The no-materialize check needs only the stdlib
+## and always runs: analysis code must stream from a CorpusSource instead
+## of calling load_corpus (see tools/check_no_materialize.py).
 lint:
+	$(PYTHON) tools/check_no_materialize.py
 	@staged="$$(git ls-files | grep -E '(^|/)__pycache__/|\.py[co]$$' || true)"; \
 	if [ -n "$$staged" ]; then \
 		echo "ERROR: make lint: compiled bytecode is tracked by git in these files:"; \

@@ -35,6 +35,17 @@ Measures the properties that make the sharded data layer safe to use at
   core count); the ≥``MIN_DISPATCH_SPEEDUP``× assertion is skipped with a
   notice under ``MIN_PROCESS_CORES`` cores.  Results must be identical
   warm or cold — reuse is an execution knob.
+* ``classify_50k_sharded`` — peak RSS (MB, like the RSS row) of a 50k-GPT
+  **mixed** sharded workload — ingest + shard-partitioned description
+  extraction + chunked classification, all streamed from the store —
+  versus the crawl-only sharded ingest peak sampled in the same child
+  process.  Sharing one process means both readings share one import
+  floor, so the ratio isolates what classification *adds*: the gate is
+  ≤``MAX_CLASSIFY_RSS_RATIO``× (classification must stay description-
+  bounded, never corpus-bounded).  A companion in-test gate at the paper's
+  2000-GPT scale pins streamed classification wall time to
+  ≤``MAX_CLASSIFY_WALL_RATIO``× materialize-then-classify, with
+  byte-identical labels.
 * ``dispatch_pickle_kb_per_task`` — bytes pickled per sharded-crawl task:
   the cold path's ``(ShardCrawlSpec, stage, shard, keys)`` payload (the
   whole ecosystem, per task) versus the warm path's broadcast-once
@@ -115,6 +126,13 @@ DISPATCH_SHARDS = 8
 DISPATCH_WORKERS = 4
 MIN_DISPATCH_SPEEDUP = 2.0
 MIN_PICKLE_SHRINK = 10.0
+
+#: Gates of the ``classify_50k_sharded`` row: the mixed sharded workload's
+#: peak RSS over the crawl-only sharded peak (same child process, shared
+#: import floor — the ratio isolates classification's own footprint), and
+#: the 2000-GPT streamed-classification wall over materialize-then-classify.
+MAX_CLASSIFY_RSS_RATIO = 1.25
+MAX_CLASSIFY_WALL_RATIO = 1.5
 
 #: Absolute ceiling (MB) for the 50k sharded run's peak RSS.  The 2x ratio
 #: assert below compares two readings that share the same import floor, so
@@ -275,6 +293,58 @@ print(json.dumps({{
 """
 
 
+_CHILD_CLASSIFY_50K = f"""
+import json, resource, tempfile, time
+from repro.ecosystem.config import EcosystemConfig
+from repro.ecosystem.generator import generate_sharded_corpus
+from repro.analysis.streaming import classify_shards
+from repro.classification.classifier import ClassifierConfig
+from repro.llm.simulated import SimulatedLLM
+from repro.taxonomy.builtin import load_builtin_taxonomy
+
+rss_import_raw = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+
+with tempfile.TemporaryDirectory() as root:
+    t0 = time.monotonic()
+    store = generate_sharded_corpus(
+        root,
+        config=EcosystemConfig.paper_calibrated(n_gpts={STRESS_GPTS}, seed={SEED}),
+        n_shards={SHARDS_STRESS},
+        flush_every=500,
+    )
+    ingest_s = time.monotonic() - t0
+    # Crawl-only peak, sampled before classification in the SAME process:
+    # the import floor is shared, so mixed/crawl isolates what the
+    # classification stage adds.
+    rss_crawl_raw = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+
+    taxonomy = load_builtin_taxonomy()
+    llm = SimulatedLLM(knowledge_taxonomy=taxonomy, seed={SEED})
+    t1 = time.monotonic()
+    # Zero-shot, so no 50k-scale ground-truth labelling rides the probe;
+    # the memory shape (streamed extraction rows + chunked label lists)
+    # is the same with or without few-shot retrieval.
+    result = classify_shards(
+        store,
+        taxonomy=taxonomy,
+        llm=llm,
+        fewshot_store=None,
+        config=ClassifierConfig(use_fewshot=False),
+        workers={WORKERS},
+    )
+    classify_s = time.monotonic() - t1
+
+print(json.dumps({{
+    "rss_crawl_raw": rss_crawl_raw,
+    "rss_mixed_raw": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+    "rss_import_raw": rss_import_raw,
+    "ingest_s": ingest_s,
+    "classify_s": classify_s,
+    "n_labels": len(result.labels),
+}}))
+"""
+
+
 def _run_child(code: str) -> dict:
     env = dict(os.environ)
     src = str(REPO_ROOT / "src")
@@ -400,6 +470,82 @@ def test_stress_scale_process_backend_scales(tmp_path):
     assert entry.speedup >= MIN_PROCESS_SPEEDUP, (
         f"process backend only {entry.speedup:.2f}x vs threads on the 50k "
         f"shard map at {WORKERS} workers (needs {MIN_PROCESS_SPEEDUP}x)"
+    )
+
+
+def test_classify_50k_sharded_memory_bounded():
+    """The mixed sharded workload (ingest + streamed extraction + chunked
+    classification) must stay description-bounded: its peak RSS may exceed
+    the crawl-only sharded peak by at most ``MAX_CLASSIFY_RSS_RATIO``x."""
+    child = _run_child(_CHILD_CLASSIFY_50K)
+    assert child["n_labels"] > 0
+    rss_crawl_mb = child["rss_crawl_raw"] / _MAXRSS_PER_MB
+    rss_mixed_mb = child["rss_mixed_raw"] / _MAXRSS_PER_MB
+    entry = REPORT.record(
+        "classify_50k_sharded",
+        baseline_s=rss_crawl_mb,
+        optimized_s=rss_mixed_mb,
+        items=STRESS_GPTS,
+    )
+    ratio = rss_mixed_mb / rss_crawl_mb
+    INVARIANTS["classify_rss_ratio_mixed_over_crawl"] = round(ratio, 3)
+    INVARIANTS["classify_50k_s"] = round(child["classify_s"], 3)
+    INVARIANTS["classify_50k_n_labels"] = child["n_labels"]
+    assert entry is not None
+    assert ratio <= MAX_CLASSIFY_RSS_RATIO, (
+        f"mixed sharded 50k workload peaks at {rss_mixed_mb:.0f}MB, "
+        f"{ratio:.2f}x the crawl-only sharded peak {rss_crawl_mb:.0f}MB "
+        f"(classification must stay within {MAX_CLASSIFY_RSS_RATIO}x)"
+    )
+    assert rss_mixed_mb < RSS_ABS_LIMIT_MB, (
+        f"mixed sharded 50k peak RSS {rss_mixed_mb:.0f}MB exceeds the "
+        f"absolute {RSS_ABS_LIMIT_MB}MB ceiling"
+    )
+
+
+def test_paper_scale_classify_stream_vs_materialize(tmp_path, paper_ecosystem):
+    """At 2000 GPTs, shard-partitioned classification must cost at most
+    ``MAX_CLASSIFY_WALL_RATIO``x materialize-then-classify, with
+    byte-identical labels."""
+    from repro.analysis.streaming import classify_shards
+    from repro.classification.classifier import ClassifierConfig, DataCollectionClassifier
+    from repro.classification.descriptions import extract_descriptions
+    from repro.io import canonical_json, classification_to_payload
+    from repro.llm.simulated import SimulatedLLM
+    from repro.taxonomy.builtin import load_builtin_taxonomy
+
+    corpus = CrawlPipeline.from_ecosystem(paper_ecosystem, seed=SEED).run()
+    store = ShardedCorpusStore.write_corpus(
+        corpus, tmp_path / "shards", n_shards=SHARDS_PAPER
+    )
+    taxonomy = load_builtin_taxonomy()
+    llm = SimulatedLLM(knowledge_taxonomy=taxonomy, seed=SEED)
+    config = ClassifierConfig(use_fewshot=False)
+
+    def materialize_then_classify():
+        rebuilt = store.load_corpus()
+        classifier = DataCollectionClassifier(taxonomy=taxonomy, llm=llm, config=config)
+        return classifier.classify_many(extract_descriptions(rebuilt))
+
+    def streamed():
+        return classify_shards(
+            store, taxonomy=taxonomy, llm=llm, fewshot_store=None,
+            config=config, workers=WORKERS,
+        )
+
+    single_s, single = _best(materialize_then_classify, repeats=CHILD_REPEATS)
+    stream_s, streamed_result = _best(streamed, repeats=CHILD_REPEATS)
+
+    identical = canonical_json(classification_to_payload(streamed_result)) == (
+        canonical_json(classification_to_payload(single))
+    )
+    INVARIANTS["classify_2000_byte_identical"] = identical
+    INVARIANTS["classify_2000_wall_ratio"] = round(stream_s / single_s, 3)
+    assert identical, "streamed classification diverged from classify_many at 2000"
+    assert stream_s <= MAX_CLASSIFY_WALL_RATIO * single_s, (
+        f"streamed classification {stream_s:.2f}s vs materialize-then-"
+        f"classify {single_s:.2f}s at 2000 GPTs "
+        f"(must stay within {MAX_CLASSIFY_WALL_RATIO}x)"
     )
 
 

@@ -17,7 +17,7 @@ import numpy as np
 
 from repro.analysis.party import ActionPartyIndex, build_party_index
 from repro.classification.results import ClassificationResult
-from repro.crawler.corpus import CrawlCorpus
+from repro.io import CorpusSource
 
 
 @dataclass(frozen=True)
@@ -215,13 +215,13 @@ class CollectionAccumulator:
 
 
 def analyze_collection(
-    corpus: CrawlCorpus,
+    corpus: CorpusSource,
     classification: ClassificationResult,
     party_index: Optional[ActionPartyIndex] = None,
 ) -> CollectionAnalysis:
     """Compute Table 4 / Figure 7 statistics from a classified corpus."""
     party_index = party_index or build_party_index(corpus)
     accumulator = CollectionAccumulator(classification.action_data_types())
-    for gpt in corpus.iter_gpts():
+    for gpt in corpus.iter_records():
         accumulator.update(gpt)
     return accumulator.finalize(party_index)

@@ -14,7 +14,7 @@ from typing import Dict, List, Optional, Tuple
 
 import networkx as nx
 
-from repro.crawler.corpus import CrawlCorpus
+from repro.io import CorpusSource
 
 
 @dataclass
@@ -138,9 +138,9 @@ class CooccurrenceAccumulator:
         return analysis
 
 
-def analyze_cooccurrence(corpus: CrawlCorpus) -> CooccurrenceAnalysis:
+def analyze_cooccurrence(corpus: CorpusSource) -> CooccurrenceAnalysis:
     """Build the Action co-occurrence graph for a corpus."""
     accumulator = CooccurrenceAccumulator()
-    for gpt in corpus.iter_gpts():
+    for gpt in corpus.iter_records():
         accumulator.update(gpt)
     return accumulator.finalize()

@@ -12,7 +12,7 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict
 
-from repro.crawler.corpus import CrawlCorpus
+from repro.io import CorpusSource
 from repro.web.psl import registrable_domain
 
 
@@ -104,9 +104,9 @@ class MultiActionAccumulator:
         return analysis
 
 
-def analyze_multi_action(corpus: CrawlCorpus) -> MultiActionAnalysis:
+def analyze_multi_action(corpus: CorpusSource) -> MultiActionAnalysis:
     """Compute Section 4.4.1 statistics for a corpus."""
     accumulator = MultiActionAccumulator()
-    for gpt in corpus.iter_gpts():
+    for gpt in corpus.iter_records():
         accumulator.update(gpt)
     return accumulator.finalize()

@@ -11,7 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.crawler.corpus import CrawlCorpus, CrawledGPT
+from repro.crawler.corpus import CrawledGPT
+from repro.io import CorpusSource
 from repro.web.thirdparty import ThirdPartyClassifier
 
 
@@ -103,11 +104,11 @@ class ActionPartyAccumulator:
 
 
 def build_party_index(
-    corpus: CrawlCorpus,
+    corpus: CorpusSource,
     classifier: Optional[ThirdPartyClassifier] = None,
 ) -> ActionPartyIndex:
     """Attribute every Action embedding in a corpus to first or third party."""
     accumulator = ActionPartyAccumulator(classifier)
-    for gpt in corpus.iter_gpts():
+    for gpt in corpus.iter_records():
         accumulator.update(gpt)
     return accumulator.finalize()

@@ -12,7 +12,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.party import ActionPartyIndex, build_party_index
 from repro.classification.results import ClassificationResult
-from repro.crawler.corpus import CrawlCorpus
+from repro.io import CorpusSource
 
 
 @dataclass(frozen=True)
@@ -127,7 +127,7 @@ class PrevalenceAccumulator:
 
 
 def analyze_prevalence(
-    corpus: CrawlCorpus,
+    corpus: CorpusSource,
     classification: ClassificationResult,
     party_index: Optional[ActionPartyIndex] = None,
     min_gpts: int = 2,
@@ -140,7 +140,7 @@ def analyze_prevalence(
     """
     party_index = party_index or build_party_index(corpus)
     accumulator = PrevalenceAccumulator()
-    for gpt in corpus.iter_gpts():
+    for gpt in corpus.iter_records():
         accumulator.update(gpt)
     return accumulator.finalize(
         classification, party_index, min_gpts=min_gpts, third_party_only=third_party_only

@@ -12,7 +12,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.classification.results import ClassificationResult
-from repro.crawler.corpus import CrawlCorpus
+from repro.io import CorpusSource
 from repro.taxonomy.builtin import PROHIBITED_CATEGORIES
 from repro.taxonomy.schema import DataTaxonomy
 
@@ -121,7 +121,7 @@ class ProhibitedAccumulator:
 
 
 def analyze_prohibited(
-    corpus: CrawlCorpus,
+    corpus: CorpusSource,
     classification: ClassificationResult,
     taxonomy: Optional[DataTaxonomy] = None,
     prohibited_categories: Tuple[str, ...] = PROHIBITED_CATEGORIES,
@@ -131,6 +131,6 @@ def analyze_prohibited(
         find_offending_actions(classification, taxonomy, prohibited_categories),
         classification.action_data_types(),
     )
-    for gpt in corpus.iter_gpts():
+    for gpt in corpus.iter_records():
         accumulator.update(gpt)
     return accumulator.finalize()

@@ -21,6 +21,16 @@ the same measurements as a **map-reduce** over its shards:
   folding per-Action outcomes straight into a
   :class:`~repro.analysis.disclosure.DisclosureAccumulator` — the policy
   report itself is never materialized;
+* **description-extraction map** — one task per GPT shard collects each
+  Action's data descriptions keyed by ``(gpt discovery index, action
+  position)``; the reduce reconstructs the exact global description list
+  (first-occurrence order over the discovery-ordered corpus) without
+  materializing the corpus;
+* **classification map** — the global description list is classified in
+  batch-aligned chunks (:data:`CLASSIFY_CHUNK_BATCHES`); the classifier's
+  fixed inputs (taxonomy, LLM, few-shot store, config) are broadcast once
+  on a warm process pool, and chunk labels concatenate in submission order
+  to the byte-identical ``classify_many`` result;
 * **reduce** — shard partials merge (``accumulator.merge``), near-duplicate
   LSH candidates band over the *union* of the shard signatures and get
   exact-verified against only the candidate texts, and everything is
@@ -52,7 +62,8 @@ from repro.analysis.party import ActionPartyAccumulator, ActionPartyIndex
 from repro.analysis.prevalence import PrevalenceAccumulator
 from repro.analysis.prohibited import ProhibitedAccumulator, find_offending_actions
 from repro.analysis.tools import ToolUsageAccumulator
-from repro.classification.results import ClassificationResult
+from repro.classification.descriptions import DataDescription
+from repro.classification.results import ClassificationResult, DescriptionLabel
 from repro.crawler.corpus import CrawledGPT
 from repro.crawler.engine import CrawlEngine, CrawlTask
 from repro.exec import ExecutionBackend, WorkerPool, resolve_pool, shared_state
@@ -262,6 +273,74 @@ def _map_policy_shard_shared(index: int) -> Dict[str, object]:
     )
 
 
+# ---------------------------------------------------------------------------
+# Shard-partitioned classification
+# ---------------------------------------------------------------------------
+#: Chunk size of the classification map, in classifier batches.  Chunk
+#: boundaries always land on batch boundaries, so batch composition — and
+#: with it every prompt, since the pooled few-shot example union is built
+#: per batch — is identical to one global ``classify_many`` call at any
+#: chunk count, worker count, or backend.
+CLASSIFY_CHUNK_BATCHES = 8
+
+#: Broadcast key for the shared classifier inputs (taxonomy, LLM, few-shot
+#: store, config): classification tasks carry only their description chunk.
+STREAM_CLASSIFY_KEY = "stream/classify-pass"
+
+
+def _map_extract_shard(root: str, index: int) -> List[Tuple[int, int, str, List[Tuple[str, str]]]]:
+    """Extract one GPT shard's data descriptions with global order keys.
+
+    Returns one row per *first in-shard occurrence* of an Action:
+    ``(gpt discovery index, action position, action id, [(parameter name,
+    description text), …])``.  The coordinator keeps the globally smallest
+    key per Action and sorts — which reproduces, exactly, the
+    first-occurrence order of ``CrawlCorpus.unique_actions()`` over the
+    discovery-ordered corpus, and therefore the exact description list of
+    :func:`repro.classification.descriptions.extract_descriptions`.
+    """
+    store = ShardedCorpusStore(root)
+    rows: List[Tuple[int, int, str, List[Tuple[str, str]]]] = []
+    seen: set = set()
+    for discovery_index, gpt in store.iter_shard_gpts_indexed(index):
+        for position, action in enumerate(gpt.actions):
+            if action.action_id in seen:
+                continue
+            seen.add(action.action_id)
+            pairs = [
+                (name, text)
+                for (name, _), text in zip(action.parameters, action.data_descriptions())
+            ]
+            rows.append((discovery_index, position, action.action_id, pairs))
+    return rows
+
+
+def _classify_chunk(
+    spec: Mapping[str, object], chunk: Sequence[DataDescription]
+) -> List[DescriptionLabel]:
+    """Classify one batch-aligned chunk of the global description list.
+
+    The classifier's only inputs besides the chunk are fixed shared state
+    (taxonomy, LLM, few-shot store, config) and every simulated-LLM
+    decision is a pure function of its prompt, so chunk results concatenate
+    to the byte-identical global classification.
+    """
+    from repro.classification.classifier import DataCollectionClassifier
+
+    classifier = DataCollectionClassifier(
+        taxonomy=spec["taxonomy"],
+        llm=spec["llm"],
+        fewshot_store=spec["fewshot_store"],
+        config=spec["config"],
+    )
+    return classifier.classify_many(list(chunk)).labels
+
+
+def _classify_chunk_shared(chunk: Sequence[DataDescription]) -> List[DescriptionLabel]:
+    """Warm-pool classification task: the classifier inputs are broadcast."""
+    return _classify_chunk(shared_state(STREAM_CLASSIFY_KEY), chunk)
+
+
 class ShardAnalysisRunner:
     """Runs streaming analyses shard-parallel on an execution backend.
 
@@ -332,6 +411,101 @@ class ShardAnalysisRunner:
                 else:
                     merged[name] = accumulator
         return merged
+
+    def extract_descriptions(self) -> List[DataDescription]:
+        """Extract every data description, shard-parallel, in global order.
+
+        One map task per GPT shard collects the shard's first-occurrence
+        Actions keyed by ``(gpt discovery index, action position)``; the
+        reduce keeps the globally smallest key per Action and sorts.  The
+        result is the exact list ``extract_descriptions(corpus)`` would
+        return for the materialized discovery-order corpus — without ever
+        materializing it.
+        """
+        tasks = [
+            CrawlTask(
+                key=f"extract-{index:05d}",
+                fn=_map_extract_shard,
+                args=(str(self.store.root), index),
+            )
+            for index in range(self.store.n_shards)
+        ]
+        best: Dict[str, Tuple[Tuple[int, int], List[Tuple[str, str]]]] = {}
+        for outcome in self.engine.run(tasks):
+            if not outcome.ok:
+                raise RuntimeError(
+                    f"description extraction {outcome.key!r} failed: {outcome.error}"
+                )
+            for gpt_index, position, action_id, pairs in outcome.result:
+                key = (gpt_index, position)
+                current = best.get(action_id)
+                if current is None or key < current[0]:
+                    best[action_id] = (key, pairs)
+        descriptions: List[DataDescription] = []
+        for action_id, (_, pairs) in sorted(best.items(), key=lambda item: item[1][0]):
+            for name, text in pairs:
+                descriptions.append(
+                    DataDescription(action_id=action_id, parameter_name=name, text=text)
+                )
+        return descriptions
+
+    def classify(
+        self,
+        taxonomy: DataTaxonomy,
+        llm: object,
+        fewshot_store: object,
+        config: object,
+        descriptions: Optional[Sequence[DataDescription]] = None,
+    ) -> ClassificationResult:
+        """Shard-partitioned classification of the store's descriptions.
+
+        The global (discovery-order) description list is cut into chunks of
+        ``CLASSIFY_CHUNK_BATCHES`` classifier batches and classified as map
+        tasks; chunk labels concatenate in submission order.  Because chunk
+        boundaries are batch boundaries and the classifier inputs are fixed
+        shared state (broadcast once on a warm process pool), the result is
+        byte-identical to ``classify_many`` over the whole list — at any
+        backend, worker count, or shard count.
+        """
+        if descriptions is None:
+            descriptions = self.extract_descriptions()
+        result = ClassificationResult()
+        if not descriptions:
+            return result
+        chunk_size = max(1, int(getattr(config, "batch_size", 8))) * CLASSIFY_CHUNK_BATCHES
+        chunks = [
+            list(descriptions[start : start + chunk_size])
+            for start in range(0, len(descriptions), chunk_size)
+        ]
+        spec = {
+            "taxonomy": taxonomy,
+            "llm": llm,
+            "fewshot_store": fewshot_store,
+            "config": config,
+        }
+        pool = self.pool
+        if pool is not None and pool.is_process:
+            pool.broadcast(STREAM_CLASSIFY_KEY, spec)
+            tasks = [
+                CrawlTask(
+                    key=f"classify-{index:05d}", fn=_classify_chunk_shared, args=(chunk,)
+                )
+                for index, chunk in enumerate(chunks)
+            ]
+        else:
+            tasks = [
+                CrawlTask(
+                    key=f"classify-{index:05d}", fn=_classify_chunk, args=(spec, chunk)
+                )
+                for index, chunk in enumerate(chunks)
+            ]
+        for outcome in self.engine.run(tasks):
+            if not outcome.ok:
+                raise RuntimeError(
+                    f"classification chunk {outcome.key!r} failed: {outcome.error}"
+                )
+            result.labels.extend(outcome.result)
+        return result
 
     def _fetch_normalized_texts(self, urls: Sequence[str]) -> Dict[str, str]:
         """Re-read (only) the requested policy texts, normalized.
@@ -589,4 +763,26 @@ def analyze_shards(
             llm=llm,
             single_pass_policy=single_pass_policy,
             near_duplicate_method=near_duplicate_method,
+        )
+
+
+def classify_shards(
+    store: ShardedCorpusStore,
+    taxonomy: DataTaxonomy,
+    llm: object,
+    fewshot_store: object,
+    config: object,
+    workers: int = 0,
+    backend: Union[str, ExecutionBackend, None] = None,
+    descriptions: Optional[Sequence[DataDescription]] = None,
+) -> ClassificationResult:
+    """Convenience wrapper: shard-partitioned classification in one call.
+
+    Extraction (when ``descriptions`` is not supplied) and classification
+    run on the same runner/backend; see :meth:`ShardAnalysisRunner.classify`
+    for the byte-identity argument.
+    """
+    with ShardAnalysisRunner(store, workers=workers, backend=backend) as runner:
+        return runner.classify(
+            taxonomy, llm, fewshot_store, config, descriptions=descriptions
         )

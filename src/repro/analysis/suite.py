@@ -52,7 +52,29 @@ from repro.taxonomy.schema import DataTaxonomy
 
 @dataclass
 class SuiteConfig:
-    """Configuration of a full measurement run."""
+    """Configuration of a full measurement run.
+
+    **Knob naming.**  Knobs are grouped by the stage they configure:
+    measurement knobs are bare (``n_gpts``, ``seed``, ``fewshot_k``, …),
+    crawl-stage execution knobs are ``crawl_*``, sharded-store knobs are
+    ``shard*``, and ``backend`` picks the :mod:`repro.exec` backend for all
+    sharded work.  Execution knobs never change measured values — only how
+    (and how fast) they are produced.
+
+    **Sharding semantics — the one place they are documented.**
+    ``shards=0`` (the default) is the unsharded path: the crawl builds an
+    in-memory :class:`~repro.crawler.corpus.CrawlCorpus` and every analysis
+    runs on it directly; ``shard_workers``, ``shard_dir``, and ``backend``
+    have nothing to act on and :meth:`validate` rejects them.  ``shards=N``
+    (N >= 1) is the sharded path: the shard-partitioned crawl streams
+    records into an N-shard on-disk store, and every stage downstream —
+    corpus analyses, description extraction, classification, and the
+    policy analyses — runs shard-parallel in bounded memory, byte-identical
+    to the unsharded path.  ``suite.corpus`` stays available as a thin
+    compatibility property (it materializes the store in discovery order;
+    no second crawl), and ``suite.corpus_source`` is the layout-agnostic
+    :class:`~repro.io.CorpusSource` view analyses should prefer.
+    """
 
     n_gpts: int = 2000
     seed: int = 0
@@ -89,10 +111,61 @@ class SuiteConfig:
     #: ``shards``, it is an execution knob that never changes measured
     #: values.  "process" spawns one warm worker pool for the suite's
     #: whole lifetime (crawl through analyses); call ``suite.close()`` —
-    #: or use the suite as a context manager — to release it.  (The in-memory corpus crawl keeps its thread engine: its
-    #: record order — which downstream sampling depends on — is defined by
-    #: the unsharded dataflow.)
+    #: or use the suite as a context manager — to release it.
     backend: Optional[str] = None
+
+    def validate(self) -> "SuiteConfig":
+        """Reject contradictory knob combinations with actionable messages.
+
+        Called by :class:`MeasurementSuite` on construction, so a
+        misconfigured run fails at build time instead of deep inside a
+        crawl or analysis pass.  Returns ``self`` for chaining.
+        """
+        problems = []
+        if self.n_gpts <= 0:
+            problems.append("n_gpts must be positive")
+        if self.shards < 0:
+            problems.append(
+                "shards must be >= 0 (0 = unsharded in-memory corpus, "
+                "N >= 1 = N-shard on-disk store)"
+            )
+        if self.shard_workers < 0 or self.crawl_workers < 0:
+            problems.append("worker counts must be >= 0 (0/1 = sequential)")
+        if self.shards == 0 and self.shard_workers > 0:
+            problems.append(
+                "shard_workers has no effect without sharding — "
+                "set shards=N (N >= 1) to shard the corpus, or drop shard_workers"
+            )
+        if self.shards == 0 and self.shard_dir is not None:
+            problems.append(
+                "shard_dir has no effect without sharding — "
+                "set shards=N (N >= 1) to write a sharded store there, or drop shard_dir"
+            )
+        if self.shards == 0 and self.backend is not None:
+            problems.append(
+                "backend has no effect without sharding (it only drives the "
+                "shard-partitioned crawl and shard-parallel analyses) — "
+                "set shards=N (N >= 1), or drop backend"
+            )
+        if self.backend not in (None, "serial", "thread", "process"):
+            problems.append(
+                f"unknown backend {self.backend!r} — "
+                "pick 'serial', 'thread', or 'process' (or None for the default)"
+            )
+        if self.backend == "process" and self.crawl_rate_limits:
+            problems.append(
+                "crawl_rate_limits cannot be combined with backend='process': "
+                "per-host token buckets do not span processes — use the "
+                "thread backend for rate-limited crawls"
+            )
+        if self.crawl_resume and self.crawl_checkpoint_dir is None:
+            problems.append(
+                "crawl_resume=True needs crawl_checkpoint_dir — "
+                "point it at the directory the interrupted crawl checkpointed into"
+            )
+        if problems:
+            raise ValueError("invalid SuiteConfig: " + "; ".join(problems))
+        return self
 
 
 class MeasurementSuite:
@@ -108,7 +181,7 @@ class MeasurementSuite:
         corpus: Optional[CrawlCorpus] = None,
         classification: Optional[ClassificationResult] = None,
     ) -> None:
-        self.config = config or SuiteConfig()
+        self.config = (config or SuiteConfig()).validate()
         self.taxonomy = taxonomy or load_builtin_taxonomy()
         self.ecosystem_config = ecosystem_config or EcosystemConfig.paper_calibrated(
             n_gpts=self.config.n_gpts, seed=self.config.seed
@@ -213,20 +286,33 @@ class MeasurementSuite:
 
     @property
     def corpus(self) -> CrawlCorpus:
-        """The crawled corpus (concurrent and resumable when configured).
+        """The materialized corpus — a thin compatibility property.
 
-        Always the unsharded dataflow (records in discovery order — the
-        order downstream description sampling is seeded against), even when
-        the suite's *analyses* run sharded.  A shard store built first by a
-        crawl-only workload cannot substitute here: ``load_corpus`` rebuilds
-        in shard-major order, which would reseed description sampling and
-        break sharded-vs-unsharded byte-identity — so a sharded suite that
-        later needs classification pays a second, unsharded crawl (see the
-        ROADMAP open item on recording discovery order in the shard store).
+        On a sharded suite it rebuilds from the shard store in exact
+        discovery order (the store records each record's discovery index),
+        so there is never a second crawl and downstream seeded sampling
+        sees the same record order either way.  Prefer
+        :attr:`corpus_source` — materializing defeats bounded-memory
+        sharding, and ``make lint`` rejects new ``load_corpus`` calls in
+        analysis code.
         """
         if self._corpus is None:
-            self._corpus = self._build_pipeline().run()
+            if self.sharded:
+                self._corpus = self.shard_store.load_corpus()  # lint-allow-materialize: the compat property
+            else:
+                self._corpus = self._build_pipeline().run()
         return self._corpus
+
+    @property
+    def corpus_source(self):
+        """The suite's :class:`~repro.io.CorpusSource`: one record-read API.
+
+        The shard store when sharded, the in-memory corpus otherwise —
+        callers iterate records (or shards) without branching on layout.
+        """
+        if self.sharded:
+            return self.shard_store
+        return self.corpus
 
     @property
     def sharded(self) -> bool:
@@ -268,6 +354,16 @@ class MeasurementSuite:
                 )
         return self._shard_store
 
+    def _stream_runner(self):
+        """A shard-analysis runner on the suite's store, workers, and pool."""
+        from repro.analysis.streaming import ShardAnalysisRunner
+
+        return ShardAnalysisRunner(
+            self.shard_store,
+            workers=self.config.shard_workers,
+            backend=self._execution_backend(),
+        )
+
     def _streamed(self, names: List[str]) -> None:
         """Compute streamed analyses shard-parallel and prime the cache.
 
@@ -276,19 +372,13 @@ class MeasurementSuite:
         either); everything requested lands in ``_cache`` /
         ``_party_index`` in one pass per record kind over the shards.
         """
-        from repro.analysis.streaming import ShardAnalysisRunner
-
         classification = None
         if any(
             name in ("collection", "coverage", "prohibited", "prevalence", "disclosure")
             for name in names
         ):
             classification = self.classification
-        runner = ShardAnalysisRunner(
-            self.shard_store,
-            workers=self.config.shard_workers,
-            backend=self._execution_backend(),
-        )
+        runner = self._stream_runner()
         results = runner.run(
             names,
             classification=classification,
@@ -309,9 +399,17 @@ class MeasurementSuite:
 
     @property
     def descriptions(self) -> List[DataDescription]:
-        """All data descriptions extracted from the corpus."""
+        """All data descriptions, in corpus first-occurrence order.
+
+        On the sharded path they are extracted shard-parallel from the
+        store and merged on global discovery index, which reproduces the
+        in-memory extraction order exactly — no corpus materialization.
+        """
         if self._descriptions is None:
-            self._descriptions = extract_descriptions(self.corpus)
+            if self.sharded and self._corpus is None:
+                self._descriptions = self._stream_runner().extract_descriptions()
+            else:
+                self._descriptions = extract_descriptions(self.corpus)
         return self._descriptions
 
     @property
@@ -331,24 +429,44 @@ class MeasurementSuite:
             self._fewshot_store = FewShotStore(examples, default_k=self.config.fewshot_k)
         return self._fewshot_store
 
+    def _classifier_config(self) -> ClassifierConfig:
+        return ClassifierConfig(
+            fewshot_k=self.config.fewshot_k,
+            two_phase=self.config.two_phase,
+            use_fewshot=self.config.use_fewshot,
+        )
+
     def build_classifier(self) -> DataCollectionClassifier:
         """Construct the classifier with the suite's configuration."""
         return DataCollectionClassifier(
             taxonomy=self.taxonomy,
             llm=self.llm,
             fewshot_store=self.fewshot_store,
-            config=ClassifierConfig(
-                fewshot_k=self.config.fewshot_k,
-                two_phase=self.config.two_phase,
-                use_fewshot=self.config.use_fewshot,
-            ),
+            config=self._classifier_config(),
         )
 
     @property
     def classification(self) -> ClassificationResult:
-        """Classification of every extracted data description."""
+        """Classification of every extracted data description.
+
+        Sharded suites classify in batch-aligned chunks fanned out over
+        the shard workers (the few-shot store rides the warm pool's
+        broadcast channel); labels are byte-identical to the in-memory
+        ``classify_many`` pass at any worker count or backend.
+        """
         if self._classification is None:
-            self._classification = self.build_classifier().classify_many(self.descriptions)
+            if self.sharded and self._corpus is None:
+                self._classification = self._stream_runner().classify(
+                    taxonomy=self.taxonomy,
+                    llm=self.llm,
+                    fewshot_store=self.fewshot_store,
+                    config=self._classifier_config(),
+                    descriptions=self.descriptions,
+                )
+            else:
+                self._classification = self.build_classifier().classify_many(
+                    self.descriptions
+                )
         return self._classification
 
     @property

@@ -11,7 +11,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 from repro.analysis.party import ActionPartyIndex, build_party_index
-from repro.crawler.corpus import CrawlCorpus
+from repro.io import CorpusSource
 
 #: Manifest tool-type strings and the display names Table 3 uses.
 TOOL_DISPLAY_NAMES: Dict[str, str] = {
@@ -96,12 +96,12 @@ class ToolUsageAccumulator:
 
 
 def analyze_tool_usage(
-    corpus: CrawlCorpus,
+    corpus: CorpusSource,
     party_index: Optional[ActionPartyIndex] = None,
 ) -> ToolUsageAnalysis:
     """Compute Table 3 for a corpus."""
     party_index = party_index or build_party_index(corpus)
     accumulator = ToolUsageAccumulator()
-    for gpt in corpus.iter_gpts():
+    for gpt in corpus.iter_records():
         accumulator.update(gpt)
     return accumulator.finalize(party_index)

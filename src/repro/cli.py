@@ -35,10 +35,11 @@ shard-parallel, with byte-identical results at any shard or worker count.
 (:meth:`repro.crawler.pipeline.CrawlPipeline.run_sharded`): the listing
 frontier is hash-partitioned, per-shard sub-pipelines stream resolved GPTs
 and policies straight into the shard store, and no whole-run corpus is ever
-materialized — so crawl memory is bounded by the largest shard.  (Commands
-that also classify, e.g. ``analyze``, still materialize the corpus for the
-classification stage; the fully memory-bounded 100k-GPT ingest is the
-library-level :func:`repro.ecosystem.generator.generate_sharded_corpus`.)
+materialized — so crawl memory is bounded by the largest shard.  Commands
+that also classify (e.g. ``analyze``) stay on that path: the description
+extraction and the classification pass stream shard-by-shard from the same
+store, so a sharded run performs exactly one crawl and never rebuilds the
+whole corpus in memory.
 
 Global ``--backend {serial,thread,process}`` selects the execution backend
 (:mod:`repro.exec`) for all sharded work — the partitioned crawl's
@@ -112,7 +113,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         collection = suite.collection
         prohibited = suite.prohibited
         disclosure = suite.disclosure
-        print(suite.corpus.summary())
+        print(suite.corpus_source.summary())
         print(f"Data categories observed: {collection.n_categories_observed()}")
         print(f"Data types observed: {collection.n_types_observed()}")
         print(f"Actions collecting 5+ items: {collection.share_with_at_least(5):.1%}")

@@ -177,6 +177,12 @@ class CrawlCorpus:
     store_link_counts: Dict[str, int] = field(default_factory=dict)
     #: GPT identifiers that failed to resolve on the gizmo API.
     unresolved_gpt_ids: List[str] = field(default_factory=list)
+    #: GPT id → global discovery index: the identifier's position in the
+    #: coordinator's listing order.  Unresolved identifiers consume an
+    #: index too, so indices may have holes.  Stamped by the crawl
+    #: pipeline (and by ``ShardedCorpusStore.load_corpus``); empty on
+    #: hand-built corpora, where insertion order is the discovery order.
+    discovery_indices: Dict[str, int] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     # Incremental merging (used by the crawl engine's stages, and for
@@ -188,8 +194,10 @@ class CrawlCorpus:
             self.store_link_counts.get(store_name, 0) + n_links
         )
 
-    def merge_gpt(self, gpt: CrawledGPT) -> None:
+    def merge_gpt(self, gpt: CrawledGPT, discovery_index: Optional[int] = None) -> None:
         """Add one resolved GPT, updating per-store success counts."""
+        if discovery_index is not None:
+            self.discovery_indices[gpt.gpt_id] = discovery_index
         previous = self.gpts.get(gpt.gpt_id)
         if previous is not None:
             # Re-crawled GPT: retract the old store attribution first.
@@ -217,7 +225,7 @@ class CrawlCorpus:
         for store, n_links in other.store_link_counts.items():
             self.merge_listing(store, n_links)
         for gpt in other.iter_gpts():
-            self.merge_gpt(gpt)
+            self.merge_gpt(gpt, discovery_index=other.discovery_indices.get(gpt.gpt_id))
         for gpt_id in other.unresolved_gpt_ids:
             self.merge_unresolved(gpt_id)
         for url, result in other.policies.items():
@@ -230,6 +238,44 @@ class CrawlCorpus:
     def iter_gpts(self) -> Iterator[CrawledGPT]:
         """Iterate over crawled GPTs."""
         return iter(self.gpts.values())
+
+    # ------------------------------------------------------------------
+    # CorpusSource protocol (see repro.io.CorpusSource)
+    # ------------------------------------------------------------------
+    def iter_records(self) -> Iterator[CrawledGPT]:
+        """Stream every GPT record in discovery order.
+
+        Insertion order *is* discovery order for a crawled corpus (the
+        pipeline merges resolve results in listing order), so this is
+        plain dict iteration.
+        """
+        return iter(self.gpts.values())
+
+    def iter_shard(self, index: int) -> Iterator[CrawledGPT]:
+        """Stream one shard's records: an in-memory corpus is one shard."""
+        if index != 0:
+            raise IndexError(f"in-memory corpus has exactly one shard, not {index + 1}")
+        return iter(self.gpts.values())
+
+    @property
+    def n_shards(self) -> int:
+        """An in-memory corpus always presents as a single shard."""
+        return 1
+
+    @property
+    def n_records(self) -> int:
+        """Total GPT records."""
+        return len(self.gpts)
+
+    def fingerprint(self) -> str:
+        """Content address of the corpus (records + policies + metadata)."""
+        # Imported lazily: repro.io.corpus imports this module.
+        from repro.io.artifacts import config_fingerprint
+        from repro.io.corpus import corpus_to_payload, policies_to_payload
+
+        return config_fingerprint(
+            {"corpus": corpus_to_payload(self), "policies": policies_to_payload(self)}
+        )
 
     def action_embedding_gpts(self) -> List[CrawledGPT]:
         """GPTs that embed at least one Action."""

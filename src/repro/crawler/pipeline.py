@@ -38,11 +38,13 @@ shards partition the URL space (identifiers route resolve URLs, policy URLs
 route themselves) and every failure/retry draw is a pure function of
 ``(seed, url, attempt)``, the produced store is **byte-identical** to
 sharding the unsharded crawl's corpus — at any backend (serial, thread,
-process), any worker count, cold or resumed.  :meth:`CrawlPipeline.run`
-keeps the unsharded API: with ``shards > 1`` (or the process backend) it
-runs the partitioned crawl and folds the per-shard corpora back together
-via :meth:`CrawlCorpus.merge` (record order is then shard-major; contents
-are identical).
+process), any worker count, cold or resumed.  Each record is stamped with its
+global **discovery index** (the identifier's position in the coordinator's
+listing frontier — the same index the unsharded resolve merge assigns), so
+:meth:`CrawlPipeline.run` keeps the unsharded API exactly: with
+``shards > 1`` (or the process backend) it runs the partitioned crawl and
+rebuilds the corpus via :meth:`~repro.io.shards.ShardedCorpusStore.load_corpus`,
+in byte-identical discovery order.
 
 On the process backend, each shard sub-pipeline is rebuilt inside the
 worker from a picklable :class:`ShardCrawlSpec` (ecosystem + seed + failure
@@ -321,7 +323,19 @@ class CrawlPipeline:
         def encode(result: object) -> object:
             return {"status": result.status, "manifest": result.manifest}
 
+        # Global discovery indices: each identifier's position in the
+        # de-duplicated listing frontier.  Unresolved identifiers consume
+        # an index too, so the sharded coordinator (which stamps from the
+        # same frontier before resolution outcomes are known) agrees
+        # byte-for-byte.  Built lazily: the frontier is final once the
+        # listing stage has merged, before the first resolve merge runs.
+        positions: Dict[str, int] = {}
+
         def merge(identifier: str, payload: object) -> None:
+            if not positions:
+                positions.update(
+                    {ident: index for index, ident in enumerate(identifier_sources)}
+                )
             manifest = payload.get("manifest")
             if manifest is None:
                 corpus.merge_unresolved(identifier)
@@ -331,7 +345,7 @@ class CrawlPipeline:
             stores = identifier_sources.get(identifier, [])
             gpt = CrawledGPT.from_manifest(manifest, source_store=stores[0] if stores else None)
             gpt.source_stores = sorted(set(stores))
-            corpus.merge_gpt(gpt)
+            corpus.merge_gpt(gpt, discovery_index=positions[identifier])
 
         return CrawlStage("resolve", build_tasks, encode, merge)
 
@@ -623,6 +637,15 @@ class CrawlPipeline:
         writer = ShardedCorpusWriter(shard_dir, n_shards=self.shards, flush_every=flush_every)
         unresolved: Set[str] = set()
         policy_urls: Set[str] = set()
+        # The coordinator owns the listing order, so it stamps each record's
+        # global discovery index — the identifier's frontier position, the
+        # same index the unsharded ``_resolve_stage`` merge assigns.  Each
+        # shard's id list is a frontier subsequence and records come back in
+        # key order, so every shard file is written index-ascending (the
+        # invariant the store's discovery-order merge reads rely on).
+        frontier_position = {
+            identifier: position for position, identifier in enumerate(identifier_order)
+        }
 
         # Stage 2 — resolve, one sub-pipeline per shard.  Resolved GPTs
         # stream straight into the shard writer (each shard's records route
@@ -643,7 +666,7 @@ class CrawlPipeline:
                 for action in gpt.actions:
                     if action.legal_info_url:
                         policy_urls.add(action.legal_info_url)
-                writer.add_gpt(gpt)
+                writer.add_gpt(gpt, discovery_index=frontier_position[identifier])
 
         self._run_shard_phase("resolve", shard_ids, consume_resolve)
 
@@ -761,10 +784,10 @@ class CrawlPipeline:
 
         With ``shards > 1`` (or the process backend) this is the
         compatibility path over :meth:`run_sharded`: the partitioned crawl
-        streams into a temporary sharded store whose per-shard corpora are
-        folded back together via :meth:`CrawlCorpus.merge`.  Record order is
-        then shard-major rather than discovery order; record contents,
-        statistics, and every (order-canonical) analysis are identical.
+        streams into a temporary sharded store, and the corpus is rebuilt
+        from it in **exact discovery order** (the store records each
+        record's discovery index) — byte-identical to an unsharded run,
+        record order included.
 
         Raises
         ------
@@ -775,18 +798,10 @@ class CrawlPipeline:
         """
         if self.shards > 1 or self._wants_process_backend():
             with tempfile.TemporaryDirectory(prefix="repro-crawl-shards-") as root:
-                store = self.run_sharded(root)
-                corpus = CrawlCorpus()
-                for shard in range(store.n_shards):
-                    shard_corpus = CrawlCorpus()
-                    for gpt in store.iter_shard_gpts(shard):
-                        shard_corpus.merge_gpt(gpt)
-                    for result in store.iter_shard_policies(shard):
-                        shard_corpus.merge_policy(result.url, result)
-                    corpus.merge(shard_corpus)
-                corpus.store_counts = dict(store.manifest.store_counts)
-                corpus.store_link_counts = dict(store.manifest.store_link_counts)
-                corpus.unresolved_gpt_ids = list(store.manifest.unresolved_gpt_ids)
+                # The store records discovery indices, so the rebuilt corpus
+                # comes back in exact discovery order — identical record
+                # order (not just record set) to an unsharded run.
+                corpus = self.run_sharded(root).load_corpus()
             self.statistics.corpus = corpus
             return corpus
 

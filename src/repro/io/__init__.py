@@ -21,10 +21,15 @@ the compatibility serialization.  Each layer answers a different question:
   straight into a :class:`ShardedCorpusWriter` — the same SHA-256 route
   (:func:`shard_index`) partitions the crawl frontier, the checkpoint
   files, and the stored records, so one shard is a self-consistent slice of
-  the whole measurement.  Every consumer that should hold one record (or
-  one shard) at a time reads this format: the streaming analysis engine
-  (:mod:`repro.analysis.streaming` — including the policy-record analyses,
-  which never materialize the policy report), and the 100k-scale generation
+  the whole measurement.  Since manifest **schema 2**, every GPT record
+  carries its global *discovery index* (its position in the coordinator's
+  listing frontier), so the store can stream — or rebuild — the corpus in
+  the exact order the unsharded crawl discovers it; schema-1 stores stay
+  readable and fall back to shard-major order.  Every consumer that should
+  hold one record (or one shard) at a time reads this format: the streaming
+  analysis engine (:mod:`repro.analysis.streaming` — including the
+  policy-record analyses, which never materialize the policy report, and
+  the shard-partitioned classification pass), and the 100k-scale generation
   path.
 * :mod:`repro.io.checkpoint` — *"survive a kill."*  Incremental, resumable,
   optionally shard-partitioned crawl checkpoints
@@ -47,7 +52,58 @@ Rule of thumb: exporting results → ``corpus``; anything at 100k-GPT scale
 cross-run caching → ``artifacts``.  Execution topology — shard count,
 worker count, and the :mod:`repro.exec` backend — never changes stored
 bytes, only how fast they are produced.
+
+Consumers that only need *records* should not care which layout they are
+reading.  :class:`CorpusSource` is that seam: the structural protocol
+implemented by both :class:`~repro.crawler.corpus.CrawlCorpus` (in memory,
+one logical shard) and :class:`ShardedCorpusStore` (on disk, N shards),
+giving analyses and the experiment sweep one API — discovery-order
+streaming (``iter_records``), per-shard streaming (``iter_shard``), record
+counts, and a content fingerprint — instead of branching on sharded-ness.
 """
+
+from typing import Iterator, Protocol, runtime_checkable
+
+from repro.crawler.corpus import CrawledGPT
+
+
+@runtime_checkable
+class CorpusSource(Protocol):
+    """One read API over a crawled corpus, in memory or sharded on disk.
+
+    The protocol is deliberately record-oriented: it exposes exactly what
+    order-sensitive consumers (seeded description sampling, classification
+    batching) and shard-parallel consumers (the streaming analysis engine)
+    need, and nothing that would force materializing the whole corpus.
+    Implementations: :class:`~repro.crawler.corpus.CrawlCorpus` and
+    :class:`~repro.io.shards.ShardedCorpusStore`.
+    """
+
+    def iter_records(self) -> Iterator[CrawledGPT]:
+        """Stream every GPT record in global discovery order."""
+        ...
+
+    def iter_shard(self, index: int) -> Iterator[CrawledGPT]:
+        """Stream the GPT records of one shard."""
+        ...
+
+    @property
+    def n_shards(self) -> int:
+        """Number of shards (1 for an in-memory corpus)."""
+        ...
+
+    @property
+    def n_records(self) -> int:
+        """Total number of GPT records."""
+        ...
+
+    def fingerprint(self) -> str:
+        """Content address of the source's records and metadata."""
+        ...
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        ...
 
 from repro.io.artifacts import (
     ArtifactRecord,
@@ -84,6 +140,7 @@ __all__ = [
     "ArtifactRecord",
     "ArtifactStore",
     "ArtifactStoreStatistics",
+    "CorpusSource",
     "CrawlCheckpoint",
     "SHARD_ARTIFACT_KIND",
     "ShardInfo",

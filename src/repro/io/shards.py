@@ -27,20 +27,36 @@ Layout::
       gpts-00000.jsonl     # one GPT record per line (see repro.io.corpus.gpt_to_payload)
       policies-00000.jsonl # one policy fetch record per line
 
-The store is a *serialization* of a :class:`~repro.crawler.corpus.CrawlCorpus`:
-:meth:`ShardedCorpusStore.load_corpus` rebuilds one (shard-major order), and
-the streaming accumulators produce results identical to running the in-memory
-analyzers on that corpus.
+The store is a *serialization* of a :class:`~repro.crawler.corpus.CrawlCorpus`.
+Since schema 2, every GPT record carries its **global discovery index** — the
+record's position in the crawl coordinator's identifier listing order (the
+same order an unsharded crawl merges records into the corpus; unresolved
+identifiers consume an index, so indices may have holes).  Both write paths
+stamp identical indices, which makes two things possible:
+
+* :meth:`ShardedCorpusStore.iter_records` streams the whole store in exact
+  discovery order with O(n_shards) memory (each shard file is written
+  index-ascending, so a k-way heap merge suffices — no sort);
+* :meth:`ShardedCorpusStore.load_corpus` rebuilds a corpus whose record
+  order is byte-identical to the unsharded crawl, so order-sensitive
+  consumers (seeded description sampling, classification batching) no
+  longer need a second, unsharded crawl.
+
+Policy records carry no index: the crawl fetches policies in sorted-URL
+order, so the discovery order of policies is reconstructed by sorting.
+Schema-1 stores (no per-record index) remain readable; their iteration
+order falls back to shard-major, exactly as before the schema bump.
 """
 
 from __future__ import annotations
 
 import hashlib
+import heapq
 import json
 import os
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterator, List, Mapping, Optional, Union
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple, Union
 
 from repro.crawler.corpus import CrawlCorpus, CrawledAction, CrawledGPT
 from repro.crawler.policy_fetcher import PolicyFetchResult
@@ -48,7 +64,12 @@ from repro.io.artifacts import ArtifactStore, canonical_json, config_fingerprint
 from repro.io.corpus import gpt_to_payload, policy_from_payload, policy_to_payload
 
 #: Bump when the shard file layout changes; readers refuse newer schemas.
-SHARD_SCHEMA_VERSION = 1
+#: Schema history: 1 = hash-sharded JSONL records; 2 = every GPT record
+#: additionally carries its global ``discovery_index``.
+SHARD_SCHEMA_VERSION = 2
+
+#: Extra key stamped onto each GPT record payload (schema >= 2).
+DISCOVERY_INDEX_KEY = "discovery_index"
 
 _MANIFEST_FILE = "manifest.json"
 
@@ -130,6 +151,11 @@ class ShardManifest:
     store_link_counts: Dict[str, int] = field(default_factory=dict)
     unresolved_gpt_ids: List[str] = field(default_factory=list)
     schema: int = SHARD_SCHEMA_VERSION
+
+    @property
+    def supports_discovery_order(self) -> bool:
+        """Whether GPT records carry a global discovery index (schema >= 2)."""
+        return self.schema >= 2
 
     @property
     def n_gpts(self) -> int:
@@ -262,6 +288,7 @@ class ShardedCorpusWriter:
         ]
         self._since_flush = 0
         self._closed = False
+        self._auto_discovery_index = 0
         self.store_counts: Dict[str, int] = {}
         self.store_link_counts: Dict[str, int] = {}
         self.unresolved_gpt_ids: List[str] = []
@@ -272,10 +299,24 @@ class ShardedCorpusWriter:
         if self._since_flush >= self.flush_every:
             self.flush()
 
-    def add_gpt(self, gpt: CrawledGPT) -> int:
-        """Append one GPT record; returns the shard index it landed in."""
+    def add_gpt(self, gpt: CrawledGPT, discovery_index: Optional[int] = None) -> int:
+        """Append one GPT record; returns the shard index it landed in.
+
+        ``discovery_index`` is the record's position in the crawl
+        coordinator's global listing order; the sharded crawl passes it
+        explicitly.  When omitted (hand-built corpora, the lazy ecosystem
+        generator), records are stamped with their submission order —
+        which *is* the discovery order on those paths.  Within one shard,
+        indices must be added in ascending order; the streaming
+        discovery-order merge relies on it.
+        """
+        if discovery_index is None:
+            discovery_index = self._auto_discovery_index
+        self._auto_discovery_index = max(self._auto_discovery_index, discovery_index) + 1
         index = shard_index(gpt.gpt_id, self.n_shards)
-        self._gpt_shards[index].add(gpt_to_payload(gpt))
+        payload = gpt_to_payload(gpt)
+        payload[DISCOVERY_INDEX_KEY] = discovery_index
+        self._gpt_shards[index].add(payload)
         for store in gpt.source_stores:
             self.store_counts[store] = self.store_counts.get(store, 0) + 1
         self._count()
@@ -371,10 +412,23 @@ class ShardedCorpusStore:
         n_shards: int,
         flush_every: int = 1000,
     ) -> "ShardedCorpusStore":
-        """Shard an in-memory corpus to ``root`` and return the store."""
+        """Shard an in-memory corpus to ``root`` and return the store.
+
+        When the corpus carries crawl-stamped discovery indices (an
+        unsharded pipeline run, or a corpus rebuilt by :meth:`load_corpus`),
+        records are stamped with those exact indices so re-sharding is
+        byte-identical to the sharded crawl's own store.  Hand-built
+        corpora without indices fall back to insertion order.
+        """
         writer = ShardedCorpusWriter(root, n_shards, flush_every=flush_every)
-        for gpt in corpus.iter_gpts():
-            writer.add_gpt(gpt)
+        carried = corpus.discovery_indices if len(
+            corpus.discovery_indices
+        ) == len(corpus.gpts) else None
+        for position, gpt in enumerate(corpus.iter_gpts()):
+            writer.add_gpt(
+                gpt,
+                discovery_index=position if carried is None else carried[gpt.gpt_id],
+            )
         for result in corpus.policies.values():
             writer.add_policy(result)
         writer.set_metadata(
@@ -413,10 +467,67 @@ class ShardedCorpusStore:
         for line in self._iter_lines(self.manifest.gpt_shards[index].name):
             yield _gpt_from_trusted_payload(json.loads(line))
 
+    def iter_shard_gpts_indexed(self, index: int) -> Iterator[Tuple[int, CrawledGPT]]:
+        """Stream one shard's ``(discovery_index, gpt)`` pairs (schema >= 2).
+
+        Every write path appends records index-ascending within a shard;
+        this guard turns a violated invariant into a loud error instead of
+        a silently misordered merge.
+        """
+        if not self.manifest.supports_discovery_order:
+            raise ValueError(
+                "store predates discovery indices (shard schema "
+                f"{self.manifest.schema}); only shard-major iteration is available"
+            )
+        previous = -1
+        for line in self._iter_lines(self.manifest.gpt_shards[index].name):
+            payload = json.loads(line)
+            discovery_index = int(payload[DISCOVERY_INDEX_KEY])
+            if discovery_index <= previous:
+                raise ValueError(
+                    f"shard {index} is not discovery-index-ascending "
+                    f"({discovery_index} after {previous}); the store is corrupt"
+                )
+            previous = discovery_index
+            yield discovery_index, _gpt_from_trusted_payload(payload)
+
+    def iter_indexed_gpts(self) -> Iterator[Tuple[int, CrawledGPT]]:
+        """Stream every ``(discovery_index, gpt)`` pair in discovery order.
+
+        A k-way heap merge over the (index-ascending) shard streams: peak
+        memory is one record per shard, not the corpus.
+        """
+        streams = [self.iter_shard_gpts_indexed(i) for i in range(self.n_shards)]
+        return heapq.merge(*streams, key=lambda pair: pair[0])
+
     def iter_gpts(self) -> Iterator[CrawledGPT]:
         """Stream every GPT record, shard-major."""
         for index in range(self.n_shards):
             yield from self.iter_shard_gpts(index)
+
+    # ------------------------------------------------------------------
+    # CorpusSource protocol (see repro.io.CorpusSource)
+    # ------------------------------------------------------------------
+    def iter_records(self) -> Iterator[CrawledGPT]:
+        """Stream every GPT record in global discovery order.
+
+        Schema-1 stores carry no index; they fall back to shard-major
+        order (the only order they ever had).
+        """
+        if not self.manifest.supports_discovery_order:
+            yield from self.iter_gpts()
+            return
+        for _, gpt in self.iter_indexed_gpts():
+            yield gpt
+
+    def iter_shard(self, index: int) -> Iterator[CrawledGPT]:
+        """Stream one shard's records (protocol alias of iter_shard_gpts)."""
+        return self.iter_shard_gpts(index)
+
+    @property
+    def n_records(self) -> int:
+        """Total GPT records (protocol alias of :attr:`n_gpts`)."""
+        return self.manifest.n_gpts
 
     def iter_shard_policies(self, index: int) -> Iterator[PolicyFetchResult]:
         """Stream the policy records of one shard."""
@@ -444,15 +555,30 @@ class ShardedCorpusStore:
     # Full materialization (for compatibility / identity checks)
     # ------------------------------------------------------------------
     def load_corpus(self) -> CrawlCorpus:
-        """Rebuild the full in-memory corpus (shard-major record order).
+        """Rebuild the full in-memory corpus in exact discovery order.
 
-        This defeats the purpose of sharding at 100k scale — it exists for
-        the unsharded compatibility path and for byte-identity tests.
+        Record order matches the unsharded crawl byte-for-byte (schema >= 2;
+        legacy stores fall back to shard-major order), and the rebuilt
+        corpus carries its discovery indices, so re-sharding it round-trips
+        to an identical store.  Policies are inserted in sorted-URL order —
+        the order the crawl fetches them.
+
+        This materializes the whole corpus and defeats the purpose of
+        sharding at 100k scale: analysis code must stream via
+        :meth:`iter_records` / the accumulators in
+        :mod:`repro.analysis.streaming` instead (machine-enforced by
+        ``make lint``); ``load_corpus`` exists for the compatibility path
+        and for byte-identity tests.
         """
         corpus = CrawlCorpus()
-        for gpt in self.iter_gpts():
-            corpus.gpts[gpt.gpt_id] = gpt
-        for result in self.iter_policies():
+        if self.manifest.supports_discovery_order:
+            for discovery_index, gpt in self.iter_indexed_gpts():
+                corpus.gpts[gpt.gpt_id] = gpt
+                corpus.discovery_indices[gpt.gpt_id] = discovery_index
+        else:
+            for gpt in self.iter_gpts():
+                corpus.gpts[gpt.gpt_id] = gpt
+        for result in sorted(self.iter_policies(), key=lambda entry: entry.url):
             corpus.policies[result.url] = result
         corpus.store_counts = dict(self.manifest.store_counts)
         corpus.store_link_counts = dict(self.manifest.store_link_counts)

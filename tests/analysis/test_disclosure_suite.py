@@ -88,3 +88,45 @@ class TestMeasurementSuite:
         evaluation = suite.evaluate_policy_framework()
         assert evaluation.recall >= evaluation.precision - 0.1
         assert 0.7 <= evaluation.accuracy <= 1.0
+
+
+class TestSuiteConfigValidate:
+    """validate() rejects contradictory knob combinations at build time."""
+
+    def test_valid_configs_pass_through(self):
+        from repro.analysis.suite import SuiteConfig
+
+        assert SuiteConfig().validate() is not None
+        assert SuiteConfig(shards=3, shard_workers=2, backend="thread").validate()
+
+    @pytest.mark.parametrize(
+        ("kwargs", "fragment"),
+        [
+            ({"n_gpts": 0}, "n_gpts"),
+            ({"shards": -1}, "shards must be >= 0"),
+            ({"shard_workers": -2, "shards": 2}, "worker counts"),
+            ({"shard_workers": 2}, "shard_workers has no effect without sharding"),
+            ({"shard_dir": "/tmp/x"}, "shard_dir has no effect without sharding"),
+            ({"backend": "thread"}, "backend has no effect without sharding"),
+            ({"backend": "gpu", "shards": 2}, "unknown backend"),
+            (
+                {
+                    "backend": "process",
+                    "shards": 2,
+                    "crawl_rate_limits": {"api.example.com": 2.0},
+                },
+                "do not span processes",
+            ),
+            ({"crawl_resume": True}, "needs crawl_checkpoint_dir"),
+        ],
+    )
+    def test_contradictory_combos_rejected(self, kwargs, fragment):
+        from repro.analysis.suite import MeasurementSuite, SuiteConfig
+
+        config = SuiteConfig(**kwargs)
+        with pytest.raises(ValueError, match=fragment):
+            config.validate()
+        # The suite constructor validates too — misconfiguration fails at
+        # build time, not deep inside a crawl.
+        with pytest.raises(ValueError, match="invalid SuiteConfig"):
+            MeasurementSuite(config=config)

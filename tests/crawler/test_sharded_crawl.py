@@ -149,23 +149,19 @@ class TestWarmPoolCrawl:
 
 
 class TestCompatibilityMerge:
-    def test_run_contents_match_unsharded(self, ecosystem, reference):
-        """run() with shards folds per-shard corpora via CrawlCorpus.merge;
-        record order is shard-major, record contents identical."""
+    def test_run_is_byte_identical_to_unsharded(self, ecosystem, reference):
+        """run() with shards rebuilds the corpus from the sharded store in
+        exact discovery order — byte-identical payloads, no normalization."""
         compat = _pipeline(ecosystem, shards=SHARDS, workers=2, backend="thread").run()
         unsharded = reference["corpus"]
-
-        def normalized(corpus):
-            payload = corpus_to_payload(corpus)
-            payload["gpts"] = sorted(payload["gpts"], key=lambda gpt: gpt["gpt_id"])
-            payload["store_counts"] = dict(sorted(payload["store_counts"].items()))
-            payload["store_link_counts"] = dict(
-                sorted(payload["store_link_counts"].items())
-            )
-            policies = dict(sorted(policies_to_payload(corpus).items()))
-            return canonical_json([payload, policies])
-
-        assert normalized(compat) == normalized(unsharded)
+        assert canonical_json(corpus_to_payload(compat)) == canonical_json(
+            corpus_to_payload(unsharded)
+        )
+        assert canonical_json(policies_to_payload(compat)) == canonical_json(
+            policies_to_payload(unsharded)
+        )
+        assert list(compat.gpts) == list(unsharded.gpts)
+        assert compat.discovery_indices == unsharded.discovery_indices
         assert len(compat.gpts) == N_GPTS
 
 

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Regenerate the checked-in schema-1 shard store fixture.
+
+``tests/fixtures/shard_store_v1/`` is a pre-discovery-index sharded corpus
+exactly as a PR-5-era writer would have published it: manifest ``schema: 1``
+and GPT records without the ``discovery_index`` key.  The read-compat tests
+(:mod:`tests.test_discovery_order`) load it to prove that legacy stores stay
+readable (shard-major fallback) after the schema-2 bump.
+
+The fixture is produced by writing a tiny crawled corpus with today's
+writer, then *downgrading* it: strip the index key from every GPT line,
+recompute the per-shard SHA-256 fingerprints, and rewrite the manifest with
+``schema: 1``.  Run from the repository root:
+
+    PYTHONPATH=src python tests/fixtures/make_shard_store_v1.py
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import shutil
+from pathlib import Path
+
+from repro.crawler.pipeline import CrawlPipeline
+from repro.ecosystem.config import EcosystemConfig
+from repro.ecosystem.generator import EcosystemGenerator
+from repro.io import canonical_json
+from repro.io.shards import DISCOVERY_INDEX_KEY, ShardedCorpusStore
+
+N_GPTS = 8
+SEED = 3
+N_SHARDS = 2
+ROOT = Path(__file__).resolve().parent / "shard_store_v1"
+
+
+def main() -> None:
+    ecosystem = EcosystemGenerator(
+        EcosystemConfig.paper_calibrated(n_gpts=N_GPTS, seed=SEED)
+    ).generate()
+    corpus = CrawlPipeline.from_ecosystem(ecosystem, seed=SEED).run()
+    if ROOT.exists():
+        shutil.rmtree(ROOT)
+    ShardedCorpusStore.write_corpus(corpus, ROOT, n_shards=N_SHARDS)
+
+    manifest_path = ROOT / "manifest.json"
+    manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    manifest["schema"] = 1
+    for info in manifest["gpt_shards"]:
+        path = ROOT / info["name"]
+        digest = hashlib.sha256()
+        lines = []
+        for line in path.read_text(encoding="utf-8").splitlines():
+            if not line.strip():
+                continue
+            payload = json.loads(line)
+            payload.pop(DISCOVERY_INDEX_KEY, None)
+            stripped = canonical_json(payload) + "\n"
+            lines.append(stripped)
+            digest.update(stripped.encode("utf-8"))
+        path.write_text("".join(lines), encoding="utf-8")
+        info["fingerprint"] = digest.hexdigest()
+    manifest_path.write_text(
+        json.dumps(manifest, indent=2, ensure_ascii=False), encoding="utf-8"
+    )
+    store = ShardedCorpusStore(ROOT)
+    assert store.verify() == [], "downgraded fixture failed fingerprint verification"
+    assert not store.manifest.supports_discovery_order
+    print(f"wrote schema-1 fixture: {ROOT} ({store.n_gpts} GPTs, {N_SHARDS} shards)")
+
+
+if __name__ == "__main__":
+    main()

@@ -83,16 +83,25 @@ class TestSuiteDeterminismMatrix:
         )
         for shards in shard_axis:
             for workers, backend in worker_backend_axis:
-                if shards == 0 and backend == "process":
-                    continue  # backend only touches sharded fan-out
+                # Shard knobs (shard_workers/shard_dir/backend) only exist
+                # on the sharded path — SuiteConfig.validate() rejects them
+                # at shards=0, so the unsharded axis varies crawl workers
+                # alone.
+                shard_kwargs = (
+                    dict(
+                        shards=shards,
+                        shard_workers=workers,
+                        backend=backend,
+                        shard_dir=str(tmp_path / f"sh{shards}w{workers}{backend}"),
+                    )
+                    if shards
+                    else {}
+                )
                 config = SuiteConfig(
                     n_gpts=case["n_gpts"],
                     seed=case["seed"],
-                    shards=shards,
-                    shard_workers=workers,
                     crawl_workers=workers,
-                    backend=backend,
-                    shard_dir=str(tmp_path / f"sh{shards}w{workers}{backend}"),
+                    **shard_kwargs,
                 )
                 fingerprint = _suite_fingerprint(config, experiment_ids)
                 assert fingerprint == baseline, (

@@ -50,12 +50,13 @@ class TestRoundTrip:
         from repro.io import corpus_to_payload, policies_to_payload
 
         restored = store.load_corpus()
-        # Same records and metadata; record order is shard-major, so compare
-        # as sorted payloads.
+        # Same records and metadata in the exact same order: schema-2
+        # stores carry discovery indices, so the rebuilt record order is
+        # byte-identical to the source corpus — no sort needed.
         original = corpus_to_payload(small_corpus)
         rebuilt = corpus_to_payload(restored)
-        key = lambda entry: entry["gpt_id"]  # noqa: E731
-        assert sorted(original["gpts"], key=key) == sorted(rebuilt["gpts"], key=key)
+        assert original["gpts"] == rebuilt["gpts"]
+        assert restored.discovery_indices == small_corpus.discovery_indices
         assert original["store_counts"] == rebuilt["store_counts"]
         assert original["store_link_counts"] == rebuilt["store_link_counts"]
         assert original["unresolved_gpt_ids"] == rebuilt["unresolved_gpt_ids"]
@@ -87,7 +88,11 @@ class TestWriter:
         bulk = ShardedCorpusStore.write_corpus(small_corpus, tmp_path / "bulk", n_shards=3)
         writer = ShardedCorpusWriter(tmp_path / "inc", n_shards=3, flush_every=7)
         for gpt in small_corpus.iter_gpts():
-            writer.add_gpt(gpt)
+            # A crawled corpus carries its discovery indices; incremental
+            # writers must stamp the same ones to reproduce the bulk bytes.
+            writer.add_gpt(
+                gpt, discovery_index=small_corpus.discovery_indices.get(gpt.gpt_id)
+            )
         for result in small_corpus.policies.values():
             writer.add_policy(result)
         writer.set_metadata(
@@ -120,16 +125,17 @@ class TestWriter:
         root = tmp_path / "retry"
         gpts = list(small_corpus.iter_gpts())
         # A "killed" ingest: records flushed to .part files, never closed.
+        indices = small_corpus.discovery_indices
         killed = ShardedCorpusWriter(root, n_shards=2)
         for gpt in gpts[:5]:
-            killed.add_gpt(gpt)
+            killed.add_gpt(gpt, discovery_index=indices.get(gpt.gpt_id))
         killed.flush()
         assert list(root.glob("*.part"))
         # The retry into the same root must not inherit the dead run's
         # records: counts, fingerprints, and bytes must all agree.
         writer = ShardedCorpusWriter(root, n_shards=2)
         for gpt in gpts:
-            writer.add_gpt(gpt)
+            writer.add_gpt(gpt, discovery_index=indices.get(gpt.gpt_id))
         store = writer.close()
         assert store.n_gpts == len(gpts)
         assert sum(1 for _ in store.iter_gpts()) == len(gpts)
