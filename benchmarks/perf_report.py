@@ -123,10 +123,46 @@ class PerfReport:
         return payload
 
     def write(self, directory: Optional[Path] = None) -> Path:
-        """Write ``BENCH_<name>.json`` (default: the repository root)."""
+        """Write ``BENCH_<name>.json`` (default: the repository root).
+
+        Records are emitted in the *prior* file's order (new names appended)
+        so a baseline refresh diffs as value changes only — test execution
+        order must not reshuffle rows and obscure what actually moved.
+        """
         target = (directory or REPO_ROOT) / f"BENCH_{self.name}.json"
-        target.write_text(json.dumps(self.as_dict(), indent=2) + "\n", encoding="utf-8")
+        payload = self.as_dict()
+        prior_order = prior_key_order(target, "records")
+        if prior_order:
+            rank = {name: index for index, name in enumerate(prior_order)}
+            payload["records"] = sorted(
+                payload["records"],  # type: ignore[arg-type]
+                key=lambda entry: rank.get(str(entry["name"]), len(rank)),
+            )
+        target.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
         return target
+
+
+def prior_key_order(path: Path, section: str) -> List[str]:
+    """Key order of ``section`` in an existing ``BENCH_*.json``, or ``[]``.
+
+    For ``"records"`` this is the sequence of record names; for a mapping
+    section (``"invariants"``) it is the insertion order of keys.  Refresh
+    writers use it to keep artifacts diff-stable across reruns.
+    """
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        return []
+    section_value = payload.get(section)
+    if isinstance(section_value, list):
+        return [
+            str(entry.get("name"))
+            for entry in section_value
+            if isinstance(entry, dict) and "name" in entry
+        ]
+    if isinstance(section_value, dict):
+        return [str(key) for key in section_value]
+    return []
 
 
 def load_report(path: Path) -> PerfReport:

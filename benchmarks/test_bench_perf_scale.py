@@ -82,7 +82,7 @@ from pathlib import Path
 
 import pytest
 
-from perf_report import REPO_ROOT, PerfReport
+from perf_report import REPO_ROOT, PerfReport, prior_key_order
 
 from repro.analysis import (
     analyze_cooccurrence,
@@ -191,11 +191,18 @@ def _emit_report():
     yield
     print()
     print(REPORT.format_table())
+    # Capture the prior invariant key order before write() replaces the file,
+    # so refreshes diff as value changes only (new keys append at the end).
+    target = REPO_ROOT / f"BENCH_{REPORT.name}.json"
+    prior_invariants = prior_key_order(target, "invariants")
     path = REPORT.write()
     # Persist the invariant verdicts (byte-identity, RSS ratio) alongside
     # the timing records; perf_report's loader ignores unknown keys.
     payload = json.loads(path.read_text(encoding="utf-8"))
-    payload["invariants"] = INVARIANTS
+    rank = {key: index for index, key in enumerate(prior_invariants)}
+    payload["invariants"] = dict(
+        sorted(INVARIANTS.items(), key=lambda item: rank.get(item[0], len(rank)))
+    )
     path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
     print(f"wrote {path}")
 
