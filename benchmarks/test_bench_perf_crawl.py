@@ -39,6 +39,7 @@ import pytest
 
 from perf_report import REPO_ROOT, PerfReport
 
+from repro.crawler.hostile import install_hostile_hosts
 from repro.crawler.pipeline import CrawlPipeline
 from repro.crawler.transport import TransportConfig
 from repro.ecosystem.config import EcosystemConfig
@@ -62,6 +63,14 @@ N_FLAKY_HOSTS = 8
 
 #: Required speedup of the 8-worker crawl over the sequential baseline.
 MIN_CRAWL_SPEEDUP = 4.0
+
+#: Ceiling on the hostile crawl's wall time relative to the clean crawl at
+#: the same worker count: graceful degradation means redirect chains, 429
+#: storms, tarpits, and flapping hosts cost bounded retries/waits, never an
+#: unbounded stall.
+HOSTILE_WALL_LIMIT_RATIO = 3.0
+#: Accounted-time deadline for the hostile probe's transport.
+HOSTILE_DEADLINE_S = 0.2
 
 #: Shard count for the partitioned-crawl probe.
 CRAWL_SHARDS = 8
@@ -112,8 +121,10 @@ def _flaky_hosts(ecosystem):
     return hosts[:N_FLAKY_HOSTS]
 
 
-def _build_pipeline(ecosystem, workers, latency_s=LATENCY_S, **kwargs):
-    config = TransportConfig(max_attempts=4, latency_s=latency_s, seed=CRAWL_SEED)
+def _build_pipeline(ecosystem, workers, latency_s=LATENCY_S, deadline_s=0.0, **kwargs):
+    config = TransportConfig(
+        max_attempts=4, latency_s=latency_s, seed=CRAWL_SEED, deadline_s=deadline_s
+    )
     pipeline = CrawlPipeline.from_ecosystem(
         ecosystem, seed=CRAWL_SEED, workers=workers, transport_config=config, **kwargs
     )
@@ -150,6 +161,47 @@ def test_concurrent_crawl_speedup(ecosystem):
         f"{WORKERS}-worker crawl only {entry.speedup:.1f}x faster "
         f"(needs {MIN_CRAWL_SPEEDUP:.0f}x)"
     )
+
+
+def test_hostile_crawl_bounded_overhead_and_no_lost_records(ecosystem):
+    """A crawl over the full adversarial battery (redirect chains/loops,
+    429 storms, tarpit latency, content flapping) on top of the usual flaky
+    hosts completes within ``HOSTILE_WALL_LIMIT_RATIO``x of the clean crawl
+    and loses zero records: same resolved GPTs, same policy-URL set, and
+    every *added* failure confined to a quarantined host."""
+    clean = _build_pipeline(ecosystem, workers=WORKERS)
+    start = time.perf_counter()
+    clean_corpus = clean.run()
+    clean_s = time.perf_counter() - start
+
+    hostile = _build_pipeline(ecosystem, workers=WORKERS, deadline_s=HOSTILE_DEADLINE_S)
+    roles = install_hostile_hosts(hostile.http, ecosystem, seed=CRAWL_SEED)
+    start = time.perf_counter()
+    hostile_corpus = hostile.run()
+    hostile_s = time.perf_counter() - start
+
+    assert len(hostile_corpus.gpts) == len(clean_corpus.gpts) == CRAWL_GPTS
+    assert set(hostile_corpus.policies) == set(clean_corpus.policies)
+    quarantined = set(hostile.statistics.quarantined_hosts)
+    assert quarantined <= {host for hosts in roles.values() for host in hosts}
+    clean_failed = {url for url, r in clean_corpus.policies.items() if not r.ok}
+    for url, result in hostile_corpus.policies.items():
+        if not result.ok and url not in clean_failed:
+            assert url_host(url) in quarantined
+
+    entry = REPORT.record(
+        f"crawl_{CRAWL_GPTS}_hostile_vs_clean",
+        baseline_s=hostile_s,
+        optimized_s=clean_s,
+        items=hostile.statistics.n_http_requests,
+    )
+    ratio = hostile_s / clean_s
+    assert ratio <= HOSTILE_WALL_LIMIT_RATIO, (
+        f"hostile crawl took {ratio:.2f}x the clean crawl's wall time "
+        f"(limit {HOSTILE_WALL_LIMIT_RATIO}x) — degradation must stay "
+        "bounded by the retry/deadline budgets"
+    )
+    assert entry.speedup <= HOSTILE_WALL_LIMIT_RATIO
 
 
 def test_checkpointed_crawl_resumes_identically(ecosystem, tmp_path):

@@ -92,8 +92,16 @@ class SuiteConfig:
     crawl_checkpoint_dir: Optional[str] = None
     #: Resume a checkpointed crawl instead of starting from scratch.
     crawl_resume: bool = False
-    #: Retry/backoff/latency knobs for the crawl transport (None = defaults).
-    crawl_transport: Optional["TransportConfig"] = None
+    #: Retry/backoff/latency knobs for the crawl transport: a
+    #: :class:`~repro.crawler.transport.TransportConfig` or an equivalent
+    #: plain mapping (sweep scenarios store JSON; None = defaults).
+    crawl_transport: Optional[Union["TransportConfig", Dict[str, object]]] = None
+    #: Hostile-host battery for the crawl (None = a well-behaved web).  A
+    #: dict of :data:`repro.crawler.hostile.DEFAULT_HOSTILE_SPEC` overrides
+    #: ({} = the default battery): seeded adversarial behaviors — redirect
+    #: chains/loops, 429 storms, tarpit latency, content flapping — are
+    #: installed on a deterministic subset of policy hosts.
+    crawl_hostile: Optional[Dict[str, object]] = None
     #: Per-host politeness limits (host → requests/second) for the crawl.
     crawl_rate_limits: Optional[Dict[str, float]] = None
     #: Shard count for the on-disk corpus store (0 = in-memory single pass).
@@ -158,6 +166,11 @@ class SuiteConfig:
                 "per-host token buckets do not span processes — use the "
                 "thread backend for rate-limited crawls"
             )
+        if self.crawl_hostile is not None and not isinstance(self.crawl_hostile, dict):
+            problems.append(
+                "crawl_hostile must be a dict of DEFAULT_HOSTILE_SPEC "
+                "overrides ({} = the default hostile battery) or None"
+            )
         if self.crawl_resume and self.crawl_checkpoint_dir is None:
             problems.append(
                 "crawl_resume=True needs crawl_checkpoint_dir — "
@@ -200,6 +213,9 @@ class MeasurementSuite:
         self._cache: Dict[str, object] = {}
         self._shard_store = None
         self._shard_tempdir = None
+        #: CrawlStatistics from the crawl this suite ran (None when the
+        #: corpus was preloaded and no crawl happened here).
+        self._crawl_statistics = None
         #: Suite-lifetime warm pool for backend="process": one spawn carries
         #: from the sharded crawl through every analysis pass (see
         #: _execution_backend); released by close().
@@ -271,7 +287,7 @@ class MeasurementSuite:
         shards: int = 1,
         backend: Union[str, ExecutionBackend, None] = None,
     ) -> CrawlPipeline:
-        return CrawlPipeline.from_ecosystem(
+        pipeline = CrawlPipeline.from_ecosystem(
             self.ecosystem,
             seed=self.config.seed,
             workers=self.config.crawl_workers,
@@ -283,6 +299,16 @@ class MeasurementSuite:
             shards=shards,
             backend=backend,
         )
+        if self.config.crawl_hostile is not None:
+            from repro.crawler.hostile import install_hostile_hosts
+
+            install_hostile_hosts(
+                pipeline.http,
+                self.ecosystem,
+                spec=self.config.crawl_hostile,
+                seed=self.config.seed,
+            )
+        return pipeline
 
     @property
     def corpus(self) -> CrawlCorpus:
@@ -300,7 +326,9 @@ class MeasurementSuite:
             if self.sharded:
                 self._corpus = self.shard_store.load_corpus()  # lint-allow-materialize: the compat property
             else:
-                self._corpus = self._build_pipeline().run()
+                pipeline = self._build_pipeline()
+                self._corpus = pipeline.run()
+                self._crawl_statistics = pipeline.statistics
         return self._corpus
 
     @property
@@ -318,6 +346,15 @@ class MeasurementSuite:
     def sharded(self) -> bool:
         """Whether corpus analyses run on the sharded streaming path."""
         return self.config.shards > 0
+
+    @property
+    def crawl_statistics(self):
+        """The :class:`~repro.crawler.pipeline.CrawlStatistics` of the crawl
+        this suite ran — retry counters and the per-host failure taxonomy of
+        quarantined (hostile/degraded) hosts.  ``None`` when the corpus was
+        preloaded, so no crawl happened inside the suite.
+        """
+        return self._crawl_statistics
 
     @property
     def shard_store(self):
@@ -348,6 +385,7 @@ class MeasurementSuite:
                     shards=self.config.shards, backend=self._execution_backend()
                 )
                 self._shard_store = pipeline.run_sharded(directory)
+                self._crawl_statistics = pipeline.statistics
             else:
                 self._shard_store = ShardedCorpusStore.write_corpus(
                     self.corpus, directory, n_shards=self.config.shards

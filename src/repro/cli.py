@@ -64,12 +64,17 @@ from repro.reporting.markdown import format_table
 
 
 def _build_suite(args: argparse.Namespace) -> MeasurementSuite:
+    crawl_transport = None
+    if getattr(args, "deadline", 0.0):
+        crawl_transport = {"deadline_s": args.deadline}
     config = SuiteConfig(
         n_gpts=args.gpts,
         seed=args.seed,
         crawl_workers=getattr(args, "workers", 0),
         crawl_checkpoint_dir=getattr(args, "checkpoint_dir", None),
         crawl_resume=getattr(args, "resume", False),
+        crawl_hostile={} if getattr(args, "hostile", False) else None,
+        crawl_transport=crawl_transport,
         shards=args.shards,
         shard_workers=args.shard_workers,
         shard_dir=args.shard_dir,
@@ -105,6 +110,15 @@ def _cmd_crawl(args: argparse.Namespace) -> int:
         print(f"Total unique GPTs: {stats.total_unique_gpts}")
         print(f"Unique Actions: {stats.n_unique_actions}")
         print(f"Policy availability: {stats.policy_availability:.2%}")
+        crawl_statistics = suite.crawl_statistics
+        if crawl_statistics is not None and crawl_statistics.host_failure_taxonomy:
+            print("Quarantined hosts (failure taxonomy):")
+            for host in crawl_statistics.quarantined_hosts:
+                kinds = crawl_statistics.host_failure_taxonomy[host]
+                summary = ", ".join(
+                    f"{kind}={kinds[kind]}" for kind in sorted(kinds)
+                )
+                print(f"  {host}: {summary}")
     return 0
 
 
@@ -301,6 +315,16 @@ def build_parser() -> argparse.ArgumentParser:
     crawl_parser.add_argument(
         "--resume", action="store_true",
         help="resume an interrupted crawl from --checkpoint-dir",
+    )
+    crawl_parser.add_argument(
+        "--hostile", action="store_true",
+        help="crawl an adversarial web (redirect loops, 429 storms, tarpit "
+             "latency, flapping hosts) and report quarantined hosts",
+    )
+    crawl_parser.add_argument(
+        "--deadline", type=float, default=0.0,
+        help="per-request accounted-time budget in seconds (0 = unlimited); "
+             "pairs with --hostile to quarantine tarpit hosts",
     )
     subparsers.add_parser("analyze", help="run the full pipeline and print headline stats")
     experiment_parser = subparsers.add_parser("experiment", help="run one experiment by id")

@@ -12,14 +12,32 @@ The output of a crawl is a :class:`CrawlCorpus` — the raw measurement corpus
 that every downstream analysis consumes.  The crawl itself is scheduled by
 the concurrent engine in :mod:`repro.crawler.engine` over the retrying
 transport in :mod:`repro.crawler.transport`.
+
+**Degraded mode.**  The simulated web can be made actively hostile
+(:mod:`repro.crawler.hostile`): redirect chains and loops, 429 rate-limit
+storms, heavy-tailed tarpit latency, and content-flapping hosts.  The
+transport retries transient errors and rate limits, follows bounded redirect
+chains, and enforces a per-request accounted-time deadline; what cannot be
+salvaged fails *visibly* — terminal failures are tallied per host and kind
+(``exhausted-retries`` / ``circuit-open`` / ``deadline`` /
+``redirect-loop``) in :class:`CrawlStatistics.host_failure_taxonomy`, and
+``CrawlStatistics.quarantined_hosts`` lists the hosts that degraded.  A
+crawl over hostile hosts still completes, still checkpoints/resumes, and is
+still byte-identical across execution backends and worker counts, because
+every hostile behavior and every transport decision is a pure function of
+the configured seeds.  See the :mod:`repro.crawler.transport` docstring for
+the exact retry/circuit/quarantine semantics.
 """
 
 from repro.crawler.http import HTTPError, SimulatedHTTPLayer, SimulatedResponse
 from repro.crawler.transport import (
     CircuitOpenError,
+    DeadlineExceededError,
     HTTPTransport,
+    RedirectLoopError,
     RetryingTransport,
     TransportConfig,
+    TransportStatistics,
 )
 from repro.crawler.engine import (
     CrawlEngine,
@@ -35,6 +53,11 @@ from repro.crawler.gizmo_api import GizmoAPIClient, GizmoAPIServer, GIZMO_API_PR
 from repro.crawler.store_crawler import StoreCrawler, StoreCrawlResult
 from repro.crawler.policy_fetcher import PolicyFetcher, PolicyFetchResult
 from repro.crawler.corpus import CrawlCorpus, CrawledAction, CrawledGPT
+from repro.crawler.hostile import (
+    DEFAULT_HOSTILE_SPEC,
+    HOSTILE_ROLES,
+    install_hostile_hosts,
+)
 from repro.crawler.pipeline import CrawlPipeline, CrawlStage, CrawlStatistics
 
 __all__ = [
@@ -42,9 +65,12 @@ __all__ = [
     "SimulatedHTTPLayer",
     "SimulatedResponse",
     "CircuitOpenError",
+    "DeadlineExceededError",
+    "RedirectLoopError",
     "HTTPTransport",
     "RetryingTransport",
     "TransportConfig",
+    "TransportStatistics",
     "CrawlEngine",
     "CrawlTask",
     "FIFOTaskQueue",
@@ -65,6 +91,9 @@ __all__ = [
     "CrawlCorpus",
     "CrawledAction",
     "CrawledGPT",
+    "DEFAULT_HOSTILE_SPEC",
+    "HOSTILE_ROLES",
+    "install_hostile_hosts",
     "CrawlPipeline",
     "CrawlStatistics",
 ]

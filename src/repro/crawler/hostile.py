@@ -1,0 +1,145 @@
+"""Seeded hostile-host scenario installer for the simulated web.
+
+The paper's crawl had to survive actively misbehaving policy servers
+(Section 5.1.1); ROADMAP item 5(a) calls for reproducing that landscape:
+redirect loops, 429 rate-limit storms, heavy-tailed (tarpit) latency, and
+hosts that flap content between visits.  :func:`install_hostile_hosts`
+assigns those behaviors to a deterministic, *disjoint* subset of an
+ecosystem's policy hosts — never store or gizmo-API hosts, and never hosts
+already configured flaky — so a hostile crawl degrades on exactly the hosts
+the spec names and nowhere else.
+
+Determinism: the host assignment is a seeded shuffle of the sorted policy
+host list, and every behavior the layer then exhibits is a pure function of
+``(seed, url, attempt)``; combined with the deadline-aware transport this
+keeps hostile crawls byte-identical across execution backends, worker
+counts, and kill+resume.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from repro.crawler.http import SimulatedHTTPLayer
+from repro.ecosystem.models import SyntheticEcosystem
+from repro.web.urls import url_host
+
+#: Role names, in assignment order (slices of the shuffled host list).
+HOSTILE_ROLES = ("redirect-chain", "redirect-loop", "ratelimit", "tarpit", "flapping")
+
+#: Default hostile-web battery: a couple of hosts per role, tuned so the
+#: default transport (with a small deadline) resolves every record on the
+#: chain/ratelimit/flapping hosts and quarantines the loop hosts visibly.
+DEFAULT_HOSTILE_SPEC: Dict[str, object] = {
+    "redirect_chain_hosts": 2,
+    "redirect_hops": 2,
+    "redirect_loop_hosts": 2,
+    "redirect_loop_period": 3,
+    "ratelimit_hosts": 2,
+    "ratelimit_burst": 3,
+    "retry_after_s": 0.002,
+    "tarpit_hosts": 2,
+    "tarpit_base_s": 0.001,
+    "tarpit_tail_s": 0.05,
+    "tarpit_tail_p": 0.25,
+    "flapping_hosts": 2,
+    "flapping_variants": 3,
+}
+
+
+def _protected_hosts(ecosystem: SyntheticEcosystem) -> set:
+    """Hosts the crawl cannot afford to lose: stores and the gizmo API."""
+    protected = {"chat.openai.com"}
+    for listings in ecosystem.store_listings.values():
+        for listing in listings:
+            host = url_host(listing.link)
+            if host:
+                protected.add(host)
+    return protected
+
+
+def hostile_host_candidates(http: SimulatedHTTPLayer,
+                            ecosystem: SyntheticEcosystem) -> List[str]:
+    """Policy hosts eligible for a hostile role, sorted for determinism.
+
+    Store/gizmo hosts are excluded (hostility there would break the crawl
+    frontier itself, not degrade it), as are hosts already configured flaky
+    — roles stay disjoint so each host fails in exactly one describable way.
+    """
+    protected = _protected_hosts(ecosystem)
+    flaky = set(http.flaky_host_rates)
+    hosts = {
+        url_host(url)
+        for url in ecosystem.policies
+    }
+    return sorted(h for h in hosts if h and h not in protected and h not in flaky)
+
+
+def install_hostile_hosts(
+    http: SimulatedHTTPLayer,
+    ecosystem: SyntheticEcosystem,
+    spec: Optional[Dict[str, object]] = None,
+    seed: int = 0,
+) -> Dict[str, List[str]]:
+    """Install the hostile-host battery on a simulated network.
+
+    Parameters
+    ----------
+    http:
+        The layer serving ``ecosystem`` (e.g. built by
+        ``CrawlPipeline.from_ecosystem``).
+    ecosystem:
+        The generating ecosystem (identifies policy hosts and the hosts
+        that must stay healthy).
+    spec:
+        Role counts and behavior parameters; missing keys fall back to
+        :data:`DEFAULT_HOSTILE_SPEC`.  Counts are clamped to the available
+        candidate hosts (each host gets at most one role).
+    seed:
+        Seed for the role-assignment shuffle (independent of the layer's
+        own draw seed).
+
+    Returns
+    -------
+    The role → assigned hosts map (roles with zero hosts included), so
+    callers and tests can assert exactly which hosts degrade.
+    """
+    merged = dict(DEFAULT_HOSTILE_SPEC)
+    merged.update(spec or {})
+    candidates = hostile_host_candidates(http, ecosystem)
+    random.Random(f"hostile:{seed}").shuffle(candidates)
+
+    assignment: Dict[str, List[str]] = {role: [] for role in HOSTILE_ROLES}
+    cursor = 0
+    for role, count_key in (
+        ("redirect-chain", "redirect_chain_hosts"),
+        ("redirect-loop", "redirect_loop_hosts"),
+        ("ratelimit", "ratelimit_hosts"),
+        ("tarpit", "tarpit_hosts"),
+        ("flapping", "flapping_hosts"),
+    ):
+        count = max(0, int(merged[count_key]))
+        assignment[role] = candidates[cursor:cursor + count]
+        cursor += count
+
+    for host in assignment["redirect-chain"]:
+        http.set_redirect_chain(host, hops=int(merged["redirect_hops"]))
+    for host in assignment["redirect-loop"]:
+        http.set_redirect_loop(host, period=int(merged["redirect_loop_period"]))
+    for host in assignment["ratelimit"]:
+        http.set_rate_limit_storm(
+            host,
+            burst=int(merged["ratelimit_burst"]),
+            retry_after_s=float(merged["retry_after_s"]),
+        )
+    for host in assignment["tarpit"]:
+        http.set_host_latency(
+            host,
+            base_s=float(merged["tarpit_base_s"]),
+            tail_s=float(merged["tarpit_tail_s"]),
+            tail_p=float(merged["tarpit_tail_p"]),
+        )
+    for host in assignment["flapping"]:
+        http.set_flapping_host(host, variants=int(merged["flapping_variants"]))
+    return assignment

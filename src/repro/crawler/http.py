@@ -13,6 +13,30 @@ index)`` rather than a shared RNG stream, so whether the Nth request to a URL
 fails does not depend on how worker threads interleave requests to *other*
 URLs.  This is what lets the concurrent crawl engine produce bit-identical
 corpora for a fixed seed regardless of worker count.
+
+Beyond flaky errors and static status overrides, the layer models four
+*adversarial host* behaviors (ROADMAP item 5a — the hostile-web half of the
+paper's Section 5.1.1 failure landscape), all keyed by the same seeded
+``(seed, url, attempt)`` draws so hostile crawls stay reproducible:
+
+* **redirect chains and loops** (:meth:`set_redirect_chain`,
+  :meth:`set_redirect_loop`) — every URL on the host answers with a 3xx +
+  ``Location`` chain of synthesized hop URLs; loops never terminate and must
+  be detected by the client;
+* **429 rate-limit storms** (:meth:`set_rate_limit_storm`) — the first
+  ``burst`` requests to each URL return 429 with a ``Retry-After`` header;
+* **heavy-tailed latency** (:meth:`set_host_latency`) — each response
+  reports a simulated service time via the ``x-simulated-latency-s`` header
+  (or the ``simulated_latency_s`` attribute on :class:`HTTPError`); the
+  layer never sleeps, so clients charge the reported time against their own
+  deadline budget and wall-clock stays interleaving-independent;
+* **content flapping** (:meth:`set_flapping_host`) — repeat visits to the
+  same URL serve different policy revisions (a deterministic variant marker
+  per attempt).
+
+Hostile behaviors are exportable as a plain-JSON spec (:attr:`hostile_spec`
+/ :meth:`apply_hostile_spec`) so process workers can rebuild an identical
+network from the ecosystem alone.
 """
 
 from __future__ import annotations
@@ -82,6 +106,10 @@ class SimulatedHTTPLayer:
         self._exact_handlers: Dict[str, Handler] = {}
         self._status_overrides: Dict[str, int] = {}
         self._flaky_hosts: Dict[str, float] = {}
+        self._redirect_hosts: Dict[str, Dict[str, int]] = {}
+        self._ratelimit_hosts: Dict[str, Dict[str, float]] = {}
+        self._latency_hosts: Dict[str, Dict[str, float]] = {}
+        self._flapping_hosts: Dict[str, int] = {}
         self._seed = seed
         self._lock = threading.Lock()
         self._request_count = 0
@@ -136,6 +164,78 @@ class SimulatedHTTPLayer:
             raise ValueError("failure_rate must be within [0, 1]")
         self._flaky_hosts[host.lower()] = failure_rate
 
+    def set_redirect_chain(self, host: str, hops: int = 2) -> None:
+        """Make every URL on a host answer with a ``hops``-long 302 chain.
+
+        The chain visits synthesized hop URLs (``…?__hop=k``) on the same
+        host; the final hop serves the content the base URL would have
+        served.  A client that follows redirects loses nothing; one that
+        does not sees only 302s.
+        """
+        if hops < 1:
+            raise ValueError("hops must be at least 1")
+        self._redirect_hosts[host.lower()] = {"hops": int(hops), "loop": 0}
+
+    def set_redirect_loop(self, host: str, period: int = 3) -> None:
+        """Make every URL on a host redirect in an endless ``period``-cycle.
+
+        The chain never reaches content: after ``period`` hops the
+        ``Location`` points back at the first hop, so only loop detection
+        (not a larger redirect budget) can save the client.
+        """
+        if period < 1:
+            raise ValueError("period must be at least 1")
+        self._redirect_hosts[host.lower()] = {"hops": int(period), "loop": 1}
+
+    def set_rate_limit_storm(self, host: str, burst: int = 3,
+                             retry_after_s: float = 0.0) -> None:
+        """Return 429 for the first ``burst`` requests to each URL on a host.
+
+        Each 429 carries a ``Retry-After`` header advertising
+        ``retry_after_s`` seconds.  The storm is per-URL, so the (burst+1)th
+        request to a given URL succeeds regardless of traffic to other URLs
+        — which keeps the behavior deterministic under concurrency.
+        """
+        if burst < 1:
+            raise ValueError("burst must be at least 1")
+        if retry_after_s < 0:
+            raise ValueError("retry_after_s must be non-negative")
+        self._ratelimit_hosts[host.lower()] = {
+            "burst": int(burst), "retry_after_s": float(retry_after_s),
+        }
+
+    def set_host_latency(self, host: str, base_s: float,
+                         tail_s: float = 0.0, tail_p: float = 0.0) -> None:
+        """Give a host a (possibly heavy-tailed) simulated service time.
+
+        With probability ``tail_p`` — drawn deterministically per
+        ``(url, attempt)`` — a request costs ``base_s + tail_s`` instead of
+        ``base_s``.  The layer does not sleep; it *reports* the cost via the
+        ``x-simulated-latency-s`` response header (or the
+        ``simulated_latency_s`` attribute of a raised :class:`HTTPError`) so
+        clients can charge it against a deadline budget without wall-clock
+        time entering any decision.
+        """
+        if base_s < 0 or tail_s < 0:
+            raise ValueError("latencies must be non-negative")
+        if not 0.0 <= tail_p <= 1.0:
+            raise ValueError("tail_p must be within [0, 1]")
+        self._latency_hosts[host.lower()] = {
+            "base_s": float(base_s), "tail_s": float(tail_s),
+            "tail_p": float(tail_p),
+        }
+
+    def set_flapping_host(self, host: str, variants: int = 2) -> None:
+        """Make a host serve a different policy revision on repeat visits.
+
+        Successful responses gain a deterministic ``<!-- policy-rev N -->``
+        marker where ``N`` is drawn per ``(url, attempt)`` from ``variants``
+        possibilities, modeling hosts that flap content between visits.
+        """
+        if variants < 2:
+            raise ValueError("variants must be at least 2")
+        self._flapping_hosts[host.lower()] = int(variants)
+
     # ------------------------------------------------------------------
     # Client side
     # ------------------------------------------------------------------
@@ -144,21 +244,32 @@ class SimulatedHTTPLayer:
         # stable across processes and independent per (url, attempt).
         return random.Random(f"{self._seed}:{url}:{attempt}").random()
 
-    def get(self, url: str) -> SimulatedResponse:
-        """Fetch a URL, raising :class:`HTTPError` for transport failures."""
-        parsed = parse_url(url)
-        failure_rate = self._flaky_hosts.get(parsed.host)
-        with self._lock:
-            self._request_count += 1
-            self._recent.append(url)
-            # Per-URL attempt indices are only tracked for flaky hosts (the
-            # only consumer is the failure draw), so crawls over mostly
-            # healthy hosts keep O(flaky URLs) memory, not O(URLs).
-            if failure_rate:
-                attempt = self._url_attempts.get(url, 0)
-                self._url_attempts[url] = attempt + 1
-        if failure_rate and self._flaky_draw(url, attempt) < failure_rate:
-            raise HTTPError(url, "connection reset by peer")
+    def _behavior_draw(self, kind: str, url: str, attempt: int) -> float:
+        # Separate key-space from the flaky draw so enabling a new behavior
+        # on a host never perturbs existing failure schedules.
+        return random.Random(f"{self._seed}:{kind}:{url}:{attempt}").random()
+
+    @staticmethod
+    def _hop_url(base: str, hop: int) -> str:
+        sep = "&" if "?" in base else "?"
+        return f"{base}{sep}__hop={hop}"
+
+    @staticmethod
+    def _split_hop(url: str) -> Tuple[str, int]:
+        """Split a synthesized redirect-hop URL into ``(base, hop_index)``."""
+        for sep in ("&__hop=", "?__hop="):
+            idx = url.rfind(sep)
+            if idx == -1:
+                continue
+            try:
+                hop = int(url[idx + len(sep):])
+            except ValueError:
+                continue
+            return url[:idx], hop
+        return url, 0
+
+    def _dispatch(self, url: str) -> SimulatedResponse:
+        """Route a URL to its override/exact/prefix handler (no behaviors)."""
         if url in self._status_overrides:
             return SimulatedResponse(url=url, status=self._status_overrides[url], text="")
         exact = self._exact_handlers.get(url)
@@ -166,9 +277,83 @@ class SimulatedHTTPLayer:
             return exact(url)
         for prefix, handler in self._handlers:
             if url.startswith(prefix):
-                response = handler(url)
-                return response
+                return handler(url)
         return SimulatedResponse(url=url, status=404, text="Not Found")
+
+    @staticmethod
+    def _with_latency(response: SimulatedResponse,
+                      latency_s: float) -> SimulatedResponse:
+        if latency_s > 0:
+            response.headers["x-simulated-latency-s"] = f"{latency_s:g}"
+        return response
+
+    def get(self, url: str) -> SimulatedResponse:
+        """Fetch a URL, raising :class:`HTTPError` for transport failures."""
+        parsed = parse_url(url)
+        host = parsed.host
+        failure_rate = self._flaky_hosts.get(host)
+        ratelimit = self._ratelimit_hosts.get(host)
+        latency = self._latency_hosts.get(host)
+        flapping = self._flapping_hosts.get(host)
+        tracked = bool(failure_rate or ratelimit or latency or flapping)
+        attempt = 0
+        with self._lock:
+            self._request_count += 1
+            self._recent.append(url)
+            # Per-URL attempt indices are only tracked for hosts with
+            # attempt-dependent behavior (flaky draws, 429 bursts, latency
+            # tails, content flapping), so crawls over mostly healthy hosts
+            # keep O(misbehaving URLs) memory, not O(URLs).
+            if tracked:
+                attempt = self._url_attempts.get(url, 0)
+                self._url_attempts[url] = attempt + 1
+        latency_s = 0.0
+        if latency is not None:
+            latency_s = latency["base_s"]
+            if (latency["tail_p"] > 0
+                    and self._behavior_draw("latency", url, attempt) < latency["tail_p"]):
+                latency_s += latency["tail_s"]
+        if failure_rate and self._flaky_draw(url, attempt) < failure_rate:
+            error = HTTPError(url, "connection reset by peer")
+            error.simulated_latency_s = latency_s
+            raise error
+        if ratelimit is not None and attempt < int(ratelimit["burst"]):
+            response = SimulatedResponse(
+                url=url, status=429, text="rate limited",
+                headers={"retry-after": f"{ratelimit['retry_after_s']:g}"},
+            )
+            return self._with_latency(response, latency_s)
+        redirect = self._redirect_hosts.get(host)
+        if redirect is not None:
+            base, hop = self._split_hop(url)
+            period = int(redirect["hops"])
+            if hop < period:
+                target = self._hop_url(base, hop + 1)
+            elif redirect["loop"]:
+                # Endless cycle: the terminal hop points back at hop 1.
+                target = self._hop_url(base, 1)
+            else:
+                target = None
+            if target is not None:
+                response = SimulatedResponse(
+                    url=url, status=302, text="",
+                    headers={"location": target},
+                )
+                return self._with_latency(response, latency_s)
+            # Terminal hop of a finite chain: serve the base URL's content
+            # directly (routing back to the base URL would look like a loop
+            # to any redirect-following client).
+            response = self._dispatch(base)
+        else:
+            response = self._dispatch(url)
+        if flapping and response.ok:
+            variant = int(self._behavior_draw("flap", url, attempt) * flapping)
+            response = SimulatedResponse(
+                url=response.url, status=response.status,
+                text=f"{response.text}\n<!-- policy-rev {variant} -->",
+                headers=dict(response.headers),
+            )
+        return self._with_latency(response, latency_s)
 
     def get_json(self, url: str) -> object:
         """Fetch a URL and parse its JSON body (raises on non-2xx)."""
@@ -191,6 +376,45 @@ class SimulatedHTTPLayer:
         injection configured on the coordinator's layer carries over.
         """
         return dict(self._flaky_hosts)
+
+    @property
+    def hostile_spec(self) -> Dict[str, Dict[str, object]]:
+        """Configured adversarial behaviors as a plain-JSON spec.
+
+        Like :attr:`flaky_host_rates`, this exists so shard workers in other
+        processes can rebuild a byte-identical hostile network via
+        :meth:`apply_hostile_spec`.  Empty sub-maps mean the behavior is
+        unused.
+        """
+        return {
+            "redirect": {h: dict(c) for h, c in self._redirect_hosts.items()},
+            "ratelimit": {h: dict(c) for h, c in self._ratelimit_hosts.items()},
+            "latency": {h: dict(c) for h, c in self._latency_hosts.items()},
+            "flapping": dict(self._flapping_hosts),
+        }
+
+    def apply_hostile_spec(self, spec: Dict[str, Dict[str, object]]) -> None:
+        """Install the behaviors captured by :attr:`hostile_spec`."""
+        for host, cfg in (spec.get("redirect") or {}).items():
+            if cfg.get("loop"):
+                self.set_redirect_loop(host, int(cfg.get("hops", 3)))
+            else:
+                self.set_redirect_chain(host, int(cfg.get("hops", 2)))
+        for host, cfg in (spec.get("ratelimit") or {}).items():
+            self.set_rate_limit_storm(
+                host, int(cfg["burst"]), float(cfg.get("retry_after_s", 0.0)))
+        for host, cfg in (spec.get("latency") or {}).items():
+            self.set_host_latency(
+                host, float(cfg["base_s"]), float(cfg.get("tail_s", 0.0)),
+                float(cfg.get("tail_p", 0.0)))
+        for host, variants in (spec.get("flapping") or {}).items():
+            self.set_flapping_host(host, int(variants))
+
+    @property
+    def has_hostile_hosts(self) -> bool:
+        """Whether any adversarial behavior is configured."""
+        return bool(self._redirect_hosts or self._ratelimit_hosts
+                    or self._latency_hosts or self._flapping_hosts)
 
     @property
     def request_count(self) -> int:

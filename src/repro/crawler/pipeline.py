@@ -103,10 +103,22 @@ class CrawlStatistics:
     n_http_requests: int = 0
     #: Retry attempts the transport issued beyond first tries.
     n_retries: int = 0
+    #: 429 retries honored via Retry-After (separate from error retries).
+    n_ratelimit_retries: int = 0
     #: Tasks skipped because a checkpoint already held their results.
     n_tasks_resumed: int = 0
+    #: host → {failure kind → count} for terminal transport failures during
+    #: this run (kinds: exhausted-retries / circuit-open / deadline /
+    #: redirect-loop).  Hosts that appear here degraded visibly instead of
+    #: losing records silently; see :attr:`quarantined_hosts`.
+    host_failure_taxonomy: Dict[str, Dict[str, int]] = field(default_factory=dict)
     #: The corpus this run produced (set by the pipeline).
     corpus: Optional[CrawlCorpus] = field(default=None, repr=False)
+
+    @property
+    def quarantined_hosts(self) -> List[str]:
+        """Hosts with at least one terminal failure this run (sorted)."""
+        return sorted(self.host_failure_taxonomy)
 
     @property
     def per_store_counts(self) -> Dict[str, int]:
@@ -125,6 +137,40 @@ class CrawlStatistics:
         """Fraction of identifiers that resolved to a manifest."""
         total = self.n_resolved + self.n_unresolved
         return self.n_resolved / total if total else 0.0
+
+
+def _taxonomy_snapshot(taxonomy: Dict[str, Dict[str, int]]) -> Dict[str, Dict[str, int]]:
+    """Deep-copy a per-host failure taxonomy (transport counters are
+    cumulative across runs; snapshots keep statistics per-run)."""
+    return {host: dict(kinds) for host, kinds in taxonomy.items()}
+
+
+def _taxonomy_delta(
+    before: Dict[str, Dict[str, int]], after: Dict[str, Dict[str, int]]
+) -> Dict[str, Dict[str, int]]:
+    """Per-host counts accumulated between two snapshots."""
+    delta: Dict[str, Dict[str, int]] = {}
+    for host, kinds in after.items():
+        base = before.get(host, {})
+        grown = {
+            kind: count - base.get(kind, 0)
+            for kind, count in kinds.items()
+            if count - base.get(kind, 0) > 0
+        }
+        if grown:
+            delta[host] = grown
+    return delta
+
+
+def _merge_taxonomy(
+    target: Dict[str, Dict[str, int]], delta: Dict[str, Dict[str, int]]
+) -> None:
+    """Accumulate a taxonomy delta (order-independent, so shard completion
+    order cannot perturb the merged counts)."""
+    for host, kinds in delta.items():
+        bucket = target.setdefault(host, {})
+        for kind, count in kinds.items():
+            bucket[kind] = bucket.get(kind, 0) + count
 
 
 @dataclass(frozen=True)
@@ -209,6 +255,8 @@ class CrawlPipeline:
         self.store_servers = store_servers
         self.page_size = page_size
         self.workers = workers
+        # Accept a plain mapping (sweep scenarios store JSON overrides).
+        transport_config = TransportConfig.coerce(transport_config)
         self.transport_config = transport_config
         self.rate_limits = dict(rate_limits) if rate_limits else None
         self.transport = RetryingTransport(
@@ -447,6 +495,9 @@ class CrawlPipeline:
             checkpoint_dir=self.checkpoint_dir,
             checkpoint_every=self.checkpoint_every,
             shards=self.shards,
+            hostile_spec=(
+                self.http.hostile_spec if self.http.has_hostile_hosts else None
+            ),
         )
         return self._shard_spec_cache
 
@@ -485,6 +536,8 @@ class CrawlPipeline:
 
         requests_before = self.http.request_count
         retries_before = self.transport.statistics.n_retries
+        ratelimit_before = self.transport.statistics.n_ratelimit_retries
+        taxonomy_before = _taxonomy_snapshot(self.transport.statistics.per_host_taxonomy)
         # Shard-sliced load + loadless append: the sub-pipeline's memory is
         # bounded by its own shard's records even when resuming a huge
         # checkpoint (load_stage would materialize every shard's payloads).
@@ -514,6 +567,12 @@ class CrawlPipeline:
         if report_network_stats:
             result["n_http_requests"] = self.http.request_count - requests_before
             result["n_retries"] = self.transport.statistics.n_retries - retries_before
+            result["n_ratelimit_retries"] = (
+                self.transport.statistics.n_ratelimit_retries - ratelimit_before
+            )
+            result["host_taxonomy"] = _taxonomy_delta(
+                taxonomy_before, self.transport.statistics.per_host_taxonomy
+            )
         return result
 
     def _run_shard_phase(
@@ -588,6 +647,13 @@ class CrawlPipeline:
             self.statistics.n_tasks_resumed += int(payload.get("n_resumed", 0))
             self.statistics.n_http_requests += int(payload.get("n_http_requests", 0))
             self.statistics.n_retries += int(payload.get("n_retries", 0))
+            self.statistics.n_ratelimit_retries += int(
+                payload.get("n_ratelimit_retries", 0)
+            )
+            _merge_taxonomy(
+                self.statistics.host_failure_taxonomy,
+                payload.get("host_taxonomy") or {},
+            )
             consume(shard, payload["records"])
 
         backend.run(tasks, on_result=on_result, keep_results=False)
@@ -615,6 +681,8 @@ class CrawlPipeline:
         self.statistics = CrawlStatistics()
         requests_before = self.http.request_count
         retries_before = self.transport.statistics.n_retries
+        ratelimit_before = self.transport.statistics.n_ratelimit_retries
+        taxonomy_before = _taxonomy_snapshot(self.transport.statistics.per_host_taxonomy)
         checkpoint = self._open_checkpoint(n_shards=self.shards)
         if checkpoint is not None:
             # Settle the layout marker before any shard sub-pipeline opens
@@ -704,6 +772,13 @@ class CrawlPipeline:
         # this pipeline's transport — process workers reported their own).
         self.statistics.n_http_requests += self.http.request_count - requests_before
         self.statistics.n_retries += self.transport.statistics.n_retries - retries_before
+        self.statistics.n_ratelimit_retries += (
+            self.transport.statistics.n_ratelimit_retries - ratelimit_before
+        )
+        _merge_taxonomy(
+            self.statistics.host_failure_taxonomy,
+            _taxonomy_delta(taxonomy_before, self.transport.statistics.per_host_taxonomy),
+        )
         return store
 
     # ------------------------------------------------------------------
@@ -753,12 +828,17 @@ class CrawlPipeline:
 
     def _checkpoint_fingerprint(self) -> Dict[str, object]:
         """What must match for a checkpoint to be resumable by this crawl."""
-        return {
+        fingerprint: Dict[str, object] = {
             "seed": self.http.seed,
             "page_size": self.page_size,
             "stores": [server.name for server in self.store_servers],
             "n_listings": sum(len(server.listings) for server in self.store_servers),
         }
+        if self.http.has_hostile_hosts:
+            # Hostile behaviors change which fetches fail, so a checkpoint
+            # from a differently-hostile crawl must not be resumed.
+            fingerprint["hostile"] = self.http.hostile_spec
+        return fingerprint
 
     def _open_checkpoint(self, n_shards: int) -> Optional[CrawlCheckpoint]:
         """Open (and clear or fingerprint-check) the configured checkpoint."""
@@ -811,6 +891,8 @@ class CrawlPipeline:
         # same pipeline; snapshot them so statistics stay per-run.
         requests_before = self.http.request_count
         retries_before = self.transport.statistics.n_retries
+        ratelimit_before = self.transport.statistics.n_ratelimit_retries
+        taxonomy_before = _taxonomy_snapshot(self.transport.statistics.per_host_taxonomy)
         checkpoint = self._open_checkpoint(n_shards=self.checkpoint_shards)
 
         identifier_sources: Dict[str, List[str]] = {}
@@ -827,6 +909,12 @@ class CrawlPipeline:
 
         self.statistics.n_http_requests = self.http.request_count - requests_before
         self.statistics.n_retries = self.transport.statistics.n_retries - retries_before
+        self.statistics.n_ratelimit_retries = (
+            self.transport.statistics.n_ratelimit_retries - ratelimit_before
+        )
+        self.statistics.host_failure_taxonomy = _taxonomy_delta(
+            taxonomy_before, self.transport.statistics.per_host_taxonomy
+        )
         return corpus
 
 
@@ -856,6 +944,9 @@ class ShardCrawlSpec:
     checkpoint_dir: Optional[str]
     checkpoint_every: int
     shards: int
+    #: Adversarial host behaviors (see SimulatedHTTPLayer.hostile_spec);
+    #: ``None`` when the coordinator's network has none configured.
+    hostile_spec: Optional[Dict[str, Dict[str, object]]] = None
 
 
 def _shard_task_seed(seed: int, stage_name: str, shard: int) -> int:
@@ -879,6 +970,8 @@ def _build_shard_pipeline(spec: ShardCrawlSpec) -> "CrawlPipeline":
     )
     for host, rate in spec.flaky_hosts.items():
         pipeline.http.set_flaky_host(host, rate)
+    if spec.hostile_spec:
+        pipeline.http.apply_hostile_spec(spec.hostile_spec)
     return pipeline
 
 

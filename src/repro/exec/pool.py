@@ -37,11 +37,16 @@ The thread kind exists so pool-lifecycle code is backend-agnostic: it
 keeps the frontier-draining semantics of
 :class:`~repro.exec.backends.ThreadBackend` (pluggable queue, optional
 rate limiter) over a persistent :class:`ThreadPoolExecutor`, and
-``broadcast`` installs into the (shared-memory) worker store directly —
-no restart, no pickling.
+``broadcast`` payloads live in the pool's own store (shared memory — no
+restart, no pickling).  Worker threads see *their* pool's store through a
+thread-local installed for the duration of each ``run()``, so two live
+thread pools never observe each other's broadcasts and a closed pool
+leaves nothing behind in later pools or tests.
 """
 
 from __future__ import annotations
+
+import threading
 
 from concurrent.futures import (
     FIRST_COMPLETED,
@@ -67,9 +72,17 @@ from repro.exec.backends import (
 #: Pool kinds :class:`WorkerPool` accepts.
 POOL_KINDS = ("thread", "process")
 
-#: Worker-side shared-state store, filled by the pool initializer (process
-#: kind) or directly by ``broadcast`` (thread kind — shared memory).
+#: Worker-side shared-state store for the *process* kind, filled by the
+#: pool initializer.  A worker process belongs to exactly one pool, so a
+#: process-global store is correct there; thread-kind pools share one
+#: process and use the thread-local active store below instead.
 _WORKER_SHARED: Dict[str, object] = {}
+
+#: Thread-kind active store: each worker thread sees the broadcast store of
+#: the pool whose ``run()`` it is currently executing (installed around the
+#: worker loop, restored on exit), so concurrent pools stay isolated and a
+#: pool's payloads vanish with it instead of leaking into later pools.
+_THREAD_SHARED = threading.local()
 
 
 def _install_shared(payloads: Mapping[str, object]) -> None:
@@ -86,8 +99,13 @@ def shared_state(key: str) -> object:
     """Look up a broadcast payload inside a worker (or the coordinator).
 
     Task functions call this instead of carrying the payload in their
-    ``args``, shrinking per-task pickles to identifiers.
+    ``args``, shrinking per-task pickles to identifiers.  Resolution order:
+    the running thread pool's own store (thread kind), then the process
+    worker store (process kind).
     """
+    store = getattr(_THREAD_SHARED, "store", None)
+    if store is not None and key in store:
+        return store[key]
     try:
         return _WORKER_SHARED[key]
     except KeyError:
@@ -155,8 +173,6 @@ class WorkerPool(_FrontierBackend):
         self._executor = None
         self._dirty = False
         self._closed = False
-        if kind == "thread" and self._shared:
-            _WORKER_SHARED.update(self._shared)
 
     # ------------------------------------------------------------------
     @property
@@ -175,15 +191,15 @@ class WorkerPool(_FrontierBackend):
         the pool initializer.  Re-broadcasting the *same object* under an
         existing key is free; a different object marks the pool dirty and
         the next :meth:`run` restarts the executor with the update.
-        Thread kind: installed immediately (shared memory), no restart.
+        Thread kind: the pool's own store updates immediately (shared
+        memory, no restart); worker threads see it — and only it — while
+        running this pool's tasks.
         """
         self._require_open()
         if key in self._shared and self._shared[key] is payload:
             return self
         self._shared[key] = payload
-        if self.kind == "thread":
-            _WORKER_SHARED[key] = payload
-        elif self._executor is not None:
+        if self.kind == "process" and self._executor is not None:
             self._dirty = True
         return self
 
@@ -263,11 +279,13 @@ class WorkerPool(_FrontierBackend):
         for task in task_list:
             queue.push(task)
         if self.workers <= 1:
-            self._worker_loop(queue, outcomes, on_result, keep_results)
+            self._scoped_worker_loop(queue, outcomes, on_result, keep_results)
         else:
             executor = self._ensure_executor()
             futures = [
-                executor.submit(self._worker_loop, queue, outcomes, on_result, keep_results)
+                executor.submit(
+                    self._scoped_worker_loop, queue, outcomes, on_result, keep_results
+                )
                 for _ in range(self.workers)
             ]
             try:
@@ -282,6 +300,17 @@ class WorkerPool(_FrontierBackend):
                 # wind the siblings down explicitly.
                 wait(futures)
         return [outcomes[key] for key in keys]
+
+    def _scoped_worker_loop(self, queue, outcomes, on_result, keep_results) -> None:
+        """Run the frontier loop with this pool's store as the thread's
+        active shared state (restored on exit, so nested or successive
+        pools on the same thread never see a stale store)."""
+        previous = getattr(_THREAD_SHARED, "store", None)
+        _THREAD_SHARED.store = self._shared
+        try:
+            self._worker_loop(queue, outcomes, on_result, keep_results)
+        finally:
+            _THREAD_SHARED.store = previous
 
     def _run_process(
         self,

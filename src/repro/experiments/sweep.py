@@ -7,8 +7,9 @@ This module provides that layer:
 
 * :class:`Scenario` — a named variation of the paper-calibrated ecosystem
   and suite configuration (:data:`BUILTIN_SCENARIOS` ships ``baseline``,
-  ``flaky-hosts``, ``large-store``, ``dense-duplicates`` and
-  ``sparse-policies``);
+  ``flaky-hosts``, ``large-store``, ``dense-duplicates``,
+  ``sparse-policies``, and the adversarial-web pair ``hostile-hosts`` /
+  ``hostile-ratelimit``);
 * :func:`expand_grid` — expands scenario names × seed count into
   :class:`SweepCell` work units;
 * :class:`SweepRunner` — runs one full :class:`MeasurementSuite` pipeline
@@ -141,6 +142,37 @@ BUILTIN_SCENARIOS: Dict[str, Scenario] = {
             "sparse-policies",
             "poor policy coverage: many missing and very short policies",
             ecosystem_overrides={"policy_availability": 0.62, "policy_short_share": 0.10},
+        ),
+        # The adversarial-web pair (ROADMAP item 5a).  Circuit breaking
+        # stays off: circuit state depends on request interleaving, and
+        # sweep scenarios must stay byte-identical at any worker count.
+        Scenario(
+            "hostile-hosts",
+            "adversarial web: redirect chains and loops, 429 storms, "
+            "tarpit latency, content-flapping hosts, deadline-enforced transport",
+            suite_overrides={
+                # Default battery, with tarpit tails big enough that a tail
+                # draw deterministically exceeds the request deadline — so
+                # the deadline taxonomy is exercised, visibly.
+                "crawl_hostile": {"tarpit_tail_s": 0.3, "tarpit_tail_p": 0.35},
+                "crawl_transport": {"deadline_s": 0.2},
+            },
+        ),
+        Scenario(
+            "hostile-ratelimit",
+            "429 rate-limit storms only: every record survives via "
+            "Retry-After-aware retries (zero lost records)",
+            suite_overrides={
+                "crawl_hostile": {
+                    "redirect_chain_hosts": 0,
+                    "redirect_loop_hosts": 0,
+                    "tarpit_hosts": 0,
+                    "flapping_hosts": 0,
+                    "ratelimit_hosts": 4,
+                    "ratelimit_burst": 3,
+                    "retry_after_s": 0.002,
+                },
+            },
         ),
     )
 }

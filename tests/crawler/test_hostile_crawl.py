@@ -1,0 +1,246 @@
+"""End-to-end tests for crawls over a hostile simulated web (ROADMAP 5a).
+
+The contract under test: a crawl over adversarial hosts — redirect chains
+and loops, 429 rate-limit storms, tarpit latency, content flapping — must
+*complete*, lose no resolvable record, quarantine the unrecoverable hosts
+visibly in ``CrawlStatistics.host_failure_taxonomy``, and stay
+byte-identical across execution backends, worker counts, and kill+resume.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.crawler.hostile import install_hostile_hosts
+from repro.crawler.pipeline import CrawlPipeline
+from repro.crawler.transport import FAILURE_KINDS, TransportConfig
+from repro.io import canonical_json, corpus_to_payload, policies_to_payload
+from repro.io.shards import ShardedCorpusStore
+from repro.web.urls import url_host
+
+SEED = 11
+DEADLINE_S = 0.2
+#: Default battery, with tarpit tails that deterministically blow the
+#: accounted-time deadline (``tail_p=1.0``; 0.001 + 0.3 > 0.2s), so both the
+#: ``redirect-loop`` and ``deadline`` quarantine kinds are exercised.
+SPEC = {"tarpit_tail_s": 0.3, "tarpit_tail_p": 1.0}
+#: Recoverable-only battery: redirect chains and 429 storms, whose records
+#: the transport must salvage without exception (burst 3 < the default
+#: ``max_ratelimit_retries`` of 4; chains are followed to content).
+RECOVERABLE_SPEC = {
+    "redirect_loop_hosts": 0,
+    "tarpit_hosts": 0,
+    "flapping_hosts": 0,
+}
+
+#: Backend the marked smoke subset runs on (`make test-process` overrides).
+SMOKE_BACKEND = os.environ.get("REPRO_TEST_BACKEND", "thread")
+
+
+def _hostile_pipeline(ecosystem, spec=None, **kwargs):
+    pipeline = CrawlPipeline.from_ecosystem(
+        ecosystem,
+        seed=SEED,
+        transport_config=TransportConfig(deadline_s=DEADLINE_S),
+        **kwargs,
+    )
+    roles = install_hostile_hosts(
+        pipeline.http, ecosystem, spec=SPEC if spec is None else spec, seed=SEED
+    )
+    return pipeline, roles
+
+
+def _identity(pipeline, corpus):
+    """Everything that must be byte-identical across execution strategies."""
+    return (
+        canonical_json(corpus_to_payload(corpus)),
+        canonical_json(policies_to_payload(corpus)),
+        canonical_json(pipeline.statistics.host_failure_taxonomy),
+    )
+
+
+@pytest.fixture(scope="module")
+def reference(small_ecosystem):
+    """The serial hostile crawl every identity test compares against."""
+    pipeline, roles = _hostile_pipeline(small_ecosystem)
+    corpus = pipeline.run()
+    return {
+        "pipeline": pipeline,
+        "roles": roles,
+        "corpus": corpus,
+        "identity": _identity(pipeline, corpus),
+    }
+
+
+class TestHostileCrawlCompletes:
+    def test_full_battery_crawl_completes_with_quarantine(
+        self, small_ecosystem, reference
+    ):
+        """The crawl finishes — every GPT resolved, every policy URL carries
+        a record — and the unsalvageable hosts are quarantined by kind."""
+        corpus = reference["corpus"]
+        stats = reference["pipeline"].statistics
+        assert len(corpus.gpts) == small_ecosystem.n_gpts()
+
+        quarantined = stats.quarantined_hosts
+        assert quarantined, "loop/tarpit hosts must degrade visibly"
+        unsalvageable = set(
+            reference["roles"]["redirect-loop"] + reference["roles"]["tarpit"]
+        )
+        assert set(quarantined) <= unsalvageable
+        kinds = {
+            kind
+            for buckets in stats.host_failure_taxonomy.values()
+            for kind in buckets
+        }
+        assert kinds <= set(FAILURE_KINDS)
+        assert {"redirect-loop", "deadline"} <= kinds
+
+    def test_no_resolvable_record_lost(self, small_corpus, reference):
+        """Hostility degrades records, it never drops them: the policy URL
+        set and the GPT set match the clean crawl, and every *new* failure
+        sits on a quarantined host."""
+        corpus = reference["corpus"]
+        assert set(corpus.policies) == set(small_corpus.policies)
+        assert set(corpus.gpts) == set(small_corpus.gpts)
+
+        quarantined = set(reference["pipeline"].statistics.quarantined_hosts)
+        clean_failed = {url for url, r in small_corpus.policies.items() if not r.ok}
+        for url, result in corpus.policies.items():
+            if not result.ok and url not in clean_failed:
+                assert url_host(url) in quarantined, (
+                    f"{url} failed outside the quarantine taxonomy"
+                )
+
+    def test_recoverable_battery_loses_nothing(self, small_ecosystem, small_corpus):
+        """Chains + 429 storms only: the transport salvages every record —
+        the success set is exactly the clean crawl's, nothing quarantined."""
+        pipeline, roles = _hostile_pipeline(small_ecosystem, spec=RECOVERABLE_SPEC)
+        corpus = pipeline.run()
+        hostile_ok = {url for url, r in corpus.policies.items() if r.ok}
+        clean_ok = {url for url, r in small_corpus.policies.items() if r.ok}
+        assert hostile_ok == clean_ok
+        stats = pipeline.statistics
+        assert stats.n_policy_failures == sum(
+            1 for r in small_corpus.policies.values() if not r.ok
+        )
+        assert stats.host_failure_taxonomy == {}
+        # The battery did bite: redirects were followed, storms retried.
+        assert any(roles["redirect-chain"]) and any(roles["ratelimit"])
+        assert stats.n_ratelimit_retries > 0
+
+
+class TestHostileDeterminism:
+    def test_cold_runs_byte_identical(self, small_ecosystem, reference):
+        pipeline, _ = _hostile_pipeline(small_ecosystem)
+        assert _identity(pipeline, pipeline.run()) == reference["identity"]
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_worker_counts_byte_identical(self, small_ecosystem, reference, workers):
+        pipeline, _ = _hostile_pipeline(small_ecosystem, workers=workers)
+        assert _identity(pipeline, pipeline.run()) == reference["identity"]
+
+    @pytest.mark.process_smoke
+    def test_sharded_backends_byte_identical(
+        self, small_ecosystem, reference, tmp_path
+    ):
+        """The shard-partitioned crawl rebuilds the hostile network inside
+        each (possibly process-pool) worker from the shipped hostile spec:
+        same store bytes, same merged taxonomy."""
+        ref_store = ShardedCorpusStore.write_corpus(
+            reference["corpus"], tmp_path / "ref", n_shards=4
+        )
+        for backend in ("serial", SMOKE_BACKEND):
+            pipeline, _ = _hostile_pipeline(
+                small_ecosystem, shards=4, workers=2, backend=backend
+            )
+            store = pipeline.run_sharded(tmp_path / backend)
+            assert store.fingerprint() == ref_store.fingerprint()
+            assert canonical_json(
+                pipeline.statistics.host_failure_taxonomy
+            ) == reference["identity"][2]
+
+
+class TestHostileResume:
+    def test_killed_hostile_crawl_resumes_identically(
+        self, small_ecosystem, reference, tmp_path
+    ):
+        killed, _ = _hostile_pipeline(
+            small_ecosystem, workers=4,
+            checkpoint_dir=str(tmp_path), checkpoint_every=10,
+        )
+        real_get = killed.http.get
+        calls = {"n": 0}
+
+        def killer_get(url):
+            calls["n"] += 1
+            if calls["n"] == 150:
+                raise KeyboardInterrupt
+            return real_get(url)
+
+        killed.http.get = killer_get
+        with pytest.raises(KeyboardInterrupt):
+            killed.run()
+
+        resumed, _ = _hostile_pipeline(
+            small_ecosystem, workers=4,
+            checkpoint_dir=str(tmp_path), resume=True,
+        )
+        corpus = resumed.run()
+        assert resumed.statistics.n_tasks_resumed > 0
+        # The corpus is byte-identical to the uninterrupted hostile crawl.
+        # (The per-run taxonomy legitimately differs: resumed tasks are not
+        # refetched, so their failures are not re-observed.)
+        assert canonical_json(corpus_to_payload(corpus)) == reference["identity"][0]
+        assert canonical_json(policies_to_payload(corpus)) == reference["identity"][1]
+
+    def test_resume_refuses_changed_hostile_spec(self, small_ecosystem, tmp_path):
+        """The hostile battery is part of the checkpoint fingerprint: a
+        resume under a *different* adversarial web must be refused, not
+        silently blended with the checkpointed half-crawl."""
+        pipeline, _ = _hostile_pipeline(small_ecosystem, checkpoint_dir=str(tmp_path))
+        pipeline.run()
+        benign = CrawlPipeline.from_ecosystem(
+            small_ecosystem, seed=SEED,
+            transport_config=TransportConfig(deadline_s=DEADLINE_S),
+            checkpoint_dir=str(tmp_path), resume=True,
+        )
+        with pytest.raises(ValueError, match="different crawl configuration"):
+            benign.run()
+
+
+class TestHostileSweepScenarios:
+    def test_builtin_scenarios_present(self):
+        from repro.experiments.sweep import BUILTIN_SCENARIOS
+
+        assert {"hostile-hosts", "hostile-ratelimit"} <= set(BUILTIN_SCENARIOS)
+
+    def test_hostile_scenario_suite_completes_and_reports(self):
+        from repro.analysis.suite import MeasurementSuite
+        from repro.experiments.sweep import BUILTIN_SCENARIOS
+
+        config = BUILTIN_SCENARIOS["hostile-hosts"].suite_config(240, seed=3)
+        suite = MeasurementSuite(config=config)
+        corpus = suite.corpus
+        assert len(corpus.gpts) == 240
+        stats = suite.crawl_statistics
+        assert stats is not None
+        assert isinstance(stats.host_failure_taxonomy, dict)
+
+    def test_ratelimit_scenario_loses_nothing(self):
+        from repro.analysis.suite import MeasurementSuite
+        from repro.experiments.sweep import BUILTIN_SCENARIOS
+
+        baseline = MeasurementSuite(
+            config=BUILTIN_SCENARIOS["baseline"].suite_config(240, seed=3)
+        )
+        stormy = MeasurementSuite(
+            config=BUILTIN_SCENARIOS["hostile-ratelimit"].suite_config(240, seed=3)
+        )
+        clean_ok = {url for url, r in baseline.corpus.policies.items() if r.ok}
+        stormy_ok = {url for url, r in stormy.corpus.policies.items() if r.ok}
+        assert stormy_ok == clean_ok
+        assert stormy.crawl_statistics.n_ratelimit_retries > 0
+        assert stormy.crawl_statistics.host_failure_taxonomy == {}

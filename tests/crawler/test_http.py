@@ -105,3 +105,112 @@ class TestSimulatedHTTPLayer:
     def test_response_json_method(self):
         response = SimulatedResponse(url="u", status=200, text='{"a": 1}')
         assert response.json() == {"a": 1}
+
+
+class TestAdversarialHostBehaviors:
+    def test_redirect_chain_hops_then_serves_base_content(self):
+        http = SimulatedHTTPLayer()
+        http.register_static("https://hop.example/doc", "the content")
+        http.set_redirect_chain("hop.example", hops=2)
+        first = http.get("https://hop.example/doc")
+        assert first.status == 302
+        assert first.headers["location"] == "https://hop.example/doc?__hop=1"
+        second = http.get(first.headers["location"])
+        assert second.status == 302
+        assert second.headers["location"] == "https://hop.example/doc?__hop=2"
+        # Terminal hop: the base URL's document, not another redirect.
+        final = http.get(second.headers["location"])
+        assert final.ok and final.text == "the content"
+
+    def test_redirect_loop_cycles_forever(self):
+        http = SimulatedHTTPLayer()
+        http.set_redirect_loop("cycle.example", period=2)
+        url = "https://cycle.example/doc"
+        hop1 = http.get(url).headers["location"]
+        hop2 = http.get(hop1).headers["location"]
+        back = http.get(hop2).headers["location"]
+        assert back == hop1  # the cycle closes on hop 1, never on content
+
+    def test_rate_limit_storm_is_per_url(self):
+        http = SimulatedHTTPLayer()
+        http.register_static("https://busy.example/a", "a")
+        http.register_static("https://busy.example/b", "b")
+        http.set_rate_limit_storm("busy.example", burst=2, retry_after_s=0.5)
+        for _ in range(2):
+            response = http.get("https://busy.example/a")
+            assert response.status == 429
+            assert response.headers["retry-after"] == "0.5"
+        assert http.get("https://busy.example/a").ok
+        # /b keeps its own burst counter: traffic to /a did not consume it.
+        assert http.get("https://busy.example/b").status == 429
+
+    def test_latency_is_reported_not_slept(self):
+        http = SimulatedHTTPLayer(seed=4)
+        http.register_static("https://slow.example/doc", "doc")
+        http.set_host_latency("slow.example", base_s=0.01, tail_s=5.0, tail_p=0.5)
+        costs = [
+            float(http.get("https://slow.example/doc").headers["x-simulated-latency-s"])
+            for _ in range(20)
+        ]
+        assert all(cost in (0.01, 5.01) for cost in costs)
+        assert len(set(costs)) == 2  # some draws hit the tail, some did not
+        # Same seed, same per-(url, attempt) draws: the schedule replays.
+        replay = SimulatedHTTPLayer(seed=4)
+        replay.register_static("https://slow.example/doc", "doc")
+        replay.set_host_latency("slow.example", base_s=0.01, tail_s=5.0, tail_p=0.5)
+        assert costs == [
+            float(replay.get("https://slow.example/doc").headers["x-simulated-latency-s"])
+            for _ in range(20)
+        ]
+
+    def test_flaky_error_carries_the_simulated_latency(self):
+        http = SimulatedHTTPLayer()
+        http.set_flaky_host("slow.example", 1.0)
+        http.set_host_latency("slow.example", base_s=0.25)
+        with pytest.raises(HTTPError) as excinfo:
+            http.get("https://slow.example/doc")
+        assert excinfo.value.simulated_latency_s == 0.25
+
+    def test_flapping_host_serves_deterministic_revisions(self):
+        def revisions(seed):
+            http = SimulatedHTTPLayer(seed=seed)
+            http.register_static("https://flap.example/policy", "base policy")
+            http.set_flapping_host("flap.example", variants=3)
+            return [http.get("https://flap.example/policy").text for _ in range(12)]
+
+        texts = revisions(seed=2)
+        assert all(text.startswith("base policy") for text in texts)
+        assert all("policy-rev" in text for text in texts)
+        assert len(set(texts)) > 1  # the content actually flaps
+        assert texts == revisions(seed=2)  # ...deterministically
+
+    def test_hostile_spec_roundtrip(self):
+        http = SimulatedHTTPLayer()
+        http.set_redirect_chain("chain.example", hops=4)
+        http.set_redirect_loop("cycle.example", period=2)
+        http.set_rate_limit_storm("busy.example", burst=5, retry_after_s=0.01)
+        http.set_host_latency("slow.example", base_s=0.1, tail_s=2.0, tail_p=0.3)
+        http.set_flapping_host("flap.example", variants=4)
+        assert http.has_hostile_hosts
+
+        rebuilt = SimulatedHTTPLayer()
+        assert not rebuilt.has_hostile_hosts
+        rebuilt.apply_hostile_spec(http.hostile_spec)
+        assert rebuilt.hostile_spec == http.hostile_spec
+
+    def test_behavior_parameter_validation(self):
+        http = SimulatedHTTPLayer()
+        with pytest.raises(ValueError):
+            http.set_redirect_chain("h", hops=0)
+        with pytest.raises(ValueError):
+            http.set_redirect_loop("h", period=0)
+        with pytest.raises(ValueError):
+            http.set_rate_limit_storm("h", burst=0)
+        with pytest.raises(ValueError):
+            http.set_rate_limit_storm("h", burst=1, retry_after_s=-1.0)
+        with pytest.raises(ValueError):
+            http.set_host_latency("h", base_s=-0.1)
+        with pytest.raises(ValueError):
+            http.set_host_latency("h", base_s=0.1, tail_p=1.5)
+        with pytest.raises(ValueError):
+            http.set_flapping_host("h", variants=1)

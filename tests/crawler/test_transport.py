@@ -5,13 +5,17 @@ deterministic seeded flakiness, retry-until-budget recovery, circuit
 breaking, and the pipeline-level accounting of transport errors.
 """
 
+import time
+
 import pytest
 
-from repro.crawler.http import HTTPError, SimulatedHTTPLayer
+from repro.crawler.http import HTTPError, SimulatedHTTPLayer, SimulatedResponse
 from repro.crawler.pipeline import CrawlPipeline
 from repro.crawler.policy_fetcher import PolicyFetcher
 from repro.crawler.transport import (
     CircuitOpenError,
+    DeadlineExceededError,
+    RedirectLoopError,
     RetryingTransport,
     TransportConfig,
 )
@@ -213,6 +217,280 @@ class TestCircuitBreaker:
         assert transport.get("https://wobbly.example/doc").ok
         circuit = transport._circuits["wobbly.example"]
         assert circuit.consecutive_failures == 0
+
+
+class TestRetryableStatusOpensCircuit:
+    """Regression: a retryable 5xx used to be recorded as a *success* for
+    the circuit (``_record_outcome(failed=False)`` ran before the status
+    check), so a host serving an endless 503 storm reset its own circuit on
+    every attempt and was hammered forever."""
+
+    def _storm(self, max_attempts, threshold, cooldown=60.0):
+        http = SimulatedHTTPLayer()
+        url = "https://always503.example/doc"
+        http.set_status_override(url, 503)
+        config = TransportConfig(
+            max_attempts=max_attempts,
+            circuit_threshold=threshold,
+            circuit_cooldown_s=cooldown,
+        )
+        return RetryingTransport(http, config), http, url
+
+    def test_pure_503_host_opens_the_circuit(self):
+        transport, http, url = self._storm(max_attempts=1, threshold=2)
+        for _ in range(2):
+            assert transport.get(url).status == 503  # terminal: handed back
+        before = http.request_count
+        with pytest.raises(CircuitOpenError):
+            transport.get(url)
+        assert http.request_count == before  # the storm is no longer hit
+        assert transport.statistics.per_host_failures["always503.example"] == 2
+        assert transport.statistics.per_host_taxonomy["always503.example"] == {
+            "exhausted-retries": 2,
+            "circuit-open": 1,
+        }
+
+    def test_each_retried_503_attempt_counts_as_a_failure(self):
+        transport, http, url = self._storm(max_attempts=3, threshold=3)
+        assert transport.get(url).status == 503  # three attempts, all 503
+        with pytest.raises(CircuitOpenError):
+            transport.get(url)
+        assert transport.statistics.per_host_failures["always503.example"] == 3
+
+    def test_half_open_trial_returning_503_reopens(self):
+        transport, http, url = self._storm(max_attempts=1, threshold=1, cooldown=0.0)
+        assert transport.get(url).status == 503  # opens the circuit
+        before = http.request_count
+        assert transport.get(url).status == 503  # the cooled-down trial
+        assert http.request_count == before + 1
+        circuit = transport._circuits["always503.example"]
+        assert not circuit.trial_in_flight
+        assert circuit.opened_at is not None  # failed trial: fresh cooldown
+
+
+class _WedgeInner:
+    """Inner transport that fails as scripted — first as a connection error,
+    then by raising straight through ``get`` (a handler bug)."""
+
+    def __init__(self):
+        self.mode = "http-error"
+        self.calls = 0
+
+    def get(self, url):
+        self.calls += 1
+        if self.mode == "boom":
+            raise RuntimeError("handler bug")
+        raise HTTPError(url, "connection reset by peer")
+
+
+class TestHalfOpenTrialRelease:
+    """Regression: a half-open trial that died on a non-``HTTPError``
+    exception never cleared ``trial_in_flight``, wedging the circuit open
+    (every later request rejected) for the rest of the crawl."""
+
+    def test_non_http_exception_releases_the_trial_slot(self):
+        inner = _WedgeInner()
+        transport = RetryingTransport(
+            inner,
+            TransportConfig(
+                max_attempts=1, circuit_threshold=1, circuit_cooldown_s=0.0
+            ),
+        )
+        url = "https://wedge.example/doc"
+        with pytest.raises(HTTPError):
+            transport.get(url)  # opens the circuit
+        inner.mode = "boom"
+        with pytest.raises(RuntimeError):
+            transport.get(url)  # the trial dies through inner.get
+        circuit = transport._circuits["wedge.example"]
+        assert not circuit.trial_in_flight
+        # The next request is admitted as a fresh trial — it reaches the
+        # network instead of being rejected by a wedged circuit forever.
+        calls_before = inner.calls
+        with pytest.raises(RuntimeError):
+            transport.get(url)
+        assert inner.calls == calls_before + 1
+
+
+class TestRedirectFollowing:
+    def _chain_layer(self, hops=2):
+        http = SimulatedHTTPLayer()
+        url = "https://hop.example/doc"
+        http.register_static(url, "destination")
+        http.set_redirect_chain("hop.example", hops=hops)
+        return http, url
+
+    def test_chain_followed_to_content(self):
+        http, url = self._chain_layer(hops=2)
+        transport = RetryingTransport(http)
+        response = transport.get(url)
+        assert response.ok and response.text == "destination"
+        assert transport.statistics.n_redirects == 2
+        assert transport.statistics.n_requests == 1
+        assert transport.statistics.per_host_taxonomy == {}
+
+    def test_loop_detected_and_quarantined(self):
+        http = SimulatedHTTPLayer()
+        url = "https://cycle.example/doc"
+        http.register_static(url, "never served")
+        http.set_redirect_loop("cycle.example", period=3)
+        transport = RetryingTransport(http, TransportConfig(max_redirects=50))
+        with pytest.raises(RedirectLoopError):
+            transport.get(url)
+        # Detected by the visited set, not by burning the whole hop budget.
+        assert transport.statistics.n_redirects <= 4
+        assert transport.statistics.per_host_taxonomy["cycle.example"] == {
+            "redirect-loop": 1
+        }
+        assert transport.statistics.per_host_failures["cycle.example"] == 1
+
+    def test_max_redirects_bounds_long_chains(self):
+        http, url = self._chain_layer(hops=10)
+        transport = RetryingTransport(http, TransportConfig(max_redirects=3))
+        with pytest.raises(RedirectLoopError, match="too many redirects"):
+            transport.get(url)
+        assert transport.statistics.n_redirects == 4  # the hop that broke it
+
+    def test_relative_location_resolved(self):
+        http = SimulatedHTTPLayer()
+        http.register_exact(
+            "https://rel.example/old",
+            lambda url: SimulatedResponse(
+                url, 301, "", headers={"location": "/new"}
+            ),
+        )
+        http.register_static("https://rel.example/new", "moved here")
+        response = RetryingTransport(http).get("https://rel.example/old")
+        assert response.ok and response.text == "moved here"
+
+
+class TestRetryAfterHandling:
+    def _storm_layer(self, burst, retry_after_s=0.001):
+        http = SimulatedHTTPLayer()
+        url = "https://busy.example/doc"
+        http.register_static(url, "served")
+        http.set_rate_limit_storm("busy.example", burst=burst, retry_after_s=retry_after_s)
+        return http, url
+
+    def test_storm_survived_within_budget(self):
+        http, url = self._storm_layer(burst=3)
+        transport = RetryingTransport(http, TransportConfig(max_ratelimit_retries=4))
+        response = transport.get(url)
+        assert response.ok and response.text == "served"
+        # 429 retries are counted apart from the error-retry budget.
+        assert transport.statistics.n_ratelimit_retries == 3
+        assert transport.statistics.n_retries == 0
+        assert transport.statistics.per_host_taxonomy == {}
+
+    def test_exhausted_storm_returns_429_and_quarantines(self):
+        http, url = self._storm_layer(burst=10)
+        transport = RetryingTransport(
+            http,
+            TransportConfig(
+                max_ratelimit_retries=2, circuit_threshold=1,
+                circuit_cooldown_s=60.0,
+            ),
+        )
+        assert transport.get(url).status == 429
+        assert transport.statistics.n_ratelimit_retries == 2
+        assert transport.statistics.per_host_taxonomy["busy.example"] == {
+            "exhausted-retries": 1
+        }
+        # Throttling is circuit-neutral: the host answered, so even at
+        # threshold 1 the next request still reaches the network.
+        before = http.request_count
+        assert transport.get(url).status == 429
+        assert http.request_count > before
+
+    def test_retry_after_honored_but_capped(self):
+        # The host advertises a 10s wait; the cap keeps each honored wait at
+        # 10ms and the deadline budget (charged *before* sleeping) cuts the
+        # storm off — wall time stays milliseconds, not tens of seconds.
+        http, url = self._storm_layer(burst=50, retry_after_s=10.0)
+        transport = RetryingTransport(
+            http,
+            TransportConfig(
+                max_ratelimit_retries=50,
+                retry_after_cap_s=0.01,
+                deadline_s=0.025,
+            ),
+        )
+        start = time.monotonic()
+        with pytest.raises(DeadlineExceededError):
+            transport.get(url)
+        assert time.monotonic() - start < 1.0
+        assert transport.statistics.n_deadline_exceeded == 1
+        assert transport.statistics.per_host_taxonomy["busy.example"] == {
+            "deadline": 1
+        }
+
+
+class TestDeadlineBudget:
+    def test_configured_latency_consumes_the_budget(self):
+        http, url = _flaky_layer(seed=0, rate=1.0)
+        transport = RetryingTransport(
+            http,
+            TransportConfig(max_attempts=10, latency_s=0.004, deadline_s=0.01),
+        )
+        with pytest.raises(DeadlineExceededError) as excinfo:
+            transport.get(url)
+        # Two attempts fit (0.008s); the third breaches the budget before
+        # its sleep, so the retry budget is never the binding constraint.
+        assert transport.statistics.n_attempts == 2
+        assert excinfo.value.spent_s > excinfo.value.budget_s == 0.01
+        assert transport.statistics.per_host_taxonomy["flaky.example"] == {
+            "deadline": 1
+        }
+
+    def test_tarpit_reported_latency_is_charged_without_sleeping(self):
+        http = SimulatedHTTPLayer()
+        url = "https://tarpit.example/doc"
+        http.register_static(url, "slow")
+        http.set_host_latency("tarpit.example", base_s=30.0)
+        transport = RetryingTransport(http, TransportConfig(deadline_s=0.2))
+        start = time.monotonic()
+        with pytest.raises(DeadlineExceededError):
+            transport.get(url)
+        # The layer *reports* 30s of service time instead of sleeping, and
+        # the transport charges it against the budget: the tarpit quarantines
+        # in microseconds of wall time.
+        assert time.monotonic() - start < 1.0
+        assert transport.statistics.n_deadline_exceeded == 1
+
+    def test_deadline_spans_redirect_hops(self):
+        http = SimulatedHTTPLayer()
+        url = "https://slowhop.example/doc"
+        http.register_static(url, "destination")
+        http.set_redirect_chain("slowhop.example", hops=3)
+        http.set_host_latency("slowhop.example", base_s=0.09)
+        transport = RetryingTransport(http, TransportConfig(deadline_s=0.2))
+        # One logical request, one budget: 3 hops x 0.09s breaches 0.2s even
+        # though every individual hop is fast.
+        with pytest.raises(DeadlineExceededError):
+            transport.get(url)
+
+    def test_unlimited_by_default(self):
+        http = SimulatedHTTPLayer()
+        url = "https://tarpit.example/doc"
+        http.register_static(url, "slow")
+        http.set_host_latency("tarpit.example", base_s=30.0)
+        assert RetryingTransport(http).get(url).text == "slow"
+
+
+class TestTransportConfigCoercion:
+    def test_from_dict_converts_retry_statuses(self):
+        config = TransportConfig.from_dict(
+            {"max_attempts": 5, "retry_statuses": [500, 503], "deadline_s": 0.3}
+        )
+        assert config.max_attempts == 5
+        assert config.retry_statuses == frozenset({500, 503})
+        assert config.deadline_s == 0.3
+
+    def test_coerce_accepts_config_mapping_and_none(self):
+        config = TransportConfig(max_attempts=2)
+        assert TransportConfig.coerce(config) is config
+        assert TransportConfig.coerce(None) is None
+        assert TransportConfig.coerce({"max_attempts": 2}) == config
 
 
 class TestPipelineTransportAccounting:

@@ -221,6 +221,47 @@ class TestBroadcast:
             assert outcome.result == {"v": 7}
 
 
+class TestThreadPoolIsolation:
+    """Regression: thread-kind pools used to install broadcasts into one
+    module-global store, so two live pools (or a closed pool and its
+    successor) silently shared — and clobbered — each other's state."""
+
+    def test_two_live_pools_do_not_share_broadcasts(self):
+        with WorkerPool(kind="thread", workers=2) as first, \
+                WorkerPool(kind="thread", workers=2) as second:
+            first.broadcast("cfg", {"pool": "first"})
+            second.broadcast("cfg", {"pool": "second"})
+            read = [ExecTask(key="r", fn=_read_shared, args=("cfg",))]
+            # Each pool's workers see their own payload, in either order.
+            assert first.run(read)[0].result == {"pool": "first"}
+            assert second.run(read)[0].result == {"pool": "second"}
+            assert first.run(read)[0].result == {"pool": "first"}
+
+    def test_inline_single_worker_pools_are_isolated_too(self):
+        # workers=1 runs the worker loop inline on the caller's thread —
+        # the same coordinator thread for both pools.
+        with WorkerPool(kind="thread", workers=1) as first, \
+                WorkerPool(kind="thread", workers=1) as second:
+            first.broadcast("cfg", {"pool": "first"})
+            second.broadcast("cfg", {"pool": "second"})
+            read = [ExecTask(key="r", fn=_read_shared, args=("cfg",))]
+            assert first.run(read)[0].result == {"pool": "first"}
+            assert second.run(read)[0].result == {"pool": "second"}
+
+    def test_closed_pool_leaves_nothing_behind(self):
+        with WorkerPool(kind="thread", workers=2) as leaky:
+            leaky.broadcast("leak-check", {"v": 1})
+            assert leaky.run(
+                [ExecTask(key="r", fn=_read_shared, args=("leak-check",))]
+            )[0].result == {"v": 1}
+        with WorkerPool(kind="thread", workers=2) as fresh:
+            outcome = fresh.run(
+                [ExecTask(key="r", fn=_read_shared, args=("leak-check",))]
+            )[0]
+            assert not outcome.ok  # no inherited state from the dead pool
+            assert "broadcast" in outcome.error
+
+
 class TestCrashReplacement:
     @pytest.mark.process_smoke
     def test_crash_mid_stage_retries_and_stays_byte_identical(self, tmp_path):
