@@ -13,7 +13,7 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 ## second time by the plain test run.
 PERF_BENCHES := $(wildcard benchmarks/test_bench_perf_*.py)
 
-.PHONY: test test-process lint perf perf-nlp perf-crawl perf-sweep perf-scale perf-check coverage ci
+.PHONY: test test-process lint perf perf-nlp perf-crawl perf-sweep perf-scale perf-incr perf-check coverage ci
 
 ## Minimum total line coverage (percent) enforced by `make coverage`.
 ## Recorded when the coverage gate landed (measured ~95% total line
@@ -42,11 +42,14 @@ test-process:
 ## the black-compatible formatter in --check mode.  When ruff is not on
 ## PATH (this container ships no linters and installs are not allowed) the
 ## gate is skipped with a notice; the CI workflow installs ruff and
-## enforces it for real.  The no-materialize check needs only the stdlib
-## and always runs: analysis code must stream from a CorpusSource instead
-## of calling load_corpus (see tools/check_no_materialize.py).
+## enforces it for real.  The stdlib-only checks always run: analysis code
+## must stream from a CorpusSource instead of calling load_corpus
+## (tools/check_no_materialize.py), and a BENCH_*.json refresh must not
+## hide a >1.5x rss_import_floor_mb jump behind a flat rss_workload_mb
+## (tools/check_bench_refresh.py).
 lint:
 	$(PYTHON) tools/check_no_materialize.py
+	$(PYTHON) tools/check_bench_refresh.py
 	@staged="$$(git ls-files | grep -E '(^|/)__pycache__/|\.py[co]$$' || true)"; \
 	if [ -n "$$staged" ]; then \
 		echo "ERROR: make lint: compiled bytecode is tracked by git in these files:"; \
@@ -78,7 +81,13 @@ perf-sweep:
 perf-scale:
 	$(PYTHON) -m pytest benchmarks/test_bench_perf_scale.py -q -s
 
-perf: perf-nlp perf-crawl perf-sweep perf-scale
+## perf-incr times the incremental epoch re-crawl against a cold crawl of
+## the same evolved world (`incr_recrawl_*` rows in BENCH_crawl.json) and
+## gates the carry-forward speedup.
+perf-incr:
+	$(PYTHON) -m pytest benchmarks/test_bench_perf_incr.py -q -s
+
+perf: perf-nlp perf-crawl perf-sweep perf-scale perf-incr
 	$(PYTHON) benchmarks/perf_report.py
 
 ## coverage gate: total line coverage of repro/ must stay at or above

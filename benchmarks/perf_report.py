@@ -26,7 +26,9 @@ are reported and skipped, not failed.  Metrics a benchmark *gated away*
 on this runner (recorded via :meth:`PerfReport.note_skipped`, e.g. a
 CPU-scaling comparison below its core-count floor) are surfaced as
 notices; one with no committed baseline row anywhere prints an explicit
-``MISSING`` line instead of passing silently.
+``MISSING`` line instead of passing silently — and one that stays MISSING
+across five artifact refreshes (aged per-metric in the artifact's
+``skip_history`` section) escalates from notice to gate failure.
 """
 
 from __future__ import annotations
@@ -128,9 +130,70 @@ class PerfReport:
         Records are emitted in the *prior* file's order (new names appended)
         so a baseline refresh diffs as value changes only — test execution
         order must not reshuffle rows and obscure what actually moved.
+
+        The write **merges with the prior file** rather than clobbering it:
+        rows, skip notes, and foreign sections (e.g. the scale bench's
+        ``invariants``) that this run did not re-record are preserved, so
+        several benchmark modules can share one artifact (the crawl and
+        incremental-crawl smokes both feed ``BENCH_crawl.json``) and
+        refreshing one never silently drops the other's rows.  Skip notes
+        for metrics still unmeasured are aged in a ``skip_history`` section
+        (first-seen date + refresh count) so ``--check`` can escalate
+        long-stale MISSING rows from notice to failure; a note resolves —
+        and its history entry is dropped — the moment the metric is
+        recorded.
         """
         target = (directory or REPO_ROOT) / f"BENCH_{self.name}.json"
         payload = self.as_dict()
+        fresh_names = {entry.name for entry in self.records}
+        try:
+            prior = json.loads(target.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            prior = None
+        if isinstance(prior, dict):
+            payload["records"] = list(payload["records"]) + [
+                entry
+                for entry in prior.get("records", [])
+                if isinstance(entry, dict) and str(entry.get("name")) not in fresh_names
+            ]
+            merged_skips = {
+                str(metric): str(reason)
+                for metric, reason in (prior.get("skipped") or {}).items()
+                if str(metric) not in fresh_names
+            }
+            merged_skips.update(payload.get("skipped", {}))  # type: ignore[arg-type]
+            if merged_skips:
+                payload["skipped"] = merged_skips
+        prior_history = (
+            {
+                str(metric): dict(entry)
+                for metric, entry in (prior.get("skip_history") or {}).items()
+                if isinstance(entry, dict)
+            }
+            if isinstance(prior, dict)
+            else {}
+        )
+        final_names = {str(entry["name"]) for entry in payload["records"]}  # type: ignore[index]
+        history: Dict[str, Dict[str, object]] = {}
+        for metric in sorted(payload.get("skipped", {})):  # type: ignore[arg-type]
+            if metric in final_names:
+                continue
+            entry = prior_history.get(metric, {})
+            history[metric] = {
+                "first_seen": str(entry.get("first_seen") or _today()),
+                "refreshes": int(entry.get("refreshes", 0)) + 1,
+            }
+        if history:
+            payload["skip_history"] = history
+        if isinstance(prior, dict):
+            # Sections other writers own (the scale bench's invariants)
+            # survive a refresh by this report.  The sections this writer
+            # owns are excluded: an absent "skipped"/"skip_history" here
+            # means every note resolved, not that the prior values stand.
+            owned = ("benchmark", "platform", "python", "records", "skipped", "skip_history")
+            for key, value in prior.items():
+                if key not in payload and key not in owned:
+                    payload[key] = value
         prior_order = prior_key_order(target, "records")
         if prior_order:
             rank = {name: index for index, name in enumerate(prior_order)}
@@ -140,6 +203,13 @@ class PerfReport:
             )
         target.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
         return target
+
+
+def _today() -> str:
+    """Today's ISO date (the skip-history first-seen stamp)."""
+    import datetime
+
+    return datetime.date.today().isoformat()
 
 
 def prior_key_order(path: Path, section: str) -> List[str]:
@@ -342,6 +412,55 @@ def gated_metric_notices(directory: Optional[Path] = None) -> List[str]:
     return notices
 
 
+def stale_missing_failures(
+    directory: Optional[Path] = None, max_refreshes: int = 5
+) -> List[str]:
+    """MISSING notices that have persisted long enough to fail the gate.
+
+    A gated metric with no committed baseline row starts as a notice — a
+    freshly added hardware-gated benchmark deserves a grace period.  But
+    one that has stayed unmeasured across ``max_refreshes`` artifact
+    refreshes (tracked per-metric in the artifact's ``skip_history``
+    section, written by :meth:`PerfReport.write`) has stopped being new:
+    the row will never appear on its own, so ``--check`` fails until a
+    capable runner measures it and commits the row.  A metric that gained
+    a fresh or committed row resolves silently.
+    """
+    root = directory or REPO_ROOT
+    failures: List[str] = []
+    for path in sorted(root.glob("BENCH_*.json")):
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            continue
+        history = payload.get("skip_history")
+        if not isinstance(history, dict):
+            continue
+        fresh_names = {
+            str(entry.get("name"))
+            for entry in payload.get("records", [])
+            if isinstance(entry, dict)
+        }
+        baseline = committed_report(path)
+        baseline_names = (
+            {entry.name for entry in baseline.records} if baseline is not None else set()
+        )
+        for metric, entry in sorted(history.items()):
+            if metric in fresh_names or metric in baseline_names:
+                continue
+            refreshes = int(entry.get("refreshes", 0)) if isinstance(entry, dict) else 0
+            if refreshes < max_refreshes:
+                continue
+            first_seen = entry.get("first_seen", "?") if isinstance(entry, dict) else "?"
+            failures.append(
+                f"STALE-MISSING {path.name}: {metric} has had no committed "
+                f"baseline row for {refreshes} refreshes (first seen "
+                f"{first_seen}); measure it on a capable runner and commit "
+                "the row"
+            )
+    return failures
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI: print the merged trajectory, or gate on regressions with --check."""
     import argparse
@@ -378,12 +497,25 @@ def main(argv: Optional[List[str]] = None) -> int:
         print()
         for notice in notices:
             print(notice)
+    stale = stale_missing_failures()
+    if stale:
+        print()
+        for line in stale:
+            print(line)
     failures = [check for check in checks if not check.ok]
-    if failures:
-        print(
-            f"\nperf gate FAILED: {len(failures)} metric(s) regressed past "
-            f"{args.threshold:.2f}x the committed baseline"
-        )
+    if failures or stale:
+        problems = []
+        if failures:
+            problems.append(
+                f"{len(failures)} metric(s) regressed past "
+                f"{args.threshold:.2f}x the committed baseline"
+            )
+        if stale:
+            problems.append(
+                f"{len(stale)} gated metric(s) stale-MISSING past the "
+                "refresh grace period"
+            )
+        print(f"\nperf gate FAILED: {'; '.join(problems)}")
         return 1
     print(f"\nperf gate ok: {len(checks)} metric(s) within {args.threshold:.2f}x")
     return 0

@@ -13,7 +13,8 @@ Measures the properties that make the sharded data layer safe to use at
   longer fits comfortably.
 * ``peak_rss_mb_50k_vs_2000`` — peak RSS of a 50k-GPT *sharded* ingest +
   analysis run versus a 2000-GPT *unsharded* generate + crawl + analysis
-  run, both measured as child processes via ``resource.ru_maxrss``.  The
+  run, both measured as child processes via their own ``VmHWM`` peak
+  (``_peak_rss_raw`` — immune to the parent's inherited ``ru_maxrss``).  The
   acceptance bound: the 50k sharded run stays under **2x** the 2000
   unsharded run's peak.  (This record's "timings" are megabytes, which also
   turns the CI perf gate into a memory-regression gate for the ingest
@@ -167,6 +168,32 @@ def _single_pass(corpus):
     }
 
 
+def _peak_rss_raw():
+    """This process's own peak RSS, in ``ru_maxrss`` units (KiB on Linux).
+
+    Reads ``VmHWM`` from ``/proc/self/status`` where available.  Unlike
+    ``getrusage().ru_maxrss`` — which Linux carries across ``fork``+``exec``
+    in ``signal->maxrss``, so a child process *starts* at whatever RSS
+    high-water mark its parent had ever reached — ``VmHWM`` belongs to the
+    process's own fresh ``mm`` and resets on exec.  Measuring the child
+    probes with ``ru_maxrss`` made their "import floor" track the
+    coordinating pytest process's historical peak (the recurring
+    141→321 MB baseline refresh artifacts previously attributed to
+    allocator/THP state).  Falls back to ``ru_maxrss`` off Linux; both are
+    KiB on Linux, and ``_MAXRSS_PER_MB`` handles macOS's bytes.
+    """
+    import resource
+
+    try:
+        with open("/proc/self/status", encoding="ascii") as status:
+            for line in status:
+                if line.startswith("VmHWM:"):
+                    return int(line.split()[1])
+    except (OSError, ValueError, IndexError):
+        pass
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+
+
 def _dispatch_probe(stage, index):
     """Trivial dispatch-benchmark task body: returns its global sequence
     number, so result order proves submission-order merging under reuse.
@@ -218,7 +245,9 @@ from repro.ecosystem.generator import EcosystemGenerator
 from repro.crawler.pipeline import CrawlPipeline
 from repro.analysis import (analyze_crawl_stats, analyze_tool_usage,
     analyze_multi_action, analyze_cooccurrence, build_party_index)
-rss_import_raw = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+
+{inspect.getsource(_peak_rss_raw)}
+rss_import_raw = _peak_rss_raw()
 
 {inspect.getsource(_single_pass)}
 ecosystem = EcosystemGenerator(
@@ -227,7 +256,7 @@ ecosystem = EcosystemGenerator(
 corpus = CrawlPipeline.from_ecosystem(ecosystem, seed={SEED}).run()
 results = _single_pass(corpus)
 print(json.dumps({{
-    "rss_raw": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+    "rss_raw": _peak_rss_raw(),
     "rss_import_raw": rss_import_raw,
     "wall_s": time.monotonic() - t0,
     "n_gpts": results["crawl_stats"].total_unique_gpts,
@@ -243,7 +272,8 @@ from repro.analysis import (analyze_crawl_stats, analyze_tool_usage,
     analyze_multi_action, analyze_cooccurrence, build_party_index)
 from repro.io import canonical_json
 
-rss_import_raw = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+{inspect.getsource(_peak_rss_raw)}
+rss_import_raw = _peak_rss_raw()
 
 {inspect.getsource(_single_pass)}
 {inspect.getsource(_best)}
@@ -279,9 +309,9 @@ with tempfile.TemporaryDirectory() as root:
         repeats={CHILD_REPEATS},
     )
     # Peak RSS of the *sharded* phase: sampled before the single-pass
-    # baseline below materializes the whole 50k corpus (ru_maxrss is a
-    # process-lifetime high-water mark).
-    rss_sharded_raw = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # baseline below materializes the whole 50k corpus (the high-water
+    # mark covers the whole process lifetime).
+    rss_sharded_raw = _peak_rss_raw()
 
     single_s, single = _best(
         lambda: _single_pass(store.load_corpus()), repeats={CHILD_REPEATS}
@@ -290,7 +320,7 @@ with tempfile.TemporaryDirectory() as root:
 print(json.dumps({{
     "rss_raw": rss_sharded_raw,
     "rss_import_raw": rss_import_raw,
-    "rss_with_materialize_raw": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+    "rss_with_materialize_raw": _peak_rss_raw(),
     "ingest_s": ingest_s,
     "stream_s": stream_s,
     "single_s": single_s,
@@ -309,7 +339,8 @@ from repro.classification.classifier import ClassifierConfig
 from repro.llm.simulated import SimulatedLLM
 from repro.taxonomy.builtin import load_builtin_taxonomy
 
-rss_import_raw = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+{inspect.getsource(_peak_rss_raw)}
+rss_import_raw = _peak_rss_raw()
 
 with tempfile.TemporaryDirectory() as root:
     t0 = time.monotonic()
@@ -323,7 +354,7 @@ with tempfile.TemporaryDirectory() as root:
     # Crawl-only peak, sampled before classification in the SAME process:
     # the import floor is shared, so mixed/crawl isolates what the
     # classification stage adds.
-    rss_crawl_raw = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    rss_crawl_raw = _peak_rss_raw()
 
     taxonomy = load_builtin_taxonomy()
     llm = SimulatedLLM(knowledge_taxonomy=taxonomy, seed={SEED})
@@ -343,7 +374,7 @@ with tempfile.TemporaryDirectory() as root:
 
 print(json.dumps({{
     "rss_crawl_raw": rss_crawl_raw,
-    "rss_mixed_raw": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+    "rss_mixed_raw": _peak_rss_raw(),
     "rss_import_raw": rss_import_raw,
     "ingest_s": ingest_s,
     "classify_s": classify_s,

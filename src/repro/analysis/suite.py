@@ -104,6 +104,14 @@ class SuiteConfig:
     crawl_hostile: Optional[Dict[str, object]] = None
     #: Per-host politeness limits (host → requests/second) for the crawl.
     crawl_rate_limits: Optional[Dict[str, float]] = None
+    #: Crawl epoch of the measured world (0 = the base snapshot).  N > 0
+    #: evolves the generated ecosystem through N rounds of seeded churn
+    #: (:func:`repro.ecosystem.evolution.evolve_epochs`) before crawling —
+    #: deterministic in ``(seed, epoch)``, so two suites at the same epoch
+    #: measure the same world.  The per-epoch change feeds land in
+    #: ``suite.epoch_deltas``; pair with :meth:`MeasurementSuite.incremental_crawl`
+    #: to crawl the evolved world as a delta over the previous epoch's store.
+    epoch: int = 0
     #: Shard count for the on-disk corpus store (0 = in-memory single pass).
     #: When set, crawl checkpoints are shard-partitioned too, and every
     #: corpus-driven analysis runs shard-parallel with byte-identical
@@ -139,6 +147,11 @@ class SuiteConfig:
             )
         if self.shard_workers < 0 or self.crawl_workers < 0:
             problems.append("worker counts must be >= 0 (0/1 = sequential)")
+        if self.epoch < 0:
+            problems.append(
+                "epoch must be >= 0 (0 = base snapshot, N = the world after "
+                "N rounds of seeded churn)"
+            )
         if self.shards == 0 and self.shard_workers > 0:
             problems.append(
                 "shard_workers has no effect without sharding — "
@@ -224,6 +237,10 @@ class MeasurementSuite:
         #: streamed policy-analysis passes (one GPT-shard scan, not one per
         #: analysis group).
         self._action_catalog = None
+        #: Per-epoch change feeds (:class:`~repro.ecosystem.evolution.EpochDelta`)
+        #: from evolving the generated ecosystem to ``config.epoch``; empty
+        #: at epoch 0 or when the ecosystem was supplied pre-built.
+        self.epoch_deltas: List = []
 
     # ------------------------------------------------------------------
     # Pipeline stages (lazy, cached)
@@ -244,9 +261,21 @@ class MeasurementSuite:
 
     @property
     def ecosystem(self) -> SyntheticEcosystem:
-        """The synthetic ecosystem (generated on first access)."""
+        """The synthetic ecosystem (generated — and evolved — on first access).
+
+        With ``config.epoch > 0`` the base snapshot is churned through that
+        many seeded evolution rounds; the change feeds are retained in
+        :attr:`epoch_deltas` for delta-aware re-crawls.
+        """
         if self._ecosystem is None:
-            self._ecosystem = EcosystemGenerator(self.ecosystem_config, self.taxonomy).generate()
+            world = EcosystemGenerator(self.ecosystem_config, self.taxonomy).generate()
+            if self.config.epoch > 0:
+                from repro.ecosystem.evolution import evolve_epochs
+
+                world, self.epoch_deltas = evolve_epochs(
+                    world, self.ecosystem_config, self.config.epoch
+                )
+            self._ecosystem = world
         return self._ecosystem
 
     def _execution_backend(self) -> Union[str, ExecutionBackend, None]:
@@ -384,13 +413,57 @@ class MeasurementSuite:
                 pipeline = self._build_pipeline(
                     shards=self.config.shards, backend=self._execution_backend()
                 )
-                self._shard_store = pipeline.run_sharded(directory)
+                self._shard_store = pipeline.run_sharded(
+                    directory, epoch=self.config.epoch
+                )
                 self._crawl_statistics = pipeline.statistics
             else:
                 self._shard_store = ShardedCorpusStore.write_corpus(
                     self.corpus, directory, n_shards=self.config.shards
                 )
         return self._shard_store
+
+    def incremental_crawl(self, parent, shard_dir: str):
+        """Crawl this suite's (evolved) world as a delta over ``parent``.
+
+        ``parent`` is the previous epoch's
+        :class:`~repro.io.shards.ShardedCorpusStore` (or a path to one);
+        the suite's :attr:`epoch_deltas` supply the change feed, so only
+        churned records are fetched
+        (:meth:`~repro.crawler.pipeline.CrawlPipeline.run_incremental`).
+        The published store becomes the suite's shard store, so every
+        downstream analysis reads the incremental result.
+        """
+        from repro.io.shards import ShardedCorpusStore
+
+        if not self.sharded:
+            raise ValueError(
+                "incremental crawls need a sharded suite — set "
+                "SuiteConfig.shards >= 1"
+            )
+        if not isinstance(parent, ShardedCorpusStore):
+            parent = ShardedCorpusStore(parent)
+        if parent.manifest.epoch != self.config.epoch - 1:
+            raise ValueError(
+                f"parent store is epoch {parent.manifest.epoch} but this "
+                f"suite's world is epoch {self.config.epoch}; incremental "
+                "crawls step one epoch at a time"
+            )
+        self.ecosystem  # force generation so epoch_deltas is populated
+        delta = self.epoch_deltas[-1] if self.epoch_deltas else None
+        pipeline = self._build_pipeline(
+            shards=self.config.shards, backend=self._execution_backend()
+        )
+        store = pipeline.run_incremental(
+            shard_dir,
+            parent,
+            changed_gpt_ids=sorted(delta.changed_gpt_ids) if delta else (),
+            changed_policy_urls=sorted(delta.changed_policy_urls) if delta else (),
+            epoch=self.config.epoch,
+        )
+        self._shard_store = store
+        self._crawl_statistics = pipeline.statistics
+        return store
 
     def _stream_runner(self):
         """A shard-analysis runner on the suite's store, workers, and pool."""

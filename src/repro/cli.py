@@ -8,7 +8,12 @@ measurement pipeline:
   The crawl runs on the concurrent engine: ``--workers N`` fans requests out
   over a worker pool, ``--checkpoint-dir DIR`` persists stage progress
   incrementally, and ``--resume`` continues an interrupted crawl from that
-  checkpoint without refetching;
+  checkpoint without refetching.  ``--epoch N`` crawls the world after N
+  rounds of seeded churn; adding ``--parent-store DIR`` (with ``--shards``
+  and ``--shard-dir``) re-crawls **incrementally** — unchanged records are
+  carried forward from the parent epoch's store without HTTP traffic;
+* ``repro-gpt evolve`` — evolve the ecosystem through ``--epochs N`` rounds
+  of seeded churn and print each epoch's change feed;
 * ``repro-gpt analyze`` — run the full pipeline and print the headline
   measurements;
 * ``repro-gpt experiment <id>`` — run one experiment (``table4``,
@@ -70,6 +75,7 @@ def _build_suite(args: argparse.Namespace) -> MeasurementSuite:
     config = SuiteConfig(
         n_gpts=args.gpts,
         seed=args.seed,
+        epoch=getattr(args, "epoch", 0),
         crawl_workers=getattr(args, "workers", 0),
         crawl_checkpoint_dir=getattr(args, "checkpoint_dir", None),
         crawl_resume=getattr(args, "resume", False),
@@ -101,9 +107,37 @@ def _cmd_crawl(args: argparse.Namespace) -> int:
     if args.resume and not args.checkpoint_dir:
         print("--resume requires --checkpoint-dir", file=sys.stderr)
         return 2
+    if args.parent_store:
+        if args.shards < 1 or not args.shard_dir:
+            print(
+                "--parent-store needs --shards N (N >= 1) and --shard-dir "
+                "(the incremental crawl publishes a sharded store)",
+                file=sys.stderr,
+            )
+            return 2
+        if args.epoch < 1:
+            print(
+                "--parent-store needs --epoch N (N >= 1): the incremental "
+                "crawl captures the world one epoch after the parent store",
+                file=sys.stderr,
+            )
+            return 2
     # Context-manage the suite so a warm process pool (--backend process)
     # is shut down before interpreter exit; same in the handlers below.
     with _build_suite(args) as suite:
+        if args.parent_store:
+            try:
+                suite.incremental_crawl(args.parent_store, args.shard_dir)
+            except ValueError as error:
+                print(str(error), file=sys.stderr)
+                return 2
+            crawl = suite.crawl_statistics
+            print(
+                f"Incremental epoch {args.epoch}: "
+                f"{crawl.n_records_carried} GPT records and "
+                f"{crawl.n_policies_carried} policies carried forward "
+                f"without HTTP; {crawl.n_http_requests} requests for the delta"
+            )
         stats = suite.crawl_stats
         rows = [(store, count) for store, count in stats.sorted_store_counts()]
         print(format_table(["Store", "GPTs crawled"], rows))
@@ -119,6 +153,22 @@ def _cmd_crawl(args: argparse.Namespace) -> int:
                     f"{kind}={kinds[kind]}" for kind in sorted(kinds)
                 )
                 print(f"  {host}: {summary}")
+    return 0
+
+
+def _cmd_evolve(args: argparse.Namespace) -> int:
+    from repro.ecosystem.evolution import evolve_epochs
+
+    if args.epochs < 1:
+        print("--epochs must be >= 1", file=sys.stderr)
+        return 2
+    config = EcosystemConfig.paper_calibrated(n_gpts=args.gpts, seed=args.seed)
+    ecosystem = EcosystemGenerator(config).generate()
+    print(ecosystem.summary())
+    evolved, deltas = evolve_epochs(ecosystem, config, args.epochs)
+    for delta in deltas:
+        print(delta.summary())
+    print(evolved.summary())
     return 0
 
 
@@ -326,6 +376,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-request accounted-time budget in seconds (0 = unlimited); "
              "pairs with --hostile to quarantine tarpit hosts",
     )
+    crawl_parser.add_argument(
+        "--epoch", type=int, default=0,
+        help="crawl the world after N rounds of seeded churn (0 = base snapshot)",
+    )
+    crawl_parser.add_argument(
+        "--parent-store", default=None,
+        help="previous epoch's sharded store: re-crawl incrementally, carrying "
+             "unchanged records forward without HTTP (needs --shards, "
+             "--shard-dir, and --epoch = parent epoch + 1)",
+    )
+    evolve_parser = subparsers.add_parser(
+        "evolve", help="evolve the ecosystem through seeded churn epochs"
+    )
+    evolve_parser.add_argument(
+        "--epochs", type=int, default=1,
+        help="number of churn rounds to apply (each is pure in (seed, epoch))",
+    )
     subparsers.add_parser("analyze", help="run the full pipeline and print headline stats")
     experiment_parser = subparsers.add_parser("experiment", help="run one experiment by id")
     experiment_parser.add_argument("experiment_id", help="e.g. table4, figure9")
@@ -377,6 +444,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     handlers = {
         "generate": _cmd_generate,
         "crawl": _cmd_crawl,
+        "evolve": _cmd_evolve,
         "analyze": _cmd_analyze,
         "experiment": _cmd_experiment,
         "report": _cmd_report,

@@ -51,13 +51,27 @@ worker from a picklable :class:`ShardCrawlSpec` (ecosystem + seed + failure
 injection), so the simulated network state is reconstructed — never
 inherited through fork — and per-task RNG re-seeding keeps fork and spawn
 start methods in agreement.
+
+**Incremental epoch crawls.**  :meth:`CrawlPipeline.run_incremental` is the
+delta-aware variant of :meth:`run_sharded` for a world that *churned*
+(:mod:`repro.ecosystem.evolution`): it crawls the new listing frontier in
+full (listings are cheap), then diffs the frontier against the parent
+epoch's store — identifiers that existed before and are not in the change
+feed are **carried forward shard-locally without any HTTP traffic**,
+re-stamped with this epoch's discovery indices and store attributions;
+only new/changed identifiers (and drifted or flapping-host policies) are
+fetched.  Because unchanged records' bytes are pure functions of the
+manifest they were fetched from, the produced store is byte-identical to
+a cold crawl of the evolved ecosystem — at any backend, worker count,
+cold or resumed — while paying HTTP only for the churn delta.
 """
 
 from __future__ import annotations
 
+import json
 import tempfile
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Set, Union
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.crawler.corpus import CrawlCorpus, CrawledGPT
 from repro.crawler.engine import (
@@ -107,6 +121,11 @@ class CrawlStatistics:
     n_ratelimit_retries: int = 0
     #: Tasks skipped because a checkpoint already held their results.
     n_tasks_resumed: int = 0
+    #: GPT records carried forward from a parent epoch without any HTTP
+    #: traffic (incremental crawls only).
+    n_records_carried: int = 0
+    #: Policy records carried forward from a parent epoch without HTTP.
+    n_policies_carried: int = 0
     #: host → {failure kind → count} for terminal transport failures during
     #: this run (kinds: exhausted-retries / circuit-open / deadline /
     #: redirect-loop).  Hosts that appear here degraded visibly instead of
@@ -189,6 +208,122 @@ class CrawlStage:
     build_tasks: Callable[[], List[CrawlTask]]
     encode: Callable[[object], object]
     merge: Callable[[str, object], None]
+
+
+#: Structural key markers in canonical-JSON shard lines.  canonical_json
+#: escapes quotes inside string values, so the unescaped marker can only
+#: occur as the record's own key — a substring scan replaces a full JSON
+#: parse on the incremental crawl's id-inventory passes.
+_GPT_ID_MARKER = '"gpt_id":"'
+_POLICY_URL_MARKER = '"url":"'
+
+
+def _scan_string_field(line: str, marker: str, key: str) -> str:
+    """Extract one top-level string field from a canonical-JSON line."""
+    start = line.find(marker)
+    if start >= 0:
+        start += len(marker)
+        end = line.index('"', start)
+        value = line[start:end]
+        if "\\" not in value:
+            return value
+    # Escaped or missing value: fall back to a real parse (never hit by
+    # generated ids/URLs, which are plain ASCII without quotes).
+    return str(json.loads(line)[key])
+
+
+def _payload_gpt_id(line: str) -> str:
+    """``gpt_id`` of one GPT shard line, without parsing the record."""
+    return _scan_string_field(line, _GPT_ID_MARKER, "gpt_id")
+
+
+def _payload_policy_url(line: str) -> str:
+    """``url`` of one policy shard line, without parsing the record."""
+    return _scan_string_field(line, _POLICY_URL_MARKER, "url")
+
+
+_DISCOVERY_INDEX_MARKER = '"discovery_index":'
+_SOURCE_STORES_MARKER = '"source_stores":['
+_LEGAL_INFO_MARKER = '"legal_info_url":"'
+
+
+def _serialize_store_list(stores: Sequence[str]) -> Optional[str]:
+    """``canonical_json`` of a flat store-name list, without the encoder.
+
+    Valid only for names that need no JSON escaping (anything the generator
+    produces; ``ensure_ascii=False`` keeps non-ASCII raw, so only quotes,
+    backslashes, and control characters disqualify a name).  Returns
+    ``None`` when a name would need escaping — callers fall back to the
+    real encoder path.
+    """
+    for store in stores:
+        if '"' in store or "\\" in store or any(ord(char) < 0x20 for char in store):
+            return None
+    return "[" + ",".join(f'"{store}"' for store in stores) + "]"
+
+
+def _restamp_carried_line(line: str, discovery_index: int, stores_json: str) -> Optional[str]:
+    """Splice the two epoch-local fields into a carried record's raw line.
+
+    A carried record's *content* bytes are already canonical (the parent
+    wrote them with :func:`canonical_json`, which is deterministic), so the
+    only bytes that change between epochs are the ``discovery_index`` value
+    and the ``source_stores`` array — both epoch-N+1 facts.  Splicing them
+    in place (``stores_json`` is the pre-serialized replacement array)
+    yields the exact line a fresh serialization would produce at a fraction
+    of the cost of the ``json.loads``/re-dump round trip, which is what
+    dominated the carry phase's wall time at 50k records.  Returns ``None``
+    when the line doesn't match the expected shape (the caller falls back
+    to a real parse).
+    """
+    start = line.find(_DISCOVERY_INDEX_MARKER)
+    if start < 0:
+        return None
+    start += len(_DISCOVERY_INDEX_MARKER)
+    end = start
+    while end < len(line) and line[end].isdigit():
+        end += 1
+    if end == start or end >= len(line) or line[end] not in ",}":
+        return None
+    line = f"{line[:start]}{discovery_index}{line[end:]}"
+
+    start = line.find(_SOURCE_STORES_MARKER)
+    if start < 0:
+        return None
+    start += len(_SOURCE_STORES_MARKER) - 1  # index of the opening '['
+    end = line.find("]", start)
+    if end < 0 or end + 1 >= len(line) or line[end + 1] not in ",}":
+        return None
+    segment = line[start:end]
+    # The first ']' is the array's close only if no store name hides one
+    # inside a string: no escapes, balanced quotes, and a single '[' mean
+    # every quote in the segment is a real delimiter and the array is flat.
+    if "\\" in segment or segment.count('"') % 2 or segment.count("[") != 1:
+        return None
+    return f"{line[:start]}{stores_json}{line[end + 1:]}"
+
+
+def _scan_policy_urls(line: str) -> Optional[List[str]]:
+    """Every action ``legal_info_url`` in a GPT record's raw line.
+
+    Returns ``None`` when any URL contains an escape sequence (the caller
+    must fall back to parsing the record); ``null`` and empty URLs simply
+    don't match the marker or are dropped.
+    """
+    urls: List[str] = []
+    cursor = 0
+    while True:
+        cursor = line.find(_LEGAL_INFO_MARKER, cursor)
+        if cursor < 0:
+            return urls
+        cursor += len(_LEGAL_INFO_MARKER)
+        end = line.index('"', cursor)
+        value = line[cursor:end]
+        if "\\" in value:
+            return None
+        if value:
+            urls.append(value)
+        cursor = end
 
 
 class CrawlPipeline:
@@ -290,6 +425,11 @@ class CrawlPipeline:
         #: pipeline so pool.broadcast sees the same object across the
         #: resolve and policy phases (a new object would restart the pool).
         self._shard_spec_cache: Optional["ShardCrawlSpec"] = None
+        #: Parent lineage of an in-flight incremental crawl, folded into the
+        #: checkpoint fingerprint so a checkpoint taken against one parent
+        #: epoch refuses to resume against another; ``None`` outside
+        #: :meth:`run_incremental`.
+        self._incremental_meta: Optional[Dict[str, object]] = None
 
     # ------------------------------------------------------------------
     @classmethod
@@ -658,7 +798,13 @@ class CrawlPipeline:
 
         backend.run(tasks, on_result=on_result, keep_results=False)
 
-    def run_sharded(self, shard_dir: str, flush_every: int = 1000):
+    def run_sharded(
+        self,
+        shard_dir: str,
+        flush_every: int = 1000,
+        epoch: int = 0,
+        parent_fingerprint: Optional[str] = None,
+    ):
         """Run the shard-partitioned crawl, streaming into a sharded store.
 
         Returns the published :class:`~repro.io.shards.ShardedCorpusStore`
@@ -669,13 +815,24 @@ class CrawlPipeline:
         :class:`~repro.exec.WorkerPool` spans the resolve and policy phases
         and is closed on the way out (interrupted runs included); a
         caller-supplied pool instance stays open for reuse.
+
+        ``epoch``/``parent_fingerprint`` stamp the produced store's lineage
+        without changing a single record byte — the byte-identity oracle for
+        :meth:`run_incremental` is a cold ``run_sharded`` of the evolved
+        ecosystem stamped with the incremental store's lineage.
         """
         try:
-            return self._run_sharded(shard_dir, flush_every)
+            return self._run_sharded(shard_dir, flush_every, epoch, parent_fingerprint)
         finally:
             self._close_owned_pool()
 
-    def _run_sharded(self, shard_dir: str, flush_every: int):
+    def _run_sharded(
+        self,
+        shard_dir: str,
+        flush_every: int,
+        epoch: int = 0,
+        parent_fingerprint: Optional[str] = None,
+    ):
         from repro.io.shards import ShardedCorpusWriter, shard_index
 
         self.statistics = CrawlStatistics()
@@ -702,7 +859,13 @@ class CrawlPipeline:
         for identifier in identifier_order:
             shard_ids[shard_index(identifier, self.shards)].append(identifier)
 
-        writer = ShardedCorpusWriter(shard_dir, n_shards=self.shards, flush_every=flush_every)
+        writer = ShardedCorpusWriter(
+            shard_dir,
+            n_shards=self.shards,
+            flush_every=flush_every,
+            epoch=epoch,
+            parent_fingerprint=parent_fingerprint,
+        )
         unresolved: Set[str] = set()
         policy_urls: Set[str] = set()
         # The coordinator owns the listing order, so it stamps each record's
@@ -782,6 +945,309 @@ class CrawlPipeline:
         return store
 
     # ------------------------------------------------------------------
+    # Incremental (delta-aware) crawl
+    # ------------------------------------------------------------------
+    def run_incremental(
+        self,
+        shard_dir: str,
+        parent,
+        changed_gpt_ids: Sequence[str] = (),
+        changed_policy_urls: Sequence[str] = (),
+        epoch: Optional[int] = None,
+        flush_every: int = 1000,
+    ):
+        """Re-crawl the (evolved) ecosystem as a delta over a parent store.
+
+        ``parent`` is the :class:`~repro.io.shards.ShardedCorpusStore` a
+        previous epoch's crawl published; ``changed_gpt_ids`` /
+        ``changed_policy_urls`` are the change feed (e.g. an
+        :class:`~repro.ecosystem.evolution.EpochDelta`'s ``changed_gpt_ids``
+        and ``changed_policy_urls``).  The listing stage runs in full —
+        discovering *what exists now* is the one question the parent cannot
+        answer, and listings are ~2% of a cold crawl's requests — then every
+        frontier identifier the parent already answered that the feed does
+        not name is carried forward shard-locally **without HTTP traffic**;
+        only new/changed identifiers (and drifted or flapping-host policies)
+        are fetched.  The published store is byte-identical to a cold
+        :meth:`run_sharded` of the evolved ecosystem (same lineage stamp),
+        at any backend, worker count, cold or resumed.
+
+        Raises
+        ------
+        ValueError
+            When the parent store predates discovery indices (schema 1),
+            when its shard count differs from this pipeline's, or when
+            resuming a checkpoint taken against a different parent epoch.
+        """
+        try:
+            return self._run_incremental(
+                shard_dir,
+                parent,
+                set(changed_gpt_ids),
+                set(changed_policy_urls),
+                epoch,
+                flush_every,
+            )
+        finally:
+            self._close_owned_pool()
+            self._incremental_meta = None
+
+    def _run_incremental(
+        self,
+        shard_dir: str,
+        parent,
+        changed_ids: Set[str],
+        changed_policies: Set[str],
+        epoch: Optional[int],
+        flush_every: int,
+    ):
+        from repro.io.corpus import gpt_to_payload
+        from repro.io.shards import ShardedCorpusWriter, shard_index
+
+        parent_manifest = parent.manifest
+        if not parent_manifest.supports_discovery_order:
+            raise ValueError(
+                "incremental crawls need a parent store with per-record "
+                "discovery indices (manifest schema >= 2); this store is "
+                f"schema {parent_manifest.schema} — re-crawl it cold first"
+            )
+        if parent_manifest.n_shards != self.shards:
+            raise ValueError(
+                f"parent store has {parent_manifest.n_shards} shards but this "
+                f"pipeline is configured for {self.shards}; carry-forward is "
+                "shard-local, so the layouts must match"
+            )
+        parent_fingerprint = parent.fingerprint()
+        if epoch is None:
+            epoch = parent_manifest.epoch + 1
+
+        self.statistics = CrawlStatistics()
+        requests_before = self.http.request_count
+        retries_before = self.transport.statistics.n_retries
+        ratelimit_before = self.transport.statistics.n_ratelimit_retries
+        taxonomy_before = _taxonomy_snapshot(self.transport.statistics.per_host_taxonomy)
+        self._incremental_meta = {"parent": parent_fingerprint, "epoch": epoch}
+        checkpoint = self._open_checkpoint(n_shards=self.shards)
+        if checkpoint is not None:
+            checkpoint.ensure_layout()
+
+        # Stage 1 — listing, in full (same as run_sharded).
+        identifier_sources: Dict[str, List[str]] = {}
+        listing_counts = CrawlCorpus()
+        self._run_stage(self._listing_stage(listing_counts, identifier_sources), checkpoint)
+        self.statistics.n_unique_identifiers = len(identifier_sources)
+        identifier_order = list(identifier_sources)
+        shard_ids: List[List[str]] = [[] for _ in range(self.shards)]
+        for identifier in identifier_order:
+            shard_ids[shard_index(identifier, self.shards)].append(identifier)
+        frontier_position = {
+            identifier: position for position, identifier in enumerate(identifier_order)
+        }
+
+        # Parent inventory: one id-only pass per shard.  shard_index is the
+        # same hash at equal shard counts, so parent shard s holds exactly
+        # shard s's carry-forward candidates.
+        parent_resolved: List[Set[str]] = [
+            {_payload_gpt_id(line) for line in parent.iter_shard_lines("gpts", shard)}
+            for shard in range(self.shards)
+        ]
+        parent_unresolved = set(parent_manifest.unresolved_gpt_ids)
+
+        # Partition the frontier: anything the parent answered that the
+        # change feed does not name is carried without HTTP — including
+        # identifiers the parent saw 404 for (dead listing links recur
+        # epoch to epoch).
+        unresolved: Set[str] = set()
+        carried: List[Set[str]] = [set() for _ in range(self.shards)]
+        fetch_ids: List[List[str]] = [[] for _ in range(self.shards)]
+        for shard, keys in enumerate(shard_ids):
+            for identifier in keys:
+                if identifier not in changed_ids:
+                    if identifier in parent_resolved[shard]:
+                        carried[shard].add(identifier)
+                        continue
+                    if identifier in parent_unresolved:
+                        unresolved.add(identifier)
+                        self.statistics.n_unresolved += 1
+                        continue
+                fetch_ids[shard].append(identifier)
+
+        # Stage 2 — resolve only the delta.  Fetched payloads are buffered
+        # per shard (the delta is the churn, not the corpus), so each shard
+        # file can then be written carried+fetched in one index-ascending
+        # pass — the same write order a cold sharded crawl produces.
+        fetched: Dict[int, List] = {}
+        self._run_shard_phase(
+            "resolve",
+            fetch_ids,
+            lambda shard, records: fetched.setdefault(shard, []).extend(records),
+        )
+
+        writer = ShardedCorpusWriter(
+            shard_dir,
+            n_shards=self.shards,
+            flush_every=flush_every,
+            epoch=epoch,
+            parent_fingerprint=parent_fingerprint,
+        )
+        policy_urls: Set[str] = set()
+        # Store sets repeat across records, so each unique set is serialized
+        # for the line splice exactly once (None = needs the real encoder).
+        stores_json_cache: Dict[Tuple[str, ...], Optional[str]] = {}
+        for shard in range(self.shards):
+            entries: List = []
+            for identifier, payload in fetched.get(shard, ()):
+                manifest = payload.get("manifest")
+                if manifest is None:
+                    unresolved.add(identifier)
+                    self.statistics.n_unresolved += 1
+                    continue
+                self.statistics.n_resolved += 1
+                stores = identifier_sources.get(identifier, [])
+                gpt = CrawledGPT.from_manifest(
+                    manifest, source_store=stores[0] if stores else None
+                )
+                gpt.source_stores = sorted(set(stores))
+                entries.append((frontier_position[identifier], gpt_to_payload(gpt)))
+            if carried[shard]:
+                for line in parent.iter_shard_lines("gpts", shard):
+                    identifier = _payload_gpt_id(line)
+                    if identifier not in carried[shard]:
+                        continue
+                    # Store attribution is an epoch-N+1 fact (listings
+                    # re-shuffle), not a carried byte: re-stamp it from this
+                    # frontier, like the discovery index.  The splice keeps
+                    # the record's content bytes untouched; only when the
+                    # line doesn't match the canonical shape does the slow
+                    # parse/re-dump path run.
+                    stores = sorted(set(identifier_sources.get(identifier, [])))
+                    position = frontier_position[identifier]
+                    key = tuple(stores)
+                    if key not in stores_json_cache:
+                        stores_json_cache[key] = _serialize_store_list(stores)
+                    stores_json = stores_json_cache[key]
+                    restamped = (
+                        None
+                        if stores_json is None
+                        else _restamp_carried_line(line, position, stores_json)
+                    )
+                    if restamped is None:
+                        record = json.loads(line)
+                        record["source_stores"] = stores
+                        entries.append((position, record))
+                    else:
+                        entries.append((position, (restamped, identifier, stores)))
+                    self.statistics.n_resolved += 1
+                    self.statistics.n_records_carried += 1
+            entries.sort(key=lambda entry: entry[0])
+            for position, record in entries:
+                if isinstance(record, dict):
+                    for action in record["actions"]:
+                        url = action.get("legal_info_url")
+                        if url:
+                            policy_urls.add(url)
+                    writer.add_gpt_payload(record, discovery_index=position)
+                    continue
+                line, identifier, stores = record
+                urls = _scan_policy_urls(line)
+                if urls is None:
+                    urls = [
+                        action.get("legal_info_url")
+                        for action in json.loads(line)["actions"]
+                        if action.get("legal_info_url")
+                    ]
+                policy_urls.update(urls)
+                writer.add_gpt_line(
+                    line, gpt_id=identifier, discovery_index=position, source_stores=stores
+                )
+
+        # Stage 3 — policies.  A URL is carried when the parent fetched it,
+        # the drift feed does not name it, and its host is not flapping:
+        # flapping hosts stamp responses with per-visit revision markers the
+        # parent cannot vouch for, so refetching (at attempt 0, like a cold
+        # crawl's first visit) is what keeps byte-identity.
+        flapping_hosts = (
+            set(self.http.hostile_spec.get("flapping", {}))
+            if self.http.has_hostile_hosts
+            else set()
+        )
+        shard_urls: List[List[str]] = [[] for _ in range(self.shards)]
+        for url in sorted(policy_urls):
+            shard_urls[shard_index(url, self.shards)].append(url)
+        parent_policies: List[Set[str]] = [
+            {_payload_policy_url(line) for line in parent.iter_shard_lines("policies", shard)}
+            for shard in range(self.shards)
+        ]
+        carried_urls: List[Set[str]] = [set() for _ in range(self.shards)]
+        fetch_urls: List[List[str]] = [[] for _ in range(self.shards)]
+        for shard, urls in enumerate(shard_urls):
+            for url in urls:
+                if (
+                    url in parent_policies[shard]
+                    and url not in changed_policies
+                    and url_host(url) not in flapping_hosts
+                ):
+                    carried_urls[shard].add(url)
+                else:
+                    fetch_urls[shard].append(url)
+
+        fetched_policies: Dict[int, Dict[str, Dict[str, object]]] = {}
+        self._run_shard_phase(
+            "policies",
+            fetch_urls,
+            lambda shard, records: fetched_policies.setdefault(shard, {}).update(
+                dict(records)
+            ),
+        )
+
+        for shard, urls in enumerate(shard_urls):
+            if not urls:
+                continue
+            carried_payloads: Dict[str, Dict[str, object]] = {}
+            if carried_urls[shard]:
+                for line in parent.iter_shard_lines("policies", shard):
+                    url = _payload_policy_url(line)
+                    if url in carried_urls[shard]:
+                        carried_payloads[url] = json.loads(line)
+            fresh = fetched_policies.get(shard, {})
+            for url in urls:
+                payload = carried_payloads.get(url)
+                if payload is not None:
+                    writer.add_policy_payload(url, payload)
+                    self.statistics.n_policies_carried += 1
+                    self.statistics.n_policy_urls += 1
+                    if payload.get("text") is None:
+                        self.statistics.n_policy_failures += 1
+                    continue
+                raw = fresh[url]
+                result = PolicyFetchResult(
+                    url=url,
+                    status=int(raw.get("status", 0)),
+                    text=raw.get("text"),
+                    error=raw.get("error"),
+                )
+                writer.add_policy(result)
+                self.statistics.n_policy_urls += 1
+                if not result.ok:
+                    self.statistics.n_policy_failures += 1
+
+        writer.set_metadata(
+            store_link_counts=listing_counts.store_link_counts,
+            unresolved_gpt_ids=[i for i in identifier_order if i in unresolved],
+        )
+        store = writer.close()
+        self.statistics.n_http_requests += self.http.request_count - requests_before
+        self.statistics.n_retries += self.transport.statistics.n_retries - retries_before
+        self.statistics.n_ratelimit_retries += (
+            self.transport.statistics.n_ratelimit_retries - ratelimit_before
+        )
+        _merge_taxonomy(
+            self.statistics.host_failure_taxonomy,
+            _taxonomy_delta(taxonomy_before, self.transport.statistics.per_host_taxonomy),
+        )
+        return store
+
+    # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     def _run_stage(self, stage: CrawlStage,
@@ -838,6 +1304,11 @@ class CrawlPipeline:
             # Hostile behaviors change which fetches fail, so a checkpoint
             # from a differently-hostile crawl must not be resumed.
             fingerprint["hostile"] = self.http.hostile_spec
+        if self._incremental_meta is not None:
+            # An incremental crawl's fetch set is derived from the parent
+            # store: resuming against a different parent (or epoch) would
+            # splice two deltas into one corpus.
+            fingerprint["incremental"] = dict(self._incremental_meta)
         return fingerprint
 
     def _open_checkpoint(self, n_shards: int) -> Optional[CrawlCheckpoint]:

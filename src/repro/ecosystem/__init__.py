@@ -28,6 +28,13 @@ from repro.ecosystem.models import (
     ToolType,
 )
 from repro.ecosystem.config import EcosystemConfig, StoreConfig, DisclosureProfile
+from repro.ecosystem.evolution import (
+    EpochDelta,
+    EvolutionConfig,
+    EvolvedEpoch,
+    evolve_ecosystem,
+    evolve_epochs,
+)
 from repro.ecosystem.generator import EcosystemGenerator
 from repro.ecosystem.phrasing import DescriptionPhraser, PhrasingStyle
 from repro.ecosystem.actions import PREVALENT_ACTIONS, PrevalentActionTemplate
@@ -49,6 +56,11 @@ __all__ = [
     "StoreConfig",
     "DisclosureProfile",
     "EcosystemGenerator",
+    "EpochDelta",
+    "EvolutionConfig",
+    "EvolvedEpoch",
+    "evolve_ecosystem",
+    "evolve_epochs",
     "DescriptionPhraser",
     "PhrasingStyle",
     "PREVALENT_ACTIONS",

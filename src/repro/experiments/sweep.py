@@ -8,8 +8,8 @@ This module provides that layer:
 * :class:`Scenario` — a named variation of the paper-calibrated ecosystem
   and suite configuration (:data:`BUILTIN_SCENARIOS` ships ``baseline``,
   ``flaky-hosts``, ``large-store``, ``dense-duplicates``,
-  ``sparse-policies``, and the adversarial-web pair ``hostile-hosts`` /
-  ``hostile-ratelimit``);
+  ``sparse-policies``, the evolved-world ``churned-store``, and the
+  adversarial-web pair ``hostile-hosts`` / ``hostile-ratelimit``);
 * :func:`expand_grid` — expands scenario names × seed count into
   :class:`SweepCell` work units;
 * :class:`SweepRunner` — runs one full :class:`MeasurementSuite` pipeline
@@ -157,6 +157,13 @@ BUILTIN_SCENARIOS: Dict[str, Scenario] = {
                 "crawl_hostile": {"tarpit_tail_s": 0.3, "tarpit_tail_p": 0.35},
                 "crawl_transport": {"deadline_s": 0.2},
             },
+        ),
+        Scenario(
+            "churned-store",
+            "the world one evolution epoch after the baseline snapshot: "
+            "seeded churn of GPTs, Actions, and policy revisions "
+            "(repro.ecosystem.evolution)",
+            suite_overrides={"epoch": 1},
         ),
         Scenario(
             "hostile-ratelimit",

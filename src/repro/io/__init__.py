@@ -47,6 +47,21 @@ the compatibility serialization.  Each layer answers a different question:
   pid-tagged writes make one directory shareable by thread pools and
   process pools alike.
 
+On top of the shard layer sits the **epoch/lineage layer** — *"the store
+is a living target."*  Since shard-manifest schema 3 every store records
+``(epoch, parent_fingerprint)``: which crawl epoch it captures and the
+content address of the store it was derived from.  The delta-aware
+incremental crawl
+(:meth:`repro.crawler.pipeline.CrawlPipeline.run_incremental`) produces
+epoch N+1 by carrying unchanged records forward shard-locally from epoch N
+(zero HTTP traffic for the ~95% that did not change) and re-stamping
+discovery indices so the store is byte-identical to a cold crawl of the
+evolved world (:mod:`repro.ecosystem.evolution`).  Epochs publish into the
+artifact layer as *deltas* (:meth:`ShardedCorpusStore.register_delta_in`):
+only the shards whose fingerprints changed are named, keyed under
+:data:`~repro.io.shards.SHARD_DELTA_ARTIFACT_KIND`, so a longitudinal
+series of N epochs costs O(churn), not O(N × corpus).
+
 Rule of thumb: exporting results → ``corpus``; anything at 100k-GPT scale
 (crawling included) → ``shards``; mid-crawl durability → ``checkpoint``;
 cross-run caching → ``artifacts``.  Execution topology — shard count,
@@ -129,6 +144,7 @@ from repro.io.corpus import (
 )
 from repro.io.shards import (
     SHARD_ARTIFACT_KIND,
+    SHARD_DELTA_ARTIFACT_KIND,
     ShardedCorpusStore,
     ShardedCorpusWriter,
     ShardInfo,
@@ -143,6 +159,7 @@ __all__ = [
     "CorpusSource",
     "CrawlCheckpoint",
     "SHARD_ARTIFACT_KIND",
+    "SHARD_DELTA_ARTIFACT_KIND",
     "ShardInfo",
     "ShardManifest",
     "ShardedCorpusStore",

@@ -2,12 +2,14 @@
 
 :mod:`repro.reporting.sweep` adds the comparative views for multi-seed /
 multi-scenario sweeps: across-seed summary tables, scenario-vs-baseline
-delta tables, and per-metric figure series.
+delta tables, and per-metric figure series.  :mod:`repro.reporting.longitudinal`
+adds the epoch-over-epoch views: corpus churn, policy drift, and
+availability across a series of crawl epochs.
 """
 
 from repro.reporting.markdown import format_table, format_percent
 from repro.reporting.report import format_report_value, render_experiment_report
-from repro.reporting import tables, figures, sweep
+from repro.reporting import tables, figures, longitudinal, sweep
 
 __all__ = [
     "format_table",
@@ -16,5 +18,6 @@ __all__ = [
     "render_experiment_report",
     "tables",
     "figures",
+    "longitudinal",
     "sweep",
 ]

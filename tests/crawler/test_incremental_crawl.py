@@ -1,0 +1,256 @@
+"""Tests for the delta-aware epoch crawl (``CrawlPipeline.run_incremental``).
+
+The load-bearing invariants: for a fixed seed, the incremental re-crawl of
+an evolved epoch produces a store **byte-identical** to a cold crawl of the
+evolved world (same lineage stamp, every backend, any worker count, cold or
+kill+resumed), while issuing **zero HTTP requests** for carried-forward
+records — verified against the full request log, not just counters — and
+refusing loudly at every epoch boundary it cannot honor (schema-1 parents,
+mismatched shard layouts, checkpoints taken against a different parent).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.crawler.gizmo_api import GIZMO_API_PREFIX
+from repro.crawler.pipeline import CrawlPipeline
+from repro.crawler.transport import TransportConfig
+from repro.ecosystem.config import EcosystemConfig
+from repro.ecosystem.evolution import evolve_ecosystem
+from repro.ecosystem.generator import EcosystemGenerator
+from repro.io import canonical_json
+from repro.io.shards import ShardedCorpusStore
+
+N_GPTS = 120
+SEED = 7
+SHARDS = 4
+
+#: Backend the marked smoke subset runs on (`make test-process` overrides).
+SMOKE_BACKEND = os.environ.get("REPRO_TEST_BACKEND", "thread")
+
+FIXTURE_STORE_V1 = Path(__file__).resolve().parent.parent / "fixtures" / "shard_store_v1"
+
+
+@pytest.fixture(scope="module")
+def epochs():
+    config = EcosystemConfig.paper_calibrated(n_gpts=N_GPTS, seed=SEED)
+    ecosystem = EcosystemGenerator(config).generate()
+    return ecosystem, evolve_ecosystem(ecosystem, config, epoch=1)
+
+
+def _pipeline(world, **kwargs):
+    config = TransportConfig(max_attempts=3, seed=SEED)
+    return CrawlPipeline.from_ecosystem(
+        world, seed=SEED, transport_config=config, shards=SHARDS, **kwargs
+    )
+
+
+@pytest.fixture(scope="module")
+def parent(epochs, tmp_path_factory):
+    """The epoch-0 snapshot every incremental crawl carries from."""
+    ecosystem, _ = epochs
+    root = tmp_path_factory.mktemp("epoch0")
+    return _pipeline(ecosystem).run_sharded(root / "store")
+
+
+@pytest.fixture(scope="module")
+def cold_reference(epochs, parent, tmp_path_factory):
+    """Cold crawl of the evolved world with matching lineage: the oracle."""
+    _, evolved = epochs
+    root = tmp_path_factory.mktemp("epoch1-cold")
+    store = _pipeline(evolved.ecosystem).run_sharded(
+        root / "store", epoch=1, parent_fingerprint=parent.fingerprint()
+    )
+    return {
+        "fingerprint": store.fingerprint(),
+        "manifest": canonical_json(store.manifest.to_payload()),
+    }
+
+
+def _identical(store, cold_reference) -> bool:
+    return (
+        store.fingerprint() == cold_reference["fingerprint"]
+        and canonical_json(store.manifest.to_payload()) == cold_reference["manifest"]
+    )
+
+
+def _run_incremental(pipeline, shard_dir, parent, evolved, **kwargs):
+    return pipeline.run_incremental(
+        shard_dir,
+        parent,
+        changed_gpt_ids=sorted(evolved.delta.changed_gpt_ids),
+        changed_policy_urls=sorted(evolved.delta.changed_policy_urls),
+        **kwargs,
+    )
+
+
+class TestIncrementalByteIdentity:
+    @pytest.mark.process_smoke
+    def test_smoke_backend_byte_identical(self, epochs, parent, cold_reference, tmp_path):
+        _, evolved = epochs
+        pipeline = _pipeline(evolved.ecosystem, workers=2, backend=SMOKE_BACKEND)
+        store = _run_incremental(pipeline, tmp_path / "incr", parent, evolved)
+        assert _identical(store, cold_reference)
+        assert pipeline.statistics.n_records_carried > 0
+        assert pipeline.statistics.n_policies_carried > 0
+
+    def test_zero_http_for_carried_records(self, epochs, parent, tmp_path):
+        """Every request the incremental crawl issues is a listing page, a
+        churned manifest, or a changed/new policy — never a carried record.
+        The thread backend shares the coordinator's transport, so the
+        request log sees every fetch."""
+        _, evolved = epochs
+        pipeline = _pipeline(evolved.ecosystem, workers=2, backend="thread")
+        requested = []
+        real_get = pipeline.http.get
+
+        def logging_get(url):
+            requested.append(url)
+            return real_get(url)
+
+        pipeline.http.get = logging_get
+        _run_incremental(pipeline, tmp_path / "incr", parent, evolved)
+
+        stats = pipeline.statistics
+        resolved_ids = {
+            url[len(GIZMO_API_PREFIX):]
+            for url in requested
+            if url.startswith(GIZMO_API_PREFIX)
+        }
+        assert resolved_ids <= evolved.delta.changed_gpt_ids
+        assert stats.n_http_requests == len(requested)
+        # Carried records account for most of the corpus and none of the
+        # network traffic.
+        assert stats.n_records_carried + len(resolved_ids) >= stats.n_resolved
+        assert stats.n_records_carried > len(resolved_ids)
+
+    @pytest.mark.parametrize("backend,workers", [("serial", 0), ("thread", 3), ("process", 2)])
+    def test_backend_byte_identical(
+        self, epochs, parent, cold_reference, tmp_path, backend, workers
+    ):
+        _, evolved = epochs
+        pipeline = _pipeline(evolved.ecosystem, workers=workers, backend=backend)
+        store = _run_incremental(pipeline, tmp_path / backend, parent, evolved)
+        assert _identical(store, cold_reference)
+
+    def test_lineage_stamped(self, epochs, parent, tmp_path):
+        _, evolved = epochs
+        pipeline = _pipeline(evolved.ecosystem)
+        store = _run_incremental(pipeline, tmp_path / "incr", parent, evolved)
+        assert store.manifest.epoch == 1
+        assert store.manifest.parent_fingerprint == parent.fingerprint()
+
+    def test_empty_change_feed_carries_everything_known(self, epochs, parent, tmp_path):
+        """Without a change feed, every frontier identifier the parent
+        answered is carried (trusting the feed is the contract; staleness is
+        the caller's bargain) and only identifiers the parent never saw —
+        the epoch's additions — cost any HTTP beyond the listing pages."""
+        _, evolved = epochs
+        pipeline = _pipeline(evolved.ecosystem)
+        store = pipeline.run_incremental(tmp_path / "incr", parent)
+        stats = pipeline.statistics
+        assert store.n_gpts == stats.n_resolved
+        assert stats.n_records_carried > 0
+        # Listing pages + a handful of additions — nowhere near a re-crawl.
+        assert stats.n_http_requests < N_GPTS
+
+
+class TestIncrementalResume:
+    def test_kill_and_resume_byte_identical(self, epochs, parent, cold_reference, tmp_path):
+        _, evolved = epochs
+        killed = _pipeline(
+            evolved.ecosystem,
+            workers=2,
+            checkpoint_dir=str(tmp_path / "ckpt"),
+            checkpoint_every=5,
+        )
+        real_get = killed.http.get
+        calls = {"n": 0}
+
+        def killer_get(url):
+            calls["n"] += 1
+            if calls["n"] == 10:  # die during the listing stage
+                raise KeyboardInterrupt
+            return real_get(url)
+
+        killed.http.get = killer_get
+        with pytest.raises(KeyboardInterrupt):
+            _run_incremental(killed, tmp_path / "incr", parent, evolved)
+
+        resumed = _pipeline(
+            evolved.ecosystem,
+            workers=2,
+            checkpoint_dir=str(tmp_path / "ckpt"),
+            resume=True,
+        )
+        store = _run_incremental(resumed, tmp_path / "incr", parent, evolved)
+        assert resumed.statistics.n_tasks_resumed > 0
+        assert _identical(store, cold_reference)
+
+    def test_resume_against_changed_parent_refuses(self, epochs, parent, tmp_path):
+        """A checkpoint taken against one parent epoch must not resume
+        against another: the carried records would silently come from the
+        wrong snapshot (mirrors the changed-hostile-spec refusal)."""
+        ecosystem, evolved = epochs
+        killed = _pipeline(
+            evolved.ecosystem,
+            workers=2,
+            checkpoint_dir=str(tmp_path / "ckpt"),
+            checkpoint_every=5,
+        )
+        real_get = killed.http.get
+        calls = {"n": 0}
+
+        def killer_get(url):
+            calls["n"] += 1
+            if calls["n"] == 10:
+                raise KeyboardInterrupt
+            return real_get(url)
+
+        killed.http.get = killer_get
+        with pytest.raises(KeyboardInterrupt):
+            _run_incremental(killed, tmp_path / "incr", parent, evolved)
+
+        # A different parent store: same world, different epoch stamp, so
+        # its fingerprint (and the checkpoint fingerprint) differ.
+        other_parent = _pipeline(ecosystem).run_sharded(
+            tmp_path / "other-parent", epoch=2, parent_fingerprint="deadbeef"
+        )
+        assert other_parent.fingerprint() != parent.fingerprint()
+        resumed = _pipeline(
+            evolved.ecosystem,
+            workers=2,
+            checkpoint_dir=str(tmp_path / "ckpt"),
+            resume=True,
+        )
+        with pytest.raises(ValueError, match="different crawl configuration"):
+            _run_incremental(resumed, tmp_path / "incr2", parent=other_parent, evolved=evolved, epoch=3)
+
+
+class TestIncrementalRefusals:
+    def test_schema_1_parent_refused(self, epochs, tmp_path):
+        _, evolved = epochs
+        legacy = ShardedCorpusStore(FIXTURE_STORE_V1)
+        pipeline = CrawlPipeline.from_ecosystem(
+            evolved.ecosystem,
+            seed=SEED,
+            transport_config=TransportConfig(max_attempts=3, seed=SEED),
+            shards=legacy.manifest.n_shards,
+        )
+        with pytest.raises(ValueError, match="re-crawl it cold first"):
+            pipeline.run_incremental(tmp_path / "incr", legacy)
+
+    def test_shard_count_mismatch_refused(self, epochs, parent, tmp_path):
+        _, evolved = epochs
+        pipeline = CrawlPipeline.from_ecosystem(
+            evolved.ecosystem,
+            seed=SEED,
+            transport_config=TransportConfig(max_attempts=3, seed=SEED),
+            shards=SHARDS + 1,
+        )
+        with pytest.raises(ValueError, match="layouts must match"):
+            pipeline.run_incremental(tmp_path / "incr", parent)

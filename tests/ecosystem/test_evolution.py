@@ -1,0 +1,157 @@
+"""Tests for the seeded epoch churn model (``repro.ecosystem.evolution``).
+
+Evolution must be a pure function of ``(seed, epoch)`` — same inputs, same
+evolved world, on any process — must never mutate the parent world, and
+must account for exactly the records it touched in the :class:`EpochDelta`
+change feed the incremental crawl trusts.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ecosystem.config import EcosystemConfig
+from repro.ecosystem.evolution import (
+    EvolutionConfig,
+    epoch_seed,
+    evolve_ecosystem,
+    evolve_epochs,
+)
+from repro.ecosystem.generator import EcosystemGenerator
+from repro.io import canonical_json
+
+N_GPTS = 220
+SEED = 11
+
+
+@pytest.fixture(scope="module")
+def config():
+    return EcosystemConfig.paper_calibrated(n_gpts=N_GPTS, seed=SEED)
+
+
+@pytest.fixture(scope="module")
+def base(config):
+    return EcosystemGenerator(config).generate()
+
+
+def _world_signature(ecosystem) -> str:
+    """Canonical content signature of a world (manifests + policies)."""
+    return canonical_json(
+        {
+            "gpts": {
+                gpt_id: {
+                    "description": manifest.description,
+                    "n_tools": len(manifest.tools),
+                    "tags": sorted(manifest.tags),
+                }
+                for gpt_id, manifest in ecosystem.gpts.items()
+            },
+            "policies": {url: doc.text for url, doc in ecosystem.policies.items()},
+            "listings": {
+                store: sorted((entry.gpt_id, entry.dead) for entry in listings)
+                for store, listings in ecosystem.store_listings.items()
+            },
+        }
+    )
+
+
+class TestDeterminism:
+    def test_same_inputs_same_world(self, base, config):
+        first = evolve_ecosystem(base, config, epoch=1)
+        second = evolve_ecosystem(base, config, epoch=1)
+        assert first.delta.to_payload() == second.delta.to_payload()
+        assert _world_signature(first.ecosystem) == _world_signature(second.ecosystem)
+
+    def test_epochs_differ(self, base, config):
+        first = evolve_ecosystem(base, config, epoch=1)
+        second = evolve_ecosystem(base, config, epoch=2)
+        assert first.delta.to_payload() != second.delta.to_payload()
+        assert epoch_seed(SEED, 1) != epoch_seed(SEED, 2)
+
+    def test_evolve_epochs_composes(self, base, config):
+        chained, deltas = evolve_epochs(base, config, 2)
+        manual_1 = evolve_ecosystem(base, config, epoch=1)
+        manual_2 = evolve_ecosystem(manual_1.ecosystem, config, epoch=2)
+        assert [d.to_payload() for d in deltas] == [
+            manual_1.delta.to_payload(),
+            manual_2.delta.to_payload(),
+        ]
+        assert _world_signature(chained) == _world_signature(manual_2.ecosystem)
+
+
+class TestNonMutation:
+    def test_parent_untouched(self, base, config):
+        before = _world_signature(base)
+        n_gpts = len(base.gpts)
+        evolve_ecosystem(base, config, epoch=1)
+        assert _world_signature(base) == before
+        assert len(base.gpts) == n_gpts
+
+    def test_unchanged_manifests_shared_by_reference(self, base, config):
+        evolved = evolve_ecosystem(base, config, epoch=1)
+        touched = evolved.delta.changed_gpt_ids | set(evolved.delta.removed_gpt_ids)
+        untouched = [g for g in base.gpts if g not in touched]
+        assert untouched
+        for gpt_id in untouched[:20]:
+            assert evolved.ecosystem.gpts[gpt_id] is base.gpts[gpt_id]
+
+
+class TestDeltaAccounting:
+    @pytest.fixture(scope="class")
+    def evolved(self, base, config):
+        return evolve_ecosystem(base, config, epoch=1)
+
+    def test_every_churn_class_non_empty(self, evolved):
+        delta = evolved.delta
+        assert delta.added_gpt_ids
+        assert delta.removed_gpt_ids
+        assert delta.redescribed_gpt_ids
+        assert delta.changed_policy_urls
+
+    def test_removed_gone_added_present(self, base, evolved):
+        for gpt_id in evolved.delta.removed_gpt_ids:
+            assert gpt_id in base.gpts
+            assert gpt_id not in evolved.ecosystem.gpts
+        for gpt_id in evolved.delta.added_gpt_ids:
+            assert gpt_id not in base.gpts
+            assert gpt_id in evolved.ecosystem.gpts
+
+    def test_redescriptions_and_drift_are_marked(self, base, evolved):
+        for gpt_id in evolved.delta.redescribed_gpt_ids:
+            assert evolved.ecosystem.gpts[gpt_id].description.endswith(
+                "Refreshed in catalog update 1."
+            )
+            assert evolved.ecosystem.gpts[gpt_id].description.startswith(
+                base.gpts[gpt_id].description
+            )
+        for url in evolved.delta.changed_policy_urls:
+            assert evolved.ecosystem.policies[url].text.endswith(
+                "<p>Policy revision 1 issued by the vendor.</p>"
+            )
+
+    def test_changed_feed_is_the_union(self, evolved):
+        delta = evolved.delta
+        assert delta.changed_gpt_ids == (
+            set(delta.added_gpt_ids)
+            | set(delta.redescribed_gpt_ids)
+            | set(delta.action_changed_gpt_ids)
+        )
+        assert delta.n_changed == len(delta.changed_gpt_ids) + len(
+            delta.removed_gpt_ids
+        ) + len(delta.changed_policy_urls)
+
+    def test_summary_mentions_every_class(self, evolved):
+        summary = evolved.delta.summary()
+        assert "epoch 1:" in summary
+        assert "re-described" in summary
+        assert "policies drifted" in summary
+
+
+class TestValidation:
+    def test_epoch_zero_refused(self, base, config):
+        with pytest.raises(ValueError, match="epoch must be >= 1"):
+            evolve_ecosystem(base, config, epoch=0)
+
+    def test_rates_validated(self):
+        with pytest.raises(ValueError, match="removal_rate"):
+            EvolutionConfig(removal_rate=1.5)

@@ -61,6 +61,48 @@ class TestCommands:
         assert sharded == plain
         assert (tmp_path / "shards" / "manifest.json").exists()
 
+    def test_evolve(self, capsys):
+        assert main(["--gpts", "200", "--seed", "3", "evolve", "--epochs", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "epoch 1:" in output
+        assert "epoch 2:" in output
+        assert "re-described" in output
+        assert "policies drifted" in output
+
+    def test_evolve_rejects_zero_epochs(self, capsys):
+        assert main(["evolve", "--epochs", "0"]) == 2
+        assert "--epochs must be >= 1" in capsys.readouterr().err
+
+    def test_crawl_incremental_epoch(self, capsys, tmp_path):
+        parent_dir = str(tmp_path / "epoch0")
+        base = ["--gpts", "150", "--seed", "3", "--shards", "3"]
+        assert main(base + ["--shard-dir", parent_dir, "crawl"]) == 0
+        capsys.readouterr()
+
+        argv = base + [
+            "--shard-dir", str(tmp_path / "epoch1"),
+            "crawl", "--epoch", "1", "--parent-store", parent_dir,
+        ]
+        assert main(argv) == 0
+        output = capsys.readouterr().out
+        assert "Incremental epoch 1:" in output
+        assert "carried forward" in output
+        assert "requests for the delta" in output
+        assert (tmp_path / "epoch1" / "manifest.json").exists()
+
+    def test_crawl_parent_store_needs_shard_flags(self, capsys, tmp_path):
+        argv = ["crawl", "--epoch", "1", "--parent-store", str(tmp_path / "p")]
+        assert main(argv) == 2
+        assert "--parent-store needs --shards" in capsys.readouterr().err
+
+    def test_crawl_parent_store_needs_epoch(self, capsys, tmp_path):
+        argv = [
+            "--shards", "3", "--shard-dir", str(tmp_path / "out"),
+            "crawl", "--parent-store", str(tmp_path / "p"),
+        ]
+        assert main(argv) == 2
+        assert "--parent-store needs --epoch" in capsys.readouterr().err
+
     def test_analyze(self, capsys):
         assert main(["--gpts", "250", "--seed", "4", "analyze"]) == 0
         output = capsys.readouterr().out

@@ -22,6 +22,7 @@ from perf_report import (  # noqa: E402
     committed_report,
     gated_metric_notices,
     load_report,
+    stale_missing_failures,
 )
 
 
@@ -96,3 +97,143 @@ class TestGatedMetricNotices:
         report.record("row", baseline_s=1.0, optimized_s=1.0, items=1)
         _write(report, tmp_path)
         assert gated_metric_notices(directory=tmp_path) == []
+
+
+class TestMergeWithPrior:
+    """Two benchmark modules share one artifact: a refresh by either must
+    preserve the other's rows, skips, and foreign sections (the pattern the
+    cold-crawl and incremental-crawl benches use for ``BENCH_crawl.json``)."""
+
+    def test_other_modules_rows_survive_a_refresh(self, tmp_path):
+        first = PerfReport("shared")
+        first.record("cold_crawl", baseline_s=4.0, optimized_s=2.0, items=100)
+        _write(first, tmp_path)
+
+        second = PerfReport("shared")
+        second.record("incr_crawl", baseline_s=8.0, optimized_s=1.0, items=100)
+        path = _write(second, tmp_path)
+
+        merged = load_report(path)
+        assert merged["cold_crawl"].optimized_s == 2.0
+        assert merged["incr_crawl"].speedup == 8.0
+        # Prior row order first, new names appended: diff-stable refreshes.
+        assert [entry.name for entry in merged.records] == ["cold_crawl", "incr_crawl"]
+
+    def test_rerecorded_row_takes_the_fresh_value(self, tmp_path):
+        first = PerfReport("shared")
+        first.record("row", baseline_s=4.0, optimized_s=2.0, items=100)
+        _write(first, tmp_path)
+
+        second = PerfReport("shared")
+        second.record("row", baseline_s=4.0, optimized_s=1.0, items=100)
+        merged = load_report(_write(second, tmp_path))
+        assert len(merged.records) == 1
+        assert merged["row"].optimized_s == 1.0
+
+    def test_foreign_sections_survive_a_refresh(self, tmp_path):
+        target = tmp_path / "BENCH_shared.json"
+        target.write_text(
+            json.dumps(
+                {
+                    "benchmark": "shared",
+                    "records": [],
+                    "invariants": {"rss_import_floor_mb_2000": 321.1},
+                }
+            ),
+            encoding="utf-8",
+        )
+        report = PerfReport("shared")
+        report.record("row", baseline_s=1.0, optimized_s=0.5, items=1)
+        payload = json.loads(_write(report, tmp_path).read_text(encoding="utf-8"))
+        assert payload["invariants"] == {"rss_import_floor_mb_2000": 321.1}
+
+    def test_prior_skips_survive_until_measured(self, tmp_path):
+        first = PerfReport("shared")
+        first.note_skipped("gated_row", "needs >= 4 cores")
+        _write(first, tmp_path)
+
+        # A refresh by a module that never mentions the metric keeps it.
+        second = PerfReport("shared")
+        second.record("other_row", baseline_s=1.0, optimized_s=0.5, items=1)
+        merged = load_report(_write(second, tmp_path))
+        assert merged.skipped == {"gated_row": "needs >= 4 cores"}
+
+        # Measuring the metric resolves the skip note.
+        third = PerfReport("shared")
+        third.record("gated_row", baseline_s=2.0, optimized_s=1.0, items=1)
+        payload = json.loads(_write(third, tmp_path).read_text(encoding="utf-8"))
+        assert "gated_row" not in payload.get("skipped", {})
+
+
+class TestSkipHistoryAging:
+    """Unmeasured gated metrics age in ``skip_history`` until they either
+    get measured (entry dropped) or go stale enough to fail the gate."""
+
+    def test_refresh_count_ages_and_first_seen_sticks(self, tmp_path):
+        first = PerfReport("aging")
+        first.note_skipped("gated_row", "needs >= 4 cores")
+        path = _write(first, tmp_path)
+        entry = json.loads(path.read_text(encoding="utf-8"))["skip_history"]["gated_row"]
+        assert entry["refreshes"] == 1
+        first_seen = entry["first_seen"]
+
+        second = PerfReport("aging")
+        second.record("other_row", baseline_s=1.0, optimized_s=0.5, items=1)
+        entry = json.loads(
+            _write(second, tmp_path).read_text(encoding="utf-8")
+        )["skip_history"]["gated_row"]
+        assert entry["refreshes"] == 2
+        assert entry["first_seen"] == first_seen
+
+    def test_measuring_the_metric_drops_its_history(self, tmp_path):
+        first = PerfReport("aging")
+        first.note_skipped("gated_row", "needs >= 4 cores")
+        _write(first, tmp_path)
+
+        second = PerfReport("aging")
+        second.record("gated_row", baseline_s=2.0, optimized_s=1.0, items=1)
+        payload = json.loads(_write(second, tmp_path).read_text(encoding="utf-8"))
+        assert "skip_history" not in payload
+
+    def test_stale_missing_escalates_past_the_grace_period(self, tmp_path):
+        (tmp_path / "BENCH_aging.json").write_text(
+            json.dumps(
+                {
+                    "benchmark": "aging",
+                    "records": [],
+                    "skipped": {"gated_row": "needs >= 4 cores"},
+                    "skip_history": {
+                        "gated_row": {"first_seen": "2026-07-01", "refreshes": 5}
+                    },
+                }
+            ),
+            encoding="utf-8",
+        )
+        failures = stale_missing_failures(directory=tmp_path, max_refreshes=5)
+        assert len(failures) == 1
+        assert failures[0].startswith("STALE-MISSING BENCH_aging.json: gated_row")
+        assert "2026-07-01" in failures[0]
+        # Inside the grace period the same artifact only rates a notice.
+        assert stale_missing_failures(directory=tmp_path, max_refreshes=6) == []
+
+    def test_fresh_row_resolves_a_stale_history_entry(self, tmp_path):
+        (tmp_path / "BENCH_aging.json").write_text(
+            json.dumps(
+                {
+                    "benchmark": "aging",
+                    "records": [
+                        {
+                            "name": "gated_row",
+                            "baseline_s": 2.0,
+                            "optimized_s": 1.0,
+                            "items": 1,
+                        }
+                    ],
+                    "skip_history": {
+                        "gated_row": {"first_seen": "2026-07-01", "refreshes": 9}
+                    },
+                }
+            ),
+            encoding="utf-8",
+        )
+        assert stale_missing_failures(directory=tmp_path, max_refreshes=5) == []

@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""Lint gate: a BENCH refresh must not smuggle in a bloated import floor.
+
+The scale benchmarks record two RSS invariants per corpus size in
+``BENCH_*.json``: ``rss_import_floor_mb_*`` (memory the interpreter +
+imports cost before any work) and ``rss_workload_mb_*`` (what the workload
+added on top).  The streaming contract is that the workload delta stays
+~0 MB at any scale; the import floor is runner-dependent ballast.
+
+That split creates a blind spot: a refresh that ships a much larger import
+floor while the workload delta "stays flat at ~0" still passes the ratio
+checks — the regression hides in the baseline everything is measured
+against.  This gate closes it: for every ``BENCH_*.json`` in the working
+tree, each ``rss_import_floor_mb*`` invariant is compared against the
+``HEAD``-committed value, and the refresh fails when the floor grew more
+than ``MAX_FLOOR_GROWTH`` (1.5x) while the matching ``rss_workload_mb*``
+key still reports under ``FLAT_WORKLOAD_MB`` (1 MB) — exactly the
+"nothing to see here" shape an accidental eager import produces.
+
+Files without a committed counterpart (new benchmarks), files without
+invariants, and floors that grew alongside a *visible* workload delta are
+all fine.  Exit status: 0 when clean, 1 with a listing otherwise.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+FLOOR_PREFIX = "rss_import_floor_mb"
+WORKLOAD_PREFIX = "rss_workload_mb"
+MAX_FLOOR_GROWTH = 1.5
+FLAT_WORKLOAD_MB = 1.0
+
+
+def _invariants(payload: object) -> dict:
+    if isinstance(payload, dict) and isinstance(payload.get("invariants"), dict):
+        return payload["invariants"]
+    return {}
+
+
+def _committed_payload(name: str) -> object:
+    try:
+        completed = subprocess.run(
+            ["git", "-C", str(REPO_ROOT), "show", f"HEAD:{name}"],
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        return json.loads(completed.stdout)
+    except (OSError, subprocess.CalledProcessError, json.JSONDecodeError):
+        return None
+
+
+def find_violations(root: Path) -> list[str]:
+    violations: list[str] = []
+    for path in sorted(root.glob("BENCH_*.json")):
+        try:
+            fresh = _invariants(json.loads(path.read_text(encoding="utf-8")))
+        except (OSError, json.JSONDecodeError):
+            continue
+        committed = _invariants(_committed_payload(path.name))
+        if not fresh or not committed:
+            continue
+        for key, fresh_value in fresh.items():
+            if not key.startswith(FLOOR_PREFIX):
+                continue
+            committed_value = committed.get(key)
+            if not isinstance(committed_value, (int, float)) or committed_value <= 0:
+                continue
+            if not isinstance(fresh_value, (int, float)):
+                continue
+            if fresh_value <= committed_value * MAX_FLOOR_GROWTH:
+                continue
+            workload_key = key.replace(FLOOR_PREFIX, WORKLOAD_PREFIX, 1)
+            workload = fresh.get(workload_key)
+            if isinstance(workload, (int, float)) and workload >= FLAT_WORKLOAD_MB:
+                continue  # the growth is visible in the workload delta
+            violations.append(
+                f"{path.name}: {key} jumped {committed_value} -> {fresh_value} MB "
+                f"(> {MAX_FLOOR_GROWTH}x the committed value) while "
+                f"{workload_key} stays ~0 — the regression is hiding in the "
+                "import floor; find the eager import (or re-baseline "
+                "deliberately with a commit message explaining the growth)"
+            )
+    return violations
+
+
+def main() -> int:
+    if not REPO_ROOT.is_dir():  # pragma: no cover - repo layout invariant
+        print(f"check_bench_refresh: missing directory {REPO_ROOT}", file=sys.stderr)
+        return 1
+    violations = find_violations(REPO_ROOT)
+    if violations:
+        print("ERROR: make lint: suspicious BENCH refresh (import-floor bloat):")
+        for violation in violations:
+            print(f"  - {violation}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
